@@ -1,0 +1,22 @@
+"""Benchmark session configuration.
+
+Each benchmark both *prints* its paper table/figure analog (captured with
+``-s`` or in the pytest summary) and times a representative operation via
+pytest-benchmark, so ``pytest benchmarks/ --benchmark-only`` exercises the
+whole reproduction.
+"""
+
+import pytest
+
+
+def pytest_configure(config):
+    config.addinivalue_line("markers", "table: reproduces a paper table")
+    config.addinivalue_line("markers", "figure: reproduces a paper figure")
+
+
+@pytest.fixture(scope="session")
+def comparison():
+    """The shared five-detector comparison grid (cached across benches)."""
+    from repro.bench import run_comparison
+
+    return run_comparison(include_regular_ast=True)

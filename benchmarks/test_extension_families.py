@@ -1,0 +1,47 @@
+"""Extension bench — malware family classification (paper future work).
+
+Not a paper table: Sec. V-A promises a family component as future work;
+this bench measures what the JSRevealer feature space delivers for
+six-way family attribution at bench scale.
+"""
+
+import pytest
+
+from repro.bench import bench_params, default_jsrevealer_config
+from repro.core import FamilyClassifier, JSRevealer
+from repro.datasets import experiment_split
+
+
+@pytest.mark.table
+def test_extension_family_classification(benchmark):
+    params = bench_params()
+    split = experiment_split(
+        seed=0,
+        pretrain_per_class=params["pretrain"],
+        train_per_class=params["train"],
+        test_per_class=params["test"],
+        realistic=True,
+    )
+    detector = JSRevealer(default_jsrevealer_config())
+    detector.pretrain(split.pretrain.sources, split.pretrain.labels)
+    detector.fit(split.train.sources, split.train.labels)
+
+    def subset(corpus):
+        sources = [s for s, y in zip(corpus.sources, corpus.labels) if y == 1]
+        families = [f.split(":")[1] for f, y in zip(corpus.families, corpus.labels) if y == 1]
+        return sources, families
+
+    train_sources, train_families = subset(split.train)
+    test_sources, test_families = subset(split.test)
+    classifier = FamilyClassifier(detector, seed=0).fit(train_sources, train_families)
+
+    predictions = benchmark.pedantic(classifier.predict, args=(test_sources,), rounds=1, iterations=1)
+    agreement = sum(p == t for p, t in zip(predictions, test_families)) / len(test_families)
+
+    print(f"\nExtension — family attribution accuracy: {100 * agreement:.1f}% "
+          f"({len(classifier.families_)} families, chance = {100 / len(classifier.families_):.1f}%)")
+    print(f"{'family':14s} {'precision':>9s} {'recall':>7s} {'support':>8s}")
+    for report in classifier.evaluate(test_sources, test_families):
+        print(f"{report.family:14s} {report.precision:9.2f} {report.recall:7.2f} {report.support:8d}")
+
+    assert agreement >= 2.0 / len(classifier.families_)  # well above chance

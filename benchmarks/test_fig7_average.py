@@ -1,0 +1,38 @@
+"""Figure 7 — average performance over the four obfuscators.
+
+The paper's summary chart: mean accuracy / F1 / FPR / FNR of each detector
+across the obfuscated test sets, with JSRevealer's average F1 topping the
+comparison.  This bench prints the averaged bars as a table.
+"""
+
+import pytest
+
+from repro.bench import DETECTOR_ORDER
+
+
+@pytest.mark.figure
+def test_fig7_average_metrics(comparison, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    print("\nFigure 7 — average metrics (%) over the four obfuscators "
+          f"(averaged over {comparison.repetitions} repetitions)")
+    print(f"{'Detector':14s} {'Acc':>8s} {'F1':>8s} {'FPR':>8s} {'FNR':>8s}")
+    rows = {}
+    for detector in DETECTOR_ORDER:
+        rows[detector] = {
+            metric: comparison.average_over_obfuscators(detector, metric)
+            for metric in ("accuracy", "f1", "fpr", "fnr")
+        }
+        r = rows[detector]
+        print(f"{detector:14s} {r['accuracy']:8.1f} {r['f1']:8.1f} {r['fpr']:8.1f} {r['fnr']:8.1f}")
+    print("paper average F1: cujo 63.2, zozzle 62.5, jast 66.1, jstap 61.9, jsrevealer 84.8")
+
+    # Shape checks: all averages are valid percentages and JSRevealer's
+    # average F1 is in the usable band the paper reports.
+    for r in rows.values():
+        for value in r.values():
+            assert 0.0 <= value <= 100.0
+    assert rows["jsrevealer"]["f1"] >= 60.0
+    # Error rates stay bounded for JSRevealer (paper: within 30% of clean).
+    assert rows["jsrevealer"]["fpr"] <= 45.0
+    assert rows["jsrevealer"]["fnr"] <= 45.0

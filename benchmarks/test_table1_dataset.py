@@ -1,0 +1,29 @@
+"""Table I — dataset composition.
+
+The paper lists five data sources (three malicious, two benign).  Our
+substitution maps each source to synthetic generator families (DESIGN.md);
+this bench prints the mapping with the paper's original counts and the
+bench-scale counts actually generated, and times corpus generation.
+"""
+
+import pytest
+
+from repro.datasets import TABLE1_SOURCES, build_corpus
+
+
+@pytest.mark.table
+def test_table1_dataset_composition(benchmark):
+    corpus = benchmark(build_corpus, 60, 60, 0)
+    assert len(corpus) == 120
+
+    print("\nTable I — dataset composition (paper source -> generator families)")
+    print(f"{'Class':10s} {'Source':38s} {'#JS (paper)':>12s}  families")
+    for klass, source, count, families in TABLE1_SOURCES:
+        print(f"{klass:10s} {source:38s} {count:>12,d}  {', '.join(families)}")
+
+    by_family = {}
+    for family in corpus.families:
+        by_family[family] = by_family.get(family, 0) + 1
+    print("\nBench-scale corpus actually generated:")
+    for family in sorted(by_family):
+        print(f"  {family:28s} {by_family[family]:4d}")

@@ -1,0 +1,68 @@
+"""Table III — average F1 on obfuscated data for K values around the elbow.
+
+The paper searches cluster counts near the elbow values and settles on
+K_benign=11, K_malicious=10 by average F1 over the four obfuscated test
+sets.  This bench sweeps a (smaller) grid around our elbow values and
+prints the grid.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import bench_params, default_jsrevealer_config
+from repro.core import JSRevealer
+from repro.datasets import experiment_split
+from repro.ml import f1_score
+from repro.obfuscation import ALL_OBFUSCATORS
+
+K_BENIGN_GRID = (5, 7, 9)
+K_MALICIOUS_GRID = (4, 6, 8)
+
+
+@pytest.mark.table
+def test_table3_k_value_grid(benchmark):
+    params = bench_params()
+    split = experiment_split(
+        seed=0,
+        pretrain_per_class=params["pretrain"],
+        train_per_class=params["train"],
+        test_per_class=max(params["test"] // 2, 10),
+        realistic=True,
+    )
+    obfuscated = {
+        name: split.test.obfuscated(cls(seed=99)) for name, cls in ALL_OBFUSCATORS.items()
+    }
+
+    # One shared embedder keeps the sweep affordable; only the clustering
+    # and classifier stages depend on K.
+    base = JSRevealer(default_jsrevealer_config())
+    base.pretrain(split.pretrain.sources, split.pretrain.labels)
+
+    grid = np.zeros((len(K_BENIGN_GRID), len(K_MALICIOUS_GRID)))
+    for i, kb in enumerate(K_BENIGN_GRID):
+        for j, km in enumerate(K_MALICIOUS_GRID):
+            detector = JSRevealer(default_jsrevealer_config(k_benign=kb, k_malicious=km))
+            detector.embedder = base.embedder  # reuse the pre-trained model
+            detector.fit(split.train.sources, split.train.labels)
+            f1s = []
+            for corpus in obfuscated.values():
+                predictions = detector.predict(corpus.sources)
+                f1s.append(100.0 * f1_score(corpus.label_array, predictions))
+            grid[i, j] = float(np.mean(f1s))
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    print("\nTable III — average F1 (%) on obfuscated data, K grid")
+    corner = "Kb / Km"
+    header = f"{corner:>8s}" + "".join(f"{km:>8d}" for km in K_MALICIOUS_GRID)
+    print(header)
+    for i, kb in enumerate(K_BENIGN_GRID):
+        print(f"{kb:>8d}" + "".join(f"{grid[i, j]:>8.1f}" for j in range(len(K_MALICIOUS_GRID))))
+    best = np.unravel_index(int(np.argmax(grid)), grid.shape)
+    print(f"best: K_benign={K_BENIGN_GRID[best[0]]}, K_malicious={K_MALICIOUS_GRID[best[1]]} "
+          f"({grid[best]:.1f}%)")
+    print("paper: best at K_benign=11, K_malicious=10 (84.8%)")
+
+    # Shape: the sweep must produce usable detectors everywhere on the grid.
+    assert grid.min() > 40.0
+    assert grid.max() <= 100.0

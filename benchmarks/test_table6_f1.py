@@ -1,0 +1,37 @@
+"""Table VI — F1-measure of the five detectors per obfuscator.
+
+Prints the F1 grid and checks the comprehensive-performance shape the
+paper reports in its Table VI discussion.
+"""
+
+import pytest
+
+from repro.bench import DETECTOR_ORDER, format_metric_table
+
+
+@pytest.mark.table
+def test_table6_f1_comparison(comparison, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    print("\nTable VI — F1 (%) per detector per obfuscator "
+          f"(averaged over {comparison.repetitions} repetitions)")
+    print(format_metric_table(comparison, "f1"))
+    print("\npaper rows (F1): cujo 80.8/69.0/49.8/67.2/66.7, zozzle 97.9/65.4/72.0/44.8/67.6,")
+    print("jast 98/84.9/32.2/58.2/89.1, jstap 99.1/62.6/18.0/68.1/98.8, jsrevealer 99.4/88.4/81.5/75.4/94.2")
+
+    # Clean F1 high for everyone, as in the paper's baseline column.
+    for detector in DETECTOR_ORDER:
+        assert comparison.metric(detector, "baseline", "f1") >= 75.0
+
+    averages = {d: comparison.average_over_obfuscators(d, "f1") for d in DETECTOR_ORDER}
+    print("\naverage F1 over obfuscators:", {k: round(v, 1) for k, v in averages.items()})
+    print("paper averages: cujo 63.2, zozzle 62.5, jast 66.1, jstap 61.9, jsrevealer 84.8")
+
+    # JSRevealer remains usable under every single obfuscator — the paper's
+    # "no catastrophic failure" property (its worst cell is 75.4; baselines
+    # bottom out at 18-45).
+    worst_jsr = min(
+        comparison.metric("jsrevealer", s, "f1") for s in ("javascript-obfuscator", "jfogs", "jsobfu", "jshaman")
+    )
+    assert worst_jsr >= 30.0
+    assert averages["jsrevealer"] >= 60.0

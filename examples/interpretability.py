@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Interpretability walk-through (the paper's RQ3 scenario).
+
+Trains JSRevealer, then inspects the most important cluster features: the
+forest importances, each cluster's class and size, and the central path a
+feature corresponds to.  The expected pattern (per the paper): benign
+features reflect *functionality implementation* while malicious features
+reflect *data manipulation*.
+
+Run:  python examples/interpretability.py
+"""
+
+from repro.core import JSRevealer, JSRevealerConfig
+from repro.datasets import experiment_split
+
+
+def main() -> None:
+    split = experiment_split(
+        seed=2, pretrain_per_class=15, train_per_class=40, test_per_class=5, realistic=True
+    )
+    detector = JSRevealer(
+        JSRevealerConfig(embed_dim=48, pretrain_epochs=10, k_benign=7, k_malicious=6, seed=2)
+    )
+    detector.pretrain(split.pretrain.sources, split.pretrain.labels)
+    detector.fit(split.train.sources, split.train.labels)
+
+    print("Top features by random-forest Gini importance\n")
+    print(f"{'rank':>4s} {'importance':>10s} {'class':>10s} {'members':>8s}  central path")
+    for rank, explanation in enumerate(detector.explain(top_n=8), start=1):
+        print(
+            f"{rank:>4d} {explanation.importance:>10.3f} {explanation.cluster_label:>10s} "
+            f"{explanation.cluster_size:>8d}  {explanation.central_path_signature[:100]}"
+        )
+
+    print("\nReading the central paths:")
+    print(" * benign clusters tend to run through FunctionDeclaration /")
+    print("   BlockStatement / Property spines — functionality scaffolding;")
+    print(" * malicious clusters tend to run through BinaryExpression /")
+    print("   AssignmentExpression over literals and @dd-marked variables —")
+    print("   the data-manipulation focus the paper describes.")
+
+    counts = {"benign": 0, "malicious": 0}
+    for feature in detector.feature_extractor.features_:
+        counts[feature.label] += 1
+    print(f"\nfeature inventory: {counts['benign']} benign clusters + "
+          f"{counts['malicious']} malicious clusters "
+          f"(overlap-removed: {detector.feature_extractor.removed_overlaps_})")
+
+
+if __name__ == "__main__":
+    main()

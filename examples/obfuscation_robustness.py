@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Obfuscation robustness walk-through (the paper's RQ1/RQ2 scenario).
+
+Trains JSRevealer and the four comparison detectors on one corpus, then
+re-obfuscates the test set with each of the four tools and prints the full
+metric grid — a miniature of Tables V/VI and Figures 6/7.
+
+Run:  python examples/obfuscation_robustness.py
+"""
+
+from repro.baselines import ALL_BASELINES
+from repro.core import JSRevealer, JSRevealerConfig
+from repro.datasets import experiment_split
+from repro.ml import detection_report
+from repro.obfuscation import ALL_OBFUSCATORS
+
+
+def main() -> None:
+    split = experiment_split(
+        seed=1, pretrain_per_class=15, train_per_class=40, test_per_class=25, realistic=True
+    )
+
+    print("Training the four baselines…")
+    detectors = {}
+    for name, cls in ALL_BASELINES.items():
+        detectors[name] = cls().fit(split.train.sources, split.train.labels)
+
+    print("Training JSRevealer…")
+    jsrevealer = JSRevealer(
+        JSRevealerConfig(embed_dim=48, pretrain_epochs=10, k_benign=7, k_malicious=6, seed=1)
+    )
+    jsrevealer.pretrain(split.pretrain.sources, split.pretrain.labels)
+    jsrevealer.fit(split.train.sources, split.train.labels)
+    detectors["jsrevealer"] = jsrevealer
+
+    print("Obfuscating the test set with each tool…")
+    test_sets = {"clean": split.test}
+    for name, cls in ALL_OBFUSCATORS.items():
+        test_sets[name] = split.test.obfuscated(cls(seed=5))
+
+    print("\nF1 (%) per detector per test-set variant:")
+    header = f"{'Detector':12s}" + "".join(f"{name[:12]:>14s}" for name in test_sets)
+    print(header)
+    print("-" * len(header))
+    for det_name, detector in detectors.items():
+        row = f"{det_name:12s}"
+        for corpus in test_sets.values():
+            report = detection_report(corpus.label_array, detector.predict(corpus.sources))
+            row += f"{report.f1:14.1f}"
+        print(row)
+
+    print("\nAn individual script before/after obfuscation:")
+    sample = split.test.sources[0]
+    obfuscator = ALL_OBFUSCATORS["javascript-obfuscator"](seed=5)
+    mangled = obfuscator.obfuscate(sample)
+    print("--- original (first 240 chars) ---")
+    print(sample[:240])
+    print("--- obfuscated (first 240 chars) ---")
+    print(mangled[:240])
+    verdict = jsrevealer.predict([sample, mangled])
+    print(f"JSRevealer verdicts: original={'malicious' if verdict[0] else 'benign'}, "
+          f"obfuscated={'malicious' if verdict[1] else 'benign'}")
+
+
+if __name__ == "__main__":
+    main()

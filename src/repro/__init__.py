@@ -1,0 +1,20 @@
+"""JSRevealer reproduction: obfuscation-robust malicious JavaScript detection.
+
+Reproduces Ren et al., "JSRevealer: A Robust Malicious JavaScript Detector
+against Obfuscation" (DSN 2023), including every substrate: a JavaScript
+front end, data-flow analyses, an ML toolkit, outlier detection, the four
+obfuscators, and the four comparison detectors.
+
+Primary entry points::
+
+    from repro import JSRevealer, JSRevealerConfig
+    from repro.datasets import experiment_split
+    from repro.obfuscation import ALL_OBFUSCATORS
+    from repro.baselines import ALL_BASELINES
+"""
+
+from .core import JSRevealer, JSRevealerConfig
+
+__version__ = "1.0.0"
+
+__all__ = ["JSRevealer", "JSRevealerConfig", "__version__"]

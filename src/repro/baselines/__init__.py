@@ -1,0 +1,20 @@
+"""The four comparison detectors: CUJO, ZOZZLE, JAST, JSTAP.
+
+Each follows its published feature pipeline and exposes the fit/predict
+contract of :class:`repro.baselines.base.BaselineDetector`.
+"""
+
+from .base import BaselineDetector
+from .cujo import CUJO
+from .jast import JAST
+from .jstap import JSTAP
+from .zozzle import ZOZZLE
+
+ALL_BASELINES = {
+    "cujo": CUJO,
+    "zozzle": ZOZZLE,
+    "jast": JAST,
+    "jstap": JSTAP,
+}
+
+__all__ = ["BaselineDetector", "CUJO", "JAST", "JSTAP", "ZOZZLE", "ALL_BASELINES"]

@@ -1,0 +1,45 @@
+"""Shared contract for the four comparison detectors.
+
+Each baseline follows its published feature pipeline (token n-grams, AST
+features, PDG n-grams) and exposes the same fit/predict interface as
+:class:`repro.core.JSRevealer`, so the comparison benches can run all five
+detectors under one protocol.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.jsparser import JSSyntaxError
+
+
+class BaselineDetector:
+    """fit(sources, labels) / predict(sources) over JavaScript source text."""
+
+    name: str = "baseline"
+
+    def _features(self, sources: list[str]) -> np.ndarray:  # pragma: no cover
+        raise NotImplementedError
+
+    def fit(self, sources: list[str], labels) -> "BaselineDetector":  # pragma: no cover
+        raise NotImplementedError
+
+    def predict(self, sources: list[str]) -> np.ndarray:  # pragma: no cover
+        raise NotImplementedError
+
+
+def safe_parse_tokens(fn):
+    """Decorator-style helper: run ``fn(source)``, return [] on bad input.
+
+    Real corpora include unparseable fragments; every published baseline
+    skips them rather than crashing, and an empty feature stream classifies
+    from priors alone.
+    """
+
+    def wrapped(source: str):
+        try:
+            return fn(source)
+        except (JSSyntaxError, RecursionError):
+            return []
+
+    return wrapped

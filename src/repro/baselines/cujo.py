@@ -1,0 +1,71 @@
+"""CUJO baseline (static part).
+
+Rieck et al.'s CUJO extracts *token n-grams* from a lexical pass over the
+script (their ``Q``-grams over a simplified token stream) and classifies
+with a linear SVM.  The paper compares only against CUJO's static analysis
+stage, re-implemented by Fass et al.; we follow the same design:
+
+* lexical analysis with token abstraction — identifiers become ``ID``,
+  strings ``STR``, numbers ``NUM`` (CUJO's report normalizes this way),
+* 4-grams over the abstracted token sequence (CUJO's default q=4),
+* feature hashing into a fixed-width vector,
+* linear SVM.
+
+Because the features are *token-order* based, obfuscators that reorder or
+rewrite tokens inflate CUJO's false positives — the failure signature the
+paper's Fig. 6 shows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.jsparser import TokenType, tokenize
+from repro.ml import HashingVectorizer, LinearSVC, ngrams
+
+from .base import BaselineDetector, safe_parse_tokens
+
+
+def _abstract_token(token) -> str:
+    if token.type is TokenType.IDENTIFIER:
+        return "ID"
+    if token.type is TokenType.STRING or token.type is TokenType.TEMPLATE:
+        return "STR"
+    if token.type is TokenType.NUMERIC:
+        return "NUM"
+    if token.type is TokenType.REGEXP:
+        return "REGEX"
+    return token.value  # keywords and punctuators keep their spelling
+
+
+@safe_parse_tokens
+def _token_stream(source: str) -> list[str]:
+    return [_abstract_token(t) for t in tokenize(source)[:-1]]
+
+
+class CUJO(BaselineDetector):
+    """Static CUJO: abstracted token 4-grams + linear SVM.
+
+    Args:
+        n: n-gram order (CUJO default: 4).
+        n_features: Hashed feature width.
+        seed: SVM sampling seed.
+    """
+
+    name = "cujo"
+
+    def __init__(self, n: int = 4, n_features: int = 4096, seed: int = 0):
+        self.n = n
+        self.vectorizer = HashingVectorizer(n_features=n_features)
+        self.classifier = LinearSVC(C=1.0, n_iter=15, random_state=seed)
+
+    def _features(self, sources: list[str]) -> np.ndarray:
+        documents = [ngrams(_token_stream(source), self.n) for source in sources]
+        return self.vectorizer.transform(documents)
+
+    def fit(self, sources: list[str], labels) -> "CUJO":
+        self.classifier.fit(self._features(sources), np.asarray(labels, dtype=int))
+        return self
+
+    def predict(self, sources: list[str]) -> np.ndarray:
+        return self.classifier.predict(self._features(sources))

@@ -1,0 +1,61 @@
+"""JAST baseline.
+
+Fass et al.'s JAST traverses the AST in depth-first pre-order, records the
+sequence of *syntactic unit* names (the ESTree node types), extracts
+n-grams of that sequence (their production configuration uses n=4), and
+classifies the n-gram frequency vectors with a random forest.
+
+Because the features are purely structural (node types only — no names,
+no values), JAST is immune to renaming but highly sensitive to transforms
+that change AST shape (control-flow flattening, call fogging, string
+splitting), which is the mixed FPR/FNR behavior the paper reports.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.jsparser import parse, walk
+from repro.ml import CountVectorizer, RandomForestClassifier, ngrams
+
+from .base import BaselineDetector, safe_parse_tokens
+
+
+@safe_parse_tokens
+def _unit_sequence(source: str) -> list[str]:
+    return [node.type for node in walk(parse(source))]
+
+
+class JAST(BaselineDetector):
+    """JAST: AST syntactic-unit n-grams + random forest.
+
+    Args:
+        n: n-gram order (JAST production default: 4).
+        max_features: Vocabulary cap (frequency pruning).
+        seed: Forest seed.
+    """
+
+    name = "jast"
+
+    def __init__(self, n: int = 4, max_features: int = 4096, seed: int = 0):
+        self.n = n
+        self.vectorizer = CountVectorizer(max_features=max_features)
+        self.classifier = RandomForestClassifier(n_estimators=40, random_state=seed)
+
+    def fit(self, sources: list[str], labels) -> "JAST":
+        documents = [ngrams(_unit_sequence(source), self.n) for source in sources]
+        X = self.vectorizer.fit_transform(documents)
+        # Frequency vectors normalized by document length, as JAST does.
+        X = _normalize_rows(X)
+        self.classifier.fit(X, np.asarray(labels, dtype=int))
+        return self
+
+    def predict(self, sources: list[str]) -> np.ndarray:
+        documents = [ngrams(_unit_sequence(source), self.n) for source in sources]
+        X = _normalize_rows(self.vectorizer.transform(documents))
+        return self.classifier.predict(X)
+
+
+def _normalize_rows(X: np.ndarray) -> np.ndarray:
+    totals = X.sum(axis=1, keepdims=True)
+    return X / np.where(totals == 0, 1.0, totals)

@@ -1,0 +1,21 @@
+"""Benchmark harness shared by the table/figure reproduction benches."""
+
+from .harness import (
+    DETECTOR_ORDER,
+    SETTINGS,
+    ComparisonResult,
+    bench_params,
+    default_jsrevealer_config,
+    format_metric_table,
+    run_comparison,
+)
+
+__all__ = [
+    "DETECTOR_ORDER",
+    "SETTINGS",
+    "ComparisonResult",
+    "bench_params",
+    "default_jsrevealer_config",
+    "format_metric_table",
+    "run_comparison",
+]

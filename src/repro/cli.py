@@ -1,0 +1,128 @@
+"""Command-line interface: train, scan, and explain.
+
+Usage::
+
+    python -m repro.cli train  --out model_dir [--train-per-class 60] [--seed 0]
+    python -m repro.cli scan   --model model_dir file_or_dir [...]
+    python -m repro.cli explain --model model_dir [--top 5]
+
+``train`` fits on the synthetic corpus (the offline default); real
+deployments would swap in their own labeled corpus via the library API.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.core import JSRevealer, JSRevealerConfig
+from repro.core.persistence import load_detector, save_detector
+from repro.datasets import experiment_split
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    split = experiment_split(
+        seed=args.seed,
+        pretrain_per_class=args.pretrain_per_class,
+        train_per_class=args.train_per_class,
+        test_per_class=2,
+        realistic=True,
+    )
+    config = JSRevealerConfig(
+        embed_dim=args.embed_dim,
+        pretrain_epochs=args.epochs,
+        k_benign=args.k_benign,
+        k_malicious=args.k_malicious,
+        seed=args.seed,
+    )
+    detector = JSRevealer(config)
+    print(f"pre-training embedder on {len(split.pretrain)} scripts…", file=sys.stderr)
+    detector.pretrain(split.pretrain.sources, split.pretrain.labels)
+    print(f"fitting detector on {len(split.train)} scripts…", file=sys.stderr)
+    detector.fit(split.train.sources, split.train.labels)
+    save_detector(detector, args.out)
+    print(f"saved model to {args.out}")
+    return 0
+
+
+def _collect_files(paths: list[str]) -> list[Path]:
+    out: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            out.extend(sorted(path.glob("**/*.js")))
+        elif path.exists():
+            out.append(path)
+        else:
+            print(f"warning: {path} not found", file=sys.stderr)
+    return out
+
+
+def _cmd_scan(args: argparse.Namespace) -> int:
+    detector = load_detector(args.model)
+    files = _collect_files(args.paths)
+    if not files:
+        print("no input files", file=sys.stderr)
+        return 2
+    sources = [f.read_text(errors="replace") for f in files]
+    started = time.perf_counter()
+    probabilities = detector.predict_proba(sources)
+    elapsed = time.perf_counter() - started
+    exit_code = 0
+    for path, proba in zip(files, probabilities):
+        malicious = proba[1] >= args.threshold
+        exit_code = 1 if malicious else exit_code
+        verdict = "MALICIOUS" if malicious else "clean"
+        print(f"{verdict:9s}  P={proba[1]:.3f}  {path}")
+    print(f"# scanned {len(files)} files in {elapsed:.2f}s "
+          f"({1000 * elapsed / len(files):.1f} ms/file)", file=sys.stderr)
+    return exit_code
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    detector = load_detector(args.model)
+    print(f"{'importance':>10s} {'class':>10s}  central path")
+    for explanation in detector.explain(top_n=args.top):
+        print(f"{explanation.importance:>10.3f} {explanation.cluster_label:>10s}  "
+              f"{explanation.central_path_signature[:120]}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    train = sub.add_parser("train", help="train on the synthetic corpus and save a model")
+    train.add_argument("--out", required=True, help="output model directory")
+    train.add_argument("--seed", type=int, default=0)
+    train.add_argument("--train-per-class", type=int, default=60)
+    train.add_argument("--pretrain-per-class", type=int, default=20)
+    train.add_argument("--embed-dim", type=int, default=64)
+    train.add_argument("--epochs", type=int, default=12)
+    train.add_argument("--k-benign", type=int, default=11)
+    train.add_argument("--k-malicious", type=int, default=10)
+    train.set_defaults(fn=_cmd_train)
+
+    scan = sub.add_parser("scan", help="scan .js files/directories with a saved model")
+    scan.add_argument("--model", required=True)
+    scan.add_argument("--threshold", type=float, default=0.5)
+    scan.add_argument("paths", nargs="+")
+    scan.set_defaults(fn=_cmd_scan)
+
+    explain = sub.add_parser("explain", help="show a saved model's top features")
+    explain.add_argument("--model", required=True)
+    explain.add_argument("--top", type=int, default=5)
+    explain.set_defaults(fn=_cmd_explain)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,35 @@
+"""JSRevealer core: the paper's primary contribution.
+
+Public surface::
+
+    from repro.core import JSRevealer, JSRevealerConfig
+
+    detector = JSRevealer(JSRevealerConfig(k_benign=11, k_malicious=10))
+    detector.pretrain(pretrain_sources, pretrain_labels)
+    detector.fit(train_sources, train_labels)
+    labels = detector.predict(test_sources)
+    report = detector.explain(top_n=5)
+"""
+
+from .config import JSRevealerConfig, default_classifier
+from .families import FamilyClassifier, FamilyReport
+from .detector import Explanation, JSRevealer
+from .features import ClusterFeature, FeatureExtractor
+from .kselect import ElbowResult, elbow_curve, find_elbow
+from .persistence import load_detector, save_detector
+
+__all__ = [
+    "JSRevealerConfig",
+    "FamilyClassifier",
+    "FamilyReport",
+    "load_detector",
+    "save_detector",
+    "default_classifier",
+    "Explanation",
+    "JSRevealer",
+    "ClusterFeature",
+    "FeatureExtractor",
+    "ElbowResult",
+    "elbow_curve",
+    "find_elbow",
+]

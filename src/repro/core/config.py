@@ -1,0 +1,70 @@
+"""Configuration for the JSRevealer pipeline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.ml import RandomForestClassifier
+
+
+def default_classifier():
+    """The paper's final choice (Table II): a random forest."""
+    return RandomForestClassifier(n_estimators=60, random_state=0)
+
+
+@dataclass
+class JSRevealerConfig:
+    """All tunables of the pipeline, with the paper's defaults.
+
+    Attributes:
+        k_benign: Bisecting-K-Means cluster count on benign path vectors
+            (paper's final value: 11).
+        k_malicious: Cluster count on malicious path vectors (paper: 10).
+        embed_dim: Path-embedding size d (paper: 300; tests shrink it).
+        pretrain_epochs: Embedding pre-training epochs (paper: 100; the
+            library default is lower because our numpy trainer converges on
+            the synthetic corpus far earlier).
+        max_path_length / max_path_width: Path-extraction bounds (12, 4).
+        use_dataflow: enhanced AST (True) vs regular AST ablation (False).
+        contamination: Expected outlier fraction for FastABOD.
+        overlap_threshold: Benign/malicious cluster pairs whose center
+            distance is below this multiple of their combined radius are
+            dropped as "high-overlap" features.
+        max_paths_per_script: Cap on embedded paths per script (weight-
+            ranked) to bound cost on pathological inputs.
+        assign_radius_factor: Cluster-membership cutoff multiplier for
+            feature aggregation (see FeatureExtractor).
+        use_metaod: Run the MetaOD-style selector instead of hardwiring
+            FastABOD (the selector picks FastABOD on this data; keeping it
+            off by default avoids re-running the zoo on every fit).
+        classifier_factory: Builds the final classifier.
+        seed: Global randomness seed.
+    """
+
+    k_benign: int = 11
+    k_malicious: int = 10
+    embed_dim: int = 300
+    pretrain_epochs: int = 30
+    pretrain_lr: float = 1e-3
+    max_path_length: int = 12
+    max_path_width: int = 4
+    use_dataflow: bool = True
+    contamination: float = 0.1
+    overlap_threshold: float = 0.25
+    max_paths_per_script: int = 300
+    assign_radius_factor: float = 1.0
+    assignment: str = "soft"
+    use_metaod: bool = False
+    classifier_factory: Callable = field(default=default_classifier)
+    seed: int = 0
+
+    def validate(self) -> None:
+        if self.k_benign < 1 or self.k_malicious < 1:
+            raise ValueError("cluster counts must be positive")
+        if self.embed_dim < 2:
+            raise ValueError("embed_dim must be at least 2")
+        if not 0.0 < self.contamination < 0.5:
+            raise ValueError("contamination must be in (0, 0.5)")
+        if self.overlap_threshold < 0.0:
+            raise ValueError("overlap_threshold must be non-negative")

@@ -1,0 +1,225 @@
+"""The JSRevealer detector: the paper's end-to-end pipeline.
+
+Stages (Fig. 1): path extraction → path embedding → feature extraction →
+classification.  The class exposes the paper's protocol directly:
+
+* :meth:`pretrain` — train the attention embedding model on a held-out
+  labeled set (the paper uses 5,000 scripts, 100 epochs).
+* :meth:`fit` — extract cluster features from the training corpus and fit
+  the final classifier (random forest by default).
+* :meth:`predict` / :meth:`predict_proba` — classify unseen scripts.
+* :meth:`explain` — the RQ3 interpretability view: top features by forest
+  importance with their central paths.
+
+Per-stage wall-clock accounting (for Table VIII) is kept in
+:attr:`stage_seconds`.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import defaultdict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.embedding import PathEmbedder
+from repro.jsparser import JSSyntaxError
+from repro.paths import PathContext, PathExtractor
+
+from .config import JSRevealerConfig
+from .features import FeatureExtractor
+
+
+@dataclass
+class Explanation:
+    """One row of the Table VII-style interpretability report."""
+
+    importance: float
+    cluster_label: str  # benign / malicious
+    central_path_signature: str
+    cluster_size: int
+
+
+class JSRevealer:
+    """Obfuscation-robust malicious JavaScript detector.
+
+    Usage::
+
+        detector = JSRevealer()
+        detector.pretrain(pretrain_sources, pretrain_labels)
+        detector.fit(train_sources, train_labels)
+        predictions = detector.predict(test_sources)
+
+    Labels are ``1`` = malicious, ``0`` = benign throughout.
+    """
+
+    def __init__(self, config: JSRevealerConfig | None = None):
+        self.config = config or JSRevealerConfig()
+        self.config.validate()
+        self.extractor = PathExtractor(
+            max_length=self.config.max_path_length,
+            max_width=self.config.max_path_width,
+            use_dataflow=self.config.use_dataflow,
+        )
+        self.embedder = PathEmbedder(
+            embed_dim=self.config.embed_dim,
+            epochs=self.config.pretrain_epochs,
+            lr=self.config.pretrain_lr,
+            seed=self.config.seed,
+        )
+        self.feature_extractor = FeatureExtractor(
+            k_benign=self.config.k_benign,
+            k_malicious=self.config.k_malicious,
+            contamination=self.config.contamination,
+            overlap_threshold=self.config.overlap_threshold,
+            use_metaod=self.config.use_metaod,
+            seed=self.config.seed,
+            assign_radius_factor=self.config.assign_radius_factor,
+            assignment=self.config.assignment,
+        )
+        self.classifier = self.config.classifier_factory()
+        self.stage_seconds: dict[str, float] = defaultdict(float)
+        self.stage_counts: dict[str, int] = defaultdict(int)
+        self._fitted = False
+
+    # ------------------------------------------------------------ plumbing
+
+    def _timed(self, stage: str):
+        detector = self
+
+        class _Timer:
+            def __enter__(self):
+                self.start = time.perf_counter()
+                return self
+
+            def __exit__(self, *exc):
+                detector.stage_seconds[stage] += time.perf_counter() - self.start
+                detector.stage_counts[stage] += 1
+                return False
+
+        return _Timer()
+
+    def extract_paths(self, source: str) -> list[PathContext]:
+        """Stage 1: parse + enhanced AST + bounded path contexts.
+
+        Unparseable sources yield no paths (real corpora contain fragments;
+        the paper's tooling skips them the same way).
+        """
+        with self._timed("path_extraction"):
+            try:
+                return self.extractor.extract_from_source(source)
+            except (JSSyntaxError, RecursionError):
+                return []
+
+    def embed_script(self, contexts: list[PathContext]) -> tuple[np.ndarray, np.ndarray]:
+        """Stage 2: FC-layer path vectors + attention weights."""
+        with self._timed("embedding"):
+            vectors, weights = self.embedder.embed(contexts)
+        if len(vectors) > self.config.max_paths_per_script:
+            top = np.argsort(weights)[::-1][: self.config.max_paths_per_script]
+            vectors, weights = vectors[top], weights[top]
+        return vectors, weights
+
+    # ------------------------------------------------------------- pretrain
+
+    def pretrain(self, sources: list[str], labels) -> "JSRevealer":
+        """Train the path-embedding model on a held-out labeled set."""
+        contexts = [self.extract_paths(source) for source in sources]
+        with self._timed("pretraining"):
+            self.embedder.fit(contexts, labels)
+        return self
+
+    # ------------------------------------------------------------------ fit
+
+    def fit(self, sources: list[str], labels) -> "JSRevealer":
+        """Extract cluster features from the training set, fit the forest."""
+        if not self.embedder.is_trained:
+            raise RuntimeError("call pretrain() before fit()")
+        labels = np.asarray(labels, dtype=int)
+        if len(sources) != len(labels):
+            raise ValueError("sources and labels length mismatch")
+
+        embedded: list[tuple[np.ndarray, np.ndarray]] = []
+        signatures: list[list[str]] = []
+        for source in sources:
+            contexts = self.extract_paths(source)
+            embedded.append(self.embed_script(contexts))
+            signatures.append([c.signature() for c in contexts])
+
+        benign_vectors, benign_sigs = self._pool(embedded, signatures, labels, 0)
+        malicious_vectors, malicious_sigs = self._pool(embedded, signatures, labels, 1)
+        with self._timed("feature_extraction"):
+            self.feature_extractor.fit(benign_vectors, malicious_vectors, benign_sigs, malicious_sigs)
+            X = self.feature_extractor.transform(embedded, fit_scaler=True)
+
+        with self._timed("classifier_training"):
+            self.classifier.fit(X, labels)
+        self._fitted = True
+        return self
+
+    def _pool(self, embedded, signatures, labels, label_value):
+        vectors = [v for (v, _), y in zip(embedded, labels) if y == label_value and len(v)]
+        sigs: list[str] = []
+        for (v, w), s, y in zip(embedded, signatures, labels):
+            if y == label_value and len(v):
+                # Path cap in embed_script may have dropped low-weight paths;
+                # regenerate signatures for the kept rows only when aligned.
+                sigs.extend(s[: len(v)] if len(s) >= len(v) else s + [""] * (len(v) - len(s)))
+        if not vectors:
+            raise ValueError(f"no paths pooled for label {label_value}")
+        return np.vstack(vectors), sigs
+
+    # -------------------------------------------------------------- predict
+
+    def features_for(self, sources: list[str]) -> np.ndarray:
+        """Normalized cluster-feature matrix for a batch of scripts."""
+        embedded = [self.embed_script(self.extract_paths(source)) for source in sources]
+        with self._timed("feature_transform"):
+            return self.feature_extractor.transform(embedded, fit_scaler=False)
+
+    def predict(self, sources: list[str]) -> np.ndarray:
+        if not self._fitted:
+            raise RuntimeError("JSRevealer used before fit()")
+        X = self.features_for(sources)
+        with self._timed("classifying"):
+            return self.classifier.predict(X)
+
+    def predict_proba(self, sources: list[str]) -> np.ndarray:
+        if not self._fitted:
+            raise RuntimeError("JSRevealer used before fit()")
+        X = self.features_for(sources)
+        with self._timed("classifying"):
+            return self.classifier.predict_proba(X)
+
+    # -------------------------------------------------------------- explain
+
+    def explain(self, top_n: int = 5) -> list[Explanation]:
+        """Top features by forest Gini importance, with central paths."""
+        if not self._fitted:
+            raise RuntimeError("JSRevealer used before fit()")
+        importances = getattr(self.classifier, "feature_importances_", None)
+        if importances is None:
+            raise RuntimeError("the configured classifier does not expose feature importances")
+        order = np.argsort(importances)[::-1][:top_n]
+        out = []
+        for index in order:
+            feature = self.feature_extractor.features_[int(index)]
+            out.append(
+                Explanation(
+                    importance=float(importances[index]),
+                    cluster_label=feature.label,
+                    central_path_signature=feature.central_path_signature,
+                    cluster_size=feature.size,
+                )
+            )
+        return out
+
+    # ---------------------------------------------------------------- stats
+
+    def mean_stage_ms(self) -> dict[str, float]:
+        """Average per-invocation stage cost in milliseconds (Table VIII)."""
+        return {
+            stage: 1000.0 * total / max(self.stage_counts[stage], 1)
+            for stage, total in self.stage_seconds.items()
+        }

@@ -1,0 +1,49 @@
+"""Cluster-count selection: the elbow method of Sec. IV-B / Figure 5."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ml import elbow_sse
+
+
+@dataclass
+class ElbowResult:
+    """SSE curve plus the detected elbow K."""
+
+    k_values: list[int]
+    sse: list[float]
+    elbow_k: int
+
+
+def find_elbow(k_values, sse) -> int:
+    """Locate the elbow by maximum distance to the chord.
+
+    Standard geometric elbow detection: draw the line between the first
+    and last (K, SSE) points (with both axes normalized) and pick the K
+    whose point lies farthest below that chord.
+    """
+    k_values = np.asarray(list(k_values), dtype=float)
+    sse = np.asarray(list(sse), dtype=float)
+    if len(k_values) != len(sse) or len(k_values) < 3:
+        raise ValueError("need at least 3 (K, SSE) points")
+
+    k_norm = (k_values - k_values[0]) / max(k_values[-1] - k_values[0], 1e-12)
+    span = max(sse[0] - sse[-1], 1e-12)
+    s_norm = (sse - sse[-1]) / span
+
+    # Chord from (0, s0) to (1, s_last) in normalized space.
+    chord = s_norm[0] + (s_norm[-1] - s_norm[0]) * k_norm
+    # Convex decreasing curves sit *below* the chord; the elbow is the K
+    # with the largest positive gap.
+    gaps = chord - s_norm
+    return int(k_values[int(np.argmax(gaps))])
+
+
+def elbow_curve(vectors, k_values=range(2, 16), seed: int = 0, bisecting: bool = True) -> ElbowResult:
+    """Compute the Figure 5 SSE curve on pooled path vectors."""
+    ks = list(k_values)
+    sse = elbow_sse(vectors, ks, random_state=seed, bisecting=bisecting)
+    return ElbowResult(k_values=ks, sse=sse, elbow_k=find_elbow(ks, sse))

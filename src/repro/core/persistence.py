@@ -1,0 +1,148 @@
+"""Save/load trained detectors — the deployment feature RQ4 implies.
+
+A trained :class:`~repro.core.detector.JSRevealer` consists of numpy
+parameter tensors (the embedding model), the cluster features (centers,
+radii, labels, central-path signatures), and the random-forest structure.
+Everything serializes into a single ``.npz`` plus a JSON sidecar inside a
+directory, with a format-version gate.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.ml import RandomForestClassifier
+
+from .config import JSRevealerConfig
+from .detector import JSRevealer
+from .features import ClusterFeature
+
+FORMAT_VERSION = 1
+
+
+def save_detector(detector: JSRevealer, directory: str | Path) -> Path:
+    """Persist a fitted detector to ``directory`` (created if missing)."""
+    if not detector._fitted:
+        raise ValueError("cannot save an unfitted detector")
+    if not isinstance(detector.classifier, RandomForestClassifier):
+        raise ValueError("persistence supports the default random-forest classifier")
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+
+    arrays: dict[str, np.ndarray] = {}
+    for name, tensor in detector.embedder.model.parameters().items():
+        arrays[f"embed_{name}"] = tensor
+    features = detector.feature_extractor.features_
+    arrays["centers"] = np.vstack([f.center for f in features])
+    arrays["radii"] = np.array([f.radius for f in features])
+    arrays["sizes"] = np.array([f.size for f in features])
+    np.savez_compressed(directory / "model.npz", **arrays)
+
+    config = detector.config
+    meta = {
+        "format_version": FORMAT_VERSION,
+        "config": {
+            "k_benign": config.k_benign,
+            "k_malicious": config.k_malicious,
+            "embed_dim": config.embed_dim,
+            "max_path_length": config.max_path_length,
+            "max_path_width": config.max_path_width,
+            "use_dataflow": config.use_dataflow,
+            "contamination": config.contamination,
+            "overlap_threshold": config.overlap_threshold,
+            "max_paths_per_script": config.max_paths_per_script,
+            "assign_radius_factor": config.assign_radius_factor,
+            "assignment": config.assignment,
+            "seed": config.seed,
+        },
+        "feature_labels": [f.label for f in features],
+        "feature_signatures": [f.central_path_signature for f in features],
+        "forest": _forest_to_dict(detector.classifier),
+    }
+    (directory / "model.json").write_text(json.dumps(meta))
+    return directory
+
+
+def load_detector(directory: str | Path) -> JSRevealer:
+    """Reconstruct a fitted detector from :func:`save_detector` output."""
+    directory = Path(directory)
+    meta = json.loads((directory / "model.json").read_text())
+    if meta.get("format_version") != FORMAT_VERSION:
+        raise ValueError(f"unsupported format version {meta.get('format_version')!r}")
+    arrays = np.load(directory / "model.npz")
+
+    config = JSRevealerConfig(**meta["config"])
+    detector = JSRevealer(config)
+
+    detector.embedder.model.load_parameters(
+        {name[len("embed_") :]: arrays[name] for name in arrays.files if name.startswith("embed_")}
+    )
+    detector.embedder._trained = True
+
+    features = []
+    for i, (label, signature) in enumerate(zip(meta["feature_labels"], meta["feature_signatures"])):
+        features.append(
+            ClusterFeature(
+                center=arrays["centers"][i],
+                label=label,
+                radius=float(arrays["radii"][i]),
+                size=int(arrays["sizes"][i]),
+                central_path_signature=signature,
+            )
+        )
+    detector.feature_extractor.features_ = features
+
+    detector.classifier = _forest_from_dict(meta["forest"])
+    detector._fitted = True
+    return detector
+
+
+# ------------------------------------------------------- forest (de)serialize
+
+
+def _forest_to_dict(forest: RandomForestClassifier) -> dict:
+    return {
+        "classes": [int(c) for c in forest.classes_],
+        "feature_importances": [float(v) for v in (forest.feature_importances_ if forest.feature_importances_ is not None else [])],
+        "trees": [_tree_to_dict(tree._root, tree.classes_) for tree in forest.estimators_],
+    }
+
+
+def _tree_to_dict(node, classes) -> dict:
+    if node.is_leaf:
+        return {"leaf": [float(p) for p in node.proba], "classes": [int(c) for c in classes]}
+    return {
+        "feature": int(node.feature),
+        "threshold": float(node.threshold),
+        "left": _tree_to_dict(node.left, classes),
+        "right": _tree_to_dict(node.right, classes),
+        "classes": [int(c) for c in classes],
+    }
+
+
+def _forest_from_dict(data: dict) -> RandomForestClassifier:
+    from repro.ml.tree import DecisionTreeClassifier, _Node
+
+    forest = RandomForestClassifier(n_estimators=max(len(data["trees"]), 1))
+    forest.classes_ = np.array(data["classes"])
+    forest.feature_importances_ = np.array(data["feature_importances"])
+
+    def rebuild(node_data) -> _Node:
+        if "leaf" in node_data:
+            return _Node(proba=np.array(node_data["leaf"]))
+        node = _Node(feature=node_data["feature"], threshold=node_data["threshold"])
+        node.left = rebuild(node_data["left"])
+        node.right = rebuild(node_data["right"])
+        return node
+
+    estimators = []
+    for tree_data in data["trees"]:
+        tree = DecisionTreeClassifier()
+        tree.classes_ = np.array(tree_data["classes"])
+        tree._root = rebuild(tree_data)
+        estimators.append(tree)
+    forest.estimators_ = estimators
+    return forest

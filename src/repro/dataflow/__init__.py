@@ -1,0 +1,24 @@
+"""Data-flow analyses: def-use chains, enhanced AST, CFG, PDG.
+
+The *enhanced AST* (AST + data-dependency edges) is the paper's central
+representation; the CFG/PDG exist for the JSTAP comparison baseline.
+"""
+
+from .cfg import CFG, build_cfg
+from .defuse import DefUseInfo, VarEvent, analyze_defuse
+from .enhanced_ast import DependencyEdge, EnhancedAST, build_enhanced_ast, build_regular_ast
+from .pdg import PDG, build_pdg
+
+__all__ = [
+    "CFG",
+    "build_cfg",
+    "DefUseInfo",
+    "VarEvent",
+    "analyze_defuse",
+    "DependencyEdge",
+    "EnhancedAST",
+    "build_enhanced_ast",
+    "build_regular_ast",
+    "PDG",
+    "build_pdg",
+]

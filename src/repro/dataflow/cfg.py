@@ -1,0 +1,216 @@
+"""Control-flow graph construction at statement granularity.
+
+JSTAP's "pdg" abstraction layers control- and data-flow edges over the AST;
+our JSTAP baseline (:mod:`repro.baselines.jstap`) consumes this CFG plus the
+def-use facts to build that program dependence graph.  Nodes are statement
+AST nodes; edges are possible successor relations.  The construction is
+intraprocedural and conservative (exceptions are not modeled; ``try`` blocks
+flow into their handlers and finalizers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from repro.jsparser import ast_nodes as ast
+
+#: Statement node types that form CFG nodes of their own.
+_BODY_TYPES = frozenset(
+    {
+        "ExpressionStatement",
+        "VariableDeclaration",
+        "ReturnStatement",
+        "BreakStatement",
+        "ContinueStatement",
+        "ThrowStatement",
+        "DebuggerStatement",
+        "EmptyStatement",
+        "FunctionDeclaration",
+    }
+)
+
+
+@dataclass
+class CFG:
+    """A control-flow graph over statement nodes.
+
+    The underlying storage is a :class:`networkx.DiGraph` whose node keys
+    are ``id(statement)``; ``node_of`` maps keys back to AST nodes.
+    """
+
+    graph: nx.DiGraph = field(default_factory=nx.DiGraph)
+    node_of: dict[int, ast.Node] = field(default_factory=dict)
+    entry: int | None = None
+
+    def add_node(self, stmt: ast.Node) -> int:
+        key = id(stmt)
+        if key not in self.node_of:
+            self.graph.add_node(key, type=stmt.type)
+            self.node_of[key] = stmt
+        return key
+
+    def add_edge(self, src: ast.Node, dst: ast.Node, kind: str = "flow") -> None:
+        self.graph.add_edge(self.add_node(src), self.add_node(dst), kind=kind)
+
+    @property
+    def statements(self) -> list[ast.Node]:
+        return list(self.node_of.values())
+
+    def successors(self, stmt: ast.Node) -> list[ast.Node]:
+        return [self.node_of[k] for k in self.graph.successors(id(stmt))]
+
+
+class _Builder:
+    """Recursive CFG builder; returns (first, exits) per statement list."""
+
+    def __init__(self) -> None:
+        self.cfg = CFG()
+        # (break targets, continue targets) stacks for loops/switches.
+        self._break_exits: list[list[ast.Node]] = []
+        self._continue_targets: list[ast.Node | None] = []
+
+    def build(self, program: ast.Program) -> CFG:
+        first, _ = self._sequence(program.body)
+        if first is not None:
+            self.cfg.entry = id(first)
+        # Functions get their own disconnected subgraphs.
+        return self.cfg
+
+    # ------------------------------------------------------------- sequences
+
+    def _sequence(self, body: list[ast.Node]) -> tuple[ast.Node | None, list[ast.Node]]:
+        """Wire a statement list; returns its first node and open exits."""
+        first: ast.Node | None = None
+        exits: list[ast.Node] = []
+        for stmt in body:
+            stmt_first, stmt_exits = self._statement(stmt)
+            if stmt_first is None:
+                continue
+            if first is None:
+                first = stmt_first
+            for open_exit in exits:
+                self.cfg.add_edge(open_exit, stmt_first)
+            exits = stmt_exits
+        return first, exits
+
+    # ------------------------------------------------------------ statements
+
+    def _statement(self, stmt: ast.Node) -> tuple[ast.Node | None, list[ast.Node]]:
+        type_ = stmt.type
+
+        if type_ in _BODY_TYPES:
+            self.cfg.add_node(stmt)
+            if type_ == "FunctionDeclaration":
+                self._function_body(stmt)
+            if type_ in ("ReturnStatement", "ThrowStatement", "BreakStatement", "ContinueStatement"):
+                if type_ == "BreakStatement" and self._break_exits:
+                    self._break_exits[-1].append(stmt)
+                elif type_ == "ContinueStatement" and self._continue_targets and self._continue_targets[-1] is not None:
+                    self.cfg.add_edge(stmt, self._continue_targets[-1], kind="back")
+                return stmt, []  # no fallthrough
+            return stmt, [stmt]
+
+        if type_ == "BlockStatement":
+            return self._sequence(stmt.body)
+
+        if type_ == "IfStatement":
+            self.cfg.add_node(stmt)
+            exits: list[ast.Node] = []
+            then_first, then_exits = self._statement(stmt.consequent)
+            if then_first is not None:
+                self.cfg.add_edge(stmt, then_first, kind="true")
+                exits.extend(then_exits)
+            else:
+                exits.append(stmt)
+            if stmt.alternate is not None:
+                else_first, else_exits = self._statement(stmt.alternate)
+                if else_first is not None:
+                    self.cfg.add_edge(stmt, else_first, kind="false")
+                    exits.extend(else_exits)
+                else:
+                    exits.append(stmt)
+            else:
+                exits.append(stmt)
+            return stmt, exits
+
+        if type_ in ("WhileStatement", "DoWhileStatement", "ForStatement", "ForInStatement", "ForOfStatement"):
+            return self._loop(stmt)
+
+        if type_ == "SwitchStatement":
+            self.cfg.add_node(stmt)
+            self._break_exits.append([])
+            previous_exits: list[ast.Node] = []
+            has_default = False
+            for case in stmt.cases:
+                has_default = has_default or case.test is None
+                case_first, case_exits = self._sequence(case.consequent)
+                if case_first is not None:
+                    self.cfg.add_edge(stmt, case_first, kind="case")
+                    for open_exit in previous_exits:  # fallthrough
+                        self.cfg.add_edge(open_exit, case_first)
+                    previous_exits = case_exits
+            exits = previous_exits + self._break_exits.pop()
+            if not has_default:
+                exits.append(stmt)
+            return stmt, exits
+
+        if type_ == "TryStatement":
+            block_first, block_exits = self._statement(stmt.block)
+            first = block_first
+            exits = list(block_exits)
+            if stmt.handler is not None:
+                handler_first, handler_exits = self._statement(stmt.handler.body)
+                if first is not None and handler_first is not None:
+                    self.cfg.add_edge(first, handler_first, kind="exception")
+                exits.extend(handler_exits)
+                if first is None:
+                    first = handler_first
+            if stmt.finalizer is not None:
+                fin_first, fin_exits = self._statement(stmt.finalizer)
+                if fin_first is not None:
+                    for open_exit in exits:
+                        self.cfg.add_edge(open_exit, fin_first)
+                    exits = fin_exits
+                    if first is None:
+                        first = fin_first
+            return first, exits
+
+        if type_ == "LabeledStatement":
+            return self._statement(stmt.body)
+
+        if type_ == "WithStatement":
+            self.cfg.add_node(stmt)
+            body_first, body_exits = self._statement(stmt.body)
+            if body_first is not None:
+                self.cfg.add_edge(stmt, body_first)
+                return stmt, body_exits
+            return stmt, [stmt]
+
+        # Unknown statement kinds become opaque nodes.
+        self.cfg.add_node(stmt)
+        return stmt, [stmt]
+
+    def _loop(self, stmt: ast.Node) -> tuple[ast.Node, list[ast.Node]]:
+        self.cfg.add_node(stmt)
+        self._break_exits.append([])
+        self._continue_targets.append(stmt)
+        body_first, body_exits = self._statement(stmt.body)
+        if body_first is not None:
+            self.cfg.add_edge(stmt, body_first, kind="true")
+            for open_exit in body_exits:
+                self.cfg.add_edge(open_exit, stmt, kind="back")
+        self._continue_targets.pop()
+        breaks = self._break_exits.pop()
+        return stmt, [stmt] + breaks
+
+    def _function_body(self, fn: ast.Node) -> None:
+        body = getattr(fn, "body", None)
+        if body is not None and body.type == "BlockStatement":
+            self._sequence(body.body)
+
+
+def build_cfg(program: ast.Program) -> CFG:
+    """Build the statement-level control-flow graph of a program."""
+    return _Builder().build(program)

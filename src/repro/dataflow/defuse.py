@@ -1,0 +1,129 @@
+"""Definition–use analysis over the scope-resolved AST.
+
+For every variable binding, classifies each reference as a *definition*
+(write) or a *use* (read), in source order.  The enhanced AST
+(:mod:`repro.dataflow.enhanced_ast`) connects each use to the definitions
+that may reach it; the PDG (:mod:`repro.dataflow.pdg`) consumes the same
+classification at statement granularity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.jsparser import ast_nodes as ast
+from repro.jsparser.scope import Binding, ScopeAnalyzer, analyze_scopes
+from repro.jsparser.visitor import walk_with_parent
+
+
+@dataclass
+class VarEvent:
+    """One read or write of a variable."""
+
+    binding: Binding
+    node: ast.Identifier
+    kind: str  # "def" | "use"
+    order: int  # pre-order index in the tree walk (source order proxy)
+
+
+@dataclass
+class DefUseInfo:
+    """All variable events for one program."""
+
+    analyzer: ScopeAnalyzer
+    events: list[VarEvent] = field(default_factory=list)
+    #: id(Identifier) -> VarEvent
+    event_of_node: dict[int, VarEvent] = field(default_factory=dict)
+
+    def events_for(self, binding: Binding) -> list[VarEvent]:
+        return [e for e in self.events if e.binding is binding]
+
+    def defs_for(self, binding: Binding) -> list[VarEvent]:
+        return [e for e in self.events if e.binding is binding and e.kind == "def"]
+
+    def uses_for(self, binding: Binding) -> list[VarEvent]:
+        return [e for e in self.events if e.binding is binding and e.kind == "use"]
+
+
+def _is_write(node: ast.Identifier, parent: ast.Node | None) -> bool:
+    """Is the identifier the target of an assignment/update/declaration?"""
+    if parent is None:
+        return False
+    if parent.type == "AssignmentExpression" and parent.left is node:
+        return True
+    if parent.type == "UpdateExpression" and parent.argument is node:
+        return True
+    if parent.type == "VariableDeclarator" and parent.id is node:
+        return False  # handled as declaration elsewhere; init decides
+    if parent.type in ("ForInStatement", "ForOfStatement") and parent.left is node:
+        return True
+    return False
+
+
+def analyze_defuse(program: ast.Program, analyzer: ScopeAnalyzer | None = None) -> DefUseInfo:
+    """Classify every resolved identifier reference as def or use.
+
+    Declaration identifiers with an initializer are recorded as definitions
+    even though scope analysis does not treat them as references;
+    compound assignments (``x += 1``) and updates (``x++``) count as *both*
+    a use and a definition — the use event is emitted first.
+    """
+    if analyzer is None:
+        analyzer = analyze_scopes(program)
+    info = DefUseInfo(analyzer)
+    order = 0
+
+    for node, parent in walk_with_parent(program):
+        order += 1
+        if node.type != "Identifier":
+            continue
+
+        # Declarations with init: `var x = e` defines x.
+        if parent is not None and parent.type == "VariableDeclarator" and parent.id is node:
+            binding = analyzer.global_scope.resolve(node.name) or _resolve_in_any(analyzer, node.name)
+            binding = _binding_for_declarator(analyzer, node, parent) or binding
+            if binding is not None and parent.init is not None:
+                event = VarEvent(binding, node, "def", order)
+                info.events.append(event)
+                info.event_of_node[id(node)] = event
+            continue
+
+        binding = analyzer.binding_of_ref.get(id(node))
+        if binding is None:
+            continue
+
+        compound = (
+            parent is not None
+            and parent.type == "AssignmentExpression"
+            and parent.left is node
+            and parent.operator != "="
+        ) or (parent is not None and parent.type == "UpdateExpression")
+
+        if compound:
+            info.events.append(VarEvent(binding, node, "use", order))
+            event = VarEvent(binding, node, "def", order)
+        elif _is_write(node, parent):
+            event = VarEvent(binding, node, "def", order)
+        else:
+            event = VarEvent(binding, node, "use", order)
+        info.events.append(event)
+        info.event_of_node[id(node)] = event
+
+    return info
+
+
+def _binding_for_declarator(analyzer: ScopeAnalyzer, node: ast.Identifier, declarator) -> Binding | None:
+    """Find the binding a declarator's id belongs to (it isn't a reference)."""
+    for scope in analyzer.global_scope.iter_scopes():
+        binding = scope.bindings.get(node.name)
+        if binding is not None and declarator in binding.declarations:
+            return binding
+    # Fall back to name resolution from the global scope downward.
+    return _resolve_in_any(analyzer, node.name)
+
+
+def _resolve_in_any(analyzer: ScopeAnalyzer, name: str) -> Binding | None:
+    for scope in analyzer.global_scope.iter_scopes():
+        if name in scope.bindings:
+            return scope.bindings[name]
+    return None

@@ -1,0 +1,30 @@
+"""Synthetic JavaScript corpora (the dataset substitution of DESIGN.md).
+
+Seeded generators produce benign scripts (functionality-implementation
+heavy) and inert malicious scripts (data-manipulation heavy), plus corpus
+assembly utilities implementing the paper's experimental protocol.
+"""
+
+from .benign import BENIGN_FAMILIES, generate_benign
+from .corpus import (
+    TABLE1_SOURCES,
+    Corpus,
+    ExperimentSplit,
+    build_corpus,
+    build_realistic_corpus,
+    experiment_split,
+)
+from .malicious import MALICIOUS_FAMILIES, generate_malicious
+
+__all__ = [
+    "BENIGN_FAMILIES",
+    "generate_benign",
+    "TABLE1_SOURCES",
+    "Corpus",
+    "ExperimentSplit",
+    "build_corpus",
+    "build_realistic_corpus",
+    "experiment_split",
+    "MALICIOUS_FAMILIES",
+    "generate_malicious",
+]

@@ -1,0 +1,474 @@
+"""Synthetic *benign* JavaScript generators.
+
+Six families modeled on the populations of the paper's benign corpora (the
+150k JavaScript Dataset and Alexa Top-10k crawls): UI widget setup, config
+/option plumbing, DOM utilities, AJAX data loading, form validation, and
+animation helpers.  Per the paper's RQ3 finding, benign code is dominated
+by *functionality implementation* — function scaffolding, option objects,
+event wiring — which these templates deliberately emphasize.
+
+Every generator takes a seeded ``numpy`` RNG and returns JavaScript source
+that parses with :mod:`repro.jsparser`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .builders import IdentifierPool, random_int, random_string
+
+
+def _widget_setup(rng: np.random.Generator, ids: IdentifierPool) -> str:
+    fn = ids.fresh_function()
+    opts, controls, width, height = (ids.fresh_var() for _ in range(4))
+    target = ids.dom_id()
+    autoplay = "true" if rng.random() < 0.5 else "false"
+    return f"""
+function {fn}({opts}) {{
+  var {controls} = {opts}.controls;
+  var {width} = {opts}.width || {random_int(rng, 100, 900)};
+  var {height} = {opts}.height || {random_int(rng, 60, 600)};
+  if ({controls}) {{
+    {controls}.autoplay = {autoplay};
+    {controls}.volume = {random_int(rng, 1, 10)} / 10;
+  }}
+  var element = document.getElementById("{target}");
+  if (element) {{
+    element.style.width = {width} + "px";
+    element.style.height = {height} + "px";
+  }}
+  return {{ width: {width}, height: {height}, controls: {controls} }};
+}}
+{fn}({{ controls: {{ autoplay: false }}, width: {random_int(rng, 200, 800)} }});
+"""
+
+
+def _config_module(rng: np.random.Generator, ids: IdentifierPool) -> str:
+    cfg, defaults, merge = ids.fresh_var(), ids.fresh_var(), ids.fresh_function()
+    keys = [ids.fresh_var() for _ in range(3)]
+    values = [random_int(rng, 1, 100) for _ in range(3)]
+    return f"""
+var {defaults} = {{
+  {keys[0]}: {values[0]},
+  {keys[1]}: {values[1]},
+  {keys[2]}: "{random_string(rng)}",
+  enabled: true
+}};
+function {merge}(base, extra) {{
+  var out = {{}};
+  for (var key in base) {{
+    out[key] = base[key];
+  }}
+  for (var key2 in extra) {{
+    out[key2] = extra[key2];
+  }}
+  return out;
+}}
+var {cfg} = {merge}({defaults}, {{ {keys[1]}: {random_int(rng, 100, 999)} }});
+console.log({cfg}.{keys[0]}, {cfg}.enabled);
+"""
+
+
+def _dom_utility(rng: np.random.Generator, ids: IdentifierPool) -> str:
+    fn, items, out, cls = ids.fresh_function(), ids.fresh_var(), ids.fresh_var(), random_string(rng, 1)
+    return f"""
+function {fn}(selector) {{
+  var {items} = document.querySelectorAll(selector);
+  var {out} = [];
+  for (var i = 0; i < {items}.length; i++) {{
+    var node = {items}[i];
+    if (node.className.indexOf("{cls}") === -1) {{
+      node.className = node.className + " {cls}";
+      {out}.push(node.id);
+    }}
+  }}
+  return {out};
+}}
+var updated = {fn}(".{ids.dom_id()}");
+if (updated.length > {random_int(rng, 0, 5)}) {{
+  console.log("updated", updated.length, "nodes");
+}}
+"""
+
+
+def _ajax_loader(rng: np.random.Generator, ids: IdentifierPool) -> str:
+    fn, url, handler = ids.fresh_function(), ids.fresh_var(), ids.fresh_function()
+    endpoint = f"/api/{random_string(rng, 1)}/{random_int(rng, 1, 99)}"
+    return f"""
+function {handler}(response) {{
+  var parsed = JSON.parse(response);
+  var items = parsed.items || [];
+  var total = 0;
+  for (var i = 0; i < items.length; i++) {{
+    total = total + (items[i].count || 0);
+  }}
+  return total;
+}}
+function {fn}(callback) {{
+  var {url} = "{endpoint}";
+  var request = new XMLHttpRequest();
+  request.open("GET", {url}, true);
+  request.onreadystatechange = function() {{
+    if (request.readyState === 4 && request.status === 200) {{
+      callback({handler}(request.responseText));
+    }}
+  }};
+  request.send(null);
+}}
+{fn}(function(total) {{ console.log("total", total); }});
+"""
+
+
+def _form_validation(rng: np.random.Generator, ids: IdentifierPool) -> str:
+    fn, field, errors = ids.fresh_function(), ids.fresh_var(), ids.fresh_var()
+    min_len = random_int(rng, 3, 8)
+    return f"""
+function {fn}(form) {{
+  var {errors} = [];
+  var {field} = form.username;
+  if (!{field} || {field}.length < {min_len}) {{
+    {errors}.push("username too short");
+  }}
+  var email = form.email;
+  if (!email || email.indexOf("@") === -1) {{
+    {errors}.push("invalid email");
+  }}
+  var age = parseInt(form.age, 10);
+  if (isNaN(age) || age < {random_int(rng, 13, 21)} || age > 120) {{
+    {errors}.push("invalid age");
+  }}
+  return {{ valid: {errors}.length === 0, errors: {errors} }};
+}}
+var check = {fn}({{ username: "{random_string(rng, 1)}", email: "a@b.c", age: "{random_int(rng, 18, 80)}" }});
+if (!check.valid) {{
+  console.warn(check.errors.join(", "));
+}}
+"""
+
+
+def _animation_helper(rng: np.random.Generator, ids: IdentifierPool) -> str:
+    fn, step, duration = ids.fresh_function(), ids.fresh_var(), random_int(rng, 200, 2000)
+    return f"""
+function {fn}(element, target) {{
+  var start = element.offsetLeft;
+  var distance = target - start;
+  var {step} = 0;
+  var frames = {random_int(rng, 10, 60)};
+  function tick() {{
+    {step} = {step} + 1;
+    var progress = {step} / frames;
+    if (progress > 1) {{
+      progress = 1;
+    }}
+    element.style.left = (start + distance * progress) + "px";
+    if (progress < 1) {{
+      setTimeout(tick, {duration} / frames);
+    }}
+  }}
+  tick();
+}}
+var box = document.getElementById("{ids.dom_id()}");
+if (box) {{
+  {fn}(box, {random_int(rng, 50, 500)});
+}}
+"""
+
+
+def _analytics_snippet(rng: np.random.Generator, ids: IdentifierPool) -> str:
+    """Legitimate analytics: reads cookies, escapes data, pings a beacon —
+    the same API surface skimmers use, on behalf of the site owner."""
+    fn, visitor, beacon = ids.fresh_function(), ids.fresh_var(), ids.fresh_var()
+    cookie_name = random_string(rng, 1)
+    return f"""
+function {fn}() {{
+  var {visitor} = null;
+  var parts = document.cookie.split("; ");
+  for (var i = 0; i < parts.length; i++) {{
+    if (parts[i].indexOf("{cookie_name}=") === 0) {{
+      {visitor} = parts[i].substring({len(cookie_name) + 1});
+    }}
+  }}
+  if (!{visitor}) {{
+    {visitor} = "v" + Math.floor(Math.random() * {random_int(rng, 10000, 99999)});
+    document.cookie = "{cookie_name}=" + {visitor} + "; path=/";
+  }}
+  var {beacon} = new Image();
+  {beacon}.src = "/stats/hit?uid=" + escape({visitor}) + "&page=" + escape(location.pathname);
+  return {visitor};
+}}
+{fn}();
+"""
+
+
+def _lazy_loader(rng: np.random.Generator, ids: IdentifierPool) -> str:
+    """Legitimate deferred script loading: builds and writes a script tag —
+    the same document.write pattern staged malicious loaders use."""
+    fn, src_var = ids.fresh_function(), ids.fresh_var()
+    vendor = random_string(rng, 1)
+    return f"""
+function {fn}(path, async) {{
+  var {src_var} = "/vendor/{vendor}/" + path + ".js";
+  if (document.readyState === "loading") {{
+    document.write("<script src='" + {src_var} + "'><" + "/script>");
+  }} else {{
+    var tag = document.createElement("script");
+    tag.src = {src_var};
+    tag.async = async === true;
+    document.head.appendChild(tag);
+  }}
+}}
+{fn}("{random_string(rng, 1)}", true);
+{fn}("{random_string(rng, 1)}", false);
+"""
+
+
+def _codec_polyfill(rng: np.random.Generator, ids: IdentifierPool) -> str:
+    """Legitimate base64-ish codec polyfill: charCode arithmetic in loops —
+    a structural twin of malicious payload decoders."""
+    enc, dec, table = ids.fresh_function(), ids.fresh_function(), ids.fresh_var()
+    return f"""
+var {table} = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+function {enc}(input) {{
+  var output = "";
+  for (var i = 0; i < input.length; i = i + 3) {{
+    var a = input.charCodeAt(i);
+    var b = input.charCodeAt(i + 1) || 0;
+    var c = input.charCodeAt(i + 2) || 0;
+    output = output + {table}.charAt(a >> 2);
+    output = output + {table}.charAt(((a & 3) << 4) | (b >> 4));
+    output = output + {table}.charAt(((b & 15) << 2) | (c >> 6));
+    output = output + {table}.charAt(c & 63);
+  }}
+  return output;
+}}
+function {dec}(input) {{
+  var output = "";
+  for (var j = 0; j < input.length; j++) {{
+    var code = {table}.indexOf(input.charAt(j));
+    if (code >= 0) {{
+      output = output + String.fromCharCode(code + {random_int(rng, 1, 5)});
+    }}
+  }}
+  return output;
+}}
+var roundtrip = {dec}({enc}("{random_string(rng, 2)}"));
+console.log(roundtrip.length);
+"""
+
+
+def _hash_utility(rng: np.random.Generator, ids: IdentifierPool) -> str:
+    """Legitimate string-hash helper (cache keys, ETags): integer mixing in
+    a tight loop — a structural twin of cryptojacker inner loops."""
+    fn, seed_var = ids.fresh_function(), random_int(rng, 1, 5381)
+    return f"""
+function {fn}(text) {{
+  var hash = {seed_var};
+  for (var i = 0; i < text.length; i++) {{
+    hash = ((hash << 5) + hash + text.charCodeAt(i)) & 0x7fffffff;
+    hash = hash ^ (hash >> {random_int(rng, 3, 11)});
+  }}
+  return hash;
+}}
+var cacheKey = {fn}("{random_string(rng, 2)}") + "-" + {fn}(location.pathname);
+sessionStorage.setItem("cache-" + cacheKey, String(Date.now ? Date.now() : 0));
+"""
+
+
+def _template_engine(rng: np.random.Generator, ids: IdentifierPool) -> str:
+    """Legitimate micro-templating: assembles HTML strings piecewise and
+    writes them into the document — like staged loaders, but benign."""
+    fn, parts_var = ids.fresh_function(), ids.fresh_var()
+    tag = str(rng.choice(["div", "span", "li", "td", "p"]))
+    return f"""
+function {fn}(items) {{
+  var {parts_var} = [];
+  for (var i = 0; i < items.length; i++) {{
+    var row = "<{tag} class='item'>";
+    row = row + items[i].name;
+    row = row + "</{tag}>";
+    {parts_var}.push(row);
+  }}
+  return {parts_var}.join("");
+}}
+var markup = {fn}([{{ name: "{random_string(rng, 1)}" }}, {{ name: "{random_string(rng, 1)}" }}]);
+document.getElementById("{ids.dom_id()}").innerHTML = markup;
+"""
+
+
+def _querystring_parser(rng: np.random.Generator, ids: IdentifierPool) -> str:
+    """Legitimate query-string parsing: the classic ``unescape`` loop every
+    pre-URLSearchParams site shipped — same host API heap sprays use."""
+    fn, params_var = ids.fresh_function(), ids.fresh_var()
+    default_key = random_string(rng, 1)
+    return f"""
+function {fn}(query) {{
+  var {params_var} = {{}};
+  if (query.charAt(0) === "?") {{
+    query = query.substring(1);
+  }}
+  var pairs = query.split("&");
+  for (var i = 0; i < pairs.length; i++) {{
+    var kv = pairs[i].split("=");
+    if (kv.length === 2) {{
+      {params_var}[unescape(kv[0])] = unescape(kv[1].replace(/\\+/g, " "));
+    }}
+  }}
+  return {params_var};
+}}
+var parsed = {fn}(location.search || "?{default_key}={random_int(rng, 1, 99)}");
+console.log(parsed["{default_key}"]);
+"""
+
+
+def _live_feed(rng: np.random.Generator, ids: IdentifierPool) -> str:
+    """Legitimate live updates over WebSocket: the same socket+JSON+loop
+    surface cryptojackers use, serving price tickers and chat widgets."""
+    conn, handler, retry = ids.fresh_var(), ids.fresh_function(), ids.fresh_var()
+    channel = random_string(rng, 1)
+    return f"""
+var {retry} = 0;
+function {handler}(update) {{
+  var rows = update.items || [];
+  var html = "";
+  for (var i = 0; i < rows.length; i++) {{
+    html = html + "<li>" + rows[i].label + ": " + rows[i].value + "</li>";
+  }}
+  document.getElementById("{ids.dom_id()}").innerHTML = html;
+}}
+var {conn} = new WebSocket("wss://feed.example.com/{channel}");
+{conn}.onmessage = function(msg) {{
+  {handler}(JSON.parse(msg.data));
+}};
+{conn}.onclose = function() {{
+  {retry} = {retry} + 1;
+  if ({retry} < {random_int(rng, 3, 9)}) {{
+    setTimeout(function() {{ {conn} = new WebSocket("wss://feed.example.com/{channel}"); }}, 1000 * {retry});
+  }}
+}};
+"""
+
+
+def _json_fallback(rng: np.random.Generator, ids: IdentifierPool) -> str:
+    """Legitimate JSON parsing with the classic eval fallback (json2.js
+    era) — benign code *does* eval, which is why eval presence alone
+    cannot separate the classes."""
+    fn, cache = ids.fresh_function(), ids.fresh_var()
+    key = random_string(rng, 1)
+    return f"""
+var {cache} = {{}};
+function {fn}(text) {{
+  if ({cache}[text]) {{
+    return {cache}[text];
+  }}
+  var value = null;
+  if (typeof JSON !== "undefined" && JSON.parse) {{
+    value = JSON.parse(text);
+  }} else if (/^[\\],:{{}}\\s0-9.\\-+Eaeflnr-u "]+$/.test(text)) {{
+    value = eval("(" + text + ")");
+  }}
+  {cache}[text] = value;
+  return value;
+}}
+var settings = {fn}('{{"{key}": {random_int(rng, 1, 99)}}}');
+if (settings && settings.{key} > 0) {{
+  console.log(settings.{key});
+}}
+"""
+
+
+def _module_bundle(rng: np.random.Generator, ids: IdentifierPool) -> str:
+    """Bundler output (webpack-style): an IIFE over a module table with a
+    dispatching require function — the benign origin of the IIFE/dispatch
+    structures obfuscators also emit."""
+    fn_a, fn_b = ids.fresh_function(), ids.fresh_function()
+    pad_width = random_int(rng, 2, 8)
+    return f"""
+(function(modules) {{
+  var cache = {{}};
+  function load(id) {{
+    if (cache[id]) {{
+      return cache[id].exports;
+    }}
+    var module = {{ exports: {{}} }};
+    cache[id] = module;
+    modules[id](module, module.exports, load);
+    return module.exports;
+  }}
+  load(0);
+}})([
+  function(module, exports, load) {{
+    var util = load(1);
+    exports.{fn_a} = function(value) {{
+      return util.{fn_b}(String(value), {pad_width});
+    }};
+    exports.{fn_a}("{random_string(rng, 1)}");
+  }},
+  function(module, exports, load) {{
+    exports.{fn_b} = function(text, width) {{
+      while (text.length < width) {{
+        text = " " + text;
+      }}
+      return text;
+    }};
+  }}
+]);
+"""
+
+
+def _i18n_table(rng: np.random.Generator, ids: IdentifierPool) -> str:
+    """Localization string table with an index-based lookup — the benign
+    twin of the obfuscators' string-array + decoder pattern."""
+    table, lookup = ids.fresh_var(), ids.fresh_function()
+    messages = ", ".join(f'"{random_string(rng, 2)}"' for _ in range(random_int(rng, 6, 14)))
+    return f"""
+var {table} = [{messages}];
+function {lookup}(index, fallback) {{
+  if (index >= 0 && index < {table}.length) {{
+    return {table}[index];
+  }}
+  return fallback || {table}[0];
+}}
+var heading = {lookup}({random_int(rng, 0, 5)});
+var tooltip = {lookup}({random_int(rng, 0, 5)}, "{random_string(rng, 1)}");
+document.getElementById("{ids.dom_id()}").title = tooltip;
+document.getElementById("{ids.dom_id()}").textContent = heading;
+"""
+
+
+#: family name -> generator
+BENIGN_FAMILIES = {
+    "widget": _widget_setup,
+    "config": _config_module,
+    "dom": _dom_utility,
+    "ajax": _ajax_loader,
+    "validation": _form_validation,
+    "animation": _animation_helper,
+    "analytics": _analytics_snippet,
+    "lazyload": _lazy_loader,
+    "codec": _codec_polyfill,
+    "hashutil": _hash_utility,
+    "template": _template_engine,
+    "querystring": _querystring_parser,
+    "livefeed": _live_feed,
+    "jsonparse": _json_fallback,
+    "bundle": _module_bundle,
+    "i18n": _i18n_table,
+}
+
+
+def generate_benign(rng: np.random.Generator, family: str | None = None) -> str:
+    """One benign script; optionally force a family, else sample uniformly.
+
+    Scripts often concatenate 1–3 fragments, as real pages bundle multiple
+    concerns into one file.
+    """
+    names = list(BENIGN_FAMILIES)
+    if family is not None:
+        if family not in BENIGN_FAMILIES:
+            raise ValueError(f"unknown benign family {family!r}")
+        chosen = [family]
+    else:
+        count = int(rng.integers(1, 4))
+        chosen = [str(rng.choice(names)) for _ in range(count)]
+    ids = IdentifierPool(rng)
+    return "\n".join(BENIGN_FAMILIES[name](rng, ids) for name in chosen)

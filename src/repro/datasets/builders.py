@@ -1,0 +1,88 @@
+"""Small composable builders for synthetic JavaScript program fragments.
+
+The benign/malicious generators assemble programs from these pieces.  All
+randomness flows through an explicit ``numpy`` generator so corpora are
+fully reproducible from a seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_WORDS = (
+    "data config item value index count result list node elem widget panel "
+    "button form field input output buffer text label title name key entry "
+    "row col cell grid page view model state event handler callback option "
+    "setting param arg total sum price amount user account session token "
+    "cache store queue stack map group batch chunk part segment offset"
+).split()
+
+_VERBS = (
+    "get set update render build make create init load save fetch send "
+    "parse format compute apply handle process check validate filter sort "
+    "merge split append remove insert find select toggle show hide reset"
+).split()
+
+_DOM_TARGETS = (
+    "container sidebar header footer content main nav menu modal overlay "
+    "tooltip dropdown carousel slider gallery banner toolbar statusbar"
+).split()
+
+
+class IdentifierPool:
+    """Hands out plausible camel-case identifiers without collisions."""
+
+    def __init__(self, rng: np.random.Generator):
+        self.rng = rng
+        self._used: set[str] = set()
+
+    def _candidate(self) -> str:
+        verb = self.rng.choice(_VERBS)
+        noun = str(self.rng.choice(_WORDS)).capitalize()
+        if self.rng.random() < 0.3:
+            return f"{verb}{noun}{int(self.rng.integers(1, 9))}"
+        return f"{verb}{noun}"
+
+    def fresh_function(self) -> str:
+        while True:
+            name = self._candidate()
+            if name not in self._used:
+                self._used.add(name)
+                return name
+
+    def fresh_var(self) -> str:
+        while True:
+            name = str(self.rng.choice(_WORDS))
+            if self.rng.random() < 0.5:
+                name += str(self.rng.choice(_WORDS)).capitalize()
+            if self.rng.random() < 0.2:
+                name += str(int(self.rng.integers(1, 99)))
+            if name not in self._used:
+                self._used.add(name)
+                return name
+
+    def dom_id(self) -> str:
+        return str(self.rng.choice(_DOM_TARGETS)) + str(int(self.rng.integers(1, 50)))
+
+
+def random_string(rng: np.random.Generator, words: int = 2) -> str:
+    return " ".join(str(rng.choice(_WORDS)) for _ in range(words))
+
+
+def random_int(rng: np.random.Generator, low: int = 0, high: int = 1000) -> int:
+    return int(rng.integers(low, high))
+
+
+def random_hex_payload(rng: np.random.Generator, length: int = 24) -> str:
+    """Shellcode-ish hex blob used by exploit-style generators."""
+    return "".join(f"%u{rng.integers(0, 0xFFFF):04x}" for _ in range(length // 4))
+
+
+def random_b64ish(rng: np.random.Generator, length: int = 32) -> str:
+    alphabet = list("ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/")
+    return "".join(str(rng.choice(alphabet)) for _ in range(length)) + "=="
+
+
+def indent(block: str, level: int = 1) -> str:
+    pad = "  " * level
+    return "\n".join(pad + line if line else line for line in block.splitlines())

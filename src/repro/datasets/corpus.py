@@ -1,0 +1,191 @@
+"""Corpus assembly + the paper's training/evaluation protocol (Sec. IV-A4).
+
+Builds seeded benign/malicious corpora from the synthetic generators, with
+helpers implementing the paper's protocol: a held-out pre-training set for
+the embedder, a balanced train split, and obfuscated test variants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.obfuscation import Minifier, WildObfuscator
+from repro.obfuscation.base import Obfuscator
+
+from .benign import BENIGN_FAMILIES, generate_benign
+from .malicious import MALICIOUS_FAMILIES, generate_malicious
+
+
+@dataclass
+class Corpus:
+    """Labeled script collection (1 = malicious, 0 = benign)."""
+
+    sources: list[str] = field(default_factory=list)
+    labels: list[int] = field(default_factory=list)
+    families: list[str] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.sources)
+
+    def subset(self, indices) -> "Corpus":
+        return Corpus(
+            sources=[self.sources[i] for i in indices],
+            labels=[self.labels[i] for i in indices],
+            families=[self.families[i] for i in indices],
+        )
+
+    def obfuscated(self, obfuscator: Obfuscator) -> "Corpus":
+        """Corpus with every script passed through an obfuscator.
+
+        A script the obfuscator cannot process (parser subset gaps on
+        adversarial generator output) is kept unobfuscated, mirroring how
+        the real tools pass through inputs they fail on.
+        """
+        out = Corpus(labels=list(self.labels), families=list(self.families))
+        for source in self.sources:
+            try:
+                out.sources.append(obfuscator.obfuscate(source))
+            except Exception:
+                out.sources.append(source)
+        return out
+
+    @property
+    def label_array(self) -> np.ndarray:
+        return np.asarray(self.labels, dtype=int)
+
+
+def build_corpus(
+    n_benign: int,
+    n_malicious: int,
+    seed: int = 0,
+    benign_family: str | None = None,
+    malicious_family: str | None = None,
+) -> Corpus:
+    """Generate a labeled corpus with the given class sizes."""
+    rng = np.random.default_rng(seed)
+    corpus = Corpus()
+    benign_names = list(BENIGN_FAMILIES)
+    malicious_names = list(MALICIOUS_FAMILIES)
+    for i in range(n_benign):
+        family = benign_family or benign_names[i % len(benign_names)]
+        corpus.sources.append(generate_benign(rng, family=family))
+        corpus.labels.append(0)
+        corpus.families.append(f"benign:{family}")
+    for i in range(n_malicious):
+        family = malicious_family or malicious_names[i % len(malicious_names)]
+        corpus.sources.append(generate_malicious(rng, family=family))
+        corpus.labels.append(1)
+        corpus.families.append(f"malicious:{family}")
+    order = rng.permutation(len(corpus))
+    return corpus.subset(order)
+
+
+def build_realistic_corpus(
+    n_benign: int,
+    n_malicious: int,
+    seed: int = 0,
+    malicious_obfuscation_rate: float = 0.5,
+    benign_minify_rate: float = 0.4,
+    benign_obfuscation_rate: float = 0.10,
+) -> Corpus:
+    """Corpus matching the paper's description of *in-the-wild* data.
+
+    Per Moog et al. (Sec. II-B of the paper): most benign scripts are
+    minified and a small fraction carry real obfuscation, while a large
+    fraction of malicious scripts already ship obfuscated (by varied
+    tools).  This mixture is what produces the baseline failure modes the
+    paper measures — token detectors learn "obfuscation features" as
+    malice cues, then misfire on obfuscated benign test samples.
+    """
+    rng = np.random.default_rng(seed)
+    corpus = build_corpus(n_benign, n_malicious, seed=seed)
+    # Training-time obfuscation is *wild* (ad-hoc transformations): the
+    # paper's Sec. IV-A1 notes the collected samples are obfuscated "in
+    # ways we are not sure of", and the four evaluation tools are applied
+    # only to the test set.  (Mixing the evaluation tools into training
+    # makes "tool artifact present" itself a label-correlated feature at
+    # this 50%-vs-10% class imbalance and distorts every detector; see
+    # EXPERIMENTS.md for the ablation note.)
+    tools: list[Obfuscator] = [
+        WildObfuscator(seed=int(rng.integers(0, 2**31))) for _ in range(4)
+    ]
+    minifier = Minifier(seed=int(rng.integers(0, 2**31)))
+
+    out = Corpus(labels=list(corpus.labels), families=list(corpus.families))
+    for source, label in zip(corpus.sources, corpus.labels):
+        roll = rng.random()
+        transform = None
+        if label == 1 and roll < malicious_obfuscation_rate:
+            transform = tools[int(rng.integers(0, len(tools)))]
+        elif label == 0 and roll < benign_obfuscation_rate:
+            transform = tools[int(rng.integers(0, len(tools)))]
+        elif label == 0 and roll < benign_obfuscation_rate + benign_minify_rate:
+            transform = minifier
+        if transform is not None:
+            try:
+                source = transform.obfuscate(source)
+            except Exception:
+                pass
+        out.sources.append(source)
+    return out
+
+
+@dataclass
+class ExperimentSplit:
+    """The paper's protocol: pretrain / train / test partitions."""
+
+    pretrain: Corpus
+    train: Corpus
+    test: Corpus
+
+
+def experiment_split(
+    seed: int = 0,
+    pretrain_per_class: int = 30,
+    train_per_class: int = 60,
+    test_per_class: int = 40,
+    realistic: bool = False,
+) -> ExperimentSplit:
+    """Build disjoint pretrain/train/test corpora (balanced classes).
+
+    The paper pre-trains the embedder on 5,000 extra scripts, trains on a
+    balanced 20k/20k sample, and tests on the remainder; these defaults
+    scale that protocol to CPU-friendly sizes while keeping every set
+    disjoint and balanced.  ``realistic=True`` draws from
+    :func:`build_realistic_corpus` (in-the-wild obfuscation mixture) — the
+    mode the comparison benchmarks use.
+    """
+    per_class = pretrain_per_class + train_per_class + test_per_class
+    builder = build_realistic_corpus if realistic else build_corpus
+    corpus = builder(per_class, per_class, seed=seed)
+    benign_idx = [i for i, y in enumerate(corpus.labels) if y == 0]
+    malicious_idx = [i for i, y in enumerate(corpus.labels) if y == 1]
+
+    def take(idx_list, count, offset):
+        return idx_list[offset : offset + count]
+
+    pretrain_idx = take(benign_idx, pretrain_per_class, 0) + take(malicious_idx, pretrain_per_class, 0)
+    train_idx = take(benign_idx, train_per_class, pretrain_per_class) + take(
+        malicious_idx, train_per_class, pretrain_per_class
+    )
+    test_idx = take(benign_idx, test_per_class, pretrain_per_class + train_per_class) + take(
+        malicious_idx, test_per_class, pretrain_per_class + train_per_class
+    )
+    return ExperimentSplit(
+        pretrain=corpus.subset(pretrain_idx),
+        train=corpus.subset(train_idx),
+        test=corpus.subset(test_idx),
+    )
+
+
+#: The dataset composition table (Table I analog): source name → generator
+#: family mix and the paper's original counts, for the dataset bench.
+TABLE1_SOURCES = (
+    ("Malicious", "HynekPetrak (droppers/loaders)", 39450, ("dropper", "loader")),
+    ("Malicious", "GeeksOnSecurity exploit kits", 1370, ("heapspray",)),
+    ("Malicious", "VirusTotal additions", 1778, ("skimmer", "cryptojacker", "redirector")),
+    ("Benign", "150k JavaScript Dataset", 150000, ("config", "validation", "ajax")),
+    ("Benign", "Alexa Top-10k crawl", 65203, ("widget", "dom", "animation")),
+)

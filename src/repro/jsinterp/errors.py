@@ -1,0 +1,57 @@
+"""Interpreter error types and control-flow signals."""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+class JSInterpreterError(Exception):
+    """Base class for interpreter-detected failures."""
+
+
+class JSReferenceError(JSInterpreterError):
+    """Unresolvable identifier."""
+
+
+class JSTypeError(JSInterpreterError):
+    """Operation applied to an incompatible value (e.g. calling a number)."""
+
+
+class BudgetExceeded(JSInterpreterError):
+    """The configured step budget ran out (guards infinite loops)."""
+
+
+class UnsupportedFeature(JSInterpreterError):
+    """The program uses a construct outside the interpreted subset."""
+
+
+class ThrowSignal(Exception):
+    """A JavaScript ``throw`` propagating to the nearest handler."""
+
+    def __init__(self, value: Any):
+        super().__init__(str(value))
+        self.value = value
+
+
+class ReturnSignal(Exception):
+    """``return`` unwinding to the current function call."""
+
+    def __init__(self, value: Any):
+        super().__init__("return")
+        self.value = value
+
+
+class BreakSignal(Exception):
+    """``break`` unwinding to the nearest enclosing loop/switch."""
+
+    def __init__(self, label: str | None = None):
+        super().__init__("break")
+        self.label = label
+
+
+class ContinueSignal(Exception):
+    """``continue`` unwinding to the nearest enclosing loop."""
+
+    def __init__(self, label: str | None = None):
+        super().__init__("continue")
+        self.label = label

@@ -1,0 +1,411 @@
+"""Host environment: the browser/ES builtins the corpus touches.
+
+The interpreter's *observable output* — everything the semantic-
+preservation tests compare — flows through :class:`HostRecorder`:
+``console.log`` lines, ``document.write`` payloads, cookies, DOM text
+mutations, timers scheduled, and URLs assigned to ``window.location``.
+
+String/array/number methods are implemented as native methods dispatched
+by :mod:`repro.jsinterp.interpreter`; this module provides the global
+objects (console, document, window, Math, JSON, String, …).
+"""
+
+from __future__ import annotations
+
+import math
+import urllib.parse
+from dataclasses import dataclass, field
+from typing import Any
+
+from .values import (
+    JSArray,
+    JSNull,
+    JSObject,
+    JSUndefined,
+    NativeFunction,
+    format_number,
+    to_number,
+    to_string,
+)
+
+
+@dataclass
+class HostRecorder:
+    """Captures every externally observable effect of a run."""
+
+    console: list[str] = field(default_factory=list)
+    writes: list[str] = field(default_factory=list)
+    cookies: list[str] = field(default_factory=list)
+    locations: list[str] = field(default_factory=list)
+    timers: list[float] = field(default_factory=list)
+    errors: list[str] = field(default_factory=list)
+
+    def observable(self) -> tuple:
+        """The comparison key for semantic-preservation checks.
+
+        Timer *delays* are excluded: obfuscators may legally repackage a
+        constant, but scheduling order and payload visibility are kept.
+        """
+        return (tuple(self.console), tuple(self.writes), tuple(self.cookies), tuple(self.locations), tuple(self.errors))
+
+
+def _num(value: float) -> float:
+    return float(value)
+
+
+def build_globals(recorder: HostRecorder, interpreter) -> dict[str, Any]:
+    """The global bindings visible to interpreted programs."""
+
+    def native(name):
+        def wrap(fn):
+            return NativeFunction(name, fn)
+
+        return wrap
+
+    # ------------------------------------------------------------- console
+    console = JSObject()
+
+    @native("log")
+    def console_log(this, args):
+        recorder.console.append(" ".join(to_string(a) for a in args))
+        return JSUndefined
+
+    console.set("log", console_log)
+    console.set("warn", NativeFunction("warn", lambda this, args: recorder.console.append("WARN " + " ".join(to_string(a) for a in args)) or JSUndefined))
+    console.set("error", NativeFunction("error", lambda this, args: recorder.console.append("ERROR " + " ".join(to_string(a) for a in args)) or JSUndefined))
+
+    # ------------------------------------------------------------ document
+    document = JSObject()
+    document.set("cookie", "")
+    document.set("referrer", "")
+    document.set("title", "demo")
+
+    @native("write")
+    def document_write(this, args):
+        recorder.writes.append("".join(to_string(a) for a in args))
+        return JSUndefined
+
+    document.set("write", document_write)
+
+    def _element(identifier: str) -> JSObject:
+        element = JSObject(
+            {
+                "id": identifier,
+                "innerHTML": "",
+                "textContent": "",
+                "title": "",
+                "className": "",
+                "offsetLeft": 0.0,
+                "style": JSObject(),
+            }
+        )
+        return element
+
+    elements: dict[str, JSObject] = {}
+
+    @native("getElementById")
+    def get_element_by_id(this, args):
+        identifier = to_string(args[0]) if args else ""
+        if identifier not in elements:
+            elements[identifier] = _element(identifier)
+        return elements[identifier]
+
+    document.set("getElementById", get_element_by_id)
+    document.set(
+        "getElementsByTagName",
+        NativeFunction("getElementsByTagName", lambda this, args: JSArray([])),
+    )
+    document.set(
+        "querySelectorAll", NativeFunction("querySelectorAll", lambda this, args: JSArray([]))
+    )
+    document.set(
+        "addEventListener", NativeFunction("addEventListener", lambda this, args: JSUndefined)
+    )
+    document.set("createElement", NativeFunction("createElement", lambda this, args: _element("anon")))
+    document.set("head", JSObject({"appendChild": NativeFunction("appendChild", lambda this, args: args[0] if args else JSUndefined)}))
+    document.set("body", JSObject({"appendChild": NativeFunction("appendChild", lambda this, args: args[0] if args else JSUndefined)}))
+    document.set("readyState", "complete")
+
+    # -------------------------------------------------------------- window
+    location = JSObject({"pathname": "/demo", "search": "", "href": "https://host.example/demo"})
+    location.set(
+        "replace",
+        NativeFunction("replace", lambda this, args: recorder.locations.append(to_string(args[0]) if args else "") or JSUndefined),
+    )
+
+    window = JSObject()
+    window.set("location", location)
+
+    # Timers run synchronously at schedule time (deterministic, and the
+    # corpus uses fire-once timers), but self-rescheduling chains
+    # (`function poll() { …; setTimeout(poll) }`) are cut after a small
+    # nesting depth — like a test harness draining a bounded task queue.
+    timer_depth = [0]
+
+    @native("setTimeout")
+    def set_timeout(this, args):
+        if args:
+            recorder.timers.append(to_number(args[1]) if len(args) > 1 else 0.0)
+            if timer_depth[0] >= 3:
+                return _num(len(recorder.timers))
+            timer_depth[0] += 1
+            try:
+                callback = args[0]
+                if isinstance(callback, str):
+                    interpreter.eval_source(callback)
+                else:
+                    interpreter.call_function(callback, JSUndefined, [])
+            finally:
+                timer_depth[0] -= 1
+        return _num(len(recorder.timers))
+
+    window.set("setTimeout", set_timeout)
+    window.set("setInterval", NativeFunction("setInterval", lambda this, args: _num(0)))
+
+    # ---------------------------------------------------------------- Math
+    math_obj = JSObject()
+    math_obj.set("floor", NativeFunction("floor", lambda this, args: _num(math.floor(to_number(args[0])))))
+    math_obj.set("ceil", NativeFunction("ceil", lambda this, args: _num(math.ceil(to_number(args[0])))))
+    math_obj.set("abs", NativeFunction("abs", lambda this, args: _num(abs(to_number(args[0])))))
+    math_obj.set("max", NativeFunction("max", lambda this, args: _num(max((to_number(a) for a in args), default=-math.inf))))
+    math_obj.set("min", NativeFunction("min", lambda this, args: _num(min((to_number(a) for a in args), default=math.inf))))
+    math_obj.set("pow", NativeFunction("pow", lambda this, args: _num(to_number(args[0]) ** to_number(args[1]))))
+    math_obj.set("sqrt", NativeFunction("sqrt", lambda this, args: _num(math.sqrt(to_number(args[0])))))
+    # Deterministic "random" keeps runs comparable.
+    _random_state = [0.42]
+
+    @native("random")
+    def math_random(this, args):
+        _random_state[0] = (_random_state[0] * 9301 + 49297) % 233280 / 233280
+        return _num(_random_state[0])
+
+    math_obj.set("random", math_random)
+
+    # ---------------------------------------------------------------- JSON
+    json_obj = JSObject()
+
+    @native("stringify")
+    def json_stringify(this, args):
+        return _json_stringify(args[0] if args else JSUndefined)
+
+    @native("parse")
+    def json_parse(this, args):
+        import json as pyjson
+
+        text = to_string(args[0]) if args else ""
+        return _json_to_js(pyjson.loads(text))
+
+    json_obj.set("stringify", json_stringify)
+    json_obj.set("parse", json_parse)
+
+    # -------------------------------------------------------------- String
+    string_ctor = NativeFunction("String", lambda this, args: to_string(args[0]) if args else "")
+    string_obj = JSObject({"fromCharCode": NativeFunction(
+        "fromCharCode", lambda this, args: "".join(chr(int(to_number(a)) & 0xFFFF) for a in args)
+    )})
+    # String is callable *and* carries fromCharCode; model it as a native
+    # function with properties.
+    string_callable = NativeFunction("String", string_ctor.fn)
+    string_callable.properties = string_obj.properties  # type: ignore[attr-defined]
+
+    # --------------------------------------------------------------- misc
+    @native("parseInt")
+    def js_parse_int(this, args):
+        text = to_string(args[0]).strip() if args else ""
+        base = int(to_number(args[1])) if len(args) > 1 and to_number(args[1]) == to_number(args[1]) and to_number(args[1]) != 0 else 10
+        sign = 1
+        if text[:1] in "+-":
+            sign = -1 if text[0] == "-" else 1
+            text = text[1:]
+        if text[:2].lower() == "0x" and (base == 16 or len(args) < 2):
+            base = 16
+            text = text[2:]
+        digits = "0123456789abcdefghijklmnopqrstuvwxyz"[:base]
+        out = ""
+        for ch in text.lower():
+            if ch in digits:
+                out += ch
+            else:
+                break
+        return _num(sign * int(out, base)) if out else _num(math.nan)
+
+    @native("parseFloat")
+    def js_parse_float(this, args):
+        text = to_string(args[0]).strip() if args else ""
+        out = ""
+        seen_dot = False
+        for i, ch in enumerate(text):
+            if ch.isdigit() or (ch in "+-" and i == 0) or (ch == "." and not seen_dot):
+                seen_dot = seen_dot or ch == "."
+                out += ch
+            else:
+                break
+        try:
+            return _num(float(out))
+        except ValueError:
+            return _num(math.nan)
+
+    @native("unescape")
+    def js_unescape(this, args):
+        text = to_string(args[0]) if args else ""
+        out = []
+        i = 0
+        while i < len(text):
+            if text[i] == "%" and i + 5 < len(text) + 1 and text[i + 1 : i + 2] == "u":
+                try:
+                    out.append(chr(int(text[i + 2 : i + 6], 16)))
+                    i += 6
+                    continue
+                except ValueError:
+                    pass
+            if text[i] == "%" and i + 2 < len(text) + 1:
+                try:
+                    out.append(chr(int(text[i + 1 : i + 3], 16)))
+                    i += 3
+                    continue
+                except ValueError:
+                    pass
+            out.append(text[i])
+            i += 1
+        return "".join(out)
+
+    @native("escape")
+    def js_escape(this, args):
+        text = to_string(args[0]) if args else ""
+        safe = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789@*_+-./"
+        out = []
+        for ch in text:
+            if ch in safe:
+                out.append(ch)
+            elif ord(ch) < 256:
+                out.append(f"%{ord(ch):02X}")
+            else:
+                out.append(f"%u{ord(ch):04X}")
+        return "".join(out)
+
+    @native("eval")
+    def js_eval(this, args):
+        if not args or not isinstance(args[0], str):
+            return args[0] if args else JSUndefined
+        return interpreter.eval_source(args[0])
+
+    @native("isNaN")
+    def js_is_nan(this, args):
+        return math.isnan(to_number(args[0])) if args else True
+
+    navigator = JSObject({"userAgent": "ReproBrowser/1.0", "hardwareConcurrency": 4.0})
+
+    session_storage = JSObject()
+    session_storage.set("setItem", NativeFunction("setItem", lambda this, args: JSUndefined))
+    session_storage.set("getItem", NativeFunction("getItem", lambda this, args: JSNull))
+
+    globals_map: dict[str, Any] = {
+        "console": console,
+        "document": document,
+        "window": window,
+        "location": location,
+        "navigator": navigator,
+        "Math": math_obj,
+        "JSON": json_obj,
+        "String": string_callable,
+        "parseInt": js_parse_int,
+        "parseFloat": js_parse_float,
+        "unescape": js_unescape,
+        "escape": js_escape,
+        "eval": js_eval,
+        "isNaN": js_is_nan,
+        "setTimeout": set_timeout,
+        "setInterval": window.get("setInterval"),
+        "sessionStorage": session_storage,
+        "undefined": JSUndefined,
+        "NaN": math.nan,
+        "Infinity": math.inf,
+        "Array": _array_constructor(),
+        "Image": NativeFunction("Image", lambda this, args: JSObject({"src": ""})),
+        "XMLHttpRequest": NativeFunction(
+            "XMLHttpRequest",
+            lambda this, args: JSObject(
+                {
+                    "open": NativeFunction("open", lambda t, a: JSUndefined),
+                    "send": NativeFunction("send", lambda t, a: JSUndefined),
+                    "readyState": 0.0,
+                    "status": 0.0,
+                }
+            ),
+        ),
+        "WebSocket": NativeFunction("WebSocket", lambda this, args: JSObject({"send": NativeFunction("send", lambda t, a: JSUndefined)})),
+        "Error": NativeFunction("Error", lambda this, args: JSObject({"message": to_string(args[0]) if args else ""})),
+        "Date": NativeFunction("Date", lambda this, args: JSObject({"getTime": NativeFunction("getTime", lambda t, a: 0.0)})),
+    }
+
+    # document.cookie writes must accumulate like the real attribute.
+    original_set = document.set
+
+    def document_set(key: str, value: Any) -> None:
+        if key == "cookie":
+            recorder.cookies.append(to_string(value))
+            merged = document.properties.get("cookie", "")
+            fragment = to_string(value).split(";")[0]
+            document.properties["cookie"] = (merged + "; " + fragment).lstrip("; ")
+            return
+        original_set(key, value)
+
+    document.set = document_set  # type: ignore[method-assign]
+
+    return globals_map
+
+
+def _array_constructor() -> NativeFunction:
+    """``Array(...)`` plus ``Array.prototype.slice`` (used via .call)."""
+
+    def construct(this, args):
+        if len(args) == 1 and isinstance(args[0], float):
+            return JSArray([JSUndefined] * int(args[0]))
+        return JSArray(list(args))
+
+    def proto_slice(this, args):
+        start = int(to_number(args[0])) if args else 0
+        elements = this.elements if isinstance(this, JSArray) else []
+        return JSArray(list(elements[start:]))
+
+    ctor = NativeFunction("Array", construct)
+    ctor.properties = {  # type: ignore[attr-defined]
+        "prototype": JSObject({"slice": NativeFunction("slice", proto_slice)})
+    }
+    return ctor
+
+
+def _json_stringify(value: Any) -> str:
+    import json as pyjson
+
+    return pyjson.dumps(_js_to_json(value))
+
+
+def _js_to_json(value: Any):
+    if value is JSUndefined or value is JSNull:
+        return None
+    if isinstance(value, float):
+        return int(value) if value == int(value) else value
+    if isinstance(value, (bool, str)):
+        return value
+    if isinstance(value, JSArray):
+        return [_js_to_json(v) for v in value.elements]
+    if isinstance(value, JSObject):
+        return {k: _js_to_json(v) for k, v in value.properties.items() if not isinstance(v, NativeFunction)}
+    return to_string(value)
+
+
+def _json_to_js(value):
+    if value is None:
+        return JSNull
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, (int, float)):
+        return float(value)
+    if isinstance(value, str):
+        return value
+    if isinstance(value, list):
+        return JSArray([_json_to_js(v) for v in value])
+    if isinstance(value, dict):
+        return JSObject({k: _json_to_js(v) for k, v in value.items()})
+    return JSUndefined

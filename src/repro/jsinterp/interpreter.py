@@ -1,0 +1,700 @@
+"""Tree-walking evaluator for the parsed ES5 subset.
+
+Covers the constructs the corpus generators and obfuscators emit:
+closures, all statements, member/call/new expressions, the full operator
+set (including 32-bit bitwise semantics), try/throw, labeled loops, and a
+recorded host environment (:mod:`repro.jsinterp.host`).  A step budget
+bounds run time; exceeding it raises :class:`BudgetExceeded`.
+
+Primary use: the semantic-preservation test-suite runs original and
+obfuscated programs and compares :meth:`Interpreter.run` outputs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+from repro.jsparser import ast_nodes as ast
+from repro.jsparser import parse
+
+from .environment import Environment
+from .errors import (
+    BreakSignal,
+    BudgetExceeded,
+    ContinueSignal,
+    JSReferenceError,
+    JSTypeError,
+    ReturnSignal,
+    ThrowSignal,
+    UnsupportedFeature,
+)
+from .host import HostRecorder, build_globals
+from .values import (
+    JSArray,
+    JSFunction,
+    JSNull,
+    JSObject,
+    JSUndefined,
+    NativeFunction,
+    format_number,
+    js_equals,
+    strict_equals,
+    to_boolean,
+    to_int32,
+    to_number,
+    to_string,
+    to_uint32,
+    type_of,
+)
+from . import methods
+
+
+#: The interpreter whose run is currently active — lets detached built-ins
+#: (Function.prototype.call/apply in :mod:`methods`) re-enter evaluation.
+_ACTIVE_INTERPRETER: list["Interpreter | None"] = [None]
+
+
+class Interpreter:
+    """Evaluates programs with a bounded step budget.
+
+    Args:
+        max_steps: Statement/expression evaluations allowed per run.
+    """
+
+    def __init__(self, max_steps: int = 500_000):
+        self.max_steps = max_steps
+        self.steps = 0
+        self.recorder = HostRecorder()
+        self.global_env = Environment()
+        for name, value in build_globals(self.recorder, self).items():
+            self.global_env.declare(name, value)
+        _ACTIVE_INTERPRETER[0] = self
+
+    # ------------------------------------------------------------------ API
+
+    def run(self, source: str) -> HostRecorder:
+        """Parse and execute ``source``; return the recorded effects.
+
+        An uncaught JavaScript ``throw`` halts the script (as in a real
+        engine) and is recorded in ``recorder.errors`` — making "crashes
+        with the same error" part of the observable behavior.
+        """
+        _ACTIVE_INTERPRETER[0] = self
+        program = parse(source)
+        self._hoist(program.body, self.global_env)
+        try:
+            for stmt in program.body:
+                self._exec(stmt, self.global_env)
+        except ThrowSignal as signal:
+            self.recorder.errors.append(to_string(signal.value))
+        except RecursionError as error:
+            # Deep JS recursion exhausts the Python stack before the step
+            # budget trips; report it as the same budget condition.
+            raise BudgetExceeded("recursion depth exceeded") from error
+        return self.recorder
+
+    def eval_source(self, source: str) -> Any:
+        """``eval``: execute in the global environment, return the last
+        expression statement's value."""
+        program = parse(source)
+        self._hoist(program.body, self.global_env)
+        result: Any = JSUndefined
+        for stmt in program.body:
+            value = self._exec(stmt, self.global_env)
+            if stmt.type == "ExpressionStatement":
+                result = value
+        return result
+
+    # ------------------------------------------------------------ budgeting
+
+    def _tick(self) -> None:
+        self.steps += 1
+        if self.steps > self.max_steps:
+            raise BudgetExceeded(f"exceeded {self.max_steps} steps")
+
+    # -------------------------------------------------------------- hoisting
+
+    def _hoist(self, body: list[ast.Node], env: Environment) -> None:
+        """var and function-declaration hoisting for one function body."""
+        for stmt in body:
+            self._hoist_stmt(stmt, env)
+
+    def _hoist_stmt(self, node: ast.Node | None, env: Environment) -> None:
+        if node is None:
+            return
+        type_ = node.type
+        if type_ == "FunctionDeclaration":
+            env.declare(node.id.name, self._make_function(node, env))
+            return
+        if type_ == "VariableDeclaration" and node.kind == "var":
+            for declarator in node.declarations:
+                if not env.has(declarator.id.name) or declarator.id.name not in env.bindings:
+                    env.bindings.setdefault(declarator.id.name, JSUndefined)
+            return
+        if type_ in ("FunctionExpression", "ArrowFunctionExpression"):
+            return  # separate scope
+        for child in node.children():
+            if child.type in ("FunctionExpression", "ArrowFunctionExpression"):
+                continue
+            self._hoist_stmt(child, env)
+
+    def _make_function(self, node: ast.Node, env: Environment) -> JSFunction:
+        params: list[str] = []
+        rest: str | None = None
+        for param in getattr(node, "params", []):
+            if param.type == "SpreadElement":
+                rest = param.argument.name
+            else:
+                params.append(param.name)
+        name = node.id.name if getattr(node, "id", None) is not None else ""
+        is_arrow = node.type == "ArrowFunctionExpression"
+        return JSFunction(
+            name=name,
+            params=params,
+            rest_param=rest,
+            body=node.body,
+            env=env,
+            is_arrow=is_arrow,
+            is_expression_body=is_arrow and getattr(node, "expression", False),
+        )
+
+    # ------------------------------------------------------------ statements
+
+    def _exec(self, node: ast.Node, env: Environment) -> Any:
+        self._tick()
+        handler = getattr(self, f"_stmt_{node.type}", None)
+        if handler is None:
+            raise UnsupportedFeature(f"statement {node.type}")
+        try:
+            return handler(node, env)
+        except (JSReferenceError, JSTypeError) as error:
+            # Engine-raised errors are catchable by JavaScript try/catch.
+            raise ThrowSignal(str(error)) from error
+
+    def _stmt_ExpressionStatement(self, node, env):
+        return self._eval(node.expression, env)
+
+    def _stmt_EmptyStatement(self, node, env):
+        return JSUndefined
+
+    def _stmt_DebuggerStatement(self, node, env):
+        return JSUndefined
+
+    def _stmt_VariableDeclaration(self, node, env):
+        for declarator in node.declarations:
+            value = self._eval(declarator.init, env) if declarator.init is not None else JSUndefined
+            env.declare(declarator.id.name, value)
+        return JSUndefined
+
+    def _stmt_FunctionDeclaration(self, node, env):
+        env.declare(node.id.name, self._make_function(node, env))
+        return JSUndefined
+
+    def _stmt_BlockStatement(self, node, env):
+        for stmt in node.body:
+            self._exec(stmt, env)
+        return JSUndefined
+
+    def _stmt_IfStatement(self, node, env):
+        if to_boolean(self._eval(node.test, env)):
+            self._exec(node.consequent, env)
+        elif node.alternate is not None:
+            self._exec(node.alternate, env)
+        return JSUndefined
+
+    def _run_loop_body(self, body, env, label):
+        try:
+            self._exec(body, env)
+        except ContinueSignal as signal:
+            if signal.label is not None and signal.label != label:
+                raise
+        # BreakSignal propagates to the loop driver.
+
+    def _loop(self, node, env, label=None):
+        raise NotImplementedError  # pragma: no cover
+
+    def _stmt_WhileStatement(self, node, env, label=None):
+        while to_boolean(self._eval(node.test, env)):
+            self._tick()
+            try:
+                self._run_loop_body(node.body, env, label)
+            except BreakSignal as signal:
+                if signal.label is None or signal.label == label:
+                    break
+                raise
+        return JSUndefined
+
+    def _stmt_DoWhileStatement(self, node, env, label=None):
+        while True:
+            self._tick()
+            try:
+                self._run_loop_body(node.body, env, label)
+            except BreakSignal as signal:
+                if signal.label is None or signal.label == label:
+                    break
+                raise
+            if not to_boolean(self._eval(node.test, env)):
+                break
+        return JSUndefined
+
+    def _stmt_ForStatement(self, node, env, label=None):
+        if node.init is not None:
+            if node.init.type == "VariableDeclaration":
+                self._exec(node.init, env)
+            else:
+                self._eval(node.init, env)
+        while node.test is None or to_boolean(self._eval(node.test, env)):
+            self._tick()
+            try:
+                self._run_loop_body(node.body, env, label)
+            except BreakSignal as signal:
+                if signal.label is None or signal.label == label:
+                    break
+                raise
+            if node.update is not None:
+                self._eval(node.update, env)
+        return JSUndefined
+
+    def _for_in_of_keys(self, node, env):
+        subject = self._eval(node.right, env)
+        if node.type == "ForInStatement":
+            if isinstance(subject, JSArray):
+                return [str(i) for i in range(len(subject.elements))] + list(subject.properties)
+            if isinstance(subject, JSObject):
+                return subject.keys()
+            if isinstance(subject, str):
+                return [str(i) for i in range(len(subject))]
+            return []
+        # for..of
+        if isinstance(subject, JSArray):
+            return list(subject.elements)
+        if isinstance(subject, str):
+            return list(subject)
+        raise JSTypeError("value is not iterable")
+
+    def _stmt_ForInStatement(self, node, env, label=None):
+        return self._for_in_of(node, env, label)
+
+    def _stmt_ForOfStatement(self, node, env, label=None):
+        return self._for_in_of(node, env, label)
+
+    def _for_in_of(self, node, env, label=None):
+        items = self._for_in_of_keys(node, env)
+        if node.left.type == "VariableDeclaration":
+            name = node.left.declarations[0].id.name
+            env.declare(name, JSUndefined)
+            assign = lambda v: env.set(name, v)  # noqa: E731
+        else:
+            assign = lambda v: self._assign_target(node.left, v, env)  # noqa: E731
+        for item in items:
+            self._tick()
+            assign(item)
+            try:
+                self._run_loop_body(node.body, env, label)
+            except BreakSignal as signal:
+                if signal.label is None or signal.label == label:
+                    break
+                raise
+        return JSUndefined
+
+    def _stmt_LabeledStatement(self, node, env):
+        label = node.label.name
+        body = node.body
+        handler = getattr(self, f"_stmt_{body.type}", None)
+        try:
+            if body.type in (
+                "WhileStatement",
+                "DoWhileStatement",
+                "ForStatement",
+                "ForInStatement",
+                "ForOfStatement",
+            ):
+                handler(body, env, label=label)
+            else:
+                self._exec(body, env)
+        except BreakSignal as signal:
+            if signal.label != label:
+                raise
+        return JSUndefined
+
+    def _stmt_BreakStatement(self, node, env):
+        raise BreakSignal(node.label.name if node.label else None)
+
+    def _stmt_ContinueStatement(self, node, env):
+        raise ContinueSignal(node.label.name if node.label else None)
+
+    def _stmt_ReturnStatement(self, node, env):
+        value = self._eval(node.argument, env) if node.argument is not None else JSUndefined
+        raise ReturnSignal(value)
+
+    def _stmt_ThrowStatement(self, node, env):
+        raise ThrowSignal(self._eval(node.argument, env))
+
+    def _stmt_TryStatement(self, node, env):
+        try:
+            self._exec(node.block, env)
+        except ThrowSignal as signal:
+            if node.handler is not None:
+                catch_env = Environment(env)
+                if node.handler.param is not None:
+                    catch_env.declare(node.handler.param.name, signal.value)
+                self._exec(node.handler.body, catch_env)
+            elif node.finalizer is None:
+                raise
+        finally:
+            if node.finalizer is not None:
+                self._exec(node.finalizer, env)
+        return JSUndefined
+
+    def _stmt_SwitchStatement(self, node, env):
+        discriminant = self._eval(node.discriminant, env)
+        matched = False
+        try:
+            for case in node.cases:
+                if not matched and case.test is not None:
+                    if strict_equals(discriminant, self._eval(case.test, env)):
+                        matched = True
+                if matched:
+                    for stmt in case.consequent:
+                        self._exec(stmt, env)
+            if not matched:
+                # default clause (and fallthrough after it)
+                seen_default = False
+                for case in node.cases:
+                    if case.test is None:
+                        seen_default = True
+                    if seen_default:
+                        for stmt in case.consequent:
+                            self._exec(stmt, env)
+        except BreakSignal as signal:
+            if signal.label is not None:
+                raise
+        return JSUndefined
+
+    def _stmt_WithStatement(self, node, env):
+        raise UnsupportedFeature("with statement")
+
+    # ----------------------------------------------------------- expressions
+
+    def _eval(self, node: ast.Node, env: Environment) -> Any:
+        self._tick()
+        handler = getattr(self, f"_expr_{node.type}", None)
+        if handler is None:
+            raise UnsupportedFeature(f"expression {node.type}")
+        try:
+            return handler(node, env)
+        except (JSReferenceError, JSTypeError) as error:
+            raise ThrowSignal(str(error)) from error
+
+    def _expr_Literal(self, node, env):
+        if getattr(node, "regex", None) is not None:
+            return JSObject({"source": node.regex["pattern"], "flags": node.regex["flags"]})
+        value = node.value
+        if isinstance(value, bool) or value is None:
+            return JSNull if value is None else value
+        if isinstance(value, (int, float)):
+            return float(value)
+        return value
+
+    def _expr_TemplateLiteral(self, node, env):
+        return node.value
+
+    def _expr_Identifier(self, node, env):
+        return env.get(node.name)
+
+    def _expr_ThisExpression(self, node, env):
+        if env.has("this"):
+            return env.get("this")
+        return JSUndefined
+
+    def _expr_ArrayExpression(self, node, env):
+        elements = []
+        for element in node.elements:
+            if element is None:
+                elements.append(JSUndefined)
+            elif element.type == "SpreadElement":
+                spread = self._eval(element.argument, env)
+                if isinstance(spread, JSArray):
+                    elements.extend(spread.elements)
+                elif isinstance(spread, str):
+                    elements.extend(list(spread))
+                else:
+                    raise JSTypeError("spread of non-iterable")
+            else:
+                elements.append(self._eval(element, env))
+        return JSArray(elements)
+
+    def _expr_ObjectExpression(self, node, env):
+        obj = JSObject()
+        for prop in node.properties:
+            if prop.kind in ("get", "set"):
+                continue  # accessors unsupported at runtime; rare in corpus
+            if prop.computed:
+                key = to_string(self._eval(prop.key, env))
+            elif prop.key.type == "Identifier":
+                key = prop.key.name
+            else:
+                key = to_string(self._expr_Literal(prop.key, env))
+            obj.set(key, self._eval(prop.value, env))
+        return obj
+
+    def _expr_FunctionExpression(self, node, env):
+        fn = self._make_function(node, env)
+        if node.id is not None:
+            # Named function expressions can call themselves.
+            self_env = Environment(env)
+            self_env.declare(node.id.name, fn)
+            fn.env = self_env
+        return fn
+
+    def _expr_ArrowFunctionExpression(self, node, env):
+        return self._make_function(node, env)
+
+    def _expr_SequenceExpression(self, node, env):
+        result = JSUndefined
+        for expression in node.expressions:
+            result = self._eval(expression, env)
+        return result
+
+    def _expr_ConditionalExpression(self, node, env):
+        if to_boolean(self._eval(node.test, env)):
+            return self._eval(node.consequent, env)
+        return self._eval(node.alternate, env)
+
+    def _expr_UnaryExpression(self, node, env):
+        op = node.operator
+        if op == "typeof":
+            if node.argument.type == "Identifier" and not env.has(node.argument.name):
+                return "undefined"
+            return type_of(self._eval(node.argument, env))
+        if op == "delete":
+            target = node.argument
+            if target.type == "MemberExpression":
+                obj = self._eval(target.object, env)
+                key = self._member_key(target, env)
+                if isinstance(obj, JSObject):
+                    return obj.delete(key)
+            return True
+        value = self._eval(node.argument, env)
+        if op == "-":
+            return -to_number(value)
+        if op == "+":
+            return to_number(value)
+        if op == "!":
+            return not to_boolean(value)
+        if op == "~":
+            return float(~to_int32(value))
+        if op == "void":
+            return JSUndefined
+        raise UnsupportedFeature(f"unary {op}")
+
+    def _expr_UpdateExpression(self, node, env):
+        old = to_number(self._eval(node.argument, env))
+        new = old + 1.0 if node.operator == "++" else old - 1.0
+        self._assign_target(node.argument, new, env)
+        return new if node.prefix else old
+
+    def _expr_BinaryExpression(self, node, env):
+        left = self._eval(node.left, env)
+        right = self._eval(node.right, env)
+        return self._binary(node.operator, left, right)
+
+    def _binary(self, op: str, left: Any, right: Any) -> Any:
+        if op == "+":
+            if isinstance(left, str) or isinstance(right, str) or isinstance(left, (JSObject,)) or isinstance(right, (JSObject,)):
+                if isinstance(left, (JSObject,)) or isinstance(right, (JSObject,)):
+                    left_p = to_string(left) if isinstance(left, (JSObject,)) else left
+                    right_p = to_string(right) if isinstance(right, (JSObject,)) else right
+                    return self._binary("+", left_p, right_p)
+                return to_string(left) + to_string(right)
+            return to_number(left) + to_number(right)
+        if op == "-":
+            return to_number(left) - to_number(right)
+        if op == "*":
+            return to_number(left) * to_number(right)
+        if op == "/":
+            denominator = to_number(right)
+            numerator = to_number(left)
+            if denominator == 0.0:
+                if numerator == 0.0 or math.isnan(numerator):
+                    return math.nan
+                return math.inf if (numerator > 0) == (not str(denominator).startswith("-")) else -math.inf
+            return numerator / denominator
+        if op == "%":
+            denominator = to_number(right)
+            numerator = to_number(left)
+            if denominator == 0.0 or math.isnan(denominator) or math.isnan(numerator) or math.isinf(numerator):
+                return math.nan
+            return math.fmod(numerator, denominator)
+        if op == "**":
+            return to_number(left) ** to_number(right)
+        if op in ("==", "!="):
+            result = js_equals(left, right)
+            return result if op == "==" else not result
+        if op in ("===", "!=="):
+            result = strict_equals(left, right)
+            return result if op == "===" else not result
+        if op in ("<", ">", "<=", ">="):
+            if isinstance(left, str) and isinstance(right, str):
+                a, b = left, right
+            else:
+                a, b = to_number(left), to_number(right)
+                if math.isnan(a) or math.isnan(b):
+                    return False
+            return {"<": a < b, ">": a > b, "<=": a <= b, ">=": a >= b}[op]
+        if op == "&":
+            return float(to_int32(left) & to_int32(right))
+        if op == "|":
+            return float(to_int32(left) | to_int32(right))
+        if op == "^":
+            return float(to_int32(left) ^ to_int32(right))
+        if op == "<<":
+            return float(to_int32(to_int32(left) << (to_uint32(right) & 31)))
+        if op == ">>":
+            return float(to_int32(left) >> (to_uint32(right) & 31))
+        if op == ">>>":
+            return float(to_uint32(left) >> (to_uint32(right) & 31))
+        if op == "in":
+            key = to_string(left)
+            if isinstance(right, JSObject):
+                return right.has(key)
+            raise JSTypeError("'in' on non-object")
+        if op == "instanceof":
+            return False  # no prototype chains in the subset
+        raise UnsupportedFeature(f"binary {op}")
+
+    def _expr_LogicalExpression(self, node, env):
+        left = self._eval(node.left, env)
+        op = node.operator
+        if op == "&&":
+            return self._eval(node.right, env) if to_boolean(left) else left
+        if op == "||":
+            return left if to_boolean(left) else self._eval(node.right, env)
+        if op == "??":
+            return self._eval(node.right, env) if left is JSUndefined or left is JSNull else left
+        raise UnsupportedFeature(f"logical {op}")
+
+    def _expr_AssignmentExpression(self, node, env):
+        if node.operator == "=":
+            value = self._eval(node.right, env)
+        else:
+            current = self._eval(node.left, env)
+            right = self._eval(node.right, env)
+            binary_op = node.operator[:-1]
+            if binary_op in ("&&", "||", "??"):
+                raise UnsupportedFeature("logical assignment")
+            value = self._binary(binary_op, current, right)
+        self._assign_target(node.left, value, env)
+        return value
+
+    def _assign_target(self, target: ast.Node, value: Any, env: Environment) -> None:
+        if target.type == "Identifier":
+            env.set(target.name, value)
+            return
+        if target.type == "MemberExpression":
+            obj = self._eval(target.object, env)
+            key = self._member_key(target, env)
+            if isinstance(obj, (JSObject, JSFunction)):
+                obj.set(key, value)
+                return
+            if isinstance(obj, NativeFunction):
+                getattr(obj, "properties", {})[key] = value
+                return
+            raise JSTypeError(f"cannot set property {key!r} on {type_of(obj)}")
+        raise UnsupportedFeature(f"assignment target {target.type}")
+
+    def _member_key(self, node, env) -> str:
+        if node.computed:
+            return to_string(self._eval(node.property, env))
+        return node.property.name
+
+    def _expr_MemberExpression(self, node, env):
+        obj = self._eval(node.object, env)
+        key = self._member_key(node, env)
+        return self._get_member(obj, key)
+
+    def _get_member(self, obj: Any, key: str) -> Any:
+        if obj is JSUndefined or obj is JSNull:
+            raise ThrowSignal(f"TypeError: cannot read property {key!r} of {to_string(obj)}")
+        method = methods.lookup(obj, key)
+        if method is not None:
+            return method
+        if isinstance(obj, (JSObject, JSFunction)):
+            return obj.get(key)
+        if isinstance(obj, NativeFunction):
+            return getattr(obj, "properties", {}).get(key, JSUndefined)
+        return JSUndefined
+
+    def _expr_CallExpression(self, node, env):
+        callee = node.callee
+        this: Any = JSUndefined
+        if callee.type == "MemberExpression":
+            this = self._eval(callee.object, env)
+            fn = self._get_member(this, self._member_key(callee, env))
+        else:
+            fn = self._eval(callee, env)
+        args = self._eval_args(node.arguments, env)
+        return self.call_function(fn, this, args)
+
+    def _eval_args(self, arguments, env) -> list[Any]:
+        out: list[Any] = []
+        for argument in arguments:
+            if argument.type == "SpreadElement":
+                spread = self._eval(argument.argument, env)
+                if isinstance(spread, JSArray):
+                    out.extend(spread.elements)
+                elif isinstance(spread, str):
+                    out.extend(list(spread))
+                else:
+                    raise JSTypeError("spread of non-iterable")
+            else:
+                out.append(self._eval(argument, env))
+        return out
+
+    def call_function(self, fn: Any, this: Any, args: list[Any]) -> Any:
+        self._tick()
+        if isinstance(fn, NativeFunction):
+            return fn(this, args)
+        if isinstance(fn, methods.BoundMethod):
+            return fn.call(args)
+        if not isinstance(fn, JSFunction):
+            raise ThrowSignal(f"TypeError: {to_string(fn)} is not a function")
+
+        call_env = Environment(fn.env)
+        if not fn.is_arrow:
+            call_env.declare("this", this)
+            call_env.declare("arguments", JSArray(list(args)))
+        for i, name in enumerate(fn.params):
+            call_env.declare(name, args[i] if i < len(args) else JSUndefined)
+        if fn.rest_param is not None:
+            call_env.declare(fn.rest_param, JSArray(list(args[len(fn.params) :])))
+
+        if fn.is_expression_body:
+            return self._eval(fn.body, call_env)
+        self._hoist(fn.body.body, call_env)
+        try:
+            for stmt in fn.body.body:
+                self._exec(stmt, call_env)
+        except ReturnSignal as signal:
+            return signal.value
+        return JSUndefined
+
+    def _expr_NewExpression(self, node, env):
+        fn = self._eval(node.callee, env)
+        args = self._eval_args(node.arguments, env)
+        if isinstance(fn, NativeFunction):
+            return fn(JSUndefined, args)
+        if isinstance(fn, JSFunction):
+            instance = JSObject()
+            result = self.call_function(fn, instance, args)
+            return result if isinstance(result, (JSObject,)) else instance
+        raise ThrowSignal("TypeError: not a constructor")
+
+    def _expr_SpreadElement(self, node, env):  # pragma: no cover - guarded by callers
+        raise UnsupportedFeature("spread outside call/array")
+
+
+def run_program(source: str, max_steps: int = 500_000) -> HostRecorder:
+    """Convenience: interpret ``source`` and return the recorded effects."""
+    return Interpreter(max_steps=max_steps).run(source)

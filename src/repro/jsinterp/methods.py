@@ -1,0 +1,308 @@
+"""Built-in methods on primitive and object values.
+
+Implements the String/Array/Number prototype methods the corpus exercises
+(charCodeAt, fromCharCode-era decoding loops, split/join/replace, push,
+indexOf, …).  ``lookup(value, name)`` returns a :class:`BoundMethod` or
+``None`` when the receiver has no such built-in.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from .values import (
+    JSArray,
+    JSNull,
+    JSObject,
+    JSUndefined,
+    format_number,
+    to_number,
+    to_string,
+)
+
+
+@dataclass
+class BoundMethod:
+    """A built-in method bound to its receiver."""
+
+    name: str
+    receiver: Any
+    fn: Callable[[Any, list[Any]], Any]
+
+    def call(self, args: list[Any]) -> Any:
+        return self.fn(self.receiver, args)
+
+
+def _arg(args: list[Any], index: int, default: Any = JSUndefined) -> Any:
+    return args[index] if index < len(args) else default
+
+
+# ----------------------------------------------------------------- strings
+
+
+def _str_char_at(s, args):
+    index = int(to_number(_arg(args, 0, 0.0)) or 0)
+    return s[index] if 0 <= index < len(s) else ""
+
+
+def _str_char_code_at(s, args):
+    index = int(to_number(_arg(args, 0, 0.0)) or 0)
+    return float(ord(s[index])) if 0 <= index < len(s) else math.nan
+
+
+def _str_index_of(s, args):
+    needle = to_string(_arg(args, 0, ""))
+    start = int(to_number(_arg(args, 1, 0.0)) or 0)
+    return float(s.find(needle, max(start, 0)))
+
+
+def _str_last_index_of(s, args):
+    return float(s.rfind(to_string(_arg(args, 0, ""))))
+
+
+def _str_substring(s, args):
+    a = int(to_number(_arg(args, 0, 0.0)) or 0)
+    b_raw = _arg(args, 1, None)
+    b = len(s) if b_raw in (None, JSUndefined) else int(to_number(b_raw) or 0)
+    a, b = max(0, min(a, len(s))), max(0, min(b, len(s)))
+    if a > b:
+        a, b = b, a
+    return s[a:b]
+
+
+def _str_slice(s, args):
+    a = int(to_number(_arg(args, 0, 0.0)) or 0)
+    b_raw = _arg(args, 1, None)
+    b = len(s) if b_raw in (None, JSUndefined) else int(to_number(b_raw) or 0)
+    return s[slice(a if a >= 0 else max(len(s) + a, 0), b if b >= 0 else len(s) + b)]
+
+
+def _str_substr(s, args):
+    start = int(to_number(_arg(args, 0, 0.0)) or 0)
+    if start < 0:
+        start = max(len(s) + start, 0)
+    length_raw = _arg(args, 1, None)
+    length = len(s) if length_raw in (None, JSUndefined) else int(to_number(length_raw) or 0)
+    return s[start : start + max(length, 0)]
+
+
+def _str_split(s, args):
+    separator = _arg(args, 0, JSUndefined)
+    if separator is JSUndefined:
+        return JSArray([s])
+    sep = to_string(separator)
+    if sep == "":
+        return JSArray(list(s))
+    return JSArray(s.split(sep))
+
+
+def _regex_to_python(source: str, flags: str) -> re.Pattern:
+    py_flags = re.IGNORECASE if "i" in flags else 0
+    return re.compile(source, py_flags)
+
+
+def _str_replace(s, args):
+    pattern = _arg(args, 0, "")
+    replacement = to_string(_arg(args, 1, ""))
+    if isinstance(pattern, JSObject) and pattern.has("source"):
+        regex = _regex_to_python(to_string(pattern.get("source")), to_string(pattern.get("flags")))
+        count = 0 if "g" in to_string(pattern.get("flags")) else 1
+        replacement_py = replacement.replace("\\", "\\\\")
+        return regex.sub(replacement_py, s, count=count)
+    return s.replace(to_string(pattern), replacement, 1)
+
+
+def _str_to_lower(s, args):
+    return s.lower()
+
+
+def _str_to_upper(s, args):
+    return s.upper()
+
+
+def _str_trim(s, args):
+    return s.strip()
+
+
+def _str_concat(s, args):
+    return s + "".join(to_string(a) for a in args)
+
+
+def _str_starts_with(s, args):
+    return s.startswith(to_string(_arg(args, 0, "")))
+
+
+_STRING_METHODS = {
+    "charAt": _str_char_at,
+    "charCodeAt": _str_char_code_at,
+    "indexOf": _str_index_of,
+    "lastIndexOf": _str_last_index_of,
+    "substring": _str_substring,
+    "substr": _str_substr,
+    "slice": _str_slice,
+    "split": _str_split,
+    "replace": _str_replace,
+    "toLowerCase": _str_to_lower,
+    "toUpperCase": _str_to_upper,
+    "trim": _str_trim,
+    "concat": _str_concat,
+    "startsWith": _str_starts_with,
+    "toString": lambda s, args: s,
+}
+
+
+# ------------------------------------------------------------------ arrays
+
+
+def _arr_push(arr, args):
+    arr.elements.extend(args)
+    return float(len(arr.elements))
+
+
+def _arr_pop(arr, args):
+    return arr.elements.pop() if arr.elements else JSUndefined
+
+
+def _arr_shift(arr, args):
+    return arr.elements.pop(0) if arr.elements else JSUndefined
+
+
+def _arr_unshift(arr, args):
+    arr.elements[:0] = args
+    return float(len(arr.elements))
+
+
+def _arr_join(arr, args):
+    separator = to_string(_arg(args, 0, ","))
+    if _arg(args, 0, None) in (None, JSUndefined):
+        separator = ","
+    return separator.join(
+        "" if e is JSUndefined or e is JSNull else to_string(e) for e in arr.elements
+    )
+
+
+def _arr_index_of(arr, args):
+    from .values import strict_equals
+
+    needle = _arg(args, 0)
+    for i, element in enumerate(arr.elements):
+        if strict_equals(element, needle):
+            return float(i)
+    return -1.0
+
+
+def _arr_slice(arr, args):
+    a_raw, b_raw = _arg(args, 0, None), _arg(args, 1, None)
+    a = 0 if a_raw in (None, JSUndefined) else int(to_number(a_raw) or 0)
+    b = len(arr.elements) if b_raw in (None, JSUndefined) else int(to_number(b_raw) or 0)
+    return JSArray(arr.elements[slice(a if a >= 0 else len(arr.elements) + a, b if b >= 0 else len(arr.elements) + b)])
+
+
+def _arr_concat(arr, args):
+    out = list(arr.elements)
+    for a in args:
+        if isinstance(a, JSArray):
+            out.extend(a.elements)
+        else:
+            out.append(a)
+    return JSArray(out)
+
+
+def _arr_reverse(arr, args):
+    arr.elements.reverse()
+    return arr
+
+
+def _arr_to_string(arr, args):
+    return _arr_join(arr, [","])
+
+
+_ARRAY_METHODS = {
+    "push": _arr_push,
+    "pop": _arr_pop,
+    "shift": _arr_shift,
+    "unshift": _arr_unshift,
+    "join": _arr_join,
+    "indexOf": _arr_index_of,
+    "slice": _arr_slice,
+    "concat": _arr_concat,
+    "reverse": _arr_reverse,
+    "toString": _arr_to_string,
+}
+
+
+# ----------------------------------------------------------------- numbers
+
+_NUMBER_METHODS = {
+    "toString": lambda n, args: _number_to_string(n, args),
+    "toFixed": lambda n, args: f"{n:.{int(to_number(_arg(args, 0, 0.0)) or 0)}f}",
+}
+
+
+def _number_to_string(n: float, args) -> str:
+    base = int(to_number(_arg(args, 0, 10.0)) or 10)
+    if base == 10:
+        return format_number(n)
+    digits = "0123456789abcdefghijklmnopqrstuvwxyz"
+    value = int(n)
+    if value == 0:
+        return "0"
+    negative = value < 0
+    value = abs(value)
+    out = ""
+    while value:
+        out = digits[value % base] + out
+        value //= base
+    return "-" + out if negative else out
+
+
+# ------------------------------------------------------------------ lookup
+
+
+def lookup(value: Any, name: str) -> Any:
+    """Return a bound built-in for ``value.name``, or None."""
+    if isinstance(value, str):
+        if name == "length":
+            return float(len(value))
+        fn = _STRING_METHODS.get(name)
+        if fn is not None:
+            return BoundMethod(name, value, fn)
+        return None
+    if isinstance(value, JSArray):
+        fn = _ARRAY_METHODS.get(name)
+        if fn is not None:
+            return BoundMethod(name, value, fn)
+        return None  # length handled by JSArray.get via interpreter fallback
+    if isinstance(value, (float, int)) and not isinstance(value, bool):
+        fn = _NUMBER_METHODS.get(name)
+        if fn is not None:
+            return BoundMethod(name, float(value), fn)
+        return None
+    if isinstance(value, JSObject):
+        # apply/call on stored functions are accessed through the object;
+        # generic objects have no built-ins beyond their own properties.
+        return None
+    from .values import JSFunction, NativeFunction
+
+    if isinstance(value, (JSFunction, NativeFunction, BoundMethod)) and name in ("call", "apply"):
+        return BoundMethod(name, value, _fn_call if name == "call" else _fn_apply)
+    return None
+
+
+def _fn_call(fn, args):
+    from .interpreter import _ACTIVE_INTERPRETER
+
+    this = _arg(args, 0, JSUndefined)
+    return _ACTIVE_INTERPRETER[0].call_function(fn, this, list(args[1:]))
+
+
+def _fn_apply(fn, args):
+    from .interpreter import _ACTIVE_INTERPRETER
+
+    this = _arg(args, 0, JSUndefined)
+    rest = _arg(args, 1, None)
+    arg_list = list(rest.elements) if isinstance(rest, JSArray) else []
+    return _ACTIVE_INTERPRETER[0].call_function(fn, this, arg_list)

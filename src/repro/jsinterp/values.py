@@ -1,0 +1,274 @@
+"""Runtime value model for the JavaScript interpreter.
+
+JavaScript values map onto Python as:
+
+* numbers → ``float`` (rendered integer-like when whole, as JS does),
+* strings → ``str``; booleans → ``bool``; ``null`` → ``JSNull``;
+  ``undefined`` → ``JSUndefined``,
+* objects → :class:`JSObject`; arrays → :class:`JSArray`;
+  functions → :class:`JSFunction` / :class:`NativeFunction`.
+
+Coercion helpers implement the (sub)set of ToString/ToNumber/ToBoolean/
+ToInt32 semantics the corpus exercises.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+class _Singleton:
+    _name = "singleton"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return self._name
+
+
+class JSUndefinedType(_Singleton):
+    _name = "undefined"
+
+
+class JSNullType(_Singleton):
+    _name = "null"
+
+
+JSUndefined = JSUndefinedType()
+JSNull = JSNullType()
+
+
+class JSObject:
+    """A plain mutable object with prototype-less own properties."""
+
+    def __init__(self, properties: dict[str, Any] | None = None):
+        self.properties: dict[str, Any] = dict(properties or {})
+
+    def get(self, key: str) -> Any:
+        return self.properties.get(key, JSUndefined)
+
+    def set(self, key: str, value: Any) -> None:
+        self.properties[key] = value
+
+    def has(self, key: str) -> bool:
+        return key in self.properties
+
+    def delete(self, key: str) -> bool:
+        return self.properties.pop(key, None) is not None
+
+    def keys(self) -> list[str]:
+        return list(self.properties)
+
+
+class JSArray(JSObject):
+    """Array: dense element list plus ordinary properties."""
+
+    def __init__(self, elements: list[Any] | None = None):
+        super().__init__()
+        self.elements: list[Any] = list(elements or [])
+
+    def get(self, key: str) -> Any:
+        if key == "length":
+            return float(len(self.elements))
+        index = _array_index(key)
+        if index is not None:
+            return self.elements[index] if index < len(self.elements) else JSUndefined
+        return super().get(key)
+
+    def set(self, key: str, value: Any) -> None:
+        if key == "length":
+            new_length = int(to_number(value))
+            del self.elements[new_length:]
+            self.elements.extend([JSUndefined] * (new_length - len(self.elements)))
+            return
+        index = _array_index(key)
+        if index is not None:
+            if index >= len(self.elements):
+                self.elements.extend([JSUndefined] * (index + 1 - len(self.elements)))
+            self.elements[index] = value
+            return
+        super().set(key, value)
+
+    def has(self, key: str) -> bool:
+        index = _array_index(key)
+        if index is not None:
+            return index < len(self.elements)
+        return key == "length" or super().has(key)
+
+    def keys(self) -> list[str]:
+        return [str(i) for i in range(len(self.elements))] + super().keys()
+
+
+def _array_index(key: str) -> int | None:
+    if key.isdigit():
+        return int(key)
+    return None
+
+
+@dataclass
+class JSFunction:
+    """A user-defined function (closure over its defining environment)."""
+
+    name: str
+    params: list[str]
+    rest_param: str | None
+    body: Any  # BlockStatement or expression node (arrow bodies)
+    env: Any  # Environment
+    is_arrow: bool = False
+    is_expression_body: bool = False
+    properties: dict[str, Any] = field(default_factory=dict)
+
+    def get(self, key: str) -> Any:
+        return self.properties.get(key, JSUndefined)
+
+    def set(self, key: str, value: Any) -> None:
+        self.properties[key] = value
+
+
+@dataclass
+class NativeFunction:
+    """A host function implemented in Python."""
+
+    name: str
+    fn: Callable[..., Any]
+    bound_this: Any = None
+
+    def __call__(self, this, args):
+        return self.fn(this, args)
+
+
+# ------------------------------------------------------------ coercions
+
+
+def to_boolean(value: Any) -> bool:
+    if value is JSUndefined or value is JSNull:
+        return False
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, float):
+        return value != 0.0 and not math.isnan(value)
+    if isinstance(value, str):
+        return value != ""
+    return True  # objects, arrays, functions
+
+
+def to_number(value: Any) -> float:
+    if isinstance(value, bool):
+        return 1.0 if value else 0.0
+    if isinstance(value, (int, float)):
+        return float(value)
+    if value is JSUndefined:
+        return math.nan
+    if value is JSNull:
+        return 0.0
+    if isinstance(value, str):
+        text = value.strip()
+        if text == "":
+            return 0.0
+        try:
+            if text.lower().startswith(("0x", "-0x", "+0x")):
+                return float(int(text, 16))
+            return float(text)
+        except ValueError:
+            return math.nan
+    if isinstance(value, JSArray):
+        if not value.elements:
+            return 0.0
+        if len(value.elements) == 1:
+            return to_number(value.elements[0])
+        return math.nan
+    return math.nan  # objects/functions
+
+
+def to_int32(value: Any) -> int:
+    number = to_number(value)
+    if math.isnan(number) or math.isinf(number):
+        return 0
+    n = int(number) & 0xFFFFFFFF
+    return n - 0x100000000 if n >= 0x80000000 else n
+
+
+def to_uint32(value: Any) -> int:
+    number = to_number(value)
+    if math.isnan(number) or math.isinf(number):
+        return 0
+    return int(number) & 0xFFFFFFFF
+
+
+def format_number(number: float) -> str:
+    if math.isnan(number):
+        return "NaN"
+    if math.isinf(number):
+        return "Infinity" if number > 0 else "-Infinity"
+    if number == int(number) and abs(number) < 1e21:
+        return str(int(number))
+    return repr(number)
+
+
+def to_string(value: Any) -> str:
+    if value is JSUndefined:
+        return "undefined"
+    if value is JSNull:
+        return "null"
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float):
+        return format_number(value)
+    if isinstance(value, str):
+        return value
+    if isinstance(value, JSArray):
+        return ",".join("" if e is JSUndefined or e is JSNull else to_string(e) for e in value.elements)
+    if isinstance(value, (JSFunction, NativeFunction)):
+        name = getattr(value, "name", "")
+        return f"function {name}() {{ [code] }}"
+    if isinstance(value, JSObject):
+        return "[object Object]"
+    return str(value)
+
+
+def type_of(value: Any) -> str:
+    if value is JSUndefined:
+        return "undefined"
+    if value is JSNull:
+        return "object"
+    if isinstance(value, bool):
+        return "boolean"
+    if isinstance(value, float):
+        return "number"
+    if isinstance(value, str):
+        return "string"
+    if isinstance(value, (JSFunction, NativeFunction)):
+        return "function"
+    return "object"
+
+
+def js_equals(a: Any, b: Any) -> bool:
+    """Abstract (loose) equality for the supported value set."""
+    if strict_equals(a, b):
+        return True
+    null_like = (JSNull, JSUndefined)
+    if (a in null_like if not isinstance(a, (JSObject, JSFunction)) else False) and (
+        b in null_like if not isinstance(b, (JSObject, JSFunction)) else False
+    ):
+        return True
+    if isinstance(a, (bool, float)) and isinstance(b, str):
+        return to_number(a) == to_number(b)
+    if isinstance(a, str) and isinstance(b, (bool, float)):
+        return to_number(a) == to_number(b)
+    if isinstance(a, bool) or isinstance(b, bool):
+        return to_number(a) == to_number(b)
+    if isinstance(a, (JSObject,)) and isinstance(b, (str, float)):
+        return js_equals(to_string(a), b)
+    if isinstance(b, (JSObject,)) and isinstance(a, (str, float)):
+        return js_equals(a, to_string(b))
+    return False
+
+
+def strict_equals(a: Any, b: Any) -> bool:
+    if type_of(a) != type_of(b):
+        return False
+    if isinstance(a, float) and isinstance(b, float):
+        return a == b  # NaN != NaN handled by float semantics
+    if isinstance(a, (JSObject, JSFunction, NativeFunction)):
+        return a is b
+    return a == b

@@ -1,0 +1,50 @@
+"""JavaScript front end: lexer, parser, AST, scope analysis, code generator.
+
+This package is the repository's substitute for Esprima — it parses the
+ES5.1+ subset exercised by the corpus into ESTree-compatible ASTs and can
+print ASTs back to source (used by the obfuscators).
+
+Quick use::
+
+    from repro.jsparser import parse, generate
+
+    program = parse("var x = 1 + 2;")
+    print(generate(program))
+"""
+
+from . import ast_nodes
+from .ast_nodes import FUNCTION_TYPES, LEAF_TYPES, Node
+from .codegen import CodeGenerator, generate
+from .errors import CodegenError, JSSyntaxError
+from .lexer import Lexer, tokenize
+from .parser import Parser, parse
+from .scope import Binding, Scope, ScopeAnalyzer, analyze_scopes
+from .tokens import Token, TokenType
+from .visitor import FunctionScopedVisitor, Visitor, count_nodes, find_all, walk, walk_with_parent
+
+__all__ = [
+    "ast_nodes",
+    "Node",
+    "FUNCTION_TYPES",
+    "LEAF_TYPES",
+    "CodeGenerator",
+    "generate",
+    "CodegenError",
+    "JSSyntaxError",
+    "Lexer",
+    "tokenize",
+    "Parser",
+    "parse",
+    "Binding",
+    "Scope",
+    "ScopeAnalyzer",
+    "analyze_scopes",
+    "Token",
+    "TokenType",
+    "Visitor",
+    "FunctionScopedVisitor",
+    "count_nodes",
+    "find_all",
+    "walk",
+    "walk_with_parent",
+]

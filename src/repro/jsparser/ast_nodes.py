@@ -1,0 +1,543 @@
+"""ESTree-compatible AST node classes.
+
+Every node exposes:
+
+* ``type`` — the ESTree type string (``"IfStatement"``, ...), matching what
+  Esprima would produce for the same construct, so downstream feature
+  pipelines (JSRevealer paths, ZOZZLE/JAST/JSTAP baselines) see the same
+  taxonomy as the paper's tooling.
+* ``_fields`` — the child-bearing attribute names in source order, which
+  gives all passes (visitor, path extraction, codegen, obfuscators) one
+  uniform way to walk the tree.
+* ``loc`` — ``(line, column)`` of the first token, for diagnostics.
+
+Nodes are plain mutable objects: the obfuscators edit trees in place and the
+code generator prints whatever shape results.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+
+class Node:
+    """Base class for all AST nodes."""
+
+    type: str = "Node"
+    _fields: tuple[str, ...] = ()
+
+    def __init__(self, loc: tuple[int, int] = (0, 0)):
+        self.loc = loc
+
+    def children(self) -> Iterator["Node"]:
+        """Yield child nodes in source order (flattening list fields)."""
+        for name in self._fields:
+            value = getattr(self, name, None)
+            if isinstance(value, Node):
+                yield value
+            elif isinstance(value, list):
+                for item in value:
+                    if isinstance(item, Node):
+                        yield item
+
+    def replace_child(self, old: "Node", new: "Node") -> bool:
+        """Replace ``old`` with ``new`` in whichever field holds it."""
+        for name in self._fields:
+            value = getattr(self, name, None)
+            if value is old:
+                setattr(self, name, new)
+                return True
+            if isinstance(value, list):
+                for i, item in enumerate(value):
+                    if item is old:
+                        value[i] = new
+                        return True
+        return False
+
+    def to_dict(self) -> dict[str, Any]:
+        """Serialize to a plain ESTree-style dictionary (for tests/tools)."""
+        out: dict[str, Any] = {"type": self.type}
+        for name in self._fields + getattr(self, "_attrs", ()):
+            value = getattr(self, name, None)
+            if isinstance(value, Node):
+                out[name] = value.to_dict()
+            elif isinstance(value, list):
+                out[name] = [v.to_dict() if isinstance(v, Node) else v for v in value]
+            else:
+                out[name] = value
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{self.type} @ {self.loc[0]}:{self.loc[1]}>"
+
+
+# --------------------------------------------------------------------- roots
+
+
+class Program(Node):
+    type = "Program"
+    _fields = ("body",)
+
+    def __init__(self, body: list[Node], loc=(0, 0)):
+        super().__init__(loc)
+        self.body = body
+
+
+# ---------------------------------------------------------------- statements
+
+
+class ExpressionStatement(Node):
+    type = "ExpressionStatement"
+    _fields = ("expression",)
+
+    def __init__(self, expression: Node, loc=(0, 0)):
+        super().__init__(loc)
+        self.expression = expression
+
+
+class BlockStatement(Node):
+    type = "BlockStatement"
+    _fields = ("body",)
+
+    def __init__(self, body: list[Node], loc=(0, 0)):
+        super().__init__(loc)
+        self.body = body
+
+
+class EmptyStatement(Node):
+    type = "EmptyStatement"
+
+
+class VariableDeclaration(Node):
+    type = "VariableDeclaration"
+    _fields = ("declarations",)
+    _attrs = ("kind",)
+
+    def __init__(self, declarations: list["VariableDeclarator"], kind: str = "var", loc=(0, 0)):
+        super().__init__(loc)
+        self.declarations = declarations
+        self.kind = kind
+
+
+class VariableDeclarator(Node):
+    type = "VariableDeclarator"
+    _fields = ("id", "init")
+
+    def __init__(self, id: Node, init: Node | None = None, loc=(0, 0)):
+        super().__init__(loc)
+        self.id = id
+        self.init = init
+
+
+class IfStatement(Node):
+    type = "IfStatement"
+    _fields = ("test", "consequent", "alternate")
+
+    def __init__(self, test: Node, consequent: Node, alternate: Node | None = None, loc=(0, 0)):
+        super().__init__(loc)
+        self.test = test
+        self.consequent = consequent
+        self.alternate = alternate
+
+
+class ForStatement(Node):
+    type = "ForStatement"
+    _fields = ("init", "test", "update", "body")
+
+    def __init__(self, init, test, update, body, loc=(0, 0)):
+        super().__init__(loc)
+        self.init = init
+        self.test = test
+        self.update = update
+        self.body = body
+
+
+class ForInStatement(Node):
+    type = "ForInStatement"
+    _fields = ("left", "right", "body")
+
+    def __init__(self, left, right, body, loc=(0, 0)):
+        super().__init__(loc)
+        self.left = left
+        self.right = right
+        self.body = body
+
+
+class ForOfStatement(Node):
+    type = "ForOfStatement"
+    _fields = ("left", "right", "body")
+
+    def __init__(self, left, right, body, loc=(0, 0)):
+        super().__init__(loc)
+        self.left = left
+        self.right = right
+        self.body = body
+
+
+class WhileStatement(Node):
+    type = "WhileStatement"
+    _fields = ("test", "body")
+
+    def __init__(self, test, body, loc=(0, 0)):
+        super().__init__(loc)
+        self.test = test
+        self.body = body
+
+
+class DoWhileStatement(Node):
+    type = "DoWhileStatement"
+    _fields = ("body", "test")
+
+    def __init__(self, body, test, loc=(0, 0)):
+        super().__init__(loc)
+        self.body = body
+        self.test = test
+
+
+class ReturnStatement(Node):
+    type = "ReturnStatement"
+    _fields = ("argument",)
+
+    def __init__(self, argument: Node | None = None, loc=(0, 0)):
+        super().__init__(loc)
+        self.argument = argument
+
+
+class BreakStatement(Node):
+    type = "BreakStatement"
+    _fields = ("label",)
+
+    def __init__(self, label: Node | None = None, loc=(0, 0)):
+        super().__init__(loc)
+        self.label = label
+
+
+class ContinueStatement(Node):
+    type = "ContinueStatement"
+    _fields = ("label",)
+
+    def __init__(self, label: Node | None = None, loc=(0, 0)):
+        super().__init__(loc)
+        self.label = label
+
+
+class ThrowStatement(Node):
+    type = "ThrowStatement"
+    _fields = ("argument",)
+
+    def __init__(self, argument: Node, loc=(0, 0)):
+        super().__init__(loc)
+        self.argument = argument
+
+
+class TryStatement(Node):
+    type = "TryStatement"
+    _fields = ("block", "handler", "finalizer")
+
+    def __init__(self, block, handler=None, finalizer=None, loc=(0, 0)):
+        super().__init__(loc)
+        self.block = block
+        self.handler = handler
+        self.finalizer = finalizer
+
+
+class CatchClause(Node):
+    type = "CatchClause"
+    _fields = ("param", "body")
+
+    def __init__(self, param, body, loc=(0, 0)):
+        super().__init__(loc)
+        self.param = param
+        self.body = body
+
+
+class SwitchStatement(Node):
+    type = "SwitchStatement"
+    _fields = ("discriminant", "cases")
+
+    def __init__(self, discriminant, cases, loc=(0, 0)):
+        super().__init__(loc)
+        self.discriminant = discriminant
+        self.cases = cases
+
+
+class SwitchCase(Node):
+    type = "SwitchCase"
+    _fields = ("test", "consequent")
+
+    def __init__(self, test, consequent, loc=(0, 0)):
+        super().__init__(loc)
+        self.test = test  # None for `default:`
+        self.consequent = consequent
+
+
+class LabeledStatement(Node):
+    type = "LabeledStatement"
+    _fields = ("label", "body")
+
+    def __init__(self, label, body, loc=(0, 0)):
+        super().__init__(loc)
+        self.label = label
+        self.body = body
+
+
+class WithStatement(Node):
+    type = "WithStatement"
+    _fields = ("object", "body")
+
+    def __init__(self, object, body, loc=(0, 0)):
+        super().__init__(loc)
+        self.object = object
+        self.body = body
+
+
+class DebuggerStatement(Node):
+    type = "DebuggerStatement"
+
+
+class FunctionDeclaration(Node):
+    type = "FunctionDeclaration"
+    _fields = ("id", "params", "body")
+
+    def __init__(self, id, params, body, loc=(0, 0)):
+        super().__init__(loc)
+        self.id = id
+        self.params = params
+        self.body = body
+
+
+# --------------------------------------------------------------- expressions
+
+
+class Identifier(Node):
+    type = "Identifier"
+    _attrs = ("name",)
+
+    def __init__(self, name: str, loc=(0, 0)):
+        super().__init__(loc)
+        self.name = name
+
+
+class Literal(Node):
+    type = "Literal"
+    _attrs = ("value", "raw")
+
+    def __init__(self, value: Any, raw: str = "", loc=(0, 0)):
+        super().__init__(loc)
+        self.value = value
+        self.raw = raw
+
+
+class TemplateLiteral(Node):
+    """A template literal without substitutions (lexer-enforced subset)."""
+
+    type = "TemplateLiteral"
+    _attrs = ("value",)
+
+    def __init__(self, value: str, loc=(0, 0)):
+        super().__init__(loc)
+        self.value = value
+
+
+class RegExpLiteral(Node):
+    type = "Literal"  # Esprima represents regexes as Literal with a regex attr
+    _attrs = ("value", "raw", "regex")
+
+    def __init__(self, pattern: str, flags: str, raw: str, loc=(0, 0)):
+        super().__init__(loc)
+        self.value = raw
+        self.raw = raw
+        self.regex = {"pattern": pattern, "flags": flags}
+
+
+class ThisExpression(Node):
+    type = "ThisExpression"
+
+
+class ArrayExpression(Node):
+    type = "ArrayExpression"
+    _fields = ("elements",)
+
+    def __init__(self, elements: list[Node | None], loc=(0, 0)):
+        super().__init__(loc)
+        self.elements = elements
+
+    def children(self) -> Iterator[Node]:
+        for element in self.elements:
+            if isinstance(element, Node):
+                yield element
+
+
+class ObjectExpression(Node):
+    type = "ObjectExpression"
+    _fields = ("properties",)
+
+    def __init__(self, properties: list["Property"], loc=(0, 0)):
+        super().__init__(loc)
+        self.properties = properties
+
+
+class Property(Node):
+    type = "Property"
+    _fields = ("key", "value")
+    _attrs = ("kind", "computed")
+
+    def __init__(self, key, value, kind="init", computed=False, loc=(0, 0)):
+        super().__init__(loc)
+        self.key = key
+        self.value = value
+        self.kind = kind
+        self.computed = computed
+
+
+class FunctionExpression(Node):
+    type = "FunctionExpression"
+    _fields = ("id", "params", "body")
+
+    def __init__(self, id, params, body, loc=(0, 0)):
+        super().__init__(loc)
+        self.id = id
+        self.params = params
+        self.body = body
+
+
+class ArrowFunctionExpression(Node):
+    type = "ArrowFunctionExpression"
+    _fields = ("params", "body")
+    _attrs = ("expression",)
+
+    def __init__(self, params, body, expression: bool, loc=(0, 0)):
+        super().__init__(loc)
+        self.params = params
+        self.body = body
+        self.expression = expression  # True when body is an expression
+
+
+class UnaryExpression(Node):
+    type = "UnaryExpression"
+    _fields = ("argument",)
+    _attrs = ("operator", "prefix")
+
+    def __init__(self, operator, argument, loc=(0, 0)):
+        super().__init__(loc)
+        self.operator = operator
+        self.argument = argument
+        self.prefix = True
+
+
+class UpdateExpression(Node):
+    type = "UpdateExpression"
+    _fields = ("argument",)
+    _attrs = ("operator", "prefix")
+
+    def __init__(self, operator, argument, prefix, loc=(0, 0)):
+        super().__init__(loc)
+        self.operator = operator
+        self.argument = argument
+        self.prefix = prefix
+
+
+class BinaryExpression(Node):
+    type = "BinaryExpression"
+    _fields = ("left", "right")
+    _attrs = ("operator",)
+
+    def __init__(self, operator, left, right, loc=(0, 0)):
+        super().__init__(loc)
+        self.operator = operator
+        self.left = left
+        self.right = right
+
+
+class LogicalExpression(Node):
+    type = "LogicalExpression"
+    _fields = ("left", "right")
+    _attrs = ("operator",)
+
+    def __init__(self, operator, left, right, loc=(0, 0)):
+        super().__init__(loc)
+        self.operator = operator
+        self.left = left
+        self.right = right
+
+
+class AssignmentExpression(Node):
+    type = "AssignmentExpression"
+    _fields = ("left", "right")
+    _attrs = ("operator",)
+
+    def __init__(self, operator, left, right, loc=(0, 0)):
+        super().__init__(loc)
+        self.operator = operator
+        self.left = left
+        self.right = right
+
+
+class ConditionalExpression(Node):
+    type = "ConditionalExpression"
+    _fields = ("test", "consequent", "alternate")
+
+    def __init__(self, test, consequent, alternate, loc=(0, 0)):
+        super().__init__(loc)
+        self.test = test
+        self.consequent = consequent
+        self.alternate = alternate
+
+
+class CallExpression(Node):
+    type = "CallExpression"
+    _fields = ("callee", "arguments")
+
+    def __init__(self, callee, arguments, loc=(0, 0)):
+        super().__init__(loc)
+        self.callee = callee
+        self.arguments = arguments
+
+
+class NewExpression(Node):
+    type = "NewExpression"
+    _fields = ("callee", "arguments")
+
+    def __init__(self, callee, arguments, loc=(0, 0)):
+        super().__init__(loc)
+        self.callee = callee
+        self.arguments = arguments
+
+
+class MemberExpression(Node):
+    type = "MemberExpression"
+    _fields = ("object", "property")
+    _attrs = ("computed",)
+
+    def __init__(self, object, property, computed, loc=(0, 0)):
+        super().__init__(loc)
+        self.object = object
+        self.property = property
+        self.computed = computed
+
+
+class SequenceExpression(Node):
+    type = "SequenceExpression"
+    _fields = ("expressions",)
+
+    def __init__(self, expressions, loc=(0, 0)):
+        super().__init__(loc)
+        self.expressions = expressions
+
+
+class SpreadElement(Node):
+    type = "SpreadElement"
+    _fields = ("argument",)
+
+    def __init__(self, argument, loc=(0, 0)):
+        super().__init__(loc)
+        self.argument = argument
+
+
+#: Node types that close over their own variable scope.
+FUNCTION_TYPES = frozenset(
+    {"FunctionDeclaration", "FunctionExpression", "ArrowFunctionExpression"}
+)
+
+#: Leaf node types for path extraction (carry a printable value).
+LEAF_TYPES = frozenset({"Identifier", "Literal", "TemplateLiteral", "ThisExpression"})

@@ -1,0 +1,438 @@
+"""AST → JavaScript source code generator.
+
+The generator emits readable, re-parseable code: every obfuscator in
+:mod:`repro.obfuscation` round-trips source through
+``parse → transform → generate``, and the property-based test-suite checks
+``parse(generate(parse(src)))`` produces an equivalent tree.
+
+Operator precedence is respected by comparing each child's precedence with
+its context and parenthesizing when needed, so generated code never changes
+evaluation order.
+"""
+
+from __future__ import annotations
+
+import json
+
+from . import ast_nodes as ast
+from .errors import CodegenError
+
+_BINARY_PRECEDENCE = {
+    "??": 1,
+    "||": 2,
+    "&&": 3,
+    "|": 4,
+    "^": 5,
+    "&": 6,
+    "==": 7,
+    "!=": 7,
+    "===": 7,
+    "!==": 7,
+    "<": 8,
+    ">": 8,
+    "<=": 8,
+    ">=": 8,
+    "instanceof": 8,
+    "in": 8,
+    "<<": 9,
+    ">>": 9,
+    ">>>": 9,
+    "+": 10,
+    "-": 10,
+    "*": 11,
+    "/": 11,
+    "%": 11,
+    "**": 12,
+}
+
+# Precedence levels for the surrounding-expression check.
+_PREC_SEQUENCE = 0
+_PREC_ASSIGN = 1
+_PREC_CONDITIONAL = 2
+_PREC_BINARY_BASE = 3  # + binary operator precedence (1..12)
+_PREC_UNARY = 16
+_PREC_POSTFIX = 17
+_PREC_CALL = 18
+_PREC_MEMBER = 19
+_PREC_PRIMARY = 20
+
+
+def _escape_string(value: str) -> str:
+    """Emit a double-quoted JS string literal for ``value``."""
+    return json.dumps(value)
+
+
+class CodeGenerator:
+    """Pretty-printer for the AST produced by :mod:`repro.jsparser.parser`."""
+
+    def __init__(self, indent: str = "  "):
+        self.indent_unit = indent
+        self._depth = 0
+        # Inside a `for (...;;)` init, a bare `in` operator would be
+        # re-parsed as a for-in header — parenthesize it there.
+        self._in_for_init = False
+
+    # ------------------------------------------------------------------ API
+
+    def generate(self, node: ast.Node) -> str:
+        """Render ``node`` (usually a Program) as JavaScript source."""
+        if node.type == "Program":
+            return "".join(self._statement(stmt) for stmt in node.body)
+        method = getattr(self, f"_gen_{node.type}", None)
+        if method is None:
+            raise CodegenError(f"No generator for node type {node.type}")
+        return method(node)
+
+    # ------------------------------------------------------------ statements
+
+    @property
+    def _pad(self) -> str:
+        return self.indent_unit * self._depth
+
+    def _statement(self, node: ast.Node) -> str:
+        method = getattr(self, f"_stmt_{node.type}", None)
+        if method is not None:
+            return method(node)
+        method = getattr(self, f"_gen_{node.type}", None)
+        if method is None:
+            raise CodegenError(f"No generator for statement type {node.type}")
+        return f"{self._pad}{method(node)};\n"
+
+    def _stmt_ExpressionStatement(self, node: ast.ExpressionStatement) -> str:
+        text = self._expr(node.expression, _PREC_SEQUENCE)
+        # A leading `{` or `function` would be re-parsed as a block/declaration.
+        if text.startswith("{") or text.startswith("function"):
+            text = f"({text})"
+        return f"{self._pad}{text};\n"
+
+    def _stmt_BlockStatement(self, node: ast.BlockStatement) -> str:
+        return f"{self._pad}{self._block(node)}\n"
+
+    def _block(self, node: ast.BlockStatement) -> str:
+        if not node.body:
+            return "{}"
+        self._depth += 1
+        inner = "".join(self._statement(stmt) for stmt in node.body)
+        self._depth -= 1
+        return "{\n" + inner + self._pad + "}"
+
+    def _stmt_EmptyStatement(self, node: ast.EmptyStatement) -> str:
+        return f"{self._pad};\n"
+
+    def _stmt_VariableDeclaration(self, node: ast.VariableDeclaration) -> str:
+        return f"{self._pad}{self._var_decl(node)};\n"
+
+    def _var_decl(self, node: ast.VariableDeclaration) -> str:
+        parts = []
+        for declarator in node.declarations:
+            text = self._expr(declarator.id, _PREC_PRIMARY)
+            if declarator.init is not None:
+                text += f" = {self._expr(declarator.init, _PREC_ASSIGN)}"
+            parts.append(text)
+        return f"{node.kind} " + ", ".join(parts)
+
+    def _stmt_IfStatement(self, node: ast.IfStatement) -> str:
+        test = self._expr(node.test, _PREC_SEQUENCE)
+        out = f"{self._pad}if ({test}) {self._nested(node.consequent)}"
+        if node.alternate is not None:
+            out = out.rstrip("\n")
+            if node.alternate.type == "IfStatement":
+                alt = self._stmt_IfStatement(node.alternate).lstrip()
+                out += f" else {alt}"
+            else:
+                out += f" else {self._nested(node.alternate).lstrip()}"
+        return out
+
+    def _nested(self, stmt: ast.Node) -> str:
+        """Render the body of an if/loop; blocks stay inline, others indent."""
+        if stmt.type == "BlockStatement":
+            return f"{self._block(stmt)}\n"
+        self._depth += 1
+        text = self._statement(stmt)
+        self._depth -= 1
+        return "\n" + text
+
+    def _stmt_ForStatement(self, node: ast.ForStatement) -> str:
+        self._in_for_init = True
+        try:
+            if node.init is None:
+                init = ""
+            elif node.init.type == "VariableDeclaration":
+                init = self._var_decl(node.init)
+            else:
+                init = self._expr(node.init, _PREC_SEQUENCE)
+        finally:
+            self._in_for_init = False
+        test = "" if node.test is None else self._expr(node.test, _PREC_SEQUENCE)
+        update = "" if node.update is None else self._expr(node.update, _PREC_SEQUENCE)
+        return f"{self._pad}for ({init}; {test}; {update}) {self._nested(node.body)}"
+
+    def _for_in_of(self, node, keyword: str) -> str:
+        if node.left.type == "VariableDeclaration":
+            left = self._var_decl(node.left)
+        else:
+            left = self._expr(node.left, _PREC_ASSIGN)
+        right = self._expr(node.right, _PREC_SEQUENCE)
+        return f"{self._pad}for ({left} {keyword} {right}) {self._nested(node.body)}"
+
+    def _stmt_ForInStatement(self, node: ast.ForInStatement) -> str:
+        return self._for_in_of(node, "in")
+
+    def _stmt_ForOfStatement(self, node: ast.ForOfStatement) -> str:
+        return self._for_in_of(node, "of")
+
+    def _stmt_WhileStatement(self, node: ast.WhileStatement) -> str:
+        return f"{self._pad}while ({self._expr(node.test, _PREC_SEQUENCE)}) {self._nested(node.body)}"
+
+    def _stmt_DoWhileStatement(self, node: ast.DoWhileStatement) -> str:
+        body = self._nested(node.body).rstrip("\n")
+        return f"{self._pad}do {body.lstrip() if node.body.type == 'BlockStatement' else body} while ({self._expr(node.test, _PREC_SEQUENCE)});\n"
+
+    def _stmt_ReturnStatement(self, node: ast.ReturnStatement) -> str:
+        if node.argument is None:
+            return f"{self._pad}return;\n"
+        return f"{self._pad}return {self._expr(node.argument, _PREC_SEQUENCE)};\n"
+
+    def _stmt_BreakStatement(self, node: ast.BreakStatement) -> str:
+        label = f" {node.label.name}" if node.label else ""
+        return f"{self._pad}break{label};\n"
+
+    def _stmt_ContinueStatement(self, node: ast.ContinueStatement) -> str:
+        label = f" {node.label.name}" if node.label else ""
+        return f"{self._pad}continue{label};\n"
+
+    def _stmt_ThrowStatement(self, node: ast.ThrowStatement) -> str:
+        return f"{self._pad}throw {self._expr(node.argument, _PREC_SEQUENCE)};\n"
+
+    def _stmt_TryStatement(self, node: ast.TryStatement) -> str:
+        out = f"{self._pad}try {self._block(node.block)}"
+        if node.handler is not None:
+            param = f" ({node.handler.param.name})" if node.handler.param else ""
+            out += f" catch{param} {self._block(node.handler.body)}"
+        if node.finalizer is not None:
+            out += f" finally {self._block(node.finalizer)}"
+        return out + "\n"
+
+    def _stmt_SwitchStatement(self, node: ast.SwitchStatement) -> str:
+        disc = self._expr(node.discriminant, _PREC_SEQUENCE)
+        out = f"{self._pad}switch ({disc}) {{\n"
+        self._depth += 1
+        for case in node.cases:
+            if case.test is None:
+                out += f"{self._pad}default:\n"
+            else:
+                out += f"{self._pad}case {self._expr(case.test, _PREC_SEQUENCE)}:\n"
+            self._depth += 1
+            out += "".join(self._statement(stmt) for stmt in case.consequent)
+            self._depth -= 1
+        self._depth -= 1
+        return out + f"{self._pad}}}\n"
+
+    def _stmt_LabeledStatement(self, node: ast.LabeledStatement) -> str:
+        body = self._statement(node.body).lstrip()
+        return f"{self._pad}{node.label.name}: {body}"
+
+    def _stmt_WithStatement(self, node: ast.WithStatement) -> str:
+        return f"{self._pad}with ({self._expr(node.object, _PREC_SEQUENCE)}) {self._nested(node.body)}"
+
+    def _stmt_DebuggerStatement(self, node: ast.DebuggerStatement) -> str:
+        return f"{self._pad}debugger;\n"
+
+    def _stmt_FunctionDeclaration(self, node: ast.FunctionDeclaration) -> str:
+        params = ", ".join(self._param(p) for p in node.params)
+        return f"{self._pad}function {node.id.name}({params}) {self._block(node.body)}\n"
+
+    def _param(self, param: ast.Node) -> str:
+        if param.type == "SpreadElement":
+            return f"...{self._expr(param.argument, _PREC_ASSIGN)}"
+        return self._expr(param, _PREC_ASSIGN)
+
+    # ----------------------------------------------------------- expressions
+
+    def _precedence(self, node: ast.Node) -> int:
+        type_ = node.type
+        if type_ == "SequenceExpression":
+            return _PREC_SEQUENCE
+        if type_ in ("AssignmentExpression", "ArrowFunctionExpression"):
+            return _PREC_ASSIGN
+        if type_ == "ConditionalExpression":
+            return _PREC_CONDITIONAL
+        if type_ in ("BinaryExpression", "LogicalExpression"):
+            return _PREC_BINARY_BASE + _BINARY_PRECEDENCE[node.operator]
+        if type_ == "UnaryExpression":
+            return _PREC_UNARY
+        if type_ == "UpdateExpression":
+            return _PREC_UNARY if node.prefix else _PREC_POSTFIX
+        if type_ in ("CallExpression", "NewExpression"):
+            return _PREC_CALL
+        if type_ == "MemberExpression":
+            return _PREC_MEMBER
+        return _PREC_PRIMARY
+
+    def _expr(self, node: ast.Node, min_precedence: int) -> str:
+        method = getattr(self, f"_gen_{node.type}", None)
+        if method is None:
+            raise CodegenError(f"No generator for expression type {node.type}")
+        text = method(node)
+        if self._precedence(node) < min_precedence:
+            return f"({text})"
+        return text
+
+    def _gen_Identifier(self, node: ast.Identifier) -> str:
+        return node.name
+
+    def _gen_Literal(self, node) -> str:
+        if getattr(node, "regex", None) is not None:
+            return node.raw
+        value = node.value
+        if value is None:
+            return "null"
+        if value is True:
+            return "true"
+        if value is False:
+            return "false"
+        if isinstance(value, str):
+            return _escape_string(value)
+        if isinstance(value, float) and value.is_integer():
+            return str(int(value))
+        return repr(value)
+
+    def _gen_TemplateLiteral(self, node: ast.TemplateLiteral) -> str:
+        escaped = node.value.replace("\\", "\\\\").replace("`", "\\`").replace("${", "\\${")
+        return f"`{escaped}`"
+
+    def _gen_ThisExpression(self, node) -> str:
+        return "this"
+
+    def _gen_ArrayExpression(self, node: ast.ArrayExpression) -> str:
+        parts = []
+        for element in node.elements:
+            if element is None:
+                parts.append("")
+            else:
+                parts.append(self._expr(element, _PREC_ASSIGN))
+        return "[" + ", ".join(parts) + "]"
+
+    def _gen_SpreadElement(self, node: ast.SpreadElement) -> str:
+        return f"...{self._expr(node.argument, _PREC_ASSIGN)}"
+
+    def _gen_ObjectExpression(self, node: ast.ObjectExpression) -> str:
+        if not node.properties:
+            return "{}"
+        parts = []
+        for prop in node.properties:
+            if prop.computed:
+                key = f"[{self._expr(prop.key, _PREC_ASSIGN)}]"
+            elif prop.key.type == "Identifier":
+                key = prop.key.name
+            else:
+                key = self._gen_Literal(prop.key)
+            if prop.kind in ("get", "set"):
+                fn = prop.value
+                params = ", ".join(self._param(p) for p in fn.params)
+                parts.append(f"{prop.kind} {key}({params}) {self._block(fn.body)}")
+            else:
+                parts.append(f"{key}: {self._expr(prop.value, _PREC_ASSIGN)}")
+        return "{ " + ", ".join(parts) + " }"
+
+    def _gen_FunctionExpression(self, node: ast.FunctionExpression) -> str:
+        name = f" {node.id.name}" if node.id else ""
+        params = ", ".join(self._param(p) for p in node.params)
+        return f"function{name}({params}) {self._block(node.body)}"
+
+    def _gen_ArrowFunctionExpression(self, node: ast.ArrowFunctionExpression) -> str:
+        params = ", ".join(self._param(p) for p in node.params)
+        head = f"({params})"
+        if node.expression:
+            body = self._expr(node.body, _PREC_ASSIGN)
+            if body.startswith("{"):
+                body = f"({body})"
+            return f"{head} => {body}"
+        return f"{head} => {self._block(node.body)}"
+
+    def _gen_UnaryExpression(self, node: ast.UnaryExpression) -> str:
+        spacer = " " if node.operator.isalpha() else ""
+        argument = self._expr(node.argument, _PREC_UNARY)
+        # Avoid `--x` / `++x` when printing `-(-x)` etc.
+        if not spacer and argument.startswith(node.operator[0]):
+            spacer = " "
+        return f"{node.operator}{spacer}{argument}"
+
+    def _gen_UpdateExpression(self, node: ast.UpdateExpression) -> str:
+        argument = self._expr(node.argument, _PREC_UNARY)
+        return f"{node.operator}{argument}" if node.prefix else f"{argument}{node.operator}"
+
+    def _binaryish(self, node) -> str:
+        if node.operator == "in" and self._in_for_init:
+            saved, self._in_for_init = self._in_for_init, False
+            try:
+                left = self._expr(node.left, _PREC_BINARY_BASE + _BINARY_PRECEDENCE["in"])
+                right = self._expr(node.right, _PREC_BINARY_BASE + _BINARY_PRECEDENCE["in"] + 1)
+            finally:
+                self._in_for_init = saved
+            return f"({left} in {right})"
+        precedence = _BINARY_PRECEDENCE[node.operator]
+        left_min = _PREC_BINARY_BASE + precedence
+        right_min = _PREC_BINARY_BASE + precedence + 1
+        if node.operator == "**":  # right-associative
+            left_min, right_min = right_min, left_min
+        left = self._expr(node.left, left_min)
+        right = self._expr(node.right, right_min)
+        return f"{left} {node.operator} {right}"
+
+    _gen_BinaryExpression = _binaryish
+    _gen_LogicalExpression = _binaryish
+
+    def _gen_AssignmentExpression(self, node: ast.AssignmentExpression) -> str:
+        left = self._expr(node.left, _PREC_POSTFIX)
+        right = self._expr(node.right, _PREC_ASSIGN)
+        return f"{left} {node.operator} {right}"
+
+    def _gen_ConditionalExpression(self, node: ast.ConditionalExpression) -> str:
+        test = self._expr(node.test, _PREC_CONDITIONAL + 1)
+        consequent = self._expr(node.consequent, _PREC_ASSIGN)
+        alternate = self._expr(node.alternate, _PREC_ASSIGN)
+        return f"{test} ? {consequent} : {alternate}"
+
+    def _gen_CallExpression(self, node: ast.CallExpression) -> str:
+        callee = self._expr(node.callee, _PREC_CALL)
+        arguments = ", ".join(self._expr(a, _PREC_ASSIGN) for a in node.arguments)
+        return f"{callee}({arguments})"
+
+    def _gen_NewExpression(self, node: ast.NewExpression) -> str:
+        # `new (f())()` needs parens when the callee contains a call; the
+        # wrap below supplies them, so print the callee unwrapped here.
+        if _contains_call(node.callee):
+            callee = f"({self._expr(node.callee, _PREC_SEQUENCE)})"
+        else:
+            callee = self._expr(node.callee, _PREC_MEMBER)
+        arguments = ", ".join(self._expr(a, _PREC_ASSIGN) for a in node.arguments)
+        return f"new {callee}({arguments})"
+
+    def _gen_MemberExpression(self, node: ast.MemberExpression) -> str:
+        obj = self._expr(node.object, _PREC_CALL if _is_call_like(node.object) else _PREC_MEMBER)
+        if isinstance(node.object, ast.Literal) and isinstance(node.object.value, (int, float)):
+            obj = f"({obj})"
+        if node.computed:
+            return f"{obj}[{self._expr(node.property, _PREC_SEQUENCE)}]"
+        return f"{obj}.{node.property.name}"
+
+    def _gen_SequenceExpression(self, node: ast.SequenceExpression) -> str:
+        return ", ".join(self._expr(e, _PREC_ASSIGN) for e in node.expressions)
+
+
+def _is_call_like(node: ast.Node) -> bool:
+    return node.type in ("CallExpression", "NewExpression")
+
+
+def _contains_call(node: ast.Node) -> bool:
+    if node.type == "CallExpression":
+        return True
+    if node.type == "MemberExpression":
+        return _contains_call(node.object)
+    return False
+
+
+def generate(node: ast.Node, indent: str = "  ") -> str:
+    """Render an AST back to JavaScript source text."""
+    return CodeGenerator(indent).generate(node)

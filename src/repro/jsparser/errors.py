@@ -1,0 +1,25 @@
+"""Error types raised by the JavaScript front end."""
+
+from __future__ import annotations
+
+
+class JSSyntaxError(Exception):
+    """Raised when the lexer or parser encounters invalid JavaScript.
+
+    Attributes:
+        message: Human-readable description.
+        line: 1-based line of the offending character or token.
+        column: 0-based column.
+        index: Absolute character offset in the source.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0, index: int = 0):
+        super().__init__(f"Line {line}: {message}")
+        self.message = message
+        self.line = line
+        self.column = column
+        self.index = index
+
+
+class CodegenError(Exception):
+    """Raised when the code generator meets an AST node it cannot print."""

@@ -1,0 +1,821 @@
+"""Recursive-descent parser producing ESTree-compatible ASTs.
+
+Grammar coverage: the full ES5.1 statement and expression grammar, plus the
+ES2015 constructs used in modern corpora — ``let``/``const``, arrow
+functions, ``for…of``, spread arguments, shorthand object properties, and
+substitution-free template literals.  Automatic semicolon insertion follows
+the spec's three rules (offending token on a new line, ``}``, or EOF, plus
+the restricted productions for ``return``/``throw``/``break``/``continue``
+and postfix ``++``/``--``).
+"""
+
+from __future__ import annotations
+
+from . import ast_nodes as ast
+from .errors import JSSyntaxError
+from .lexer import Lexer
+from .tokens import Token, TokenType
+
+# Binary operator precedence, mirroring the ECMAScript table.
+_BINARY_PRECEDENCE = {
+    "??": 1,
+    "||": 2,
+    "&&": 3,
+    "|": 4,
+    "^": 5,
+    "&": 6,
+    "==": 7,
+    "!=": 7,
+    "===": 7,
+    "!==": 7,
+    "<": 8,
+    ">": 8,
+    "<=": 8,
+    ">=": 8,
+    "instanceof": 8,
+    "in": 8,
+    "<<": 9,
+    ">>": 9,
+    ">>>": 9,
+    "+": 10,
+    "-": 10,
+    "*": 11,
+    "/": 11,
+    "%": 11,
+    "**": 12,
+}
+
+_LOGICAL_OPERATORS = frozenset({"&&", "||", "??"})
+
+_ASSIGNMENT_OPERATORS = frozenset(
+    {"=", "+=", "-=", "*=", "/=", "%=", "<<=", ">>=", ">>>=", "&=", "|=", "^=", "**=", "&&=", "||=", "??="}
+)
+
+_UNARY_OPERATORS = frozenset({"+", "-", "!", "~", "typeof", "void", "delete"})
+
+
+class Parser:
+    """Parses a token stream into a :class:`repro.jsparser.ast_nodes.Program`."""
+
+    def __init__(self, source: str):
+        self.source = source
+        self.tokens = Lexer(source).tokenize()
+        self.pos = 0
+        self._in_iteration = 0
+        self._in_switch = 0
+        self._in_function = 0
+        # `in` is not a binary operator inside a for-statement header.
+        self._no_in = False
+
+    # ------------------------------------------------------------------ API
+
+    def parse(self) -> ast.Program:
+        """Parse the whole source as a Program (script goal)."""
+        body: list[ast.Node] = []
+        while not self._at(TokenType.EOF):
+            body.append(self._parse_statement())
+        return ast.Program(body, loc=(1, 0))
+
+    # --------------------------------------------------------- token helpers
+
+    @property
+    def _cur(self) -> Token:
+        return self.tokens[self.pos]
+
+    def _peek(self, offset: int = 1) -> Token:
+        i = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[i]
+
+    def _at(self, type_: TokenType, value: str | None = None) -> bool:
+        return self._cur.matches(type_, value)
+
+    def _at_punct(self, value: str) -> bool:
+        return self._cur.matches(TokenType.PUNCTUATOR, value)
+
+    def _at_keyword(self, value: str) -> bool:
+        return self._cur.matches(TokenType.KEYWORD, value)
+
+    def _advance(self) -> Token:
+        token = self._cur
+        if token.type is not TokenType.EOF:
+            self.pos += 1
+        return token
+
+    def _expect(self, type_: TokenType, value: str | None = None) -> Token:
+        if not self._at(type_, value):
+            raise self._error(f"Expected {value or type_.value}, got {self._cur.value!r}")
+        return self._advance()
+
+    def _expect_punct(self, value: str) -> Token:
+        return self._expect(TokenType.PUNCTUATOR, value)
+
+    def _eat_punct(self, value: str) -> bool:
+        if self._at_punct(value):
+            self._advance()
+            return True
+        return False
+
+    def _error(self, message: str) -> JSSyntaxError:
+        token = self._cur
+        return JSSyntaxError(message, token.line, token.column, token.start)
+
+    def _loc(self) -> tuple[int, int]:
+        return (self._cur.line, self._cur.column)
+
+    def _consume_semicolon(self) -> None:
+        """Consume ``;`` applying automatic semicolon insertion rules."""
+        if self._eat_punct(";"):
+            return
+        if self._at_punct("}") or self._at(TokenType.EOF) or self._cur.preceded_by_newline:
+            return
+        raise self._error(f"Expected ';', got {self._cur.value!r}")
+
+    # ------------------------------------------------------------ statements
+
+    def _parse_statement(self) -> ast.Node:
+        loc = self._loc()
+        if self._at(TokenType.PUNCTUATOR):
+            if self._at_punct("{"):
+                return self._parse_block()
+            if self._at_punct(";"):
+                self._advance()
+                return ast.EmptyStatement(loc)
+        if self._at(TokenType.KEYWORD):
+            keyword = self._cur.value
+            handler = getattr(self, f"_parse_{keyword}_statement", None)
+            if handler is not None:
+                return handler()
+        if (
+            self._at(TokenType.IDENTIFIER)
+            and self._peek().matches(TokenType.PUNCTUATOR, ":")
+        ):
+            label = ast.Identifier(self._advance().value, loc)
+            self._advance()  # ':'
+            return ast.LabeledStatement(label, self._parse_statement(), loc)
+        expression = self._parse_expression()
+        self._consume_semicolon()
+        return ast.ExpressionStatement(expression, loc)
+
+    def _parse_block(self) -> ast.BlockStatement:
+        loc = self._loc()
+        self._expect_punct("{")
+        body: list[ast.Node] = []
+        while not self._at_punct("}"):
+            if self._at(TokenType.EOF):
+                raise self._error("Unterminated block")
+            body.append(self._parse_statement())
+        self._advance()
+        return ast.BlockStatement(body, loc)
+
+    def _parse_var_statement(self) -> ast.Node:
+        declaration = self._parse_variable_declaration()
+        self._consume_semicolon()
+        return declaration
+
+    _parse_let_statement = _parse_var_statement
+    _parse_const_statement = _parse_var_statement
+
+    def _parse_variable_declaration(self) -> ast.VariableDeclaration:
+        loc = self._loc()
+        kind = self._advance().value  # var / let / const
+        declarations = [self._parse_variable_declarator()]
+        while self._eat_punct(","):
+            declarations.append(self._parse_variable_declarator())
+        return ast.VariableDeclaration(declarations, kind, loc)
+
+    def _parse_variable_declarator(self) -> ast.VariableDeclarator:
+        loc = self._loc()
+        name = self._parse_binding_identifier()
+        init = None
+        if self._eat_punct("="):
+            init = self._parse_assignment_expression()
+        return ast.VariableDeclarator(name, init, loc)
+
+    def _parse_binding_identifier(self) -> ast.Identifier:
+        loc = self._loc()
+        if self._at(TokenType.IDENTIFIER):
+            return ast.Identifier(self._advance().value, loc)
+        # `let` / `yield` are contextually valid identifiers in sloppy mode.
+        if self._at(TokenType.KEYWORD) and self._cur.value in ("let", "yield"):
+            return ast.Identifier(self._advance().value, loc)
+        raise self._error(f"Expected identifier, got {self._cur.value!r}")
+
+    def _parse_if_statement(self) -> ast.IfStatement:
+        loc = self._loc()
+        self._advance()
+        self._expect_punct("(")
+        test = self._parse_expression()
+        self._expect_punct(")")
+        consequent = self._parse_statement()
+        alternate = None
+        if self._at_keyword("else"):
+            self._advance()
+            alternate = self._parse_statement()
+        return ast.IfStatement(test, consequent, alternate, loc)
+
+    def _parse_for_statement(self) -> ast.Node:
+        loc = self._loc()
+        self._advance()
+        self._expect_punct("(")
+
+        init: ast.Node | None = None
+        if not self._at_punct(";"):
+            self._no_in = True
+            try:
+                if self._at(TokenType.KEYWORD) and self._cur.value in ("var", "let", "const"):
+                    init = self._parse_variable_declaration()
+                else:
+                    init = self._parse_expression()
+            finally:
+                self._no_in = False
+            if self._at_keyword("in") or self._at(TokenType.IDENTIFIER, ) and self._cur.value == "of":
+                pass  # handled below
+        if init is not None and (self._at_keyword("in") or (self._at(TokenType.IDENTIFIER) and self._cur.value == "of")):
+            is_of = self._cur.value == "of"
+            self._advance()
+            right = self._parse_assignment_expression() if is_of else self._parse_expression()
+            self._expect_punct(")")
+            self._in_iteration += 1
+            try:
+                body = self._parse_statement()
+            finally:
+                self._in_iteration -= 1
+            cls = ast.ForOfStatement if is_of else ast.ForInStatement
+            return cls(init, right, body, loc)
+
+        self._expect_punct(";")
+        test = None if self._at_punct(";") else self._parse_expression()
+        self._expect_punct(";")
+        update = None if self._at_punct(")") else self._parse_expression()
+        self._expect_punct(")")
+        self._in_iteration += 1
+        try:
+            body = self._parse_statement()
+        finally:
+            self._in_iteration -= 1
+        return ast.ForStatement(init, test, update, body, loc)
+
+    def _parse_while_statement(self) -> ast.WhileStatement:
+        loc = self._loc()
+        self._advance()
+        self._expect_punct("(")
+        test = self._parse_expression()
+        self._expect_punct(")")
+        self._in_iteration += 1
+        try:
+            body = self._parse_statement()
+        finally:
+            self._in_iteration -= 1
+        return ast.WhileStatement(test, body, loc)
+
+    def _parse_do_statement(self) -> ast.DoWhileStatement:
+        loc = self._loc()
+        self._advance()
+        self._in_iteration += 1
+        try:
+            body = self._parse_statement()
+        finally:
+            self._in_iteration -= 1
+        self._expect(TokenType.KEYWORD, "while")
+        self._expect_punct("(")
+        test = self._parse_expression()
+        self._expect_punct(")")
+        self._eat_punct(";")
+        return ast.DoWhileStatement(body, test, loc)
+
+    def _parse_return_statement(self) -> ast.ReturnStatement:
+        loc = self._loc()
+        self._advance()
+        argument = None
+        if (
+            not self._at_punct(";")
+            and not self._at_punct("}")
+            and not self._at(TokenType.EOF)
+            and not self._cur.preceded_by_newline
+        ):
+            argument = self._parse_expression()
+        self._consume_semicolon()
+        return ast.ReturnStatement(argument, loc)
+
+    def _parse_break_statement(self) -> ast.BreakStatement:
+        loc = self._loc()
+        self._advance()
+        label = None
+        if self._at(TokenType.IDENTIFIER) and not self._cur.preceded_by_newline:
+            label = ast.Identifier(self._advance().value, loc)
+        self._consume_semicolon()
+        return ast.BreakStatement(label, loc)
+
+    def _parse_continue_statement(self) -> ast.ContinueStatement:
+        loc = self._loc()
+        self._advance()
+        label = None
+        if self._at(TokenType.IDENTIFIER) and not self._cur.preceded_by_newline:
+            label = ast.Identifier(self._advance().value, loc)
+        self._consume_semicolon()
+        return ast.ContinueStatement(label, loc)
+
+    def _parse_throw_statement(self) -> ast.ThrowStatement:
+        loc = self._loc()
+        self._advance()
+        if self._cur.preceded_by_newline:
+            raise self._error("Illegal newline after throw")
+        argument = self._parse_expression()
+        self._consume_semicolon()
+        return ast.ThrowStatement(argument, loc)
+
+    def _parse_try_statement(self) -> ast.TryStatement:
+        loc = self._loc()
+        self._advance()
+        block = self._parse_block()
+        handler = None
+        finalizer = None
+        if self._at_keyword("catch"):
+            handler_loc = self._loc()
+            self._advance()
+            param = None
+            if self._eat_punct("("):
+                param = self._parse_binding_identifier()
+                self._expect_punct(")")
+            handler = ast.CatchClause(param, self._parse_block(), handler_loc)
+        if self._at_keyword("finally"):
+            self._advance()
+            finalizer = self._parse_block()
+        if handler is None and finalizer is None:
+            raise self._error("Missing catch or finally after try")
+        return ast.TryStatement(block, handler, finalizer, loc)
+
+    def _parse_switch_statement(self) -> ast.SwitchStatement:
+        loc = self._loc()
+        self._advance()
+        self._expect_punct("(")
+        discriminant = self._parse_expression()
+        self._expect_punct(")")
+        self._expect_punct("{")
+        cases: list[ast.SwitchCase] = []
+        seen_default = False
+        self._in_switch += 1
+        try:
+            while not self._at_punct("}"):
+                case_loc = self._loc()
+                if self._at_keyword("case"):
+                    self._advance()
+                    test = self._parse_expression()
+                elif self._at_keyword("default"):
+                    if seen_default:
+                        raise self._error("Multiple default clauses")
+                    seen_default = True
+                    self._advance()
+                    test = None
+                else:
+                    raise self._error("Expected case or default")
+                self._expect_punct(":")
+                consequent: list[ast.Node] = []
+                while not (
+                    self._at_punct("}")
+                    or self._at_keyword("case")
+                    or self._at_keyword("default")
+                ):
+                    consequent.append(self._parse_statement())
+                cases.append(ast.SwitchCase(test, consequent, case_loc))
+        finally:
+            self._in_switch -= 1
+        self._expect_punct("}")
+        return ast.SwitchStatement(discriminant, cases, loc)
+
+    def _parse_with_statement(self) -> ast.WithStatement:
+        loc = self._loc()
+        self._advance()
+        self._expect_punct("(")
+        obj = self._parse_expression()
+        self._expect_punct(")")
+        return ast.WithStatement(obj, self._parse_statement(), loc)
+
+    def _parse_debugger_statement(self) -> ast.DebuggerStatement:
+        loc = self._loc()
+        self._advance()
+        self._consume_semicolon()
+        return ast.DebuggerStatement(loc)
+
+    def _parse_function_statement(self) -> ast.FunctionDeclaration:
+        loc = self._loc()
+        self._advance()  # 'function'
+        name = self._parse_binding_identifier()
+        params = self._parse_params()
+        body = self._parse_function_body()
+        return ast.FunctionDeclaration(name, params, body, loc)
+
+    def _parse_params(self) -> list[ast.Node]:
+        self._expect_punct("(")
+        params: list[ast.Node] = []
+        while not self._at_punct(")"):
+            if params:
+                self._expect_punct(",")
+                if self._at_punct(")"):  # trailing comma
+                    break
+            if self._at_punct("..."):
+                rest_loc = self._loc()
+                self._advance()
+                params.append(ast.SpreadElement(self._parse_binding_identifier(), rest_loc))
+            else:
+                params.append(self._parse_binding_identifier())
+        self._expect_punct(")")
+        return params
+
+    def _parse_function_body(self) -> ast.BlockStatement:
+        self._in_function += 1
+        saved_iteration, saved_switch = self._in_iteration, self._in_switch
+        self._in_iteration = self._in_switch = 0
+        try:
+            return self._parse_block()
+        finally:
+            self._in_function -= 1
+            self._in_iteration, self._in_switch = saved_iteration, saved_switch
+
+    # ----------------------------------------------------------- expressions
+
+    def _parse_expression(self) -> ast.Node:
+        loc = self._loc()
+        expression = self._parse_assignment_expression()
+        if not self._at_punct(","):
+            return expression
+        expressions = [expression]
+        while self._eat_punct(","):
+            expressions.append(self._parse_assignment_expression())
+        return ast.SequenceExpression(expressions, loc)
+
+    def _parse_assignment_expression(self) -> ast.Node:
+        arrow = self._try_parse_arrow_function()
+        if arrow is not None:
+            return arrow
+        loc = self._loc()
+        left = self._parse_conditional_expression()
+        if self._at(TokenType.PUNCTUATOR) and self._cur.value in _ASSIGNMENT_OPERATORS:
+            if left.type not in ("Identifier", "MemberExpression"):
+                raise self._error("Invalid assignment target")
+            operator = self._advance().value
+            right = self._parse_assignment_expression()
+            return ast.AssignmentExpression(operator, left, right, loc)
+        return left
+
+    def _try_parse_arrow_function(self) -> ast.ArrowFunctionExpression | None:
+        """Parse ``x => …`` / ``(a, b) => …`` when the cursor sits on one."""
+        loc = self._loc()
+        if self._at(TokenType.IDENTIFIER) and self._peek().matches(TokenType.PUNCTUATOR, "=>"):
+            params = [ast.Identifier(self._advance().value, loc)]
+            self._advance()  # '=>'
+            return self._finish_arrow(params, loc)
+        if self._at_punct("(") and self._arrow_params_ahead():
+            params = self._parse_params()
+            self._expect_punct("=>")
+            return self._finish_arrow(params, loc)
+        return None
+
+    def _arrow_params_ahead(self) -> bool:
+        """Lookahead: does the parenthesized group end with ``) =>``?"""
+        depth = 0
+        i = self.pos
+        while i < len(self.tokens):
+            token = self.tokens[i]
+            if token.matches(TokenType.PUNCTUATOR, "("):
+                depth += 1
+            elif token.matches(TokenType.PUNCTUATOR, ")"):
+                depth -= 1
+                if depth == 0:
+                    return self.tokens[i + 1].matches(TokenType.PUNCTUATOR, "=>") if i + 1 < len(self.tokens) else False
+            elif token.type is TokenType.EOF:
+                return False
+            elif depth == 1 and token.type is TokenType.PUNCTUATOR and token.value in ("{", "["):
+                return False  # destructuring params unsupported; treat as paren expr
+            i += 1
+        return False
+
+    def _finish_arrow(self, params: list[ast.Node], loc: tuple[int, int]) -> ast.ArrowFunctionExpression:
+        if self._at_punct("{"):
+            body: ast.Node = self._parse_function_body()
+            return ast.ArrowFunctionExpression(params, body, expression=False, loc=loc)
+        body = self._parse_assignment_expression()
+        return ast.ArrowFunctionExpression(params, body, expression=True, loc=loc)
+
+    def _parse_conditional_expression(self) -> ast.Node:
+        loc = self._loc()
+        test = self._parse_binary_expression(0)
+        if not self._at_punct("?"):
+            return test
+        self._advance()
+        saved_no_in, self._no_in = self._no_in, False
+        consequent = self._parse_assignment_expression()
+        self._no_in = saved_no_in
+        self._expect_punct(":")
+        alternate = self._parse_assignment_expression()
+        return ast.ConditionalExpression(test, consequent, alternate, loc)
+
+    def _binary_operator(self) -> str | None:
+        token = self._cur
+        if token.type is TokenType.PUNCTUATOR and token.value in _BINARY_PRECEDENCE:
+            return token.value
+        if token.type is TokenType.KEYWORD and token.value == "instanceof":
+            return token.value
+        if token.type is TokenType.KEYWORD and token.value == "in" and not self._no_in:
+            return token.value
+        return None
+
+    def _parse_binary_expression(self, min_precedence: int) -> ast.Node:
+        loc = self._loc()
+        left = self._parse_unary_expression()
+        while True:
+            operator = self._binary_operator()
+            if operator is None:
+                return left
+            precedence = _BINARY_PRECEDENCE[operator]
+            if precedence < min_precedence:
+                return left
+            self._advance()
+            # '**' is right-associative; everything else is left-associative.
+            next_min = precedence if operator == "**" else precedence + 1
+            right = self._parse_binary_expression(next_min)
+            cls = ast.LogicalExpression if operator in _LOGICAL_OPERATORS else ast.BinaryExpression
+            left = cls(operator, left, right, loc)
+
+    def _parse_unary_expression(self) -> ast.Node:
+        loc = self._loc()
+        token = self._cur
+        if (token.type is TokenType.PUNCTUATOR and token.value in ("+", "-", "!", "~")) or (
+            token.type is TokenType.KEYWORD and token.value in ("typeof", "void", "delete")
+        ):
+            operator = self._advance().value
+            argument = self._parse_unary_expression()
+            return ast.UnaryExpression(operator, argument, loc)
+        if token.type is TokenType.PUNCTUATOR and token.value in ("++", "--"):
+            operator = self._advance().value
+            argument = self._parse_unary_expression()
+            return ast.UpdateExpression(operator, argument, prefix=True, loc=loc)
+        return self._parse_postfix_expression()
+
+    def _parse_postfix_expression(self) -> ast.Node:
+        loc = self._loc()
+        expression = self._parse_left_hand_side()
+        if (
+            self._at(TokenType.PUNCTUATOR)
+            and self._cur.value in ("++", "--")
+            and not self._cur.preceded_by_newline
+        ):
+            operator = self._advance().value
+            return ast.UpdateExpression(operator, expression, prefix=False, loc=loc)
+        return expression
+
+    def _parse_left_hand_side(self) -> ast.Node:
+        if self._at_keyword("new"):
+            expression = self._parse_new_expression()
+        else:
+            expression = self._parse_primary_expression()
+        return self._parse_call_tail(expression)
+
+    def _parse_new_expression(self) -> ast.Node:
+        loc = self._loc()
+        self._advance()  # 'new'
+        if self._at_keyword("new"):
+            callee: ast.Node = self._parse_new_expression()
+        else:
+            callee = self._parse_primary_expression()
+            callee = self._parse_member_tail(callee)
+        arguments: list[ast.Node] = []
+        if self._at_punct("("):
+            arguments = self._parse_arguments()
+        return ast.NewExpression(callee, arguments, loc)
+
+    def _parse_member_tail(self, expression: ast.Node) -> ast.Node:
+        """Member accesses only (no calls) — used for `new X.Y(...)` callees."""
+        while True:
+            loc = self._loc()
+            if self._eat_punct("."):
+                prop = ast.Identifier(self._parse_property_name(), loc)
+                expression = ast.MemberExpression(expression, prop, computed=False, loc=loc)
+            elif self._at_punct("["):
+                self._advance()
+                saved_no_in, self._no_in = self._no_in, False
+                prop_expr = self._parse_expression()
+                self._no_in = saved_no_in
+                self._expect_punct("]")
+                expression = ast.MemberExpression(expression, prop_expr, computed=True, loc=loc)
+            else:
+                return expression
+
+    def _parse_call_tail(self, expression: ast.Node) -> ast.Node:
+        while True:
+            loc = self._loc()
+            if self._eat_punct("."):
+                prop = ast.Identifier(self._parse_property_name(), loc)
+                expression = ast.MemberExpression(expression, prop, computed=False, loc=loc)
+            elif self._at_punct("["):
+                self._advance()
+                saved_no_in, self._no_in = self._no_in, False
+                prop_expr = self._parse_expression()
+                self._no_in = saved_no_in
+                self._expect_punct("]")
+                expression = ast.MemberExpression(expression, prop_expr, computed=True, loc=loc)
+            elif self._at_punct("("):
+                expression = ast.CallExpression(expression, self._parse_arguments(), loc)
+            else:
+                return expression
+
+    def _parse_property_name(self) -> str:
+        """Property names after ``.`` may be keywords (``a.delete``)."""
+        token = self._cur
+        if token.type in (TokenType.IDENTIFIER, TokenType.KEYWORD, TokenType.BOOLEAN, TokenType.NULL):
+            return self._advance().value
+        raise self._error(f"Expected property name, got {token.value!r}")
+
+    def _parse_arguments(self) -> list[ast.Node]:
+        self._expect_punct("(")
+        saved_no_in, self._no_in = self._no_in, False
+        arguments: list[ast.Node] = []
+        while not self._at_punct(")"):
+            if arguments:
+                self._expect_punct(",")
+                if self._at_punct(")"):  # trailing comma
+                    break
+            if self._at_punct("..."):
+                spread_loc = self._loc()
+                self._advance()
+                arguments.append(ast.SpreadElement(self._parse_assignment_expression(), spread_loc))
+            else:
+                arguments.append(self._parse_assignment_expression())
+        self._expect_punct(")")
+        self._no_in = saved_no_in
+        return arguments
+
+    def _parse_primary_expression(self) -> ast.Node:
+        loc = self._loc()
+        token = self._cur
+
+        if token.type is TokenType.IDENTIFIER:
+            self._advance()
+            return ast.Identifier(token.value, loc)
+        if token.type is TokenType.NUMERIC:
+            self._advance()
+            return ast.Literal(self._numeric_value(token.value), token.raw, loc)
+        if token.type is TokenType.STRING:
+            self._advance()
+            return ast.Literal(token.value, token.raw, loc)
+        if token.type is TokenType.TEMPLATE:
+            self._advance()
+            return ast.TemplateLiteral(token.value, loc)
+        if token.type is TokenType.BOOLEAN:
+            self._advance()
+            return ast.Literal(token.value == "true", token.raw, loc)
+        if token.type is TokenType.NULL:
+            self._advance()
+            return ast.Literal(None, token.raw, loc)
+        if token.type is TokenType.REGEXP:
+            self._advance()
+            body, _, flags = token.value.rpartition("/")
+            return ast.RegExpLiteral(body[1:], flags, token.raw, loc)
+
+        if token.type is TokenType.KEYWORD:
+            if token.value == "this":
+                self._advance()
+                return ast.ThisExpression(loc)
+            if token.value == "function":
+                return self._parse_function_expression()
+            if token.value in ("let", "yield"):  # contextual identifiers
+                self._advance()
+                return ast.Identifier(token.value, loc)
+
+        if self._at_punct("("):
+            self._advance()
+            saved_no_in, self._no_in = self._no_in, False
+            expression = self._parse_expression()
+            self._no_in = saved_no_in
+            self._expect_punct(")")
+            return expression
+        if self._at_punct("["):
+            return self._parse_array_literal()
+        if self._at_punct("{"):
+            return self._parse_object_literal()
+
+        raise self._error(f"Unexpected token {token.value!r}")
+
+    @staticmethod
+    def _numeric_value(raw: str) -> float | int:
+        lowered = raw.lower()
+        if lowered.startswith("0x"):
+            return int(lowered, 16)
+        if lowered.startswith("0o"):
+            return int(lowered, 8)
+        if lowered.startswith("0b"):
+            return int(lowered, 2)
+        value = float(raw)
+        return int(value) if value.is_integer() and "e" not in lowered and "." not in raw else value
+
+    def _parse_function_expression(self) -> ast.FunctionExpression:
+        loc = self._loc()
+        self._advance()  # 'function'
+        name = None
+        if self._at(TokenType.IDENTIFIER):
+            name = ast.Identifier(self._advance().value, self._loc())
+        params = self._parse_params()
+        body = self._parse_function_body()
+        return ast.FunctionExpression(name, params, body, loc)
+
+    def _parse_array_literal(self) -> ast.ArrayExpression:
+        loc = self._loc()
+        self._expect_punct("[")
+        saved_no_in, self._no_in = self._no_in, False
+        elements: list[ast.Node | None] = []
+        while not self._at_punct("]"):
+            if self._at_punct(","):
+                self._advance()
+                elements.append(None)  # elision
+                continue
+            if self._at_punct("..."):
+                spread_loc = self._loc()
+                self._advance()
+                elements.append(ast.SpreadElement(self._parse_assignment_expression(), spread_loc))
+            else:
+                elements.append(self._parse_assignment_expression())
+            if not self._at_punct("]"):
+                self._expect_punct(",")
+        self._advance()
+        self._no_in = saved_no_in
+        # Trailing elision after a final comma is represented by the comma
+        # handling above; drop one trailing None that came from `[a,]`.
+        if elements and elements[-1] is None:
+            elements.pop()
+        return ast.ArrayExpression(elements, loc)
+
+    def _parse_object_literal(self) -> ast.ObjectExpression:
+        loc = self._loc()
+        self._expect_punct("{")
+        saved_no_in, self._no_in = self._no_in, False
+        properties: list[ast.Property] = []
+        while not self._at_punct("}"):
+            if properties:
+                self._expect_punct(",")
+                if self._at_punct("}"):  # trailing comma
+                    break
+            properties.append(self._parse_property())
+        self._advance()
+        self._no_in = saved_no_in
+        return properties and ast.ObjectExpression(properties, loc) or ast.ObjectExpression([], loc)
+
+    def _parse_property(self) -> ast.Property:
+        loc = self._loc()
+        token = self._cur
+
+        # get / set accessors: `get name() {...}`
+        if (
+            token.type is TokenType.IDENTIFIER
+            and token.value in ("get", "set")
+            and not self._peek().matches(TokenType.PUNCTUATOR, ":")
+            and not self._peek().matches(TokenType.PUNCTUATOR, ",")
+            and not self._peek().matches(TokenType.PUNCTUATOR, "}")
+            and not self._peek().matches(TokenType.PUNCTUATOR, "(")
+        ):
+            kind = self._advance().value
+            key = self._parse_property_key()
+            params = self._parse_params()
+            body = self._parse_function_body()
+            fn = ast.FunctionExpression(None, params, body, loc)
+            return ast.Property(key, fn, kind=kind, loc=loc)
+
+        computed = False
+        if self._at_punct("["):
+            self._advance()
+            key: ast.Node = self._parse_assignment_expression()
+            self._expect_punct("]")
+            computed = True
+        else:
+            key = self._parse_property_key()
+
+        if self._at_punct("("):  # shorthand method: `name() {...}`
+            params = self._parse_params()
+            body = self._parse_function_body()
+            fn = ast.FunctionExpression(None, params, body, loc)
+            return ast.Property(key, fn, kind="init", computed=computed, loc=loc)
+        if self._eat_punct(":"):
+            value = self._parse_assignment_expression()
+            return ast.Property(key, value, kind="init", computed=computed, loc=loc)
+        # shorthand `{name}`
+        if isinstance(key, ast.Identifier):
+            return ast.Property(key, ast.Identifier(key.name, loc), kind="init", loc=loc)
+        raise self._error("Invalid shorthand property")
+
+    def _parse_property_key(self) -> ast.Node:
+        loc = self._loc()
+        token = self._cur
+        if token.type in (TokenType.IDENTIFIER, TokenType.KEYWORD, TokenType.BOOLEAN, TokenType.NULL):
+            self._advance()
+            return ast.Identifier(token.value, loc)
+        if token.type is TokenType.STRING:
+            self._advance()
+            return ast.Literal(token.value, token.raw, loc)
+        if token.type is TokenType.NUMERIC:
+            self._advance()
+            return ast.Literal(self._numeric_value(token.value), token.raw, loc)
+        raise self._error(f"Invalid property key {token.value!r}")
+
+
+def parse(source: str) -> ast.Program:
+    """Parse JavaScript ``source`` into an ESTree-style :class:`Program`."""
+    return Parser(source).parse()

@@ -1,0 +1,179 @@
+"""Token definitions for the JavaScript lexer.
+
+The token taxonomy mirrors what Esprima exposes: punctuators, keywords,
+identifiers, numeric / string / regular-expression / template literals,
+booleans and ``null``.  Each token records its source span so downstream
+passes (error messages, obfuscators) can refer back to the original text.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class TokenType(enum.Enum):
+    """Lexical categories produced by :class:`repro.jsparser.lexer.Lexer`."""
+
+    EOF = "EOF"
+    IDENTIFIER = "Identifier"
+    KEYWORD = "Keyword"
+    PUNCTUATOR = "Punctuator"
+    NUMERIC = "Numeric"
+    STRING = "String"
+    REGEXP = "RegularExpression"
+    TEMPLATE = "Template"
+    BOOLEAN = "Boolean"
+    NULL = "Null"
+
+
+#: Reserved words of ECMAScript 5.1 plus the ES2015 subset the parser accepts.
+KEYWORDS = frozenset(
+    {
+        "break",
+        "case",
+        "catch",
+        "class",
+        "const",
+        "continue",
+        "debugger",
+        "default",
+        "delete",
+        "do",
+        "else",
+        "extends",
+        "finally",
+        "for",
+        "function",
+        "if",
+        "in",
+        "instanceof",
+        "let",
+        "new",
+        "return",
+        "super",
+        "switch",
+        "this",
+        "throw",
+        "try",
+        "typeof",
+        "var",
+        "void",
+        "while",
+        "with",
+        "yield",
+    }
+)
+
+#: Punctuators ordered longest-first so the lexer can use greedy matching.
+PUNCTUATORS = sorted(
+    [
+        ">>>=",
+        "===",
+        "!==",
+        ">>>",
+        "<<=",
+        ">>=",
+        "**=",
+        "...",
+        "&&=",
+        "||=",
+        "??=",
+        "=>",
+        "==",
+        "!=",
+        "<=",
+        ">=",
+        "&&",
+        "||",
+        "??",
+        "++",
+        "--",
+        "<<",
+        ">>",
+        "+=",
+        "-=",
+        "*=",
+        "/=",
+        "%=",
+        "&=",
+        "|=",
+        "^=",
+        "**",
+        "?.",
+        "{",
+        "}",
+        "(",
+        ")",
+        "[",
+        "]",
+        ";",
+        ",",
+        "<",
+        ">",
+        "+",
+        "-",
+        "*",
+        "/",
+        "%",
+        "&",
+        "|",
+        "^",
+        "!",
+        "~",
+        "?",
+        ":",
+        "=",
+        ".",
+    ],
+    key=len,
+    reverse=True,
+)
+
+
+@dataclass(frozen=True)
+class Position:
+    """A point in the source text (1-based line, 0-based column)."""
+
+    line: int
+    column: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{self.line}:{self.column}"
+
+
+@dataclass
+class Token:
+    """A single lexical token.
+
+    Attributes:
+        type: The lexical category.
+        value: The raw text of the token (string/template values are the
+            *decoded* value; ``raw`` keeps the original spelling).
+        start: Offset of the first character in the source.
+        end: Offset one past the last character.
+        line: 1-based line of the first character.
+        column: 0-based column of the first character.
+        raw: Original source slice (useful for literals).
+        preceded_by_newline: True when a line terminator occurred between
+            this token and the previous one — required for automatic
+            semicolon insertion (ASI).
+    """
+
+    type: TokenType
+    value: str
+    start: int = 0
+    end: int = 0
+    line: int = 1
+    column: int = 0
+    raw: str = ""
+    preceded_by_newline: bool = field(default=False, compare=False)
+
+    def matches(self, type_: TokenType, value: str | None = None) -> bool:
+        """Return True when the token has the given type (and value)."""
+        if self.type is not type_:
+            return False
+        return value is None or self.value == value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.type.value}, {self.value!r} @ {self.line}:{self.column})"

@@ -1,0 +1,68 @@
+"""Tree traversal utilities shared by all AST consumers."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from .ast_nodes import FUNCTION_TYPES, Node
+
+
+def walk(root: Node) -> Iterator[Node]:
+    """Yield ``root`` and every descendant in depth-first pre-order."""
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        yield node
+        stack.extend(reversed(list(node.children())))
+
+
+def walk_with_parent(root: Node) -> Iterator[tuple[Node, Node | None]]:
+    """Yield ``(node, parent)`` pairs in depth-first pre-order."""
+    stack: list[tuple[Node, Node | None]] = [(root, None)]
+    while stack:
+        node, parent = stack.pop()
+        yield node, parent
+        stack.extend((child, node) for child in reversed(list(node.children())))
+
+
+def count_nodes(root: Node) -> int:
+    """Total number of nodes in the tree."""
+    return sum(1 for _ in walk(root))
+
+
+def find_all(root: Node, type_: str) -> list[Node]:
+    """All nodes of the given ESTree type, in pre-order."""
+    return [node for node in walk(root) if node.type == type_]
+
+
+class Visitor:
+    """ESTree visitor with ``visit_<Type>`` dispatch.
+
+    Subclasses override ``visit_IfStatement`` etc.; unhandled types fall
+    through to :meth:`generic_visit`, which recurses into children.
+    """
+
+    def visit(self, node: Node) -> None:
+        method: Callable[[Node], None] = getattr(self, f"visit_{node.type}", self.generic_visit)
+        method(node)
+
+    def generic_visit(self, node: Node) -> None:
+        for child in node.children():
+            self.visit(child)
+
+
+class FunctionScopedVisitor(Visitor):
+    """A visitor that by default does *not* descend into nested functions.
+
+    Useful for per-function analyses (e.g. collecting the variables a
+    function body reads without confusing them with inner-closure locals).
+    """
+
+    def visit(self, node: Node) -> None:
+        method = getattr(self, f"visit_{node.type}", None)
+        if method is not None:
+            method(node)
+            return
+        if node.type in FUNCTION_TYPES:
+            return
+        self.generic_visit(node)

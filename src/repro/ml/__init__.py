@@ -1,0 +1,54 @@
+"""Machine-learning substrate (the repository's scikit-learn substitute).
+
+Implements, with numpy only, every learner the paper and its baselines
+need: CART decision trees, random forests with Gini importances, logistic
+regression, Gaussian/Bernoulli naive Bayes, a linear SVM, K-Means and
+Bisecting K-Means, plus metrics, preprocessing, and split utilities.
+"""
+
+from .forest import RandomForestClassifier
+from .kmeans import BisectingKMeans, KMeans, elbow_sse
+from .logistic import LogisticRegression
+from .metrics import (
+    DetectionReport,
+    accuracy,
+    confusion_counts,
+    detection_report,
+    f1_score,
+    false_negative_rate,
+    false_positive_rate,
+    precision,
+    recall,
+)
+from .model_selection import stratified_sample, train_test_split
+from .naive_bayes import BernoulliNB, GaussianNB
+from .preprocessing import CountVectorizer, HashingVectorizer, MinMaxScaler, ngrams
+from .svm import LinearSVC
+from .tree import DecisionTreeClassifier
+
+__all__ = [
+    "RandomForestClassifier",
+    "BisectingKMeans",
+    "KMeans",
+    "elbow_sse",
+    "LogisticRegression",
+    "DetectionReport",
+    "accuracy",
+    "confusion_counts",
+    "detection_report",
+    "f1_score",
+    "false_negative_rate",
+    "false_positive_rate",
+    "precision",
+    "recall",
+    "stratified_sample",
+    "train_test_split",
+    "BernoulliNB",
+    "GaussianNB",
+    "CountVectorizer",
+    "HashingVectorizer",
+    "MinMaxScaler",
+    "ngrams",
+    "LinearSVC",
+    "DecisionTreeClassifier",
+]

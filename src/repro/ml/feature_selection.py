@@ -1,0 +1,53 @@
+"""Feature selection: chi-squared scoring for boolean features.
+
+ZOZZLE's published pipeline selects its (context, text) features with a
+chi-squared test against the class label before training naive Bayes; this
+module provides that scorer for the baseline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def chi2_scores(X, y) -> np.ndarray:
+    """Chi-squared statistic of each boolean column against binary labels.
+
+    Args:
+        X: (n_samples, n_features) matrix; treated as presence indicators
+            (non-zero = present).
+        y: Binary labels (0/1).
+
+    Returns:
+        Per-feature chi-squared statistics (0 for degenerate columns).
+    """
+    X = (np.asarray(X) > 0).astype(float)
+    y = np.asarray(y).astype(int)
+    n = len(y)
+    if n == 0:
+        raise ValueError("empty input")
+
+    positives = float(np.sum(y == 1))
+    negatives = float(n - positives)
+
+    present = X.sum(axis=0)  # per-feature: samples containing the feature
+    present_pos = X[y == 1].sum(axis=0)
+    present_neg = present - present_pos
+    absent_pos = positives - present_pos
+    absent_neg = negatives - present_neg
+
+    # Vectorized 2x2 chi-squared with the continuity-free formula:
+    # chi2 = n (ad - bc)^2 / ((a+b)(c+d)(a+c)(b+d))
+    a, b, c, d = present_pos, present_neg, absent_pos, absent_neg
+    numerator = n * (a * d - b * c) ** 2
+    denominator = (a + b) * (c + d) * (a + c) * (b + d)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        scores = np.where(denominator > 0, numerator / denominator, 0.0)
+    return scores
+
+
+def select_top_k(X, y, k: int) -> np.ndarray:
+    """Indices of the k features with the highest chi-squared scores."""
+    scores = chi2_scores(X, y)
+    k = min(k, X.shape[1])
+    return np.argsort(scores)[::-1][:k]

@@ -1,0 +1,207 @@
+"""K-Means and Bisecting K-Means clustering.
+
+Section III-D: the paper clusters path vectors with *Bisecting* K-Means —
+start from one cluster and repeatedly split the cluster with the largest
+SSE using 2-means, which removes the initial-centroid sensitivity of plain
+K-Means.  Both variants are provided so the ablation bench can compare them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _sse(X: np.ndarray, center: np.ndarray) -> float:
+    return float(np.sum((X - center) ** 2))
+
+
+class KMeans:
+    """Lloyd's algorithm with k-means++ initialization.
+
+    Args:
+        n_clusters: Number of clusters K.
+        n_init: Restarts; the best SSE wins.
+        max_iter: Lloyd iterations per restart.
+        tol: Center-shift convergence threshold.
+        random_state: Seed.
+    """
+
+    def __init__(
+        self,
+        n_clusters: int = 8,
+        n_init: int = 4,
+        max_iter: int = 100,
+        tol: float = 1e-6,
+        random_state: int | None = None,
+    ):
+        if n_clusters <= 0:
+            raise ValueError("n_clusters must be positive")
+        self.n_clusters = n_clusters
+        self.n_init = n_init
+        self.max_iter = max_iter
+        self.tol = tol
+        self.random_state = random_state
+        self.cluster_centers_: np.ndarray | None = None
+        self.labels_: np.ndarray | None = None
+        self.inertia_: float = np.inf
+
+    # ------------------------------------------------------------------ fit
+
+    def fit(self, X) -> "KMeans":
+        X = np.asarray(X, dtype=float)
+        if len(X) < self.n_clusters:
+            raise ValueError(f"n_samples={len(X)} < n_clusters={self.n_clusters}")
+        rng = np.random.default_rng(self.random_state)
+
+        best_inertia = np.inf
+        best_centers = None
+        best_labels = None
+        for _ in range(self.n_init):
+            centers = self._kmeanspp(X, rng)
+            centers, labels, inertia = self._lloyd(X, centers)
+            if inertia < best_inertia:
+                best_inertia, best_centers, best_labels = inertia, centers, labels
+
+        self.cluster_centers_ = best_centers
+        self.labels_ = best_labels
+        self.inertia_ = float(best_inertia)
+        return self
+
+    def _kmeanspp(self, X: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        n = len(X)
+        centers = np.empty((self.n_clusters, X.shape[1]))
+        centers[0] = X[rng.integers(n)]
+        closest_sq = np.sum((X - centers[0]) ** 2, axis=1)
+        for k in range(1, self.n_clusters):
+            total = closest_sq.sum()
+            if total <= 0:
+                centers[k:] = X[rng.integers(n, size=self.n_clusters - k)]
+                break
+            probs = closest_sq / total
+            centers[k] = X[rng.choice(n, p=probs)]
+            closest_sq = np.minimum(closest_sq, np.sum((X - centers[k]) ** 2, axis=1))
+        return centers
+
+    def _lloyd(self, X: np.ndarray, centers: np.ndarray) -> tuple[np.ndarray, np.ndarray, float]:
+        for _ in range(self.max_iter):
+            distances = _pairwise_sq(X, centers)
+            labels = np.argmin(distances, axis=1)
+            new_centers = centers.copy()
+            for k in range(len(centers)):
+                members = X[labels == k]
+                if len(members):
+                    new_centers[k] = members.mean(axis=0)
+            shift = float(np.sum((new_centers - centers) ** 2))
+            centers = new_centers
+            if shift < self.tol:
+                break
+        distances = _pairwise_sq(X, centers)
+        labels = np.argmin(distances, axis=1)
+        inertia = float(distances[np.arange(len(X)), labels].sum())
+        return centers, labels, inertia
+
+    # -------------------------------------------------------------- predict
+
+    def predict(self, X) -> np.ndarray:
+        if self.cluster_centers_ is None:
+            raise RuntimeError("KMeans used before fit()")
+        X = np.asarray(X, dtype=float)
+        return np.argmin(_pairwise_sq(X, self.cluster_centers_), axis=1)
+
+    def fit_predict(self, X) -> np.ndarray:
+        self.fit(X)
+        assert self.labels_ is not None
+        return self.labels_
+
+
+class BisectingKMeans:
+    """Bisecting K-Means: repeatedly 2-means-split the worst cluster.
+
+    Deterministic given ``random_state``, and insensitive to global
+    initialization — the property the paper picks it for.
+    """
+
+    def __init__(self, n_clusters: int = 8, n_init: int = 4, max_iter: int = 100, random_state: int | None = None):
+        if n_clusters <= 0:
+            raise ValueError("n_clusters must be positive")
+        self.n_clusters = n_clusters
+        self.n_init = n_init
+        self.max_iter = max_iter
+        self.random_state = random_state
+        self.cluster_centers_: np.ndarray | None = None
+        self.labels_: np.ndarray | None = None
+        self.inertia_: float = np.inf
+
+    def fit(self, X) -> "BisectingKMeans":
+        X = np.asarray(X, dtype=float)
+        if len(X) < self.n_clusters:
+            raise ValueError(f"n_samples={len(X)} < n_clusters={self.n_clusters}")
+        rng = np.random.default_rng(self.random_state)
+
+        # Start with everything in one cluster.
+        clusters: list[np.ndarray] = [np.arange(len(X))]
+        while len(clusters) < self.n_clusters:
+            # Split the cluster with the largest SSE that is still splittable.
+            sses = []
+            for indices in clusters:
+                members = X[indices]
+                sses.append(_sse(members, members.mean(axis=0)) if len(indices) > 1 else -1.0)
+            worst = int(np.argmax(sses))
+            if sses[worst] < 0:
+                break  # nothing splittable left
+            indices = clusters.pop(worst)
+            members = X[indices]
+            split = KMeans(
+                n_clusters=2,
+                n_init=self.n_init,
+                max_iter=self.max_iter,
+                random_state=int(rng.integers(0, 2**31)),
+            ).fit(members)
+            left = indices[split.labels_ == 0]
+            right = indices[split.labels_ == 1]
+            if len(left) == 0 or len(right) == 0:  # degenerate split
+                clusters.append(indices)
+                break
+            clusters.extend([left, right])
+
+        centers = np.vstack([X[indices].mean(axis=0) for indices in clusters])
+        labels = np.empty(len(X), dtype=int)
+        for k, indices in enumerate(clusters):
+            labels[indices] = k
+        self.cluster_centers_ = centers
+        self.labels_ = labels
+        self.inertia_ = float(
+            sum(_sse(X[indices], centers[k]) for k, indices in enumerate(clusters))
+        )
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        if self.cluster_centers_ is None:
+            raise RuntimeError("BisectingKMeans used before fit()")
+        X = np.asarray(X, dtype=float)
+        return np.argmin(_pairwise_sq(X, self.cluster_centers_), axis=1)
+
+    def fit_predict(self, X) -> np.ndarray:
+        self.fit(X)
+        assert self.labels_ is not None
+        return self.labels_
+
+
+def _pairwise_sq(X: np.ndarray, centers: np.ndarray) -> np.ndarray:
+    """Squared Euclidean distances between rows of X and rows of centers."""
+    x_sq = np.sum(X**2, axis=1)[:, None]
+    c_sq = np.sum(centers**2, axis=1)[None, :]
+    cross = X @ centers.T
+    return np.maximum(x_sq + c_sq - 2.0 * cross, 0.0)
+
+
+def elbow_sse(X, k_values, random_state: int | None = None, bisecting: bool = True) -> list[float]:
+    """SSE (inertia) for each K — the curve of the paper's Figure 5."""
+    X = np.asarray(X, dtype=float)
+    out = []
+    for k in k_values:
+        cls = BisectingKMeans if bisecting else KMeans
+        model = cls(n_clusters=int(k), random_state=random_state)
+        model.fit(X)
+        out.append(model.inertia_)
+    return out

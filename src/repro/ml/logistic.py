@@ -1,0 +1,72 @@
+"""L2-regularized logistic regression trained by full-batch gradient descent."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _sigmoid(z: np.ndarray) -> np.ndarray:
+    # Numerically stable piecewise sigmoid.
+    out = np.empty_like(z)
+    positive = z >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-z[positive]))
+    exp_z = np.exp(z[~positive])
+    out[~positive] = exp_z / (1.0 + exp_z)
+    return out
+
+
+class LogisticRegression:
+    """Binary logistic regression with gradient descent + L2 penalty.
+
+    Args:
+        learning_rate: Step size of gradient descent.
+        n_iter: Number of full-batch iterations.
+        l2: L2 regularization strength (0 disables).
+        tol: Early-stop when the gradient norm drops below this.
+    """
+
+    def __init__(self, learning_rate: float = 0.1, n_iter: int = 500, l2: float = 1e-4, tol: float = 1e-6):
+        self.learning_rate = learning_rate
+        self.n_iter = n_iter
+        self.l2 = l2
+        self.tol = tol
+        self.coef_: np.ndarray | None = None
+        self.intercept_: float = 0.0
+        self.classes_: np.ndarray | None = None
+
+    def fit(self, X, y) -> "LogisticRegression":
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y)
+        self.classes_ = np.unique(y)
+        if len(self.classes_) != 2:
+            raise ValueError("LogisticRegression supports binary labels only")
+        target = (y == self.classes_[1]).astype(float)
+
+        n, d = X.shape
+        w = np.zeros(d)
+        b = 0.0
+        for _ in range(self.n_iter):
+            p = _sigmoid(X @ w + b)
+            error = p - target
+            grad_w = X.T @ error / n + self.l2 * w
+            grad_b = float(np.mean(error))
+            w -= self.learning_rate * grad_w
+            b -= self.learning_rate * grad_b
+            if np.linalg.norm(grad_w) < self.tol:
+                break
+        self.coef_ = w
+        self.intercept_ = b
+        return self
+
+    def decision_function(self, X) -> np.ndarray:
+        if self.coef_ is None:
+            raise RuntimeError("Classifier used before fit()")
+        return np.asarray(X, dtype=float) @ self.coef_ + self.intercept_
+
+    def predict_proba(self, X) -> np.ndarray:
+        p1 = _sigmoid(self.decision_function(X))
+        return np.column_stack([1.0 - p1, p1])
+
+    def predict(self, X) -> np.ndarray:
+        assert self.classes_ is not None
+        return np.where(self.decision_function(X) >= 0.0, self.classes_[1], self.classes_[0])

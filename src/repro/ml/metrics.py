@@ -1,0 +1,92 @@
+"""Binary-classification metrics used throughout the evaluation.
+
+The paper reports accuracy, F1, FPR (false-positive rate) and FNR
+(false-negative rate); convention: label ``1`` = malicious (positive),
+``0`` = benign (negative).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def _as_array(values) -> np.ndarray:
+    return np.asarray(values).ravel()
+
+
+def confusion_counts(y_true, y_pred) -> tuple[int, int, int, int]:
+    """Return (tp, fp, tn, fn) for binary labels in {0, 1}."""
+    t = _as_array(y_true).astype(int)
+    p = _as_array(y_pred).astype(int)
+    if t.shape != p.shape:
+        raise ValueError(f"Shape mismatch: {t.shape} vs {p.shape}")
+    tp = int(np.sum((t == 1) & (p == 1)))
+    fp = int(np.sum((t == 0) & (p == 1)))
+    tn = int(np.sum((t == 0) & (p == 0)))
+    fn = int(np.sum((t == 1) & (p == 0)))
+    return tp, fp, tn, fn
+
+
+def accuracy(y_true, y_pred) -> float:
+    t, p = _as_array(y_true), _as_array(y_pred)
+    if t.size == 0:
+        return 0.0
+    return float(np.mean(t.astype(int) == p.astype(int)))
+
+
+def precision(y_true, y_pred) -> float:
+    tp, fp, _, _ = confusion_counts(y_true, y_pred)
+    return tp / (tp + fp) if tp + fp else 0.0
+
+
+def recall(y_true, y_pred) -> float:
+    tp, _, _, fn = confusion_counts(y_true, y_pred)
+    return tp / (tp + fn) if tp + fn else 0.0
+
+
+def f1_score(y_true, y_pred) -> float:
+    p = precision(y_true, y_pred)
+    r = recall(y_true, y_pred)
+    return 2 * p * r / (p + r) if p + r else 0.0
+
+
+def false_positive_rate(y_true, y_pred) -> float:
+    _, fp, tn, _ = confusion_counts(y_true, y_pred)
+    return fp / (fp + tn) if fp + tn else 0.0
+
+
+def false_negative_rate(y_true, y_pred) -> float:
+    tp, _, _, fn = confusion_counts(y_true, y_pred)
+    return fn / (fn + tp) if fn + tp else 0.0
+
+
+@dataclass(frozen=True)
+class DetectionReport:
+    """The metric row the paper's tables report, in percent."""
+
+    accuracy: float
+    f1: float
+    fpr: float
+    fnr: float
+    precision: float
+    recall: float
+
+    def row(self) -> str:
+        return (
+            f"acc={self.accuracy:5.1f}  F1={self.f1:5.1f}  "
+            f"FPR={self.fpr:5.1f}  FNR={self.fnr:5.1f}"
+        )
+
+
+def detection_report(y_true, y_pred) -> DetectionReport:
+    """Compute the full metric row (percentages, one decimal of precision)."""
+    return DetectionReport(
+        accuracy=100.0 * accuracy(y_true, y_pred),
+        f1=100.0 * f1_score(y_true, y_pred),
+        fpr=100.0 * false_positive_rate(y_true, y_pred),
+        fnr=100.0 * false_negative_rate(y_true, y_pred),
+        precision=100.0 * precision(y_true, y_pred),
+        recall=100.0 * recall(y_true, y_pred),
+    )

@@ -1,0 +1,53 @@
+"""Data-splitting utilities for the evaluation protocol of Sec. IV-A4."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def train_test_split(X, y, test_size: float = 0.25, rng: np.random.Generator | None = None):
+    """Shuffle-split into train and test partitions.
+
+    Args:
+        X: Feature matrix or list of samples.
+        y: Labels aligned with ``X``.
+        test_size: Fraction of samples placed in the test partition.
+        rng: Source of randomness; pass a seeded generator for determinism.
+
+    Returns:
+        ``(X_train, X_test, y_train, y_test)``.
+    """
+    if not 0.0 < test_size < 1.0:
+        raise ValueError("test_size must be in (0, 1)")
+    if rng is None:
+        rng = np.random.default_rng()
+    y = np.asarray(y)
+    n = len(y)
+    if n == 0:
+        raise ValueError("empty dataset")
+    indices = rng.permutation(n)
+    cut = int(round(n * (1.0 - test_size)))
+    train_idx, test_idx = indices[:cut], indices[cut:]
+    X_train = _take(X, train_idx)
+    X_test = _take(X, test_idx)
+    return X_train, X_test, y[train_idx], y[test_idx]
+
+
+def stratified_sample(y, per_class: dict[int, int], rng: np.random.Generator):
+    """Pick ``per_class[label]`` indices for each label, without replacement."""
+    y = np.asarray(y)
+    chosen: list[np.ndarray] = []
+    for label, count in per_class.items():
+        pool = np.flatnonzero(y == label)
+        if len(pool) < count:
+            raise ValueError(f"Class {label} has only {len(pool)} samples, need {count}")
+        chosen.append(rng.choice(pool, size=count, replace=False))
+    result = np.concatenate(chosen)
+    rng.shuffle(result)
+    return result
+
+
+def _take(X, indices):
+    if isinstance(X, np.ndarray):
+        return X[indices]
+    return [X[i] for i in indices]

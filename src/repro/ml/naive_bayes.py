@@ -1,0 +1,115 @@
+"""Naive Bayes classifiers.
+
+* :class:`GaussianNB` — the "Gaussian naive Bayes" row of Table II.
+* :class:`BernoulliNB` — the classifier ZOZZLE's original pipeline uses over
+  its boolean AST-context features (our ZOZZLE baseline keeps that choice).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class GaussianNB:
+    """Gaussian naive Bayes with per-class feature means and variances."""
+
+    def __init__(self, var_smoothing: float = 1e-9):
+        self.var_smoothing = var_smoothing
+        self.classes_: np.ndarray | None = None
+        self.theta_: np.ndarray | None = None  # (n_classes, n_features) means
+        self.var_: np.ndarray | None = None
+        self.class_prior_: np.ndarray | None = None
+
+    def fit(self, X, y) -> "GaussianNB":
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y)
+        self.classes_ = np.unique(y)
+        n_classes, n_features = len(self.classes_), X.shape[1]
+        self.theta_ = np.zeros((n_classes, n_features))
+        self.var_ = np.zeros((n_classes, n_features))
+        self.class_prior_ = np.zeros(n_classes)
+
+        global_var = X.var(axis=0).max() if len(X) else 1.0
+        epsilon = self.var_smoothing * max(global_var, 1e-12)
+        for i, cls in enumerate(self.classes_):
+            rows = X[y == cls]
+            self.theta_[i] = rows.mean(axis=0)
+            self.var_[i] = rows.var(axis=0) + epsilon
+            self.class_prior_[i] = len(rows) / len(X)
+        return self
+
+    def _joint_log_likelihood(self, X) -> np.ndarray:
+        X = np.asarray(X, dtype=float)
+        jll = np.zeros((len(X), len(self.classes_)))
+        for i in range(len(self.classes_)):
+            prior = np.log(self.class_prior_[i])
+            gauss = -0.5 * np.sum(
+                np.log(2.0 * np.pi * self.var_[i]) + (X - self.theta_[i]) ** 2 / self.var_[i],
+                axis=1,
+            )
+            jll[:, i] = prior + gauss
+        return jll
+
+    def predict(self, X) -> np.ndarray:
+        if self.classes_ is None:
+            raise RuntimeError("Classifier used before fit()")
+        return self.classes_[np.argmax(self._joint_log_likelihood(X), axis=1)]
+
+    def predict_proba(self, X) -> np.ndarray:
+        jll = self._joint_log_likelihood(X)
+        jll -= jll.max(axis=1, keepdims=True)
+        p = np.exp(jll)
+        return p / p.sum(axis=1, keepdims=True)
+
+
+class BernoulliNB:
+    """Bernoulli naive Bayes over binary feature vectors with Laplace smoothing."""
+
+    def __init__(self, alpha: float = 1.0, binarize: float | None = 0.0):
+        self.alpha = alpha
+        self.binarize = binarize
+        self.classes_: np.ndarray | None = None
+        self.feature_log_prob_: np.ndarray | None = None
+        self.class_log_prior_: np.ndarray | None = None
+
+    def _binarize(self, X) -> np.ndarray:
+        X = np.asarray(X, dtype=float)
+        if self.binarize is not None:
+            X = (X > self.binarize).astype(float)
+        return X
+
+    def fit(self, X, y) -> "BernoulliNB":
+        X = self._binarize(X)
+        y = np.asarray(y)
+        self.classes_ = np.unique(y)
+        n_classes = len(self.classes_)
+        counts = np.zeros((n_classes, X.shape[1]))
+        class_counts = np.zeros(n_classes)
+        for i, cls in enumerate(self.classes_):
+            rows = X[y == cls]
+            counts[i] = rows.sum(axis=0)
+            class_counts[i] = len(rows)
+        smoothed = (counts + self.alpha) / (class_counts[:, None] + 2.0 * self.alpha)
+        self.feature_log_prob_ = np.log(smoothed)
+        self._neg_log_prob = np.log(1.0 - smoothed)
+        self.class_log_prior_ = np.log(class_counts / class_counts.sum())
+        return self
+
+    def _joint_log_likelihood(self, X) -> np.ndarray:
+        X = self._binarize(X)
+        return (
+            X @ self.feature_log_prob_.T
+            + (1.0 - X) @ self._neg_log_prob.T
+            + self.class_log_prior_
+        )
+
+    def predict(self, X) -> np.ndarray:
+        if self.classes_ is None:
+            raise RuntimeError("Classifier used before fit()")
+        return self.classes_[np.argmax(self._joint_log_likelihood(X), axis=1)]
+
+    def predict_proba(self, X) -> np.ndarray:
+        jll = self._joint_log_likelihood(X)
+        jll -= jll.max(axis=1, keepdims=True)
+        p = np.exp(jll)
+        return p / p.sum(axis=1, keepdims=True)

@@ -1,0 +1,115 @@
+"""Feature preprocessing: scaling and n-gram vectorization."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class MinMaxScaler:
+    """Min–max normalization to [0, 1] (Eq. 6 of the paper).
+
+    Constant columns map to 0.  ``fit`` learns per-column min/max;
+    ``transform`` clips unseen data into the learned range before scaling so
+    outputs stay in [0, 1].
+    """
+
+    def __init__(self) -> None:
+        self.data_min_: np.ndarray | None = None
+        self.data_max_: np.ndarray | None = None
+
+    def fit(self, X) -> "MinMaxScaler":
+        X = np.asarray(X, dtype=float)
+        self.data_min_ = X.min(axis=0)
+        self.data_max_ = X.max(axis=0)
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        if self.data_min_ is None or self.data_max_ is None:
+            raise RuntimeError("MinMaxScaler used before fit()")
+        X = np.asarray(X, dtype=float)
+        span = self.data_max_ - self.data_min_
+        span = np.where(span == 0.0, 1.0, span)
+        clipped = np.clip(X, self.data_min_, self.data_max_)
+        return (clipped - self.data_min_) / span
+
+    def fit_transform(self, X) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+
+class HashingVectorizer:
+    """Fixed-width feature hashing for n-gram streams.
+
+    CUJO/JAST/JSTAP-style pipelines produce very large n-gram vocabularies;
+    hashing keeps the feature matrix bounded without a fit pass.  Signed
+    hashing (one bit of the digest) reduces collision bias.  The hash is
+    blake2s — stable across processes, unlike Python's salted ``hash()``,
+    so trained models and measurements reproduce exactly.
+    """
+
+    def __init__(self, n_features: int = 4096):
+        if n_features <= 0:
+            raise ValueError("n_features must be positive")
+        self.n_features = n_features
+
+    def transform(self, documents: list[list[str]]) -> np.ndarray:
+        """Each document is a list of (string) tokens/n-grams."""
+        import hashlib
+
+        X = np.zeros((len(documents), self.n_features), dtype=float)
+        for row, tokens in enumerate(documents):
+            for token in tokens:
+                digest = hashlib.blake2s(token.encode("utf-8", "replace"), digest_size=8).digest()
+                h = int.from_bytes(digest, "little")
+                index = h % self.n_features
+                sign = 1.0 if (h >> 60) & 1 else -1.0
+                X[row, index] += sign
+        return X
+
+
+class CountVectorizer:
+    """Vocabulary-based counting of pre-tokenized documents.
+
+    ``max_features`` keeps the most frequent entries (by corpus count),
+    matching the frequency-pruning the baseline papers apply.
+    """
+
+    def __init__(self, max_features: int | None = None, binary: bool = False):
+        self.max_features = max_features
+        self.binary = binary
+        self.vocabulary_: dict[str, int] = {}
+
+    def fit(self, documents: list[list[str]]) -> "CountVectorizer":
+        counts: dict[str, int] = {}
+        for tokens in documents:
+            for token in tokens:
+                counts[token] = counts.get(token, 0) + 1
+        items = sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))
+        if self.max_features is not None:
+            items = items[: self.max_features]
+        self.vocabulary_ = {token: i for i, (token, _) in enumerate(items)}
+        return self
+
+    def transform(self, documents: list[list[str]]) -> np.ndarray:
+        if not self.vocabulary_ and self.max_features != 0:
+            raise RuntimeError("CountVectorizer used before fit()")
+        X = np.zeros((len(documents), max(len(self.vocabulary_), 1)), dtype=float)
+        for row, tokens in enumerate(documents):
+            for token in tokens:
+                col = self.vocabulary_.get(token)
+                if col is not None:
+                    X[row, col] += 1.0
+        if self.binary:
+            X = (X > 0).astype(float)
+        return X
+
+    def fit_transform(self, documents: list[list[str]]) -> np.ndarray:
+        return self.fit(documents).transform(documents)
+
+
+def ngrams(tokens: list[str], n: int) -> list[str]:
+    """Sliding-window n-grams of a token sequence, joined with ``\\x1f``."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    if len(tokens) < n:
+        return []
+    return ["\x1f".join(tokens[i : i + n]) for i in range(len(tokens) - n + 1)]

@@ -1,0 +1,73 @@
+"""Linear SVM trained with Pegasos-style stochastic subgradient descent.
+
+CUJO's published pipeline classifies hashed n-gram vectors with a linear
+SVM; Table II's "SVM" row also uses this class.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class LinearSVC:
+    """Hinge-loss linear classifier with L2 regularization (Pegasos).
+
+    Args:
+        C: Inverse regularization strength (larger = less regularized).
+        n_iter: Epochs over the training set.
+        random_state: Seed for the sampling order.
+    """
+
+    def __init__(self, C: float = 1.0, n_iter: int = 20, random_state: int | None = None):
+        if C <= 0:
+            raise ValueError("C must be positive")
+        self.C = C
+        self.n_iter = n_iter
+        self.random_state = random_state
+        self.coef_: np.ndarray | None = None
+        self.intercept_: float = 0.0
+        self.classes_: np.ndarray | None = None
+
+    def fit(self, X, y) -> "LinearSVC":
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y)
+        self.classes_ = np.unique(y)
+        if len(self.classes_) != 2:
+            raise ValueError("LinearSVC supports binary labels only")
+        target = np.where(y == self.classes_[1], 1.0, -1.0)
+
+        n, d = X.shape
+        lam = 1.0 / (self.C * n)
+        w = np.zeros(d)
+        b = 0.0
+        rng = np.random.default_rng(self.random_state)
+        t = 0
+        for _ in range(self.n_iter):
+            for i in rng.permutation(n):
+                t += 1
+                eta = 1.0 / (lam * t)
+                margin = target[i] * (X[i] @ w + b)
+                if margin < 1.0:
+                    w = (1.0 - eta * lam) * w + eta * target[i] * X[i]
+                    b += eta * target[i]
+                else:
+                    w = (1.0 - eta * lam) * w
+        self.coef_ = w
+        self.intercept_ = b
+        return self
+
+    def decision_function(self, X) -> np.ndarray:
+        if self.coef_ is None:
+            raise RuntimeError("Classifier used before fit()")
+        return np.asarray(X, dtype=float) @ self.coef_ + self.intercept_
+
+    def predict(self, X) -> np.ndarray:
+        assert self.classes_ is not None
+        return np.where(self.decision_function(X) >= 0.0, self.classes_[1], self.classes_[0])
+
+    def predict_proba(self, X) -> np.ndarray:
+        """Platt-style squashing of the margin — rough, but lets callers
+        that expect probabilities (ensembles, thresholds) work uniformly."""
+        score = self.decision_function(X)
+        p1 = 1.0 / (1.0 + np.exp(-score))
+        return np.column_stack([1.0 - p1, p1])

@@ -1,0 +1,210 @@
+"""CART decision tree (Gini impurity, binary splits on numeric features).
+
+A vectorized numpy implementation: each node split scans candidate
+thresholds per feature using cumulative class counts, so training is
+O(n_features × n log n) per node rather than Python-loop-per-sample.
+Supports ``max_features`` subsampling and bootstrap-weighted fitting so
+:class:`repro.ml.forest.RandomForestClassifier` can reuse it directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class _Node:
+    feature: int = -1
+    threshold: float = 0.0
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+    # Leaf payload: class-probability vector.
+    proba: np.ndarray | None = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.proba is not None
+
+
+class DecisionTreeClassifier:
+    """Binary/multiclass CART classifier.
+
+    Args:
+        max_depth: Maximum tree depth (None = unlimited).
+        min_samples_split: Minimum samples required to attempt a split.
+        min_samples_leaf: Minimum samples each child must keep.
+        max_features: Number of features examined per split — int, "sqrt",
+            or None (all features).  Random forests pass "sqrt".
+        rng: Randomness for feature subsampling.
+    """
+
+    def __init__(
+        self,
+        max_depth: int | None = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features: int | str | None = None,
+        rng: np.random.Generator | None = None,
+    ):
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self.classes_: np.ndarray | None = None
+        self.n_features_: int = 0
+        self.feature_importances_: np.ndarray | None = None
+        self._root: _Node | None = None
+
+    # ------------------------------------------------------------------ fit
+
+    def fit(self, X, y, sample_weight=None) -> "DecisionTreeClassifier":
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y)
+        if X.ndim != 2:
+            raise ValueError("X must be 2-D")
+        if len(X) != len(y):
+            raise ValueError("X and y length mismatch")
+        if len(X) == 0:
+            raise ValueError("empty training set")
+        self.classes_, y_encoded = np.unique(y, return_inverse=True)
+        self.n_features_ = X.shape[1]
+        weights = (
+            np.ones(len(y), dtype=float)
+            if sample_weight is None
+            else np.asarray(sample_weight, dtype=float)
+        )
+        self._importance_acc = np.zeros(self.n_features_)
+        self._root = self._grow(X, y_encoded, weights, depth=0)
+        total = self._importance_acc.sum()
+        self.feature_importances_ = (
+            self._importance_acc / total if total > 0 else np.zeros(self.n_features_)
+        )
+        return self
+
+    def _n_candidate_features(self) -> int:
+        if self.max_features is None:
+            return self.n_features_
+        if self.max_features == "sqrt":
+            return max(1, int(np.sqrt(self.n_features_)))
+        return min(int(self.max_features), self.n_features_)
+
+    def _leaf(self, y: np.ndarray, weights: np.ndarray) -> _Node:
+        proba = np.zeros(len(self.classes_))
+        np.add.at(proba, y, weights)
+        total = proba.sum()
+        proba = proba / total if total > 0 else np.full(len(self.classes_), 1 / len(self.classes_))
+        return _Node(proba=proba)
+
+    def _grow(self, X: np.ndarray, y: np.ndarray, weights: np.ndarray, depth: int) -> _Node:
+        n = len(y)
+        if (
+            n < self.min_samples_split
+            or (self.max_depth is not None and depth >= self.max_depth)
+            or len(np.unique(y)) == 1
+        ):
+            return self._leaf(y, weights)
+
+        feature, threshold, gain = self._best_split(X, y, weights)
+        if feature < 0:
+            return self._leaf(y, weights)
+
+        mask = X[:, feature] <= threshold
+        left_count, right_count = int(mask.sum()), int((~mask).sum())
+        if left_count < self.min_samples_leaf or right_count < self.min_samples_leaf:
+            return self._leaf(y, weights)
+
+        self._importance_acc[feature] += gain * weights.sum()
+        node = _Node(feature=feature, threshold=threshold)
+        node.left = self._grow(X[mask], y[mask], weights[mask], depth + 1)
+        node.right = self._grow(X[~mask], y[~mask], weights[~mask], depth + 1)
+        return node
+
+    def _best_split(self, X: np.ndarray, y: np.ndarray, weights: np.ndarray) -> tuple[int, float, float]:
+        """Return (feature, threshold, gini_gain); feature=-1 if no split."""
+        n_classes = len(self.classes_)
+        total_weight = weights.sum()
+        class_weight = np.zeros(n_classes)
+        np.add.at(class_weight, y, weights)
+        parent_gini = 1.0 - np.sum((class_weight / total_weight) ** 2)
+
+        best = (-1, 0.0, 0.0)
+        features = self.rng.permutation(self.n_features_)[: self._n_candidate_features()]
+
+        for feature in features:
+            column = X[:, feature]
+            order = np.argsort(column, kind="stable")
+            sorted_vals = column[order]
+            sorted_y = y[order]
+            sorted_w = weights[order]
+
+            # Cumulative weighted class counts after each position.
+            onehot = np.zeros((len(y), n_classes))
+            onehot[np.arange(len(y)), sorted_y] = sorted_w
+            left_cum = np.cumsum(onehot, axis=0)
+
+            # Candidate split positions: where consecutive values differ.
+            boundaries = np.flatnonzero(sorted_vals[1:] != sorted_vals[:-1])
+            if boundaries.size == 0:
+                continue
+
+            left_weight = left_cum[boundaries].sum(axis=1)
+            right_weight = total_weight - left_weight
+            valid = (left_weight > 0) & (right_weight > 0)
+            if not np.any(valid):
+                continue
+
+            left_p = left_cum[boundaries] / left_weight[:, None]
+            right_counts = class_weight[None, :] - left_cum[boundaries]
+            right_p = right_counts / right_weight[:, None]
+            gini_left = 1.0 - np.sum(left_p**2, axis=1)
+            gini_right = 1.0 - np.sum(right_p**2, axis=1)
+            weighted = (left_weight * gini_left + right_weight * gini_right) / total_weight
+            gain = parent_gini - weighted
+            gain[~valid] = -np.inf
+
+            best_i = int(np.argmax(gain))
+            if gain[best_i] > best[2] + 1e-12:
+                boundary = boundaries[best_i]
+                threshold = 0.5 * (sorted_vals[boundary] + sorted_vals[boundary + 1])
+                best = (int(feature), float(threshold), float(gain[best_i]))
+
+        return best
+
+    # -------------------------------------------------------------- predict
+
+    def predict_proba(self, X) -> np.ndarray:
+        if self._root is None:
+            raise RuntimeError("Classifier used before fit()")
+        X = np.asarray(X, dtype=float)
+        out = np.empty((len(X), len(self.classes_)))
+        for i, row in enumerate(X):
+            node = self._root
+            while not node.is_leaf:
+                node = node.left if row[node.feature] <= node.threshold else node.right
+            out[i] = node.proba
+        return out
+
+    def predict(self, X) -> np.ndarray:
+        proba = self.predict_proba(X)
+        return self.classes_[np.argmax(proba, axis=1)]
+
+    # ------------------------------------------------------------ inspection
+
+    def depth(self) -> int:
+        def _depth(node: _Node | None) -> int:
+            if node is None or node.is_leaf:
+                return 0
+            return 1 + max(_depth(node.left), _depth(node.right))
+
+        return _depth(self._root)
+
+    def node_count(self) -> int:
+        def _count(node: _Node | None) -> int:
+            if node is None:
+                return 0
+            return 1 + _count(node.left) + _count(node.right)
+
+        return _count(self._root)

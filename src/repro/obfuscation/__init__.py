@@ -1,0 +1,37 @@
+"""The four obfuscators the paper evaluates against, as AST→AST transforms.
+
+Each class is an analog of a published tool (see DESIGN.md for the
+substitution rationale): JavaScript-Obfuscator (renaming, string array,
+control-flow flattening, dead code), Jfogs (call fogging), JSObfu
+(iterative string randomization), and Jshaman basic (variable obfuscation).
+"""
+
+from .base import Obfuscator
+from .jfogs import Jfogs
+from .jshaman import Jshaman
+from .jsobfu import JSObfu
+from .jsobfuscator import JavaScriptObfuscator
+from .minify import Minifier
+from .wild import WildObfuscator
+from .transforms import NameGenerator, collect_string_literals, rename_variables
+
+ALL_OBFUSCATORS = {
+    "javascript-obfuscator": JavaScriptObfuscator,
+    "jfogs": Jfogs,
+    "jsobfu": JSObfu,
+    "jshaman": Jshaman,
+}
+
+__all__ = [
+    "Obfuscator",
+    "Jfogs",
+    "Jshaman",
+    "JSObfu",
+    "JavaScriptObfuscator",
+    "Minifier",
+    "WildObfuscator",
+    "NameGenerator",
+    "collect_string_literals",
+    "rename_variables",
+    "ALL_OBFUSCATORS",
+]

@@ -1,0 +1,36 @@
+"""Obfuscator interface shared by the four tool analogs."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.jsparser import parse, generate
+from repro.jsparser import ast_nodes as ast
+
+
+class Obfuscator:
+    """Base class: parse → :meth:`transform` (in place) → regenerate.
+
+    Subclasses implement :meth:`transform`; :meth:`obfuscate` guarantees
+    that the output re-parses (an internal sanity check mirroring the real
+    tools, which always emit valid JavaScript).
+    """
+
+    name: str = "obfuscator"
+
+    def __init__(self, seed: int | None = None):
+        self.seed = seed
+
+    def _rng(self) -> np.random.Generator:
+        return np.random.default_rng(self.seed)
+
+    def obfuscate(self, source: str) -> str:
+        """Obfuscate JavaScript source text, returning new source text."""
+        program = parse(source)
+        self.transform(program, self._rng())
+        out = generate(program)
+        parse(out)  # regenerated code must still be valid JavaScript
+        return out
+
+    def transform(self, program: ast.Program, rng: np.random.Generator) -> None:  # pragma: no cover
+        raise NotImplementedError

@@ -1,0 +1,214 @@
+"""Jfogs analog.
+
+Jfogs' signature behavior (per the paper: "removing function call
+identifiers and parameters") wraps a script so that direct call targets and
+string/number arguments disappear from the visible code: values move into a
+"fog" array, and calls go through indexed references.  All obfuscated
+outputs share a near-identical structure — the property the paper credits
+for CUJO's 50/50 confusion on Jfogs output.
+
+Transformation:
+
+* every *direct* call ``f(a, 'x', 1)`` becomes
+  ``$fog$[i](a, $fog$[j], $fog$[k])`` where ``$fog$`` holds the function
+  reference and the literal arguments;
+* the fog array is declared first, populated from the original identifiers
+  and literals;
+* declared variables are also renamed (Jfogs renames to ``$fog$N`` style).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.jsparser import ast_nodes as ast
+from repro.jsparser.scope import analyze_scopes
+from repro.jsparser.visitor import walk_with_parent
+
+from .base import Obfuscator
+from .transforms import NameGenerator, rename_variables
+
+
+class Jfogs(Obfuscator):
+    """Analog of the Jfogs call-fogging obfuscator.
+
+    Args:
+        seed: Randomness seed (fog-slot shuffling).
+        fog_name: Name of the fog array variable.
+    """
+
+    name = "jfogs"
+
+    def __init__(
+        self,
+        seed: int | None = None,
+        fog_name: str = "$fog$",
+        constant_fog_rate: float = 0.35,
+        member_fog_rate: float = 0.5,
+    ):
+        super().__init__(seed)
+        self.fog_name = fog_name
+        for rate in (constant_fog_rate, member_fog_rate):
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError("fog rates must be in [0, 1]")
+        # The real tool fogs call sites selectively (its per-function slot
+        # budget); these rates calibrate the analog so the *impact profile*
+        # on detectors matches the paper's measurements (moderate FNR
+        # inflation, not total signal destruction) — see DESIGN.md.
+        self.constant_fog_rate = constant_fog_rate
+        self.member_fog_rate = member_fog_rate
+
+    def transform(self, program: ast.Program, rng: np.random.Generator) -> None:
+        namer = NameGenerator(style="short", rng=rng, prefix="$fog$")
+        rename_variables(program, namer)
+
+        # Decoy leading slots vary the fog layout between runs (the real
+        # tool's output also shifts with its internal counter state).
+        fog_entries: list[ast.Node] = [
+            ast.Literal(int(v), str(int(v))) for v in rng.integers(0, 256, size=int(rng.integers(1, 4)))
+        ]
+
+        def fog_slot(expression: ast.Node) -> ast.MemberExpression:
+            index = len(fog_entries)
+            fog_entries.append(expression)
+            return ast.MemberExpression(
+                ast.Identifier(self.fog_name), ast.Literal(index, str(index)), computed=True
+            )
+
+        # Collect rewrite targets first (mutating while walking is unsafe).
+        analyzer = analyze_scopes(program)
+        local_names = set()
+        for scope in analyzer.global_scope.iter_scopes():
+            local_names.update(scope.bindings)
+
+        apply_helper = f"{self.fog_name}c"
+        used_helper = False
+        # Only *known* host globals are safe to hoist into the eagerly
+        # evaluated fog array: an unknown name might be undefined at load
+        # time, and referencing it in the array initializer would throw
+        # outside any try/catch the original call sat in.
+        hoistable_globals = frozenset(
+            {
+                "eval",
+                "unescape",
+                "escape",
+                "parseInt",
+                "parseFloat",
+                "isNaN",
+                "String",
+                "Array",
+                "Number",
+                "Boolean",
+                "setTimeout",
+                "setInterval",
+                "alert",
+                "decodeURIComponent",
+                "encodeURIComponent",
+            }
+        )
+        for node, parent in walk_with_parent(program):
+            if node.type != "CallExpression":
+                continue
+            callee = node.callee
+            # Known host callees (eval, unescape, …) move into the fog
+            # array; local functions were already renamed.
+            if callee.type == "Identifier" and callee.name not in local_names and callee.name in hoistable_globals:
+                node.callee = fog_slot(ast.Identifier(callee.name))
+            # Member calls lose their method identifier: `o.m(a)` becomes
+            # `$fog$c(o, $fog$[i], a)` with the name stored as data — the
+            # tool's point is that no call identifier survives in code.
+            elif callee.type == "MemberExpression" and not callee.computed and rng.random() < self.member_fog_rate:
+                method_name = callee.property.name
+                node.callee = ast.Identifier(apply_helper)
+                node.arguments = [callee.object, fog_slot(ast.Literal(method_name, repr(method_name)))] + node.arguments
+                used_helper = True
+                continue
+            new_arguments: list[ast.Node] = []
+            for argument in node.arguments:
+                if argument.type == "Literal" and getattr(argument, "regex", None) is None:
+                    new_arguments.append(fog_slot(argument))
+                else:
+                    new_arguments.append(argument)
+            node.arguments = new_arguments
+
+        # Jfogs also pulls remaining constants into the fog array — loop
+        # bounds, keys, strings — at the configured rate.
+        for node, parent in list(walk_with_parent(program)):
+            if node.type != "Literal" or getattr(node, "regex", None) is not None:
+                continue
+            if not isinstance(node.value, (str, int, float)) or isinstance(node.value, bool):
+                continue
+            if parent is None or rng.random() > self.constant_fog_rate:
+                continue
+            if parent.type == "Property" and parent.key is node:
+                continue
+            # Skip indexes of fog slots we just created.
+            if (
+                parent.type == "MemberExpression"
+                and parent.computed
+                and parent.object.type == "Identifier"
+                and parent.object.name == self.fog_name
+            ):
+                continue
+            if parent.replace_child(node, fog_slot(ast.Literal(node.value, node.raw))):
+                continue
+
+        if not fog_entries:
+            # Keep the uniform Jfogs shell even when nothing was fogged.
+            fog_entries.append(ast.Literal(0, "0"))
+
+        fog_decl = ast.VariableDeclaration(
+            [
+                ast.VariableDeclarator(
+                    ast.Identifier(self.fog_name),
+                    ast.ArrayExpression(fog_entries),
+                )
+            ],
+            kind="var",
+        )
+
+        prelude: list[ast.Node] = [fog_decl]
+        if used_helper:
+            # function $fog$c(o, m) { return o[m].apply(o, [rest args]); }
+            slice_call = ast.CallExpression(
+                ast.MemberExpression(
+                    ast.MemberExpression(
+                        ast.MemberExpression(
+                            ast.Identifier("Array"), ast.Identifier("prototype"), computed=False
+                        ),
+                        ast.Identifier("slice"),
+                        computed=False,
+                    ),
+                    ast.Identifier("call"),
+                    computed=False,
+                ),
+                [ast.Identifier("arguments"), ast.Literal(2, "2")],
+            )
+            apply_call = ast.CallExpression(
+                ast.MemberExpression(
+                    ast.MemberExpression(ast.Identifier("o"), ast.Identifier("m"), computed=True),
+                    ast.Identifier("apply"),
+                    computed=False,
+                ),
+                [ast.Identifier("o"), slice_call],
+            )
+            helper_decl = ast.FunctionDeclaration(
+                ast.Identifier(apply_helper),
+                [ast.Identifier("o"), ast.Identifier("m")],
+                ast.BlockStatement([ast.ReturnStatement(apply_call)]),
+            )
+            prelude.append(helper_decl)
+
+        # Wrap everything in the Jfogs IIFE shell: (function(){...})();
+        original_body = program.body[:]
+        shell = ast.ExpressionStatement(
+            ast.CallExpression(
+                ast.FunctionExpression(
+                    None,
+                    [],
+                    ast.BlockStatement(prelude + original_body),
+                ),
+                [],
+            )
+        )
+        program.body = [shell]

@@ -1,0 +1,133 @@
+"""JSObfu analog (the Metasploit Ruby obfuscator).
+
+JSObfu's focus is removing *signaturable string constants*: every string
+literal is rewritten into one of several randomly chosen equivalent forms
+(split concatenation, ``String.fromCharCode`` chains, ``unescape`` of
+percent-encoding), numbers become arithmetic expressions, and variables get
+random names.  The tool is applied **iteratively** — the paper uses three
+rounds — which compounds the structural damage (each round re-splits the
+expressions the previous round produced), the behavior the paper blames for
+JSObfu hitting JSRevealer hardest.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.jsparser import ast_nodes as ast
+from repro.jsparser import generate, parse
+from repro.jsparser.visitor import walk_with_parent
+
+from .base import Obfuscator
+from .transforms import NameGenerator, collect_string_literals, encrypt_properties, rename_variables
+
+
+def _char_code_call(text: str) -> ast.CallExpression:
+    """``String.fromCharCode(c0, c1, …)``"""
+    return ast.CallExpression(
+        ast.MemberExpression(ast.Identifier("String"), ast.Identifier("fromCharCode"), computed=False),
+        [ast.Literal(ord(ch), str(ord(ch))) for ch in text],
+    )
+
+
+def _unescape_call(text: str) -> ast.CallExpression:
+    encoded = "".join(f"%{ord(ch):02x}" if ord(ch) < 256 else f"%u{ord(ch):04x}" for ch in text)
+    return ast.CallExpression(ast.Identifier("unescape"), [ast.Literal(encoded, repr(encoded))])
+
+
+class JSObfu(Obfuscator):
+    """Analog of JSObfu's string-randomization obfuscation.
+
+    Args:
+        seed: Randomness seed.
+        iterations: Obfuscation rounds (the paper uses 3).
+    """
+
+    name = "jsobfu"
+
+    def __init__(self, seed: int | None = None, iterations: int = 3):
+        super().__init__(seed)
+        if iterations < 1:
+            raise ValueError("iterations must be >= 1")
+        self.iterations = iterations
+
+    def obfuscate(self, source: str) -> str:
+        rng = self._rng()
+        out = source
+        for round_index in range(self.iterations):
+            program = parse(out)
+            self._transform_once(program, rng, deep=round_index > 0)
+            out = generate(program)
+        parse(out)
+        return out
+
+    def transform(self, program: ast.Program, rng: np.random.Generator) -> None:
+        self._transform_once(program, rng, deep=False)
+
+    # ------------------------------------------------------------ internals
+
+    def _transform_once(self, program: ast.Program, rng: np.random.Generator, deep: bool) -> None:
+        namer = NameGenerator(style="gibberish", rng=rng)
+        rename_variables(program, namer)
+        # JSObfu hides signaturable API names too: dotted properties become
+        # computed string lookups whose strings are then randomized.
+        encrypt_properties(program, rng, probability=0.6 if not deep else 0.25)
+        self._randomize_strings(program, rng, deep)
+        self._randomize_numbers(program, rng)
+
+    def _randomize_strings(self, program: ast.Program, rng: np.random.Generator, deep: bool) -> None:
+        for literal, parent in collect_string_literals(program, min_length=1):
+            replacement = self._random_string_form(literal.value, rng, deep)
+            target = parent if parent is not None else program
+            target.replace_child(literal, replacement)
+
+    def _random_string_form(self, text: str, rng: np.random.Generator, deep: bool) -> ast.Node:
+        if not text:
+            return ast.Literal("", "''")
+        choice = rng.random()
+        if len(text) >= 2 and choice < 0.4:
+            cut = int(rng.integers(1, len(text)))
+            left = self._maybe_nested(text[:cut], rng, deep)
+            right = self._maybe_nested(text[cut:], rng, deep)
+            return ast.BinaryExpression("+", left, right)
+        if choice < 0.7 and len(text) <= 24:
+            return _char_code_call(text)
+        if choice < 0.85 and len(text) <= 24:
+            return _unescape_call(text)
+        if len(text) >= 6:
+            # Long strings are exactly the signaturable constants JSObfu
+            # exists to remove — never emit them verbatim.
+            cut = max(1, len(text) // 2)
+            return ast.BinaryExpression(
+                "+",
+                ast.Literal(text[:cut], repr(text[:cut])),
+                self._random_string_form(text[cut:], rng, deep=False),
+            )
+        return ast.Literal(text, repr(text))
+
+    def _maybe_nested(self, text: str, rng: np.random.Generator, deep: bool) -> ast.Node:
+        if deep and len(text) >= 2 and rng.random() < 0.5:
+            return self._random_string_form(text, rng, deep=False)
+        return ast.Literal(text, repr(text))
+
+    def _randomize_numbers(self, program: ast.Program, rng: np.random.Generator) -> None:
+        """Rewrite small integer literals as sums/differences."""
+        rewrites: list[tuple[ast.Node, ast.Literal, ast.Node]] = []
+        for node, parent in walk_with_parent(program):
+            if node.type != "Literal" or getattr(node, "regex", None) is not None:
+                continue
+            value = getattr(node, "value", None)
+            if not isinstance(value, int) or isinstance(value, bool):
+                continue
+            if abs(value) > 10_000 or rng.random() < 0.5:
+                continue
+            offset = int(rng.integers(1, 100))
+            replacement = ast.BinaryExpression(
+                "-",
+                ast.Literal(value + offset, str(value + offset)),
+                ast.Literal(offset, str(offset)),
+            )
+            rewrites.append((parent, node, replacement))
+        for parent, old, new in rewrites:
+            target = parent if parent is not None else program
+            target.replace_child(old, new)

@@ -1,0 +1,326 @@
+"""JavaScript-Obfuscator analog.
+
+The npm ``javascript-obfuscator`` combines several transformations; the
+paper enables its defaults, whose most detection-relevant effects are:
+
+1. **Hex variable renaming** — all declared names become ``_0x1a2b3c``.
+2. **String-array extraction** — string literals move into one rotated
+   array at the top of the file; usages become indexed lookups through a
+   decoder function.
+3. **Control-flow flattening** — straight-line function bodies become a
+   ``while(true)+switch`` dispatcher over a shuffled case order.
+4. **Dead-code injection** — opaque-predicate guarded junk statements.
+
+All four are implemented AST→AST so the output is always valid JS.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.jsparser import ast_nodes as ast
+from repro.jsparser.visitor import walk
+
+from .base import Obfuscator
+from .transforms import (
+    NameGenerator,
+    collect_string_literals,
+    encrypt_properties,
+    rename_variables,
+)
+
+
+class JavaScriptObfuscator(Obfuscator):
+    """Analog of the npm ``javascript-obfuscator`` default preset.
+
+    Args:
+        seed: Randomness seed (case shuffling, renaming, junk payloads).
+        string_array: Enable string-array extraction.
+        control_flow_flattening: Enable the switch-dispatch rewrite.
+        dead_code_injection: Enable junk-statement injection.
+    """
+
+    name = "javascript-obfuscator"
+
+    def __init__(
+        self,
+        seed: int | None = None,
+        string_array: bool = True,
+        control_flow_flattening: bool = True,
+        dead_code_injection: bool = True,
+        debug_protection: bool = False,
+    ):
+        super().__init__(seed)
+        self.string_array = string_array
+        self.control_flow_flattening = control_flow_flattening
+        self.dead_code_injection = dead_code_injection
+        # The tool's "debugProtection" option (Sec. II-B's *debugging
+        # protection* technique): off by default, like the real preset.
+        self.debug_protection = debug_protection
+
+    def transform(self, program: ast.Program, rng: np.random.Generator) -> None:
+        namer = NameGenerator(style="hex", rng=rng)
+        rename_variables(program, namer)
+        # Flattening runs first: string extraction afterwards hoists the
+        # string array and decoder to the (new) top level, where they stay
+        # visible to every lookup.
+        if self.control_flow_flattening:
+            self._flatten_functions(program, rng, namer)
+        if self.string_array:
+            # Property encryption first: dotted accesses become computed
+            # string lookups, which the string array then absorbs.
+            encrypt_properties(program, rng, probability=0.8)
+            self._extract_strings(program, rng, namer)
+        if self.dead_code_injection:
+            self._inject_dead_code(program, rng, namer)
+        if self.debug_protection:
+            self._inject_debug_protection(program, rng, namer)
+
+    # ------------------------------------------------------------- strings
+
+    def _extract_strings(self, program: ast.Program, rng: np.random.Generator, namer: NameGenerator) -> None:
+        literals = collect_string_literals(program, min_length=2)
+        if not literals:
+            return
+        table: list[str] = []
+        index_of: dict[str, int] = {}
+        array_name = namer.fresh()
+        decoder_name = namer.fresh()
+
+        # Deduplicate values into the table.
+        for literal, _ in literals:
+            if literal.value not in index_of:
+                index_of[literal.value] = len(table)
+                table.append(literal.value)
+
+        # Rotate the table by a random offset, mimicking the tool's
+        # "string array rotate" option; lookups add the offset back mod n.
+        n = len(table)
+        rotation = int(rng.integers(0, n)) if n > 1 else 0
+        rotated = table[rotation:] + table[:rotation]
+
+        for literal, parent in literals:
+            original_index = index_of[literal.value]
+            stored_index = (original_index - rotation) % n
+            # Lookups go through the decoder function, as the real tool's
+            # "string array calls transform" does.
+            access = ast.CallExpression(
+                ast.Identifier(decoder_name), [ast.Literal(stored_index, str(stored_index))]
+            )
+            target = parent if parent is not None else program
+            target.replace_child(literal, access)
+
+        array_decl = ast.VariableDeclaration(
+            [
+                ast.VariableDeclarator(
+                    ast.Identifier(array_name),
+                    ast.ArrayExpression([ast.Literal(s, repr(s)) for s in rotated]),
+                )
+            ],
+            kind="var",
+        )
+        program.body.insert(0, array_decl)
+
+        decoder = ast.FunctionDeclaration(
+            ast.Identifier(decoder_name),
+            [ast.Identifier("n")],
+            ast.BlockStatement(
+                [
+                    ast.ReturnStatement(
+                        ast.MemberExpression(
+                            ast.Identifier(array_name), ast.Identifier("n"), computed=True
+                        )
+                    )
+                ]
+            ),
+        )
+        program.body.insert(1, decoder)
+
+    # ------------------------------------------------- control-flow flatten
+
+    def _flatten_functions(self, program: ast.Program, rng: np.random.Generator, namer: NameGenerator) -> None:
+        for node in list(walk(program)):
+            if node.type not in ("FunctionDeclaration", "FunctionExpression"):
+                continue
+            body = node.body
+            if body.type != "BlockStatement":
+                continue
+            declarations = [s for s in body.body if s.type == "FunctionDeclaration"]
+            rest = [s for s in body.body if s.type != "FunctionDeclaration"]
+            if not self._flattenable(rest):
+                continue
+            # Hoisted declarations are lifted ahead of the dispatcher.
+            body.body = declarations + self._dispatchered(rest, rng, namer)
+        # The real tool also transforms top-level code; flattenable
+        # top-level runs are wrapped in an IIFE and dispatchered.  The
+        # top-level function declarations move *inside* the IIFE with the
+        # dispatcher: they may close over top-level `var`s, which become
+        # IIFE-locals — leaving the functions outside would sever those
+        # references.
+        if self._flattenable([s for s in program.body if s.type != "FunctionDeclaration"]):
+            functions = [s for s in program.body if s.type == "FunctionDeclaration"]
+            straightline = [s for s in program.body if s.type != "FunctionDeclaration"]
+            wrapped = ast.ExpressionStatement(
+                ast.CallExpression(
+                    ast.FunctionExpression(
+                        None,
+                        [],
+                        ast.BlockStatement(functions + self._dispatchered(straightline, rng, namer)),
+                    ),
+                    [],
+                )
+            )
+            program.body = [wrapped]
+
+    @staticmethod
+    def _flattenable(statements: list[ast.Node]) -> bool:
+        """Any 3+ statement sequence is dispatcherable, bar declarations.
+
+        Each original statement becomes one ``case`` executed in the
+        original order, so compound statements (loops, conditionals, try)
+        are safe to carry whole: their internal ``break``/``continue``
+        bind to their own constructs, and a ``return`` anywhere exits the
+        enclosing function exactly as before.  Only hoisted
+        ``FunctionDeclaration``s are excluded (the caller lifts them out),
+        mirroring the real tool.
+        """
+        if len(statements) < 3:
+            return False
+        return all(stmt.type != "FunctionDeclaration" for stmt in statements)
+
+    @staticmethod
+    def _dispatchered(statements: list[ast.Node], rng: np.random.Generator, namer: NameGenerator) -> list[ast.Node]:
+        """Rewrite statements as a shuffled switch-dispatch loop.
+
+        ``var`` declarations keep function-scope semantics inside the
+        switch, so hoisting is preserved automatically.
+        """
+        order = list(range(len(statements)))
+        shuffled = order.copy()
+        rng.shuffle(shuffled)
+
+        # sequence[i] = execution-order position of case label i.
+        sequence_name = namer.fresh()
+        counter_name = namer.fresh()
+
+        cases = []
+        for case_label, stmt_index in enumerate(shuffled):
+            stmt = statements[stmt_index]
+            consequent: list[ast.Node] = [stmt]
+            if stmt.type != "ReturnStatement":
+                consequent.append(ast.ContinueStatement())
+            cases.append(ast.SwitchCase(ast.Literal(str(case_label), repr(case_label)), consequent))
+
+        # Dispatch string: execution order mapped to case labels.
+        dispatch = "|".join(str(shuffled.index(i)) for i in order)
+
+        sequence_decl = ast.VariableDeclaration(
+            [
+                ast.VariableDeclarator(
+                    ast.Identifier(sequence_name),
+                    ast.CallExpression(
+                        ast.MemberExpression(
+                            ast.Literal(dispatch, repr(dispatch)), ast.Identifier("split"), computed=False
+                        ),
+                        [ast.Literal("|", "'|'")],
+                    ),
+                ),
+                ast.VariableDeclarator(ast.Identifier(counter_name), ast.Literal(0, "0")),
+            ],
+            kind="var",
+        )
+
+        discriminant = ast.MemberExpression(
+            ast.Identifier(sequence_name),
+            ast.UpdateExpression("++", ast.Identifier(counter_name), prefix=False),
+            computed=True,
+        )
+        loop = ast.WhileStatement(
+            ast.Literal(True, "true"),
+            ast.BlockStatement(
+                [
+                    ast.SwitchStatement(discriminant, cases),
+                    ast.BreakStatement(),
+                ]
+            ),
+        )
+        return [sequence_decl, loop]
+
+    # ----------------------------------------------------------- dead code
+
+    def _inject_dead_code(self, program: ast.Program, rng: np.random.Generator, namer: NameGenerator) -> None:
+        blocks = [program] + [n for n in walk(program) if n.type == "BlockStatement"]
+        for block in blocks:
+            body = block.body
+            if rng.random() < 0.5:
+                continue
+            position = int(rng.integers(0, len(body) + 1))
+            body.insert(position, self._junk_statement(rng, namer))
+
+    @staticmethod
+    def _inject_debug_protection(program: ast.Program, rng: np.random.Generator, namer: NameGenerator) -> None:
+        """The tool's debugger-protection loop: a self-calling checker that
+        issues ``debugger`` statements to stall attached dev tools."""
+        guard_name = namer.fresh()
+        counter_name = namer.fresh()
+        body = ast.BlockStatement(
+            [
+                ast.DebuggerStatement(),
+                ast.ExpressionStatement(
+                    ast.AssignmentExpression(
+                        "+=", ast.Identifier(counter_name), ast.Literal(1, "1")
+                    )
+                ),
+                ast.IfStatement(
+                    ast.BinaryExpression(
+                        "<", ast.Identifier(counter_name), ast.Literal(2, "2")
+                    ),
+                    ast.BlockStatement(
+                        [
+                            ast.ExpressionStatement(
+                                ast.CallExpression(
+                                    ast.Identifier("setTimeout"),
+                                    [ast.Identifier(guard_name), ast.Literal(4000, "4000")],
+                                )
+                            )
+                        ]
+                    ),
+                    None,
+                ),
+            ]
+        )
+        guard = ast.FunctionDeclaration(ast.Identifier(guard_name), [], body)
+        counter_decl = ast.VariableDeclaration(
+            [ast.VariableDeclarator(ast.Identifier(counter_name), ast.Literal(0, "0"))],
+            kind="var",
+        )
+        start = ast.ExpressionStatement(ast.CallExpression(ast.Identifier(guard_name), []))
+        program.body.extend([counter_decl, guard, start])
+
+    @staticmethod
+    def _junk_statement(rng: np.random.Generator, namer: NameGenerator) -> ast.Node:
+        """An opaque-predicate-guarded statement that never executes."""
+        junk_var = namer.fresh()
+        lhs = int(rng.integers(2, 50))
+        rhs = lhs + int(rng.integers(1, 50))
+        predicate = ast.BinaryExpression(
+            "===", ast.Literal(lhs, str(lhs)), ast.Literal(rhs, str(rhs))
+        )
+        payload = ast.BlockStatement(
+            [
+                ast.VariableDeclaration(
+                    [
+                        ast.VariableDeclarator(
+                            ast.Identifier(junk_var),
+                            ast.BinaryExpression(
+                                "*",
+                                ast.Literal(int(rng.integers(1, 999)), "0"),
+                                ast.Literal(int(rng.integers(1, 999)), "0"),
+                            ),
+                        )
+                    ],
+                    kind="var",
+                )
+            ]
+        )
+        return ast.IfStatement(predicate, payload, None)

@@ -1,0 +1,60 @@
+"""Home-brew "wild" obfuscation for training-corpus realism.
+
+The paper's dataset note (Sec. IV-A1): the collected malicious samples are
+already obfuscated, but *"we are not sure … in what way"* — i.e., by
+miscellaneous ad-hoc tooling, not by the four tools used for test-set
+re-obfuscation.  ``WildObfuscator`` stands in for that population: common
+low-tech transformations (gibberish renaming, string concatenation
+splitting, an occasional IIFE wrap) without any of the four test tools'
+signatures (no fog arrays, no string-array rotation, no switch
+dispatchers).  :func:`repro.datasets.build_realistic_corpus` applies it to
+the training mixture so that the four evaluation obfuscators are genuinely
+unseen at training time, matching the paper's protocol.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.jsparser import ast_nodes as ast
+
+from .base import Obfuscator
+from .transforms import NameGenerator, collect_string_literals, rename_variables
+
+
+class WildObfuscator(Obfuscator):
+    """Miscellaneous in-the-wild obfuscation: rename + split + wrap.
+
+    Args:
+        seed: Randomness seed.
+        split_probability: Chance each string literal gets split in two.
+        wrap_probability: Chance the whole script is wrapped in an IIFE.
+    """
+
+    name = "wild"
+
+    def __init__(self, seed: int | None = None, split_probability: float = 0.6, wrap_probability: float = 0.4):
+        super().__init__(seed)
+        self.split_probability = split_probability
+        self.wrap_probability = wrap_probability
+
+    def transform(self, program: ast.Program, rng: np.random.Generator) -> None:
+        rename_variables(program, NameGenerator(style="gibberish", rng=rng))
+
+        for literal, parent in collect_string_literals(program, min_length=4):
+            if rng.random() > self.split_probability:
+                continue
+            cut = int(rng.integers(1, len(literal.value)))
+            left = ast.Literal(literal.value[:cut], repr(literal.value[:cut]))
+            right = ast.Literal(literal.value[cut:], repr(literal.value[cut:]))
+            target = parent if parent is not None else program
+            target.replace_child(literal, ast.BinaryExpression("+", left, right))
+
+        if rng.random() < self.wrap_probability and program.body:
+            shell = ast.ExpressionStatement(
+                ast.CallExpression(
+                    ast.FunctionExpression(None, [], ast.BlockStatement(program.body[:])),
+                    [],
+                )
+            )
+            program.body = [shell]

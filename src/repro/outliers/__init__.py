@@ -1,0 +1,27 @@
+"""Outlier detection substrate (PyOD + MetaOD substitute).
+
+Provides FastABOD (the detector the paper uses), a small zoo of
+alternatives (LOF, kNN, IsolationForest), and a MetaOD-style consensus
+selector.
+"""
+
+from .abod import FastABOD
+from .base import BaseOutlierDetector, knn_indices, pairwise_sq_distances
+from .iforest import IsolationForest
+from .knn import KNNOutlier
+from .lof import LOF
+from .metaod import MetaFeatures, SelectionResult, default_candidates, select_detector
+
+__all__ = [
+    "FastABOD",
+    "BaseOutlierDetector",
+    "knn_indices",
+    "pairwise_sq_distances",
+    "IsolationForest",
+    "KNNOutlier",
+    "LOF",
+    "MetaFeatures",
+    "SelectionResult",
+    "default_candidates",
+    "select_detector",
+]

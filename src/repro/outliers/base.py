@@ -1,0 +1,73 @@
+"""Shared contract for outlier detectors (PyOD-style fit / labels_ API).
+
+All detectors score every training sample (higher = more anomalous), then
+threshold the scores at the ``contamination`` quantile, producing binary
+``labels_`` (1 = outlier) exactly like PyOD does.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class BaseOutlierDetector:
+    """Base class implementing the contamination-quantile thresholding."""
+
+    def __init__(self, contamination: float = 0.1):
+        if not 0.0 < contamination < 0.5:
+            raise ValueError("contamination must be in (0, 0.5)")
+        self.contamination = contamination
+        self.decision_scores_: np.ndarray | None = None
+        self.threshold_: float = np.inf
+        self.labels_: np.ndarray | None = None
+
+    def fit(self, X) -> "BaseOutlierDetector":
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2:
+            raise ValueError("X must be 2-D")
+        if len(X) < 2:
+            raise ValueError("need at least 2 samples")
+        self.decision_scores_ = self._score(X)
+        self.threshold_ = float(np.quantile(self.decision_scores_, 1.0 - self.contamination))
+        self.labels_ = (self.decision_scores_ > self.threshold_).astype(int)
+        return self
+
+    def _score(self, X: np.ndarray) -> np.ndarray:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def inliers(self, X) -> np.ndarray:
+        """Fit on X and return the inlier rows (the paper's usage pattern)."""
+        self.fit(X)
+        assert self.labels_ is not None
+        return np.asarray(X, dtype=float)[self.labels_ == 0]
+
+
+def pairwise_sq_distances(X: np.ndarray, Y: np.ndarray | None = None) -> np.ndarray:
+    """Squared Euclidean distance matrix between rows of X and Y."""
+    if Y is None:
+        Y = X
+    x_sq = np.sum(X**2, axis=1)[:, None]
+    y_sq = np.sum(Y**2, axis=1)[None, :]
+    return np.maximum(x_sq + y_sq - 2.0 * (X @ Y.T), 0.0)
+
+
+def knn_indices(X: np.ndarray, k: int, chunk: int = 2048) -> np.ndarray:
+    """Indices of each row's k nearest neighbors (self excluded).
+
+    Computed in row chunks so the distance matrix never exceeds
+    ``chunk × n`` entries.
+    """
+    n = len(X)
+    k = min(k, n - 1)
+    out = np.empty((n, k), dtype=np.intp)
+    for start in range(0, n, chunk):
+        stop = min(start + chunk, n)
+        distances = pairwise_sq_distances(X[start:stop], X)
+        rows = np.arange(start, stop)
+        distances[rows - start, rows] = np.inf  # exclude self
+        part = np.argpartition(distances, k, axis=1)[:, :k]
+        # Order the k selected neighbors by distance.
+        part_d = np.take_along_axis(distances, part, axis=1)
+        order = np.argsort(part_d, axis=1)
+        out[start:stop] = np.take_along_axis(part, order, axis=1)
+    return out

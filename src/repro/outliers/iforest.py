@@ -1,0 +1,79 @@
+"""Isolation Forest — MetaOD candidate detector."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import BaseOutlierDetector
+
+
+def _average_path_length(n: int) -> float:
+    """Expected path length of an unsuccessful BST search (c(n))."""
+    if n <= 1:
+        return 0.0
+    harmonic = np.log(n - 1) + np.euler_gamma
+    return 2.0 * harmonic - 2.0 * (n - 1) / n
+
+
+class _IsolationTree:
+    __slots__ = ("feature", "threshold", "left", "right", "size")
+
+    def __init__(self, X: np.ndarray, depth: int, max_depth: int, rng: np.random.Generator):
+        self.size = len(X)
+        self.feature = -1
+        self.threshold = 0.0
+        self.left: _IsolationTree | None = None
+        self.right: _IsolationTree | None = None
+        if depth >= max_depth or len(X) <= 1:
+            return
+        spans = X.max(axis=0) - X.min(axis=0)
+        candidates = np.flatnonzero(spans > 0)
+        if candidates.size == 0:
+            return
+        self.feature = int(rng.choice(candidates))
+        lo, hi = X[:, self.feature].min(), X[:, self.feature].max()
+        self.threshold = float(rng.uniform(lo, hi))
+        mask = X[:, self.feature] < self.threshold
+        self.left = _IsolationTree(X[mask], depth + 1, max_depth, rng)
+        self.right = _IsolationTree(X[~mask], depth + 1, max_depth, rng)
+
+    def path_length(self, x: np.ndarray, depth: int = 0) -> float:
+        if self.left is None or self.right is None:
+            return depth + _average_path_length(self.size)
+        child = self.left if x[self.feature] < self.threshold else self.right
+        return child.path_length(x, depth + 1)
+
+
+class IsolationForest(BaseOutlierDetector):
+    """Ensemble of random isolation trees; short average paths = anomalous."""
+
+    def __init__(
+        self,
+        n_estimators: int = 50,
+        max_samples: int = 256,
+        contamination: float = 0.1,
+        random_state: int | None = None,
+    ):
+        super().__init__(contamination)
+        if n_estimators < 1:
+            raise ValueError("n_estimators must be >= 1")
+        self.n_estimators = n_estimators
+        self.max_samples = max_samples
+        self.random_state = random_state
+
+    def _score(self, X: np.ndarray) -> np.ndarray:
+        rng = np.random.default_rng(self.random_state)
+        n = len(X)
+        sample_size = min(self.max_samples, n)
+        max_depth = int(np.ceil(np.log2(max(sample_size, 2))))
+        trees = []
+        for _ in range(self.n_estimators):
+            indices = rng.choice(n, size=sample_size, replace=False)
+            trees.append(_IsolationTree(X[indices], 0, max_depth, rng))
+
+        c = _average_path_length(sample_size)
+        scores = np.empty(n)
+        for i, row in enumerate(X):
+            mean_path = np.mean([tree.path_length(row) for tree in trees])
+            scores[i] = 2.0 ** (-mean_path / max(c, 1e-12))
+        return scores

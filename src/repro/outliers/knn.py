@@ -1,0 +1,30 @@
+"""k-NN distance outlier detector — MetaOD candidate."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import BaseOutlierDetector, pairwise_sq_distances
+
+
+class KNNOutlier(BaseOutlierDetector):
+    """Scores each point by its (mean or max) distance to k nearest neighbors."""
+
+    def __init__(self, n_neighbors: int = 10, method: str = "mean", contamination: float = 0.1):
+        super().__init__(contamination)
+        if n_neighbors < 1:
+            raise ValueError("n_neighbors must be >= 1")
+        if method not in ("mean", "largest"):
+            raise ValueError("method must be 'mean' or 'largest'")
+        self.n_neighbors = n_neighbors
+        self.method = method
+
+    def _score(self, X: np.ndarray) -> np.ndarray:
+        n = len(X)
+        k = min(self.n_neighbors, n - 1)
+        distances = np.sqrt(pairwise_sq_distances(X))
+        np.fill_diagonal(distances, np.inf)
+        knn_dist = np.sort(distances, axis=1)[:, :k]
+        if self.method == "mean":
+            return knn_dist.mean(axis=1)
+        return knn_dist[:, -1]

@@ -1,0 +1,39 @@
+"""Local Outlier Factor (LOF) — one of the MetaOD candidate detectors."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import BaseOutlierDetector, pairwise_sq_distances
+
+
+class LOF(BaseOutlierDetector):
+    """Density-ratio outlier scores over k-NN neighborhoods.
+
+    A point whose local density is much lower than its neighbors' densities
+    gets a LOF score well above 1.
+    """
+
+    def __init__(self, n_neighbors: int = 10, contamination: float = 0.1):
+        super().__init__(contamination)
+        if n_neighbors < 1:
+            raise ValueError("n_neighbors must be >= 1")
+        self.n_neighbors = n_neighbors
+
+    def _score(self, X: np.ndarray) -> np.ndarray:
+        n = len(X)
+        k = min(self.n_neighbors, n - 1)
+        distances = np.sqrt(pairwise_sq_distances(X))
+        np.fill_diagonal(distances, np.inf)
+
+        neighbor_idx = np.argsort(distances, axis=1)[:, :k]
+        knn_dist = np.take_along_axis(distances, neighbor_idx, axis=1)
+        k_distance = knn_dist[:, -1]  # distance to the k-th neighbor
+
+        # Reachability distance: max(d(p, o), k_distance(o)).
+        reach = np.maximum(knn_dist, k_distance[neighbor_idx])
+        lrd = k / np.maximum(reach.sum(axis=1), 1e-12)  # local reachability density
+
+        neighbor_lrd = lrd[neighbor_idx]
+        lof = neighbor_lrd.mean(axis=1) / np.maximum(lrd, 1e-12)
+        return lof

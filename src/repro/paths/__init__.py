@@ -1,0 +1,22 @@
+"""Path extraction: bounded AST path contexts + deterministic featurizer."""
+
+from .extraction import (
+    DEFAULT_MAX_LENGTH,
+    DEFAULT_MAX_WIDTH,
+    PathContext,
+    PathExtractor,
+    extract_paths,
+)
+from .featurizer import FEATURE_DIM, NODE_TYPES, VALUE_BUCKETS, PathFeaturizer
+
+__all__ = [
+    "DEFAULT_MAX_LENGTH",
+    "DEFAULT_MAX_WIDTH",
+    "PathContext",
+    "PathExtractor",
+    "extract_paths",
+    "FEATURE_DIM",
+    "NODE_TYPES",
+    "VALUE_BUCKETS",
+    "PathFeaturizer",
+]

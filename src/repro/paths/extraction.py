@@ -1,0 +1,171 @@
+"""AST path-context extraction (Sec. III-B of the paper).
+
+A *path context* is the triple ``<x_s, n1…nk, x_t>`` connecting two leaves
+of the (enhanced) AST through their lowest common ancestor.  Extraction is
+bounded by:
+
+* **max length** — the number of nodes on the path (``k``), default 12, and
+* **max width** — the maximum difference between the child indices, at the
+  lowest common ancestor, of the two branches the path descends through,
+  default 4.
+
+Leaf values come from :meth:`repro.dataflow.EnhancedAST.leaf_value`:
+identifiers participating in a data-dependency edge keep their name, all
+other leaves are type-abstracted (``@var_str``, ``@lit_int``, …).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dataflow import EnhancedAST, build_enhanced_ast, build_regular_ast
+from repro.jsparser import LEAF_TYPES, parse
+from repro.jsparser import ast_nodes as ast
+
+#: Paper defaults, following Alon et al.'s locality/sparsity discussion.
+DEFAULT_MAX_LENGTH = 12
+DEFAULT_MAX_WIDTH = 4
+
+
+@dataclass(frozen=True)
+class PathContext:
+    """One extracted path: endpoint values plus the node-type spine.
+
+    ``nodes`` runs from the source leaf's type up to the LCA and down to
+    the target leaf's type; ``arrow_index`` marks the LCA position (used by
+    the featurizer to encode direction changes).
+    """
+
+    source_value: str
+    nodes: tuple[str, ...]
+    target_value: str
+    arrow_index: int
+
+    def signature(self) -> str:
+        """A printable, hashable rendering (used for vocabulary/corpus)."""
+        ups = "↑".join(self.nodes[: self.arrow_index + 1])
+        downs = "↓".join(self.nodes[self.arrow_index :])
+        spine = ups + "↓" + downs.split("↓", 1)[1] if "↓" in downs else ups
+        return f"{self.source_value},{spine},{self.target_value}"
+
+    @property
+    def length(self) -> int:
+        return len(self.nodes)
+
+
+@dataclass
+class _LeafInfo:
+    node: ast.Node
+    #: Path of (node, child_index) from the root to this leaf.
+    ancestry: list[tuple[ast.Node, int]]
+
+
+def _collect_leaves(root: ast.Node) -> list[_LeafInfo]:
+    """All value-bearing leaves with their root ancestry, in source order."""
+    leaves: list[_LeafInfo] = []
+
+    def visit(node: ast.Node, ancestry: list[tuple[ast.Node, int]]) -> None:
+        children = list(node.children())
+        if node.type in LEAF_TYPES and not children:
+            leaves.append(_LeafInfo(node, list(ancestry)))
+            return
+        if not children:
+            return
+        for index, child in enumerate(children):
+            ancestry.append((node, index))
+            visit(child, ancestry)
+            ancestry.pop()
+
+    visit(root, [])
+    return leaves
+
+
+class PathExtractor:
+    """Extracts bounded path contexts from JavaScript programs.
+
+    Args:
+        max_length: Maximum number of nodes on a path (paper: 12).
+        max_width: Maximum child-index spread at the LCA (paper: 4).
+        use_dataflow: True → enhanced AST (keep names of data-dependent
+            leaves); False → regular AST (the Table IV ablation).
+    """
+
+    def __init__(
+        self,
+        max_length: int = DEFAULT_MAX_LENGTH,
+        max_width: int = DEFAULT_MAX_WIDTH,
+        use_dataflow: bool = True,
+    ):
+        if max_length < 3:
+            raise ValueError("max_length must be at least 3 (leaf, LCA, leaf)")
+        if max_width < 1:
+            raise ValueError("max_width must be at least 1")
+        self.max_length = max_length
+        self.max_width = max_width
+        self.use_dataflow = use_dataflow
+
+    # ------------------------------------------------------------------ API
+
+    def extract_from_source(self, source: str) -> list[PathContext]:
+        """Parse ``source`` and extract its path contexts."""
+        program = parse(source)
+        return self.extract_from_program(program)
+
+    def extract_from_program(self, program: ast.Program) -> list[PathContext]:
+        builder = build_enhanced_ast if self.use_dataflow else build_regular_ast
+        return self.extract(builder(program))
+
+    def extract(self, enhanced: EnhancedAST) -> list[PathContext]:
+        """Extract all bounded leaf-to-leaf path contexts."""
+        leaves = _collect_leaves(enhanced.program)
+        contexts: list[PathContext] = []
+        n = len(leaves)
+        for i in range(n):
+            for j in range(i + 1, n):
+                context = self._path_between(enhanced, leaves[i], leaves[j])
+                if context is not None:
+                    contexts.append(context)
+        return contexts
+
+    # ------------------------------------------------------------- internals
+
+    def _path_between(self, enhanced: EnhancedAST, a: _LeafInfo, b: _LeafInfo) -> PathContext | None:
+        # Find the lowest common ancestor via the recorded ancestries.
+        depth = 0
+        limit = min(len(a.ancestry), len(b.ancestry))
+        while depth < limit and a.ancestry[depth][0] is b.ancestry[depth][0]:
+            depth += 1
+        if depth == 0:
+            return None  # different roots — cannot happen for one program
+        lca_index = depth - 1
+
+        # Width check: child-index spread at the LCA.
+        width = abs(a.ancestry[lca_index][1] - b.ancestry[lca_index][1])
+        if width > self.max_width:
+            return None
+
+        # Nodes: source leaf -> up to LCA -> down to target leaf.
+        up = [a.node.type] + [node.type for node, _ in reversed(a.ancestry[lca_index + 1 :])]
+        lca_type = a.ancestry[lca_index][0].type
+        down = [node.type for node, _ in b.ancestry[lca_index + 1 :]] + [b.node.type]
+        nodes = tuple(up + [lca_type] + down)
+        if len(nodes) > self.max_length:
+            return None
+
+        return PathContext(
+            source_value=enhanced.leaf_value(a.node),
+            nodes=nodes,
+            target_value=enhanced.leaf_value(b.node),
+            arrow_index=len(up),
+        )
+
+
+def extract_paths(
+    source: str,
+    max_length: int = DEFAULT_MAX_LENGTH,
+    max_width: int = DEFAULT_MAX_WIDTH,
+    use_dataflow: bool = True,
+) -> list[PathContext]:
+    """One-call helper: source text → list of path contexts."""
+    extractor = PathExtractor(max_length=max_length, max_width=max_width, use_dataflow=use_dataflow)
+    return extractor.extract_from_source(source)

@@ -1,0 +1,118 @@
+"""Path context → initial feature vector (the ``p_i`` of Eq. 1).
+
+The embedding model's fully connected layer consumes a fixed-width numeric
+representation of each path.  We encode:
+
+* counts of each AST node type along the spine (fixed vocabulary),
+* hashed buckets for the two endpoint values (so data-flow-preserved names
+  contribute consistent signal across paths that share a variable),
+* structural scalars: path length, LCA position, and up/down asymmetry.
+
+The mapping is deterministic and stateless, so extraction and embedding can
+run per-file without a global vocabulary pass.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from .extraction import PathContext
+
+#: Node-type vocabulary (ESTree types our parser emits).
+NODE_TYPES = (
+    "Program",
+    "ExpressionStatement",
+    "BlockStatement",
+    "EmptyStatement",
+    "VariableDeclaration",
+    "VariableDeclarator",
+    "IfStatement",
+    "ForStatement",
+    "ForInStatement",
+    "ForOfStatement",
+    "WhileStatement",
+    "DoWhileStatement",
+    "ReturnStatement",
+    "BreakStatement",
+    "ContinueStatement",
+    "ThrowStatement",
+    "TryStatement",
+    "CatchClause",
+    "SwitchStatement",
+    "SwitchCase",
+    "LabeledStatement",
+    "WithStatement",
+    "DebuggerStatement",
+    "FunctionDeclaration",
+    "Identifier",
+    "Literal",
+    "TemplateLiteral",
+    "ThisExpression",
+    "ArrayExpression",
+    "ObjectExpression",
+    "Property",
+    "FunctionExpression",
+    "ArrowFunctionExpression",
+    "UnaryExpression",
+    "UpdateExpression",
+    "BinaryExpression",
+    "LogicalExpression",
+    "AssignmentExpression",
+    "ConditionalExpression",
+    "CallExpression",
+    "NewExpression",
+    "MemberExpression",
+    "SequenceExpression",
+    "SpreadElement",
+)
+
+_TYPE_INDEX = {name: i for i, name in enumerate(NODE_TYPES)}
+
+#: Hash buckets per endpoint value.
+VALUE_BUCKETS = 32
+
+#: Total feature width: type counts + 2×value buckets + 6 scalars.
+FEATURE_DIM = len(NODE_TYPES) + 2 * VALUE_BUCKETS + 6
+
+
+def _value_bucket(value: str) -> int:
+    digest = hashlib.blake2s(value.encode("utf-8", "replace"), digest_size=4).digest()
+    return int.from_bytes(digest, "little") % VALUE_BUCKETS
+
+
+class PathFeaturizer:
+    """Deterministic ``PathContext`` → ``np.ndarray`` mapping."""
+
+    feature_dim = FEATURE_DIM
+
+    def transform_one(self, context: PathContext) -> np.ndarray:
+        vec = np.zeros(FEATURE_DIM)
+        for node_type in context.nodes:
+            index = _TYPE_INDEX.get(node_type)
+            if index is not None:
+                vec[index] += 1.0
+        base = len(NODE_TYPES)
+        vec[base + _value_bucket(context.source_value)] += 1.0
+        vec[base + VALUE_BUCKETS + _value_bucket(context.target_value)] += 1.0
+
+        scalars = base + 2 * VALUE_BUCKETS
+        length = context.length
+        vec[scalars + 0] = length / 12.0
+        vec[scalars + 1] = context.arrow_index / max(length, 1)
+        vec[scalars + 2] = (length - context.arrow_index) / max(length, 1)
+        vec[scalars + 3] = 1.0 if context.source_value == context.target_value else 0.0
+        # Data-dependency endpoint markers: the signal the enhanced AST
+        # adds, and the one component renaming obfuscation cannot touch —
+        # emphasized (weight 2) so the embedding space separates data-flow
+        # -bearing paths from purely syntactic ones.
+        vec[scalars + 4] = 2.0 if context.source_value.startswith("@dd_") else 0.0
+        vec[scalars + 5] = 2.0 if context.target_value.startswith("@dd_") else 0.0
+        return vec
+
+    def transform(self, contexts: list[PathContext]) -> np.ndarray:
+        """Stack feature vectors; empty input gives an empty (0, F) array."""
+        if not contexts:
+            return np.zeros((0, FEATURE_DIM))
+        return np.vstack([self.transform_one(c) for c in contexts])

@@ -1,0 +1,131 @@
+"""Unit tests for the four comparison detectors (CUJO, ZOZZLE, JAST, JSTAP)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import ALL_BASELINES, CUJO, JAST, JSTAP, ZOZZLE
+from repro.baselines.cujo import _token_stream
+from repro.baselines.jast import _unit_sequence
+from repro.baselines.jstap import _pdg_grams
+from repro.baselines.zozzle import _context_features
+from repro.datasets import experiment_split
+from repro.ml import accuracy
+
+
+@pytest.fixture(scope="module")
+def split():
+    return experiment_split(seed=5, pretrain_per_class=0, train_per_class=25, test_per_class=15)
+
+
+@pytest.mark.parametrize("cls", list(ALL_BASELINES.values()), ids=list(ALL_BASELINES))
+class TestCommonContract:
+    def test_fit_predict_shapes(self, cls, split):
+        detector = cls().fit(split.train.sources, split.train.labels)
+        predictions = detector.predict(split.test.sources)
+        assert predictions.shape == (len(split.test),)
+        assert set(np.unique(predictions)) <= {0, 1}
+
+    def test_learns_the_corpus(self, cls, split):
+        detector = cls().fit(split.train.sources, split.train.labels)
+        predictions = detector.predict(split.test.sources)
+        assert accuracy(split.test.label_array, predictions) >= 0.8
+
+    def test_unparseable_input_survives(self, cls, split):
+        detector = cls().fit(split.train.sources, split.train.labels)
+        predictions = detector.predict(["(((", ""])
+        assert predictions.shape == (2,)
+
+
+class TestCUJOFeatures:
+    def test_token_abstraction(self):
+        tokens = _token_stream("var count = 3 + 'x';")
+        assert tokens == ["var", "ID", "=", "NUM", "+", "STR", ";"]
+
+    def test_regex_token(self):
+        assert "REGEX" in _token_stream("var r = /a/;")
+
+    def test_bad_source_empty(self):
+        assert _token_stream("\"unterminated") == []
+
+    def test_renaming_invariant(self):
+        a = _token_stream("var alpha = 1; f(alpha);")
+        b = _token_stream("var _0x12 = 1; g(_0x12);")
+        assert a == b  # identifiers abstract to ID: CUJO ignores names
+
+
+class TestZOZZLEFeatures:
+    def test_context_text_pairs(self):
+        feats = _context_features("var x = 'secret';")
+        assert "VariableDeclaration:x" in feats
+        assert "VariableDeclaration:secret" in feats
+
+    def test_context_tracks_enclosing_statement(self):
+        feats = _context_features("if (cond) { doIt(); }")
+        # The condition belongs to the IfStatement context; the call body
+        # sits in its own ExpressionStatement context.
+        assert "IfStatement:cond" in feats
+        assert "ExpressionStatement:doIt" in feats
+
+    def test_function_context(self):
+        feats = _context_features("function f() { return inner; }")
+        assert "ReturnStatement:inner" in feats
+
+    def test_long_strings_truncated(self):
+        feats = _context_features(f"var s = '{'a' * 100}';")
+        assert all(len(f) < 70 for f in feats)
+
+
+class TestJASTFeatures:
+    def test_unit_sequence_preorder(self):
+        seq = _unit_sequence("var x = 1;")
+        assert seq == ["Program", "VariableDeclaration", "VariableDeclarator", "Identifier", "Literal"]
+
+    def test_no_names_in_features(self):
+        seq = _unit_sequence("var secretName = evil();")
+        assert "secretName" not in seq
+        assert all(unit[0].isupper() for unit in seq)
+
+    def test_renaming_invariant(self):
+        assert _unit_sequence("var a = f(1);") == _unit_sequence("var _0x9 = g(2);")
+
+
+class TestJSTAPFeatures:
+    def test_grams_include_edge_kinds(self):
+        grams = _pdg_grams("var x = 1; use(x);")
+        assert any("--data-->" in g for g in grams)
+
+    def test_control_edge_grams(self):
+        grams = _pdg_grams("if (a) { b(); c(); d(); }")
+        assert any("--control-->" in g for g in grams)
+
+    def test_empty_for_bad_source(self):
+        assert _pdg_grams("((((") == []
+
+    def test_more_code_more_grams(self):
+        small = _pdg_grams("var x = 1; f(x);")
+        big = _pdg_grams("var x = 1; f(x); var y = x + 1; g(y); if (y) { h(x, y); }")
+        assert len(big) > len(small)
+
+
+class TestJSTAPAbstractions:
+    @pytest.mark.parametrize("abstraction", ["tokens", "ast", "cfg", "pdg"])
+    def test_every_abstraction_trains(self, abstraction, split):
+        detector = JSTAP(abstraction=abstraction).fit(split.train.sources, split.train.labels)
+        predictions = detector.predict(split.test.sources)
+        assert accuracy(split.test.label_array, predictions) >= 0.75
+
+    def test_unknown_abstraction_rejected(self):
+        with pytest.raises(ValueError):
+            JSTAP(abstraction="quantum")
+
+
+class TestConstruction:
+    def test_custom_ngram_orders(self):
+        assert CUJO(n=2).n == 2
+        assert JAST(n=3).n == 3
+
+    def test_detector_names(self):
+        assert CUJO().name == "cujo"
+        assert ZOZZLE().name == "zozzle"
+        assert JAST().name == "jast"
+        assert JSTAP().name == "jstap"

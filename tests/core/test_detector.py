@@ -1,0 +1,124 @@
+"""Integration-grade unit tests for the JSRevealer detector."""
+
+import numpy as np
+import pytest
+
+from repro.core import JSRevealer, JSRevealerConfig
+from repro.datasets import experiment_split
+from repro.ml import accuracy
+
+
+def fast_config(**overrides):
+    defaults = dict(embed_dim=24, pretrain_epochs=4, k_benign=4, k_malicious=4, seed=0)
+    defaults.update(overrides)
+    return JSRevealerConfig(**defaults)
+
+
+@pytest.fixture(scope="module")
+def small_split():
+    return experiment_split(seed=3, pretrain_per_class=8, train_per_class=16, test_per_class=10)
+
+
+@pytest.fixture(scope="module")
+def trained_detector(small_split):
+    detector = JSRevealer(fast_config())
+    detector.pretrain(small_split.pretrain.sources, small_split.pretrain.labels)
+    detector.fit(small_split.train.sources, small_split.train.labels)
+    return detector
+
+
+class TestProtocol:
+    def test_fit_before_pretrain_rejected(self):
+        detector = JSRevealer(fast_config())
+        with pytest.raises(RuntimeError):
+            detector.fit(["var a = 1;"], [0])
+
+    def test_predict_before_fit_rejected(self):
+        detector = JSRevealer(fast_config())
+        with pytest.raises(RuntimeError):
+            detector.predict(["var a = 1;"])
+
+    def test_mismatched_fit_lengths(self, small_split):
+        detector = JSRevealer(fast_config())
+        detector.pretrain(small_split.pretrain.sources, small_split.pretrain.labels)
+        with pytest.raises(ValueError):
+            detector.fit(["var a = 1;"], [0, 1])
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            JSRevealer(JSRevealerConfig(k_benign=0))
+        with pytest.raises(ValueError):
+            JSRevealer(JSRevealerConfig(contamination=0.9))
+
+
+class TestDetection:
+    def test_high_accuracy_on_clean_test_set(self, trained_detector, small_split):
+        predictions = trained_detector.predict(small_split.test.sources)
+        assert accuracy(small_split.test.label_array, predictions) >= 0.9
+
+    def test_probabilities_shape(self, trained_detector, small_split):
+        proba = trained_detector.predict_proba(small_split.test.sources[:4])
+        assert proba.shape == (4, 2)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_unparseable_source_does_not_crash(self, trained_detector):
+        predictions = trained_detector.predict(["not !! valid :: javascript ((("])
+        assert predictions.shape == (1,)
+
+    def test_empty_source_does_not_crash(self, trained_detector):
+        predictions = trained_detector.predict([""])
+        assert predictions.shape == (1,)
+
+
+class TestExplain:
+    def test_explanations_ranked_by_importance(self, trained_detector):
+        explanations = trained_detector.explain(top_n=5)
+        importances = [e.importance for e in explanations]
+        assert importances == sorted(importances, reverse=True)
+        assert all(e.cluster_label in ("benign", "malicious") for e in explanations)
+
+    def test_central_paths_present(self, trained_detector):
+        explanations = trained_detector.explain(top_n=3)
+        assert all(e.central_path_signature for e in explanations)
+
+    def test_both_classes_contribute_features(self, trained_detector):
+        explanations = trained_detector.explain(top_n=trained_detector.feature_extractor.n_features)
+        labels = {e.cluster_label for e in explanations}
+        assert labels == {"benign", "malicious"}
+
+
+class TestTiming:
+    def test_stage_timings_recorded(self, trained_detector):
+        timings = trained_detector.mean_stage_ms()
+        for stage in ("path_extraction", "embedding", "feature_extraction", "classifier_training"):
+            assert stage in timings
+            assert timings[stage] >= 0.0
+
+
+class TestAblation:
+    def test_regular_ast_mode_runs(self, small_split):
+        detector = JSRevealer(fast_config(use_dataflow=False))
+        detector.pretrain(small_split.pretrain.sources, small_split.pretrain.labels)
+        detector.fit(small_split.train.sources, small_split.train.labels)
+        predictions = detector.predict(small_split.test.sources)
+        assert predictions.shape == (len(small_split.test),)
+
+    def test_alternative_classifier(self, small_split):
+        from repro.ml import LogisticRegression
+
+        detector = JSRevealer(
+            fast_config(classifier_factory=lambda: LogisticRegression(n_iter=800, learning_rate=0.5))
+        )
+        detector.pretrain(small_split.pretrain.sources, small_split.pretrain.labels)
+        detector.fit(small_split.train.sources, small_split.train.labels)
+        predictions = detector.predict(small_split.test.sources)
+        assert accuracy(small_split.test.label_array, predictions) >= 0.7
+
+    def test_explain_requires_importances(self, small_split):
+        from repro.ml import LogisticRegression
+
+        detector = JSRevealer(fast_config(classifier_factory=lambda: LogisticRegression(n_iter=50)))
+        detector.pretrain(small_split.pretrain.sources, small_split.pretrain.labels)
+        detector.fit(small_split.train.sources, small_split.train.labels)
+        with pytest.raises(RuntimeError):
+            detector.explain()

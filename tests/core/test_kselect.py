@@ -1,0 +1,48 @@
+"""Unit tests for elbow-method K selection."""
+
+import numpy as np
+import pytest
+
+from repro.core import elbow_curve, find_elbow
+
+
+class TestFindElbow:
+    def test_clear_elbow_detected(self):
+        # Sharp drop until K=4, flat afterwards.
+        k = list(range(1, 11))
+        sse = [1000, 600, 300, 100, 90, 82, 76, 71, 67, 64]
+        assert find_elbow(k, sse) == 4
+
+    def test_linear_curve_has_no_strong_elbow(self):
+        k = list(range(1, 8))
+        sse = [700 - 100 * i for i in range(7)]
+        # Degenerate: any answer is acceptable, but must be within range.
+        result = find_elbow(k, sse)
+        assert k[0] <= result <= k[-1]
+
+    def test_requires_three_points(self):
+        with pytest.raises(ValueError):
+            find_elbow([1, 2], [10, 5])
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            find_elbow([1, 2, 3], [10, 5])
+
+
+class TestElbowCurve:
+    def test_curve_on_clustered_data(self):
+        rng = np.random.default_rng(0)
+        centers = np.array([[0.0, 0.0], [10.0, 0.0], [0.0, 10.0], [10.0, 10.0]])
+        X = np.vstack([rng.normal(c, 0.4, size=(40, 2)) for c in centers])
+        result = elbow_curve(X, k_values=range(1, 10), seed=0)
+        assert len(result.sse) == 9
+        # SSE decreasing.
+        assert all(a >= b - 1e-6 for a, b in zip(result.sse, result.sse[1:]))
+        # Four true clusters -> elbow at (or near) 4.
+        assert 3 <= result.elbow_k <= 5
+
+    def test_plain_kmeans_variant(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(60, 3))
+        result = elbow_curve(X, k_values=range(1, 6), seed=0, bisecting=False)
+        assert len(result.k_values) == 5

@@ -1,0 +1,112 @@
+"""Unit tests for CFG and PDG construction."""
+
+from repro.dataflow import build_cfg, build_pdg
+from repro.jsparser import parse
+
+
+def cfg(source):
+    return build_cfg(parse(source))
+
+
+def pdg(source):
+    return build_pdg(parse(source))
+
+
+class TestCFG:
+    def test_straightline_sequence(self):
+        g = cfg("a(); b(); c();")
+        assert g.graph.number_of_nodes() == 3
+        assert g.graph.number_of_edges() == 2
+
+    def test_entry_is_first_statement(self):
+        g = cfg("first(); second();")
+        assert g.node_of[g.entry].type == "ExpressionStatement"
+
+    def test_if_branches(self):
+        g = cfg("if (c) { a(); } else { b(); } d();")
+        if_node = next(s for s in g.statements if s.type == "IfStatement")
+        succ_types = [s.type for s in g.successors(if_node)]
+        assert succ_types.count("ExpressionStatement") == 2
+
+    def test_if_without_else_falls_through(self):
+        g = cfg("if (c) a(); b();")
+        if_node = next(s for s in g.statements if s.type == "IfStatement")
+        assert len(g.successors(if_node)) == 2  # a() and b()
+
+    def test_while_back_edge(self):
+        g = cfg("while (c) { body(); } after();")
+        loop = next(s for s in g.statements if s.type == "WhileStatement")
+        body = next(s for s in g.successors(loop) if s.type == "ExpressionStatement")
+        assert loop in g.successors(body)
+
+    def test_return_has_no_fallthrough(self):
+        g = cfg("function f() { return 1; unreachable(); }")
+        ret = next(s for s in g.statements if s.type == "ReturnStatement")
+        assert g.successors(ret) == []
+
+    def test_break_exits_loop(self):
+        g = cfg("while (c) { break; } after();")
+        brk = next(s for s in g.statements if s.type == "BreakStatement")
+        after = [s for s in g.successors(brk)]
+        assert any(s.type == "ExpressionStatement" for s in after)
+
+    def test_continue_back_edge(self):
+        g = cfg("while (c) { continue; }")
+        cont = next(s for s in g.statements if s.type == "ContinueStatement")
+        assert any(s.type == "WhileStatement" for s in g.successors(cont))
+
+    def test_switch_cases_wired(self):
+        g = cfg("switch (x) { case 1: a(); break; case 2: b(); break; } end();")
+        sw = next(s for s in g.statements if s.type == "SwitchStatement")
+        assert len(g.successors(sw)) >= 2
+
+    def test_try_catch_exception_edge(self):
+        g = cfg("try { risky(); } catch (e) { recover(); }")
+        kinds = [d.get("kind") for _, _, d in g.graph.edges(data=True)]
+        assert "exception" in kinds
+
+    def test_function_bodies_included(self):
+        g = cfg("function f() { inner(); } outer();")
+        types = [s.type for s in g.statements]
+        assert types.count("ExpressionStatement") == 2
+
+
+class TestPDG:
+    def test_control_dependence_on_if(self):
+        g = pdg("if (c) { a(); }")
+        controls = g.edges_of_kind("control")
+        assert any(src.type == "IfStatement" for src, _ in controls)
+
+    def test_control_dependence_nested(self):
+        g = pdg("if (a) { if (b) { deep(); } }")
+        controls = g.edges_of_kind("control")
+        # inner if depends on outer if; deep() depends on inner if
+        assert len(controls) >= 2
+
+    def test_data_dependence_def_use(self):
+        g = pdg("var x = 1; f(x);")
+        data = g.edges_of_kind("data")
+        assert len(data) == 1
+        src, dst = data[0]
+        assert src.type == "VariableDeclaration"
+        assert dst.type == "ExpressionStatement"
+
+    def test_no_data_edge_within_same_statement(self):
+        g = pdg("var y = (x = 1) + x;")
+        data = g.edges_of_kind("data")
+        assert all(src is not dst for src, dst in data)
+
+    def test_data_chain(self):
+        g = pdg("var a = 1; var b = a; var c = b;")
+        data = g.edges_of_kind("data")
+        assert len(data) == 2
+
+    def test_function_statements_present(self):
+        g = pdg("function f() { var q = 1; return q; }")
+        data = g.edges_of_kind("data")
+        assert len(data) == 1
+
+    def test_loop_controls_body(self):
+        g = pdg("for (var i = 0; i < 3; i++) { use(i); }")
+        controls = g.edges_of_kind("control")
+        assert any(src.type == "ForStatement" for src, _ in controls)

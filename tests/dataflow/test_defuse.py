@@ -1,0 +1,79 @@
+"""Unit tests for def-use analysis."""
+
+from repro.dataflow import analyze_defuse
+from repro.jsparser import parse
+
+
+def events(source):
+    info = analyze_defuse(parse(source))
+    return [(e.binding.name, e.kind) for e in sorted(info.events, key=lambda e: e.order)]
+
+
+class TestDefinitions:
+    def test_declaration_with_init_is_def(self):
+        assert ("x", "def") in events("var x = 1;")
+
+    def test_declaration_without_init_is_not_def(self):
+        assert events("var x;") == []
+
+    def test_assignment_is_def(self):
+        evs = events("var x; x = 1;")
+        assert evs == [("x", "def")]
+
+    def test_for_in_left_is_def(self):
+        evs = events("var k; for (k in o) {}")
+        assert ("k", "def") in evs
+
+    def test_compound_assignment_is_use_then_def(self):
+        evs = events("var x = 1; x += 2;")
+        assert evs == [("x", "def"), ("x", "use"), ("x", "def")]
+
+    def test_update_expression_is_use_then_def(self):
+        evs = events("var i = 0; i++;")
+        assert evs == [("i", "def"), ("i", "use"), ("i", "def")]
+
+
+class TestUses:
+    def test_read_is_use(self):
+        evs = events("var x = 1; f(x);")
+        assert ("x", "use") in evs
+
+    def test_rhs_of_assignment_is_use(self):
+        evs = events("var a = 1; var b = a;")
+        assert evs == [("a", "def"), ("b", "def"), ("a", "use")]
+
+    def test_member_object_is_use(self):
+        evs = events("var o = {}; o.x;")
+        assert ("o", "use") in evs
+
+    def test_property_name_is_not_use(self):
+        evs = events("var x = {}; obj.x;")
+        assert ("x", "use") not in evs
+
+    def test_closure_use(self):
+        evs = events("var a = 1; function f() { return a; }")
+        assert ("a", "use") in evs
+
+    def test_unresolved_global_not_tracked(self):
+        assert events("console.log(1);") == []
+
+
+class TestAccessors:
+    def test_defs_and_uses_for(self):
+        info = analyze_defuse(parse("var x = 1; x = 2; f(x);"))
+        binding = info.analyzer.global_scope.bindings["x"]
+        assert len(info.defs_for(binding)) == 2
+        assert len(info.uses_for(binding)) == 1
+
+    def test_event_of_node_mapping(self):
+        info = analyze_defuse(parse("var y = 1; g(y);"))
+        binding = info.analyzer.global_scope.bindings["y"]
+        use = info.uses_for(binding)[0]
+        assert info.event_of_node[id(use.node)] is use
+
+    def test_order_reflects_source_order(self):
+        info = analyze_defuse(parse("var a = 1; var b = a; var c = b;"))
+        ordered = [e for e in sorted(info.events, key=lambda e: e.order)]
+        names = [(e.binding.name, e.kind) for e in ordered]
+        assert names.index(("a", "def")) < names.index(("a", "use"))
+        assert names.index(("b", "def")) < names.index(("b", "use"))

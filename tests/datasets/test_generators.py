@@ -1,0 +1,113 @@
+"""Unit tests for the synthetic JavaScript generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    BENIGN_FAMILIES,
+    MALICIOUS_FAMILIES,
+    build_corpus,
+    experiment_split,
+    generate_benign,
+    generate_malicious,
+)
+from repro.jsparser import parse
+from repro.obfuscation import Jshaman
+
+
+class TestFamilies:
+    @pytest.mark.parametrize("family", list(BENIGN_FAMILIES))
+    def test_every_benign_family_parses(self, family):
+        for seed in range(3):
+            src = generate_benign(np.random.default_rng(seed), family=family)
+            parse(src)
+
+    @pytest.mark.parametrize("family", list(MALICIOUS_FAMILIES))
+    def test_every_malicious_family_parses(self, family):
+        for seed in range(3):
+            src = generate_malicious(np.random.default_rng(seed), family=family)
+            parse(src)
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ValueError):
+            generate_benign(np.random.default_rng(0), family="nonexistent")
+        with pytest.raises(ValueError):
+            generate_malicious(np.random.default_rng(0), family="nonexistent")
+
+    def test_generators_deterministic(self):
+        a = generate_benign(np.random.default_rng(5))
+        b = generate_benign(np.random.default_rng(5))
+        assert a == b
+
+    def test_seed_varies_output(self):
+        a = generate_malicious(np.random.default_rng(1))
+        b = generate_malicious(np.random.default_rng(2))
+        assert a != b
+
+    def test_malicious_samples_are_inert(self):
+        """Generated malicious code must only reference example domains."""
+        for seed in range(12):
+            src = generate_malicious(np.random.default_rng(seed))
+            for proto in ("http://", "https://", "wss://"):
+                start = 0
+                while True:
+                    at = src.find(proto, start)
+                    if at == -1:
+                        break
+                    tail = src[at : at + 80]
+                    assert ".example." in tail or "example.com" in tail, tail
+                    start = at + 1
+
+
+class TestCorpus:
+    def test_counts_and_labels(self):
+        corpus = build_corpus(12, 8, seed=0)
+        assert len(corpus) == 20
+        assert sum(corpus.labels) == 8
+
+    def test_family_metadata(self):
+        corpus = build_corpus(6, 6, seed=1)
+        assert all(":" in family for family in corpus.families)
+        benign_tags = [f for f, y in zip(corpus.families, corpus.labels) if y == 0]
+        assert all(tag.startswith("benign:") for tag in benign_tags)
+
+    def test_deterministic(self):
+        a = build_corpus(5, 5, seed=7)
+        b = build_corpus(5, 5, seed=7)
+        assert a.sources == b.sources
+
+    def test_subset(self):
+        corpus = build_corpus(4, 4, seed=2)
+        sub = corpus.subset([0, 2])
+        assert len(sub) == 2
+        assert sub.sources[0] == corpus.sources[0]
+
+    def test_obfuscated_corpus_parses(self):
+        corpus = build_corpus(4, 4, seed=3)
+        obf = corpus.obfuscated(Jshaman(seed=0))
+        assert len(obf) == len(corpus)
+        assert obf.labels == corpus.labels
+        for src in obf.sources:
+            parse(src)
+
+    def test_every_source_parses(self):
+        corpus = build_corpus(18, 18, seed=4)
+        for src in corpus.sources:
+            parse(src)
+
+
+class TestExperimentSplit:
+    def test_partitions_disjoint_and_balanced(self):
+        split = experiment_split(seed=0, pretrain_per_class=4, train_per_class=6, test_per_class=5)
+        assert len(split.pretrain) == 8
+        assert len(split.train) == 12
+        assert len(split.test) == 10
+        assert sum(split.pretrain.labels) == 4
+        assert sum(split.train.labels) == 6
+        assert sum(split.test.labels) == 5
+        all_sources = split.pretrain.sources + split.train.sources + split.test.sources
+        assert len(set(all_sources)) == len(all_sources)  # disjoint
+
+    def test_label_array(self):
+        split = experiment_split(seed=1, pretrain_per_class=2, train_per_class=2, test_per_class=2)
+        assert split.test.label_array.dtype == np.dtype(int)

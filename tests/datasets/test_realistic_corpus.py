@@ -1,0 +1,67 @@
+"""Statistical tests for the realistic corpus mixture (Sec. IV-A1 analog)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import build_corpus, build_realistic_corpus
+from repro.jsparser import parse
+
+
+@pytest.fixture(scope="module")
+def corpora():
+    plain = build_corpus(120, 120, seed=8)
+    realistic = build_realistic_corpus(120, 120, seed=8)
+    return plain, realistic
+
+
+class TestMixtureRates:
+    def test_same_labels_and_order(self, corpora):
+        plain, realistic = corpora
+        assert plain.labels == realistic.labels
+        assert plain.families == realistic.families
+
+    def test_roughly_half_of_malicious_transformed(self, corpora):
+        plain, realistic = corpora
+        changed = sum(
+            1
+            for p, r, y in zip(plain.sources, realistic.sources, plain.labels)
+            if y == 1 and p != r
+        )
+        total = sum(plain.labels)
+        assert 0.3 <= changed / total <= 0.7  # malicious_obfuscation_rate = 0.5
+
+    def test_roughly_half_of_benign_transformed(self, corpora):
+        """Minification (0.4) + obfuscation (0.1) ≈ half of benign scripts."""
+        plain, realistic = corpora
+        changed = sum(
+            1
+            for p, r, y in zip(plain.sources, realistic.sources, plain.labels)
+            if y == 0 and p != r
+        )
+        total = len(plain.labels) - sum(plain.labels)
+        assert 0.3 <= changed / total <= 0.7
+
+    def test_everything_still_parses(self, corpora):
+        _, realistic = corpora
+        for source in realistic.sources:
+            parse(source)
+
+    def test_deterministic(self):
+        a = build_realistic_corpus(20, 20, seed=4)
+        b = build_realistic_corpus(20, 20, seed=4)
+        assert a.sources == b.sources
+
+    def test_rates_configurable(self):
+        untouched = build_realistic_corpus(
+            30, 30, seed=5, malicious_obfuscation_rate=0.0, benign_minify_rate=0.0, benign_obfuscation_rate=0.0
+        )
+        plain = build_corpus(30, 30, seed=5)
+        assert untouched.sources == plain.sources
+
+    def test_no_tool_dispatchers_in_training_mixture(self, corpora):
+        """Training-time obfuscation is wild-only: no switch dispatchers or
+        fog arrays may appear (those are evaluation-tool signatures)."""
+        _, realistic = corpora
+        for source in realistic.sources:
+            assert "$fog$" not in source
+            assert '.split("|")' not in source

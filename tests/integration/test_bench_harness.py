@@ -1,0 +1,59 @@
+"""Unit tests for the benchmark harness plumbing (no experiments run)."""
+
+import pytest
+
+from repro.bench import ComparisonResult, SETTINGS, bench_params, format_metric_table
+from repro.ml import DetectionReport
+
+
+def make_report(accuracy=90.0, f1=91.0, fpr=5.0, fnr=6.0):
+    return DetectionReport(accuracy=accuracy, f1=f1, fpr=fpr, fnr=fnr, precision=92.0, recall=93.0)
+
+
+@pytest.fixture()
+def result():
+    r = ComparisonResult(repetitions=2)
+    for detector in ("jsrevealer", "cujo"):
+        r.reports[detector] = {}
+        for i, setting in enumerate(SETTINGS):
+            r.reports[detector][setting] = make_report(accuracy=90.0 - i, f1=91.0 - i)
+    return r
+
+
+class TestComparisonResult:
+    def test_metric_lookup(self, result):
+        assert result.metric("cujo", "baseline", "accuracy") == 90.0
+        assert result.metric("cujo", "jshaman", "f1") == 87.0
+
+    def test_average_over_obfuscators_excludes_baseline(self, result):
+        # settings 1..4 have accuracy 89, 88, 87, 86 -> mean 87.5
+        assert result.average_over_obfuscators("jsrevealer", "accuracy") == pytest.approx(87.5)
+
+    def test_settings_cover_paper_columns(self):
+        assert SETTINGS == ("baseline", "javascript-obfuscator", "jfogs", "jsobfu", "jshaman")
+
+
+class TestFormatting:
+    def test_table_contains_all_rows_and_columns(self, result):
+        table = format_metric_table(result, "f1", detectors=("cujo", "jsrevealer"), title="T")
+        assert table.startswith("T")
+        assert "cujo" in table and "jsrevealer" in table
+        for setting in SETTINGS:
+            assert setting[:12] in table
+
+    def test_missing_detectors_skipped(self, result):
+        table = format_metric_table(result, "f1", detectors=("cujo", "nonexistent"))
+        assert "nonexistent" not in table
+
+
+class TestParams:
+    def test_env_overrides(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_REPS", "7")
+        monkeypatch.setenv("REPRO_BENCH_TRAIN", "33")
+        params = bench_params()
+        assert params["reps"] == 7
+        assert params["train"] == 33
+
+    def test_defaults_present(self):
+        params = bench_params()
+        assert set(params) == {"reps", "train", "test", "pretrain"}

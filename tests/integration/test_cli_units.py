@@ -1,0 +1,54 @@
+"""Unit tests for CLI plumbing that needs no trained model."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.cli import _collect_files, build_parser
+
+
+class TestParser:
+    def test_train_defaults(self):
+        args = build_parser().parse_args(["train", "--out", "m"])
+        assert args.out == "m"
+        assert args.k_benign == 11
+        assert args.k_malicious == 10
+
+    def test_scan_threshold(self):
+        args = build_parser().parse_args(["scan", "--model", "m", "--threshold", "0.8", "a.js"])
+        assert args.threshold == 0.8
+        assert args.paths == ["a.js"]
+
+    def test_explain_top(self):
+        args = build_parser().parse_args(["explain", "--model", "m", "--top", "9"])
+        assert args.top == 9
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCollectFiles:
+    def test_directory_globs_js(self, tmp_path):
+        (tmp_path / "a.js").write_text("var a = 1;")
+        (tmp_path / "sub").mkdir()
+        (tmp_path / "sub" / "b.js").write_text("var b = 2;")
+        (tmp_path / "c.txt").write_text("not js")
+        files = _collect_files([str(tmp_path)])
+        assert {f.name for f in files} == {"a.js", "b.js"}
+
+    def test_explicit_file_kept(self, tmp_path):
+        target = tmp_path / "one.js"
+        target.write_text("1;")
+        assert _collect_files([str(target)]) == [target]
+
+    def test_missing_path_warns_and_skips(self, tmp_path, capsys):
+        files = _collect_files([str(tmp_path / "ghost.js")])
+        assert files == []
+        assert "not found" in capsys.readouterr().err
+
+    def test_sorted_deterministic(self, tmp_path):
+        for name in ("z.js", "a.js", "m.js"):
+            (tmp_path / name).write_text(";")
+        files = _collect_files([str(tmp_path)])
+        assert [f.name for f in files] == ["a.js", "m.js", "z.js"]

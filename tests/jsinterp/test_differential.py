@@ -1,0 +1,66 @@
+"""Differential tests: codegen round-trips must preserve *behavior*.
+
+The parser/codegen property tests check tree equivalence; these go one
+step further and execute the original and the regenerated source under the
+interpreter, comparing observable effects.  Together with the obfuscator
+preservation tests this closes the loop: parse→print→parse is not only
+shape-stable but semantics-stable.
+"""
+
+import pytest
+
+from repro.jsinterp import Interpreter
+from repro.jsparser import generate, parse
+
+PROGRAMS = [
+    "console.log(1 + 2 * 3 - 4 / 2);",
+    "console.log((1 + 2) * (3 - 4));",
+    "var x = 5; x += 3; x *= 2; console.log(x);",
+    "console.log('a' + 1 + 2, 1 + 2 + 'a');",
+    "var o = { a: 1, b: { c: 2 } }; console.log(o.b.c, o['a']);",
+    "var a = [1, 2, 3]; a[1] = 9; console.log(a.join('|'));",
+    "function f(n) { if (n <= 0) return 'done'; return f(n - 1); } console.log(f(3));",
+    "for (var i = 0, s = ''; i < 4; i++) { s += i; } console.log(s);",
+    "var n = 0; do { n += 2; } while (n < 7); console.log(n);",
+    "console.log(typeof undefinedThing, typeof console);",
+    "try { null.x; } catch (e) { console.log('te'); }",
+    "var r = true ? (false ? 1 : 2) : 3; console.log(r);",
+    "console.log(0.1 + 0.2 > 0.3 - 0.0000001);",
+    "console.log([1, 2].concat([3]).length, 'ab'.charCodeAt(1));",
+    "switch ('b') { case 'a': console.log('A'); break; case 'b': console.log('B'); break; }",
+    "var k = 0; outer: while (k < 5) { k++; if (k === 2) continue outer; if (k === 4) break; console.log(k); }",
+    "console.log((function() { return arguments.length; })(1, 2, 3));",
+    "var g = 10; function shadow(g) { return g + 1; } console.log(shadow(1), g);",
+    "console.log(5 % 3, -5 % 3, 2 ** 8);",
+    "console.log('x' in { x: 1 }, 'y' in { x: 1 });",
+]
+
+
+def effects(source):
+    return Interpreter(max_steps=200_000).run(source).observable()
+
+
+@pytest.mark.parametrize("src", PROGRAMS, ids=range(len(PROGRAMS)))
+def test_codegen_roundtrip_preserves_behavior(src):
+    regenerated = generate(parse(src))
+    assert effects(regenerated) == effects(src)
+
+
+@pytest.mark.parametrize("src", PROGRAMS, ids=range(len(PROGRAMS)))
+def test_double_roundtrip_stable(src):
+    once = generate(parse(src))
+    twice = generate(parse(once))
+    assert effects(twice) == effects(src)
+
+
+def test_generated_corpus_behaviorally_roundtrips():
+    """Generated corpus scripts behave identically after a codegen pass."""
+    import numpy as np
+
+    from repro.datasets import generate_benign, generate_malicious
+
+    for seed in range(4):
+        for gen in (generate_benign, generate_malicious):
+            src = gen(np.random.default_rng(seed + 400))
+            regenerated = generate(parse(src))
+            assert effects(regenerated) == effects(src), f"{gen.__name__} seed {seed}"

@@ -1,0 +1,113 @@
+"""Unit tests for the host environment and lexical environments."""
+
+import pytest
+
+from repro.jsinterp import Environment, JSReferenceError, JSUndefined, run_program
+
+
+class TestEnvironmentChain:
+    def test_declare_and_get(self):
+        env = Environment()
+        env.declare("x", 1.0)
+        assert env.get("x") == 1.0
+
+    def test_lookup_through_parents(self):
+        root = Environment()
+        root.declare("outer", "o")
+        child = Environment(root)
+        assert child.get("outer") == "o"
+        assert child.has("outer")
+
+    def test_missing_name_raises(self):
+        with pytest.raises(JSReferenceError):
+            Environment().get("ghost")
+
+    def test_set_updates_nearest_binding(self):
+        root = Environment()
+        root.declare("v", 1.0)
+        child = Environment(root)
+        child.set("v", 2.0)
+        assert root.get("v") == 2.0
+        assert "v" not in child.bindings
+
+    def test_undeclared_set_creates_global(self):
+        root = Environment()
+        child = Environment(root)
+        child.set("implicit", 5.0)
+        assert root.get("implicit") == 5.0
+
+    def test_shadowing(self):
+        root = Environment()
+        root.declare("s", "outer")
+        child = Environment(root)
+        child.declare("s", "inner")
+        assert child.get("s") == "inner"
+        assert root.get("s") == "outer"
+
+    def test_global_env_walks_to_root(self):
+        root = Environment()
+        leaf = Environment(Environment(root))
+        assert leaf.global_env() is root
+
+
+class TestHostDOM:
+    def test_get_element_by_id_is_stable(self):
+        recorder = run_program(
+            "var a = document.getElementById('x'); a.textContent = 'v';"
+            "console.log(document.getElementById('x').textContent);"
+        )
+        assert recorder.console == ["v"]
+
+    def test_element_style_object(self):
+        recorder = run_program(
+            "var e = document.getElementById('p'); e.style.width = '10px';"
+            "console.log(e.style.width);"
+        )
+        assert recorder.console == ["10px"]
+
+    def test_location_replace_recorded(self):
+        recorder = run_program("location.replace('https://next.example/x');")
+        assert recorder.locations == ["https://next.example/x"]
+
+    def test_navigator_properties(self):
+        recorder = run_program("console.log(typeof navigator.userAgent, navigator.hardwareConcurrency >= 1);")
+        assert recorder.console == ["string true"]
+
+    def test_math_random_deterministic(self):
+        a = run_program("console.log(Math.random());").console
+        b = run_program("console.log(Math.random());").console
+        assert a == b
+
+    def test_image_beacon_is_inert(self):
+        recorder = run_program("var img = new Image(); img.src = 'https://x.example/b'; console.log('done');")
+        assert recorder.console == ["done"]
+
+    def test_xhr_stub_safe(self):
+        recorder = run_program(
+            "var r = new XMLHttpRequest(); r.open('GET', '/x', true); r.send(null); console.log(r.status);"
+        )
+        assert recorder.console == ["0"]
+
+    def test_websocket_stub_safe(self):
+        recorder = run_program("var ws = new WebSocket('wss://h.example/s'); ws.send('x'); console.log('ok');")
+        assert recorder.console == ["ok"]
+
+    def test_timer_depth_capped(self):
+        recorder = run_program(
+            "var n = 0; function loop() { n++; setTimeout(loop, 1); } loop(); console.log(n);"
+        )
+        # Depth cap cuts the self-rescheduling chain; timers still recorded.
+        assert len(recorder.timers) >= 3
+        assert recorder.console  # finished rather than recursing forever
+
+    def test_eval_string_timer_payload(self):
+        recorder = run_program("setTimeout(\"console.log('from-string')\", 10);")
+        assert recorder.console == ["from-string"]
+
+    def test_error_constructor(self):
+        recorder = run_program("try { throw new Error('bang'); } catch (e) { console.log(e.message); }")
+        assert recorder.console == ["bang"]
+
+    def test_undefined_global_binding(self):
+        recorder = run_program("console.log(undefined === void 0);")
+        assert recorder.console == ["true"]

@@ -1,0 +1,219 @@
+"""Unit tests for the JavaScript interpreter."""
+
+import math
+
+import pytest
+
+from repro.jsinterp import BudgetExceeded, Interpreter, run_program
+
+
+def logs(source, **kwargs):
+    return run_program(source, **kwargs).console
+
+
+def last_log(source):
+    return logs(source)[-1]
+
+
+class TestExpressions:
+    @pytest.mark.parametrize(
+        "expr,expected",
+        [
+            ("1 + 2", "3"),
+            ("'a' + 1", "a1"),
+            ("1 + '2'", "12"),
+            ("7 % 3", "1"),
+            ("2 ** 10", "1024"),
+            ("10 / 4", "2.5"),
+            ("5 & 3", "1"),
+            ("5 | 3", "7"),
+            ("5 ^ 3", "6"),
+            ("~5", "-6"),
+            ("1 << 4", "16"),
+            ("-16 >> 2", "-4"),
+            ("-16 >>> 28", "15"),
+            ("1 < 2", "true"),
+            ("'b' > 'a'", "true"),
+            ("1 == '1'", "true"),
+            ("1 === '1'", "false"),
+            ("null == undefined", "true"),
+            ("null === undefined", "false"),
+            ("typeof 'x'", "string"),
+            ("typeof 5", "number"),
+            ("typeof {}", "object"),
+            ("typeof undefined", "undefined"),
+            ("!0", "true"),
+            ("true ? 'y' : 'n'", "y"),
+            ("(1, 2, 3)", "3"),
+            ("'' || 'fallback'", "fallback"),
+            ("'v' && 'w'", "w"),
+        ],
+    )
+    def test_expression_values(self, expr, expected):
+        assert last_log(f"console.log({expr});") == expected
+
+    def test_nan_propagation(self):
+        assert last_log("console.log('x' * 2);") == "NaN"
+        assert last_log("console.log(NaN === NaN);") == "false"
+
+    def test_division_by_zero(self):
+        assert last_log("console.log(1 / 0);") == "Infinity"
+        assert last_log("console.log(0 / 0);") == "NaN"
+
+    def test_int32_wraparound(self):
+        assert last_log("console.log((0x7fffffff + 1) | 0);") == "-2147483648"
+
+
+class TestVariablesAndFunctions:
+    def test_var_assignment_and_update(self):
+        assert last_log("var x = 1; x += 4; x++; console.log(x);") == "6"
+
+    def test_prefix_vs_postfix(self):
+        assert logs("var i = 5; console.log(i++); console.log(++i);") == ["5", "7"]
+
+    def test_closures_capture_environment(self):
+        src = """
+        function counter() { var n = 0; return function() { n = n + 1; return n; }; }
+        var c = counter();
+        c(); c();
+        console.log(c());
+        """
+        assert last_log(src) == "3"
+
+    def test_hoisting_of_functions(self):
+        assert last_log("console.log(later()); function later() { return 'ok'; }") == "ok"
+
+    def test_var_hoisting_reads_undefined(self):
+        assert last_log("console.log(typeof x); var x = 1;") == "undefined"
+
+    def test_arguments_object(self):
+        assert last_log("function f() { return arguments.length; } console.log(f(1, 2, 3));") == "3"
+
+    def test_rest_parameters(self):
+        assert last_log("function f(a, ...rest) { return rest.join('+'); } console.log(f(1, 2, 3));") == "2+3"
+
+    def test_arrow_functions(self):
+        assert last_log("var double = x => x * 2; console.log(double(21));") == "42"
+
+    def test_named_function_expression_recursion(self):
+        assert last_log("var f = function fac(n) { return n <= 1 ? 1 : n * fac(n - 1); }; console.log(f(6));") == "720"
+
+    def test_this_in_method_call(self):
+        assert last_log("var o = { v: 9, m: function() { return this.v; } }; console.log(o.m());") == "9"
+
+    def test_new_constructs_object(self):
+        src = "function P(n) { this.n = n; } var p = new P(7); console.log(p.n);"
+        assert last_log(src) == "7"
+
+
+class TestControlFlow:
+    def test_while_and_break(self):
+        assert last_log("var n = 0; while (true) { n++; if (n === 4) break; } console.log(n);") == "4"
+
+    def test_do_while_runs_once(self):
+        assert last_log("var n = 0; do { n++; } while (false); console.log(n);") == "1"
+
+    def test_for_in_object(self):
+        assert last_log("var o = {a: 1, b: 2}; var ks = []; for (var k in o) ks.push(k); console.log(ks.join());") == "a,b"
+
+    def test_for_of_array(self):
+        assert last_log("var t = 0; for (var v of [1, 2, 3]) t += v; console.log(t);") == "6"
+
+    def test_labeled_continue(self):
+        src = """
+        var hits = [];
+        outer: for (var a = 0; a < 3; a++) {
+          for (var b = 0; b < 3; b++) {
+            if (b > 0) continue outer;
+            hits.push(a + ':' + b);
+          }
+        }
+        console.log(hits.join(' '));
+        """
+        assert last_log(src) == "0:0 1:0 2:0"
+
+    def test_labeled_break(self):
+        src = "outer: for (;;) { for (;;) { break outer; } } console.log('after');"
+        assert last_log(src) == "after"
+
+    def test_switch_fallthrough_and_default(self):
+        src = "var o = []; switch (9) { case 1: o.push('a'); default: o.push('d'); case 2: o.push('b'); } console.log(o.join());"
+        assert last_log(src) == "d,b"
+
+    def test_try_catch_finally_order(self):
+        src = "try { throw 'x'; } catch (e) { console.log('c', e); } finally { console.log('f'); }"
+        assert logs(src) == ["c x", "f"]
+
+    def test_uncaught_throw_recorded(self):
+        recorder = run_program("console.log('pre'); throw 'fatal'; console.log('post');")
+        assert recorder.console == ["pre"]
+        assert recorder.errors == ["fatal"]
+
+    def test_reference_error_catchable(self):
+        assert last_log("try { nope(); } catch (e) { console.log('caught'); }") == "caught"
+
+
+class TestBuiltins:
+    def test_string_methods(self):
+        assert last_log("console.log('hello'.toUpperCase().charAt(1));") == "E"
+        assert last_log("console.log('a,b,c'.split(',').length);") == "3"
+        assert last_log("console.log('abcdef'.substring(4, 2));") == "cd"
+        assert last_log("console.log('  pad  '.trim());") == "pad"
+        assert last_log("console.log('aXbXc'.replace('X', '-'));") == "a-bXc"
+
+    def test_regex_replace_global(self):
+        assert last_log("console.log('a+b+c'.replace(/\\+/g, ''));") == "abc"
+
+    def test_from_char_code_round_trip(self):
+        assert last_log("console.log(String.fromCharCode('A'.charCodeAt(0) + 1));") == "B"
+
+    def test_array_methods(self):
+        assert last_log("var a = [1]; a.push(2, 3); console.log(a.pop(), a.length);") == "3 2"
+        assert last_log("console.log([1, 2, 3].indexOf(3), [1, 2].indexOf(9));") == "2 -1"
+        assert last_log("console.log([3, 4].concat([5]).join(''));") == "345"
+
+    def test_math(self):
+        assert last_log("console.log(Math.floor(2.9), Math.max(1, 5, 3), Math.abs(-2));") == "2 5 2"
+
+    def test_parse_int(self):
+        assert last_log("console.log(parseInt('42px'), parseInt('ff', 16), parseInt('0x10'));") == "42 255 16"
+
+    def test_json_round_trip(self):
+        assert last_log("console.log(JSON.parse(JSON.stringify({k: [1, 'two']})).k[1]);") == "two"
+
+    def test_escape_unescape(self):
+        assert last_log("console.log(unescape(escape('a b%')));") == "a b%"
+
+    def test_number_to_string_radix(self):
+        assert last_log("console.log((255).toString(16), (5).toString(2));") == "ff 101"
+
+    def test_eval_executes(self):
+        assert last_log("var r = eval('2 + 3'); console.log(r);") == "5"
+
+    def test_set_timeout_runs_callback(self):
+        recorder = run_program("setTimeout(function() { console.log('fired'); }, 50);")
+        assert recorder.console == ["fired"]
+        assert recorder.timers == [50.0]
+
+    def test_document_write_recorded(self):
+        recorder = run_program("document.write('<p>', 'x', '</p>');")
+        assert recorder.writes == ["<p>x</p>"]
+
+    def test_cookie_accumulates(self):
+        recorder = run_program("document.cookie = 'a=1'; document.cookie = 'b=2; path=/'; console.log(document.cookie);")
+        assert recorder.cookies == ["a=1", "b=2; path=/"]
+        assert recorder.console == ["a=1; b=2"]
+
+
+class TestBudget:
+    def test_infinite_loop_bounded(self):
+        with pytest.raises(BudgetExceeded):
+            run_program("while (true) {}", max_steps=5000)
+
+    def test_budget_configurable(self):
+        run_program("for (var i = 0; i < 10; i++) {}", max_steps=2000)
+
+    def test_steps_counted(self):
+        interp = Interpreter()
+        interp.run("var a = 1 + 2;")
+        assert interp.steps > 0

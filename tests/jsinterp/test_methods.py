@@ -1,0 +1,98 @@
+"""Unit tests for built-in String/Array/Number methods."""
+
+import pytest
+
+from repro.jsinterp import run_program
+
+
+def out(source):
+    return run_program(source).console[-1]
+
+
+class TestStringMethods:
+    @pytest.mark.parametrize(
+        "expr,expected",
+        [
+            ("'hello'.charAt(1)", "e"),
+            ("'hello'.charAt(99)", ""),
+            ("'hello'.charCodeAt(0)", "104"),
+            ("'abcabc'.indexOf('b')", "1"),
+            ("'abcabc'.indexOf('b', 2)", "4"),
+            ("'abcabc'.indexOf('z')", "-1"),
+            ("'abcabc'.lastIndexOf('b')", "4"),
+            ("'abcdef'.substring(2)", "cdef"),
+            ("'abcdef'.substring(4, 2)", "cd"),
+            ("'abcdef'.substr(1, 3)", "bcd"),
+            ("'abcdef'.substr(-2)", "ef"),
+            ("'abcdef'.slice(-3)", "def"),
+            ("'abcdef'.slice(1, -1)", "bcde"),
+            ("'a,b,,c'.split(',').length", "4"),
+            ("'abc'.split('').join('|')", "a|b|c"),
+            ("'x'.split(undefined).length", "1"),
+            ("'aaa'.replace('a', 'b')", "baa"),
+            ("'MiXeD'.toLowerCase()", "mixed"),
+            ("'MiXeD'.toUpperCase()", "MIXED"),
+            ("'  x  '.trim()", "x"),
+            ("'ab'.concat('cd', 'ef')", "abcdef"),
+            ("'abc'.startsWith('ab')", "true"),
+            ("'hello'.length", "5"),
+            ("'q'.toString()", "q"),
+        ],
+    )
+    def test_string_expressions(self, expr, expected):
+        assert out(f"console.log({expr});") == expected
+
+
+class TestArrayMethods:
+    @pytest.mark.parametrize(
+        "src,expected",
+        [
+            ("var a = [1]; console.log(a.push(2, 3), a.length);", "3 3"),
+            ("var a = [1, 2]; console.log(a.pop(), a.length);", "2 1"),
+            ("var a = [1, 2]; console.log(a.shift(), a[0]);", "1 2"),
+            ("var a = [2]; a.unshift(0, 1); console.log(a.join(''));", "012"),
+            ("console.log([1, 2, 3].join());", "1,2,3"),
+            ("console.log([1, 2, 3].join(' - '));", "1 - 2 - 3"),
+            ("console.log([5, 6, 7].indexOf(7));", "2"),
+            ("console.log([5, '5'].indexOf('5'));", "1"),
+            ("console.log([0, 1, 2, 3].slice(1, 3).join());", "1,2"),
+            ("console.log([0, 1, 2, 3].slice(-2).join());", "2,3"),
+            ("console.log([1].concat([2, 3], 4).join());", "1,2,3,4"),
+            ("var a = [1, 2, 3]; a.reverse(); console.log(a.join());", "3,2,1"),
+            ("console.log([1, 2].toString());", "1,2"),
+            ("console.log([].pop(), [].shift());", "undefined undefined"),
+        ],
+    )
+    def test_array_programs(self, src, expected):
+        assert out(src) == expected
+
+
+class TestNumberMethods:
+    @pytest.mark.parametrize(
+        "expr,expected",
+        [
+            ("(255).toString(16)", "ff"),
+            ("(255).toString()", "255"),
+            ("(10).toString(2)", "1010"),
+            ("(-10).toString(2)", "-1010"),
+            ("(0).toString(36)", "0"),
+            ("(3.14159).toFixed(2)", "3.14"),
+            ("(5).toFixed(0)", "5"),
+        ],
+    )
+    def test_number_expressions(self, expr, expected):
+        assert out(f"console.log({expr});") == expected
+
+
+class TestCallApply:
+    def test_call_overrides_this(self):
+        assert out("function f(x) { return this.v + x; } console.log(f.call({v: 10}, 5));") == "15"
+
+    def test_apply_spreads_array(self):
+        assert out("function add(a, b, c) { return a + b + c; } console.log(add.apply(null, [1, 2, 3]));") == "6"
+
+    def test_apply_without_args(self):
+        assert out("function n() { return arguments.length; } console.log(n.apply(null));") == "0"
+
+    def test_bound_builtin_call(self):
+        assert out("console.log('abc'.charCodeAt.call('abc', 2));") == "99"

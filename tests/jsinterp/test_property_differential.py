@@ -1,0 +1,84 @@
+"""Property-based differential testing: random programs, three pipelines.
+
+For hypothesis-generated programs, the observable behavior must be
+identical across (a) direct interpretation, (b) codegen round-trip, and
+(c) minification — random-program fuzzing over the whole front end.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.jsinterp import BudgetExceeded, Interpreter
+from repro.jsparser import generate, parse
+from repro.obfuscation import Minifier
+
+_names = st.sampled_from(["a", "b", "c", "acc", "tmp"])
+_numbers = st.integers(min_value=0, max_value=99).map(str)
+_strings = st.sampled_from(['"x"', '"yz"', '""', '"q q"'])
+_values = st.one_of(_numbers, _strings, st.sampled_from(["true", "false", "null"]))
+
+_binops = st.sampled_from(["+", "-", "*", "%", "===", "<", ">", "&&", "||", "&", "^"])
+
+
+def _expr(children):
+    binary = st.tuples(children, _binops, children).map(lambda t: f"({t[0]} {t[1]} {t[2]})")
+    unary = st.tuples(st.sampled_from(["!", "-", "~"]), children).map(lambda t: f"({t[0]}{t[1]})")
+    conditional = st.tuples(children, children, children).map(lambda t: f"({t[0]} ? {t[1]} : {t[2]})")
+    return st.one_of(binary, unary, conditional)
+
+
+expression = st.recursive(st.one_of(_values, _names), _expr, max_leaves=8)
+
+statement = st.one_of(
+    st.tuples(_names, expression).map(lambda t: f"var {t[0]} = {t[1]};"),
+    st.tuples(_names, expression).map(lambda t: f"{t[0]} = {t[1]};"),
+    expression.map(lambda e: f"console.log({e});"),
+    st.tuples(expression, _names, expression).map(
+        lambda t: f"if ({t[0]}) {{ {t[1]} = {t[2]}; }} else {{ console.log({t[2]}); }}"
+    ),
+    st.tuples(_names, st.integers(1, 4)).map(
+        lambda t: f"for (var i{t[1]} = 0; i{t[1]} < {t[1]}; i{t[1]}++) {{ {t[0]} = {t[0]} + i{t[1]}; }}"
+    ),
+)
+
+program = st.lists(statement, min_size=1, max_size=6).map(
+    lambda body: "var a = 1, b = 2, c = 3, acc = 0, tmp = 0;\n" + "\n".join(body)
+)
+
+
+def observable(source):
+    return Interpreter(max_steps=100_000).run(source).observable()
+
+
+@settings(max_examples=120, deadline=None)
+@given(program)
+def test_codegen_roundtrip_behaviorally_equivalent(source):
+    try:
+        baseline = observable(source)
+    except BudgetExceeded:
+        return  # pathological loop; nothing to compare
+    assert observable(generate(parse(source))) == baseline
+
+
+@settings(max_examples=60, deadline=None)
+@given(program, st.integers(0, 50))
+def test_minification_behaviorally_equivalent(source, seed):
+    try:
+        baseline = observable(source)
+    except BudgetExceeded:
+        return
+    minified = Minifier(seed=seed).obfuscate(source)
+    assert observable(minified) == baseline
+
+
+@settings(max_examples=40, deadline=None)
+@given(program, st.integers(0, 50))
+def test_wild_obfuscation_behaviorally_equivalent(source, seed):
+    from repro.obfuscation import WildObfuscator
+
+    try:
+        baseline = observable(source)
+    except BudgetExceeded:
+        return
+    obfuscated = WildObfuscator(seed=seed).obfuscate(source)
+    assert observable(obfuscated) == baseline

@@ -1,0 +1,163 @@
+"""Unit tests for the JS value model and coercions."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.jsinterp import JSArray, JSNull, JSObject, JSUndefined, to_boolean, to_number, to_string, type_of
+from repro.jsinterp.values import format_number, js_equals, strict_equals, to_int32, to_uint32
+
+
+class TestToBoolean:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (JSUndefined, False),
+            (JSNull, False),
+            (0.0, False),
+            (float("nan"), False),
+            ("", False),
+            (1.0, True),
+            (-1.0, True),
+            ("x", True),
+            (True, True),
+            (False, False),
+        ],
+    )
+    def test_primitives(self, value, expected):
+        assert to_boolean(value) is expected
+
+    def test_objects_always_truthy(self):
+        assert to_boolean(JSObject()) is True
+        assert to_boolean(JSArray([])) is True  # [] is truthy in JS
+
+
+class TestToNumber:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (True, 1.0),
+            (False, 0.0),
+            (JSNull, 0.0),
+            ("", 0.0),
+            ("  42 ", 42.0),
+            ("0x10", 16.0),
+            (3, 3.0),
+        ],
+    )
+    def test_values(self, value, expected):
+        assert to_number(value) == expected
+
+    def test_nan_cases(self):
+        assert math.isnan(to_number(JSUndefined))
+        assert math.isnan(to_number("not a number"))
+        assert math.isnan(to_number(JSObject()))
+
+    def test_single_element_array(self):
+        assert to_number(JSArray([7.0])) == 7.0
+        assert to_number(JSArray([])) == 0.0
+        assert math.isnan(to_number(JSArray([1.0, 2.0])))
+
+
+class TestToString:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (JSUndefined, "undefined"),
+            (JSNull, "null"),
+            (True, "true"),
+            (False, "false"),
+            (1.0, "1"),
+            (1.5, "1.5"),
+            (-0.0, "0"),
+            ("s", "s"),
+        ],
+    )
+    def test_primitives(self, value, expected):
+        assert to_string(value) == expected
+
+    def test_array_join_semantics(self):
+        assert to_string(JSArray([1.0, "x", JSNull, JSUndefined])) == "1,x,,"
+
+    def test_object(self):
+        assert to_string(JSObject()) == "[object Object]"
+
+    def test_special_numbers(self):
+        assert format_number(math.inf) == "Infinity"
+        assert format_number(-math.inf) == "-Infinity"
+        assert format_number(math.nan) == "NaN"
+
+
+class TestInt32:
+    def test_wraparound(self):
+        assert to_int32(2**31) == -(2**31)
+        assert to_int32(2**32 + 5) == 5
+        assert to_uint32(-1) == 2**32 - 1
+
+    def test_nan_and_inf_are_zero(self):
+        assert to_int32(float("nan")) == 0
+        assert to_int32(float("inf")) == 0
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(min_value=-(2**40), max_value=2**40))
+    def test_int32_range_invariant(self, n):
+        v = to_int32(float(n))
+        assert -(2**31) <= v < 2**31
+        assert 0 <= to_uint32(float(n)) < 2**32
+
+
+class TestEquality:
+    def test_loose_coercions(self):
+        assert js_equals(1.0, "1")
+        assert js_equals(True, 1.0)
+        assert js_equals(JSNull, JSUndefined)
+        assert not js_equals(JSNull, 0.0)
+        assert not js_equals("", "0")
+
+    def test_strict_type_gate(self):
+        assert not strict_equals(1.0, "1")
+        assert strict_equals("a", "a")
+        assert not strict_equals(float("nan"), float("nan"))
+
+    def test_object_identity(self):
+        o = JSObject()
+        assert strict_equals(o, o)
+        assert not strict_equals(o, JSObject())
+
+
+class TestJSArray:
+    def test_length_grows_on_index_set(self):
+        arr = JSArray([1.0])
+        arr.set("4", 9.0)
+        assert arr.get("length") == 5.0
+        assert arr.get("2") is JSUndefined
+
+    def test_length_truncates(self):
+        arr = JSArray([1.0, 2.0, 3.0])
+        arr.set("length", 1.0)
+        assert arr.elements == [1.0]
+
+    def test_non_index_properties(self):
+        arr = JSArray()
+        arr.set("tag", "x")
+        assert arr.get("tag") == "x"
+        assert "tag" in arr.keys()
+
+
+class TestTypeOf:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (JSUndefined, "undefined"),
+            (JSNull, "object"),
+            (True, "boolean"),
+            (1.0, "number"),
+            ("s", "string"),
+            (JSObject(), "object"),
+            (JSArray(), "object"),
+        ],
+    )
+    def test_values(self, value, expected):
+        assert type_of(value) == expected

@@ -1,0 +1,144 @@
+"""Unit tests for the code generator (round-trip fidelity)."""
+
+import pytest
+
+from repro.jsparser import generate, parse, walk
+
+
+def roundtrip(source):
+    """generate(parse(src)) must itself parse to an equivalent tree."""
+    first = generate(parse(source))
+    second = generate(parse(first))
+    assert first == second, f"not a fixpoint:\n{first!r}\n{second!r}"
+    return first
+
+
+def shapes(source):
+    return [node.type for node in walk(parse(source))]
+
+
+SNIPPETS = [
+    "var x = 1;",
+    "let y = 'two';",
+    "const z = [1, 2, 3];",
+    "x = a + b * c - d / e % f;",
+    "x = (a + b) * c;",
+    "x = a ** b ** c;",
+    "x = (a ** b) ** c;",
+    "x = a === b && c !== d || !e;",
+    "x = a ? b : c;",
+    "x = -(-y);",
+    "x = - -y;",
+    "x = +(+y);",
+    "x = typeof y;",
+    "x = void 0;",
+    "delete o.k;",
+    "i++;",
+    "--j;",
+    "a.b.c = d[e][f];",
+    "f(1, 'x', g(2));",
+    "new Foo(1, 2);",
+    "new a.b.C();",
+    "x = new Date().getTime();",
+    "(function() { return 1; })();",
+    "var f = function named(a) { return a; };",
+    "var g = (a, b) => a + b;",
+    "var h = x => { return x; };",
+    "var o = { a: 1, 'b': 2, c: function() {} };",
+    "var arr = [1, , 3];",
+    "if (a) b(); else c();",
+    "if (a) { b(); } else if (c) { d(); } else { e(); }",
+    "for (var i = 0; i < 10; i++) f(i);",
+    "for (;;) break;",
+    "for (var k in o) f(k);",
+    "for (var v of xs) f(v);",
+    "while (a) b();",
+    "do a(); while (b);",
+    "switch (x) { case 1: a(); break; default: b(); }",
+    "try { a(); } catch (e) { b(e); } finally { c(); }",
+    "throw new Error('bad');",
+    "label: for (;;) { break label; }",
+    "with (o) { f(); }",
+    "debugger;",
+    "var r = /a[/]b/gi;",
+    "var t = `template text`;",
+    "a, b, c;",
+    "x = (a, b);",
+    "f(...args);",
+    "function r(...rest) { return rest; }",
+    "x = a in b;",
+    "x = a instanceof B;",
+    "for (var x = ('k' in o) ? 1 : 0; x;) {}",
+    "var n = 0x1f + 0b11 + 0o17 + 1e3 + .5;",
+    "'use strict';",
+    "x = a << 2 >> 1 >>> 3;",
+    "x = a & b | c ^ d;",
+    "x = s + 'lit' + `tpl`;",
+    "o.get = 1;",
+    "x = y.delete;",
+    "var q = { get p() { return 1; }, set p(v) { this._p = v; } };",
+]
+
+
+@pytest.mark.parametrize("src", SNIPPETS, ids=range(len(SNIPPETS)))
+def test_roundtrip_fixpoint(src):
+    roundtrip(src)
+
+
+@pytest.mark.parametrize("src", SNIPPETS, ids=range(len(SNIPPETS)))
+def test_roundtrip_preserves_shape(src):
+    regenerated = generate(parse(src))
+    assert shapes(src) == shapes(regenerated)
+
+
+class TestPrecedencePreservation:
+    def test_parenthesized_addition_kept(self):
+        out = generate(parse("x = (a + b) * c;"))
+        assert "(a + b) * c" in out
+
+    def test_needless_parens_dropped(self):
+        out = generate(parse("x = (a * b) + c;"))
+        assert "(" not in out.replace("(a", "XX") or "a * b + c" in out
+
+    def test_sequence_in_call_argument(self):
+        out = generate(parse("f((a, b));"))
+        assert "f((a, b))" in out
+
+    def test_assignment_in_condition(self):
+        out = generate(parse("if (x = f()) g();"))
+        assert "if (x = f())" in out
+
+    def test_object_literal_statement_wrapped(self):
+        out = generate(parse("({ a: 1 });"))
+        assert out.lstrip().startswith("(")
+
+    def test_function_expression_statement_wrapped(self):
+        out = generate(parse("(function() {})();"))
+        assert out.lstrip().startswith("(")
+
+    def test_unary_minus_chain_spacing(self):
+        # -(-x) must not be printed as --x
+        out = generate(parse("y = -(-x);"))
+        assert "--" not in out
+
+    def test_number_member_call(self):
+        out = generate(parse("x = (5).toString();"))
+        assert "(5).toString" in out
+
+    def test_new_callee_with_call_parenthesized(self):
+        out = generate(parse("var a = new (getClass())();"))
+        assert "new (getClass())" in out
+
+
+class TestStringEscaping:
+    @pytest.mark.parametrize("value", ["plain", 'has "quotes"', "line\nbreak", "tab\there", "back\\slash", "unié"])
+    def test_string_literal_roundtrip_value(self, value):
+        program = parse(generate(parse(f"var s = {_js_string(value)};")))
+        literal = program.body[0].declarations[0].init
+        assert literal.value == value
+
+
+def _js_string(value):
+    import json
+
+    return json.dumps(value)

@@ -1,0 +1,359 @@
+"""Unit tests for the JavaScript parser."""
+
+import pytest
+
+from repro.jsparser import JSSyntaxError, find_all, parse
+
+
+def stmt(source):
+    """Parse and return the single top-level statement."""
+    program = parse(source)
+    assert len(program.body) == 1
+    return program.body[0]
+
+
+def expr(source):
+    """Parse an expression statement and return the expression."""
+    statement = stmt(source)
+    assert statement.type == "ExpressionStatement"
+    return statement.expression
+
+
+class TestDeclarations:
+    def test_var_single(self):
+        node = stmt("var x = 1;")
+        assert node.type == "VariableDeclaration"
+        assert node.kind == "var"
+        assert node.declarations[0].id.name == "x"
+        assert node.declarations[0].init.value == 1
+
+    def test_var_multiple(self):
+        node = stmt("var a = 1, b, c = 3;")
+        assert [d.id.name for d in node.declarations] == ["a", "b", "c"]
+        assert node.declarations[1].init is None
+
+    @pytest.mark.parametrize("kind", ["let", "const"])
+    def test_let_const(self, kind):
+        node = stmt(f"{kind} x = 1;")
+        assert node.kind == kind
+
+    def test_function_declaration(self):
+        node = stmt("function f(a, b) { return a + b; }")
+        assert node.type == "FunctionDeclaration"
+        assert node.id.name == "f"
+        assert [p.name for p in node.params] == ["a", "b"]
+        assert node.body.body[0].type == "ReturnStatement"
+
+    def test_rest_parameter(self):
+        node = stmt("function f(a, ...rest) {}")
+        assert node.params[1].type == "SpreadElement"
+        assert node.params[1].argument.name == "rest"
+
+
+class TestControlFlow:
+    def test_if_else(self):
+        node = stmt("if (a) b(); else c();")
+        assert node.type == "IfStatement"
+        assert node.alternate is not None
+
+    def test_if_else_if_chain(self):
+        node = stmt("if (a) x(); else if (b) y(); else z();")
+        assert node.alternate.type == "IfStatement"
+
+    def test_classic_for(self):
+        node = stmt("for (var i = 0; i < 10; i++) body();")
+        assert node.type == "ForStatement"
+        assert node.init.type == "VariableDeclaration"
+        assert node.update.type == "UpdateExpression"
+
+    def test_for_all_parts_empty(self):
+        node = stmt("for (;;) {}")
+        assert node.init is None and node.test is None and node.update is None
+
+    def test_for_in(self):
+        node = stmt("for (var k in obj) {}")
+        assert node.type == "ForInStatement"
+
+    def test_for_of(self):
+        node = stmt("for (let v of items) {}")
+        assert node.type == "ForOfStatement"
+
+    def test_for_in_with_expression_left(self):
+        node = stmt("for (k in obj) {}")
+        assert node.type == "ForInStatement"
+        assert node.left.type == "Identifier"
+
+    def test_in_operator_allowed_inside_for_parens(self):
+        node = stmt("for (var x = ('a' in o); x; ) {}")
+        assert node.init.declarations[0].init.operator == "in"
+
+    def test_while(self):
+        assert stmt("while (x) y();").type == "WhileStatement"
+
+    def test_do_while(self):
+        node = stmt("do { x(); } while (y);")
+        assert node.type == "DoWhileStatement"
+
+    def test_switch(self):
+        node = stmt("switch (x) { case 1: a(); break; default: b(); }")
+        assert node.type == "SwitchStatement"
+        assert len(node.cases) == 2
+        assert node.cases[1].test is None
+
+    def test_switch_duplicate_default_rejected(self):
+        with pytest.raises(JSSyntaxError):
+            parse("switch (x) { default: a(); default: b(); }")
+
+    def test_try_catch_finally(self):
+        node = stmt("try { a(); } catch (e) { b(); } finally { c(); }")
+        assert node.handler.param.name == "e"
+        assert node.finalizer is not None
+
+    def test_optional_catch_binding(self):
+        node = stmt("try { a(); } catch { b(); }")
+        assert node.handler.param is None
+
+    def test_try_without_handler_rejected(self):
+        with pytest.raises(JSSyntaxError):
+            parse("try { a(); }")
+
+    def test_labeled_break_continue(self):
+        program = parse("outer: for (;;) { for (;;) { break outer; continue outer; } }")
+        assert program.body[0].type == "LabeledStatement"
+        breaks = find_all(program, "BreakStatement")
+        assert breaks[0].label.name == "outer"
+
+    def test_with_statement(self):
+        assert stmt("with (o) { x(); }").type == "WithStatement"
+
+    def test_throw(self):
+        assert stmt("throw new Error('x');").type == "ThrowStatement"
+
+    def test_debugger(self):
+        assert stmt("debugger;").type == "DebuggerStatement"
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        node = expr("a + b * c;")
+        assert node.operator == "+"
+        assert node.right.operator == "*"
+
+    def test_left_associativity(self):
+        node = expr("a - b - c;")
+        assert node.left.operator == "-"
+
+    def test_exponent_right_associative(self):
+        node = expr("a ** b ** c;")
+        assert node.right.operator == "**"
+
+    def test_logical_vs_binary(self):
+        node = expr("a && b | c;")
+        assert node.type == "LogicalExpression"
+        assert node.right.type == "BinaryExpression"
+
+    def test_conditional(self):
+        node = expr("a ? b : c;")
+        assert node.type == "ConditionalExpression"
+
+    def test_nested_conditional(self):
+        node = expr("a ? b : c ? d : e;")
+        assert node.alternate.type == "ConditionalExpression"
+
+    def test_assignment_chain(self):
+        node = expr("a = b = c;")
+        assert node.right.type == "AssignmentExpression"
+
+    @pytest.mark.parametrize("op", ["+=", "-=", "*=", "/=", "%=", "<<=", ">>=", ">>>=", "&=", "|=", "^=", "**="])
+    def test_compound_assignment(self, op):
+        assert expr(f"a {op} b;").operator == op
+
+    def test_invalid_assignment_target(self):
+        with pytest.raises(JSSyntaxError):
+            parse("1 = x;")
+
+    def test_sequence(self):
+        node = expr("a, b, c;")
+        assert node.type == "SequenceExpression"
+        assert len(node.expressions) == 3
+
+    @pytest.mark.parametrize("op", ["typeof", "void", "delete", "!", "~", "+", "-"])
+    def test_unary(self, op):
+        node = expr(f"{op} x;")
+        assert node.type == "UnaryExpression"
+        assert node.operator == op
+
+    def test_prefix_and_postfix_update(self):
+        assert expr("++x;").prefix is True
+        assert expr("x++;").prefix is False
+
+    def test_member_chain(self):
+        node = expr("a.b.c;")
+        assert node.object.object.name == "a"
+        assert node.property.name == "c"
+
+    def test_computed_member(self):
+        node = expr("a[b + 1];")
+        assert node.computed is True
+
+    def test_keyword_property_name(self):
+        node = expr("a.delete;")
+        assert node.property.name == "delete"
+
+    def test_call_with_args(self):
+        node = expr("f(1, 'two', g());")
+        assert node.type == "CallExpression"
+        assert len(node.arguments) == 3
+
+    def test_spread_argument(self):
+        node = expr("f(...xs);")
+        assert node.arguments[0].type == "SpreadElement"
+
+    def test_iife(self):
+        node = expr("(function() { return 1; })();")
+        assert node.callee.type == "FunctionExpression"
+
+    def test_new_with_args(self):
+        node = expr("new Foo(1);")
+        assert node.type == "NewExpression"
+        assert len(node.arguments) == 1
+
+    def test_new_without_args(self):
+        node = expr("new Foo;")
+        assert node.arguments == []
+
+    def test_new_member_callee(self):
+        node = expr("new a.b.C(1);")
+        assert node.callee.type == "MemberExpression"
+
+    def test_new_then_member_call(self):
+        node = expr("new Date().getTime();")
+        assert node.type == "CallExpression"
+        assert node.callee.object.type == "NewExpression"
+
+    def test_this(self):
+        assert expr("this;").type == "ThisExpression"
+
+    def test_regex_literal(self):
+        node = expr("/ab/gi;")
+        assert node.regex == {"pattern": "ab", "flags": "gi"}
+
+
+class TestLiterals:
+    @pytest.mark.parametrize(
+        "src,value",
+        [("42;", 42), ("3.5;", 3.5), ("0x10;", 16), ("0b11;", 3), ("0o17;", 15), ("'s';", "s"), ("true;", True), ("false;", False), ("null;", None)],
+    )
+    def test_literal_values(self, src, value):
+        assert expr(src).value == value
+
+    def test_array_literal_with_elision(self):
+        node = expr("[1, , 3];")
+        assert node.elements[1] is None
+        assert len(node.elements) == 3
+
+    def test_array_trailing_comma(self):
+        assert len(expr("[1, 2,];").elements) == 2
+
+    def test_object_literal_forms(self):
+        node = expr("({ a: 1, 'b': 2, 3: 'x', c() {}, get d() { return 1; }, e });")
+        kinds = [p.kind for p in node.properties]
+        assert kinds == ["init", "init", "init", "init", "get", "init"]
+        shorthand = node.properties[5]
+        assert shorthand.key.name == "e" and shorthand.value.name == "e"
+
+    def test_computed_property_key(self):
+        node = expr("({ [k]: 1 });")
+        assert node.properties[0].computed is True
+
+    def test_template_literal(self):
+        assert expr("`abc`;").value == "abc"
+
+
+class TestArrowFunctions:
+    def test_single_param_arrow(self):
+        node = expr("x => x + 1;")
+        assert node.type == "ArrowFunctionExpression"
+        assert node.expression is True
+
+    def test_paren_params_arrow(self):
+        node = expr("(a, b) => a * b;")
+        assert [p.name for p in node.params] == ["a", "b"]
+
+    def test_zero_param_arrow(self):
+        assert expr("() => 1;").params == []
+
+    def test_arrow_block_body(self):
+        node = expr("(x) => { return x; };")
+        assert node.expression is False
+
+    def test_paren_expr_not_confused_with_arrow(self):
+        node = expr("(a + b) * c;")
+        assert node.type == "BinaryExpression"
+
+
+class TestASI:
+    def test_return_asi(self):
+        program = parse("function f() { return\n1; }")
+        ret = find_all(program, "ReturnStatement")[0]
+        assert ret.argument is None
+
+    def test_statement_asi_at_newline(self):
+        program = parse("var a = 1\nvar b = 2")
+        assert len(program.body) == 2
+
+    def test_asi_before_close_brace(self):
+        program = parse("function f() { return 1 }")
+        assert find_all(program, "ReturnStatement")[0].argument.value == 1
+
+    def test_asi_at_eof(self):
+        assert len(parse("x = 1").body) == 1
+
+    def test_postfix_restricted_production(self):
+        # `a \n ++b` parses as two statements, not `a++; b`.
+        program = parse("a\n++b")
+        assert len(program.body) == 2
+
+    def test_missing_semicolon_same_line_is_error(self):
+        with pytest.raises(JSSyntaxError):
+            parse("var a = 1 var b = 2")
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "src",
+        ["var", "if (x", "function () {}", "for (", "x = ;", "a.[b]", "{", "switch (x) { foo }"],
+    )
+    def test_syntax_errors(self, src):
+        with pytest.raises(JSSyntaxError):
+            parse(src)
+
+    def test_error_carries_location(self):
+        with pytest.raises(JSSyntaxError) as info:
+            parse("var x = @;")
+        assert info.value.line == 1
+
+
+class TestRealWorldShapes:
+    def test_paper_listing_style(self):
+        src = """
+        function getTimezoneOffset(dateStr) {
+          var timeZoneMinutes = 0;
+          if (dateStr.indexOf("+") !== -1) {
+            var parts = dateStr.split("+");
+            timeZoneMinutes = parseInt(parts[1], 10) * 60;
+          }
+          return timeZoneMinutes;
+        }
+        """
+        program = parse(src)
+        assert find_all(program, "FunctionDeclaration")[0].id.name == "getTimezoneOffset"
+
+    def test_nested_closures(self):
+        src = "var make = function(a) { return function(b) { return a + b; }; };"
+        program = parse(src)
+        assert len(find_all(program, "FunctionExpression")) == 2
+
+    def test_jquery_style_chain(self):
+        program = parse("$('#id').addClass('x').on('click', function(e) { e.preventDefault(); });")
+        assert len(find_all(program, "CallExpression")) >= 4

@@ -1,0 +1,150 @@
+"""Property-based tests: random ASTs round-trip through codegen + parser."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.jsparser import generate, parse, walk
+
+# ---------------------------------------------------------------- strategies
+
+_identifiers = st.from_regex(r"[a-z][a-zA-Z0-9_]{0,6}", fullmatch=True).filter(
+    lambda s: s
+    not in {
+        "var",
+        "let",
+        "const",
+        "if",
+        "else",
+        "for",
+        "in",
+        "of",
+        "do",
+        "while",
+        "new",
+        "this",
+        "true",
+        "false",
+        "null",
+        "typeof",
+        "void",
+        "delete",
+        "return",
+        "function",
+        "try",
+        "catch",
+        "finally",
+        "throw",
+        "switch",
+        "case",
+        "default",
+        "break",
+        "continue",
+        "with",
+        "debugger",
+        "instanceof",
+        "yield",
+        "class",
+        "extends",
+        "super",
+        "get",
+        "set",
+    }
+)
+
+_numbers = st.integers(min_value=0, max_value=10**9).map(str)
+_strings = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs",), blacklist_characters='"\\\n\r'),
+    max_size=12,
+).map(lambda s: '"' + s + '"')
+
+_atoms = st.one_of(_identifiers, _numbers, _strings, st.sampled_from(["true", "false", "null", "this"]))
+
+
+def _expressions(children):
+    binary = st.tuples(children, st.sampled_from(["+", "-", "*", "/", "%", "==", "===", "<", ">", "&&", "||"]), children).map(
+        lambda t: f"({t[0]} {t[1]} {t[2]})"
+    )
+    unary = st.tuples(st.sampled_from(["!", "-", "typeof "]), children).map(lambda t: f"({t[0]}{t[1]})")
+    call = st.tuples(_identifiers, st.lists(children, max_size=3)).map(lambda t: f"{t[0]}({', '.join(t[1])})")
+    member = st.tuples(children, _identifiers).map(lambda t: f"({t[0]}).{t[1]}")
+    index = st.tuples(children, children).map(lambda t: f"({t[0]})[{t[1]}]")
+    conditional = st.tuples(children, children, children).map(lambda t: f"({t[0]} ? {t[1]} : {t[2]})")
+    array = st.lists(children, max_size=4).map(lambda xs: "[" + ", ".join(xs) + "]")
+    return st.one_of(binary, unary, call, member, index, conditional, array)
+
+
+expression_strategy = st.recursive(_atoms, _expressions, max_leaves=20)
+
+
+def _statements(children):
+    block = st.lists(children, max_size=3).map(lambda xs: "{ " + " ".join(xs) + " }")
+    if_stmt = st.tuples(expression_strategy, children).map(lambda t: f"if ({t[0]}) {t[1]}")
+    if_else = st.tuples(expression_strategy, children, children).map(lambda t: f"if ({t[0]}) {t[1]} else {t[2]}")
+    while_stmt = st.tuples(expression_strategy, children).map(lambda t: f"while ({t[0]}) {t[1]}")
+    fn = st.tuples(_identifiers, st.lists(_identifiers, max_size=3, unique=True), st.lists(children, max_size=2)).map(
+        lambda t: f"function {t[0]}({', '.join(t[1])}) {{ {' '.join(t[2])} }}"
+    )
+    return st.one_of(block, if_stmt, if_else, while_stmt, fn)
+
+
+_simple_statements = st.one_of(
+    st.tuples(_identifiers, expression_strategy).map(lambda t: f"var {t[0]} = {t[1]};"),
+    expression_strategy.map(lambda e: f"({e});"),
+    st.tuples(_identifiers, expression_strategy).map(lambda t: f"{t[0]} = {t[1]};"),
+)
+
+statement_strategy = st.recursive(_simple_statements, _statements, max_leaves=12)
+
+program_strategy = st.lists(statement_strategy, min_size=1, max_size=6).map("\n".join)
+
+
+# -------------------------------------------------------------------- tests
+
+
+def _shape(program):
+    return [node.type for node in walk(program)]
+
+
+@settings(max_examples=120, deadline=None)
+@given(program_strategy)
+def test_generated_programs_parse(source):
+    parse(source)
+
+
+@settings(max_examples=120, deadline=None)
+@given(program_strategy)
+def test_codegen_roundtrip_is_fixpoint(source):
+    first = generate(parse(source))
+    second = generate(parse(first))
+    assert first == second
+
+
+@settings(max_examples=120, deadline=None)
+@given(program_strategy)
+def test_codegen_preserves_tree_shape(source):
+    tree = parse(source)
+    regenerated = parse(generate(tree))
+    assert _shape(tree) == _shape(regenerated)
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.text(max_size=40))
+def test_lexer_never_crashes_unexpectedly(source):
+    """The lexer either tokenizes or raises JSSyntaxError — nothing else."""
+    from repro.jsparser import JSSyntaxError, tokenize
+
+    try:
+        tokens = tokenize(source)
+        assert tokens[-1].type.name == "EOF"
+    except JSSyntaxError:
+        pass
+
+
+@settings(max_examples=60, deadline=None)
+@given(program_strategy)
+def test_token_spans_cover_source(source):
+    from repro.jsparser import tokenize
+
+    for token in tokenize(source)[:-1]:
+        assert 0 <= token.start < token.end <= len(source)
+        assert source[token.start : token.end] == token.raw

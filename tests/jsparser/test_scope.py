@@ -1,0 +1,127 @@
+"""Unit tests for scope analysis."""
+
+from repro.jsparser import analyze_scopes, parse
+
+
+def analyze(source):
+    return analyze_scopes(parse(source))
+
+
+class TestDeclarations:
+    def test_global_var(self):
+        analyzer = analyze("var x = 1;")
+        assert "x" in analyzer.global_scope.bindings
+        assert analyzer.global_scope.bindings["x"].kind == "var"
+
+    def test_function_declaration_binding(self):
+        analyzer = analyze("function f() {}")
+        assert analyzer.global_scope.bindings["f"].kind == "function"
+
+    def test_params_bound_in_function_scope(self):
+        analyzer = analyze("function f(a, b) { return a + b; }")
+        fn_scope = analyzer.global_scope.children[0]
+        assert fn_scope.kind == "function"
+        assert set(fn_scope.bindings) == {"a", "b"}
+
+    def test_var_hoists_out_of_block(self):
+        analyzer = analyze("if (c) { var x = 1; }")
+        assert "x" in analyzer.global_scope.bindings
+
+    def test_let_stays_in_block(self):
+        analyzer = analyze("{ let x = 1; }")
+        assert "x" not in analyzer.global_scope.bindings
+        block = analyzer.global_scope.children[0]
+        assert "x" in block.bindings
+
+    def test_var_in_function_does_not_leak(self):
+        analyzer = analyze("function f() { var inner = 1; }")
+        assert "inner" not in analyzer.global_scope.bindings
+
+    def test_catch_param_scoped(self):
+        analyzer = analyze("try {} catch (e) { e; }")
+        assert "e" not in analyzer.global_scope.bindings
+        catch_scope = next(s for s in analyzer.global_scope.iter_scopes() if s.kind == "catch")
+        assert "e" in catch_scope.bindings
+
+    def test_for_let_scoped_to_loop(self):
+        analyzer = analyze("for (let i = 0; i < 3; i++) {}")
+        assert "i" not in analyzer.global_scope.bindings
+
+    def test_for_var_hoists(self):
+        analyzer = analyze("for (var i = 0; i < 3; i++) {}")
+        assert "i" in analyzer.global_scope.bindings
+
+    def test_repeated_var_merges_into_one_binding(self):
+        analyzer = analyze("var x = 1; var x = 2; use(x);")
+        binding = analyzer.global_scope.bindings["x"]
+        assert len(binding.declarations) == 2
+        assert len(binding.references) == 1
+
+    def test_named_function_expression_self_binding(self):
+        analyzer = analyze("var f = function rec(n) { return n && rec(n - 1); };")
+        fn_scope = analyzer.global_scope.children[0]
+        assert "rec" in fn_scope.bindings
+        assert "rec" not in analyzer.global_scope.bindings
+
+
+class TestReferences:
+    def test_reference_resolution(self):
+        analyzer = analyze("var x = 1; x = x + 1;")
+        binding = analyzer.global_scope.bindings["x"]
+        assert len(binding.references) == 2
+
+    def test_closure_reference_resolves_outward(self):
+        analyzer = analyze("var a = 1; function f() { return a; }")
+        assert len(analyzer.global_scope.bindings["a"].references) == 1
+        assert not analyzer.unresolved
+
+    def test_shadowing(self):
+        analyzer = analyze("var x = 1; function f(x) { return x; }")
+        outer = analyzer.global_scope.bindings["x"]
+        assert outer.references == []  # inner x refers to the param
+
+    def test_member_property_not_a_reference(self):
+        analyzer = analyze("var a = {}; a.b = 1;")
+        assert {i.name for i in analyzer.unresolved} == set()
+
+    def test_object_key_not_a_reference(self):
+        analyzer = analyze("var o = { key: 1 };")
+        assert not analyzer.unresolved
+
+    def test_computed_member_is_a_reference(self):
+        analyzer = analyze("var a = {}, k = 'x'; a[k];")
+        assert len(analyzer.global_scope.bindings["k"].references) == 1
+
+    def test_unresolved_globals_recorded(self):
+        analyzer = analyze("document.write(navigator.userAgent);")
+        assert {i.name for i in analyzer.unresolved} == {"document", "navigator"}
+
+    def test_labels_are_not_references(self):
+        analyzer = analyze("loop: for (;;) { break loop; }")
+        assert not analyzer.unresolved
+
+    def test_binding_of_ref_mapping(self):
+        analyzer = analyze("var v = 1; use(v);")
+        binding = analyzer.global_scope.bindings["v"]
+        ref = binding.references[0]
+        assert analyzer.binding_of_ref[id(ref)] is binding
+
+
+class TestScopeShape:
+    def test_nested_function_scopes(self):
+        analyzer = analyze("function outer() { function inner() {} }")
+        outer_scope = analyzer.global_scope.children[0]
+        assert outer_scope.kind == "function"
+        assert any(s.kind == "function" for s in outer_scope.children)
+
+    def test_all_binding_names_walks_chain(self):
+        analyzer = analyze("var g = 1; function f(p) { var l = 2; }")
+        fn_scope = analyzer.global_scope.children[0]
+        names = fn_scope.all_binding_names()
+        assert {"g", "f", "p", "l"} <= names
+
+    def test_iter_scopes_covers_everything(self):
+        analyzer = analyze("function a() { if (x) { let y; } } var b = () => 1;")
+        kinds = [s.kind for s in analyzer.global_scope.iter_scopes()]
+        assert kinds.count("function") == 2
+        assert "block" in kinds

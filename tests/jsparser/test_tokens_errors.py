@@ -1,0 +1,85 @@
+"""Unit tests for the token model, error types, and codegen guards."""
+
+import pytest
+
+from repro.jsparser import CodegenError, JSSyntaxError, Token, TokenType, generate
+from repro.jsparser.ast_nodes import Node
+from repro.jsparser.tokens import KEYWORDS, PUNCTUATORS, Position
+
+
+class TestTokenModel:
+    def test_matches_by_type_and_value(self):
+        token = Token(TokenType.KEYWORD, "var")
+        assert token.matches(TokenType.KEYWORD)
+        assert token.matches(TokenType.KEYWORD, "var")
+        assert not token.matches(TokenType.KEYWORD, "let")
+        assert not token.matches(TokenType.IDENTIFIER)
+
+    def test_punctuators_sorted_longest_first(self):
+        lengths = [len(p) for p in PUNCTUATORS]
+        assert lengths == sorted(lengths, reverse=True)
+
+    def test_keywords_cover_es5_core(self):
+        assert {"var", "function", "return", "if", "while", "typeof", "new"} <= KEYWORDS
+
+    def test_position_repr(self):
+        assert repr(Position(3, 7)) == "3:7"
+
+    def test_newline_flag_not_in_equality(self):
+        a = Token(TokenType.IDENTIFIER, "x", preceded_by_newline=True)
+        b = Token(TokenType.IDENTIFIER, "x", preceded_by_newline=False)
+        assert a == b
+
+
+class TestErrors:
+    def test_syntax_error_carries_location(self):
+        error = JSSyntaxError("bad thing", line=4, column=2, index=40)
+        assert error.line == 4
+        assert error.column == 2
+        assert error.index == 40
+        assert "Line 4" in str(error)
+
+    def test_codegen_rejects_unknown_node(self):
+        class Mystery(Node):
+            type = "MysteryNode"
+
+        with pytest.raises(CodegenError):
+            generate(Mystery())
+
+
+class TestNodeProtocol:
+    def test_replace_child_in_field(self):
+        from repro.jsparser import parse
+
+        program = parse("f(1);")
+        call = program.body[0].expression
+        old = call.arguments[0]
+        from repro.jsparser.ast_nodes import Literal
+
+        new = Literal(2, "2")
+        assert call.replace_child(old, new)
+        assert call.arguments[0] is new
+
+    def test_replace_child_missing_returns_false(self):
+        from repro.jsparser import parse
+        from repro.jsparser.ast_nodes import Literal
+
+        program = parse("f(1);")
+        assert not program.replace_child(Literal(9, "9"), Literal(8, "8"))
+
+    def test_to_dict_serializes_estree_shape(self):
+        from repro.jsparser import parse
+
+        tree = parse("var v = 1;").body[0].to_dict()
+        assert tree["type"] == "VariableDeclaration"
+        assert tree["kind"] == "var"
+        assert tree["declarations"][0]["id"]["name"] == "v"
+        assert tree["declarations"][0]["init"]["value"] == 1
+
+    def test_children_skips_none_fields(self):
+        from repro.jsparser import parse
+
+        if_stmt = parse("if (a) b();").body[0]
+        kinds = [child.type for child in if_stmt.children()]
+        assert "ExpressionStatement" in kinds
+        assert None not in kinds

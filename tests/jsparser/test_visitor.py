@@ -1,0 +1,72 @@
+"""Unit tests for the AST traversal utilities."""
+
+from repro.jsparser import (
+    FunctionScopedVisitor,
+    Visitor,
+    count_nodes,
+    find_all,
+    parse,
+    walk,
+    walk_with_parent,
+)
+
+SRC = "function f(a) { var b = a + 1; return b; } var c = f(2);"
+
+
+class TestWalk:
+    def test_preorder_starts_at_root(self):
+        nodes = list(walk(parse(SRC)))
+        assert nodes[0].type == "Program"
+
+    def test_count_matches_walk(self):
+        program = parse(SRC)
+        assert count_nodes(program) == len(list(walk(program)))
+
+    def test_walk_with_parent_pairs(self):
+        program = parse(SRC)
+        pairs = list(walk_with_parent(program))
+        root, root_parent = pairs[0]
+        assert root_parent is None
+        child_parents = {id(n): p for n, p in pairs}
+        for node, parent in pairs[1:]:
+            assert parent is not None
+            assert node in list(parent.children())
+
+    def test_find_all_by_type(self):
+        program = parse(SRC)
+        assert len(find_all(program, "VariableDeclaration")) == 2
+        assert len(find_all(program, "FunctionDeclaration")) == 1
+        assert find_all(program, "WithStatement") == []
+
+
+class TestVisitor:
+    def test_dispatch_by_type(self):
+        seen = []
+
+        class Collect(Visitor):
+            def visit_Identifier(self, node):
+                seen.append(node.name)
+
+        Collect().visit(parse("var x = y + z;"))
+        assert seen == ["x", "y", "z"]
+
+    def test_generic_visit_recurses(self):
+        counts = {"n": 0}
+
+        class CountAll(Visitor):
+            def generic_visit(self, node):
+                counts["n"] += 1
+                super().generic_visit(node)
+
+        CountAll().visit(parse("f(1);"))
+        assert counts["n"] == count_nodes(parse("f(1);"))
+
+    def test_function_scoped_visitor_stops_at_functions(self):
+        seen = []
+
+        class TopLevelCalls(FunctionScopedVisitor):
+            def visit_CallExpression(self, node):
+                seen.append(node.callee.name)
+
+        TopLevelCalls().visit(parse("top(); var f = function() { inner(); };"))
+        assert seen == ["top"]

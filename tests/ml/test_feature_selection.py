@@ -1,0 +1,66 @@
+"""Unit tests for chi-squared feature selection."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml.feature_selection import chi2_scores, select_top_k
+
+
+class TestChi2:
+    def test_informative_feature_scores_highest(self):
+        rng = np.random.default_rng(0)
+        n = 400
+        y = rng.integers(0, 2, size=n)
+        informative = (y == 1) & (rng.random(n) < 0.9) | (y == 0) & (rng.random(n) < 0.1)
+        noise = rng.random((n, 3)) < 0.5
+        X = np.column_stack([noise[:, 0], informative, noise[:, 1], noise[:, 2]]).astype(float)
+        scores = chi2_scores(X, y)
+        assert int(np.argmax(scores)) == 1
+
+    def test_perfectly_correlated_feature(self):
+        y = np.array([0, 0, 1, 1])
+        X = np.array([[0.0], [0.0], [1.0], [1.0]])
+        assert chi2_scores(X, y)[0] == pytest.approx(4.0)  # n * 1
+
+    def test_constant_feature_scores_zero(self):
+        y = np.array([0, 1, 0, 1])
+        X = np.ones((4, 1))
+        assert chi2_scores(X, y)[0] == 0.0
+
+    def test_independent_feature_scores_low(self):
+        rng = np.random.default_rng(1)
+        n = 2000
+        y = rng.integers(0, 2, size=n)
+        X = (rng.random((n, 1)) < 0.5).astype(float)
+        assert chi2_scores(X, y)[0] < 8.0  # ~chi2_1 tail
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ValueError):
+            chi2_scores(np.zeros((0, 2)), np.zeros(0))
+
+    def test_select_top_k(self):
+        y = np.array([0, 0, 1, 1] * 10)
+        strong = np.tile([0.0, 0.0, 1.0, 1.0], 10)
+        weak = np.tile([0.0, 1.0, 0.0, 1.0], 10)
+        X = np.column_stack([weak, strong, weak])
+        top = select_top_k(X, y, 1)
+        assert list(top) == [1]
+
+    def test_select_caps_at_feature_count(self):
+        X = np.random.default_rng(2).random((20, 3))
+        y = np.random.default_rng(3).integers(0, 2, size=20)
+        assert len(select_top_k(X, y, 100)) == 3
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(2, 60), st.integers(0, 10_000))
+def test_scores_are_finite_and_nonnegative(n, seed):
+    rng = np.random.default_rng(seed)
+    X = (rng.random((n, 4)) < rng.random(4)).astype(float)
+    y = rng.integers(0, 2, size=n)
+    scores = chi2_scores(X, y)
+    assert np.all(np.isfinite(scores))
+    assert np.all(scores >= 0.0)
+    assert np.all(scores <= n + 1e-9)  # chi2 of a 2x2 table is bounded by n

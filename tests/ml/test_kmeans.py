@@ -1,0 +1,106 @@
+"""Unit and property tests for K-Means and Bisecting K-Means."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml import BisectingKMeans, KMeans, elbow_sse
+
+
+def _three_blobs(rng, per=40):
+    centers = np.array([[0.0, 0.0], [8.0, 0.0], [0.0, 8.0]])
+    points = [rng.normal(c, 0.5, size=(per, 2)) for c in centers]
+    return np.vstack(points)
+
+
+class TestKMeans:
+    def test_recovers_three_blobs(self):
+        X = _three_blobs(np.random.default_rng(0))
+        model = KMeans(n_clusters=3, random_state=0).fit(X)
+        # Each blob ends up in one cluster: the per-blob label is constant.
+        labels = model.labels_.reshape(3, -1)
+        for row in labels:
+            assert len(np.unique(row)) == 1
+        assert len(np.unique(labels[:, 0])) == 3
+
+    def test_inertia_decreases_with_k(self):
+        X = _three_blobs(np.random.default_rng(1))
+        sse = elbow_sse(X, [1, 2, 3, 5], random_state=0, bisecting=False)
+        assert all(a >= b - 1e-9 for a, b in zip(sse, sse[1:]))
+
+    def test_predict_assigns_nearest_center(self):
+        X = _three_blobs(np.random.default_rng(2))
+        model = KMeans(n_clusters=3, random_state=0).fit(X)
+        point = np.array([[8.0, 0.0]])
+        cluster = model.predict(point)[0]
+        center = model.cluster_centers_[cluster]
+        distances = np.linalg.norm(model.cluster_centers_ - point, axis=1)
+        assert np.linalg.norm(center - point) == pytest.approx(distances.min())
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(ValueError):
+            KMeans(n_clusters=5).fit(np.zeros((3, 2)))
+
+    def test_deterministic_given_seed(self):
+        X = _three_blobs(np.random.default_rng(3))
+        l1 = KMeans(n_clusters=3, random_state=7).fit_predict(X)
+        l2 = KMeans(n_clusters=3, random_state=7).fit_predict(X)
+        assert np.array_equal(l1, l2)
+
+    def test_duplicate_points_handled(self):
+        X = np.ones((10, 3))
+        model = KMeans(n_clusters=2, random_state=0).fit(X)
+        assert model.inertia_ == pytest.approx(0.0)
+
+
+class TestBisectingKMeans:
+    def test_recovers_three_blobs(self):
+        X = _three_blobs(np.random.default_rng(0))
+        model = BisectingKMeans(n_clusters=3, random_state=0).fit(X)
+        labels = model.labels_.reshape(3, -1)
+        for row in labels:
+            assert len(np.unique(row)) == 1
+
+    def test_produces_requested_cluster_count(self):
+        X = np.random.default_rng(1).normal(size=(60, 4))
+        model = BisectingKMeans(n_clusters=6, random_state=0).fit(X)
+        assert len(model.cluster_centers_) == 6
+        assert set(model.labels_) == set(range(6))
+
+    def test_inertia_matches_assignment(self):
+        X = _three_blobs(np.random.default_rng(2))
+        model = BisectingKMeans(n_clusters=3, random_state=0).fit(X)
+        manual = sum(
+            np.sum((X[model.labels_ == k] - center) ** 2)
+            for k, center in enumerate(model.cluster_centers_)
+        )
+        assert model.inertia_ == pytest.approx(manual)
+
+    def test_elbow_curve_decreasing(self):
+        X = _three_blobs(np.random.default_rng(3))
+        sse = elbow_sse(X, range(1, 7), random_state=0, bisecting=True)
+        assert all(a >= b - 1e-6 for a, b in zip(sse, sse[1:]))
+
+    def test_predict_consistent_with_labels(self):
+        X = _three_blobs(np.random.default_rng(4))
+        model = BisectingKMeans(n_clusters=3, random_state=0).fit(X)
+        assert np.array_equal(model.predict(X), model.labels_)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.integers(2, 5),
+    st.integers(0, 1000),
+)
+def test_kmeans_partition_invariants(k, seed):
+    """Labels form a partition; centers are member means."""
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(k * 10, 3))
+    model = KMeans(n_clusters=k, random_state=seed).fit(X)
+    assert model.labels_.shape == (len(X),)
+    assert model.labels_.min() >= 0 and model.labels_.max() < k
+    for cluster in range(k):
+        members = X[model.labels_ == cluster]
+        if len(members):
+            assert np.allclose(model.cluster_centers_[cluster], members.mean(axis=0), atol=1e-6)

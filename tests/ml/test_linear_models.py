@@ -1,0 +1,114 @@
+"""Unit tests for logistic regression, linear SVM, and naive Bayes."""
+
+import numpy as np
+import pytest
+
+from repro.ml import BernoulliNB, GaussianNB, LinearSVC, LogisticRegression, accuracy
+
+
+def _blobs(rng, n=200, separation=3.0):
+    a = rng.normal(0.0, 1.0, size=(n // 2, 2))
+    b = rng.normal(separation, 1.0, size=(n // 2, 2))
+    return np.vstack([a, b]), np.array([0] * (n // 2) + [1] * (n // 2))
+
+
+class TestLogisticRegression:
+    def test_separable(self):
+        X, y = _blobs(np.random.default_rng(0))
+        model = LogisticRegression(n_iter=800).fit(X, y)
+        assert accuracy(y, model.predict(X)) >= 0.97
+
+    def test_probabilities_in_range(self):
+        X, y = _blobs(np.random.default_rng(1))
+        model = LogisticRegression().fit(X, y)
+        proba = model.predict_proba(X)
+        assert np.all(proba >= 0) and np.all(proba <= 1)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_decision_boundary_direction(self):
+        X, y = _blobs(np.random.default_rng(2))
+        model = LogisticRegression(n_iter=500).fit(X, y)
+        # class 1 sits at larger coordinates => positive weights
+        assert model.coef_[0] > 0 and model.coef_[1] > 0
+
+    def test_nonbinary_labels_rejected(self):
+        with pytest.raises(ValueError):
+            LogisticRegression().fit(np.zeros((3, 2)), [0, 1, 2])
+
+    def test_string_class_labels(self):
+        X, y = _blobs(np.random.default_rng(3))
+        labels = np.where(y == 1, "mal", "ben")
+        model = LogisticRegression(n_iter=500).fit(X, labels)
+        predicted = model.predict(X)
+        assert set(predicted) <= {"mal", "ben"}
+        assert accuracy(labels == "mal", predicted == "mal") >= 0.95
+
+
+class TestLinearSVC:
+    def test_separable(self):
+        X, y = _blobs(np.random.default_rng(0))
+        model = LinearSVC(n_iter=30, random_state=0).fit(X, y)
+        assert accuracy(y, model.predict(X)) >= 0.97
+
+    def test_margin_sign_matches_labels(self):
+        X, y = _blobs(np.random.default_rng(1))
+        model = LinearSVC(n_iter=30, random_state=0).fit(X, y)
+        scores = model.decision_function(X)
+        assert accuracy(y, (scores >= 0).astype(int)) >= 0.97
+
+    def test_invalid_C(self):
+        with pytest.raises(ValueError):
+            LinearSVC(C=0.0)
+
+    def test_proba_monotone_in_margin(self):
+        X, y = _blobs(np.random.default_rng(2))
+        model = LinearSVC(n_iter=20, random_state=0).fit(X, y)
+        scores = model.decision_function(X)
+        proba = model.predict_proba(X)[:, 1]
+        order = np.argsort(scores)
+        assert np.all(np.diff(proba[order]) >= -1e-12)
+
+
+class TestGaussianNB:
+    def test_separable(self):
+        X, y = _blobs(np.random.default_rng(0))
+        model = GaussianNB().fit(X, y)
+        assert accuracy(y, model.predict(X)) >= 0.97
+
+    def test_class_priors_learned(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(100, 2))
+        y = np.array([0] * 80 + [1] * 20)
+        model = GaussianNB().fit(X, y)
+        assert model.class_prior_[0] == pytest.approx(0.8)
+
+    def test_proba_normalized(self):
+        X, y = _blobs(np.random.default_rng(2))
+        model = GaussianNB().fit(X, y)
+        assert np.allclose(model.predict_proba(X).sum(axis=1), 1.0)
+
+
+class TestBernoulliNB:
+    def test_binary_features(self):
+        rng = np.random.default_rng(0)
+        n = 300
+        # Feature 0 strongly indicates class 1; feature 1 is noise.
+        y = rng.integers(0, 2, size=n)
+        f0 = np.where(y == 1, rng.random(n) < 0.9, rng.random(n) < 0.1)
+        f1 = rng.random(n) < 0.5
+        X = np.column_stack([f0, f1]).astype(float)
+        model = BernoulliNB().fit(X, y)
+        assert accuracy(y, model.predict(X)) >= 0.85
+
+    def test_binarize_threshold(self):
+        X = np.array([[0.2], [0.8]])
+        y = np.array([0, 1])
+        model = BernoulliNB(binarize=0.5).fit(X, y)
+        assert model.predict([[0.9]])[0] == 1
+        assert model.predict([[0.1]])[0] == 0
+
+    def test_laplace_smoothing_avoids_zero_probability(self):
+        X = np.array([[1.0], [1.0], [0.0]])
+        y = np.array([1, 1, 0])
+        model = BernoulliNB(alpha=1.0).fit(X, y)
+        assert np.isfinite(model._joint_log_likelihood([[1.0], [0.0]])).all()

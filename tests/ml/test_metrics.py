@@ -1,0 +1,88 @@
+"""Unit and property tests for classification metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ml import (
+    accuracy,
+    confusion_counts,
+    detection_report,
+    f1_score,
+    false_negative_rate,
+    false_positive_rate,
+    precision,
+    recall,
+)
+
+
+class TestConfusion:
+    def test_all_cells(self):
+        y_true = [1, 1, 0, 0, 1, 0]
+        y_pred = [1, 0, 1, 0, 1, 0]
+        assert confusion_counts(y_true, y_pred) == (2, 1, 2, 1)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            confusion_counts([1, 0], [1])
+
+    def test_perfect_prediction(self):
+        y = [0, 1, 0, 1]
+        assert confusion_counts(y, y) == (2, 0, 2, 0)
+
+
+class TestMetricValues:
+    def test_accuracy(self):
+        assert accuracy([1, 1, 0, 0], [1, 0, 0, 0]) == 0.75
+
+    def test_precision_recall(self):
+        y_true = [1, 1, 1, 0]
+        y_pred = [1, 0, 1, 1]
+        assert precision(y_true, y_pred) == pytest.approx(2 / 3)
+        assert recall(y_true, y_pred) == pytest.approx(2 / 3)
+
+    def test_f1_harmonic_mean(self):
+        y_true = [1, 1, 0, 0]
+        y_pred = [1, 0, 1, 0]
+        p, r = precision(y_true, y_pred), recall(y_true, y_pred)
+        assert f1_score(y_true, y_pred) == pytest.approx(2 * p * r / (p + r))
+
+    def test_fpr_fnr(self):
+        y_true = [0, 0, 0, 0, 1, 1]
+        y_pred = [1, 0, 0, 0, 0, 1]
+        assert false_positive_rate(y_true, y_pred) == pytest.approx(0.25)
+        assert false_negative_rate(y_true, y_pred) == pytest.approx(0.5)
+
+    def test_degenerate_no_positives(self):
+        assert recall([0, 0], [0, 0]) == 0.0
+        assert f1_score([0, 0], [0, 0]) == 0.0
+        assert false_negative_rate([0, 0], [0, 0]) == 0.0
+
+    def test_report_percentages(self):
+        report = detection_report([1, 0], [1, 0])
+        assert report.accuracy == 100.0
+        assert report.f1 == 100.0
+        assert report.fpr == 0.0
+        assert report.fnr == 0.0
+
+
+@given(st.lists(st.tuples(st.integers(0, 1), st.integers(0, 1)), min_size=1, max_size=200))
+def test_metric_identities(pairs):
+    """Cross-metric identities hold for arbitrary binary label pairs."""
+    y_true = np.array([a for a, _ in pairs])
+    y_pred = np.array([b for _, b in pairs])
+    tp, fp, tn, fn = confusion_counts(y_true, y_pred)
+    assert tp + fp + tn + fn == len(pairs)
+    assert accuracy(y_true, y_pred) == pytest.approx((tp + tn) / len(pairs))
+    if tp + fn:
+        assert recall(y_true, y_pred) == pytest.approx(1.0 - false_negative_rate(y_true, y_pred))
+    assert 0.0 <= f1_score(y_true, y_pred) <= 1.0
+
+
+@given(st.lists(st.integers(0, 1), min_size=1, max_size=100))
+def test_perfect_prediction_maximizes_everything(labels):
+    y = np.array(labels)
+    assert accuracy(y, y) == 1.0
+    assert false_positive_rate(y, y) == 0.0
+    assert false_negative_rate(y, y) == 0.0

@@ -1,0 +1,41 @@
+"""Unit tests for split utilities (train_test_split extras, stratified_sample)."""
+
+import numpy as np
+import pytest
+
+from repro.ml import stratified_sample
+
+
+class TestStratifiedSample:
+    def test_exact_class_counts(self):
+        rng = np.random.default_rng(0)
+        y = np.array([0] * 60 + [1] * 40)
+        indices = stratified_sample(y, {0: 10, 1: 15}, rng)
+        assert len(indices) == 25
+        assert int(np.sum(y[indices] == 0)) == 10
+        assert int(np.sum(y[indices] == 1)) == 15
+
+    def test_no_replacement(self):
+        rng = np.random.default_rng(1)
+        y = np.array([0, 0, 0, 1, 1, 1])
+        indices = stratified_sample(y, {0: 3, 1: 3}, rng)
+        assert len(set(indices.tolist())) == 6
+
+    def test_insufficient_class_raises(self):
+        rng = np.random.default_rng(2)
+        with pytest.raises(ValueError):
+            stratified_sample(np.array([0, 1]), {0: 5, 1: 1}, rng)
+
+    def test_shuffled_output(self):
+        rng = np.random.default_rng(3)
+        y = np.array([0] * 50 + [1] * 50)
+        indices = stratified_sample(y, {0: 25, 1: 25}, rng)
+        labels = y[indices]
+        # Not all class-0 first: shuffling interleaves labels.
+        assert len(set(labels[:10].tolist())) == 2
+
+    def test_deterministic_given_rng(self):
+        y = np.array([0] * 20 + [1] * 20)
+        a = stratified_sample(y, {0: 5, 1: 5}, np.random.default_rng(9))
+        b = stratified_sample(y, {0: 5, 1: 5}, np.random.default_rng(9))
+        assert np.array_equal(a, b)

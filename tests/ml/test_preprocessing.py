@@ -1,0 +1,137 @@
+"""Unit and property tests for preprocessing utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml import CountVectorizer, HashingVectorizer, MinMaxScaler, ngrams, train_test_split
+
+
+class TestMinMaxScaler:
+    def test_scales_to_unit_interval(self):
+        X = np.array([[1.0, 10.0], [2.0, 20.0], [3.0, 30.0]])
+        scaled = MinMaxScaler().fit_transform(X)
+        assert scaled.min() == 0.0 and scaled.max() == 1.0
+
+    def test_constant_column_maps_to_zero(self):
+        X = np.array([[5.0], [5.0], [5.0]])
+        assert np.all(MinMaxScaler().fit_transform(X) == 0.0)
+
+    def test_unseen_data_clipped(self):
+        scaler = MinMaxScaler().fit(np.array([[0.0], [10.0]]))
+        out = scaler.transform(np.array([[-5.0], [15.0]]))
+        assert out.min() >= 0.0 and out.max() <= 1.0
+
+    def test_unfit_raises(self):
+        with pytest.raises(RuntimeError):
+            MinMaxScaler().transform(np.zeros((1, 1)))
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.lists(st.floats(-1e6, 1e6), min_size=3, max_size=3), min_size=2, max_size=30))
+    def test_output_always_in_unit_interval(self, rows):
+        X = np.array(rows)
+        out = MinMaxScaler().fit_transform(X)
+        assert np.all(out >= 0.0) and np.all(out <= 1.0)
+
+
+class TestVectorizers:
+    def test_count_vectorizer_counts(self):
+        docs = [["a", "b", "a"], ["b", "c"]]
+        vec = CountVectorizer()
+        X = vec.fit_transform(docs)
+        a_col = vec.vocabulary_["a"]
+        assert X[0, a_col] == 2.0
+        assert X[1, a_col] == 0.0
+
+    def test_count_vectorizer_max_features(self):
+        docs = [["x"] * 5 + ["y"] * 3 + ["z"]]
+        vec = CountVectorizer(max_features=2)
+        vec.fit(docs)
+        assert set(vec.vocabulary_) == {"x", "y"}
+
+    def test_count_vectorizer_binary(self):
+        docs = [["t", "t", "t"]]
+        X = CountVectorizer(binary=True).fit_transform(docs)
+        assert X.max() == 1.0
+
+    def test_count_vectorizer_ignores_unseen(self):
+        vec = CountVectorizer().fit([["a"]])
+        X = vec.transform([["b", "a"]])
+        assert X.sum() == 1.0
+
+    def test_hashing_vectorizer_width(self):
+        X = HashingVectorizer(n_features=64).transform([["tok1", "tok2"]])
+        assert X.shape == (1, 64)
+
+    def test_hashing_vectorizer_deterministic(self):
+        docs = [["alpha", "beta", "alpha"]]
+        v = HashingVectorizer(n_features=128)
+        assert np.array_equal(v.transform(docs), v.transform(docs))
+
+    def test_hashing_vectorizer_stable_across_processes(self):
+        """blake2-based hashing: exact values are process-independent."""
+        X = HashingVectorizer(n_features=8).transform([["alpha", "beta", "alpha"]])
+        import hashlib
+
+        expected = np.zeros(8)
+        for token in ("alpha", "beta", "alpha"):
+            digest = hashlib.blake2s(token.encode(), digest_size=8).digest()
+            h = int.from_bytes(digest, "little")
+            expected[h % 8] += 1.0 if (h >> 60) & 1 else -1.0
+        assert np.array_equal(X[0], expected)
+
+    def test_hashing_vectorizer_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            HashingVectorizer(n_features=0)
+
+
+class TestNgrams:
+    def test_bigrams(self):
+        assert ngrams(["a", "b", "c"], 2) == ["a\x1fb", "b\x1fc"]
+
+    def test_sequence_shorter_than_n(self):
+        assert ngrams(["a"], 3) == []
+
+    def test_unigrams_identity(self):
+        assert ngrams(["x", "y"], 1) == ["x", "y"]
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            ngrams(["a"], 0)
+
+    @given(st.lists(st.text(alphabet="ab", max_size=3), max_size=20), st.integers(1, 5))
+    def test_ngram_count_formula(self, tokens, n):
+        result = ngrams(tokens, n)
+        assert len(result) == max(0, len(tokens) - n + 1)
+
+
+class TestTrainTestSplit:
+    def test_sizes(self):
+        X = np.arange(100).reshape(-1, 1)
+        y = np.arange(100) % 2
+        X_tr, X_te, y_tr, y_te = train_test_split(X, y, test_size=0.25, rng=np.random.default_rng(0))
+        assert len(X_tr) == 75 and len(X_te) == 25
+        assert len(y_tr) == 75 and len(y_te) == 25
+
+    def test_partition_is_disjoint_and_complete(self):
+        X = np.arange(50).reshape(-1, 1)
+        y = np.zeros(50)
+        X_tr, X_te, _, _ = train_test_split(X, y, test_size=0.2, rng=np.random.default_rng(1))
+        combined = sorted(np.concatenate([X_tr.ravel(), X_te.ravel()]).tolist())
+        assert combined == list(range(50))
+
+    def test_list_inputs_supported(self):
+        X = [f"sample{i}" for i in range(10)]
+        y = [0, 1] * 5
+        X_tr, X_te, _, _ = train_test_split(X, y, test_size=0.3, rng=np.random.default_rng(2))
+        assert isinstance(X_tr, list)
+        assert len(X_tr) + len(X_te) == 10
+
+    def test_invalid_test_size(self):
+        with pytest.raises(ValueError):
+            train_test_split([1], [0], test_size=1.5)
+
+    def test_empty_dataset_rejected(self):
+        with pytest.raises(ValueError):
+            train_test_split([], [], test_size=0.5)

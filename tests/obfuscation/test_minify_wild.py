@@ -1,0 +1,90 @@
+"""Unit tests for the Minifier and the WildObfuscator."""
+
+import pytest
+
+from repro.jsparser import find_all, parse, walk
+from repro.obfuscation import Minifier, WildObfuscator
+
+SAMPLE = """
+function calculateTotal(items, taxRate) {
+  var runningTotal = 0;
+  for (var index = 0; index < items.length; index++) {
+    runningTotal = runningTotal + items[index].price;
+  }
+  return runningTotal * (1 + taxRate);
+}
+var shoppingCart = [{ price: 10 }, { price: 20 }];
+console.log(calculateTotal(shoppingCart, 0.2));
+"""
+
+
+class TestMinifier:
+    def test_names_become_short(self):
+        out = Minifier(seed=0).obfuscate(SAMPLE)
+        names = {i.name for i in find_all(parse(out), "Identifier")}
+        declared = names - {"console", "log", "length", "price"}
+        assert all(len(n) <= 2 for n in declared)
+
+    def test_uglify_sequence_order(self):
+        out = Minifier(seed=0).obfuscate("var first = 1; var second = 2; var third = first + second;")
+        program = parse(out)
+        declared = [d.declarations[0].id.name for d in program.body if d.type == "VariableDeclaration"]
+        assert declared == ["a", "b", "c"]
+
+    def test_structure_unchanged(self):
+        before = [n.type for n in walk(parse(SAMPLE))]
+        after = [n.type for n in walk(parse(Minifier(seed=1).obfuscate(SAMPLE)))]
+        assert before == after
+
+    def test_string_values_kept(self):
+        out = Minifier(seed=2).obfuscate("var msg = 'visible text'; alert(msg);")
+        assert "visible text" in out
+
+    def test_sequence_skips_reserved_single_letters(self):
+        # 30 variables: the a..z, aa, ab... sequence must stay collision-free.
+        declarations = "; ".join(f"var name{i} = {i}" for i in range(30))
+        out = Minifier(seed=3).obfuscate(declarations + ";")
+        program = parse(out)
+        names = [d.declarations[0].id.name for d in program.body]
+        assert len(set(names)) == 30
+
+
+class TestWildObfuscator:
+    def test_renames_and_splits(self):
+        out = WildObfuscator(seed=0, split_probability=1.0).obfuscate(
+            "var secretValue = 'longish string constant'; use(secretValue);"
+        )
+        assert "secretValue" not in out
+        assert "'longish string constant'" not in out and '"longish string constant"' not in out
+
+    def test_split_strings_concatenate_back(self):
+        out = WildObfuscator(seed=1, split_probability=1.0).obfuscate("f('abcdefgh');")
+        program = parse(out)
+        binary = find_all(program, "BinaryExpression")
+        assert binary and binary[0].operator == "+"
+        # The parts still concatenate to the original value.
+        parts = [lit.value for lit in find_all(program, "Literal") if isinstance(lit.value, str)]
+        assert "".join(parts) == "abcdefgh"
+
+    def test_wrap_probability_one_always_wraps(self):
+        out = WildObfuscator(seed=2, wrap_probability=1.0).obfuscate("var a = 1;")
+        program = parse(out)
+        assert len(program.body) == 1
+        assert program.body[0].expression.callee.type == "FunctionExpression"
+
+    def test_wrap_probability_zero_never_wraps(self):
+        out = WildObfuscator(seed=3, wrap_probability=0.0).obfuscate("var a = 1; var b = 2;")
+        program = parse(out)
+        assert all(stmt.type == "VariableDeclaration" for stmt in program.body)
+
+    def test_no_tool_signatures(self):
+        """Wild output must not contain the four tools' signature artifacts
+        (fog arrays, switch dispatchers) — it models ad-hoc obfuscation."""
+        out = WildObfuscator(seed=4).obfuscate(SAMPLE)
+        program = parse(out)
+        assert "$fog$" not in out
+        assert not find_all(program, "SwitchStatement")
+
+    def test_short_strings_untouched(self):
+        out = WildObfuscator(seed=5, split_probability=1.0).obfuscate("f('ab');")
+        assert "'ab'" in out or '"ab"' in out

@@ -1,0 +1,258 @@
+"""Unit tests for the four obfuscator analogs."""
+
+import pytest
+
+from repro.jsparser import find_all, parse
+from repro.obfuscation import ALL_OBFUSCATORS, Jfogs, JSObfu, JavaScriptObfuscator, Jshaman
+
+SAMPLE = """
+function greet(name) {
+  var message = "hello " + name;
+  var count = 3;
+  console.log(message, count);
+  return message;
+}
+var who = "world";
+greet(who);
+eval("1+1");
+"""
+
+MORE_SAMPLES = [
+    "var a = 1; if (a > 0) { log('positive'); } else { log('negative'); }",
+    "for (var i = 0; i < 10; i++) { sum = sum + i; }",
+    "function outer() { function inner(x) { return x * 2; } return inner(21); }",
+    "try { risky('op'); } catch (e) { report(e); } finally { cleanup(); }",
+    "var obj = { name: 'widget', size: 10 }; render(obj.name, obj.size);",
+]
+
+
+@pytest.mark.parametrize("cls", list(ALL_OBFUSCATORS.values()), ids=list(ALL_OBFUSCATORS))
+class TestAllObfuscators:
+    def test_output_is_valid_javascript(self, cls):
+        out = cls(seed=0).obfuscate(SAMPLE)
+        parse(out)
+
+    @pytest.mark.parametrize("src", MORE_SAMPLES, ids=range(len(MORE_SAMPLES)))
+    def test_varied_programs_stay_valid(self, cls, src):
+        parse(cls(seed=1).obfuscate(src))
+
+    def test_output_differs_from_input(self, cls):
+        out = cls(seed=2).obfuscate(SAMPLE)
+        assert out != SAMPLE
+
+    def test_deterministic_given_seed(self, cls):
+        assert cls(seed=3).obfuscate(SAMPLE) == cls(seed=3).obfuscate(SAMPLE)
+
+    def test_seeds_change_output(self, cls):
+        a = cls(seed=4).obfuscate(SAMPLE)
+        b = cls(seed=5).obfuscate(SAMPLE)
+        assert a != b
+
+    def test_declared_names_removed(self, cls):
+        out = cls(seed=6).obfuscate(SAMPLE)
+        names = {i.name for i in find_all(parse(out), "Identifier")}
+        assert "message" not in names
+        assert "who" not in names
+
+    def test_host_globals_survive(self, cls):
+        out = cls(seed=7).obfuscate(SAMPLE)
+        names = {i.name for i in find_all(parse(out), "Identifier")}
+        assert "console" in names
+
+
+class TestJavaScriptObfuscator:
+    def test_string_array_created(self):
+        out = JavaScriptObfuscator(seed=0).obfuscate(SAMPLE)
+        program = parse(out)
+        arrays = find_all(program, "ArrayExpression")
+        assert any(
+            all(getattr(e, "value", None) is not None for e in arr.elements) and len(arr.elements) >= 2
+            for arr in arrays
+        )
+        assert '"hello "' not in out or "[" in out  # literal moved into array
+
+    def test_strings_become_decoder_calls(self):
+        out = JavaScriptObfuscator(seed=1).obfuscate("f('alpha'); g('beta');")
+        program = parse(out)
+        # Lookups route through a decoder: find the decoder function whose
+        # body returns a computed member access, and calls to it.
+        decoders = [
+            fn
+            for fn in find_all(program, "FunctionDeclaration")
+            if fn.body.body
+            and any(
+                s.type == "ReturnStatement"
+                and s.argument is not None
+                and s.argument.type == "MemberExpression"
+                and s.argument.computed
+                for s in fn.body.body
+            )
+        ]
+        assert decoders
+        decoder_names = {fn.id.name for fn in decoders}
+        calls = [
+            c
+            for c in find_all(program, "CallExpression")
+            if c.callee.type == "Identifier" and c.callee.name in decoder_names
+        ]
+        assert len(calls) >= 2
+
+    def test_control_flow_flattening_produces_dispatcher(self):
+        out = JavaScriptObfuscator(seed=2, dead_code_injection=False).obfuscate(SAMPLE)
+        program = parse(out)
+        assert find_all(program, "SwitchStatement")
+        assert find_all(program, "WhileStatement")
+
+    def test_dispatch_preserves_statement_order(self):
+        """Decode the dispatch string and check it maps cases back to the
+        original statement order."""
+        out = JavaScriptObfuscator(seed=3, dead_code_injection=False, string_array=False).obfuscate(SAMPLE)
+        program = parse(out)
+        switch = find_all(program, "SwitchStatement")[0]
+        # Find the "a|b|c"-style dispatch literal.
+        fn = find_all(program, "FunctionDeclaration")[0]
+        dispatch_literal = next(
+            lit for lit in find_all(fn, "Literal") if isinstance(lit.value, str) and "|" in lit.value
+        )
+        order = [int(tok) for tok in dispatch_literal.value.split("|")]
+        case_bodies = {}
+        for case in switch.cases:
+            case_bodies[int(case.test.value)] = case.consequent
+        # Execution order: declarations of message/count before console.log,
+        # return last.
+        kinds = [case_bodies[label][0].type for label in order]
+        assert kinds[-1] == "ReturnStatement"
+        assert kinds[:2] == ["VariableDeclaration", "VariableDeclaration"]
+
+    def test_dead_code_guarded_by_false_predicate(self):
+        out = JavaScriptObfuscator(seed=4, string_array=False, control_flow_flattening=False).obfuscate(
+            "a(); b(); c(); d(); e();"
+        )
+        program = parse(out)
+        for if_stmt in find_all(program, "IfStatement"):
+            test = if_stmt.test
+            assert test.type == "BinaryExpression" and test.operator == "==="
+            assert test.left.value != test.right.value  # provably false
+
+    def test_debug_protection_inserts_debugger_loop(self):
+        out = JavaScriptObfuscator(
+            seed=6, string_array=False, control_flow_flattening=False,
+            dead_code_injection=False, debug_protection=True,
+        ).obfuscate("var a = 1;")
+        program = parse(out)
+        assert find_all(program, "DebuggerStatement")
+        assert "setTimeout" in out
+
+    def test_features_toggle_off(self):
+        out = JavaScriptObfuscator(
+            seed=5, string_array=False, control_flow_flattening=False, dead_code_injection=False
+        ).obfuscate(SAMPLE)
+        program = parse(out)
+        assert not find_all(program, "SwitchStatement")
+
+
+class TestJfogs:
+    def test_wraps_in_iife(self):
+        out = Jfogs(seed=0).obfuscate(SAMPLE)
+        program = parse(out)
+        assert len(program.body) == 1
+        expr = program.body[0].expression
+        assert expr.type == "CallExpression"
+        assert expr.callee.type == "FunctionExpression"
+
+    def test_fog_array_declared(self):
+        out = Jfogs(seed=1).obfuscate(SAMPLE)
+        assert "$fog$" in out
+
+    def test_global_call_identifier_removed(self):
+        out = Jfogs(seed=2).obfuscate("eval('payload');")
+        program = parse(out)
+        calls = find_all(program, "CallExpression")
+        # eval must no longer be a direct callee anywhere.
+        direct = [c for c in calls if c.callee.type == "Identifier" and c.callee.name == "eval"]
+        assert not direct
+        assert "eval" in out  # it lives in the fog array instead
+
+    def test_literal_arguments_fogged(self):
+        out = Jfogs(seed=3).obfuscate("go('target', 42);")
+        program = parse(out)
+        go_call = next(
+            c
+            for c in find_all(program, "CallExpression")
+            if c.callee.type == "Identifier" and c.callee.name == "go"
+        )
+        # Both literal arguments become fog-array lookups.
+        assert go_call.arguments
+        assert all(a.type == "MemberExpression" for a in go_call.arguments)
+
+    def test_unknown_global_callee_not_hoisted(self):
+        """Hoisting an unknown global into the fog array would evaluate it
+        eagerly and break try/catch semantics; it must stay in place."""
+        out = Jfogs(seed=6).obfuscate("try { mystery(); } catch (e) { log(e); }")
+        program = parse(out)
+        callees = {
+            c.callee.name for c in find_all(program, "CallExpression") if c.callee.type == "Identifier"
+        }
+        assert "mystery" in callees
+
+    def test_uniform_shell_even_for_trivial_input(self):
+        out = Jfogs(seed=4).obfuscate("var a = b;")
+        assert "$fog$" in out
+        parse(out)
+
+    def test_decoy_slots_present(self):
+        out = Jfogs(seed=5).obfuscate("noop();")
+        program = parse(out)
+        arrays = find_all(program, "ArrayExpression")
+        assert arrays and len(arrays[0].elements) >= 1
+
+
+class TestJSObfu:
+    def test_plain_strings_removed(self):
+        out = JSObfu(seed=0, iterations=1).obfuscate("var s = 'signature-string-constant';")
+        assert "'signature-string-constant'" not in out
+        assert '"signature-string-constant"' not in out
+
+    def test_iterations_compound(self):
+        one = JSObfu(seed=1, iterations=1).obfuscate(SAMPLE)
+        three = JSObfu(seed=1, iterations=3).obfuscate(SAMPLE)
+        assert len(three) > len(one)
+
+    def test_invalid_iterations(self):
+        with pytest.raises(ValueError):
+            JSObfu(iterations=0)
+
+    def test_fromcharcode_or_unescape_forms_appear(self):
+        out = JSObfu(seed=2, iterations=2).obfuscate(
+            "var a = 'alpha'; var b = 'bravo'; var c = 'charlie'; var d = 'delta';"
+        )
+        assert ("fromCharCode" in out) or ("unescape" in out) or ("+" in out)
+
+    def test_number_randomization(self):
+        out = JSObfu(seed=3, iterations=1).obfuscate("var n1 = 7; var n2 = 7; var n3 = 7; var n4 = 7;")
+        program = parse(out)
+        assert find_all(program, "BinaryExpression")
+
+
+class TestJshaman:
+    def test_only_renaming_structure_preserved(self):
+        src = "function f(a) { return a + 1; } f(2);"
+        out = Jshaman(seed=0).obfuscate(src)
+        before = [n.type for n in _walk_types(src)]
+        after = [n.type for n in _walk_types(out)]
+        assert before == after  # structure identical, only names differ
+
+    def test_string_values_preserved(self):
+        out = Jshaman(seed=1).obfuscate("var s = 'keep-me'; use(s);")
+        assert "keep-me" in out
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            Jshaman(encode_fraction=1.5)
+
+
+def _walk_types(source):
+    from repro.jsparser import parse as _parse
+    from repro.jsparser import walk
+
+    return list(walk(_parse(source)))

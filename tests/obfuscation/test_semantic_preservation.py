@@ -1,0 +1,134 @@
+"""Semantic-preservation tests: obfuscated code must behave identically.
+
+The strongest correctness property of the obfuscator suite: for programs
+with observable output (console, document.write, cookies, redirects), the
+obfuscated variant produces *exactly* the same observations when run under
+:mod:`repro.jsinterp`.
+"""
+
+import numpy as np
+import pytest
+
+from repro.jsinterp import Interpreter
+from repro.obfuscation import ALL_OBFUSCATORS, Minifier, WildObfuscator
+
+#: Deterministic programs exercising the transformation surface: string
+#: assembly, decoding loops, object/member traffic, control flow, errors.
+PROGRAMS = {
+    "string-assembly": """
+        var parts = ["al", "pha", "-", "omega"];
+        var word = "";
+        for (var i = 0; i < parts.length; i++) { word = word + parts[i]; }
+        console.log(word, word.length);
+    """,
+    "xor-decode": """
+        function decode(blob, key) {
+          var out = "";
+          for (var i = 0; i < blob.length; i++) {
+            out = out + String.fromCharCode(blob.charCodeAt(i) ^ key);
+          }
+          return out;
+        }
+        var secret = decode(decode("hello world", 42), 42);
+        console.log(secret);
+        document.write("<i>" + secret + "</i>");
+    """,
+    "object-config": """
+        var config = { width: 100, height: 40, label: "panel" };
+        function area(c) { return c.width * c.height; }
+        if (area(config) > 3000) { console.log(config.label, "big", area(config)); }
+        else { console.log(config.label, "small"); }
+    """,
+    "try-catch": """
+        var total = 0;
+        var values = [5, 10, 15];
+        for (var k in values) { total += values[k]; }
+        try { undefinedFn(); } catch (e) { console.log("recovered"); }
+        console.log("total", total);
+    """,
+    "closures": """
+        function adder(base) { return function(x) { return base + x; }; }
+        var plus5 = adder(5);
+        var results = [];
+        for (var i = 0; i < 4; i++) { results.push(plus5(i * 10)); }
+        console.log(results.join(","));
+    """,
+    "switch-machine": """
+        var state = "start";
+        var trace = [];
+        for (var step = 0; step < 5; step++) {
+          switch (state) {
+            case "start": trace.push("s"); state = "mid"; break;
+            case "mid": trace.push("m"); state = "end"; break;
+            default: trace.push("e"); state = "start";
+          }
+        }
+        console.log(trace.join(""));
+    """,
+    "charcode-table": """
+        var table = [104, 105, 33];
+        var msg = "";
+        var idx = 0;
+        while (idx < table.length) {
+          msg += String.fromCharCode(table[idx]);
+          idx++;
+        }
+        console.log(msg.toUpperCase());
+        document.cookie = "seen=" + msg.length;
+    """,
+    "eval-stage": """
+        var stage = "console" + ".log('staged', 40 + 2);";
+        eval(stage);
+    """,
+}
+
+TRANSFORMS = dict(ALL_OBFUSCATORS)
+TRANSFORMS["minify"] = Minifier
+TRANSFORMS["wild"] = WildObfuscator
+
+
+def observable(source):
+    return Interpreter(max_steps=400_000).run(source).observable()
+
+
+@pytest.mark.parametrize("transform_name", list(TRANSFORMS), ids=list(TRANSFORMS))
+@pytest.mark.parametrize("program_name", list(PROGRAMS), ids=list(PROGRAMS))
+class TestSemanticPreservation:
+    def test_behavior_identical(self, transform_name, program_name):
+        source = PROGRAMS[program_name]
+        baseline = observable(source)
+        for seed in (0, 11):
+            obfuscated = TRANSFORMS[transform_name](seed=seed).obfuscate(source)
+            assert observable(obfuscated) == baseline, f"seed {seed}"
+
+
+class TestRandomizedPreservation:
+    """Property-style sweep: many seeds across the heavyweight transforms."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_js_obfuscator_many_seeds(self, seed):
+        from repro.obfuscation import JavaScriptObfuscator
+
+        source = PROGRAMS["xor-decode"]
+        baseline = observable(source)
+        assert observable(JavaScriptObfuscator(seed=seed).obfuscate(source)) == baseline
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_jsobfu_iterations_preserve(self, seed):
+        from repro.obfuscation import JSObfu
+
+        source = PROGRAMS["string-assembly"]
+        baseline = observable(source)
+        assert observable(JSObfu(seed=seed, iterations=3).obfuscate(source)) == baseline
+
+    def test_generated_corpus_samples_preserved(self):
+        """Deterministic generated benign samples behave identically after
+        each obfuscator (families without timers/network)."""
+        from repro.datasets import generate_benign
+
+        for family in ("config", "codec", "hashutil", "template", "i18n"):
+            source = generate_benign(np.random.default_rng(3), family=family)
+            baseline = observable(source)
+            for name, cls in TRANSFORMS.items():
+                result = observable(cls(seed=5).obfuscate(source))
+                assert result == baseline, f"{name} on {family}"

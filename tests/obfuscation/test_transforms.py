@@ -1,0 +1,123 @@
+"""Unit tests for the shared obfuscation toolkit."""
+
+import numpy as np
+import pytest
+
+from repro.jsparser import find_all, parse
+from repro.obfuscation import NameGenerator, collect_string_literals, rename_variables
+
+
+class TestNameGenerator:
+    def test_fresh_names_unique(self):
+        namer = NameGenerator(style="hex", rng=np.random.default_rng(0))
+        names = {namer.fresh() for _ in range(200)}
+        assert len(names) == 200
+
+    def test_hex_style_shape(self):
+        namer = NameGenerator(style="hex", rng=np.random.default_rng(1))
+        assert namer.fresh().startswith("_0x")
+
+    def test_gibberish_style_is_identifier(self):
+        namer = NameGenerator(style="gibberish", rng=np.random.default_rng(2))
+        name = namer.fresh()
+        assert name[0] in "_$" or name[0].isalpha()
+
+    def test_reserved_names_never_produced(self):
+        namer = NameGenerator(style="short", rng=np.random.default_rng(3))
+        namer.reserve(["v1", "v2"])
+        assert namer.fresh() == "v3"
+
+    def test_forbidden_globals_never_produced(self):
+        namer = NameGenerator(style="short", rng=np.random.default_rng(4))
+        for _ in range(100):
+            assert namer.fresh() not in ("eval", "window", "document")
+
+    def test_invalid_style(self):
+        with pytest.raises(ValueError):
+            NameGenerator(style="emoji")
+
+
+class TestRenameVariables:
+    def rename(self, source):
+        program = parse(source)
+        mapping = rename_variables(program, NameGenerator(style="short", rng=np.random.default_rng(0)))
+        return program, mapping
+
+    def test_declaration_and_references_renamed_together(self):
+        program, mapping = self.rename("var count = 1; use(count); count = 2;")
+        new = mapping["count"]
+        names = [i.name for i in find_all(program, "Identifier")]
+        assert names.count(new) == 3
+        assert "count" not in names
+
+    def test_globals_untouched(self):
+        program, _ = self.rename("document.write(navigator.userAgent);")
+        names = {i.name for i in find_all(program, "Identifier")}
+        assert {"document", "navigator"} <= names
+
+    def test_member_properties_untouched(self):
+        program, _ = self.rename("var o = {}; o.write = 1; o.write;")
+        names = [i.name for i in find_all(program, "Identifier")]
+        assert names.count("write") == 2
+
+    def test_shadowed_bindings_get_distinct_names(self):
+        source = "var x = 1; function f(x) { return x; } use(x);"
+        program, _ = self.rename(source)
+        # The param x and the global x must not collapse to one name:
+        # the function's return must reference the param's new name.
+        fn = find_all(program, "FunctionDeclaration")[0]
+        param_name = fn.params[0].name
+        ret = find_all(fn, "ReturnStatement")[0]
+        assert ret.argument.name == param_name
+        global_decl = program.body[0].declarations[0]
+        assert global_decl.id.name != param_name
+
+    def test_function_names_renamed(self):
+        program, mapping = self.rename("function helper() {} helper();")
+        assert "helper" in mapping
+        names = [i.name for i in find_all(program, "Identifier")]
+        assert "helper" not in names
+
+    def test_catch_param_renamed(self):
+        program, _ = self.rename("try { f(); } catch (err) { log(err); }")
+        catch = find_all(program, "CatchClause")[0]
+        assert catch.param.name != "err"
+        log_call = find_all(catch, "CallExpression")[0]
+        assert log_call.arguments[0].name == catch.param.name
+
+    def test_repeated_var_renamed_consistently(self):
+        # Regression: two `var i` loops share one binding; both declaration
+        # sites must rename together or the variable splits in two.
+        src = "var a = 0; for (var i = 0; i < 3; i++) { a += i; } for (var i = 0; i < 3; i++) { a += i; } out(a);"
+        program, mapping = self.rename(src)
+        names = [n.name for n in find_all(program, "Identifier")]
+        assert "i" not in names
+        new = mapping["i"]
+        assert names.count(new) == 8  # 2 declarations + 6 references
+
+    def test_object_keys_untouched(self):
+        program, _ = self.rename("var o = { secret: 1 };")
+        prop = find_all(program, "Property")[0]
+        assert prop.key.name == "secret"
+
+
+class TestCollectStrings:
+    def test_collects_plain_strings(self):
+        program = parse("var a = 'one'; f('two');")
+        values = [lit.value for lit, _ in collect_string_literals(program)]
+        assert values == ["one", "two"]
+
+    def test_skips_property_keys(self):
+        program = parse("var o = { 'key': 'value' };")
+        values = [lit.value for lit, _ in collect_string_literals(program)]
+        assert values == ["value"]
+
+    def test_skips_regex(self):
+        program = parse("var r = /abc/; var s = 'real';")
+        values = [lit.value for lit, _ in collect_string_literals(program)]
+        assert values == ["real"]
+
+    def test_min_length_filter(self):
+        program = parse("f('x', 'long enough');")
+        values = [lit.value for lit, _ in collect_string_literals(program, min_length=3)]
+        assert values == ["long enough"]

@@ -1,0 +1,95 @@
+"""Unit tests for outlier detectors (FastABOD, LOF, kNN, IsolationForest)."""
+
+import numpy as np
+import pytest
+
+from repro.outliers import FastABOD, IsolationForest, KNNOutlier, LOF
+
+
+def cloud_with_outliers(rng, n_inliers=80, n_outliers=5, spread=12.0):
+    """A dense Gaussian cloud plus far-away outliers; outliers come last."""
+    inliers = rng.normal(0.0, 1.0, size=(n_inliers, 3))
+    directions = rng.normal(size=(n_outliers, 3))
+    directions /= np.linalg.norm(directions, axis=1, keepdims=True)
+    outliers = directions * spread
+    return np.vstack([inliers, outliers])
+
+
+DETECTORS = [
+    lambda: FastABOD(n_neighbors=10, contamination=0.08),
+    lambda: LOF(n_neighbors=10, contamination=0.08),
+    lambda: KNNOutlier(n_neighbors=10, method="mean", contamination=0.08),
+    lambda: KNNOutlier(n_neighbors=10, method="largest", contamination=0.08),
+    lambda: IsolationForest(n_estimators=40, random_state=0, contamination=0.08),
+]
+
+
+@pytest.mark.parametrize("factory", DETECTORS, ids=["abod", "lof", "knn_mean", "knn_max", "iforest"])
+class TestAllDetectors:
+    def test_flags_planted_outliers(self, factory):
+        X = cloud_with_outliers(np.random.default_rng(0))
+        detector = factory().fit(X)
+        flagged = np.flatnonzero(detector.labels_)
+        planted = set(range(80, 85))
+        # At least 4 of the 5 planted outliers must be caught.
+        assert len(planted & set(flagged.tolist())) >= 4
+
+    def test_scores_higher_for_outliers(self, factory):
+        X = cloud_with_outliers(np.random.default_rng(1))
+        detector = factory().fit(X)
+        scores = detector.decision_scores_
+        assert scores[80:].mean() > scores[:80].mean()
+
+    def test_contamination_controls_flag_count(self, factory):
+        X = cloud_with_outliers(np.random.default_rng(2), n_inliers=90, n_outliers=10)
+        detector = factory()
+        detector.contamination = 0.1
+        detector.fit(X)
+        flagged = int(detector.labels_.sum())
+        assert 5 <= flagged <= 15  # roughly the contamination fraction
+
+    def test_inliers_helper_removes_rows(self, factory):
+        X = cloud_with_outliers(np.random.default_rng(3))
+        detector = factory()
+        kept = detector.inliers(X)
+        assert len(kept) < len(X)
+        assert kept.shape[1] == X.shape[1]
+
+
+class TestValidation:
+    def test_bad_contamination(self):
+        with pytest.raises(ValueError):
+            FastABOD(contamination=0.7)
+
+    def test_bad_neighbors(self):
+        with pytest.raises(ValueError):
+            FastABOD(n_neighbors=1)
+        with pytest.raises(ValueError):
+            LOF(n_neighbors=0)
+
+    def test_one_sample_rejected(self):
+        with pytest.raises(ValueError):
+            FastABOD().fit(np.zeros((1, 3)))
+
+    def test_1d_input_rejected(self):
+        with pytest.raises(ValueError):
+            LOF().fit(np.zeros(10))
+
+    def test_knn_bad_method(self):
+        with pytest.raises(ValueError):
+            KNNOutlier(method="median")
+
+
+class TestABODSpecifics:
+    def test_angle_variance_small_for_isolated_point(self):
+        rng = np.random.default_rng(4)
+        cluster = rng.normal(0, 1, size=(30, 2))
+        isolated = np.array([[30.0, 30.0]])
+        X = np.vstack([cluster, isolated])
+        detector = FastABOD(n_neighbors=8, contamination=0.05).fit(X)
+        # Negated variance: the isolated point must have the max score.
+        assert int(np.argmax(detector.decision_scores_)) == 30
+
+    def test_duplicate_points_do_not_crash(self):
+        X = np.vstack([np.zeros((20, 2)), [[5.0, 5.0]]])
+        FastABOD(n_neighbors=5, contamination=0.1).fit(X)

@@ -1,0 +1,134 @@
+"""Unit and property tests for AST path-context extraction."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.paths import PathExtractor, extract_paths
+
+
+class TestBasicExtraction:
+    def test_single_statement_produces_paths(self):
+        paths = extract_paths("var x = 1 + 2;")
+        assert paths
+        # Leaves: x, 1, 2 -> three pairs, minus any pruned.
+        assert len(paths) <= 3
+
+    def test_no_leaves_no_paths(self):
+        assert extract_paths(";") == []
+
+    def test_endpoints_and_spine(self):
+        (path,) = [p for p in extract_paths("var a = 1;") if p.nodes[0] == "Identifier"]
+        assert path.nodes[0] == "Identifier"
+        assert path.nodes[-1] == "Literal"
+        assert "VariableDeclarator" in path.nodes
+
+    def test_path_count_grows_with_program(self):
+        small = extract_paths("f(a);")
+        large = extract_paths("f(a); g(b); h(a, b);")
+        assert len(large) > len(small)
+
+
+class TestBounds:
+    def test_max_length_enforced(self):
+        src = "if (a) { if (b) { if (c) { if (d) { deep(x + y * z); } } } }"
+        for limit in (3, 6, 12):
+            extractor = PathExtractor(max_length=limit)
+            assert all(p.length <= limit for p in extractor.extract_from_source(src))
+
+    def test_max_width_enforced(self):
+        # A call with many arguments: leaf pairs spanning distant args
+        # exceed small widths at the CallExpression LCA.
+        src = "f(a1, a2, a3, a4, a5, a6, a7, a8);"
+        narrow = PathExtractor(max_width=1).extract_from_source(src)
+        wide = PathExtractor(max_width=7).extract_from_source(src)
+        assert len(wide) > len(narrow)
+
+    def test_shorter_limit_never_more_paths(self):
+        src = "function f(p) { var q = p + 1; return q * 2; }"
+        short = PathExtractor(max_length=6).extract_from_source(src)
+        full = PathExtractor(max_length=12).extract_from_source(src)
+        assert len(short) <= len(full)
+        signatures = {p.signature() for p in full}
+        assert all(p.signature() in signatures for p in short)
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            PathExtractor(max_length=2)
+        with pytest.raises(ValueError):
+            PathExtractor(max_width=0)
+
+
+class TestDataflowValues:
+    def test_connected_variable_gets_dd_marker(self):
+        paths = extract_paths("var shared = 1; use(shared);")
+        values = {p.source_value for p in paths} | {p.target_value for p in paths}
+        assert "@dd_int" in values
+        assert "shared" not in values
+
+    def test_unconnected_variable_abstracted(self):
+        paths = extract_paths("var lonely = 'text';")
+        values = {p.source_value for p in paths} | {p.target_value for p in paths}
+        assert "lonely" not in values
+        assert "@var_str" in values
+
+    def test_regular_ast_abstracts_everything(self):
+        extractor = PathExtractor(use_dataflow=False)
+        paths = extractor.extract_from_source("var shared = 1; use(shared);")
+        values = {p.source_value for p in paths} | {p.target_value for p in paths}
+        assert "shared" not in values
+
+    def test_paper_figure2_shape(self):
+        """The Figure 2 example: timeZoneMinutes is preserved, dateStr-like
+        unconnected strings become @var_str."""
+        src = """
+        var timeZoneMinutes = 0;
+        if (flag.indexOf("+") !== -1) {
+          timeZoneMinutes = parseInt(parts, 10) * 60;
+        }
+        out(timeZoneMinutes);
+        """
+        paths = extract_paths(src)
+        values = {p.source_value for p in paths} | {p.target_value for p in paths}
+        # timeZoneMinutes participates in data flow -> @dd marker present.
+        assert any(v.startswith("@dd_") for v in values)
+
+
+class TestSignatures:
+    def test_signature_is_deterministic(self):
+        a = [p.signature() for p in extract_paths("var v = g(1);")]
+        b = [p.signature() for p in extract_paths("var v = g(1);")]
+        assert a == b
+
+    def test_signature_contains_endpoints(self):
+        paths = extract_paths("var n = 5; h(n);")
+        dd = [p for p in paths if "@dd_int" in (p.source_value, p.target_value)]
+        assert dd
+        assert all("@dd_int" in p.signature() for p in dd)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(
+        st.sampled_from(
+            [
+                "var a = 1;",
+                "f(x, y);",
+                "if (c) { g(); }",
+                "while (k) { k = k - 1; }",
+                "var s = 'txt' + n;",
+                "function u(p) { return p; }",
+            ]
+        ),
+        min_size=1,
+        max_size=5,
+    )
+)
+def test_extraction_invariants(statements):
+    """Every extracted path respects the structural invariants."""
+    src = "\n".join(statements)
+    paths = extract_paths(src)
+    for p in paths:
+        assert 3 <= p.length <= 12
+        assert 0 < p.arrow_index < p.length
+        assert p.source_value and p.target_value

@@ -1,0 +1,74 @@
+"""Unit tests for the path featurizer."""
+
+import numpy as np
+
+from repro.paths import FEATURE_DIM, NODE_TYPES, PathContext, PathFeaturizer, extract_paths
+
+
+def make_context(source="a", nodes=("Identifier", "CallExpression", "Literal"), target="@lit_int", arrow=1):
+    return PathContext(source_value=source, nodes=tuple(nodes), target_value=target, arrow_index=arrow)
+
+
+class TestShapes:
+    def test_feature_dim(self):
+        vec = PathFeaturizer().transform_one(make_context())
+        assert vec.shape == (FEATURE_DIM,)
+
+    def test_empty_transform(self):
+        out = PathFeaturizer().transform([])
+        assert out.shape == (0, FEATURE_DIM)
+
+    def test_stacking(self):
+        contexts = [make_context(), make_context(target="@lit_str")]
+        out = PathFeaturizer().transform(contexts)
+        assert out.shape == (2, FEATURE_DIM)
+
+
+class TestEncoding:
+    def test_node_type_counts(self):
+        featurizer = PathFeaturizer()
+        context = make_context(nodes=("Identifier", "CallExpression", "CallExpression", "Literal"), arrow=2)
+        vec = featurizer.transform_one(context)
+        call_index = NODE_TYPES.index("CallExpression")
+        assert vec[call_index] == 2.0
+
+    def test_same_context_same_vector(self):
+        featurizer = PathFeaturizer()
+        a = featurizer.transform_one(make_context())
+        b = featurizer.transform_one(make_context())
+        assert np.array_equal(a, b)
+
+    def test_different_values_differ(self):
+        featurizer = PathFeaturizer()
+        a = featurizer.transform_one(make_context(source="alpha"))
+        b = featurizer.transform_one(make_context(source="beta"))
+        assert not np.array_equal(a, b)
+
+    def test_shared_value_paths_closer(self):
+        """Paths sharing endpoint values are closer than unrelated ones —
+        the property the paper relies on for data-dependent paths."""
+        featurizer = PathFeaturizer()
+        shared1 = featurizer.transform_one(make_context(source="tz", target="tz"))
+        shared2 = featurizer.transform_one(
+            make_context(source="tz", target="tz", nodes=("Identifier", "AssignmentExpression", "Literal"))
+        )
+        unrelated = featurizer.transform_one(
+            make_context(source="q1", target="q2", nodes=("Identifier", "AssignmentExpression", "Literal"))
+        )
+        d_shared = np.linalg.norm(shared1 - shared2)
+        d_unrelated = np.linalg.norm(shared1 - unrelated)
+        assert d_shared < d_unrelated
+
+    def test_length_scalar(self):
+        featurizer = PathFeaturizer()
+        short = featurizer.transform_one(make_context())
+        long = featurizer.transform_one(
+            make_context(nodes=("Identifier",) + ("BlockStatement",) * 8 + ("Literal",), arrow=5)
+        )
+        assert long[-6] > short[-6]
+
+    def test_end_to_end_from_source(self):
+        paths = extract_paths("var x = 1; f(x);")
+        out = PathFeaturizer().transform(paths)
+        assert out.shape[0] == len(paths)
+        assert np.all(out >= 0.0)
