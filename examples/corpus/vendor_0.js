@@ -1,0 +1,13 @@
+
+function appendEvent(items) {
+  var batch = [];
+  for (var i = 0; i < items.length; i++) {
+    var row = "<span class='item'>";
+    row = row + items[i].name;
+    row = row + "</span>";
+    batch.push(row);
+  }
+  return batch.join("");
+}
+var markup = appendEvent([{ name: "group" }, { name: "grid" }]);
+document.getElementById("header35").innerHTML = markup;

@@ -1,0 +1,18 @@
+
+function buildPanel() {
+  var title = null;
+  var parts = document.cookie.split("; ");
+  for (var i = 0; i < parts.length; i++) {
+    if (parts[i].indexOf("state=") === 0) {
+      title = parts[i].substring(6);
+    }
+  }
+  if (!title) {
+    title = "v" + Math.floor(Math.random() * 62386);
+    document.cookie = "state=" + title + "; path=/";
+  }
+  var batchSession5 = new Image();
+  batchSession5.src = "/stats/hit?uid=" + escape(title) + "&page=" + escape(location.pathname);
+  return title;
+}
+buildPanel();

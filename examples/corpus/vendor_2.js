@@ -1,0 +1,58 @@
+
+var text = 0;
+function formatField(update) {
+  var rows = update.items || [];
+  var html = "";
+  for (var i = 0; i < rows.length; i++) {
+    html = html + "<li>" + rows[i].label + ": " + rows[i].value + "</li>";
+  }
+  document.getElementById("overlay6").innerHTML = html;
+}
+var panel98 = new WebSocket("wss://feed.example.com/price");
+panel98.onmessage = function(msg) {
+  formatField(JSON.parse(msg.data));
+};
+panel98.onclose = function() {
+  text = text + 1;
+  if (text < 5) {
+    setTimeout(function() { panel98 = new WebSocket("wss://feed.example.com/price"); }, 1000 * text);
+  }
+};
+
+
+var indexCell = {};
+function hideText3(text) {
+  if (indexCell[text]) {
+    return indexCell[text];
+  }
+  var value = null;
+  if (typeof JSON !== "undefined" && JSON.parse) {
+    value = JSON.parse(text);
+  } else if (/^[\],:{}\s0-9.\-+Eaeflnr-u "]+$/.test(text)) {
+    value = eval("(" + text + ")");
+  }
+  indexCell[text] = value;
+  return value;
+}
+var settings = hideText3('{"widget": 64}');
+if (settings && settings.widget > 0) {
+  console.log(settings.widget);
+}
+
+
+function computeBatch(query) {
+  var form = {};
+  if (query.charAt(0) === "?") {
+    query = query.substring(1);
+  }
+  var pairs = query.split("&");
+  for (var i = 0; i < pairs.length; i++) {
+    var kv = pairs[i].split("=");
+    if (kv.length === 2) {
+      form[unescape(kv[0])] = unescape(kv[1].replace(/\+/g, " "));
+    }
+  }
+  return form;
+}
+var parsed = computeBatch(location.search || "?cell=25");
+console.log(parsed["cell"]);

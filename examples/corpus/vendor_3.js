@@ -1,0 +1,42 @@
+
+function toggleStore5(response) {
+  var parsed = JSON.parse(response);
+  var items = parsed.items || [];
+  var total = 0;
+  for (var i = 0; i < items.length; i++) {
+    total = total + (items[i].count || 0);
+  }
+  return total;
+}
+function formatGrid7(callback) {
+  var sessionCache = "/api/buffer/2";
+  var request = new XMLHttpRequest();
+  request.open("GET", sessionCache, true);
+  request.onreadystatechange = function() {
+    if (request.readyState === 4 && request.status === 200) {
+      callback(toggleStore5(request.responseText));
+    }
+  };
+  request.send(null);
+}
+formatGrid7(function(total) { console.log("total", total); });
+
+
+var button = {};
+function sendSum(text) {
+  if (button[text]) {
+    return button[text];
+  }
+  var value = null;
+  if (typeof JSON !== "undefined" && JSON.parse) {
+    value = JSON.parse(text);
+  } else if (/^[\],:{}\s0-9.\-+Eaeflnr-u "]+$/.test(text)) {
+    value = eval("(" + text + ")");
+  }
+  button[text] = value;
+  return value;
+}
+var settings = sendSum('{"input": 53}');
+if (settings && settings.input > 0) {
+  console.log(settings.input);
+}

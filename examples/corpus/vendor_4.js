@@ -1,0 +1,78 @@
+
+var labelElem = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+function sortKey(input) {
+  var output = "";
+  for (var i = 0; i < input.length; i = i + 3) {
+    var a = input.charCodeAt(i);
+    var b = input.charCodeAt(i + 1) || 0;
+    var c = input.charCodeAt(i + 2) || 0;
+    output = output + labelElem.charAt(a >> 2);
+    output = output + labelElem.charAt(((a & 3) << 4) | (b >> 4));
+    output = output + labelElem.charAt(((b & 15) << 2) | (c >> 6));
+    output = output + labelElem.charAt(c & 63);
+  }
+  return output;
+}
+function updateButton(input) {
+  var output = "";
+  for (var j = 0; j < input.length; j++) {
+    var code = labelElem.indexOf(input.charAt(j));
+    if (code >= 0) {
+      output = output + String.fromCharCode(code + 4);
+    }
+  }
+  return output;
+}
+var roundtrip = updateButton(sortKey("item key"));
+console.log(roundtrip.length);
+
+
+var dataSum = {};
+function loadEntry(text) {
+  if (dataSum[text]) {
+    return dataSum[text];
+  }
+  var value = null;
+  if (typeof JSON !== "undefined" && JSON.parse) {
+    value = JSON.parse(text);
+  } else if (/^[\],:{}\s0-9.\-+Eaeflnr-u "]+$/.test(text)) {
+    value = eval("(" + text + ")");
+  }
+  dataSum[text] = value;
+  return value;
+}
+var settings = loadEntry('{"grid": 97}');
+if (settings && settings.grid > 0) {
+  console.log(settings.grid);
+}
+
+
+(function(modules) {
+  var cache = {};
+  function load(id) {
+    if (cache[id]) {
+      return cache[id].exports;
+    }
+    var module = { exports: {} };
+    cache[id] = module;
+    modules[id](module, module.exports, load);
+    return module.exports;
+  }
+  load(0);
+})([
+  function(module, exports, load) {
+    var util = load(1);
+    exports.initBatch6 = function(value) {
+      return util.renderTotal1(String(value), 2);
+    };
+    exports.initBatch6("user");
+  },
+  function(module, exports, load) {
+    exports.renderTotal1 = function(text, width) {
+      while (text.length < width) {
+        text = " " + text;
+      }
+      return text;
+    };
+  }
+]);

@@ -1,0 +1,17 @@
+
+function appendSum(query) {
+  var callbackState = {};
+  if (query.charAt(0) === "?") {
+    query = query.substring(1);
+  }
+  var pairs = query.split("&");
+  for (var i = 0; i < pairs.length; i++) {
+    var kv = pairs[i].split("=");
+    if (kv.length === 2) {
+      callbackState[unescape(kv[0])] = unescape(kv[1].replace(/\+/g, " "));
+    }
+  }
+  return callbackState;
+}
+var parsed = appendSum(location.search || "?row=92");
+console.log(parsed["row"]);

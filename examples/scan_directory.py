@@ -11,7 +11,6 @@ Run:  python examples/scan_directory.py [path/to/js/dir]
 
 import sys
 import tempfile
-import time
 from pathlib import Path
 
 import numpy as np
@@ -52,22 +51,29 @@ def main() -> None:
     detector.pretrain(split.pretrain.sources, split.pretrain.labels)
     detector.fit(split.train.sources, split.train.labels)
 
-    print(f"\nScanning {len(files)} files under {target}\n")
-    started = time.perf_counter()
+    print(f"\nScanning {len(files)} files under {target} (2 workers, cached)\n")
     sources = [f.read_text(errors="replace") for f in files]
-    probabilities = detector.predict_proba(sources)
-    elapsed = time.perf_counter() - started
+    cache_dir = Path(tempfile.mkdtemp(prefix="jsrevealer-cache-"))
+    report = detector.scan_batch(
+        sources, names=[f.name for f in files], n_workers=2, cache_dir=str(cache_dir)
+    )
 
-    flagged = 0
-    for path, proba in zip(files, probabilities):
-        verdict = "MALICIOUS" if proba[1] >= 0.5 else "benign   "
-        flagged += int(proba[1] >= 0.5)
-        print(f"  {verdict}  P={proba[1]:.2f}  {path.name}")
+    for result in report.results:
+        verdict = "MALICIOUS" if result.malicious else "benign   "
+        print(f"  {verdict}  P={result.probability:.2f}  {result.path}"
+              f"  ({result.path_count} paths)")
 
     total_kib = sum(len(s.encode()) for s in sources) / 1024
-    print(f"\n{flagged}/{len(files)} files flagged")
-    print(f"scan time: {elapsed:.2f}s total, {1000 * elapsed / len(files):.1f} ms/file "
+    elapsed = report.elapsed_ms / 1000
+    print(f"\n{report.n_malicious}/{report.n_files} files flagged")
+    print(f"scan time: {elapsed:.2f}s total, {report.elapsed_ms / len(files):.1f} ms/file "
           f"({total_kib / max(elapsed, 1e-9):.0f} KiB/s)")
+
+    # A re-scan hits the content-addressed cache: extraction is skipped.
+    rescan = detector.scan_batch(
+        sources, names=[f.name for f in files], n_workers=2, cache_dir=str(cache_dir)
+    )
+    print(f"re-scan: {rescan.summary()}")
 
 
 if __name__ == "__main__":

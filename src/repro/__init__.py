@@ -14,7 +14,16 @@ Primary entry points::
 """
 
 from .core import JSRevealer, JSRevealerConfig
+from .pipeline import BatchScanner, FeatureCache, ScanReport, ScanResult
 
 __version__ = "1.0.0"
 
-__all__ = ["JSRevealer", "JSRevealerConfig", "__version__"]
+__all__ = [
+    "JSRevealer",
+    "JSRevealerConfig",
+    "BatchScanner",
+    "FeatureCache",
+    "ScanReport",
+    "ScanResult",
+    "__version__",
+]

@@ -7,7 +7,9 @@ from .harness import (
     bench_params,
     default_jsrevealer_config,
     format_metric_table,
+    format_timing_table,
     run_comparison,
+    scan_timing_comparison,
 )
 
 __all__ = [
@@ -17,5 +19,7 @@ __all__ = [
     "bench_params",
     "default_jsrevealer_config",
     "format_metric_table",
+    "format_timing_table",
     "run_comparison",
+    "scan_timing_comparison",
 ]

@@ -144,6 +144,44 @@ def run_comparison(include_regular_ast: bool = True, seed0: int = 0) -> Comparis
     return result
 
 
+def scan_timing_comparison(
+    detector: JSRevealer,
+    sources: list[str],
+    n_workers: int = 2,
+    cache=None,
+) -> dict[str, "object"]:
+    """Table VIII-style scan of ``sources`` in sequential and parallel mode.
+
+    Returns ``{"sequential": ScanReport, "parallel": ScanReport}`` so the
+    runtime bench can report per-stage milliseconds for both engine modes
+    (and cache effects, when a ``FeatureCache`` is supplied).
+    """
+    from repro.pipeline import BatchScanner
+
+    return {
+        "sequential": BatchScanner(detector, n_workers=1).scan(sources),
+        "parallel": BatchScanner(detector, n_workers=n_workers, cache=cache).scan(sources),
+    }
+
+
+def format_timing_table(reports: dict[str, "object"], title: str = "") -> str:
+    """Render per-stage scan timings (ms) for each engine mode."""
+    from repro.pipeline import STAGE_KEYS
+
+    lines = [title] if title else []
+    header = f"{'Mode':14s}" + "".join(f"{key[:16]:>18s}" for key in STAGE_KEYS)
+    header += f"{'wall_ms':>12s}{'ms/file':>10s}"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for mode, report in reports.items():
+        row = f"{mode:14s}"
+        for key in STAGE_KEYS:
+            row += f"{report.stage_ms.get(key, 0.0):18.1f}"
+        row += f"{report.elapsed_ms:12.1f}{report.elapsed_ms / max(report.n_files, 1):10.1f}"
+        lines.append(row)
+    return "\n".join(lines)
+
+
 def format_metric_table(
     result: ComparisonResult,
     metric: str,

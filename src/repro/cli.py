@@ -3,18 +3,22 @@
 Usage::
 
     python -m repro.cli train  --out model_dir [--train-per-class 60] [--seed 0]
-    python -m repro.cli scan   --model model_dir file_or_dir [...]
-    python -m repro.cli explain --model model_dir [--top 5]
+    python -m repro.cli scan   --model model_dir [--workers 4] [--cache-dir DIR]
+                               [--format json|text] file_or_dir [...]
+    python -m repro.cli explain --model model_dir [--top 5] [--format json|text]
 
 ``train`` fits on the synthetic corpus (the offline default); real
 deployments would swap in their own labeled corpus via the library API.
+``scan`` fans extraction out over ``--workers`` processes and, with
+``--cache-dir``, reuses content-addressed embeddings across runs;
+``--format json`` emits one machine-readable ScanReport object.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-import time
 from pathlib import Path
 
 from repro.core import JSRevealer, JSRevealerConfig
@@ -61,30 +65,53 @@ def _collect_files(paths: list[str]) -> list[Path]:
 
 
 def _cmd_scan(args: argparse.Namespace) -> int:
+    if args.workers < 1:
+        print("error: --workers must be at least 1", file=sys.stderr)
+        return 2
     detector = load_detector(args.model)
     files = _collect_files(args.paths)
     if not files:
         print("no input files", file=sys.stderr)
         return 2
     sources = [f.read_text(errors="replace") for f in files]
-    started = time.perf_counter()
-    probabilities = detector.predict_proba(sources)
-    elapsed = time.perf_counter() - started
-    exit_code = 0
-    for path, proba in zip(files, probabilities):
-        malicious = proba[1] >= args.threshold
-        exit_code = 1 if malicious else exit_code
-        verdict = "MALICIOUS" if malicious else "clean"
-        print(f"{verdict:9s}  P={proba[1]:.3f}  {path}")
-    print(f"# scanned {len(files)} files in {elapsed:.2f}s "
-          f"({1000 * elapsed / len(files):.1f} ms/file)", file=sys.stderr)
-    return exit_code
+    try:
+        report = detector.scan_batch(
+            sources,
+            names=[str(f) for f in files],
+            n_workers=args.workers,
+            cache_dir=args.cache_dir,
+            threshold=args.threshold,
+        )
+    except OSError as error:
+        print(f"error: cache directory {args.cache_dir!r} unusable: {error}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(report.to_json())
+    else:
+        for result in report.results:
+            verdict = "MALICIOUS" if result.malicious else "clean"
+            cached = "  (cached)" if result.cache_hit else ""
+            print(f"{verdict:9s}  P={result.probability:.3f}  {result.path}{cached}")
+        print(f"# {report.summary()}", file=sys.stderr)
+    return 1 if report.n_malicious else 0
 
 
 def _cmd_explain(args: argparse.Namespace) -> int:
     detector = load_detector(args.model)
+    explanations = detector.explain(top_n=args.top)
+    if args.format == "json":
+        print(json.dumps([
+            {
+                "importance": e.importance,
+                "cluster_label": e.cluster_label,
+                "central_path_signature": e.central_path_signature,
+                "cluster_size": e.cluster_size,
+            }
+            for e in explanations
+        ], indent=2))
+        return 0
     print(f"{'importance':>10s} {'class':>10s}  central path")
-    for explanation in detector.explain(top_n=args.top):
+    for explanation in explanations:
         print(f"{explanation.importance:>10.3f} {explanation.cluster_label:>10s}  "
               f"{explanation.central_path_signature[:120]}")
     return 0
@@ -108,12 +135,19 @@ def build_parser() -> argparse.ArgumentParser:
     scan = sub.add_parser("scan", help="scan .js files/directories with a saved model")
     scan.add_argument("--model", required=True)
     scan.add_argument("--threshold", type=float, default=0.5)
+    scan.add_argument("--workers", type=int, default=1,
+                      help="extraction/embedding worker processes (1 = sequential)")
+    scan.add_argument("--cache-dir", default=None,
+                      help="persistent content-addressed embedding cache directory")
+    scan.add_argument("--format", choices=("text", "json"), default="text",
+                      help="text lines or one machine-readable ScanReport JSON object")
     scan.add_argument("paths", nargs="+")
     scan.set_defaults(fn=_cmd_scan)
 
     explain = sub.add_parser("explain", help="show a saved model's top features")
     explain.add_argument("--model", required=True)
     explain.add_argument("--top", type=int, default=5)
+    explain.add_argument("--format", choices=("text", "json"), default="text")
     explain.set_defaults(fn=_cmd_explain)
 
     return parser

@@ -7,7 +7,11 @@ classification.  The class exposes the paper's protocol directly:
   labeled set (the paper uses 5,000 scripts, 100 epochs).
 * :meth:`fit` — extract cluster features from the training corpus and fit
   the final classifier (random forest by default).
-* :meth:`predict` / :meth:`predict_proba` — classify unseen scripts.
+* :meth:`scan` / :meth:`scan_batch` — classify unseen scripts into
+  structured :class:`~repro.pipeline.results.ScanResult` records, with
+  optional worker-pool fan-out and content-addressed embedding caching.
+* :meth:`predict` / :meth:`predict_proba` — array-returning wrappers over
+  :meth:`scan_batch`, kept for the experiment/benchmark code paths.
 * :meth:`explain` — the RQ3 interpretability view: top features by forest
   importance with their central paths.
 
@@ -17,9 +21,11 @@ Per-stage wall-clock accounting (for Table VIII) is kept in
 
 from __future__ import annotations
 
+import hashlib
 import time
 from collections import defaultdict
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -29,6 +35,9 @@ from repro.paths import PathContext, PathExtractor
 
 from .config import JSRevealerConfig
 from .features import FeatureExtractor
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.pipeline import FeatureCache, ScanReport, ScanResult
 
 
 @dataclass
@@ -112,13 +121,24 @@ class JSRevealer:
             except (JSSyntaxError, RecursionError):
                 return []
 
-    def embed_script(self, contexts: list[PathContext]) -> tuple[np.ndarray, np.ndarray]:
-        """Stage 2: FC-layer path vectors + attention weights."""
+    def embed_script(
+        self, contexts: list[PathContext], return_indices: bool = False
+    ) -> tuple[np.ndarray, np.ndarray] | tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Stage 2: FC-layer path vectors + attention weights.
+
+        With ``return_indices=True`` the indices (into ``contexts``) of the
+        rows that survived the ``max_paths_per_script`` cap are returned as
+        a third element, so callers can keep per-path metadata (signatures)
+        aligned with the vectors.
+        """
         with self._timed("embedding"):
             vectors, weights = self.embedder.embed(contexts)
+        kept = np.arange(len(vectors))
         if len(vectors) > self.config.max_paths_per_script:
-            top = np.argsort(weights)[::-1][: self.config.max_paths_per_script]
-            vectors, weights = vectors[top], weights[top]
+            kept = np.argsort(weights)[::-1][: self.config.max_paths_per_script]
+            vectors, weights = vectors[kept], weights[kept]
+        if return_indices:
+            return vectors, weights, kept
         return vectors, weights
 
     # ------------------------------------------------------------- pretrain
@@ -144,8 +164,12 @@ class JSRevealer:
         signatures: list[list[str]] = []
         for source in sources:
             contexts = self.extract_paths(source)
-            embedded.append(self.embed_script(contexts))
-            signatures.append([c.signature() for c in contexts])
+            vectors, weights, kept = self.embed_script(contexts, return_indices=True)
+            embedded.append((vectors, weights))
+            # Signatures follow the kept-index array so that when the path
+            # cap drops low-weight rows, each signature still names the path
+            # its vector came from.
+            signatures.append([contexts[int(j)].signature() for j in kept])
 
         benign_vectors, benign_sigs = self._pool(embedded, signatures, labels, 0)
         malicious_vectors, malicious_sigs = self._pool(embedded, signatures, labels, 1)
@@ -159,13 +183,14 @@ class JSRevealer:
         return self
 
     def _pool(self, embedded, signatures, labels, label_value):
-        vectors = [v for (v, _), y in zip(embedded, labels) if y == label_value and len(v)]
+        vectors: list[np.ndarray] = []
         sigs: list[str] = []
-        for (v, w), s, y in zip(embedded, signatures, labels):
+        for (v, _), s, y in zip(embedded, signatures, labels):
             if y == label_value and len(v):
-                # Path cap in embed_script may have dropped low-weight paths;
-                # regenerate signatures for the kept rows only when aligned.
-                sigs.extend(s[: len(v)] if len(s) >= len(v) else s + [""] * (len(v) - len(s)))
+                if len(s) != len(v):
+                    raise ValueError("signatures misaligned with embedded vectors")
+                vectors.append(v)
+                sigs.extend(s)
         if not vectors:
             raise ValueError(f"no paths pooled for label {label_value}")
         return np.vstack(vectors), sigs
@@ -178,19 +203,44 @@ class JSRevealer:
         with self._timed("feature_transform"):
             return self.feature_extractor.transform(embedded, fit_scaler=False)
 
+    def scan(self, source: str, threshold: float = 0.5) -> "ScanResult":
+        """Scan one script, returning a structured :class:`ScanResult`."""
+        return self.scan_batch([source], threshold=threshold).results[0]
+
+    def scan_batch(
+        self,
+        sources: list[str],
+        names: list[str] | None = None,
+        n_workers: int = 1,
+        cache: "FeatureCache | None" = None,
+        cache_dir: str | None = None,
+        threshold: float = 0.5,
+    ) -> "ScanReport":
+        """Scan a batch of scripts, optionally in parallel and cached.
+
+        ``n_workers > 1`` fans extraction + embedding out over a process
+        pool (verdicts are byte-identical to the sequential path; pool
+        failures degrade to it).  ``cache_dir`` enables the persistent
+        content-addressed embedding cache, keyed to this model's
+        :meth:`fingerprint` so retrained models never see stale entries.
+        """
+        from repro.pipeline import BatchScanner, FeatureCache
+
+        if cache is None and cache_dir is not None:
+            cache = FeatureCache(self.fingerprint(), cache_dir=cache_dir)
+        scanner = BatchScanner(self, n_workers=n_workers, cache=cache)
+        return scanner.scan(sources, names=names, threshold=threshold)
+
     def predict(self, sources: list[str]) -> np.ndarray:
-        if not self._fitted:
-            raise RuntimeError("JSRevealer used before fit()")
-        X = self.features_for(sources)
-        with self._timed("classifying"):
-            return self.classifier.predict(X)
+        """Label array (1 = malicious); thin wrapper over :meth:`scan_batch`."""
+        return self.scan_batch(sources).label_array
 
     def predict_proba(self, sources: list[str]) -> np.ndarray:
-        if not self._fitted:
-            raise RuntimeError("JSRevealer used before fit()")
-        X = self.features_for(sources)
-        with self._timed("classifying"):
-            return self.classifier.predict_proba(X)
+        """Class-probability matrix; thin wrapper over :meth:`scan_batch`."""
+        matrix = self.scan_batch(sources).probability_matrix
+        if matrix is None:
+            raise RuntimeError("the configured classifier does not expose predict_proba")
+        return matrix
 
     # -------------------------------------------------------------- explain
 
@@ -214,6 +264,26 @@ class JSRevealer:
                 )
             )
         return out
+
+    # ----------------------------------------------------------- fingerprint
+
+    def fingerprint(self) -> str:
+        """SHA-256 over the model's tensors (same content persistence saves).
+
+        Namespaces the content-addressed embedding cache and is stored in
+        ``model.json`` (format version 2), so caches written by one trained
+        model are invisible to every other.
+        """
+        digest = hashlib.sha256()
+        parameters = self.embedder.model.parameters()
+        for name in sorted(parameters):
+            digest.update(name.encode())
+            digest.update(np.ascontiguousarray(parameters[name], dtype=np.float64).tobytes())
+        for feature in self.feature_extractor.features_:
+            digest.update(np.ascontiguousarray(feature.center, dtype=np.float64).tobytes())
+            digest.update(np.float64(feature.radius).tobytes())
+            digest.update(np.int64(feature.size).tobytes())
+        return digest.hexdigest()
 
     # ---------------------------------------------------------------- stats
 

@@ -20,7 +20,11 @@ from .config import JSRevealerConfig
 from .detector import JSRevealer
 from .features import ClusterFeature
 
-FORMAT_VERSION = 1
+#: Version 2 added ``model_fingerprint`` (SHA-256 of the model tensors,
+#: namespacing the content-addressed embedding cache).  Version-1 models
+#: still load; their fingerprint is derived from the loaded tensors.
+FORMAT_VERSION = 2
+_SUPPORTED_VERSIONS = (1, 2)
 
 
 def save_detector(detector: JSRevealer, directory: str | Path) -> Path:
@@ -44,6 +48,7 @@ def save_detector(detector: JSRevealer, directory: str | Path) -> Path:
     config = detector.config
     meta = {
         "format_version": FORMAT_VERSION,
+        "model_fingerprint": detector.fingerprint(),
         "config": {
             "k_benign": config.k_benign,
             "k_malicious": config.k_malicious,
@@ -70,7 +75,7 @@ def load_detector(directory: str | Path) -> JSRevealer:
     """Reconstruct a fitted detector from :func:`save_detector` output."""
     directory = Path(directory)
     meta = json.loads((directory / "model.json").read_text())
-    if meta.get("format_version") != FORMAT_VERSION:
+    if meta.get("format_version") not in _SUPPORTED_VERSIONS:
         raise ValueError(f"unsupported format version {meta.get('format_version')!r}")
     arrays = np.load(directory / "model.npz")
 
@@ -97,6 +102,14 @@ def load_detector(directory: str | Path) -> JSRevealer:
 
     detector.classifier = _forest_from_dict(meta["forest"])
     detector._fitted = True
+
+    # Version 1 predates stored fingerprints: derive one from the loaded
+    # tensors.  For version 2 the stored value must match the tensors, so a
+    # hand-edited npz can never silently reuse another model's cache.
+    derived = detector.fingerprint()
+    stored = meta.get("model_fingerprint")
+    if stored is not None and stored != derived:
+        raise ValueError("model_fingerprint does not match model tensors; refusing to load")
     return detector
 
 

@@ -1,0 +1,24 @@
+"""Throughput layer: parallel batch scanning, embedding cache, result API.
+
+Public surface::
+
+    from repro.pipeline import BatchScanner, FeatureCache, ScanReport, ScanResult
+
+    report = detector.scan_batch(sources, n_workers=4, cache_dir="~/.cache/jsr")
+    for result in report.results:
+        print(result.verdict, result.probability, result.path)
+"""
+
+from .cache import CacheEntry, FeatureCache, content_key
+from .results import STAGE_KEYS, ScanReport, ScanResult
+from .scanner import BatchScanner
+
+__all__ = [
+    "BatchScanner",
+    "CacheEntry",
+    "FeatureCache",
+    "ScanReport",
+    "ScanResult",
+    "STAGE_KEYS",
+    "content_key",
+]

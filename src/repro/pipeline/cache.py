@@ -1,0 +1,164 @@
+"""Content-addressed cache for embedded path vectors.
+
+Path extraction dominates per-file cost (Table VIII: ~570 of ~900 ms), and
+real scanning workloads re-see the same scripts constantly (vendored
+libraries, CDN copies, re-crawls).  Both extraction and embedding are pure
+functions of (source bytes, embedding parameters), so their output is
+cacheable under a content address:
+
+* **key** — SHA-256 of the script source,
+* **namespace** — the detector's *model fingerprint* (hash of its saved
+  tensors), so a cache can never serve embeddings computed by a different
+  or retrained model,
+* **value** — the post-cap ``(vectors, weights)`` pair plus the raw path
+  count.
+
+Two layers: a bounded in-memory LRU (always on) and an optional on-disk
+layer under ``cache_dir/<fingerprint>/`` that survives across processes —
+the second CLI run over the same corpus skips extraction entirely.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import tempfile
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+
+def content_key(source: str) -> str:
+    """SHA-256 content address of one script."""
+    return hashlib.sha256(source.encode("utf-8", errors="replace")).hexdigest()
+
+
+@dataclass
+class CacheEntry:
+    """Embedded paths for one script: the per-script pipeline prefix."""
+
+    vectors: np.ndarray  # (n_kept, embed_dim) FC-layer outputs
+    weights: np.ndarray  # (n_kept,) attention weights
+    path_count: int  # contexts extracted before the per-script cap
+
+
+class FeatureCache:
+    """Two-layer (memory LRU + optional disk) embedding cache.
+
+    Args:
+        model_fingerprint: Namespace key; entries written under one
+            fingerprint are invisible to every other (stale-model safety).
+        max_entries: In-memory LRU capacity.
+        cache_dir: Optional persistent layer root.  Layout is
+            ``cache_dir/<fingerprint16>/<content_key>.npz``.
+    """
+
+    def __init__(
+        self,
+        model_fingerprint: str,
+        max_entries: int = 4096,
+        cache_dir: str | Path | None = None,
+    ):
+        if max_entries < 1:
+            raise ValueError("max_entries must be positive")
+        self.model_fingerprint = model_fingerprint
+        self.max_entries = max_entries
+        self._memory: OrderedDict[str, CacheEntry] = OrderedDict()
+        self._disk_root: Path | None = None
+        if cache_dir is not None:
+            # First 16 hex chars keep directory names short; collisions over
+            # 64 bits of a cryptographic hash are not a practical concern.
+            self._disk_root = Path(cache_dir) / model_fingerprint[:16]
+            self._disk_root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.disk_hits = 0
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    # ---------------------------------------------------------------- lookup
+
+    def get(self, key: str) -> CacheEntry | None:
+        entry = self._memory.get(key)
+        if entry is not None:
+            self._memory.move_to_end(key)
+            self.hits += 1
+            return entry
+        entry = self._disk_get(key)
+        if entry is not None:
+            self._remember(key, entry)
+            self.hits += 1
+            self.disk_hits += 1
+            return entry
+        self.misses += 1
+        return None
+
+    def put(self, key: str, entry: CacheEntry) -> None:
+        self._remember(key, entry)
+        self._disk_put(key, entry)
+
+    def _remember(self, key: str, entry: CacheEntry) -> None:
+        self._memory[key] = entry
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.max_entries:
+            self._memory.popitem(last=False)
+
+    # ----------------------------------------------------------------- disk
+
+    def _disk_path(self, key: str) -> Path | None:
+        return self._disk_root / f"{key}.npz" if self._disk_root is not None else None
+
+    def _disk_get(self, key: str) -> CacheEntry | None:
+        path = self._disk_path(key)
+        if path is None or not path.exists():
+            return None
+        try:
+            with np.load(path) as arrays:
+                return CacheEntry(
+                    vectors=arrays["vectors"],
+                    weights=arrays["weights"],
+                    path_count=int(arrays["path_count"]),
+                )
+        except (OSError, KeyError, ValueError):
+            # A corrupt/partial file is a miss, and is removed so the slot
+            # heals on the next put.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+
+    def _disk_put(self, key: str, entry: CacheEntry) -> None:
+        path = self._disk_path(key)
+        if path is None:
+            return
+        # Write-then-rename keeps concurrent readers from ever seeing a
+        # partially written archive.
+        fd, tmp_name = tempfile.mkstemp(dir=str(self._disk_root), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                np.savez_compressed(
+                    handle,
+                    vectors=entry.vectors,
+                    weights=entry.weights,
+                    path_count=np.int64(entry.path_count),
+                )
+            os.replace(tmp_name, path)
+        except OSError:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+
+    # ----------------------------------------------------------------- stats
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "disk_hits": self.disk_hits,
+            "entries": len(self._memory),
+        }

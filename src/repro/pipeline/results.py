@@ -1,0 +1,144 @@
+"""Structured scan results: the user-facing API of the batch engine.
+
+``JSRevealer.predict`` returns a bare label array — fine for experiments,
+but a deployment wants to know *per file* what the verdict was, how
+confident the model is, whether the cached embedding was reused, and where
+the time went (Table VIII's per-stage accounting).  :class:`ScanResult`
+carries that per file; :class:`ScanReport` aggregates a whole batch and
+round-trips through JSON for machine consumption (CLI ``--format json``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+
+import numpy as np
+
+#: Stage keys reported per scan (Table VIII naming).
+STAGE_KEYS = ("path_extraction", "embedding", "feature_transform", "classifying")
+
+
+@dataclass
+class ScanResult:
+    """Verdict and accounting for one scanned script."""
+
+    path: str
+    label: int  # classifier decision: 1 = malicious, 0 = benign
+    probability: float  # P(malicious)
+    malicious: bool  # thresholded verdict (CLI --threshold)
+    path_count: int  # extracted path contexts (pre-cap)
+    cache_hit: bool
+    #: Per-file cost of the per-script stages, in milliseconds.  Cache hits
+    #: carry zeros — nothing was extracted or embedded for them.
+    stage_ms: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def verdict(self) -> str:
+        return "malicious" if self.malicious else "benign"
+
+    def to_dict(self) -> dict:
+        out = asdict(self)
+        out["verdict"] = self.verdict
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ScanResult":
+        data = dict(data)
+        data.pop("verdict", None)
+        return cls(**data)
+
+
+@dataclass
+class ScanReport:
+    """A whole batch: per-file results plus batch-level accounting."""
+
+    results: list[ScanResult]
+    threshold: float = 0.5
+    n_workers: int = 1  # requested
+    workers_used: int = 1  # actual (pool failures degrade to 1)
+    elapsed_ms: float = 0.0
+    #: Batch totals per stage (ms).  Extraction/embedding sum the per-file
+    #: costs (wall-clock overlaps under the pool); transform/classify are
+    #: single-process batch stages.
+    stage_ms: dict[str, float] = field(default_factory=dict)
+    cache_hits: int = 0
+    cache_misses: int = 0
+    model_fingerprint: str | None = None
+    #: Full class-probability matrix, kept for ``predict_proba`` parity;
+    #: not serialized (per-file ``probability`` covers the JSON surface).
+    probability_matrix: np.ndarray | None = field(default=None, repr=False, compare=False)
+
+    # ----------------------------------------------------------- array views
+
+    @property
+    def n_files(self) -> int:
+        return len(self.results)
+
+    @property
+    def n_malicious(self) -> int:
+        return sum(1 for r in self.results if r.malicious)
+
+    @property
+    def label_array(self) -> np.ndarray:
+        return np.array([r.label for r in self.results], dtype=int)
+
+    @property
+    def probabilities(self) -> np.ndarray:
+        return np.array([r.probability for r in self.results], dtype=float)
+
+    # ------------------------------------------------------------- serialize
+
+    def to_dict(self) -> dict:
+        return {
+            "n_files": self.n_files,
+            "n_malicious": self.n_malicious,
+            "threshold": self.threshold,
+            "n_workers": self.n_workers,
+            "workers_used": self.workers_used,
+            "elapsed_ms": self.elapsed_ms,
+            "stage_ms": dict(self.stage_ms),
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "model_fingerprint": self.model_fingerprint,
+            "results": [r.to_dict() for r in self.results],
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ScanReport":
+        return cls(
+            results=[ScanResult.from_dict(r) for r in data["results"]],
+            threshold=data.get("threshold", 0.5),
+            n_workers=data.get("n_workers", 1),
+            workers_used=data.get("workers_used", 1),
+            elapsed_ms=data.get("elapsed_ms", 0.0),
+            stage_ms=dict(data.get("stage_ms", {})),
+            cache_hits=data.get("cache_hits", 0),
+            cache_misses=data.get("cache_misses", 0),
+            model_fingerprint=data.get("model_fingerprint"),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScanReport":
+        return cls.from_dict(json.loads(text))
+
+    # -------------------------------------------------------------- display
+
+    def summary(self) -> str:
+        """One-paragraph human summary (the CLI's trailer line)."""
+        per_file = self.elapsed_ms / max(self.n_files, 1)
+        parts = [
+            f"scanned {self.n_files} files in {self.elapsed_ms / 1000:.2f}s "
+            f"({per_file:.1f} ms/file, workers={self.workers_used})"
+        ]
+        if self.cache_hits or self.cache_misses:
+            parts.append(f"cache {self.cache_hits} hits / {self.cache_misses} misses")
+        stages = ", ".join(
+            f"{key}={self.stage_ms[key]:.0f}ms" for key in STAGE_KEYS if key in self.stage_ms
+        )
+        if stages:
+            parts.append(stages)
+        return "; ".join(parts)

@@ -1,0 +1,286 @@
+"""Parallel batch-scanning engine.
+
+Per-script work (parse → enhanced AST → path contexts → embedding) is
+CPU-bound and embarrassingly parallel, and Table VIII shows it dominates
+detection cost; the shared stages (cluster-feature transform, forest
+classification) are sub-millisecond and stay in-process.  The scanner
+therefore:
+
+1. consults the content-addressed :class:`~repro.pipeline.cache.FeatureCache`
+   (embeddings are pure functions of source bytes + model parameters),
+2. fans cache misses out over a ``multiprocessing`` pool whose workers hold
+   a private copy of the extractor and the frozen embedding model,
+3. keeps a bounded in-flight window (backpressure: at most
+   ``queue_depth`` scripts are queued or awaiting collection at once, so
+   huge corpora never balloon the parent's memory),
+4. feeds the collected embeddings through the single-process feature
+   transform + classifier and returns a structured
+   :class:`~repro.pipeline.results.ScanReport`.
+
+Determinism: workers run exactly the numpy operations of the sequential
+path on identical inputs, so ``--workers 4`` output is byte-identical to
+``--workers 1``.  Any failure to start or drive the pool degrades
+gracefully to the sequential path.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import sys
+import time
+from collections import deque
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from .cache import CacheEntry, FeatureCache, content_key
+from .results import ScanReport, ScanResult
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.detector import JSRevealer
+
+# ------------------------------------------------------------------ workers
+#
+# Each pool worker rebuilds the per-script pipeline prefix from the
+# detector's configuration and frozen parameters (sent once via the pool
+# initializer, so they survive spawn-based start methods too).
+
+_WORKER_STATE: dict | None = None
+
+
+def _init_worker(extractor_kwargs: dict, embed_dim: int, parameters: dict, max_paths: int) -> None:
+    global _WORKER_STATE
+    from repro.embedding import PathEmbedder
+    from repro.paths import PathExtractor
+
+    embedder = PathEmbedder(embed_dim=embed_dim)
+    embedder.model.load_parameters(parameters)
+    embedder._trained = True
+    _WORKER_STATE = {
+        "extractor": PathExtractor(**extractor_kwargs),
+        "embedder": embedder,
+        "max_paths": max_paths,
+    }
+
+
+def _embed_source(source: str) -> tuple[np.ndarray, np.ndarray, int, float, float]:
+    """Extract + embed one script; mirrors ``JSRevealer`` stage semantics."""
+    from repro.jsparser import JSSyntaxError
+
+    state = _WORKER_STATE
+    started = time.perf_counter()
+    try:
+        contexts = state["extractor"].extract_from_source(source)
+    except (JSSyntaxError, RecursionError):
+        contexts = []
+    extract_ms = 1000.0 * (time.perf_counter() - started)
+
+    started = time.perf_counter()
+    vectors, weights = state["embedder"].embed(contexts)
+    if len(vectors) > state["max_paths"]:
+        top = np.argsort(weights)[::-1][: state["max_paths"]]
+        vectors, weights = vectors[top], weights[top]
+    embed_ms = 1000.0 * (time.perf_counter() - started)
+    return vectors, weights, len(contexts), extract_ms, embed_ms
+
+
+class BatchScanner:
+    """Fan-out scanner over a fitted :class:`~repro.core.detector.JSRevealer`.
+
+    Args:
+        detector: A fitted detector (its embedder/extractor/classifier are
+            the single source of truth; the scanner owns no model state).
+        n_workers: Pool size; ``1`` selects the in-process sequential path.
+        cache: Optional content-addressed embedding cache.  Callers are
+            responsible for keying it to ``detector.fingerprint()`` —
+            :meth:`JSRevealer.scan_batch` does this automatically.
+        queue_depth: Bound on in-flight pool tasks (default
+            ``4 × n_workers``).
+    """
+
+    def __init__(
+        self,
+        detector: "JSRevealer",
+        n_workers: int = 1,
+        cache: FeatureCache | None = None,
+        queue_depth: int | None = None,
+    ):
+        if n_workers < 1:
+            raise ValueError("n_workers must be positive")
+        self.detector = detector
+        self.n_workers = n_workers
+        self.cache = cache
+        self.queue_depth = queue_depth if queue_depth is not None else max(4 * n_workers, 8)
+
+    # ------------------------------------------------------------------ scan
+
+    def scan(self, sources: list[str], names: list[str] | None = None, threshold: float = 0.5) -> ScanReport:
+        detector = self.detector
+        if not detector._fitted:
+            raise RuntimeError("JSRevealer used before fit()")
+        started = time.perf_counter()
+        n = len(sources)
+        if names is None:
+            names = [f"<script:{i}>" for i in range(n)]
+        if len(names) != n:
+            raise ValueError("names and sources length mismatch")
+
+        entries: list[CacheEntry | None] = [None] * n
+        hit_flags = [False] * n
+        per_file_ms: list[dict[str, float]] = [
+            {"path_extraction": 0.0, "embedding": 0.0} for _ in range(n)
+        ]
+
+        keys: list[str | None] = [None] * n
+        pending: list[int] = []
+        if self.cache is not None:
+            for i, source in enumerate(sources):
+                keys[i] = content_key(source)
+                entry = self.cache.get(keys[i])
+                if entry is None:
+                    pending.append(i)
+                else:
+                    entries[i] = entry
+                    hit_flags[i] = True
+        else:
+            pending = list(range(n))
+
+        workers_used = 1
+        if self.n_workers > 1 and len(pending) > 1:
+            try:
+                self._embed_parallel(pending, sources, entries, per_file_ms)
+                workers_used = self.n_workers
+            except Exception as error:  # pool start/transport failure
+                print(
+                    f"warning: worker pool failed ({error!r}); scanning sequentially",
+                    file=sys.stderr,
+                )
+        for i in pending:  # sequential path + parallel-failure backstop
+            if entries[i] is not None:
+                continue
+            entries[i] = self._embed_sequential(sources[i], per_file_ms[i])
+        if self.cache is not None:
+            for i in pending:
+                if entries[i] is not None:
+                    self.cache.put(keys[i], entries[i])
+
+        embedded = [(entry.vectors, entry.weights) for entry in entries]
+        transform_started = time.perf_counter()
+        with detector._timed("feature_transform"):
+            X = detector.feature_extractor.transform(embedded, fit_scaler=False)
+        transform_ms = 1000.0 * (time.perf_counter() - transform_started)
+
+        classify_started = time.perf_counter()
+        if n:
+            with detector._timed("classifying"):
+                labels = np.asarray(detector.classifier.predict(X))
+                proba_matrix = (
+                    np.asarray(detector.classifier.predict_proba(X))
+                    if hasattr(detector.classifier, "predict_proba")
+                    else None
+                )
+        else:
+            labels = np.zeros(0, dtype=int)
+            proba_matrix = np.zeros((0, 2))
+        classify_ms = 1000.0 * (time.perf_counter() - classify_started)
+
+        results = []
+        for i in range(n):
+            label = int(labels[i]) if i < len(labels) else 0
+            if proba_matrix is not None and proba_matrix.ndim == 2 and proba_matrix.shape[1] >= 2:
+                probability = float(proba_matrix[i, 1])
+            else:
+                probability = float(label)
+            results.append(
+                ScanResult(
+                    path=str(names[i]),
+                    label=label,
+                    probability=probability,
+                    malicious=bool(probability >= threshold),
+                    path_count=entries[i].path_count,
+                    cache_hit=hit_flags[i],
+                    stage_ms={k: round(v, 3) for k, v in per_file_ms[i].items()},
+                )
+            )
+
+        stage_totals = {
+            "path_extraction": sum(ms["path_extraction"] for ms in per_file_ms),
+            "embedding": sum(ms["embedding"] for ms in per_file_ms),
+            "feature_transform": transform_ms,
+            "classifying": classify_ms,
+        }
+        return ScanReport(
+            results=results,
+            threshold=threshold,
+            n_workers=self.n_workers,
+            workers_used=workers_used,
+            elapsed_ms=1000.0 * (time.perf_counter() - started),
+            stage_ms={k: round(v, 3) for k, v in stage_totals.items()},
+            cache_hits=sum(hit_flags),
+            cache_misses=n - sum(hit_flags),
+            model_fingerprint=detector.fingerprint(),
+            probability_matrix=proba_matrix,
+        )
+
+    # ------------------------------------------------------------ embedding
+
+    def _embed_sequential(self, source: str, file_ms: dict[str, float]) -> CacheEntry:
+        detector = self.detector
+        started = time.perf_counter()
+        contexts = detector.extract_paths(source)
+        file_ms["path_extraction"] = 1000.0 * (time.perf_counter() - started)
+        started = time.perf_counter()
+        vectors, weights = detector.embed_script(contexts)
+        file_ms["embedding"] = 1000.0 * (time.perf_counter() - started)
+        return CacheEntry(vectors=vectors, weights=weights, path_count=len(contexts))
+
+    def _embed_parallel(
+        self,
+        pending: list[int],
+        sources: list[str],
+        entries: list[CacheEntry | None],
+        per_file_ms: list[dict[str, float]],
+    ) -> None:
+        detector = self.detector
+        config = detector.config
+        parameters = {
+            name: np.ascontiguousarray(tensor)
+            for name, tensor in detector.embedder.model.parameters().items()
+        }
+        extractor_kwargs = {
+            "max_length": config.max_path_length,
+            "max_width": config.max_path_width,
+            "use_dataflow": config.use_dataflow,
+        }
+        context = multiprocessing.get_context()
+        with context.Pool(
+            processes=self.n_workers,
+            initializer=_init_worker,
+            initargs=(extractor_kwargs, detector.embedder.model.embed_dim, parameters, config.max_paths_per_script),
+        ) as pool:
+            todo = iter(pending)
+            in_flight: deque = deque()
+
+            def submit() -> bool:
+                position = next(todo, None)
+                if position is None:
+                    return False
+                in_flight.append((position, pool.apply_async(_embed_source, (sources[position],))))
+                return True
+
+            for _ in range(self.queue_depth):
+                if not submit():
+                    break
+            while in_flight:
+                position, handle = in_flight.popleft()
+                vectors, weights, path_count, extract_ms, embed_ms = handle.get()
+                entries[position] = CacheEntry(vectors=vectors, weights=weights, path_count=path_count)
+                per_file_ms[position]["path_extraction"] = extract_ms
+                per_file_ms[position]["embedding"] = embed_ms
+                # Worker CPU time still lands in the detector's Table VIII
+                # accounting, even though wall-clock overlaps under the pool.
+                detector.stage_seconds["path_extraction"] += extract_ms / 1000.0
+                detector.stage_counts["path_extraction"] += 1
+                detector.stage_seconds["embedding"] += embed_ms / 1000.0
+                detector.stage_counts["embedding"] += 1
+                submit()

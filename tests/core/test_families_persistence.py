@@ -64,6 +64,40 @@ class TestPersistence:
         with pytest.raises(ValueError):
             load_detector(tmp_path / "m4")
 
+    def test_fingerprint_stored_and_roundtrips(self, detector, tmp_path):
+        import json
+
+        save_detector(detector, tmp_path / "m5")
+        meta = json.loads((tmp_path / "m5" / "model.json").read_text())
+        assert meta["format_version"] == 2
+        assert meta["model_fingerprint"] == detector.fingerprint()
+        assert load_detector(tmp_path / "m5").fingerprint() == detector.fingerprint()
+
+    def test_version1_model_loads_with_derived_fingerprint(self, detector, split, tmp_path):
+        import json
+
+        save_detector(detector, tmp_path / "m6")
+        meta_path = tmp_path / "m6" / "model.json"
+        meta = json.loads(meta_path.read_text())
+        meta["format_version"] = 1
+        del meta["model_fingerprint"]
+        meta_path.write_text(json.dumps(meta))
+
+        loaded = load_detector(tmp_path / "m6")
+        assert loaded.fingerprint() == detector.fingerprint()
+        assert np.array_equal(loaded.predict(split.test.sources[:4]), detector.predict(split.test.sources[:4]))
+
+    def test_tampered_fingerprint_rejected(self, detector, tmp_path):
+        import json
+
+        save_detector(detector, tmp_path / "m7")
+        meta_path = tmp_path / "m7" / "model.json"
+        meta = json.loads(meta_path.read_text())
+        meta["model_fingerprint"] = "0" * 64
+        meta_path.write_text(json.dumps(meta))
+        with pytest.raises(ValueError):
+            load_detector(tmp_path / "m7")
+
 
 class TestFamilyClassifier:
     def _malicious(self, corpus):
@@ -137,6 +171,58 @@ class TestCLI:
         assert scan_code in (0, 1)
 
         assert main(["explain", "--model", str(model_dir), "--top", "3"]) == 0
+
+    def test_scan_json_format_and_cache(self, tmp_path, capsys):
+        import json
+
+        from repro.cli import main
+        from repro.datasets import generate_benign, generate_malicious
+
+        model_dir = tmp_path / "model"
+        main(
+            ["train", "--out", str(model_dir), "--train-per-class", "14",
+             "--pretrain-per-class", "8", "--embed-dim", "16", "--epochs", "3",
+             "--k-benign", "4", "--k-malicious", "4"]
+        )
+        target = tmp_path / "site"
+        target.mkdir()
+        (target / "app.js").write_text(generate_benign(np.random.default_rng(1)))
+        (target / "dropper.js").write_text(generate_malicious(np.random.default_rng(2)))
+        cache_dir = tmp_path / "cache"
+        capsys.readouterr()  # drop train output
+
+        args = ["scan", "--model", str(model_dir), "--format", "json",
+                "--cache-dir", str(cache_dir), "--workers", "2", str(target)]
+        code_cold = main(args)
+        cold = json.loads(capsys.readouterr().out)
+        code_warm = main(args)
+        warm = json.loads(capsys.readouterr().out)
+
+        # Golden JSON shape: one ScanReport object.
+        for report in (cold, warm):
+            assert set(report) >= {
+                "n_files", "n_malicious", "threshold", "n_workers", "workers_used",
+                "elapsed_ms", "stage_ms", "cache_hits", "cache_misses",
+                "model_fingerprint", "results",
+            }
+            assert report["n_files"] == 2
+            assert len(report["results"]) == 2
+            for result in report["results"]:
+                assert result["verdict"] in ("benign", "malicious")
+                assert 0.0 <= result["probability"] <= 1.0
+                assert result["path"].endswith(".js")
+        assert cold["cache_hits"] == 0
+        assert warm["cache_hits"] == 2
+        assert all(r["cache_hit"] for r in warm["results"])
+        # Verdicts and probabilities are identical cold vs cached.
+        assert [r["probability"] for r in cold["results"]] == [r["probability"] for r in warm["results"]]
+        assert code_cold == code_warm
+
+        # explain --format json emits a parseable ranked feature list.
+        assert main(["explain", "--model", str(model_dir), "--top", "3", "--format", "json"]) == 0
+        explain = json.loads(capsys.readouterr().out)
+        assert len(explain) == 3
+        assert all({"importance", "cluster_label", "central_path_signature", "cluster_size"} <= set(e) for e in explain)
 
     def test_scan_missing_input(self, tmp_path):
         from repro.cli import main

@@ -2,8 +2,15 @@
 
 import pytest
 
-from repro.bench import ComparisonResult, SETTINGS, bench_params, format_metric_table
+from repro.bench import (
+    ComparisonResult,
+    SETTINGS,
+    bench_params,
+    format_metric_table,
+    format_timing_table,
+)
 from repro.ml import DetectionReport
+from repro.pipeline import ScanReport, ScanResult
 
 
 def make_report(accuracy=90.0, f1=91.0, fpr=5.0, fnr=6.0):
@@ -44,6 +51,27 @@ class TestFormatting:
     def test_missing_detectors_skipped(self, result):
         table = format_metric_table(result, "f1", detectors=("cujo", "nonexistent"))
         assert "nonexistent" not in table
+
+    def test_timing_table_lists_modes_and_stages(self):
+        def make_scan_report(extract_ms):
+            return ScanReport(
+                results=[
+                    ScanResult(path="a.js", label=0, probability=0.1, malicious=False,
+                               path_count=5, cache_hit=False)
+                ],
+                elapsed_ms=extract_ms + 10.0,
+                stage_ms={"path_extraction": extract_ms, "embedding": 2.0,
+                          "feature_transform": 1.0, "classifying": 0.5},
+            )
+
+        table = format_timing_table(
+            {"sequential": make_scan_report(100.0), "parallel": make_scan_report(60.0)},
+            title="Batch engine",
+        )
+        assert table.startswith("Batch engine")
+        assert "sequential" in table and "parallel" in table
+        assert "path_extraction" in table and "classifying" in table
+        assert "100.0" in table and "60.0" in table
 
 
 class TestParams:

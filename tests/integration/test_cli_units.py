@@ -19,9 +19,33 @@ class TestParser:
         assert args.threshold == 0.8
         assert args.paths == ["a.js"]
 
+    def test_scan_engine_defaults(self):
+        args = build_parser().parse_args(["scan", "--model", "m", "a.js"])
+        assert args.workers == 1
+        assert args.cache_dir is None
+        assert args.format == "text"
+
+    def test_scan_engine_flags(self):
+        args = build_parser().parse_args(
+            ["scan", "--model", "m", "--workers", "4", "--cache-dir", "/tmp/c",
+             "--format", "json", "a.js"]
+        )
+        assert args.workers == 4
+        assert args.cache_dir == "/tmp/c"
+        assert args.format == "json"
+
+    def test_scan_format_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["scan", "--model", "m", "--format", "xml", "a.js"])
+
     def test_explain_top(self):
         args = build_parser().parse_args(["explain", "--model", "m", "--top", "9"])
         assert args.top == 9
+        assert args.format == "text"
+
+    def test_explain_json_format(self):
+        args = build_parser().parse_args(["explain", "--model", "m", "--format", "json"])
+        assert args.format == "json"
 
     def test_command_required(self):
         with pytest.raises(SystemExit):

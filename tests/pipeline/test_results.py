@@ -1,0 +1,87 @@
+"""Unit tests for the structured ScanResult / ScanReport API."""
+
+import json
+
+import numpy as np
+
+from repro.pipeline import ScanReport, ScanResult
+
+
+def make_result(i=0, malicious=False, cache_hit=False):
+    return ScanResult(
+        path=f"file_{i}.js",
+        label=int(malicious),
+        probability=0.9 if malicious else 0.1,
+        malicious=malicious,
+        path_count=10 + i,
+        cache_hit=cache_hit,
+        stage_ms={"path_extraction": 12.5, "embedding": 3.25},
+    )
+
+
+def make_report():
+    return ScanReport(
+        results=[make_result(0), make_result(1, malicious=True, cache_hit=True)],
+        threshold=0.5,
+        n_workers=4,
+        workers_used=4,
+        elapsed_ms=120.0,
+        stage_ms={"path_extraction": 20.0, "embedding": 5.0, "feature_transform": 1.0, "classifying": 0.5},
+        cache_hits=1,
+        cache_misses=1,
+        model_fingerprint="abc123",
+    )
+
+
+class TestScanResult:
+    def test_verdict_string(self):
+        assert make_result(malicious=True).verdict == "malicious"
+        assert make_result(malicious=False).verdict == "benign"
+
+    def test_dict_roundtrip(self):
+        result = make_result(3, malicious=True)
+        data = result.to_dict()
+        assert data["verdict"] == "malicious"
+        assert ScanResult.from_dict(data) == result
+
+
+class TestScanReport:
+    def test_array_views(self):
+        report = make_report()
+        assert np.array_equal(report.label_array, [0, 1])
+        assert np.allclose(report.probabilities, [0.1, 0.9])
+        assert report.n_files == 2
+        assert report.n_malicious == 1
+
+    def test_json_roundtrip(self):
+        report = make_report()
+        restored = ScanReport.from_json(report.to_json())
+        assert restored.results == report.results
+        assert restored.stage_ms == report.stage_ms
+        assert restored.cache_hits == 1 and restored.cache_misses == 1
+        assert restored.model_fingerprint == "abc123"
+        assert restored.workers_used == 4
+
+    def test_json_is_machine_readable(self):
+        data = json.loads(make_report().to_json())
+        assert data["n_files"] == 2
+        assert data["n_malicious"] == 1
+        assert {r["verdict"] for r in data["results"]} == {"benign", "malicious"}
+        for key in ("stage_ms", "cache_hits", "model_fingerprint", "threshold"):
+            assert key in data
+
+    def test_probability_matrix_not_serialized(self):
+        report = make_report()
+        report.probability_matrix = np.zeros((2, 2))
+        assert "probability_matrix" not in json.loads(report.to_json())
+
+    def test_summary_mentions_counts_and_cache(self):
+        summary = make_report().summary()
+        assert "2 files" in summary
+        assert "1 hits" in summary
+
+    def test_empty_report(self):
+        report = ScanReport(results=[])
+        assert report.n_files == 0
+        assert report.label_array.shape == (0,)
+        assert ScanReport.from_json(report.to_json()).n_files == 0

@@ -1,0 +1,134 @@
+"""Integration tests for the parallel batch scanner and cache wiring."""
+
+import numpy as np
+import pytest
+
+from repro.core import JSRevealer, JSRevealerConfig
+from repro.datasets import experiment_split
+from repro.pipeline import BatchScanner, FeatureCache
+
+
+@pytest.fixture(scope="module")
+def split():
+    return experiment_split(seed=7, pretrain_per_class=6, train_per_class=12, test_per_class=8)
+
+
+@pytest.fixture(scope="module")
+def detector(split):
+    det = JSRevealer(JSRevealerConfig(embed_dim=16, pretrain_epochs=3, k_benign=4, k_malicious=4, seed=7))
+    det.pretrain(split.pretrain.sources, split.pretrain.labels)
+    det.fit(split.train.sources, split.train.labels)
+    return det
+
+
+class TestParallelEquivalence:
+    def test_parallel_matches_sequential_bytewise(self, detector, split):
+        sequential = BatchScanner(detector, n_workers=1).scan(split.test.sources)
+        parallel = BatchScanner(detector, n_workers=2).scan(split.test.sources)
+        assert parallel.workers_used == 2
+        assert np.array_equal(sequential.label_array, parallel.label_array)
+        assert np.array_equal(sequential.probability_matrix, parallel.probability_matrix)
+        assert [r.path_count for r in sequential.results] == [r.path_count for r in parallel.results]
+
+    def test_pool_failure_degrades_to_sequential(self, detector, split, monkeypatch, capsys):
+        def boom(self, *args, **kwargs):
+            raise OSError("no processes for you")
+
+        monkeypatch.setattr(BatchScanner, "_embed_parallel", boom)
+        baseline = BatchScanner(detector, n_workers=1).scan(split.test.sources[:4])
+        degraded = BatchScanner(detector, n_workers=3).scan(split.test.sources[:4])
+        assert degraded.workers_used == 1
+        assert np.array_equal(baseline.label_array, degraded.label_array)
+        assert "scanning sequentially" in capsys.readouterr().err
+
+    def test_rejects_bad_worker_count(self, detector):
+        with pytest.raises(ValueError):
+            BatchScanner(detector, n_workers=0)
+
+    def test_unfitted_detector_rejected(self):
+        det = JSRevealer(JSRevealerConfig(embed_dim=16))
+        with pytest.raises(RuntimeError):
+            BatchScanner(det).scan(["var a = 1;"])
+
+    def test_names_length_mismatch(self, detector):
+        with pytest.raises(ValueError):
+            BatchScanner(detector).scan(["var a = 1;"], names=["a", "b"])
+
+    def test_empty_batch(self, detector):
+        report = BatchScanner(detector).scan([])
+        assert report.n_files == 0 and report.label_array.shape == (0,)
+
+    def test_unparseable_source_scans(self, detector):
+        report = BatchScanner(detector).scan(["not !! valid :: javascript ((("])
+        assert report.n_files == 1
+        assert report.results[0].path_count == 0
+
+
+class TestCacheIntegration:
+    def test_second_scan_hits(self, detector, split):
+        cache = FeatureCache(detector.fingerprint())
+        scanner = BatchScanner(detector, cache=cache)
+        first = scanner.scan(split.test.sources)
+        second = scanner.scan(split.test.sources)
+        assert first.cache_hits == 0 and first.cache_misses == len(split.test.sources)
+        assert second.cache_hits == len(split.test.sources) and second.cache_misses == 0
+        assert all(r.cache_hit for r in second.results)
+        assert np.array_equal(first.probability_matrix, second.probability_matrix)
+
+    def test_disk_cache_reused_by_fresh_scanner(self, detector, split, tmp_path):
+        sources = split.test.sources[:5]
+        cold = detector.scan_batch(sources, cache_dir=str(tmp_path))
+        warm = detector.scan_batch(sources, cache_dir=str(tmp_path))
+        assert cold.cache_hits == 0
+        assert warm.cache_hits == len(sources)
+        assert np.array_equal(cold.label_array, warm.label_array)
+
+    def test_report_carries_fingerprint(self, detector, split):
+        report = detector.scan_batch(split.test.sources[:2])
+        assert report.model_fingerprint == detector.fingerprint()
+
+
+class TestDetectorScanAPI:
+    def test_scan_single(self, detector, split):
+        result = detector.scan(split.test.sources[0])
+        assert result.verdict in ("benign", "malicious")
+        assert 0.0 <= result.probability <= 1.0
+        assert result.path_count > 0
+
+    def test_predict_wrappers_agree_with_scan(self, detector, split):
+        sources = split.test.sources[:6]
+        report = detector.scan_batch(sources)
+        assert np.array_equal(detector.predict(sources), report.label_array)
+        assert np.allclose(detector.predict_proba(sources)[:, 1], report.probabilities)
+
+    def test_threshold_changes_verdicts_not_labels(self, detector, split):
+        sources = split.test.sources
+        strict = detector.scan_batch(sources, threshold=1.1)
+        assert strict.n_malicious == 0  # nothing reaches an impossible threshold
+        assert np.array_equal(strict.label_array, detector.predict(sources))
+
+
+class TestKeptIndexAlignment:
+    def test_embed_script_indices_select_matching_rows(self, detector, split):
+        capped = JSRevealer(JSRevealerConfig(embed_dim=16, pretrain_epochs=3, max_paths_per_script=5, seed=7))
+        capped.embedder = detector.embedder  # reuse the trained embedding
+        contexts = capped.extract_paths(split.test.sources[0])
+        assert len(contexts) > 5
+        vectors, weights, kept = capped.embed_script(contexts, return_indices=True)
+        assert len(vectors) == len(weights) == len(kept) == 5
+        full_vectors, full_weights = detector.embedder.embed(contexts)
+        assert np.array_equal(vectors, full_vectors[kept])
+        assert np.array_equal(weights, full_weights[kept])
+        # The kept rows are exactly the top-weight paths.
+        assert set(kept) == set(np.argsort(full_weights)[::-1][:5])
+
+    def test_fit_with_path_cap_aligns_signatures(self, split):
+        det = JSRevealer(
+            JSRevealerConfig(
+                embed_dim=16, pretrain_epochs=3, k_benign=3, k_malicious=3,
+                max_paths_per_script=20, seed=7,
+            )
+        )
+        det.pretrain(split.pretrain.sources, split.pretrain.labels)
+        det.fit(split.train.sources, split.train.labels)  # no misalignment error
+        assert all(f.central_path_signature for f in det.feature_extractor.features_)
