@@ -1,0 +1,60 @@
+"""CI smoke check for `repro serve`: healthz, one scan, metrics.
+
+Usage: serve_smoke.py BASE_URL SCRIPT_PATH
+
+Waits for the daemon to come up, POSTs the script, and asserts a
+well-formed verdict plus a healthy /healthz and a non-empty /metrics.
+Exits non-zero (with the failure printed) on any violation.
+"""
+
+import json
+import sys
+import time
+import urllib.error
+import urllib.request
+
+
+def get(url):
+    with urllib.request.urlopen(url, timeout=10) as response:
+        return response.status, response.read()
+
+
+def main(base_url, script_path):
+    deadline = time.time() + 60
+    while True:
+        try:
+            status, body = get(f"{base_url}/healthz")
+            break
+        except (urllib.error.URLError, ConnectionError):
+            if time.time() > deadline:
+                raise SystemExit("daemon did not come up within 60s")
+            time.sleep(0.5)
+    health = json.loads(body)
+    assert status == 200 and health["status"] == "ok", health
+    print("healthz:", health)
+
+    with open(script_path, encoding="utf-8") as handle:
+        source = handle.read()
+    request = urllib.request.Request(
+        f"{base_url}/scan",
+        data=json.dumps({"source": source, "name": script_path}).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=60) as response:
+        verdict = json.loads(response.read())
+        assert response.status == 200, verdict
+    print("verdict:", verdict)
+    assert verdict["verdict"] in ("benign", "malicious"), verdict
+    assert 0.0 <= verdict["probability"] <= 1.0, verdict
+    assert verdict["path"] == script_path, verdict
+    assert verdict["model_fingerprint"] == health["model_fingerprint"], verdict
+
+    status, body = get(f"{base_url}/metrics")
+    text = body.decode()
+    assert status == 200 and "repro_http_requests_total" in text, text[:400]
+    assert "repro_serve_batches_total" in text, text[:400]
+    print("metrics: ok ({} lines)".format(len(text.splitlines())))
+
+
+if __name__ == "__main__":
+    main(sys.argv[1], sys.argv[2])

@@ -6,10 +6,12 @@ from .harness import (
     ComparisonResult,
     bench_params,
     default_jsrevealer_config,
+    format_load_table,
     format_metric_table,
     format_timing_table,
     run_comparison,
     scan_timing_comparison,
+    serve_throughput_comparison,
 )
 
 __all__ = [
@@ -18,8 +20,10 @@ __all__ = [
     "ComparisonResult",
     "bench_params",
     "default_jsrevealer_config",
+    "format_load_table",
     "format_metric_table",
     "format_timing_table",
     "run_comparison",
     "scan_timing_comparison",
+    "serve_throughput_comparison",
 ]

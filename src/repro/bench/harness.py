@@ -182,6 +182,93 @@ def format_timing_table(reports: dict[str, "object"], title: str = "") -> str:
     return "\n".join(lines)
 
 
+def serve_throughput_comparison(
+    detector: JSRevealer,
+    sources: list[str],
+    concurrency: int = 8,
+    repeats: int = 2,
+    max_batch: int = 8,
+    max_wait_ms: float = 25.0,
+) -> dict[str, "object"]:
+    """Micro-batching vs per-request dispatch vs in-process one-shot scans.
+
+    Boots the daemon twice on an ephemeral port — once with
+    ``max_batch=1`` (per-request dispatch) and once with ``max_batch``
+    (micro-batching) — and drives both with the stdlib load generator at
+    ``concurrency`` clients.  The ``oneshot`` entry times the same scripts
+    through sequential in-process :meth:`JSRevealer.scan` calls, the cost
+    every request pays without a resident daemon (process startup + model
+    load excluded, so the comparison favors the baseline).
+
+    Returns ``{"oneshot": LoadReport, "serve_unbatched": LoadReport,
+    "serve_batched": LoadReport}``; per-script verdicts ride on each
+    report's ``results`` so callers can assert equal correctness.
+    """
+    import time
+
+    from repro.serve import BackgroundServer, LoadReport, LoadResult, ServeConfig
+    from repro.serve.loadgen import run_load
+
+    scripts = [(f"<bench:{i}>", source) for i, source in enumerate(sources)]
+
+    oneshot_results = []
+    oneshot_started = time.perf_counter()
+    for _ in range(repeats):
+        for name, source in scripts:
+            started = time.perf_counter()
+            result = detector.scan(source)
+            oneshot_results.append(
+                LoadResult(
+                    name=name,
+                    status=200,
+                    latency_ms=1000.0 * (time.perf_counter() - started),
+                    verdict=result.verdict,
+                    label=result.label,
+                    probability=result.probability,
+                )
+            )
+    out: dict[str, object] = {
+        "oneshot": LoadReport(
+            requests=len(oneshot_results),
+            errors=0,
+            elapsed_s=time.perf_counter() - oneshot_started,
+            concurrency=1,
+            results=oneshot_results,
+        )
+    }
+
+    for mode, batch in (("serve_unbatched", 1), ("serve_batched", max_batch)):
+        config = ServeConfig(
+            port=0,
+            max_batch=batch,
+            max_wait_ms=max_wait_ms,
+            queue_limit=max(concurrency * 4, 64),
+        )
+        with BackgroundServer(detector, config) as server:
+            out[mode] = run_load(
+                server.host, server.port, scripts, concurrency=concurrency, repeats=repeats
+            )
+    return out
+
+
+def format_load_table(reports: dict[str, "object"], title: str = "") -> str:
+    """Render throughput and latency percentiles per serving mode."""
+    lines = [title] if title else []
+    header = (
+        f"{'Mode':16s}{'req':>6s}{'err':>5s}{'req/s':>10s}"
+        f"{'p50_ms':>10s}{'p95_ms':>10s}{'p99_ms':>10s}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for mode, report in reports.items():
+        lines.append(
+            f"{mode:16s}{report.requests:>6d}{report.errors:>5d}"
+            f"{report.throughput_rps:>10.1f}{report.latency_ms(0.50):>10.1f}"
+            f"{report.latency_ms(0.95):>10.1f}{report.latency_ms(0.99):>10.1f}"
+        )
+    return "\n".join(lines)
+
+
 def format_metric_table(
     result: ComparisonResult,
     metric: str,

@@ -1,17 +1,30 @@
-"""Command-line interface: train, scan, and explain.
+"""Command-line interface: train, scan, explain, and serve.
 
 Usage::
 
     python -m repro.cli train  --out model_dir [--train-per-class 60] [--seed 0]
     python -m repro.cli scan   --model model_dir [--workers 4] [--cache-dir DIR]
-                               [--format json|text] file_or_dir [...]
+                               [--format json|text] file_dir_or_dash [...]
     python -m repro.cli explain --model model_dir [--top 5] [--format json|text]
+    python -m repro.cli serve  --model model_dir [--host H] [--port P]
+                               [--workers N] [--max-batch B] [--max-wait-ms MS]
+                               [--queue-limit Q] [--cache-dir DIR]
 
 ``train`` fits on the synthetic corpus (the offline default); real
 deployments would swap in their own labeled corpus via the library API.
 ``scan`` fans extraction out over ``--workers`` processes and, with
 ``--cache-dir``, reuses content-addressed embeddings across runs;
-``--format json`` emits one machine-readable ScanReport object.
+``--format json`` emits one machine-readable ScanReport object.  A lone
+``-`` argument reads one script from stdin, so the CLI composes with
+pipes (``curl … | repro scan --model m -``).  ``serve`` keeps the model
+resident behind an HTTP endpoint with micro-batching (see
+:mod:`repro.serve`).
+
+Exit codes — the ``scan`` contract scripts rely on (``grep``-style):
+
+* ``0`` — scan completed, nothing malicious found,
+* ``1`` — scan completed, at least one script verdict was malicious,
+* ``2`` — usage or I/O error (bad flags, no input, unreadable model/cache).
 """
 
 from __future__ import annotations
@@ -65,19 +78,28 @@ def _collect_files(paths: list[str]) -> list[Path]:
 
 
 def _cmd_scan(args: argparse.Namespace) -> int:
+    # Exit-code contract: 0 = clean, 1 = malicious found, 2 = usage/IO error.
     if args.workers < 1:
         print("error: --workers must be at least 1", file=sys.stderr)
         return 2
-    detector = load_detector(args.model)
-    files = _collect_files(args.paths)
-    if not files:
+    files = _collect_files([p for p in args.paths if p != "-"])
+    sources = [f.read_text(errors="replace") for f in files]
+    names = [str(f) for f in files]
+    if "-" in args.paths:  # one script from stdin, after any file arguments
+        sources.append(sys.stdin.read())
+        names.append("<stdin>")
+    if not sources:
         print("no input files", file=sys.stderr)
         return 2
-    sources = [f.read_text(errors="replace") for f in files]
+    try:
+        detector = load_detector(args.model)
+    except (OSError, ValueError, KeyError) as error:
+        print(f"error: cannot load model {args.model!r}: {error}", file=sys.stderr)
+        return 2
     try:
         report = detector.scan_batch(
             sources,
-            names=[str(f) for f in files],
+            names=names,
             n_workers=args.workers,
             cache_dir=args.cache_dir,
             threshold=args.threshold,
@@ -94,6 +116,37 @@ def _cmd_scan(args: argparse.Namespace) -> int:
             print(f"{verdict:9s}  P={result.probability:.3f}  {result.path}{cached}")
         print(f"# {report.summary()}", file=sys.stderr)
     return 1 if report.n_malicious else 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import ServeConfig, run_server
+
+    try:
+        config = ServeConfig(
+            host=args.host,
+            port=args.port,
+            n_workers=args.workers,
+            max_batch=args.max_batch,
+            max_wait_ms=args.max_wait_ms,
+            queue_limit=args.queue_limit,
+            cache_dir=args.cache_dir,
+            threshold=args.threshold,
+            request_timeout_s=args.request_timeout,
+        )
+        config.validate()
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    try:
+        detector = load_detector(args.model)
+    except (OSError, ValueError, KeyError) as error:
+        print(f"error: cannot load model {args.model!r}: {error}", file=sys.stderr)
+        return 2
+    try:
+        return run_server(detector, config)
+    except OSError as error:  # bind failure, unusable cache dir
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
 
 def _cmd_explain(args: argparse.Namespace) -> int:
@@ -132,7 +185,11 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--k-malicious", type=int, default=10)
     train.set_defaults(fn=_cmd_train)
 
-    scan = sub.add_parser("scan", help="scan .js files/directories with a saved model")
+    scan = sub.add_parser(
+        "scan",
+        help="scan .js files/directories (or - for stdin) with a saved model",
+        epilog="exit codes: 0 nothing malicious, 1 malicious found, 2 usage or I/O error",
+    )
     scan.add_argument("--model", required=True)
     scan.add_argument("--threshold", type=float, default=0.5)
     scan.add_argument("--workers", type=int, default=1,
@@ -141,8 +198,33 @@ def build_parser() -> argparse.ArgumentParser:
                       help="persistent content-addressed embedding cache directory")
     scan.add_argument("--format", choices=("text", "json"), default="text",
                       help="text lines or one machine-readable ScanReport JSON object")
-    scan.add_argument("paths", nargs="+")
+    scan.add_argument("paths", nargs="+",
+                      help=".js files, directories, or - to read one script from stdin")
     scan.set_defaults(fn=_cmd_scan)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the asyncio scan daemon (POST /scan, /scan/batch; GET /healthz, /version, /metrics)",
+    )
+    serve.add_argument("--model", required=True)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8077,
+                       help="TCP port (0 = ephemeral)")
+    serve.add_argument("--workers", type=int, default=1,
+                       help="extraction/embedding worker processes behind the batcher")
+    serve.add_argument("--max-batch", type=int, default=8,
+                       help="flush a micro-batch at this many queued scripts")
+    serve.add_argument("--max-wait-ms", type=float, default=25.0,
+                       help="flush a micro-batch when its oldest script is this old")
+    serve.add_argument("--queue-limit", type=int, default=64,
+                       help="admission bound; beyond it requests get 429 + Retry-After")
+    serve.add_argument("--cache-dir", default=None,
+                       help="persistent content-addressed embedding cache directory")
+    serve.add_argument("--threshold", type=float, default=0.5,
+                       help="default verdict threshold (overridable per request)")
+    serve.add_argument("--request-timeout", type=float, default=30.0,
+                       help="seconds before a queued request is answered 503")
+    serve.set_defaults(fn=_cmd_serve)
 
     explain = sub.add_parser("explain", help="show a saved model's top features")
     explain.add_argument("--model", required=True)

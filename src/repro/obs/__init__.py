@@ -1,0 +1,30 @@
+"""Observability layer: metric primitives + Prometheus text exposition.
+
+Public surface::
+
+    from repro.obs import MetricsRegistry
+
+    registry = MetricsRegistry()
+    requests = registry.counter("repro_http_requests_total", "HTTP requests",
+                                labels={"method": "POST", "path": "/scan"})
+    requests.inc()
+    print(registry.render())  # text/plain; version=0.0.4
+"""
+
+from .metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    DEFAULT_SIZE_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_SIZE_BUCKETS",
+]

@@ -1,0 +1,244 @@
+"""Thread-safe metrics primitives with Prometheus text exposition.
+
+The serve daemon (and the pipeline underneath it) needs operational
+visibility — request counts, batch sizes, queue depth, per-stage latency,
+cache effectiveness — without pulling in a client library.  This module
+implements the minimal useful subset of the Prometheus data model:
+
+* :class:`Counter` — monotonically increasing float,
+* :class:`Gauge` — instantaneous value (queue depth, in-flight batches),
+* :class:`Histogram` — cumulative-bucket observations with ``_sum`` and
+  ``_count`` series (latencies, batch sizes),
+* :class:`MetricsRegistry` — owns metric *families* (one name, one type,
+  one help string, many label-sets) and renders them in the
+  `text exposition format <https://prometheus.io/docs/instrumenting/exposition_formats/>`_
+  (``text/plain; version=0.0.4``).
+
+Every mutation takes a per-metric lock, so producers on the asyncio loop,
+the scan executor thread, and pool-collection code can all record freely.
+Registration is idempotent: asking for the same ``(name, labels)`` twice
+returns the same instance, so instrumented components never need to
+coordinate "who creates the metric".
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+
+#: Latency buckets (seconds) — spans sub-millisecond classify stages up to
+#: multi-second cold extractions.
+DEFAULT_LATENCY_BUCKETS = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+#: Size buckets — batch sizes, queue depths, script counts.
+DEFAULT_SIZE_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_labels(labels: dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{key}="{_escape_label_value(str(value))}"' for key, value in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if value == int(value):
+        return str(int(value))
+    return repr(value)
+
+
+class Counter:
+    """Monotonically increasing value; ``inc`` by non-negative amounts."""
+
+    def __init__(self) -> None:
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters can only increase")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """Instantaneous value that can move in either direction."""
+
+    def __init__(self) -> None:
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Histogram:
+    """Fixed-bucket histogram with Prometheus cumulative semantics."""
+
+    def __init__(self, buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS) -> None:
+        if not buckets:
+            raise ValueError("histogram needs at least one bucket bound")
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if len(set(bounds)) != len(bounds):
+            raise ValueError("duplicate histogram bucket bounds")
+        self.bounds = bounds
+        self._counts = [0] * len(bounds)  # per-bucket (non-cumulative) counts
+        self._overflow = 0  # observations above the largest bound (+Inf bucket)
+        self._sum = 0.0
+        self._count = 0
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            index = bisect_left(self.bounds, value)
+            if index < len(self.bounds):
+                self._counts[index] += 1
+            else:
+                self._overflow += 1
+            self._sum += value
+            self._count += 1
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    def cumulative_buckets(self) -> list[tuple[float, int]]:
+        """``(upper_bound, cumulative_count)`` pairs ending with ``+Inf``."""
+        with self._lock:
+            out = []
+            running = 0
+            for bound, count in zip(self.bounds, self._counts):
+                running += count
+                out.append((bound, running))
+            out.append((float("inf"), running + self._overflow))
+            return out
+
+
+class _Family:
+    """One metric name: shared type/help, one child per label-set."""
+
+    def __init__(self, name: str, kind: str, help_text: str):
+        self.name = name
+        self.kind = kind
+        self.help = help_text
+        self.children: dict[tuple[tuple[str, str], ...], tuple[dict[str, str], object]] = {}
+
+
+class MetricsRegistry:
+    """Owns metric families; hands out children; renders exposition text."""
+
+    CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+    def __init__(self) -> None:
+        self._families: dict[str, _Family] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------- creation
+
+    def counter(self, name: str, help: str = "", labels: dict[str, str] | None = None) -> Counter:
+        return self._child(name, "counter", help, labels, Counter)
+
+    def gauge(self, name: str, help: str = "", labels: dict[str, str] | None = None) -> Gauge:
+        return self._child(name, "gauge", help, labels, Gauge)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labels: dict[str, str] | None = None,
+        buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS,
+    ) -> Histogram:
+        return self._child(name, "histogram", help, labels, lambda: Histogram(buckets))
+
+    def _child(self, name, kind, help_text, labels, factory):
+        labels = dict(labels or {})
+        key = tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = _Family(name, kind, help_text)
+                self._families[name] = family
+            elif family.kind != kind:
+                raise ValueError(
+                    f"metric {name!r} already registered as {family.kind}, not {kind}"
+                )
+            if key not in family.children:
+                family.children[key] = (labels, factory())
+            return family.children[key][1]
+
+    # -------------------------------------------------------------- queries
+
+    def get(self, name: str, labels: dict[str, str] | None = None):
+        """The registered child, or ``None`` — for tests and introspection."""
+        labels = dict(labels or {})
+        key = tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+        with self._lock:
+            family = self._families.get(name)
+            if family is None or key not in family.children:
+                return None
+            return family.children[key][1]
+
+    # ------------------------------------------------------------ rendering
+
+    def render(self) -> str:
+        """The full registry in Prometheus text exposition format."""
+        with self._lock:
+            families = sorted(self._families.values(), key=lambda f: f.name)
+        lines: list[str] = []
+        for family in families:
+            if family.help:
+                lines.append(f"# HELP {family.name} {family.help}")
+            lines.append(f"# TYPE {family.name} {family.kind}")
+            for labels, child in family.children.values():
+                if family.kind == "histogram":
+                    for bound, cumulative in child.cumulative_buckets():
+                        bucket_labels = dict(labels)
+                        bucket_labels["le"] = _format_value(bound)
+                        lines.append(
+                            f"{family.name}_bucket{_format_labels(bucket_labels)} {cumulative}"
+                        )
+                    lines.append(
+                        f"{family.name}_sum{_format_labels(labels)} {_format_value(child.sum)}"
+                    )
+                    lines.append(f"{family.name}_count{_format_labels(labels)} {child.count}")
+                else:
+                    lines.append(
+                        f"{family.name}{_format_labels(labels)} {_format_value(child.value)}"
+                    )
+        return "\n".join(lines) + "\n"

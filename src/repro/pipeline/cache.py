@@ -27,7 +27,12 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
 
+from typing import TYPE_CHECKING
+
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs import MetricsRegistry
 
 
 def content_key(source: str) -> str:
@@ -53,6 +58,10 @@ class FeatureCache:
         max_entries: In-memory LRU capacity.
         cache_dir: Optional persistent layer root.  Layout is
             ``cache_dir/<fingerprint16>/<content_key>.npz``.
+        metrics: Optional :class:`~repro.obs.MetricsRegistry`; when given,
+            lookups and LRU evictions are mirrored into
+            ``repro_cache_lookups_total{result=hit|miss}`` and
+            ``repro_cache_evictions_total``.
     """
 
     def __init__(
@@ -60,6 +69,7 @@ class FeatureCache:
         model_fingerprint: str,
         max_entries: int = 4096,
         cache_dir: str | Path | None = None,
+        metrics: "MetricsRegistry | None" = None,
     ):
         if max_entries < 1:
             raise ValueError("max_entries must be positive")
@@ -75,6 +85,18 @@ class FeatureCache:
         self.hits = 0
         self.misses = 0
         self.disk_hits = 0
+        self.evictions = 0
+        self._m_hits = self._m_misses = self._m_evictions = None
+        if metrics is not None:
+            self._m_hits = metrics.counter(
+                "repro_cache_lookups_total", "Embedding-cache lookups", labels={"result": "hit"}
+            )
+            self._m_misses = metrics.counter(
+                "repro_cache_lookups_total", "Embedding-cache lookups", labels={"result": "miss"}
+            )
+            self._m_evictions = metrics.counter(
+                "repro_cache_evictions_total", "In-memory LRU evictions"
+            )
 
     def __len__(self) -> int:
         return len(self._memory)
@@ -85,16 +107,23 @@ class FeatureCache:
         entry = self._memory.get(key)
         if entry is not None:
             self._memory.move_to_end(key)
-            self.hits += 1
+            self._record_hit()
             return entry
         entry = self._disk_get(key)
         if entry is not None:
             self._remember(key, entry)
-            self.hits += 1
+            self._record_hit()
             self.disk_hits += 1
             return entry
         self.misses += 1
+        if self._m_misses is not None:
+            self._m_misses.inc()
         return None
+
+    def _record_hit(self) -> None:
+        self.hits += 1
+        if self._m_hits is not None:
+            self._m_hits.inc()
 
     def put(self, key: str, entry: CacheEntry) -> None:
         self._remember(key, entry)
@@ -105,6 +134,9 @@ class FeatureCache:
         self._memory.move_to_end(key)
         while len(self._memory) > self.max_entries:
             self._memory.popitem(last=False)
+            self.evictions += 1
+            if self._m_evictions is not None:
+                self._m_evictions.inc()
 
     # ----------------------------------------------------------------- disk
 
@@ -160,5 +192,6 @@ class FeatureCache:
             "hits": self.hits,
             "misses": self.misses,
             "disk_hits": self.disk_hits,
+            "evictions": self.evictions,
             "entries": len(self._memory),
         }

@@ -64,6 +64,11 @@ class ScanReport:
     stage_ms: dict[str, float] = field(default_factory=dict)
     cache_hits: int = 0
     cache_misses: int = 0
+    #: Lifetime counters of the backing :class:`FeatureCache`
+    #: (hits/misses/disk_hits/evictions/entries) at report time; ``None``
+    #: when the scan ran uncached.  Unlike ``cache_hits``/``cache_misses``
+    #: (this batch only), these accumulate across every scan the cache served.
+    cache_stats: dict[str, int] | None = None
     model_fingerprint: str | None = None
     #: Full class-probability matrix, kept for ``predict_proba`` parity;
     #: not serialized (per-file ``probability`` covers the JSON surface).
@@ -100,6 +105,7 @@ class ScanReport:
             "stage_ms": dict(self.stage_ms),
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
+            "cache_stats": dict(self.cache_stats) if self.cache_stats is not None else None,
             "model_fingerprint": self.model_fingerprint,
             "results": [r.to_dict() for r in self.results],
         }
@@ -118,6 +124,7 @@ class ScanReport:
             stage_ms=dict(data.get("stage_ms", {})),
             cache_hits=data.get("cache_hits", 0),
             cache_misses=data.get("cache_misses", 0),
+            cache_stats=data.get("cache_stats"),
             model_fingerprint=data.get("model_fingerprint"),
         )
 
@@ -135,7 +142,15 @@ class ScanReport:
             f"({per_file:.1f} ms/file, workers={self.workers_used})"
         ]
         if self.cache_hits or self.cache_misses:
-            parts.append(f"cache {self.cache_hits} hits / {self.cache_misses} misses")
+            line = f"cache {self.cache_hits} hits / {self.cache_misses} misses"
+            if self.cache_stats is not None:
+                line += (
+                    f" (lifetime {self.cache_stats.get('hits', 0)}h/"
+                    f"{self.cache_stats.get('misses', 0)}m, "
+                    f"{self.cache_stats.get('evictions', 0)} evictions, "
+                    f"{self.cache_stats.get('entries', 0)} entries)"
+                )
+            parts.append(line)
         stages = ", ".join(
             f"{key}={self.stage_ms[key]:.0f}ms" for key in STAGE_KEYS if key in self.stage_ms
         )

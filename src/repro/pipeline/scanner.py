@@ -34,10 +34,11 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from .cache import CacheEntry, FeatureCache, content_key
-from .results import ScanReport, ScanResult
+from .results import STAGE_KEYS, ScanReport, ScanResult
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.detector import JSRevealer
+    from repro.obs import MetricsRegistry
 
 # ------------------------------------------------------------------ workers
 #
@@ -96,6 +97,15 @@ class BatchScanner:
             :meth:`JSRevealer.scan_batch` does this automatically.
         queue_depth: Bound on in-flight pool tasks (default
             ``4 × n_workers``).
+        persistent: Keep the worker pool alive across :meth:`scan` calls.
+            One-shot callers amortize pool startup over a single large
+            batch, but a long-lived daemon scanning many micro-batches
+            would otherwise pay fork + model-transfer on every flush.
+            Call :meth:`close` (or use the scanner as a context manager)
+            when done; a broken pool is discarded and rebuilt lazily.
+        metrics: Optional :class:`~repro.obs.MetricsRegistry`; when given,
+            each scan records batch size, script count, and per-stage
+            latency histograms.
     """
 
     def __init__(
@@ -104,6 +114,8 @@ class BatchScanner:
         n_workers: int = 1,
         cache: FeatureCache | None = None,
         queue_depth: int | None = None,
+        persistent: bool = False,
+        metrics: "MetricsRegistry | None" = None,
     ):
         if n_workers < 1:
             raise ValueError("n_workers must be positive")
@@ -111,6 +123,45 @@ class BatchScanner:
         self.n_workers = n_workers
         self.cache = cache
         self.queue_depth = queue_depth if queue_depth is not None else max(4 * n_workers, 8)
+        self.persistent = persistent
+        self._pool = None
+        self.metrics = metrics
+        if metrics is not None:
+            from repro.obs.metrics import DEFAULT_SIZE_BUCKETS
+
+            self._m_batches = metrics.counter(
+                "repro_scan_batches_total", "Batches dispatched through BatchScanner.scan"
+            )
+            self._m_scripts = metrics.counter(
+                "repro_scan_scripts_total", "Scripts scanned across all batches"
+            )
+            self._m_batch_size = metrics.histogram(
+                "repro_scan_batch_size", "Scripts per dispatched batch", buckets=DEFAULT_SIZE_BUCKETS
+            )
+            self._m_stage = {
+                stage: metrics.histogram(
+                    "repro_scan_stage_seconds",
+                    "Per-batch wall-clock cost of each pipeline stage",
+                    labels={"stage": stage},
+                )
+                for stage in STAGE_KEYS
+            }
+
+    # -------------------------------------------------------------- lifecycle
+
+    def close(self) -> None:
+        """Tear down the persistent worker pool, if one is running."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "BatchScanner":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
 
     # ------------------------------------------------------------------ scan
 
@@ -209,7 +260,7 @@ class BatchScanner:
             "feature_transform": transform_ms,
             "classifying": classify_ms,
         }
-        return ScanReport(
+        report = ScanReport(
             results=results,
             threshold=threshold,
             n_workers=self.n_workers,
@@ -218,9 +269,17 @@ class BatchScanner:
             stage_ms={k: round(v, 3) for k, v in stage_totals.items()},
             cache_hits=sum(hit_flags),
             cache_misses=n - sum(hit_flags),
+            cache_stats=self.cache.stats() if self.cache is not None else None,
             model_fingerprint=detector.fingerprint(),
             probability_matrix=proba_matrix,
         )
+        if self.metrics is not None:
+            self._m_batches.inc()
+            self._m_scripts.inc(n)
+            self._m_batch_size.observe(n)
+            for stage, ms in stage_totals.items():
+                self._m_stage[stage].observe(ms / 1000.0)
+        return report
 
     # ------------------------------------------------------------ embedding
 
@@ -234,13 +293,7 @@ class BatchScanner:
         file_ms["embedding"] = 1000.0 * (time.perf_counter() - started)
         return CacheEntry(vectors=vectors, weights=weights, path_count=len(contexts))
 
-    def _embed_parallel(
-        self,
-        pending: list[int],
-        sources: list[str],
-        entries: list[CacheEntry | None],
-        per_file_ms: list[dict[str, float]],
-    ) -> None:
+    def _create_pool(self):
         detector = self.detector
         config = detector.config
         parameters = {
@@ -253,34 +306,65 @@ class BatchScanner:
             "use_dataflow": config.use_dataflow,
         }
         context = multiprocessing.get_context()
-        with context.Pool(
+        return context.Pool(
             processes=self.n_workers,
             initializer=_init_worker,
             initargs=(extractor_kwargs, detector.embedder.model.embed_dim, parameters, config.max_paths_per_script),
-        ) as pool:
-            todo = iter(pending)
-            in_flight: deque = deque()
+        )
 
-            def submit() -> bool:
-                position = next(todo, None)
-                if position is None:
-                    return False
-                in_flight.append((position, pool.apply_async(_embed_source, (sources[position],))))
-                return True
+    def _embed_parallel(
+        self,
+        pending: list[int],
+        sources: list[str],
+        entries: list[CacheEntry | None],
+        per_file_ms: list[dict[str, float]],
+    ) -> None:
+        if self.persistent:
+            if self._pool is None:
+                self._pool = self._create_pool()
+            try:
+                self._drive_pool(self._pool, pending, sources, entries, per_file_ms)
+            except Exception:
+                # A broken persistent pool would poison every later scan;
+                # drop it so the next parallel scan rebuilds from scratch.
+                self.close()
+                raise
+        else:
+            with self._create_pool() as pool:
+                self._drive_pool(pool, pending, sources, entries, per_file_ms)
 
-            for _ in range(self.queue_depth):
-                if not submit():
-                    break
-            while in_flight:
-                position, handle = in_flight.popleft()
-                vectors, weights, path_count, extract_ms, embed_ms = handle.get()
-                entries[position] = CacheEntry(vectors=vectors, weights=weights, path_count=path_count)
-                per_file_ms[position]["path_extraction"] = extract_ms
-                per_file_ms[position]["embedding"] = embed_ms
-                # Worker CPU time still lands in the detector's Table VIII
-                # accounting, even though wall-clock overlaps under the pool.
-                detector.stage_seconds["path_extraction"] += extract_ms / 1000.0
-                detector.stage_counts["path_extraction"] += 1
-                detector.stage_seconds["embedding"] += embed_ms / 1000.0
-                detector.stage_counts["embedding"] += 1
-                submit()
+    def _drive_pool(
+        self,
+        pool,
+        pending: list[int],
+        sources: list[str],
+        entries: list[CacheEntry | None],
+        per_file_ms: list[dict[str, float]],
+    ) -> None:
+        detector = self.detector
+        todo = iter(pending)
+        in_flight: deque = deque()
+
+        def submit() -> bool:
+            position = next(todo, None)
+            if position is None:
+                return False
+            in_flight.append((position, pool.apply_async(_embed_source, (sources[position],))))
+            return True
+
+        for _ in range(self.queue_depth):
+            if not submit():
+                break
+        while in_flight:
+            position, handle = in_flight.popleft()
+            vectors, weights, path_count, extract_ms, embed_ms = handle.get()
+            entries[position] = CacheEntry(vectors=vectors, weights=weights, path_count=path_count)
+            per_file_ms[position]["path_extraction"] = extract_ms
+            per_file_ms[position]["embedding"] = embed_ms
+            # Worker CPU time still lands in the detector's Table VIII
+            # accounting, even though wall-clock overlaps under the pool.
+            detector.stage_seconds["path_extraction"] += extract_ms / 1000.0
+            detector.stage_counts["path_extraction"] += 1
+            detector.stage_seconds["embedding"] += embed_ms / 1000.0
+            detector.stage_counts["embedding"] += 1
+            submit()

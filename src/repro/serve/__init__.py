@@ -1,0 +1,34 @@
+"""Serving layer: asyncio scan daemon with micro-batching + backpressure.
+
+Public surface::
+
+    from repro.serve import ScanServer, ServeConfig, run_server, BackgroundServer
+
+    # blocking daemon (the `repro serve` CLI command):
+    run_server(load_detector("model"), ServeConfig(port=8077, max_batch=8))
+
+    # embedded (tests / benches / notebooks):
+    with BackgroundServer(detector, ServeConfig(port=0)) as server:
+        ...POST to server.url...
+
+See :mod:`repro.serve.app` for endpoint and backpressure semantics,
+:mod:`repro.serve.batching` for the micro-batching queue, and
+:mod:`repro.serve.loadgen` for the stdlib load generator.
+"""
+
+from .app import BackgroundServer, ScanServer, ServeConfig, run_server
+from .batching import Draining, MicroBatcher, QueueFull
+from .loadgen import LoadReport, LoadResult, run_load
+
+__all__ = [
+    "BackgroundServer",
+    "Draining",
+    "LoadReport",
+    "LoadResult",
+    "MicroBatcher",
+    "QueueFull",
+    "ScanServer",
+    "ServeConfig",
+    "run_server",
+    "run_load",
+]

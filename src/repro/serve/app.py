@@ -1,0 +1,480 @@
+"""The scan daemon: model loaded once, shared by every connection.
+
+``ScanServer`` glues the pieces together: hand-rolled HTTP/1.1 framing
+(:mod:`repro.serve.http`), the micro-batching queue
+(:mod:`repro.serve.batching`), the existing
+:class:`~repro.pipeline.BatchScanner` + :class:`~repro.pipeline.FeatureCache`
+(one of each, shared by all clients), and the
+:class:`~repro.obs.MetricsRegistry` observability layer.
+
+Endpoints::
+
+    POST /scan        {"source": str, "name"?: str, "threshold"?: float}
+                      → 200 ScanResult object (+ model_fingerprint)
+    POST /scan/batch  {"scripts": [{"source": str, "name"?: str} | str, ...],
+                       "threshold"?: float}
+                      → 200 {"results": [...], "n_files", "n_malicious", ...}
+    GET  /healthz     → 200 {"status": "ok", ...}
+    GET  /version     → 200 {"service", "version", "model_fingerprint", ...}
+    GET  /metrics     → 200 Prometheus text exposition
+
+Failure semantics (the backpressure contract):
+
+* malformed body / missing fields → **400** with ``{"error": {...}}``,
+* queue at ``queue_limit`` → **429** with a ``Retry-After`` header,
+* request older than ``request_timeout_s`` or server draining → **503**,
+* SIGTERM/SIGINT → stop accepting, answer everything admitted, exit 0.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import signal
+import sys
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.obs import MetricsRegistry
+from repro.pipeline import BatchScanner, FeatureCache
+
+from .batching import Draining, MicroBatcher, QueueFull
+from .http import (
+    ProtocolError,
+    Request,
+    error_response,
+    json_response,
+    read_request,
+    render_response,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.detector import JSRevealer
+
+
+@dataclass
+class ServeConfig:
+    """Daemon knobs; mirrors the ``repro serve`` CLI flags."""
+
+    host: str = "127.0.0.1"
+    port: int = 8077  # 0 = ephemeral (tests/benches read .bound_port)
+    n_workers: int = 1  # BatchScanner pool size; 1 = in-process sequential
+    max_batch: int = 8
+    max_wait_ms: float = 25.0
+    queue_limit: int = 64
+    cache_dir: str | None = None
+    cache_entries: int = 4096
+    threshold: float = 0.5  # default verdict threshold
+    request_timeout_s: float = 30.0
+    retry_after_s: int = 1  # advertised on 429
+
+    def validate(self) -> None:
+        if self.n_workers < 1:
+            raise ValueError("n_workers must be positive")
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be positive")
+        if self.queue_limit < 1:
+            raise ValueError("queue_limit must be positive")
+        if self.request_timeout_s <= 0:
+            raise ValueError("request_timeout_s must be positive")
+
+
+class ScanServer:
+    """One loaded model behind an asyncio HTTP endpoint."""
+
+    def __init__(
+        self,
+        detector: "JSRevealer",
+        config: ServeConfig | None = None,
+        metrics: MetricsRegistry | None = None,
+    ):
+        self.config = config or ServeConfig()
+        self.config.validate()
+        self.detector = detector
+        self.metrics = metrics or MetricsRegistry()
+        self.fingerprint = detector.fingerprint()
+
+        self.cache = FeatureCache(
+            self.fingerprint,
+            max_entries=self.config.cache_entries,
+            cache_dir=self.config.cache_dir,
+            metrics=self.metrics,
+        )
+        # One scanner, one executor thread: scans serialize behind the
+        # batcher, so the scanner (and its persistent pool, when workers
+        # are enabled) is never entered concurrently.
+        self.scanner = BatchScanner(
+            detector,
+            n_workers=self.config.n_workers,
+            cache=self.cache,
+            persistent=self.config.n_workers > 1,
+            metrics=self.metrics,
+        )
+        self._executor = ThreadPoolExecutor(max_workers=1, thread_name_prefix="repro-scan")
+        self.batcher = MicroBatcher(
+            self._scan_batch,
+            executor=self._executor,
+            max_batch=self.config.max_batch,
+            max_wait_ms=self.config.max_wait_ms,
+            queue_limit=self.config.queue_limit,
+            metrics=self.metrics,
+        )
+        self._server: asyncio.AbstractServer | None = None
+        self.bound_port: int | None = None
+        self.started_at = time.time()
+
+        self._m_requests: dict[tuple[str, str, int], object] = {}
+        self._m_latency = self.metrics.histogram(
+            "repro_http_request_seconds", "Wall-clock per HTTP request"
+        )
+
+    # The executor-side entry point; wrapped so tests/benches can stub it.
+    def _scan_batch(self, sources: list[str], names: list[str]):
+        return self.scanner.scan(sources, names=names, threshold=self.config.threshold)
+
+    # ------------------------------------------------------------- lifecycle
+
+    async def start(self) -> None:
+        self.batcher.start()
+        self._server = await asyncio.start_server(
+            self._on_connection, host=self.config.host, port=self.config.port
+        )
+        self.bound_port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self, drain: bool = True) -> None:
+        """Stop accepting, optionally answer all admitted work, tear down."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if drain:
+            await self.batcher.drain()
+        self.scanner.close()
+        self._executor.shutdown(wait=True)
+
+    async def run_until_signaled(self, signals=(signal.SIGTERM, signal.SIGINT)) -> None:
+        """Serve until SIGTERM/SIGINT, then drain in-flight work and return."""
+        loop = asyncio.get_running_loop()
+        stop_event = asyncio.Event()
+        for signum in signals:
+            loop.add_signal_handler(signum, stop_event.set)
+        try:
+            await self.start()
+            print(
+                f"repro.serve listening on http://{self.config.host}:{self.bound_port} "
+                f"(workers={self.config.n_workers}, max_batch={self.config.max_batch}, "
+                f"max_wait_ms={self.config.max_wait_ms:g}, queue_limit={self.config.queue_limit})",
+                file=sys.stderr,
+                flush=True,
+            )
+            await stop_event.wait()
+            print("repro.serve draining…", file=sys.stderr, flush=True)
+        finally:
+            for signum in signals:
+                loop.remove_signal_handler(signum)
+            await self.stop(drain=True)
+
+    # ----------------------------------------------------------- connections
+
+    async def _on_connection(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                try:
+                    request = await read_request(reader)
+                except ProtocolError as error:
+                    writer.write(error_response(error.status, error.message, keep_alive=False))
+                    await writer.drain()
+                    break
+                except (asyncio.IncompleteReadError, ConnectionError):
+                    break
+                if request is None:
+                    break
+                started = time.perf_counter()
+                response, keep_alive = await self._route(request)
+                self._m_latency.observe(time.perf_counter() - started)
+                writer.write(response)
+                await writer.drain()
+                if not keep_alive or not request.keep_alive:
+                    break
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            with contextlib.suppress(Exception):
+                writer.close()
+                await writer.wait_closed()
+
+    def _count_request(self, method: str, path: str, status: int) -> None:
+        key = (method, path, status)
+        counter = self._m_requests.get(key)
+        if counter is None:
+            counter = self.metrics.counter(
+                "repro_http_requests_total",
+                "HTTP requests by method, path, and status",
+                labels={"method": method, "path": path, "status": str(status)},
+            )
+            self._m_requests[key] = counter
+        counter.inc()
+
+    # --------------------------------------------------------------- routing
+
+    async def _route(self, request: Request) -> tuple[bytes, bool]:
+        """Dispatch one request; returns ``(response_bytes, keep_alive)``."""
+        handlers = {
+            ("GET", "/healthz"): self._handle_healthz,
+            ("GET", "/version"): self._handle_version,
+            ("GET", "/metrics"): self._handle_metrics,
+            ("POST", "/scan"): self._handle_scan,
+            ("POST", "/scan/batch"): self._handle_scan_batch,
+        }
+        handler = handlers.get((request.method, request.path))
+        known_path = any(path == request.path for _, path in handlers)
+        try:
+            if handler is None:
+                status = 405 if known_path else 404
+                response = error_response(
+                    status,
+                    f"no route for {request.method} {request.path}",
+                    extra_headers={"Allow": "GET, POST"} if known_path else None,
+                )
+            else:
+                status, response = await handler(request)
+        except ProtocolError as error:
+            status, response = error.status, error_response(error.status, error.message)
+        except Exception as error:  # a handler bug must not kill the connection loop
+            status = 500
+            response = error_response(500, f"internal error: {type(error).__name__}: {error}")
+        self._count_request(request.method, request.path, status)
+        return response, status < 500 or status == 503
+
+    # -------------------------------------------------------------- handlers
+
+    async def _handle_healthz(self, request: Request) -> tuple[int, bytes]:
+        payload = {
+            "status": "ok",
+            "model_fingerprint": self.fingerprint,
+            "queue_depth": self.batcher.queue_depth,
+            "uptime_s": round(time.time() - self.started_at, 3),
+        }
+        return 200, json_response(200, payload)
+
+    async def _handle_version(self, request: Request) -> tuple[int, bytes]:
+        from repro import __version__
+
+        payload = {
+            "service": "repro.serve",
+            "version": __version__,
+            "model_fingerprint": self.fingerprint,
+            "config": {
+                "n_workers": self.config.n_workers,
+                "max_batch": self.config.max_batch,
+                "max_wait_ms": self.config.max_wait_ms,
+                "queue_limit": self.config.queue_limit,
+                "threshold": self.config.threshold,
+            },
+        }
+        return 200, json_response(200, payload)
+
+    async def _handle_metrics(self, request: Request) -> tuple[int, bytes]:
+        body = self.metrics.render().encode("utf-8")
+        return 200, render_response(200, body, content_type=MetricsRegistry.CONTENT_TYPE)
+
+    def _parse_threshold(self, payload: dict) -> float:
+        threshold = payload.get("threshold", self.config.threshold)
+        if not isinstance(threshold, (int, float)) or isinstance(threshold, bool):
+            raise ProtocolError(400, "threshold must be a number")
+        return float(threshold)
+
+    @staticmethod
+    def _result_payload(result, threshold: float) -> dict:
+        out = result.to_dict()
+        # Per-request thresholds re-derive the verdict from the probability;
+        # the classifier label and probability themselves never change.
+        out["malicious"] = bool(result.probability >= threshold)
+        out["verdict"] = "malicious" if out["malicious"] else "benign"
+        return out
+
+    async def _submit(self, source: str, name: str) -> asyncio.Future:
+        try:
+            return self.batcher.submit(source, name)
+        except QueueFull as error:
+            raise _Reply(
+                429,
+                error_response(
+                    429, str(error), extra_headers={"Retry-After": str(self.config.retry_after_s)}
+                ),
+            ) from error
+        except Draining as error:
+            raise _Reply(503, error_response(503, "server is draining", keep_alive=False)) from error
+
+    async def _handle_scan(self, request: Request) -> tuple[int, bytes]:
+        payload = request.json()
+        if not isinstance(payload, dict):
+            raise ProtocolError(400, "request body must be a JSON object")
+        source = payload.get("source")
+        if not isinstance(source, str):
+            raise ProtocolError(400, 'missing or non-string "source" field')
+        name = payload.get("name", "<request>")
+        if not isinstance(name, str):
+            raise ProtocolError(400, '"name" must be a string')
+        threshold = self._parse_threshold(payload)
+
+        try:
+            future = await self._submit(source, name)
+        except _Reply as reply:
+            return reply.status, reply.response
+        try:
+            result, report = await asyncio.wait_for(future, self.config.request_timeout_s)
+        except asyncio.TimeoutError:
+            return 503, error_response(
+                503,
+                f"scan did not complete within {self.config.request_timeout_s:g}s",
+                extra_headers={"Retry-After": str(self.config.retry_after_s)},
+            )
+        body = self._result_payload(result, threshold)
+        body["threshold"] = threshold
+        body["model_fingerprint"] = report.model_fingerprint
+        return 200, json_response(200, body)
+
+    async def _handle_scan_batch(self, request: Request) -> tuple[int, bytes]:
+        payload = request.json()
+        if not isinstance(payload, dict):
+            raise ProtocolError(400, "request body must be a JSON object")
+        scripts = payload.get("scripts")
+        if not isinstance(scripts, list) or not scripts:
+            raise ProtocolError(400, '"scripts" must be a non-empty array')
+        threshold = self._parse_threshold(payload)
+
+        sources: list[str] = []
+        names: list[str] = []
+        for index, entry in enumerate(scripts):
+            if isinstance(entry, str):
+                source, name = entry, f"<batch:{index}>"
+            elif isinstance(entry, dict) and isinstance(entry.get("source"), str):
+                source = entry["source"]
+                name = entry.get("name", f"<batch:{index}>")
+                if not isinstance(name, str):
+                    raise ProtocolError(400, f'scripts[{index}].name must be a string')
+            else:
+                raise ProtocolError(
+                    400, f'scripts[{index}] must be a string or an object with a "source" string'
+                )
+            sources.append(source)
+            names.append(name)
+
+        futures: list[asyncio.Future] = []
+        try:
+            for source, name in zip(sources, names):
+                futures.append(await self._submit(source, name))
+        except _Reply as reply:
+            for future in futures:  # abandon what we already queued
+                future.cancel()
+            return reply.status, reply.response
+        try:
+            resolved = await asyncio.wait_for(
+                asyncio.gather(*futures), self.config.request_timeout_s
+            )
+        except asyncio.TimeoutError:
+            for future in futures:
+                future.cancel()
+            return 503, error_response(
+                503,
+                f"batch did not complete within {self.config.request_timeout_s:g}s",
+                extra_headers={"Retry-After": str(self.config.retry_after_s)},
+            )
+        results = [self._result_payload(result, threshold) for result, _ in resolved]
+        body = {
+            "n_files": len(results),
+            "n_malicious": sum(1 for r in results if r["malicious"]),
+            "threshold": threshold,
+            "model_fingerprint": self.fingerprint,
+            "results": results,
+        }
+        return 200, json_response(200, body)
+
+
+class _Reply(Exception):
+    """Internal control flow: a fully rendered early response."""
+
+    def __init__(self, status: int, response: bytes):
+        super().__init__(status)
+        self.status = status
+        self.response = response
+
+
+def run_server(detector: "JSRevealer", config: ServeConfig | None = None) -> int:
+    """Blocking entry point used by ``repro serve``; returns the exit code."""
+    server = ScanServer(detector, config)
+    try:
+        asyncio.run(server.run_until_signaled())
+    except KeyboardInterrupt:  # signal handler not installable (rare)
+        return 0
+    return 0
+
+
+class BackgroundServer:
+    """A ScanServer on a daemon thread — tests, benches, and notebooks.
+
+    Usage::
+
+        with BackgroundServer(detector, ServeConfig(port=0)) as server:
+            http.client.HTTPConnection(server.host, server.port)…
+    """
+
+    def __init__(self, detector: "JSRevealer", config: ServeConfig | None = None):
+        self.config = config or ServeConfig(port=0)
+        self.detector = detector
+        self.server: ScanServer | None = None
+        self.port: int | None = None
+        self._ready = threading.Event()
+        self._startup_error: BaseException | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop_event: asyncio.Event | None = None
+        self._thread: threading.Thread | None = None
+
+    @property
+    def host(self) -> str:
+        return self.config.host
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def __enter__(self) -> "BackgroundServer":
+        self._thread = threading.Thread(target=self._thread_main, daemon=True)
+        self._thread.start()
+        if not self._ready.wait(timeout=30):
+            raise RuntimeError("background server failed to start in time")
+        if self._startup_error is not None:
+            raise RuntimeError("background server failed to start") from self._startup_error
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.stop()
+        return False
+
+    def stop(self) -> None:
+        if self._loop is not None and self._stop_event is not None:
+            self._loop.call_soon_threadsafe(self._stop_event.set)
+        if self._thread is not None:
+            self._thread.join(timeout=30)
+            self._thread = None
+
+    def _thread_main(self) -> None:
+        try:
+            asyncio.run(self._amain())
+        except BaseException as error:  # surface startup failures to __enter__
+            self._startup_error = error
+            self._ready.set()
+
+    async def _amain(self) -> None:
+        self.server = ScanServer(self.detector, self.config)
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        await self.server.start()
+        self.port = self.server.bound_port
+        self._ready.set()
+        await self._stop_event.wait()
+        await self.server.stop(drain=True)

@@ -1,0 +1,177 @@
+"""Minimal HTTP/1.1 framing over asyncio streams.
+
+The daemon serves a handful of JSON endpoints to trusted infrastructure
+(load balancers, batch submitters, Prometheus scrapers), so it needs
+request parsing and response rendering — not a framework.  This module
+implements exactly that slice of RFC 9112:
+
+* request line + headers + ``Content-Length`` bodies (no chunked encoding
+  — every client we ship sends sized bodies),
+* hard limits on header block and body size (oversized input is a
+  protocol error, not an allocation),
+* keep-alive by default (HTTP/1.1 semantics), ``Connection: close``
+  honored in both directions,
+* JSON helpers that render consistent ``{"error": {...}}`` objects for
+  every failure status.
+
+Anything malformed raises :class:`ProtocolError`, which carries the HTTP
+status the connection handler should answer with before closing.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+
+#: Generous bound for the request line + all headers.
+MAX_HEADER_BYTES = 32 * 1024
+
+#: Scripts arrive inline in JSON bodies; 16 MiB clears any real-world
+#: script (the paper's corpus averages 62 KB) with a wide margin.
+MAX_BODY_BYTES = 16 * 1024 * 1024
+
+REASON_PHRASES = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Content Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class ProtocolError(Exception):
+    """Malformed or over-limit request; ``status`` is the HTTP answer."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str
+    headers: dict[str, str] = field(default_factory=dict)  # keys lower-cased
+    body: bytes = b""
+
+    @property
+    def keep_alive(self) -> bool:
+        return self.headers.get("connection", "").lower() != "close"
+
+    def json(self):
+        """Parse the body as JSON; :class:`ProtocolError` 400 on failure."""
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise ProtocolError(400, f"request body is not valid JSON: {error}") from error
+
+
+async def read_request(reader: asyncio.StreamReader) -> Request | None:
+    """Parse one request off the stream; ``None`` on clean EOF.
+
+    Raises :class:`ProtocolError` for malformed input and
+    ``asyncio.IncompleteReadError``/``ConnectionError`` for mid-request
+    disconnects (callers treat those as the peer going away).
+    """
+    try:
+        header_block = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as error:
+        if not error.partial:
+            return None  # clean EOF between requests
+        raise ProtocolError(400, "connection closed mid-headers") from error
+    except asyncio.LimitOverrunError as error:
+        raise ProtocolError(400, "header block exceeds limit") from error
+    if len(header_block) > MAX_HEADER_BYTES:
+        raise ProtocolError(400, "header block exceeds limit")
+
+    try:
+        head = header_block.decode("latin-1")
+    except UnicodeDecodeError as error:  # pragma: no cover - latin-1 total
+        raise ProtocolError(400, "undecodable header block") from error
+    lines = head.split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise ProtocolError(400, f"malformed request line: {lines[0]!r}")
+    method, target, _version = parts
+
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep or not name.strip():
+            raise ProtocolError(400, f"malformed header line: {line!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    body = b""
+    if "content-length" in headers:
+        try:
+            length = int(headers["content-length"])
+        except ValueError as error:
+            raise ProtocolError(400, "malformed Content-Length") from error
+        if length < 0:
+            raise ProtocolError(400, "negative Content-Length")
+        if length > MAX_BODY_BYTES:
+            raise ProtocolError(413, f"body exceeds {MAX_BODY_BYTES} bytes")
+        body = await reader.readexactly(length)
+    elif headers.get("transfer-encoding"):
+        raise ProtocolError(400, "chunked transfer encoding is not supported")
+
+    # Strip any query string: the routing table is path-only.
+    path = target.split("?", 1)[0]
+    return Request(method=method, path=path, headers=headers, body=body)
+
+
+def render_response(
+    status: int,
+    body: bytes,
+    content_type: str = "application/json",
+    extra_headers: dict[str, str] | None = None,
+    keep_alive: bool = True,
+) -> bytes:
+    """Serialize one HTTP/1.1 response (with sized body) to bytes."""
+    reason = REASON_PHRASES.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {reason}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    for name, value in (extra_headers or {}).items():
+        lines.append(f"{name}: {value}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body
+
+
+def json_response(
+    status: int,
+    payload,
+    extra_headers: dict[str, str] | None = None,
+    keep_alive: bool = True,
+) -> bytes:
+    body = json.dumps(payload).encode("utf-8")
+    return render_response(status, body, extra_headers=extra_headers, keep_alive=keep_alive)
+
+
+def error_response(
+    status: int,
+    message: str,
+    extra_headers: dict[str, str] | None = None,
+    keep_alive: bool = True,
+) -> bytes:
+    """The uniform JSON error object every failure path returns."""
+    payload = {
+        "error": {
+            "status": status,
+            "reason": REASON_PHRASES.get(status, "Unknown"),
+            "message": message,
+        }
+    }
+    return json_response(status, payload, extra_headers=extra_headers, keep_alive=keep_alive)

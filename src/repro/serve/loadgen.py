@@ -1,0 +1,134 @@
+"""Stdlib load generator for the scan daemon.
+
+Drives ``POST /scan`` with N concurrent worker threads (each holding one
+keep-alive :class:`http.client.HTTPConnection`) and reports throughput and
+latency percentiles.  Used three ways:
+
+* the bench harness's micro-batching-vs-per-request comparison,
+* ad-hoc capacity checks against a running daemon,
+* correctness under concurrency (every response carries its verdict, so
+  callers can diff against one-shot scans).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class LoadResult:
+    """One request's outcome."""
+
+    name: str
+    status: int
+    latency_ms: float
+    verdict: str | None = None
+    label: int | None = None
+    probability: float | None = None
+
+
+@dataclass
+class LoadReport:
+    """Aggregate of one load-generation run."""
+
+    requests: int
+    errors: int
+    elapsed_s: float
+    concurrency: int
+    results: list[LoadResult] = field(repr=False, default_factory=list)
+
+    @property
+    def throughput_rps(self) -> float:
+        return self.requests / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+    def latency_ms(self, quantile: float) -> float:
+        """Latency at ``quantile`` (0–1) over successful requests."""
+        samples = sorted(r.latency_ms for r in self.results if r.status == 200)
+        if not samples:
+            return float("nan")
+        index = min(len(samples) - 1, max(0, round(quantile * (len(samples) - 1))))
+        return samples[index]
+
+    def summary(self) -> str:
+        return (
+            f"{self.requests} requests ({self.errors} errors) in {self.elapsed_s:.2f}s, "
+            f"{self.throughput_rps:.1f} req/s @ c={self.concurrency}; latency ms "
+            f"p50={self.latency_ms(0.50):.1f} p95={self.latency_ms(0.95):.1f} "
+            f"p99={self.latency_ms(0.99):.1f}"
+        )
+
+
+def run_load(
+    host: str,
+    port: int,
+    scripts: list[tuple[str, str]],
+    concurrency: int = 8,
+    repeats: int = 1,
+    timeout_s: float = 60.0,
+) -> LoadReport:
+    """POST each ``(name, source)`` ``repeats`` times from worker threads.
+
+    Work items are spread round-robin over ``concurrency`` threads; each
+    thread reuses one keep-alive connection (reopening on error).  429/503
+    responses count as errors in the report rather than raising, so
+    backpressure behavior is measurable, not fatal.
+    """
+    work: list[tuple[str, str]] = [item for _ in range(repeats) for item in scripts]
+    lanes: list[list[tuple[str, str]]] = [work[i::concurrency] for i in range(concurrency)]
+    collected: list[list[LoadResult]] = [[] for _ in range(concurrency)]
+    barrier = threading.Barrier(concurrency + 1)
+
+    def worker(lane: int) -> None:
+        connection = http.client.HTTPConnection(host, port, timeout=timeout_s)
+        barrier.wait()
+        for name, source in lanes[lane]:
+            body = json.dumps({"source": source, "name": name})
+            started = time.perf_counter()
+            try:
+                connection.request(
+                    "POST", "/scan", body=body, headers={"Content-Type": "application/json"}
+                )
+                response = connection.getresponse()
+                payload = response.read()
+                status = response.status
+            except (OSError, http.client.HTTPException):
+                connection.close()
+                connection = http.client.HTTPConnection(host, port, timeout=timeout_s)
+                collected[lane].append(
+                    LoadResult(name=name, status=0, latency_ms=1000.0 * (time.perf_counter() - started))
+                )
+                continue
+            latency_ms = 1000.0 * (time.perf_counter() - started)
+            result = LoadResult(name=name, status=status, latency_ms=latency_ms)
+            if status == 200:
+                try:
+                    data = json.loads(payload)
+                    result.verdict = data.get("verdict")
+                    result.label = data.get("label")
+                    result.probability = data.get("probability")
+                except (ValueError, AttributeError):
+                    result.status = 0
+            collected[lane].append(result)
+        connection.close()
+
+    threads = [threading.Thread(target=worker, args=(lane,), daemon=True) for lane in range(concurrency)]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    started = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - started
+
+    results = [result for lane in collected for result in lane]
+    return LoadReport(
+        requests=len(results),
+        errors=sum(1 for r in results if r.status != 200),
+        elapsed_s=elapsed,
+        concurrency=concurrency,
+        results=results,
+    )

@@ -227,6 +227,6 @@ class TestCLI:
     def test_scan_missing_input(self, tmp_path):
         from repro.cli import main
 
-        # Train is expensive; reuse by pointing at a missing dir instead.
-        with pytest.raises(FileNotFoundError):
-            main(["scan", "--model", str(tmp_path / "absent"), str(tmp_path)])
+        # Empty input directory and absent model both fall under the
+        # usage/IO leg of the exit-code contract: 2, not a traceback.
+        assert main(["scan", "--model", str(tmp_path / "absent"), str(tmp_path)]) == 2

@@ -1,0 +1,105 @@
+"""The ``repro scan`` exit-code contract and stdin composition.
+
+The contract (documented in the CLI epilog, grep-style):
+
+* 0 — scan completed, nothing malicious,
+* 1 — scan completed, at least one malicious verdict,
+* 2 — usage or I/O error (bad flags, no input, unreadable model).
+
+Deterministic 0/1 outcomes come from impossible thresholds: at
+``--threshold 1.1`` no probability qualifies; at ``--threshold 0.0``
+every probability does.
+"""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core import JSRevealer, JSRevealerConfig
+from repro.core.persistence import save_detector
+from repro.datasets import experiment_split
+
+
+@pytest.fixture(scope="module")
+def model_dir(tmp_path_factory):
+    split = experiment_split(seed=7, pretrain_per_class=6, train_per_class=12, test_per_class=2)
+    det = JSRevealer(JSRevealerConfig(embed_dim=16, pretrain_epochs=3, k_benign=4, k_malicious=4, seed=7))
+    det.pretrain(split.pretrain.sources, split.pretrain.labels)
+    det.fit(split.train.sources, split.train.labels)
+    out = tmp_path_factory.mktemp("model")
+    save_detector(det, str(out))
+    return str(out)
+
+
+@pytest.fixture(scope="module")
+def script_file(tmp_path_factory):
+    path = tmp_path_factory.mktemp("scripts") / "probe.js"
+    path.write_text("var total = 0; for (var i = 0; i < 4; i++) { total += i; } console.log(total);")
+    return str(path)
+
+
+class TestExitCodes:
+    def test_clean_scan_exits_0(self, model_dir, script_file, capsys):
+        assert main(["scan", "--model", model_dir, "--threshold", "1.1", script_file]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_malicious_found_exits_1(self, model_dir, script_file, capsys):
+        assert main(["scan", "--model", model_dir, "--threshold", "0.0", script_file]) == 1
+        assert "MALICIOUS" in capsys.readouterr().out
+
+    def test_bad_workers_exits_2(self, model_dir, script_file, capsys):
+        assert main(["scan", "--model", model_dir, "--workers", "0", script_file]) == 2
+        assert "--workers" in capsys.readouterr().err
+
+    def test_no_input_exits_2(self, model_dir, tmp_path, capsys):
+        assert main(["scan", "--model", model_dir, str(tmp_path / "ghost.js")]) == 2
+        assert "no input files" in capsys.readouterr().err
+
+    def test_unreadable_model_exits_2(self, tmp_path, script_file, capsys):
+        assert main(["scan", "--model", str(tmp_path / "no_model"), script_file]) == 2
+        assert "cannot load model" in capsys.readouterr().err
+
+    def test_input_check_precedes_model_load(self, tmp_path, capsys):
+        # No inputs fails fast — before the (expensive, possibly broken)
+        # model load is even attempted.
+        assert main(["scan", "--model", str(tmp_path / "no_model"), str(tmp_path / "ghost.js")]) == 2
+        assert "no input files" in capsys.readouterr().err
+
+
+class TestStdin:
+    def test_dash_reads_script_from_stdin(self, model_dir, monkeypatch, capsys):
+        monkeypatch.setattr("sys.stdin", io.StringIO("var x = 1; console.log(x);"))
+        code = main(["scan", "--model", model_dir, "--threshold", "1.1", "-"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "<stdin>" in captured.out
+
+    def test_stdin_combines_with_files(self, model_dir, script_file, monkeypatch, capsys):
+        monkeypatch.setattr("sys.stdin", io.StringIO("var y = 2;"))
+        code = main(
+            ["scan", "--model", model_dir, "--threshold", "1.1", "--format", "json", script_file, "-"]
+        )
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert [r["path"] for r in report["results"]] == [script_file, "<stdin>"]
+
+    def test_stdin_json_report_well_formed(self, model_dir, monkeypatch, capsys):
+        monkeypatch.setattr("sys.stdin", io.StringIO("function f() { return 42; } f();"))
+        code = main(["scan", "--model", model_dir, "--format", "json", "-"])
+        assert code in (0, 1)
+        report = json.loads(capsys.readouterr().out)
+        assert report["n_files"] == 1
+        assert report["results"][0]["path"] == "<stdin>"
+        assert 0.0 <= report["results"][0]["probability"] <= 1.0
+
+
+class TestServeUsageErrors:
+    def test_bad_serve_config_exits_2(self, model_dir, capsys):
+        assert main(["serve", "--model", model_dir, "--max-batch", "0"]) == 2
+        assert "max_batch" in capsys.readouterr().err
+
+    def test_serve_unreadable_model_exits_2(self, tmp_path, capsys):
+        assert main(["serve", "--model", str(tmp_path / "no_model"), "--port", "0"]) == 2
+        assert "cannot load model" in capsys.readouterr().err

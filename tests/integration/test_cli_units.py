@@ -51,6 +51,43 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_scan_accepts_stdin_dash(self):
+        args = build_parser().parse_args(["scan", "--model", "m", "-"])
+        assert args.paths == ["-"]
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve", "--model", "m"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8077
+        assert args.workers == 1
+        assert args.max_batch == 8
+        assert args.max_wait_ms == 25.0
+        assert args.queue_limit == 64
+        assert args.cache_dir is None
+        assert args.threshold == 0.5
+        assert args.request_timeout == 30.0
+
+    def test_serve_flags(self):
+        args = build_parser().parse_args(
+            ["serve", "--model", "m", "--host", "0.0.0.0", "--port", "0",
+             "--workers", "2", "--max-batch", "16", "--max-wait-ms", "5",
+             "--queue-limit", "128", "--cache-dir", "/tmp/c",
+             "--threshold", "0.7", "--request-timeout", "10"]
+        )
+        assert args.host == "0.0.0.0"
+        assert args.port == 0
+        assert args.workers == 2
+        assert args.max_batch == 16
+        assert args.max_wait_ms == 5.0
+        assert args.queue_limit == 128
+        assert args.cache_dir == "/tmp/c"
+        assert args.threshold == 0.7
+        assert args.request_timeout == 10.0
+
+    def test_serve_model_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve"])
+
 
 class TestCollectFiles:
     def test_directory_globs_js(self, tmp_path):

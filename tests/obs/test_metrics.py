@@ -1,0 +1,151 @@
+"""Unit tests for the metrics primitives and Prometheus exposition."""
+
+import threading
+
+import pytest
+
+from repro.obs import DEFAULT_SIZE_BUCKETS, Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        counter = Counter()
+        assert counter.value == 0.0
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter().inc(-1)
+
+    def test_thread_safety(self):
+        counter = Counter()
+
+        def hammer():
+            for _ in range(10_000):
+                counter.inc()
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.value == 40_000
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge()
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(2)
+        assert gauge.value == 13.0
+
+
+class TestHistogram:
+    def test_observations_land_in_buckets(self):
+        histogram = Histogram(buckets=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.5, 3.0, 100.0):
+            histogram.observe(value)
+        assert histogram.count == 4
+        assert histogram.sum == 105.0
+        cumulative = dict(histogram.cumulative_buckets())
+        assert cumulative[1.0] == 1
+        assert cumulative[2.0] == 2
+        assert cumulative[4.0] == 3
+        assert cumulative[float("inf")] == 4
+
+    def test_boundary_value_counts_in_its_bucket(self):
+        histogram = Histogram(buckets=(1.0, 2.0))
+        histogram.observe(1.0)  # le="1.0" includes exactly 1.0
+        assert dict(histogram.cumulative_buckets())[1.0] == 1
+
+    def test_rejects_empty_and_duplicate_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram(buckets=())
+        with pytest.raises(ValueError):
+            Histogram(buckets=(1.0, 1.0))
+
+
+class TestRegistry:
+    def test_same_name_and_labels_returns_same_child(self):
+        registry = MetricsRegistry()
+        a = registry.counter("x_total", labels={"k": "v"})
+        b = registry.counter("x_total", labels={"k": "v"})
+        assert a is b
+
+    def test_different_labels_different_children(self):
+        registry = MetricsRegistry()
+        a = registry.counter("x_total", labels={"k": "a"})
+        b = registry.counter("x_total", labels={"k": "b"})
+        assert a is not b
+
+    def test_kind_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total")
+        with pytest.raises(ValueError):
+            registry.gauge("x_total")
+
+    def test_get_lookup(self):
+        registry = MetricsRegistry()
+        child = registry.gauge("depth")
+        assert registry.get("depth") is child
+        assert registry.get("missing") is None
+        assert registry.get("depth", {"other": "labels"}) is None
+
+
+class TestExposition:
+    def test_counter_and_gauge_lines(self):
+        registry = MetricsRegistry()
+        registry.counter("reqs_total", "Requests", labels={"path": "/scan"}).inc(3)
+        registry.gauge("depth", "Queue depth").set(7)
+        text = registry.render()
+        assert "# TYPE reqs_total counter" in text
+        assert "# HELP reqs_total Requests" in text
+        assert 'reqs_total{path="/scan"} 3' in text
+        assert "# TYPE depth gauge" in text
+        assert "depth 7" in text
+        assert text.endswith("\n")
+
+    def test_histogram_series(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("lat_seconds", buckets=(0.1, 1.0))
+        histogram.observe(0.05)
+        histogram.observe(0.5)
+        text = registry.render()
+        assert 'lat_seconds_bucket{le="0.1"} 1' in text
+        assert 'lat_seconds_bucket{le="1"} 2' in text
+        assert 'lat_seconds_bucket{le="+Inf"} 2' in text
+        assert "lat_seconds_sum 0.55" in text
+        assert "lat_seconds_count 2" in text
+
+    def test_histogram_labels_keep_le_last_consistent(self):
+        registry = MetricsRegistry()
+        registry.histogram("sz", labels={"stage": "embed"}, buckets=DEFAULT_SIZE_BUCKETS).observe(3)
+        text = registry.render()
+        assert 'sz_bucket{le="4",stage="embed"} 1' in text
+        assert 'sz_count{stage="embed"} 1' in text
+
+    def test_label_value_escaping(self):
+        registry = MetricsRegistry()
+        registry.counter("esc_total", labels={"p": 'a"b\\c\nd'}).inc()
+        line = [l for l in registry.render().splitlines() if l.startswith("esc_total{")][0]
+        assert line == 'esc_total{p="a\\"b\\\\c\\nd"} 1'
+
+    def test_parses_as_prometheus_text(self):
+        """Every non-comment line must be `name{labels} value`."""
+        import re
+
+        registry = MetricsRegistry()
+        registry.counter("a_total", "help text", labels={"x": "1"}).inc()
+        registry.histogram("b_seconds").observe(0.2)
+        registry.gauge("c").set(-1.5)
+        pattern = re.compile(
+            r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\""
+            r"(,[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\")*\})? (-?[0-9.]+(e-?[0-9]+)?|\+Inf|NaN)$"
+        )
+        for line in registry.render().splitlines():
+            if line.startswith("#") or not line:
+                continue
+            assert pattern.match(line), line

@@ -29,6 +29,7 @@ def make_report():
         stage_ms={"path_extraction": 20.0, "embedding": 5.0, "feature_transform": 1.0, "classifying": 0.5},
         cache_hits=1,
         cache_misses=1,
+        cache_stats={"hits": 5, "misses": 7, "disk_hits": 0, "evictions": 2, "entries": 5},
         model_fingerprint="abc123",
     )
 
@@ -61,6 +62,7 @@ class TestScanReport:
         assert restored.cache_hits == 1 and restored.cache_misses == 1
         assert restored.model_fingerprint == "abc123"
         assert restored.workers_used == 4
+        assert restored.cache_stats == report.cache_stats
 
     def test_json_is_machine_readable(self):
         data = json.loads(make_report().to_json())
@@ -79,6 +81,18 @@ class TestScanReport:
         summary = make_report().summary()
         assert "2 files" in summary
         assert "1 hits" in summary
+
+    def test_summary_includes_lifetime_cache_stats(self):
+        summary = make_report().summary()
+        assert "lifetime 5h/7m" in summary
+        assert "2 evictions" in summary
+        assert "5 entries" in summary
+
+    def test_cache_stats_optional(self):
+        report = make_report()
+        report.cache_stats = None
+        assert "lifetime" not in report.summary()
+        assert ScanReport.from_json(report.to_json()).cache_stats is None
 
     def test_empty_report(self):
         report = ScanReport(results=[])

@@ -5,6 +5,7 @@ import pytest
 
 from repro.core import JSRevealer, JSRevealerConfig
 from repro.datasets import experiment_split
+from repro.obs import MetricsRegistry
 from repro.pipeline import BatchScanner, FeatureCache
 
 
@@ -86,6 +87,68 @@ class TestCacheIntegration:
     def test_report_carries_fingerprint(self, detector, split):
         report = detector.scan_batch(split.test.sources[:2])
         assert report.model_fingerprint == detector.fingerprint()
+
+
+class TestInstrumentation:
+    def test_metrics_advance_with_each_scan(self, detector, split):
+        registry = MetricsRegistry()
+        scanner = BatchScanner(detector, metrics=registry)
+        scanner.scan(split.test.sources[:3])
+        assert registry.get("repro_scan_batches_total").value == 1
+        assert registry.get("repro_scan_scripts_total").value == 3
+        scanner.scan(split.test.sources[:2])
+        assert registry.get("repro_scan_batches_total").value == 2
+        assert registry.get("repro_scan_scripts_total").value == 5
+        size_histogram = registry.get("repro_scan_batch_size")
+        assert size_histogram.count == 2 and size_histogram.sum == 5
+
+    def test_stage_timings_recorded_per_stage(self, detector, split):
+        registry = MetricsRegistry()
+        BatchScanner(detector, metrics=registry).scan(split.test.sources[:2])
+        for stage in ("path_extraction", "embedding", "feature_transform", "classifying"):
+            histogram = registry.get("repro_scan_stage_seconds", {"stage": stage})
+            assert histogram is not None and histogram.count == 1, stage
+
+    def test_cache_metrics_flow_through_shared_registry(self, detector, split):
+        registry = MetricsRegistry()
+        cache = FeatureCache(detector.fingerprint(), metrics=registry)
+        scanner = BatchScanner(detector, cache=cache, metrics=registry)
+        scanner.scan(split.test.sources[:4])
+        scanner.scan(split.test.sources[:4])
+        assert registry.get("repro_cache_lookups_total", {"result": "miss"}).value == 4
+        assert registry.get("repro_cache_lookups_total", {"result": "hit"}).value == 4
+
+    def test_report_carries_lifetime_cache_stats(self, detector, split):
+        cache = FeatureCache(detector.fingerprint())
+        scanner = BatchScanner(detector, cache=cache)
+        scanner.scan(split.test.sources[:3])
+        report = scanner.scan(split.test.sources[:3])
+        assert report.cache_stats == cache.stats()
+        assert report.cache_stats["hits"] == 3 and report.cache_stats["misses"] == 3
+        uncached = BatchScanner(detector).scan(split.test.sources[:1])
+        assert uncached.cache_stats is None
+
+
+class TestPersistentPool:
+    def test_persistent_scanner_reuses_pool_and_matches_oneshot(self, detector, split):
+        sources = split.test.sources
+        baseline = BatchScanner(detector, n_workers=1).scan(sources)
+        with BatchScanner(detector, n_workers=2, persistent=True) as scanner:
+            first = scanner.scan(sources)
+            pool = scanner._pool
+            assert pool is not None  # pool survives between scans
+            second = scanner.scan(sources)
+            assert scanner._pool is pool
+        assert scanner._pool is None  # context exit closes it
+        for report in (first, second):
+            assert report.workers_used == 2
+            assert np.array_equal(baseline.label_array, report.label_array)
+            assert np.array_equal(baseline.probability_matrix, report.probability_matrix)
+
+    def test_close_is_idempotent_and_safe_without_pool(self, detector):
+        scanner = BatchScanner(detector, n_workers=1, persistent=True)
+        scanner.close()
+        scanner.close()
 
 
 class TestDetectorScanAPI:

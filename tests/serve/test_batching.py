@@ -1,0 +1,203 @@
+"""Micro-batcher semantics: coalescing, backpressure, drain.
+
+These tests drive the batcher directly (no HTTP, no model): the scan
+callable is a stub that fabricates :class:`ScanReport` objects, so every
+assertion about batching behavior is deterministic.
+"""
+
+import asyncio
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.pipeline import ScanReport, ScanResult
+from repro.serve.batching import Draining, MicroBatcher, QueueFull
+
+
+def fake_scan(sources, names):
+    """Deterministic stand-in for BatchScanner.scan."""
+    results = [
+        ScanResult(
+            path=name,
+            label=int(len(source) % 2),
+            probability=float(len(source) % 2),
+            malicious=bool(len(source) % 2),
+            path_count=1,
+            cache_hit=False,
+        )
+        for source, name in zip(sources, names)
+    ]
+    return ScanReport(results=results)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def make_batcher(executor, **kwargs):
+    defaults = dict(max_batch=4, max_wait_ms=200.0, queue_limit=64)
+    defaults.update(kwargs)
+    return MicroBatcher(fake_scan, executor=executor, **defaults)
+
+
+class TestCoalescing:
+    def test_concurrent_submits_coalesce_into_max_batch_chunks(self):
+        async def go():
+            with ThreadPoolExecutor(max_workers=1) as executor:
+                batcher = make_batcher(executor, max_batch=4)
+                # All eight admitted before the flush loop starts: the
+                # coalescing is then fully deterministic — ceil(8/4) batches.
+                futures = [batcher.submit(f"src{i}", f"n{i}") for i in range(8)]
+                batcher.start()
+                resolved = await asyncio.gather(*futures)
+                await batcher.drain()
+                return batcher.batch_sizes, resolved
+
+        batch_sizes, resolved = run(go())
+        assert batch_sizes == [4, 4]
+        assert [result.path for result, _ in resolved] == [f"n{i}" for i in range(8)]
+
+    def test_partial_batch_flushes_on_max_wait(self):
+        async def go():
+            with ThreadPoolExecutor(max_workers=1) as executor:
+                batcher = make_batcher(executor, max_batch=10, max_wait_ms=20.0)
+                batcher.start()
+                futures = [batcher.submit("a", "x"), batcher.submit("bb", "y")]
+                await asyncio.gather(*futures)
+                await batcher.drain()
+                return batcher.batch_sizes
+
+        assert run(go()) == [2]  # flushed by age, not by reaching max_batch
+
+    def test_results_map_back_to_submitters(self):
+        async def go():
+            with ThreadPoolExecutor(max_workers=1) as executor:
+                batcher = make_batcher(executor)
+                futures = {name: batcher.submit(source, name)
+                           for name, source in (("even", "ab"), ("odd", "abc"))}
+                batcher.start()
+                out = {}
+                for name, future in futures.items():
+                    result, report = await future
+                    out[name] = result
+                await batcher.drain()
+                return out
+
+        out = run(go())
+        assert out["even"].label == 0 and out["odd"].label == 1
+        assert out["even"].path == "even" and out["odd"].path == "odd"
+
+
+class TestBackpressure:
+    def test_queue_full_raises(self):
+        async def go():
+            with ThreadPoolExecutor(max_workers=1) as executor:
+                batcher = make_batcher(executor, queue_limit=2)
+                # Not started: nothing drains the queue.
+                batcher.submit("a", "a")
+                batcher.submit("b", "b")
+                with pytest.raises(QueueFull):
+                    batcher.submit("c", "c")
+                assert batcher.queue_depth == 2
+                batcher.start()
+                await asyncio.gather(*list(batcher._outstanding))
+                await batcher.drain()
+
+        run(go())
+
+    def test_rejection_is_counted(self):
+        async def go():
+            registry = MetricsRegistry()
+            with ThreadPoolExecutor(max_workers=1) as executor:
+                batcher = make_batcher(executor, queue_limit=1, metrics=registry)
+                batcher.submit("a", "a")
+                with pytest.raises(QueueFull):
+                    batcher.submit("b", "b")
+                batcher.start()
+                await asyncio.gather(*list(batcher._outstanding))
+                await batcher.drain()
+            return registry
+
+        registry = run(go())
+        rejected = registry.get("repro_serve_rejected_total", {"reason": "queue_full"})
+        assert rejected.value == 1
+        assert registry.get("repro_serve_batches_total").value == 1
+
+
+class TestDrain:
+    def test_drain_answers_everything_admitted(self):
+        async def go():
+            with ThreadPoolExecutor(max_workers=1) as executor:
+                batcher = make_batcher(executor, max_batch=2)
+                futures = [batcher.submit(f"s{i}", f"n{i}") for i in range(5)]
+                batcher.start()
+                await batcher.drain()
+                assert all(f.done() for f in futures)
+                return [f.result()[0].path for f in futures]
+
+        assert run(go()) == [f"n{i}" for i in range(5)]
+
+    def test_draining_rejects_new_submissions(self):
+        async def go():
+            with ThreadPoolExecutor(max_workers=1) as executor:
+                batcher = make_batcher(executor)
+                batcher.start()
+                await batcher.drain()
+                with pytest.raises(Draining):
+                    batcher.submit("late", "late")
+
+        run(go())
+
+    def test_drain_waits_for_slow_scan(self):
+        release = threading.Event()
+
+        def slow_scan(sources, names):
+            release.wait(timeout=10)
+            return fake_scan(sources, names)
+
+        async def go():
+            with ThreadPoolExecutor(max_workers=1) as executor:
+                batcher = MicroBatcher(
+                    slow_scan, executor=executor, max_batch=1, max_wait_ms=0.0, queue_limit=8
+                )
+                batcher.start()
+                future = batcher.submit("x", "x")
+                await asyncio.sleep(0.05)  # let the batch enter the executor
+                asyncio.get_running_loop().call_later(0.05, release.set)
+                started = time.perf_counter()
+                await batcher.drain()
+                assert future.done()
+                return time.perf_counter() - started
+
+        assert run(go()) >= 0.04  # drain blocked until the scan finished
+
+
+class TestFailures:
+    def test_scan_exception_propagates_to_futures(self):
+        def broken_scan(sources, names):
+            raise RuntimeError("engine on fire")
+
+        async def go():
+            with ThreadPoolExecutor(max_workers=1) as executor:
+                batcher = MicroBatcher(
+                    broken_scan, executor=executor, max_batch=4, max_wait_ms=5.0, queue_limit=8
+                )
+                batcher.start()
+                future = batcher.submit("x", "x")
+                with pytest.raises(RuntimeError, match="engine on fire"):
+                    await future
+                await batcher.drain()
+
+        run(go())
+
+    def test_constructor_validation(self):
+        with ThreadPoolExecutor(max_workers=1) as executor:
+            with pytest.raises(ValueError):
+                MicroBatcher(fake_scan, executor=executor, max_batch=0)
+            with pytest.raises(ValueError):
+                MicroBatcher(fake_scan, executor=executor, max_wait_ms=-1)
+            with pytest.raises(ValueError):
+                MicroBatcher(fake_scan, executor=executor, queue_limit=0)
