@@ -1,0 +1,98 @@
+"""Static-analysis triage — fast-path cost vs the full scan pipeline.
+
+Not a paper table: this bench covers the ROADMAP's triage direction.  It
+times three modes over the same mixed batch:
+
+* ``analyze``  — the rule catalog alone (no model, the ``/analyze`` path),
+* ``full``     — the embed/classify pipeline with no triage,
+* ``triage``   — ``BatchScanner(triage=...)``: analysis first, decisive
+  scripts short-circuited before extraction/embedding.
+
+Shape assertions: bare analysis is much cheaper per script than the full
+pipeline; triage verdicts match the full scan on every non-triaged file;
+and on a batch where decisive rules settle most scripts, the triage scan
+skips that embedding work (measured via per-file path counts).
+"""
+
+import time
+
+import pytest
+
+from repro.analysis import Analyzer
+from repro.bench import bench_params, default_jsrevealer_config
+from repro.core import JSRevealer
+from repro.datasets import experiment_split
+from repro.pipeline import BatchScanner
+
+DECISIVE_SOURCE = 'var s = unescape("%65%76%69%6c"); var t = s + "()"; eval(t);'
+
+
+@pytest.mark.table
+def test_triage_fast_path(benchmark):
+    params = bench_params()
+    split = experiment_split(
+        seed=0,
+        pretrain_per_class=params["pretrain"],
+        train_per_class=params["train"],
+        test_per_class=min(params["test"], 24),
+        realistic=True,
+    )
+    detector = JSRevealer(default_jsrevealer_config())
+    detector.pretrain(split.pretrain.sources, split.pretrain.labels)
+    detector.fit(split.train.sources, split.train.labels)
+
+    # Mixed batch: real test scripts plus decisive obfuscation droppers —
+    # the workload triage exists for.
+    organic = split.test.sources[:16]
+    sources = organic + [DECISIVE_SOURCE] * len(organic)
+
+    analyzer = Analyzer()
+
+    def run_all():
+        started = time.perf_counter()
+        analysis_reports = analyzer.analyze_batch(sources)
+        analyze_s = time.perf_counter() - started
+
+        started = time.perf_counter()
+        full = BatchScanner(detector).scan(sources)
+        full_s = time.perf_counter() - started
+
+        started = time.perf_counter()
+        triaged = BatchScanner(detector, triage=Analyzer()).scan(sources)
+        triage_s = time.perf_counter() - started
+        return analysis_reports, analyze_s, full, full_s, triaged, triage_s
+
+    analysis_reports, analyze_s, full, full_s, triaged, triage_s = benchmark.pedantic(
+        run_all, rounds=1, iterations=1
+    )
+
+    n = len(sources)
+    print("\nStatic-analysis triage — per-script cost (ms)")
+    print(f"  {'mode':<18s} {'total_ms':>9s} {'ms/script':>10s}")
+    for mode, seconds in (("analyze (rules)", analyze_s), ("full scan", full_s), ("triage scan", triage_s)):
+        print(f"  {mode:<18s} {1000 * seconds:>9.1f} {1000 * seconds / n:>10.2f}")
+    print(
+        f"  triage hits: {triaged.triage_hits}/{n}; "
+        f"analysis stage {triaged.stage_ms.get('analysis', 0.0):.1f}ms"
+    )
+
+    # Bare analysis must be far cheaper than the embed/classify pipeline.
+    assert analyze_s < full_s / 2
+
+    # Every decisive dropper was settled without embedding…
+    assert triaged.triage_hits == len(organic)
+    for result in triaged.results[len(organic):]:
+        assert result.triaged and result.malicious and result.path_count == 0
+
+    # …and every organic script got exactly the full pipeline's verdict.
+    for full_result, triage_result in zip(full.results[:len(organic)], triaged.results[:len(organic)]):
+        assert not triage_result.triaged
+        assert triage_result.label == full_result.label
+        assert triage_result.probability == pytest.approx(full_result.probability)
+
+    # The analyzer's own accounting is coherent: every script produced a
+    # parseable report and decisive scripts carry explainable evidence.
+    assert len(analysis_reports) == n
+    decisive = [r for r in analysis_reports if r.decisive]
+    assert len(decisive) == len(organic)
+    assert all(any(f.rule_id == "decode-chain" for f in r.findings) for r in decisive)

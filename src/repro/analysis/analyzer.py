@@ -1,0 +1,224 @@
+"""The analyzer driver: every rule, one AST walk, structured output.
+
+``Analyzer.analyze(source)`` parses once, walks the tree once (dispatching
+node hooks from a type-indexed map), runs each rule's finish pass with
+lazily computed dataflow facts, applies ``// repro-ignore`` suppressions,
+and folds the surviving findings into a saturating suspicion score.
+
+Robustness contract: ``analyze`` **never raises**.  Malformed input
+produces a report with ``parse_ok=False`` and a structured ``parse-error``
+finding; a buggy rule is isolated (its exception is swallowed and counted)
+rather than poisoning the scan.
+"""
+
+from __future__ import annotations
+
+import re
+import time
+from typing import TYPE_CHECKING
+
+from repro.jsparser import JSSyntaxError, Parser
+from repro.jsparser import ast_nodes as ast
+
+from .catalog import default_rules
+from .findings import (
+    DECISIVE_WEIGHT,
+    SEVERITY_WEIGHT,
+    AnalysisReport,
+    Finding,
+    combine_score,
+)
+from .rules import Rule, RuleContext
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.jsparser.lexer import Comment
+    from repro.obs import MetricsRegistry
+
+#: Rule id attached to syntax-failure findings.
+PARSE_ERROR_RULE_ID = "parse-error"
+
+#: Suppression directive: ``// repro-ignore: rule-a, rule-b`` or ``all``.
+_IGNORE_DIRECTIVE = re.compile(r"repro-ignore\s*:\s*([\w\-*,\s]+)")
+
+
+def parse_suppressions(comments: list["Comment"]) -> dict[int, set[str]]:
+    """Map 1-based line numbers to the rule ids suppressed there.
+
+    A trailing comment suppresses its own line; a comment alone on its
+    line suppresses the *next* line (eslint's ``disable-next-line``
+    ergonomics).  ``all`` (or ``*``) suppresses every rule.
+    """
+    suppressions: dict[int, set[str]] = {}
+    for comment in comments:
+        match = _IGNORE_DIRECTIVE.search(comment.text)
+        if match is None:
+            continue
+        rule_ids = {part.strip() for part in match.group(1).split(",") if part.strip()}
+        if not rule_ids:
+            continue
+        target_line = comment.line + 1 if comment.own_line else comment.line
+        suppressions.setdefault(target_line, set()).update(rule_ids)
+    return suppressions
+
+
+def _is_suppressed(finding: Finding, suppressions: dict[int, set[str]]) -> bool:
+    rule_ids = suppressions.get(finding.line)
+    if not rule_ids:
+        return False
+    return finding.rule_id in rule_ids or "all" in rule_ids or "*" in rule_ids
+
+
+class Analyzer:
+    """Runs a rule catalog over scripts; one instance serves many scripts.
+
+    Args:
+        rules: Rule instances to run; defaults to the full built-in
+            catalog (:func:`~repro.analysis.catalog.default_rules`).
+        metrics: Optional :class:`~repro.obs.MetricsRegistry`; when given,
+            the analyzer records per-rule hit counters (pre-registered so
+            exposition shows zeros), script counts, and latency.
+    """
+
+    def __init__(self, rules: list[Rule] | None = None, metrics: "MetricsRegistry | None" = None):
+        self.rules = list(rules) if rules is not None else default_rules()
+        seen_ids: set[str] = set()
+        for rule in self.rules:
+            if rule.id in seen_ids:
+                raise ValueError(f"duplicate rule id {rule.id!r}")
+            seen_ids.add(rule.id)
+        self._hooks_by_type: dict[str, list[Rule]] = {}
+        for rule in self.rules:
+            for node_type in rule.node_types:
+                self._hooks_by_type.setdefault(node_type, []).append(rule)
+        #: Exceptions swallowed from buggy rule hooks (visible for tests).
+        self.rule_errors = 0
+
+        self.metrics = metrics
+        if metrics is not None:
+            self._m_scripts = metrics.counter(
+                "repro_analysis_scripts_total", "Scripts run through the static analyzer"
+            )
+            self._m_seconds = metrics.histogram(
+                "repro_analysis_seconds", "Wall-clock per analyzed script"
+            )
+            self._m_rule_hits = {
+                rule_id: metrics.counter(
+                    "repro_analysis_findings_total",
+                    "Unsuppressed findings by rule",
+                    labels={"rule": rule_id},
+                )
+                for rule_id in [rule.id for rule in self.rules] + [PARSE_ERROR_RULE_ID]
+            }
+
+    # ------------------------------------------------------------------- API
+
+    def rule_ids(self) -> list[str]:
+        return [rule.id for rule in self.rules]
+
+    def analyze(self, source: str, name: str = "<script>") -> AnalysisReport:
+        """Analyze one script; never raises."""
+        started = time.perf_counter()
+        report = self._analyze(source, name)
+        report.elapsed_ms = 1000.0 * (time.perf_counter() - started)
+        if self.metrics is not None:
+            self._m_scripts.inc()
+            self._m_seconds.observe(report.elapsed_ms / 1000.0)
+            for finding in report.findings:
+                counter = self._m_rule_hits.get(finding.rule_id)
+                if counter is not None:
+                    counter.inc()
+        return report
+
+    def analyze_batch(self, sources: list[str], names: list[str] | None = None) -> list[AnalysisReport]:
+        if names is None:
+            names = [f"<script:{i}>" for i in range(len(sources))]
+        return [self.analyze(source, name) for source, name in zip(sources, names)]
+
+    # ------------------------------------------------------------- internals
+
+    def _analyze(self, source: str, name: str) -> AnalysisReport:
+        if not isinstance(source, str):
+            return AnalysisReport(
+                name=name, parse_ok=False, error=f"source must be a string, got {type(source).__name__}"
+            )
+        try:
+            parser = Parser(source)
+            program = parser.parse()
+            comments = parser.comments
+        except JSSyntaxError as error:
+            finding = Finding(
+                rule_id=PARSE_ERROR_RULE_ID,
+                severity="warning",
+                line=error.line,
+                col=error.column,
+                message=f"syntax error: {error.message}",
+            )
+            return AnalysisReport(
+                name=name,
+                findings=[finding],
+                score=SEVERITY_WEIGHT["warning"],
+                parse_ok=False,
+                error=str(error),
+            )
+        except RecursionError:
+            return AnalysisReport(
+                name=name,
+                findings=[
+                    Finding(PARSE_ERROR_RULE_ID, "warning", 1, 0, "nesting too deep to parse")
+                ],
+                score=SEVERITY_WEIGHT["warning"],
+                parse_ok=False,
+                error="recursion limit exceeded while parsing",
+            )
+
+        ctx = RuleContext(source, program, name)
+        self._walk(program, ctx)
+        for rule in self.rules:
+            try:
+                rule.finish(ctx)
+            except Exception:
+                self.rule_errors += 1
+
+        suppressions = parse_suppressions(comments)
+        kept: list[Finding] = []
+        suppressed = 0
+        for finding in ctx.findings:
+            if _is_suppressed(finding, suppressions):
+                suppressed += 1
+            else:
+                kept.append(finding)
+        kept.sort(key=lambda f: (f.line, f.col, f.rule_id))
+
+        weights = [
+            DECISIVE_WEIGHT if f.decisive else SEVERITY_WEIGHT.get(f.severity, 0.2) for f in kept
+        ]
+        return AnalysisReport(
+            name=name,
+            findings=kept,
+            score=combine_score(weights),
+            decisive=any(f.decisive for f in kept),
+            parse_ok=True,
+            suppressed=suppressed,
+        )
+
+    def _walk(self, program: ast.Program, ctx: RuleContext) -> None:
+        """Single pre-order walk: record parents, dispatch node hooks."""
+        hooks = self._hooks_by_type
+        stack: list[ast.Node] = [program]
+        parent_of = ctx.parent_of
+        while stack:
+            node = stack.pop()
+            for rule in hooks.get(node.type, ()):
+                try:
+                    rule.visit(node, ctx)
+                except Exception:
+                    self.rule_errors += 1
+            children = list(node.children())
+            for child in children:
+                parent_of[id(child)] = node
+            stack.extend(reversed(children))
+
+
+def analyze_source(source: str, name: str = "<script>") -> AnalysisReport:
+    """One-shot convenience: full catalog, no metrics."""
+    return Analyzer().analyze(source, name)

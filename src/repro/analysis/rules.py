@@ -1,0 +1,174 @@
+"""The rule API: what a static-analysis check looks like to the driver.
+
+A rule declares *what* it wants to see (``node_types`` — the AST hook) and
+optionally a ``finish`` pass that runs once per script with the whole-
+program facts (def-use chains, CFG) available through the shared
+:class:`RuleContext`.  The :class:`~repro.analysis.analyzer.Analyzer`
+dispatches every registered rule's node hooks in a single AST walk, so
+adding a rule never adds a traversal.
+
+Writing a rule::
+
+    class NoDebugger(Rule):
+        id = "debugger-statement"
+        severity = "info"
+        description = "debugger statements in shipped code"
+        node_types = ("DebuggerStatement",)
+
+        def visit(self, node, ctx):
+            ctx.report(self, node, "debugger statement")
+
+Rules fire findings via :meth:`RuleContext.report`; per-line suppression
+(``// repro-ignore: <rule-id>``) is applied by the driver afterwards, so
+rules never think about it.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING, Optional
+
+from repro.jsparser import ast_nodes as ast
+
+from .findings import DECISIVE_WEIGHT, SEVERITY_WEIGHT, Finding
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.dataflow.cfg import CFG
+    from repro.dataflow.defuse import DefUseInfo
+    from repro.jsparser.scope import ScopeAnalyzer
+
+
+class Rule:
+    """Base class for static-analysis rules.
+
+    Class attributes (override in subclasses):
+
+    * ``id`` — stable kebab-case identifier (suppression comments and
+      metrics labels use it verbatim),
+    * ``severity`` — ``"info" | "warning" | "error"``,
+    * ``decisive`` — a hit alone justifies a malicious triage verdict;
+      the scan fast-path may skip embedding entirely,
+    * ``description`` — one line for docs and ``--list-rules`` style output,
+    * ``node_types`` — AST node type names this rule's :meth:`visit`
+      subscribes to; empty means no per-node hook.
+    """
+
+    id: str = "unnamed-rule"
+    severity: str = "warning"
+    decisive: bool = False
+    description: str = ""
+    node_types: tuple[str, ...] = ()
+
+    def visit(self, node: ast.Node, ctx: "RuleContext") -> None:
+        """Called for every node whose type is in ``node_types``."""
+
+    def finish(self, ctx: "RuleContext") -> None:
+        """Called once per script after the walk; CFG/def-use checks go here."""
+
+    @property
+    def weight(self) -> float:
+        """Score contribution of one finding from this rule."""
+        if self.decisive:
+            return DECISIVE_WEIGHT
+        return SEVERITY_WEIGHT.get(self.severity, 0.2)
+
+
+class RuleContext:
+    """Per-script shared state handed to every rule hook.
+
+    Carries the parsed program, the raw source (split into lines for
+    evidence excerpts), the parent links of the current walk, and *lazy*
+    whole-program facts — def-use chains, CFG, and scope analysis are only
+    computed when the first rule asks, so scripts that trip no dataflow
+    rule never pay for them.
+    """
+
+    def __init__(self, source: str, program: ast.Program, name: str = "<script>"):
+        self.source = source
+        self.program = program
+        self.name = name
+        self.lines = source.splitlines()
+        self.findings: list[Finding] = []
+        #: id(node) -> parent node, filled by the driver during its walk.
+        self.parent_of: dict[int, ast.Node] = {}
+        #: Per-rule scratch space (keyed by rule id) — rules are shared
+        #: across scripts, so any state they accumulate lives here.
+        self.state: dict[str, object] = {}
+        self._defuse: Optional["DefUseInfo"] = None
+        self._cfg: Optional["CFG"] = None
+        self._scopes: Optional["ScopeAnalyzer"] = None
+        #: wall-clock spent building lazy dataflow facts, for accounting
+        self.dataflow_ms = 0.0
+
+    # ------------------------------------------------------------ navigation
+
+    def parent(self, node: ast.Node) -> ast.Node | None:
+        return self.parent_of.get(id(node))
+
+    def source_line(self, line: int, max_chars: int = 120) -> str:
+        """The 1-based source line, stripped and trimmed for evidence."""
+        if 1 <= line <= len(self.lines):
+            text = self.lines[line - 1].strip()
+            return text[:max_chars]
+        return ""
+
+    # --------------------------------------------------------- lazy dataflow
+
+    @property
+    def scopes(self) -> "ScopeAnalyzer":
+        if self._scopes is None:
+            from repro.jsparser.scope import analyze_scopes
+
+            started = time.perf_counter()
+            self._scopes = analyze_scopes(self.program)
+            self.dataflow_ms += 1000.0 * (time.perf_counter() - started)
+        return self._scopes
+
+    @property
+    def defuse(self) -> "DefUseInfo":
+        if self._defuse is None:
+            from repro.dataflow.defuse import analyze_defuse
+
+            scopes = self.scopes  # reuse one scope analysis for both
+            started = time.perf_counter()
+            self._defuse = analyze_defuse(self.program, scopes)
+            self.dataflow_ms += 1000.0 * (time.perf_counter() - started)
+        return self._defuse
+
+    @property
+    def cfg(self) -> "CFG":
+        if self._cfg is None:
+            from repro.dataflow.cfg import build_cfg
+
+            started = time.perf_counter()
+            self._cfg = build_cfg(self.program)
+            self.dataflow_ms += 1000.0 * (time.perf_counter() - started)
+        return self._cfg
+
+    # -------------------------------------------------------------- findings
+
+    def report(
+        self,
+        rule: Rule,
+        node: ast.Node | None = None,
+        message: str = "",
+        evidence: str | None = None,
+        line: int | None = None,
+        col: int | None = None,
+    ) -> Finding:
+        """Record one finding; span defaults to ``node.loc``."""
+        if line is None or col is None:
+            loc = node.loc if node is not None else (0, 0)
+            line = loc[0] if line is None else line
+            col = loc[1] if col is None else col
+        finding = Finding(
+            rule_id=rule.id,
+            severity=rule.severity,
+            line=line,
+            col=col,
+            message=message or rule.description,
+            evidence=self.source_line(line) if evidence is None else evidence,
+            decisive=rule.decisive,
+        )
+        self.findings.append(finding)
+        return finding

@@ -5,6 +5,8 @@ Usage::
     python -m repro.cli train  --out model_dir [--train-per-class 60] [--seed 0]
     python -m repro.cli scan   --model model_dir [--workers 4] [--cache-dir DIR]
                                [--format json|text] file_dir_or_dash [...]
+    python -m repro.cli analyze [--format json|text] [--fail-on SEVERITY]
+                               file_dir_or_dash [...]
     python -m repro.cli explain --model model_dir [--top 5] [--format json|text]
     python -m repro.cli serve  --model model_dir [--host H] [--port P]
                                [--workers N] [--max-batch B] [--max-wait-ms MS]
@@ -20,10 +22,15 @@ pipes (``curl … | repro scan --model m -``).  ``serve`` keeps the model
 resident behind an HTTP endpoint with micro-batching (see
 :mod:`repro.serve`).
 
-Exit codes — the ``scan`` contract scripts rely on (``grep``-style):
+``analyze`` runs the static-analysis rule catalog alone — no model, no
+embeddings — and prints explainable findings with source spans.
 
-* ``0`` — scan completed, nothing malicious found,
-* ``1`` — scan completed, at least one script verdict was malicious,
+Exit codes — the ``scan``/``analyze`` contract scripts rely on
+(``grep``-style):
+
+* ``0`` — completed, nothing flagged (``analyze``: no finding at or above
+  ``--fail-on``),
+* ``1`` — completed, something flagged (malicious verdict / failing finding),
 * ``2`` — usage or I/O error (bad flags, no input, unreadable model/cache).
 """
 
@@ -77,17 +84,23 @@ def _collect_files(paths: list[str]) -> list[Path]:
     return out
 
 
+def _read_inputs(paths: list[str]) -> tuple[list[str], list[str]]:
+    """Resolve file/dir/``-`` arguments into (sources, names)."""
+    files = _collect_files([p for p in paths if p != "-"])
+    sources = [f.read_text(errors="replace") for f in files]
+    names = [str(f) for f in files]
+    if "-" in paths:  # one script from stdin, after any file arguments
+        sources.append(sys.stdin.read())
+        names.append("<stdin>")
+    return sources, names
+
+
 def _cmd_scan(args: argparse.Namespace) -> int:
     # Exit-code contract: 0 = clean, 1 = malicious found, 2 = usage/IO error.
     if args.workers < 1:
         print("error: --workers must be at least 1", file=sys.stderr)
         return 2
-    files = _collect_files([p for p in args.paths if p != "-"])
-    sources = [f.read_text(errors="replace") for f in files]
-    names = [str(f) for f in files]
-    if "-" in args.paths:  # one script from stdin, after any file arguments
-        sources.append(sys.stdin.read())
-        names.append("<stdin>")
+    sources, names = _read_inputs(args.paths)
     if not sources:
         print("no input files", file=sys.stderr)
         return 2
@@ -103,6 +116,7 @@ def _cmd_scan(args: argparse.Namespace) -> int:
             n_workers=args.workers,
             cache_dir=args.cache_dir,
             threshold=args.threshold,
+            triage=args.triage,
         )
     except OSError as error:
         print(f"error: cache directory {args.cache_dir!r} unusable: {error}", file=sys.stderr)
@@ -113,9 +127,55 @@ def _cmd_scan(args: argparse.Namespace) -> int:
         for result in report.results:
             verdict = "MALICIOUS" if result.malicious else "clean"
             cached = "  (cached)" if result.cache_hit else ""
-            print(f"{verdict:9s}  P={result.probability:.3f}  {result.path}{cached}")
+            triaged = "  (triaged)" if result.triaged else ""
+            print(f"{verdict:9s}  P={result.probability:.3f}  {result.path}{cached}{triaged}")
         print(f"# {report.summary()}", file=sys.stderr)
     return 1 if report.n_malicious else 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    # Same exit-code contract as scan: 0 clean, 1 flagged, 2 usage error —
+    # "flagged" here means a finding at or above --fail-on severity.
+    from repro.analysis import Analyzer, severity_at_least
+
+    sources, names = _read_inputs(args.paths)
+    if not sources:
+        print("no input files", file=sys.stderr)
+        return 2
+    analyzer = Analyzer()
+    reports = analyzer.analyze_batch(sources, names=names)
+    failing = sum(
+        1
+        for report in reports
+        for finding in report.findings
+        if severity_at_least(finding.severity, args.fail_on)
+    )
+    if args.format == "json":
+        print(
+            json.dumps(
+                {
+                    "n_files": len(reports),
+                    "n_findings": sum(r.n_findings for r in reports),
+                    "n_failing": failing,
+                    "fail_on": args.fail_on,
+                    "rules": analyzer.rule_ids(),
+                    "reports": [r.to_dict() for r in reports],
+                },
+                indent=2,
+            )
+        )
+    else:
+        for report in reports:
+            for finding in report.findings:
+                print(finding.format(report.name))
+        n_findings = sum(r.n_findings for r in reports)
+        suppressed = sum(r.suppressed for r in reports)
+        print(
+            f"# analyzed {len(reports)} files: {n_findings} findings "
+            f"({failing} at/above {args.fail_on}, {suppressed} suppressed)",
+            file=sys.stderr,
+        )
+    return 1 if failing else 0
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -198,9 +258,24 @@ def build_parser() -> argparse.ArgumentParser:
                       help="persistent content-addressed embedding cache directory")
     scan.add_argument("--format", choices=("text", "json"), default="text",
                       help="text lines or one machine-readable ScanReport JSON object")
+    scan.add_argument("--triage", action="store_true",
+                      help="run static analysis first; decisive rule hits skip embedding")
     scan.add_argument("paths", nargs="+",
                       help=".js files, directories, or - to read one script from stdin")
     scan.set_defaults(fn=_cmd_scan)
+
+    analyze = sub.add_parser(
+        "analyze",
+        help="static-analysis rules only: explainable findings, no model needed",
+        epilog="exit codes: 0 nothing at/above --fail-on, 1 failing findings, 2 usage error",
+    )
+    analyze.add_argument("--format", choices=("text", "json"), default="text",
+                         help="text finding lines or one JSON object with per-file reports")
+    analyze.add_argument("--fail-on", choices=("info", "warning", "error"), default="error",
+                         help="lowest severity that makes the exit code 1 (default: error)")
+    analyze.add_argument("paths", nargs="+",
+                         help=".js files, directories, or - to read one script from stdin")
+    analyze.set_defaults(fn=_cmd_analyze)
 
     serve = sub.add_parser(
         "serve",

@@ -215,6 +215,7 @@ class JSRevealer:
         cache: "FeatureCache | None" = None,
         cache_dir: str | None = None,
         threshold: float = 0.5,
+        triage: bool = False,
     ) -> "ScanReport":
         """Scan a batch of scripts, optionally in parallel and cached.
 
@@ -223,12 +224,20 @@ class JSRevealer:
         failures degrade to it).  ``cache_dir`` enables the persistent
         content-addressed embedding cache, keyed to this model's
         :meth:`fingerprint` so retrained models never see stale entries.
+        ``triage=True`` runs the static-analysis rule catalog first:
+        findings are attached per file, and decisive rule hits settle the
+        verdict without embedding (see :class:`~repro.analysis.Analyzer`).
         """
         from repro.pipeline import BatchScanner, FeatureCache
 
         if cache is None and cache_dir is not None:
             cache = FeatureCache(self.fingerprint(), cache_dir=cache_dir)
-        scanner = BatchScanner(self, n_workers=n_workers, cache=cache)
+        analyzer = None
+        if triage:
+            from repro.analysis import Analyzer
+
+            analyzer = Analyzer()
+        scanner = BatchScanner(self, n_workers=n_workers, cache=cache, triage=analyzer)
         return scanner.scan(sources, names=names, threshold=threshold)
 
     def predict(self, sources: list[str]) -> np.ndarray:

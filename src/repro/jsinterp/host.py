@@ -13,7 +13,6 @@ objects (console, document, window, Math, JSON, String, …).
 from __future__ import annotations
 
 import math
-import urllib.parse
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -23,7 +22,6 @@ from .values import (
     JSObject,
     JSUndefined,
     NativeFunction,
-    format_number,
     to_number,
     to_string,
 )

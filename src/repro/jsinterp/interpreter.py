@@ -37,7 +37,6 @@ from .values import (
     JSObject,
     JSUndefined,
     NativeFunction,
-    format_number,
     js_equals,
     strict_equals,
     to_boolean,

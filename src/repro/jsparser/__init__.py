@@ -16,8 +16,8 @@ from . import ast_nodes
 from .ast_nodes import FUNCTION_TYPES, LEAF_TYPES, Node
 from .codegen import CodeGenerator, generate
 from .errors import CodegenError, JSSyntaxError
-from .lexer import Lexer, tokenize
-from .parser import Parser, parse
+from .lexer import Comment, Lexer, tokenize
+from .parser import Parser, parse, parse_with_comments
 from .scope import Binding, Scope, ScopeAnalyzer, analyze_scopes
 from .tokens import Token, TokenType
 from .visitor import FunctionScopedVisitor, Visitor, count_nodes, find_all, walk, walk_with_parent
@@ -31,10 +31,12 @@ __all__ = [
     "generate",
     "CodegenError",
     "JSSyntaxError",
+    "Comment",
     "Lexer",
     "tokenize",
     "Parser",
     "parse",
+    "parse_with_comments",
     "Binding",
     "Scope",
     "ScopeAnalyzer",

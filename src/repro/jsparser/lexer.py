@@ -9,8 +9,27 @@ significant token cannot end an expression.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 from .errors import JSSyntaxError
 from .tokens import KEYWORDS, PUNCTUATORS, Token, TokenType
+
+
+@dataclass(frozen=True)
+class Comment:
+    """One source comment, kept for suppression directives and tooling.
+
+    ``line`` is the 1-based line the comment *starts* on; ``own_line`` is
+    True when only whitespace precedes it, so directive consumers can tell
+    trailing comments (apply to this line) from standalone ones (apply to
+    the next line).
+    """
+
+    text: str  # interior text, without the // or /* */ markers
+    line: int
+    column: int
+    block: bool
+    own_line: bool
 
 _LINE_TERMINATORS = "\n\r  "
 _ID_START_EXTRA = "$_"
@@ -63,6 +82,8 @@ class Lexer:
         self.line_start = 0
         self._tokens: list[Token] = []
         self._newline_before_next = False
+        #: Comments encountered while skipping trivia, in source order.
+        self.comments: list[Comment] = []
 
     # ------------------------------------------------------------------ API
 
@@ -104,20 +125,31 @@ class Lexer:
             elif ch.isspace():
                 self.index += 1
             elif ch == "/" and self._peek(1) == "/":
+                start, line, column, own_line = self.index, self.line, self._column, self._own_line()
                 while self.index < self.length and self.source[self.index] not in _LINE_TERMINATORS:
                     self.index += 1
+                self.comments.append(
+                    Comment(self.source[start + 2 : self.index], line, column, False, own_line)
+                )
             elif ch == "/" and self._peek(1) == "*":
                 self._skip_block_comment()
             else:
                 return
 
+    def _own_line(self) -> bool:
+        """Is the cursor preceded only by whitespace on its line?"""
+        return self.source[self.line_start : self.index].strip() == ""
+
     def _skip_block_comment(self) -> None:
-        start_line = self.line
+        start, start_line, column, own_line = self.index, self.line, self._column, self._own_line()
         self.index += 2
         while self.index < self.length:
             ch = self.source[self.index]
             if ch == "*" and self._peek(1) == "/":
                 self.index += 2
+                self.comments.append(
+                    Comment(self.source[start + 2 : self.index - 2], start_line, column, True, own_line)
+                )
                 return
             if ch in _LINE_TERMINATORS:
                 self._advance_line(ch)

@@ -59,7 +59,8 @@ class Parser:
 
     def __init__(self, source: str):
         self.source = source
-        self.tokens = Lexer(source).tokenize()
+        self._lexer = Lexer(source)
+        self.tokens = self._lexer.tokenize()
         self.pos = 0
         self._in_iteration = 0
         self._in_switch = 0
@@ -75,6 +76,11 @@ class Parser:
         while not self._at(TokenType.EOF):
             body.append(self._parse_statement())
         return ast.Program(body, loc=(1, 0))
+
+    @property
+    def comments(self):
+        """Source comments collected during lexing (:class:`~repro.jsparser.lexer.Comment`)."""
+        return self._lexer.comments
 
     # --------------------------------------------------------- token helpers
 
@@ -302,7 +308,8 @@ class Parser:
         self._advance()
         label = None
         if self._at(TokenType.IDENTIFIER) and not self._cur.preceded_by_newline:
-            label = ast.Identifier(self._advance().value, loc)
+            label_loc = self._loc()
+            label = ast.Identifier(self._advance().value, label_loc)
         self._consume_semicolon()
         return ast.BreakStatement(label, loc)
 
@@ -311,7 +318,8 @@ class Parser:
         self._advance()
         label = None
         if self._at(TokenType.IDENTIFIER) and not self._cur.preceded_by_newline:
-            label = ast.Identifier(self._advance().value, loc)
+            label_loc = self._loc()
+            label = ast.Identifier(self._advance().value, label_loc)
         self._consume_semicolon()
         return ast.ContinueStatement(label, loc)
 
@@ -585,37 +593,42 @@ class Parser:
         return ast.NewExpression(callee, arguments, loc)
 
     def _parse_member_tail(self, expression: ast.Node) -> ast.Node:
-        """Member accesses only (no calls) — used for `new X.Y(...)` callees."""
+        """Member accesses only (no calls) — used for `new X.Y(...)` callees.
+
+        ESTree span semantics: a member/call expression starts where its
+        object/callee starts, and a property identifier sits at its own
+        token — not at the ``.``/``[`` punctuator.
+        """
         while True:
-            loc = self._loc()
             if self._eat_punct("."):
-                prop = ast.Identifier(self._parse_property_name(), loc)
-                expression = ast.MemberExpression(expression, prop, computed=False, loc=loc)
+                prop_loc = self._loc()
+                prop = ast.Identifier(self._parse_property_name(), prop_loc)
+                expression = ast.MemberExpression(expression, prop, computed=False, loc=expression.loc)
             elif self._at_punct("["):
                 self._advance()
                 saved_no_in, self._no_in = self._no_in, False
                 prop_expr = self._parse_expression()
                 self._no_in = saved_no_in
                 self._expect_punct("]")
-                expression = ast.MemberExpression(expression, prop_expr, computed=True, loc=loc)
+                expression = ast.MemberExpression(expression, prop_expr, computed=True, loc=expression.loc)
             else:
                 return expression
 
     def _parse_call_tail(self, expression: ast.Node) -> ast.Node:
         while True:
-            loc = self._loc()
             if self._eat_punct("."):
-                prop = ast.Identifier(self._parse_property_name(), loc)
-                expression = ast.MemberExpression(expression, prop, computed=False, loc=loc)
+                prop_loc = self._loc()
+                prop = ast.Identifier(self._parse_property_name(), prop_loc)
+                expression = ast.MemberExpression(expression, prop, computed=False, loc=expression.loc)
             elif self._at_punct("["):
                 self._advance()
                 saved_no_in, self._no_in = self._no_in, False
                 prop_expr = self._parse_expression()
                 self._no_in = saved_no_in
                 self._expect_punct("]")
-                expression = ast.MemberExpression(expression, prop_expr, computed=True, loc=loc)
+                expression = ast.MemberExpression(expression, prop_expr, computed=True, loc=expression.loc)
             elif self._at_punct("("):
-                expression = ast.CallExpression(expression, self._parse_arguments(), loc)
+                expression = ast.CallExpression(expression, self._parse_arguments(), expression.loc)
             else:
                 return expression
 
@@ -713,7 +726,8 @@ class Parser:
         self._advance()  # 'function'
         name = None
         if self._at(TokenType.IDENTIFIER):
-            name = ast.Identifier(self._advance().value, self._loc())
+            name_loc = self._loc()
+            name = ast.Identifier(self._advance().value, name_loc)
         params = self._parse_params()
         body = self._parse_function_body()
         return ast.FunctionExpression(name, params, body, loc)
@@ -819,3 +833,14 @@ class Parser:
 def parse(source: str) -> ast.Program:
     """Parse JavaScript ``source`` into an ESTree-style :class:`Program`."""
     return Parser(source).parse()
+
+
+def parse_with_comments(source: str):
+    """Parse ``source``; returns ``(Program, comments)``.
+
+    The comment list drives per-line suppression directives in
+    :mod:`repro.analysis` and is ignored by every other consumer.
+    """
+    parser = Parser(source)
+    program = parser.parse()
+    return program, parser.comments

@@ -16,7 +16,6 @@ from dataclasses import dataclass, field
 from typing import Iterator
 
 from . import ast_nodes as ast
-from .visitor import walk_with_parent
 
 
 @dataclass

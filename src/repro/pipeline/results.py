@@ -15,8 +15,9 @@ from dataclasses import asdict, dataclass, field
 
 import numpy as np
 
-#: Stage keys reported per scan (Table VIII naming).
-STAGE_KEYS = ("path_extraction", "embedding", "feature_transform", "classifying")
+#: Stage keys reported per scan (Table VIII naming, plus the triage
+#: analysis stage which is 0 unless a triage analyzer is configured).
+STAGE_KEYS = ("analysis", "path_extraction", "embedding", "feature_transform", "classifying")
 
 
 @dataclass
@@ -32,6 +33,12 @@ class ScanResult:
     #: Per-file cost of the per-script stages, in milliseconds.  Cache hits
     #: carry zeros — nothing was extracted or embedded for them.
     stage_ms: dict[str, float] = field(default_factory=dict)
+    #: True when a decisive static-analysis rule settled the verdict and
+    #: the embed/classify pipeline was skipped for this file.
+    triaged: bool = False
+    #: Serialized :class:`~repro.analysis.AnalysisReport` when the scan ran
+    #: with a triage analyzer; ``None`` otherwise.
+    analysis: dict | None = None
 
     @property
     def verdict(self) -> str:
@@ -64,6 +71,9 @@ class ScanReport:
     stage_ms: dict[str, float] = field(default_factory=dict)
     cache_hits: int = 0
     cache_misses: int = 0
+    #: Files whose verdict came from the triage fast-path (decisive rule
+    #: fired; extraction/embedding skipped).
+    triage_hits: int = 0
     #: Lifetime counters of the backing :class:`FeatureCache`
     #: (hits/misses/disk_hits/evictions/entries) at report time; ``None``
     #: when the scan ran uncached.  Unlike ``cache_hits``/``cache_misses``
@@ -105,6 +115,7 @@ class ScanReport:
             "stage_ms": dict(self.stage_ms),
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
+            "triage_hits": self.triage_hits,
             "cache_stats": dict(self.cache_stats) if self.cache_stats is not None else None,
             "model_fingerprint": self.model_fingerprint,
             "results": [r.to_dict() for r in self.results],
@@ -124,6 +135,7 @@ class ScanReport:
             stage_ms=dict(data.get("stage_ms", {})),
             cache_hits=data.get("cache_hits", 0),
             cache_misses=data.get("cache_misses", 0),
+            triage_hits=data.get("triage_hits", 0),
             cache_stats=data.get("cache_stats"),
             model_fingerprint=data.get("model_fingerprint"),
         )
@@ -141,6 +153,8 @@ class ScanReport:
             f"scanned {self.n_files} files in {self.elapsed_ms / 1000:.2f}s "
             f"({per_file:.1f} ms/file, workers={self.workers_used})"
         ]
+        if self.triage_hits:
+            parts.append(f"triage fast-path settled {self.triage_hits} files")
         if self.cache_hits or self.cache_misses:
             line = f"cache {self.cache_hits} hits / {self.cache_misses} misses"
             if self.cache_stats is not None:

@@ -37,6 +37,7 @@ from .cache import CacheEntry, FeatureCache, content_key
 from .results import STAGE_KEYS, ScanReport, ScanResult
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.analysis import Analyzer
     from repro.core.detector import JSRevealer
     from repro.obs import MetricsRegistry
 
@@ -106,6 +107,14 @@ class BatchScanner:
         metrics: Optional :class:`~repro.obs.MetricsRegistry`; when given,
             each scan records batch size, script count, and per-stage
             latency histograms.
+        triage: Optional :class:`~repro.analysis.Analyzer`.  When given,
+            every script is statically analyzed first and the report is
+            attached to its :class:`ScanResult`.  Scripts where a
+            *decisive* rule fires are settled on the spot (malicious,
+            probability 1.0) and skip extraction/embedding/classification
+            entirely — the triage fast-path.  Non-decisive scripts flow
+            through the full pipeline unchanged, so verdicts are identical
+            to an untriaged scan for them.
     """
 
     def __init__(
@@ -116,6 +125,7 @@ class BatchScanner:
         queue_depth: int | None = None,
         persistent: bool = False,
         metrics: "MetricsRegistry | None" = None,
+        triage: "Analyzer | None" = None,
     ):
         if n_workers < 1:
             raise ValueError("n_workers must be positive")
@@ -125,6 +135,7 @@ class BatchScanner:
         self.queue_depth = queue_depth if queue_depth is not None else max(4 * n_workers, 8)
         self.persistent = persistent
         self._pool = None
+        self.triage = triage
         self.metrics = metrics
         if metrics is not None:
             from repro.obs.metrics import DEFAULT_SIZE_BUCKETS
@@ -182,10 +193,25 @@ class BatchScanner:
             {"path_extraction": 0.0, "embedding": 0.0} for _ in range(n)
         ]
 
+        # Triage fast-path: analyze first; decisive hits never reach the
+        # embedding pipeline (or the cache — no features were computed).
+        analyses: list = [None] * n
+        triaged = [False] * n
+        analysis_total_ms = 0.0
+        if self.triage is not None:
+            for i, source in enumerate(sources):
+                analysis = self.triage.analyze(source, name=str(names[i]))
+                analyses[i] = analysis
+                per_file_ms[i]["analysis"] = analysis.elapsed_ms
+                analysis_total_ms += analysis.elapsed_ms
+                triaged[i] = analysis.decisive
+
         keys: list[str | None] = [None] * n
         pending: list[int] = []
         if self.cache is not None:
             for i, source in enumerate(sources):
+                if triaged[i]:
+                    continue
                 keys[i] = content_key(source)
                 entry = self.cache.get(keys[i])
                 if entry is None:
@@ -194,7 +220,7 @@ class BatchScanner:
                     entries[i] = entry
                     hit_flags[i] = True
         else:
-            pending = list(range(n))
+            pending = [i for i in range(n) if not triaged[i]]
 
         workers_used = 1
         if self.n_workers > 1 and len(pending) > 1:
@@ -215,42 +241,59 @@ class BatchScanner:
                 if entries[i] is not None:
                     self.cache.put(keys[i], entries[i])
 
-        embedded = [(entry.vectors, entry.weights) for entry in entries]
+        active = [i for i in range(n) if not triaged[i]]
+        embedded = [(entries[i].vectors, entries[i].weights) for i in active]
         transform_started = time.perf_counter()
         with detector._timed("feature_transform"):
             X = detector.feature_extractor.transform(embedded, fit_scaler=False)
         transform_ms = 1000.0 * (time.perf_counter() - transform_started)
 
         classify_started = time.perf_counter()
-        if n:
+        if active:
             with detector._timed("classifying"):
                 labels = np.asarray(detector.classifier.predict(X))
-                proba_matrix = (
+                active_proba = (
                     np.asarray(detector.classifier.predict_proba(X))
                     if hasattr(detector.classifier, "predict_proba")
                     else None
                 )
         else:
             labels = np.zeros(0, dtype=int)
-            proba_matrix = np.zeros((0, 2))
+            active_proba = np.zeros((0, 2))
         classify_ms = 1000.0 * (time.perf_counter() - classify_started)
 
+        # Full-batch probability matrix: classifier rows for active files,
+        # a certain [0, 1] row for each triage hit.
+        has_proba = (
+            active_proba is not None and active_proba.ndim == 2 and active_proba.shape[1] >= 2
+        )
+        proba_matrix: np.ndarray | None = None
+        if has_proba:
+            proba_matrix = np.zeros((n, max(active_proba.shape[1], 2)))
+            proba_matrix[:, 1] = 1.0  # triaged rows: P(malicious) = 1
+            for j, i in enumerate(active):
+                proba_matrix[i, : active_proba.shape[1]] = active_proba[j]
+
         results = []
+        position = {i: j for j, i in enumerate(active)}
         for i in range(n):
-            label = int(labels[i]) if i < len(labels) else 0
-            if proba_matrix is not None and proba_matrix.ndim == 2 and proba_matrix.shape[1] >= 2:
-                probability = float(proba_matrix[i, 1])
+            if triaged[i]:
+                label, probability = 1, 1.0
             else:
-                probability = float(label)
+                j = position[i]
+                label = int(labels[j]) if j < len(labels) else 0
+                probability = float(active_proba[j, 1]) if has_proba else float(label)
             results.append(
                 ScanResult(
                     path=str(names[i]),
                     label=label,
                     probability=probability,
                     malicious=bool(probability >= threshold),
-                    path_count=entries[i].path_count,
+                    path_count=entries[i].path_count if entries[i] is not None else 0,
                     cache_hit=hit_flags[i],
                     stage_ms={k: round(v, 3) for k, v in per_file_ms[i].items()},
+                    triaged=triaged[i],
+                    analysis=analyses[i].to_dict() if analyses[i] is not None else None,
                 )
             )
 
@@ -260,6 +303,8 @@ class BatchScanner:
             "feature_transform": transform_ms,
             "classifying": classify_ms,
         }
+        if self.triage is not None:
+            stage_totals["analysis"] = analysis_total_ms
         report = ScanReport(
             results=results,
             threshold=threshold,
@@ -268,7 +313,8 @@ class BatchScanner:
             elapsed_ms=1000.0 * (time.perf_counter() - started),
             stage_ms={k: round(v, 3) for k, v in stage_totals.items()},
             cache_hits=sum(hit_flags),
-            cache_misses=n - sum(hit_flags),
+            cache_misses=len(active) - sum(hit_flags),
+            triage_hits=sum(triaged),
             cache_stats=self.cache.stats() if self.cache is not None else None,
             model_fingerprint=detector.fingerprint(),
             probability_matrix=proba_matrix,

@@ -14,6 +14,9 @@ Endpoints::
     POST /scan/batch  {"scripts": [{"source": str, "name"?: str} | str, ...],
                        "threshold"?: float}
                       → 200 {"results": [...], "n_files", "n_malicious", ...}
+    POST /analyze     {"source": str, "name"?: str}
+                      → 200 AnalysisReport object (static analysis only;
+                        no model, no micro-batch queue)
     GET  /healthz     → 200 {"status": "ok", ...}
     GET  /version     → 200 {"service", "version", "model_fingerprint", ...}
     GET  /metrics     → 200 Prometheus text exposition
@@ -38,6 +41,7 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
+from repro.analysis import Analyzer
 from repro.obs import MetricsRegistry
 from repro.pipeline import BatchScanner, FeatureCache
 
@@ -113,6 +117,9 @@ class ScanServer:
             persistent=self.config.n_workers > 1,
             metrics=self.metrics,
         )
+        # Static analysis shares the metrics registry, so /metrics exposes
+        # per-rule finding counters next to the scan histograms.
+        self.analyzer = Analyzer(metrics=self.metrics)
         self._executor = ThreadPoolExecutor(max_workers=1, thread_name_prefix="repro-scan")
         self.batcher = MicroBatcher(
             self._scan_batch,
@@ -228,6 +235,7 @@ class ScanServer:
             ("GET", "/metrics"): self._handle_metrics,
             ("POST", "/scan"): self._handle_scan,
             ("POST", "/scan/batch"): self._handle_scan_batch,
+            ("POST", "/analyze"): self._handle_analyze,
         }
         handler = handlers.get((request.method, request.path))
         known_path = any(path == request.path for _, path in handlers)
@@ -337,6 +345,30 @@ class ScanServer:
         body["threshold"] = threshold
         body["model_fingerprint"] = report.model_fingerprint
         return 200, json_response(200, body)
+
+    async def _handle_analyze(self, request: Request) -> tuple[int, bytes]:
+        payload = request.json()
+        if not isinstance(payload, dict):
+            raise ProtocolError(400, "request body must be a JSON object")
+        source = payload.get("source")
+        if not isinstance(source, str):
+            raise ProtocolError(400, 'missing or non-string "source" field')
+        name = payload.get("name", "<request>")
+        if not isinstance(name, str):
+            raise ProtocolError(400, '"name" must be a string')
+        # Analysis bypasses the micro-batch queue (it needs no model), but
+        # an overloaded daemon still sheds load uniformly: when the scan
+        # queue is saturated, the cheap endpoint backs off too.
+        if self.batcher.queue_depth >= self.config.queue_limit:
+            return 429, error_response(
+                429,
+                f"queue full ({self.config.queue_limit} requests pending)",
+                extra_headers={"Retry-After": str(self.config.retry_after_s)},
+            )
+        report = await asyncio.get_running_loop().run_in_executor(
+            None, self.analyzer.analyze, source, name
+        )
+        return 200, json_response(200, report.to_dict())
 
     async def _handle_scan_batch(self, request: Request) -> tuple[int, bytes]:
         payload = request.json()

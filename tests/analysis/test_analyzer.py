@@ -1,0 +1,179 @@
+"""Analyzer driver tests: suppression, robustness, scoring, metrics."""
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    PARSE_ERROR_RULE_ID,
+    AnalysisReport,
+    Analyzer,
+    Finding,
+    Rule,
+    analyze_source,
+    combine_score,
+    severity_at_least,
+)
+from repro.obs import MetricsRegistry
+
+
+class TestSuppression:
+    def test_trailing_comment_suppresses_own_line(self):
+        report = analyze_source("eval(code); // repro-ignore: dynamic-eval\n")
+        assert report.n_findings == 0
+        assert report.suppressed == 1
+
+    def test_own_line_comment_suppresses_next_line(self):
+        src = "// repro-ignore: dynamic-eval\neval(code);\n"
+        report = analyze_source(src)
+        assert report.n_findings == 0 and report.suppressed == 1
+
+    def test_block_comment_directive(self):
+        src = "/* repro-ignore: dynamic-eval */\neval(code);\n"
+        assert analyze_source(src).n_findings == 0
+
+    def test_wildcard_suppresses_everything(self):
+        src = "eval(unescape('%61')); // repro-ignore: all\n"
+        report = analyze_source(src)
+        assert report.n_findings == 0
+        assert report.suppressed >= 1
+        assert not report.decisive  # suppressed decisive findings do not triage
+
+    def test_other_rule_id_does_not_suppress(self):
+        src = "eval(code); // repro-ignore: with-statement\n"
+        assert [f.rule_id for f in analyze_source(src).findings] == ["dynamic-eval"]
+
+    def test_multiple_ids_comma_separated(self):
+        src = "eval(code); debugger; // repro-ignore: dynamic-eval, debugger-statement\n"
+        assert analyze_source(src).n_findings == 0
+
+    def test_unrelated_line_still_fires(self):
+        src = "// repro-ignore: dynamic-eval\nvar ok = 1;\neval(code);\n"
+        assert any(f.rule_id == "dynamic-eval" for f in analyze_source(src).findings)
+
+    def test_suppressed_findings_do_not_score(self):
+        clean = analyze_source("eval(code); // repro-ignore: all\n")
+        assert clean.score == 0.0
+
+
+class TestRobustness:
+    def test_syntax_error_is_a_structured_finding(self):
+        report = analyze_source("var ((((")
+        assert not report.parse_ok
+        assert report.error
+        (f,) = report.findings
+        assert f.rule_id == PARSE_ERROR_RULE_ID
+        assert f.line >= 1
+
+    def test_non_string_source(self):
+        report = Analyzer().analyze(b"bytes not str")  # type: ignore[arg-type]
+        assert not report.parse_ok and report.error
+
+    def test_empty_source(self):
+        report = analyze_source("")
+        assert report.parse_ok and report.n_findings == 0 and report.score == 0.0
+
+    def test_deep_nesting_never_raises(self):
+        report = analyze_source("(" * 5000 + "1" + ")" * 5000)
+        assert not report.parse_ok
+
+    def test_buggy_rule_is_isolated(self):
+        class Exploder(Rule):
+            id = "exploder"
+            node_types = ("CallExpression",)
+
+            def visit(self, node, ctx):
+                raise RuntimeError("boom")
+
+            def finish(self, ctx):
+                raise RuntimeError("boom")
+
+        analyzer = Analyzer(rules=[Exploder()])
+        report = analyzer.analyze("go(); stop();")
+        assert report.parse_ok and report.n_findings == 0
+        assert analyzer.rule_errors == 3  # two visits + one finish
+
+    def test_duplicate_rule_ids_rejected(self):
+        class A(Rule):
+            id = "dup"
+
+        with pytest.raises(ValueError, match="duplicate"):
+            Analyzer(rules=[A(), A()])
+
+
+class TestScoring:
+    def test_combine_score_is_noisy_or(self):
+        assert combine_score([]) == 0.0
+        assert combine_score([0.5]) == pytest.approx(0.5)
+        assert combine_score([0.5, 0.5]) == pytest.approx(0.75)
+        # individual weights are clamped below 1, so the score never saturates
+        assert combine_score([1.0, 0.2]) == pytest.approx(0.9992)
+
+    def test_score_monotone_in_findings(self):
+        one = analyze_source("eval(a);").score
+        two = analyze_source("eval(a); eval(b);").score
+        assert 0.0 < one < two <= 1.0
+
+    def test_severity_ordering_helper(self):
+        assert severity_at_least("error", "warning")
+        assert severity_at_least("warning", "warning")
+        assert not severity_at_least("info", "warning")
+
+
+class TestReportSerialization:
+    def test_round_trip(self):
+        report = analyze_source("eval(unescape('%61')); debugger;", name="x.js")
+        clone = AnalysisReport.from_json(report.to_json())
+        assert clone.name == "x.js"
+        assert [f.to_dict() for f in clone.findings] == [f.to_dict() for f in report.findings]
+        assert clone.decisive == report.decisive
+        assert clone.score == pytest.approx(report.score)
+
+    def test_json_is_plain_data(self):
+        payload = json.loads(analyze_source("with (o) {}").to_json())
+        assert payload["n_findings"] == 1
+        assert payload["findings"][0]["rule_id"] == "with-statement"
+
+    def test_finding_format_line(self):
+        f = Finding("dynamic-eval", "error", 3, 4, "msg", evidence="eval(x)")
+        assert Finding.from_dict(f.to_dict()) == f
+        assert "a.js:3:4" in f.format("a.js")
+
+    def test_count_by_severity(self):
+        report = analyze_source("eval(a); debugger; with (o) {}")
+        counts = report.count_by_severity()
+        assert counts["error"] == 1 and counts["info"] == 1 and counts["warning"] == 1
+        assert report.max_severity() == "error"
+
+
+class TestMetrics:
+    def test_per_rule_counters_preregistered_and_counted(self):
+        metrics = MetricsRegistry()
+        analyzer = Analyzer(metrics=metrics)
+        analyzer.analyze("eval(a);")
+        rendered = metrics.render()
+        assert 'repro_analysis_findings_total{rule="dynamic-eval"} 1' in rendered
+        # never-fired rules still expose a zero sample
+        assert 'repro_analysis_findings_total{rule="with-statement"} 0' in rendered
+        assert "repro_analysis_scripts_total 1" in rendered
+
+    def test_parse_error_counter(self):
+        metrics = MetricsRegistry()
+        Analyzer(metrics=metrics).analyze("var ((((")
+        assert 'repro_analysis_findings_total{rule="parse-error"} 1' in metrics.render()
+
+
+class TestBatch:
+    def test_analyze_batch_names(self):
+        reports = Analyzer().analyze_batch(["eval(a);", "var x = 1; log(x);"], names=["a", "b"])
+        assert [r.name for r in reports] == ["a", "b"]
+        assert reports[0].n_findings == 1 and reports[1].n_findings == 0
+
+    def test_shared_analyzer_has_no_cross_script_state(self):
+        analyzer = Analyzer()
+        first = analyzer.analyze("eval(unescape('%61'));")
+        clean = analyzer.analyze("var x = 1; log(x);")
+        again = analyzer.analyze("eval(unescape('%61'));")
+        assert first.decisive and again.decisive
+        assert clean.n_findings == 0
+        assert first.n_findings == again.n_findings

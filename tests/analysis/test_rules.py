@@ -1,0 +1,203 @@
+"""Unit tests: one class per built-in rule, positive and negative cases."""
+
+from repro.analysis import analyze_source, default_rules
+
+
+def rule_ids(source: str) -> list[str]:
+    return [f.rule_id for f in analyze_source(source).findings]
+
+
+def findings_for(source: str, rule_id: str):
+    return [f for f in analyze_source(source).findings if f.rule_id == rule_id]
+
+
+class TestCatalog:
+    def test_at_least_ten_distinct_rules(self):
+        rules = default_rules()
+        ids = {rule.id for rule in rules}
+        assert len(ids) == len(rules) >= 10
+
+    def test_every_rule_documented(self):
+        for rule in default_rules():
+            assert rule.description, rule.id
+            assert rule.severity in ("info", "warning", "error"), rule.id
+
+
+class TestDynamicEval:
+    def test_eval_call(self):
+        (f,) = findings_for("eval('1 + 1');", "dynamic-eval")
+        assert f.severity == "error"
+        assert f.line == 1
+
+    def test_function_constructor(self):
+        assert findings_for("var f = new Function('return 1');", "dynamic-eval")
+
+    def test_window_eval_alias(self):
+        assert findings_for("window.eval('x');", "dynamic-eval")
+
+    def test_plain_call_clean(self):
+        assert not findings_for("parseInt('42');", "dynamic-eval")
+
+    def test_local_eval_shadow_still_flagged(self):
+        # Conservative: the rule is syntactic, shadowing does not silence it.
+        assert findings_for("function f(eval) { eval('x'); }", "dynamic-eval")
+
+
+class TestTimerStringArg:
+    def test_settimeout_string(self):
+        (f,) = findings_for("setTimeout('doEvil()', 100);", "timer-string-arg")
+        assert f.severity == "error"
+
+    def test_setinterval_concat(self):
+        assert findings_for("setInterval('a' + b, 50);", "timer-string-arg")
+
+    def test_function_argument_clean(self):
+        assert not findings_for("setTimeout(function () { go(); }, 100);", "timer-string-arg")
+
+
+class TestDecodeChain:
+    def test_direct_nesting(self):
+        (f,) = findings_for('eval(unescape("%61%6c%65"));', "decode-chain")
+        assert f.decisive and f.severity == "error"
+
+    def test_via_variable(self):
+        src = 'var p = unescape("%62%61%64"); eval(p);'
+        assert findings_for(src, "decode-chain")
+
+    def test_multi_hop_copy(self):
+        src = 'var s = unescape("%64%6f"); var t = s; var u = t + "()"; eval(u);'
+        assert findings_for(src, "decode-chain")
+
+    def test_from_char_code_into_function(self):
+        src = "var body = String.fromCharCode(97, 98); var fn = new Function(body); fn();"
+        assert findings_for(src, "decode-chain")
+
+    def test_unconnected_decode_and_eval_clean(self):
+        # Decode output never reaches the sink: no chain.
+        src = 'var a = unescape("%61"); log(a); eval("1");'
+        assert not findings_for(src, "decode-chain")
+
+    def test_report_is_decisive(self):
+        report = analyze_source('eval(atob("YWxlcnQoMSk="));')
+        assert report.decisive
+
+
+class TestHighEntropyLiteral:
+    def test_long_random_blob(self):
+        blob = "kJ8#pQ2$mN9@xR4!vB7%wC1&zD5*eF3^gH6~aT0qLsYuIoPdZ"
+        assert findings_for(f'var k = "{blob}";', "high-entropy-literal")
+
+    def test_short_string_clean(self):
+        assert not findings_for('var k = "Zx9#";', "high-entropy-literal")
+
+    def test_long_prose_clean(self):
+        prose = "this is a perfectly ordinary sentence about nothing at all here"
+        assert not findings_for(f'var msg = "{prose}";', "high-entropy-literal")
+
+
+class TestEscapedStringSoup:
+    def test_hex_escape_soup(self):
+        src = 'var s = "\\x68\\x65\\x6c\\x6c\\x6f\\x21\\x21";'
+        assert findings_for(src, "escaped-string-soup")
+
+    def test_few_escapes_clean(self):
+        assert not findings_for('var s = "line one\\nline two with words";', "escaped-string-soup")
+
+
+class TestSuspiciousGlobalBracket:
+    def test_window_computed(self):
+        assert findings_for('window["ev" + "al"]("x");', "suspicious-global-bracket")
+
+    def test_document_computed(self):
+        assert findings_for("document[cmd]();", "suspicious-global-bracket")
+
+    def test_numeric_index_clean(self):
+        assert not findings_for("var first = window[0];", "suspicious-global-bracket")
+
+    def test_dot_access_clean(self):
+        assert not findings_for("window.alert('hi');", "suspicious-global-bracket")
+
+
+class TestDocumentWrite:
+    def test_document_write(self):
+        assert findings_for('document.write("<script src=evil>");', "document-write")
+
+    def test_writeln(self):
+        assert findings_for('document.writeln("x");', "document-write")
+
+
+class TestUseBeforeDef:
+    def test_var_used_before_assignment(self):
+        src = "log(x); var x = 1;"
+        (f,) = findings_for(src, "use-before-def")
+        assert "x" in f.message
+
+    def test_defined_first_clean(self):
+        assert not findings_for("var x = 1; log(x);", "use-before-def")
+
+    def test_function_hoisting_clean(self):
+        assert not findings_for("go(); function go() { return 1; }", "use-before-def")
+
+
+class TestWriteOnlyVariable:
+    def test_assigned_never_read(self):
+        (f,) = findings_for("var unused = compute();", "write-only-variable")
+        assert f.severity == "info"
+
+    def test_read_variable_clean(self):
+        assert not findings_for("var used = 1; log(used);", "write-only-variable")
+
+
+class TestUnreachableCode:
+    def test_statement_after_return(self):
+        src = "function f() { return 1; log('never'); }"
+        assert findings_for(src, "unreachable-code")
+
+    def test_one_finding_per_dead_block(self):
+        src = "function f() { return 1; a(); b(); c(); }"
+        assert len(findings_for(src, "unreachable-code")) == 1
+
+    def test_function_decl_after_return_clean(self):
+        # Hoisted declarations are reachable even after a return.
+        src = "function f() { return g(); function g() { return 1; } }"
+        assert not findings_for(src, "unreachable-code")
+
+    def test_straight_line_clean(self):
+        assert not findings_for("var a = 1; var b = a + 1;", "unreachable-code")
+
+
+class TestWithStatement:
+    def test_with(self):
+        assert findings_for("with (obj) { go(); }", "with-statement")
+
+
+class TestDeepNesting:
+    def test_ternary_chain(self):
+        src = "var v = a ? 1 : b ? 2 : c ? 3 : d ? 4 : 5;"
+        assert len(findings_for(src, "deep-nesting")) == 1
+
+    def test_long_comma_chain(self):
+        src = "var v = (a = 1, b = 2, c = 3, d = 4, e = 5, f = 6);"
+        assert findings_for(src, "deep-nesting")
+
+    def test_single_ternary_clean(self):
+        assert not findings_for("var v = a ? 1 : 2;", "deep-nesting")
+
+
+class TestDebuggerStatement:
+    def test_debugger(self):
+        (f,) = findings_for("debugger;", "debugger-statement")
+        assert f.severity == "info"
+
+
+class TestFindingShape:
+    def test_spans_point_at_source(self):
+        report = analyze_source("var a = 1;\nlog(a);\neval(code);\n")
+        (f,) = report.findings
+        assert (f.line, f.rule_id) == (3, "dynamic-eval")
+        assert "eval(code)" in f.evidence
+
+    def test_findings_sorted_by_position(self):
+        src = "debugger;\neval(a);\nwith (o) {}\n"
+        lines = [f.line for f in analyze_source(src).findings]
+        assert lines == sorted(lines)

@@ -1,7 +1,6 @@
 """Property-based invariants of the CFG and PDG builders over the corpus."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -1,6 +1,5 @@
 """Statistical tests for the realistic corpus mixture (Sec. IV-A1 analog)."""
 
-import numpy as np
 import pytest
 
 from repro.datasets import build_corpus, build_realistic_corpus

@@ -103,3 +103,56 @@ class TestServeUsageErrors:
     def test_serve_unreadable_model_exits_2(self, tmp_path, capsys):
         assert main(["serve", "--model", str(tmp_path / "no_model"), "--port", "0"]) == 2
         assert "cannot load model" in capsys.readouterr().err
+
+
+@pytest.fixture(scope="module")
+def findings_file(tmp_path_factory):
+    path = tmp_path_factory.mktemp("analyze") / "sus.js"
+    path.write_text("debugger;\neval(payload);\n")
+    return str(path)
+
+
+class TestAnalyzeExitCodes:
+    def test_clean_file_exits_0(self, script_file, capsys):
+        assert main(["analyze", script_file]) == 0
+        assert "0 at/above error" in capsys.readouterr().err
+
+    def test_error_finding_exits_1(self, findings_file, capsys):
+        assert main(["analyze", findings_file]) == 1
+        assert "dynamic-eval" in capsys.readouterr().out
+
+    def test_fail_on_info_lowers_the_bar(self, tmp_path, capsys):
+        path = tmp_path / "dbg.js"
+        path.write_text("debugger;\n")
+        assert main(["analyze", str(path)]) == 0  # info < default error floor
+        assert main(["analyze", "--fail-on", "info", str(path)]) == 1
+
+    def test_suppressed_finding_does_not_fail(self, tmp_path, capsys):
+        path = tmp_path / "ok.js"
+        path.write_text("eval(code); // repro-ignore: dynamic-eval\n")
+        assert main(["analyze", str(path)]) == 0
+        assert "1 suppressed" in capsys.readouterr().err
+
+    def test_no_input_exits_2(self, tmp_path, capsys):
+        assert main(["analyze", str(tmp_path / "ghost.js")]) == 2
+        assert "no input files" in capsys.readouterr().err
+
+    def test_json_format_emits_reports(self, findings_file, capsys):
+        assert main(["analyze", "--format", "json", findings_file]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["n_files"] == 1
+        assert payload["n_failing"] == 1
+        assert len(payload["rules"]) >= 10
+        rules = {f["rule_id"] for f in payload["reports"][0]["findings"]}
+        assert "dynamic-eval" in rules
+
+    def test_stdin_analysis(self, monkeypatch, capsys):
+        monkeypatch.setattr("sys.stdin", io.StringIO("eval(x);"))
+        assert main(["analyze", "-"]) == 1
+        assert "<stdin>" in capsys.readouterr().out
+
+    def test_syntax_error_is_warning_not_usage_error(self, tmp_path, capsys):
+        path = tmp_path / "broken.js"
+        path.write_text("var ((((")
+        assert main(["analyze", str(path)]) == 0  # parse-error is a warning
+        assert main(["analyze", "--fail-on", "warning", str(path)]) == 1

@@ -1,6 +1,5 @@
 """Unit tests for CLI plumbing that needs no trained model."""
 
-from pathlib import Path
 
 import pytest
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.jsinterp import Environment, JSReferenceError, JSUndefined, run_program
+from repro.jsinterp import Environment, JSReferenceError, run_program
 
 
 class TestEnvironmentChain:

@@ -1,6 +1,5 @@
 """Unit tests for the JavaScript interpreter."""
 
-import math
 
 import pytest
 

@@ -1,0 +1,93 @@
+"""Regression tests: comment capture and node span (loc) fidelity."""
+
+from repro.jsparser import Parser, parse, parse_with_comments
+
+
+def comments_of(source: str):
+    parser = Parser(source)
+    parser.parse()
+    return parser.comments
+
+
+def first_statement(source: str):
+    return parse(source).body[0]
+
+
+class TestCommentCapture:
+    def test_line_comment_text_and_position(self):
+        (c,) = comments_of("var a = 1; // trailing note\n")
+        assert c.text.strip() == "trailing note"
+        assert (c.line, c.block) == (1, False)
+        assert not c.own_line
+
+    def test_own_line_comment_flag(self):
+        src = "// alone on its line\nvar a = 1; // not alone\n"
+        alone, trailing = comments_of(src)
+        assert alone.own_line and not trailing.own_line
+        assert (alone.line, trailing.line) == (1, 2)
+
+    def test_block_comment(self):
+        (c,) = comments_of("/* block\n   body */ var a = 1;\n")
+        assert c.block and c.own_line
+        assert "block" in c.text and "body" in c.text
+        assert c.line == 1
+
+    def test_indented_own_line_comment(self):
+        (c,) = comments_of("if (x) {\n    // indented but alone\n    go();\n}\n")
+        assert c.own_line and c.line == 2
+
+    def test_parse_with_comments_helper(self):
+        program, comments = parse_with_comments("// hi\nvar a = 1;\n")
+        assert program.type == "Program"
+        assert [c.text.strip() for c in comments] == ["hi"]
+
+    def test_no_comments(self):
+        assert comments_of("var a = 1;\n") == []
+
+
+class TestSpanFidelity:
+    def test_member_expression_starts_at_object(self):
+        expr = first_statement("foo.bar.baz;").expression
+        # ESTree: the whole member chain spans from the base object
+        assert expr.loc == (1, 0)
+        assert expr.object.loc == (1, 0)
+        # ...but each property identifier points at itself
+        assert expr.property.loc == (1, 8)
+        assert expr.object.property.loc == (1, 4)
+
+    def test_call_expression_starts_at_callee(self):
+        expr = first_statement("foo.bar(1, 2);").expression
+        assert expr.type == "CallExpression"
+        assert expr.loc == (1, 0)
+
+    def test_computed_member_starts_at_object(self):
+        expr = first_statement('window["x"];').expression
+        assert expr.loc == (1, 0)
+
+    def test_named_function_expression_name_loc(self):
+        decl = first_statement("var f = function named() {};")
+        fn = decl.declarations[0].init
+        assert fn.id is not None
+        # the identifier's loc is the name token itself, not what follows it
+        assert fn.id.loc == (1, 17)
+
+    def test_labeled_break_span(self):
+        src = "outer: for (;;) { break outer; }"
+        loop = first_statement(src).body
+        brk = loop.body.body[0]
+        assert brk.type == "BreakStatement"
+        assert brk.label.loc == (1, 24)
+
+    def test_labeled_continue_span(self):
+        src = "outer: for (;;) { continue outer; }"
+        loop = first_statement(src).body
+        cont = loop.body.body[0]
+        assert cont.type == "ContinueStatement"
+        assert cont.label.loc == (1, 27)
+
+    def test_multiline_chain(self):
+        src = "foo\n  .bar\n  .baz();\n"
+        expr = first_statement(src).expression
+        assert expr.type == "CallExpression"
+        assert expr.loc == (1, 0)
+        assert expr.callee.property.loc == (3, 3)

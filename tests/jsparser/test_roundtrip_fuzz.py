@@ -1,0 +1,103 @@
+"""Parser robustness: corpus round-trips and seeded mutation fuzzing.
+
+Two contracts under fire:
+
+* ``parse`` either succeeds or raises :class:`JSSyntaxError` — never an
+  uncaught ``IndexError``/``AttributeError``/``TypeError`` — no matter how
+  mangled the input is,
+* ``Analyzer.analyze`` **never** raises at all (its report carries the
+  structured parse failure instead).
+
+The mutation corpus is deterministic (seeded ``random.Random``), so a
+failure reproduces by seed.
+"""
+
+import random
+from pathlib import Path
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.analysis import Analyzer
+from repro.jsparser import JSSyntaxError, generate, parse
+
+CORPUS = sorted((Path(__file__).resolve().parents[2] / "examples" / "corpus").glob("*.js"))
+
+FUZZ_CHARS = "(){}[];,.\"'`\\/+-*<>=!&|?:%\n\t xX09_$"
+
+
+def parse_or_syntax_error(source: str):
+    """The whole robustness contract in one helper."""
+    try:
+        return parse(source)
+    except (JSSyntaxError, RecursionError):
+        return None
+
+
+def mutate(source: str, rng: random.Random) -> str:
+    """One random structural mutation: delete, duplicate, insert, or swap."""
+    if not source:
+        return rng.choice(FUZZ_CHARS)
+    op = rng.randrange(4)
+    i = rng.randrange(len(source))
+    j = min(len(source), i + rng.randrange(1, 12))
+    if op == 0:  # delete a slice
+        return source[:i] + source[j:]
+    if op == 1:  # duplicate a slice
+        return source[:j] + source[i:j] + source[j:]
+    if op == 2:  # insert fuzz characters
+        blob = "".join(rng.choice(FUZZ_CHARS) for _ in range(rng.randrange(1, 8)))
+        return source[:i] + blob + source[i:]
+    return source[:i] + source[i:j][::-1] + source[j:]  # reverse a slice
+
+
+@pytest.mark.parametrize("path", CORPUS, ids=lambda p: p.name)
+class TestCorpusRoundTrip:
+    def test_parse_generate_reparse_stabilizes(self, path):
+        source = path.read_text()
+        first = generate(parse(source))
+        second = generate(parse(first))
+        # codegen output is a fixed point: regenerating it changes nothing
+        assert second == first
+
+    def test_analyzer_handles_corpus(self, path):
+        report = Analyzer().analyze(path.read_text(), name=path.name)
+        assert report.parse_ok
+        assert 0.0 <= report.score < 1.0
+
+
+@pytest.mark.parametrize("path", CORPUS, ids=lambda p: p.name)
+def test_mutated_corpus_never_crashes(path):
+    source = path.read_text()
+    analyzer = Analyzer()
+    rng = random.Random(f"fuzz:{path.name}")
+    for round_number in range(30):
+        mutant = source
+        for _ in range(rng.randrange(1, 5)):
+            mutant = mutate(mutant, rng)
+        program = parse_or_syntax_error(mutant)  # only JSSyntaxError allowed
+        if program is not None:
+            generate(program)  # a parsed mutant must also be printable
+        report = analyzer.analyze(mutant, name=f"{path.name}#{round_number}")
+        assert report is not None and report.elapsed_ms >= 0.0
+
+
+@settings(max_examples=150, deadline=None)
+@given(st.text(alphabet=FUZZ_CHARS, max_size=120))
+def test_random_text_parse_contract(source):
+    parse_or_syntax_error(source)
+
+
+@settings(max_examples=75, deadline=None)
+@given(st.text(max_size=80))
+def test_random_unicode_analyzer_never_raises(source):
+    report = Analyzer().analyze(source)
+    assert report.name == "<script>"
+
+
+def test_truncation_sweep_on_one_sample():
+    # Every prefix of a real script: the classic lexer/parser crash surface.
+    source = CORPUS[0].read_text()[:400]
+    for end in range(len(source)):
+        parse_or_syntax_error(source[:end])

@@ -1,6 +1,5 @@
 """Unit tests for the Minifier and the WildObfuscator."""
 
-import pytest
 
 from repro.jsparser import find_all, parse, walk
 from repro.obfuscation import Minifier, WildObfuscator

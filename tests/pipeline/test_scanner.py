@@ -195,3 +195,73 @@ class TestKeptIndexAlignment:
         det.pretrain(split.pretrain.sources, split.pretrain.labels)
         det.fit(split.train.sources, split.train.labels)  # no misalignment error
         assert all(f.central_path_signature for f in det.feature_extractor.features_)
+
+
+DECISIVE_SOURCE = 'var s = unescape("%61%6c"); var t = s + "()"; eval(t);'
+
+
+class TestTriageIntegration:
+    def test_verdicts_identical_without_decisive_hits(self, detector, split):
+        from repro.analysis import Analyzer
+
+        sources = split.test.sources
+        full = BatchScanner(detector).scan(sources)
+        triaged = BatchScanner(detector, triage=Analyzer()).scan(sources)
+        if triaged.triage_hits == 0:  # synthetic corpus trips no decisive rule
+            assert np.array_equal(full.label_array, triaged.label_array)
+            assert np.allclose(full.probabilities, triaged.probabilities)
+        # non-triaged files always match the full pipeline exactly
+        for full_result, tri in zip(full.results, triaged.results):
+            if not tri.triaged:
+                assert tri.label == full_result.label
+                assert tri.probability == pytest.approx(full_result.probability)
+
+    def test_decisive_script_short_circuits(self, detector, split):
+        from repro.analysis import Analyzer
+
+        sources = split.test.sources[:3] + [DECISIVE_SOURCE]
+        report = BatchScanner(detector, triage=Analyzer()).scan(sources)
+        hit = report.results[-1]
+        assert hit.triaged and hit.malicious and hit.probability == 1.0
+        assert hit.path_count == 0  # embedding never ran
+        assert report.triage_hits == 1
+        assert report.probability_matrix[-1, 1] == 1.0
+        assert hit.analysis is not None and hit.analysis["decisive"]
+
+    def test_analysis_attached_and_stage_recorded(self, detector, split):
+        from repro.analysis import Analyzer
+
+        report = BatchScanner(detector, triage=Analyzer()).scan(split.test.sources[:2])
+        assert all(r.analysis is not None for r in report.results)
+        assert "analysis" in report.stage_ms
+        assert all("analysis" in r.stage_ms for r in report.results)
+
+    def test_triaged_scripts_bypass_the_cache(self, detector):
+        from repro.analysis import Analyzer
+
+        cache = FeatureCache(detector.fingerprint())
+        scanner = BatchScanner(detector, cache=cache, triage=Analyzer())
+        first = scanner.scan([DECISIVE_SOURCE])
+        second = scanner.scan([DECISIVE_SOURCE])
+        assert first.triage_hits == second.triage_hits == 1
+        assert first.cache_misses == 0 and second.cache_hits == 0
+        assert cache.stats()["entries"] == 0
+
+    def test_untriaged_scan_reports_untouched(self, detector, split):
+        report = BatchScanner(detector).scan(split.test.sources[:2])
+        assert report.triage_hits == 0
+        assert all(r.analysis is None and not r.triaged for r in report.results)
+        assert "analysis" not in report.stage_ms
+
+    def test_detector_scan_batch_triage_flag(self, detector, split):
+        report = detector.scan_batch(split.test.sources[:2] + [DECISIVE_SOURCE], triage=True)
+        assert report.triage_hits == 1
+        assert report.results[-1].triaged
+
+    def test_all_scripts_triaged(self, detector):
+        from repro.analysis import Analyzer
+
+        report = BatchScanner(detector, triage=Analyzer()).scan([DECISIVE_SOURCE, DECISIVE_SOURCE])
+        assert report.triage_hits == 2
+        assert all(r.triaged for r in report.results)
+        assert report.probability_matrix.shape == (2, 2)
