@@ -1,9 +1,12 @@
 """CI smoke check for `repro serve`: healthz, one scan, metrics.
 
-Usage: serve_smoke.py BASE_URL SCRIPT_PATH
+Usage: serve_smoke.py BASE_URL SCRIPT_PATH [--chaos]
 
 Waits for the daemon to come up, POSTs the script, and asserts a
 well-formed verdict plus a healthy /healthz and a non-empty /metrics.
+With ``--chaos`` (daemon booted with ``REPRO_FAULT_INJECT=1`` and
+``--timeout-s``), additionally POSTs a hang-marker script and asserts the
+degraded-verdict + quarantine contract survives a worker kill.
 Exits non-zero (with the failure printed) on any violation.
 """
 
@@ -17,6 +20,41 @@ import urllib.request
 def get(url):
     with urllib.request.urlopen(url, timeout=10) as response:
         return response.status, response.read()
+
+
+def post_scan(base_url, source, name):
+    request = urllib.request.Request(
+        f"{base_url}/scan",
+        data=json.dumps({"source": source, "name": name}).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=60) as response:
+        return response.status, json.loads(response.read())
+
+
+def chaos(base_url):
+    """A hanging script must cost its worker, not the daemon."""
+    hang = "/* @repro-fault:hang */ var a = 1;"
+    status, verdict = post_scan(base_url, hang, "hang.js")
+    assert status == 200, verdict
+    assert verdict["status"] == "timeout", verdict
+    assert verdict["degraded"] is True, verdict
+    print("chaos verdict:", verdict["status"], verdict["fault"]["detail"])
+
+    # The poison is quarantined: the rescan is served without a worker.
+    status, verdict = post_scan(base_url, hang, "hang-again.js")
+    assert status == 200 and verdict["fault"].get("known") is True, verdict
+
+    status, body = get(f"{base_url}/healthz")
+    health = json.loads(body)
+    assert status == 200 and health["status"] == "ok", health
+    assert health["quarantined"] >= 1, health
+    assert health["breaker"]["state"] in ("closed", "half_open"), health
+
+    status, body = get(f"{base_url}/metrics")
+    text = body.decode()
+    assert 'repro_scan_failures_total{cause="timeout"}' in text, text[:400]
+    print("chaos: daemon survived a hung worker; quarantine + breaker healthy")
 
 
 def main(base_url, script_path):
@@ -35,14 +73,8 @@ def main(base_url, script_path):
 
     with open(script_path, encoding="utf-8") as handle:
         source = handle.read()
-    request = urllib.request.Request(
-        f"{base_url}/scan",
-        data=json.dumps({"source": source, "name": script_path}).encode(),
-        headers={"Content-Type": "application/json"},
-    )
-    with urllib.request.urlopen(request, timeout=60) as response:
-        verdict = json.loads(response.read())
-        assert response.status == 200, verdict
+    status, verdict = post_scan(base_url, source, script_path)
+    assert status == 200, verdict
     print("verdict:", verdict)
     assert verdict["verdict"] in ("benign", "malicious"), verdict
     assert 0.0 <= verdict["probability"] <= 1.0, verdict
@@ -54,6 +86,9 @@ def main(base_url, script_path):
     assert status == 200 and "repro_http_requests_total" in text, text[:400]
     assert "repro_serve_batches_total" in text, text[:400]
     print("metrics: ok ({} lines)".format(len(text.splitlines())))
+
+    if "--chaos" in sys.argv[3:]:
+        chaos(base_url)
 
 
 if __name__ == "__main__":

@@ -15,7 +15,13 @@ Quick use::
         print(finding.format("suspect.js"))
 """
 
-from .analyzer import PARSE_ERROR_RULE_ID, Analyzer, analyze_source, parse_suppressions
+from .analyzer import (
+    EXTRACT_ERROR_RULE_ID,
+    PARSE_ERROR_RULE_ID,
+    Analyzer,
+    analyze_source,
+    parse_suppressions,
+)
 from .catalog import DECODE_NAMES, SINK_NAMES, callee_name, default_rules, shannon_entropy
 from .findings import (
     SEVERITIES,
@@ -33,6 +39,7 @@ __all__ = [
     "Finding",
     "Rule",
     "RuleContext",
+    "EXTRACT_ERROR_RULE_ID",
     "PARSE_ERROR_RULE_ID",
     "SEVERITIES",
     "SEVERITY_RANK",

@@ -37,6 +37,11 @@ if TYPE_CHECKING:  # pragma: no cover
 #: Rule id attached to syntax-failure findings.
 PARSE_ERROR_RULE_ID = "parse-error"
 
+#: Rule id attached when a rule (or its lazy dataflow facts) blows the
+#: recursion limit on a pathologically nested tree: the walk survives and
+#: the report says explicitly which analyses were cut short.
+EXTRACT_ERROR_RULE_ID = "extract-error"
+
 #: Suppression directive: ``// repro-ignore: rule-a, rule-b`` or ``all``.
 _IGNORE_DIRECTIVE = re.compile(r"repro-ignore\s*:\s*([\w\-*,\s]+)")
 
@@ -107,7 +112,8 @@ class Analyzer:
                     "Unsuppressed findings by rule",
                     labels={"rule": rule_id},
                 )
-                for rule_id in [rule.id for rule in self.rules] + [PARSE_ERROR_RULE_ID]
+                for rule_id in [rule.id for rule in self.rules]
+                + [PARSE_ERROR_RULE_ID, EXTRACT_ERROR_RULE_ID]
             }
 
     # ------------------------------------------------------------------- API
@@ -118,7 +124,21 @@ class Analyzer:
     def analyze(self, source: str, name: str = "<script>") -> AnalysisReport:
         """Analyze one script; never raises."""
         started = time.perf_counter()
-        report = self._analyze(source, name)
+        try:
+            report = self._analyze(source, name)
+        except RecursionError:
+            # Belt and braces: a blowup at the very stack edge (e.g. inside
+            # an exception handler that itself has no frames left) still
+            # becomes a structured report once the stack has unwound.
+            report = AnalysisReport(
+                name=name,
+                findings=[
+                    Finding(PARSE_ERROR_RULE_ID, "warning", 1, 0, "nesting too deep to analyze")
+                ],
+                score=SEVERITY_WEIGHT["warning"],
+                parse_ok=False,
+                error="recursion limit exceeded while analyzing",
+            )
         report.elapsed_ms = 1000.0 * (time.perf_counter() - started)
         if self.metrics is not None:
             self._m_scripts.inc()
@@ -172,10 +192,13 @@ class Analyzer:
             )
 
         ctx = RuleContext(source, program, name)
-        self._walk(program, ctx)
+        aborted: set[str] = set()
+        self._walk(program, ctx, aborted)
         for rule in self.rules:
             try:
                 rule.finish(ctx)
+            except RecursionError:
+                self._record_abort(ctx, rule.id, aborted)
             except Exception:
                 self.rule_errors += 1
 
@@ -201,7 +224,7 @@ class Analyzer:
             suppressed=suppressed,
         )
 
-    def _walk(self, program: ast.Program, ctx: RuleContext) -> None:
+    def _walk(self, program: ast.Program, ctx: RuleContext, aborted: set[str]) -> None:
         """Single pre-order walk: record parents, dispatch node hooks."""
         hooks = self._hooks_by_type
         stack: list[ast.Node] = [program]
@@ -211,12 +234,32 @@ class Analyzer:
             for rule in hooks.get(node.type, ()):
                 try:
                     rule.visit(node, ctx)
+                except RecursionError:
+                    # The walk itself is iterative; only a rule (or the lazy
+                    # dataflow facts it pulled) can blow the stack.  Convert
+                    # the blowup into one structured finding per rule.
+                    self._record_abort(ctx, rule.id, aborted)
                 except Exception:
                     self.rule_errors += 1
             children = list(node.children())
             for child in children:
                 parent_of[id(child)] = node
             stack.extend(reversed(children))
+
+    @staticmethod
+    def _record_abort(ctx: RuleContext, rule_id: str, aborted: set[str]) -> None:
+        if rule_id in aborted:
+            return
+        aborted.add(rule_id)
+        ctx.findings.append(
+            Finding(
+                rule_id=EXTRACT_ERROR_RULE_ID,
+                severity="warning",
+                line=1,
+                col=0,
+                message=f"rule {rule_id} aborted: nesting too deep to analyze",
+            )
+        )
 
 
 def analyze_source(source: str, name: str = "<script>") -> AnalysisReport:

@@ -11,6 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.jsparser import JSSyntaxError
+from repro.paths import ExtractionError
 
 
 class BaselineDetector:
@@ -39,7 +40,7 @@ def safe_parse_tokens(fn):
     def wrapped(source: str):
         try:
             return fn(source)
-        except (JSSyntaxError, RecursionError):
+        except (JSSyntaxError, ExtractionError, RecursionError):
             return []
 
     return wrapped

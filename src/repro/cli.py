@@ -109,6 +109,21 @@ def _cmd_scan(args: argparse.Namespace) -> int:
     except (OSError, ValueError, KeyError) as error:
         print(f"error: cannot load model {args.model!r}: {error}", file=sys.stderr)
         return 2
+    limits = None
+    if args.timeout_s is not None or args.max_rss_mb is not None:
+        from repro.faults import ScanLimits
+
+        limits = ScanLimits(timeout_s=args.timeout_s, max_rss_mb=args.max_rss_mb)
+        try:
+            limits.validate()
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+    quarantine = None
+    if args.quarantine_dir is not None:
+        from repro.faults import QuarantineJournal
+
+        quarantine = QuarantineJournal.in_dir(args.quarantine_dir)
     try:
         report = detector.scan_batch(
             sources,
@@ -117,6 +132,8 @@ def _cmd_scan(args: argparse.Namespace) -> int:
             cache_dir=args.cache_dir,
             threshold=args.threshold,
             triage=args.triage,
+            limits=limits,
+            quarantine=quarantine,
         )
     except OSError as error:
         print(f"error: cache directory {args.cache_dir!r} unusable: {error}", file=sys.stderr)
@@ -128,7 +145,10 @@ def _cmd_scan(args: argparse.Namespace) -> int:
             verdict = "MALICIOUS" if result.malicious else "clean"
             cached = "  (cached)" if result.cache_hit else ""
             triaged = "  (triaged)" if result.triaged else ""
-            print(f"{verdict:9s}  P={result.probability:.3f}  {result.path}{cached}{triaged}")
+            flags = cached + triaged
+            if result.status != "ok":
+                flags += f"  [{result.status}{', degraded' if result.degraded else ''}]"
+            print(f"{verdict:9s}  P={result.probability:.3f}  {result.path}{flags}")
         print(f"# {report.summary()}", file=sys.stderr)
     return 1 if report.n_malicious else 0
 
@@ -192,6 +212,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             cache_dir=args.cache_dir,
             threshold=args.threshold,
             request_timeout_s=args.request_timeout,
+            timeout_s=args.timeout_s,
+            max_rss_mb=args.max_rss_mb,
+            quarantine_dir=args.quarantine_dir,
+            breaker_threshold=args.breaker_threshold,
+            breaker_reset_s=args.breaker_reset_s,
+            max_body_bytes=args.max_body_bytes,
         )
         config.validate()
     except ValueError as error:
@@ -260,6 +286,12 @@ def build_parser() -> argparse.ArgumentParser:
                       help="text lines or one machine-readable ScanReport JSON object")
     scan.add_argument("--triage", action="store_true",
                       help="run static analysis first; decisive rule hits skip embedding")
+    scan.add_argument("--timeout-s", type=float, default=None,
+                      help="per-script wall-clock deadline; enables fault-isolated workers")
+    scan.add_argument("--max-rss-mb", type=int, default=None,
+                      help="per-script memory headroom in MiB (RLIMIT_AS); enables isolation")
+    scan.add_argument("--quarantine-dir", default=None,
+                      help="persist quarantine.jsonl of poison scripts here")
     scan.add_argument("paths", nargs="+",
                       help=".js files, directories, or - to read one script from stdin")
     scan.set_defaults(fn=_cmd_scan)
@@ -299,6 +331,18 @@ def build_parser() -> argparse.ArgumentParser:
                        help="default verdict threshold (overridable per request)")
     serve.add_argument("--request-timeout", type=float, default=30.0,
                        help="seconds before a queued request is answered 503")
+    serve.add_argument("--timeout-s", type=float, default=None,
+                       help="per-script wall-clock deadline; enables fault-isolated workers")
+    serve.add_argument("--max-rss-mb", type=int, default=None,
+                       help="per-script memory headroom in MiB (RLIMIT_AS); enables isolation")
+    serve.add_argument("--quarantine-dir", default=None,
+                       help="persist quarantine.jsonl of poison scripts here")
+    serve.add_argument("--breaker-threshold", type=int, default=5,
+                       help="consecutive worker deaths that open the circuit breaker")
+    serve.add_argument("--breaker-reset-s", type=float, default=30.0,
+                       help="seconds the breaker stays open before a half-open probe")
+    serve.add_argument("--max-body-bytes", type=int, default=16 * 1024 * 1024,
+                       help="request body cap; larger bodies are refused with 413")
     serve.set_defaults(fn=_cmd_serve)
 
     explain = sub.add_parser("explain", help="show a saved model's top features")

@@ -31,12 +31,13 @@ import numpy as np
 
 from repro.embedding import PathEmbedder
 from repro.jsparser import JSSyntaxError
-from repro.paths import PathContext, PathExtractor
+from repro.paths import ExtractionError, PathContext, PathExtractor
 
 from .config import JSRevealerConfig
 from .features import FeatureExtractor
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults import QuarantineJournal, ScanLimits
     from repro.pipeline import FeatureCache, ScanReport, ScanResult
 
 
@@ -118,7 +119,7 @@ class JSRevealer:
         with self._timed("path_extraction"):
             try:
                 return self.extractor.extract_from_source(source)
-            except (JSSyntaxError, RecursionError):
+            except (JSSyntaxError, ExtractionError, RecursionError):
                 return []
 
     def embed_script(
@@ -216,6 +217,8 @@ class JSRevealer:
         cache_dir: str | None = None,
         threshold: float = 0.5,
         triage: bool = False,
+        limits: "ScanLimits | None" = None,
+        quarantine: "QuarantineJournal | None" = None,
     ) -> "ScanReport":
         """Scan a batch of scripts, optionally in parallel and cached.
 
@@ -227,6 +230,11 @@ class JSRevealer:
         ``triage=True`` runs the static-analysis rule catalog first:
         findings are attached per file, and decisive rule hits settle the
         verdict without embedding (see :class:`~repro.analysis.Analyzer`).
+        ``limits`` switches on the fault-isolation layer: every script runs
+        under a wall-clock deadline and kernel rlimits in a supervised
+        worker, hostile scripts are quarantined (``quarantine``, defaulting
+        to an in-memory journal) and answered with a structured degraded
+        verdict (see :mod:`repro.faults`).
         """
         from repro.pipeline import BatchScanner, FeatureCache
 
@@ -237,7 +245,14 @@ class JSRevealer:
             from repro.analysis import Analyzer
 
             analyzer = Analyzer()
-        scanner = BatchScanner(self, n_workers=n_workers, cache=cache, triage=analyzer)
+        scanner = BatchScanner(
+            self,
+            n_workers=n_workers,
+            cache=cache,
+            triage=analyzer,
+            limits=limits,
+            quarantine=quarantine,
+        )
         return scanner.scan(sources, names=names, threshold=threshold)
 
     def predict(self, sources: list[str]) -> np.ndarray:

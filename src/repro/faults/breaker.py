@@ -1,0 +1,177 @@
+"""Circuit breaker around the scan executor.
+
+Worker deaths are expensive: each one costs a kill + respawn, and a
+sustained stream of them (a poisoned submission queue, a bad deploy of the
+model, a kernel OOM storm) can keep the daemon busy doing nothing but
+burying workers.  The breaker converts that state into fast, explicit
+backpressure:
+
+* **closed** — normal operation; consecutive worker deaths are counted,
+  any fully clean batch resets the count,
+* **open** — after ``failure_threshold`` consecutive deaths; admission is
+  refused (the daemon answers 503 + ``Retry-After``) until
+  ``reset_timeout_s`` elapses,
+* **half-open** — one probe batch is admitted; success closes the
+  breaker, another death re-opens it (and restarts the clock).
+
+The breaker is deliberately ignorant of HTTP — it answers ``allow()`` and
+consumes ``record_success()``/``record_failure()``; the server maps that
+onto status codes.  Thread-safe; the clock is injectable for tests.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs import MetricsRegistry
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+#: Gauge encoding for /metrics (`repro_breaker_state`).
+STATE_CODES = {CLOSED: 0, HALF_OPEN: 1, OPEN: 2}
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with a half-open recovery probe.
+
+    Args:
+        failure_threshold: Consecutive worker deaths that open the breaker.
+        reset_timeout_s: Seconds the breaker stays open before admitting a
+            half-open probe.
+        clock: Monotonic time source (injectable for deterministic tests).
+        metrics: Optional registry; mirrors state and transition counts
+            into ``repro_breaker_state`` / ``repro_breaker_transitions_total``.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        reset_timeout_s: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+        metrics: "MetricsRegistry | None" = None,
+    ):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be positive")
+        if reset_timeout_s <= 0:
+            raise ValueError("reset_timeout_s must be positive")
+        self.failure_threshold = failure_threshold
+        self.reset_timeout_s = reset_timeout_s
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at: float | None = None
+        self._probe_in_flight = False
+
+        self._m_state = None
+        self._m_transitions: dict[str, object] = {}
+        if metrics is not None:
+            self._m_state = metrics.gauge(
+                "repro_breaker_state",
+                "Scan-executor circuit breaker state (0 closed, 1 half-open, 2 open)",
+            )
+            self._m_transitions = {
+                state: metrics.counter(
+                    "repro_breaker_transitions_total",
+                    "Circuit breaker state transitions",
+                    labels={"to": state},
+                )
+                for state in (CLOSED, OPEN, HALF_OPEN)
+            }
+
+    # ------------------------------------------------------------- inspection
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            self._maybe_half_open()
+            return self._state
+
+    @property
+    def consecutive_failures(self) -> int:
+        with self._lock:
+            return self._consecutive_failures
+
+    def retry_after_s(self) -> float:
+        """Seconds until a probe would be admitted (0 when not open)."""
+        with self._lock:
+            if self._state != OPEN or self._opened_at is None:
+                return 0.0
+            return max(0.0, self._opened_at + self.reset_timeout_s - self._clock())
+
+    def snapshot(self) -> dict:
+        """State summary for /healthz."""
+        with self._lock:
+            self._maybe_half_open()
+            out = {
+                "state": self._state,
+                "consecutive_failures": self._consecutive_failures,
+                "failure_threshold": self.failure_threshold,
+            }
+            if self._state == OPEN and self._opened_at is not None:
+                out["retry_after_s"] = round(
+                    max(0.0, self._opened_at + self.reset_timeout_s - self._clock()), 3
+                )
+            return out
+
+    # --------------------------------------------------------------- protocol
+
+    def allow(self) -> bool:
+        """May one batch be dispatched right now?
+
+        In half-open state exactly one caller wins the probe slot; everyone
+        else keeps getting refused until the probe reports back.
+        """
+        with self._lock:
+            self._maybe_half_open()
+            if self._state == CLOSED:
+                return True
+            if self._state == HALF_OPEN and not self._probe_in_flight:
+                self._probe_in_flight = True
+                return True
+            return False
+
+    def record_success(self) -> None:
+        """A batch completed with zero worker deaths."""
+        with self._lock:
+            self._consecutive_failures = 0
+            self._probe_in_flight = False
+            if self._state != CLOSED:
+                self._transition(CLOSED)
+            self._opened_at = None
+
+    def record_failure(self, deaths: int = 1) -> None:
+        """``deaths`` workers died serving the last batch."""
+        with self._lock:
+            self._consecutive_failures += max(1, deaths)
+            self._probe_in_flight = False
+            if self._state == HALF_OPEN or (
+                self._state == CLOSED and self._consecutive_failures >= self.failure_threshold
+            ):
+                self._transition(OPEN)
+            if self._state == OPEN:
+                self._opened_at = self._clock()
+
+    # -------------------------------------------------------------- internals
+
+    def _maybe_half_open(self) -> None:
+        # Caller holds the lock.
+        if (
+            self._state == OPEN
+            and self._opened_at is not None
+            and self._clock() - self._opened_at >= self.reset_timeout_s
+        ):
+            self._transition(HALF_OPEN)
+            self._probe_in_flight = False
+
+    def _transition(self, state: str) -> None:
+        # Caller holds the lock.
+        self._state = state
+        if self._m_state is not None:
+            self._m_state.set(STATE_CODES[state])
+            self._m_transitions[state].inc()

@@ -1,0 +1,134 @@
+"""Per-script resource limits: the contract a hostile input runs under.
+
+JSRevealer's inputs are adversarial by definition — obfuscated, often
+machine-generated JavaScript.  A single pathological sample (pathological
+nesting, a 100 MB string soup, an allocation bomb hidden behind ``eval``)
+must not be able to stall or OOM the process scanning it, so every script
+dispatched through the fault-isolation layer runs under:
+
+* a **wall-clock deadline** (``timeout_s``) enforced by the *parent* — a
+  hot C-level loop inside a worker cannot be interrupted by in-process
+  signals, so the supervisor SIGKILLs the worker instead,
+* an **address-space cap** (``max_rss_mb``) applied via
+  ``resource.setrlimit`` inside the worker, sized as headroom *above* the
+  interpreter's current footprint so the numpy/BLAS baseline mapping does
+  not eat the budget — allocations beyond it raise ``MemoryError``, which
+  the worker converts into a graceful ``oom`` verdict,
+* an optional **CPU-time cap** (``max_cpu_s``) as a backstop for spins the
+  wall clock alone would catch late (the kernel delivers SIGXCPU/SIGKILL).
+
+``ScanLimits`` is plain data: the CLI (``--timeout-s``/``--max-rss-mb``)
+and the daemon config both build one and hand it to
+:class:`~repro.pipeline.BatchScanner`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import asdict, dataclass
+
+
+@dataclass(frozen=True)
+class ScanLimits:
+    """Resource bounds for one scanned script.
+
+    All fields are optional; :attr:`active` is True when any bound is set,
+    which is what switches the scanner onto the fault-isolated worker path.
+
+    Args:
+        timeout_s: Wall-clock deadline per script (parent-enforced kill).
+        max_rss_mb: Memory headroom in MiB granted on top of the worker's
+            baseline footprint (``RLIMIT_AS``); exceeding it surfaces as a
+            structured ``oom`` status, not a dead process.
+        max_cpu_s: CPU-seconds cap per worker (``RLIMIT_CPU``).
+        analysis_timeout_s: Deadline for the degraded triage-only analysis
+            of a script that already faulted; defaults to ``timeout_s``.
+    """
+
+    timeout_s: float | None = None
+    max_rss_mb: int | None = None
+    max_cpu_s: float | None = None
+    analysis_timeout_s: float | None = None
+
+    def validate(self) -> None:
+        for name in ("timeout_s", "max_rss_mb", "max_cpu_s", "analysis_timeout_s"):
+            value = getattr(self, name)
+            if value is not None and value <= 0:
+                raise ValueError(f"{name} must be positive when set")
+
+    @property
+    def active(self) -> bool:
+        """True when any bound is set — the scanner's isolation switch."""
+        return any(
+            value is not None
+            for value in (self.timeout_s, self.max_rss_mb, self.max_cpu_s)
+        )
+
+    def deadline_for(self, kind: str) -> float | None:
+        """Wall-clock budget for one task of ``kind`` (embed/analyze)."""
+        if kind == "analyze" and self.analysis_timeout_s is not None:
+            return self.analysis_timeout_s
+        return self.timeout_s
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict | None) -> "ScanLimits | None":
+        if not data:
+            return None
+        return cls(**{k: data.get(k) for k in (
+            "timeout_s", "max_rss_mb", "max_cpu_s", "analysis_timeout_s"
+        )})
+
+
+def _current_address_space_bytes() -> int:
+    """Best-effort current VmSize, so rlimits are headroom, not absolutes."""
+    try:
+        with open("/proc/self/statm", encoding="ascii") as handle:
+            pages = int(handle.read().split()[0])
+        import os
+
+        return pages * os.sysconf("SC_PAGE_SIZE")
+    except (OSError, ValueError, IndexError):
+        return 0
+
+
+def apply_rlimits(limits: ScanLimits) -> None:
+    """Install the kernel-enforced caps in the *current* process.
+
+    Called from the worker bootstrap, before any script is touched.  A
+    platform without :mod:`resource` (or a sandbox refusing setrlimit)
+    degrades silently: the parent-side wall-clock kill still holds.
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX platform
+        return
+    if limits.max_rss_mb is not None:
+        cap = _current_address_space_bytes() + limits.max_rss_mb * 1024 * 1024
+        try:
+            resource.setrlimit(resource.RLIMIT_AS, (cap, cap))
+        except (ValueError, OSError):  # pragma: no cover - sandbox refusal
+            pass
+    if limits.max_cpu_s is not None:
+        seconds = max(1, math.ceil(limits.max_cpu_s))
+        try:
+            resource.setrlimit(resource.RLIMIT_CPU, (seconds, seconds + 1))
+        except (ValueError, OSError):  # pragma: no cover - sandbox refusal
+            pass
+
+
+def read_rusage() -> dict | None:
+    """Self rusage snapshot attached to worker replies and journal entries."""
+    try:
+        import resource
+
+        usage = resource.getrusage(resource.RUSAGE_SELF)
+        return {
+            "max_rss_kb": int(usage.ru_maxrss),
+            "user_s": round(usage.ru_utime, 3),
+            "system_s": round(usage.ru_stime, 3),
+        }
+    except Exception:  # pragma: no cover - non-POSIX platform
+        return None

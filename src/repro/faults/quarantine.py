@@ -1,0 +1,132 @@
+"""Poison quarantine: an append-only journal of scripts that broke a worker.
+
+A script that hung, OOMed, or crashed its worker once will do it again —
+retrying poison is how one bad input degrades a whole service.  The journal
+records each fault (content hash, stage, cause, rusage) to
+``quarantine.jsonl`` and answers "have we been burned by this exact script
+before?" via an in-memory index, so re-submissions skip the expensive
+faulting stage entirely and go straight to the degraded-verdict path.
+
+Design notes:
+
+* **append-only JSONL** — one fault, one line, written with flush; a crash
+  mid-write loses at most the trailing partial line, which the loader
+  skips (a truncated journal must never take the scanner down with it),
+* **content-addressed** — keyed by the same SHA-256 the embedding cache
+  uses, so renames/re-uploads of the same bytes stay quarantined,
+* **memory-only mode** — ``path=None`` keeps the index per-process (the
+  daemon's default when no ``--quarantine-dir`` is given).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+
+@dataclass
+class QuarantineEntry:
+    """One quarantined script: what faulted, where, and why."""
+
+    sha256: str
+    name: str
+    stage: str  # pipeline stage that faulted: "embed" | "analyze"
+    cause: str  # "timeout" | "oom" | "crashed"
+    detail: str = ""
+    rusage: dict | None = None
+    ts: float = field(default_factory=time.time)
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "QuarantineEntry":
+        return cls(
+            sha256=data["sha256"],
+            name=data.get("name", "<script>"),
+            stage=data.get("stage", "embed"),
+            cause=data.get("cause", "crashed"),
+            detail=data.get("detail", ""),
+            rusage=data.get("rusage"),
+            ts=data.get("ts", 0.0),
+        )
+
+
+class QuarantineJournal:
+    """Append-only fault journal with an in-memory known-poison index.
+
+    Args:
+        path: JSONL file to persist to; parent directories are created.
+            ``None`` keeps the journal in memory only (still deduplicates
+            within the process lifetime).
+
+    Thread-safe: the scan executor thread and tests may record/query
+    concurrently.
+    """
+
+    FILENAME = "quarantine.jsonl"
+
+    def __init__(self, path: str | Path | None = None):
+        self.path = Path(path) if path is not None else None
+        self._lock = threading.Lock()
+        self._index: dict[str, QuarantineEntry] = {}
+        if self.path is not None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._load()
+
+    @classmethod
+    def in_dir(cls, directory: str | Path) -> "QuarantineJournal":
+        """The conventional layout: ``<dir>/quarantine.jsonl``."""
+        return cls(Path(directory) / cls.FILENAME)
+
+    def _load(self) -> None:
+        if self.path is None or not self.path.exists():
+            return
+        try:
+            lines = self.path.read_text(encoding="utf-8", errors="replace").splitlines()
+        except OSError:
+            return
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = QuarantineEntry.from_dict(json.loads(line))
+            except (json.JSONDecodeError, KeyError, TypeError):
+                continue  # torn/corrupt tail line: skip, never raise
+            self._index[entry.sha256] = entry
+
+    # ------------------------------------------------------------------- API
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._index)
+
+    def __contains__(self, sha256: str) -> bool:
+        with self._lock:
+            return sha256 in self._index
+
+    def lookup(self, sha256: str) -> QuarantineEntry | None:
+        with self._lock:
+            return self._index.get(sha256)
+
+    def entries(self) -> list[QuarantineEntry]:
+        with self._lock:
+            return list(self._index.values())
+
+    def record(self, entry: QuarantineEntry) -> None:
+        """Quarantine one script; idempotent per content hash."""
+        with self._lock:
+            known = entry.sha256 in self._index
+            self._index[entry.sha256] = entry
+            if self.path is None or known:
+                return
+            try:
+                with self.path.open("a", encoding="utf-8") as handle:
+                    handle.write(json.dumps(entry.to_dict()) + "\n")
+                    handle.flush()
+            except OSError:
+                pass  # a read-only disk must not break scanning

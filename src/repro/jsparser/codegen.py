@@ -75,13 +75,21 @@ class CodeGenerator:
     # ------------------------------------------------------------------ API
 
     def generate(self, node: ast.Node) -> str:
-        """Render ``node`` (usually a Program) as JavaScript source."""
-        if node.type == "Program":
-            return "".join(self._statement(stmt) for stmt in node.body)
-        method = getattr(self, f"_gen_{node.type}", None)
-        if method is None:
-            raise CodegenError(f"No generator for node type {node.type}")
-        return method(node)
+        """Render ``node`` (usually a Program) as JavaScript source.
+
+        Raises :class:`CodegenError` for unknown node types *and* for
+        trees too deeply nested to print recursively — callers see one
+        structured failure mode, never a raw ``RecursionError``.
+        """
+        try:
+            if node.type == "Program":
+                return "".join(self._statement(stmt) for stmt in node.body)
+            method = getattr(self, f"_gen_{node.type}", None)
+            if method is None:
+                raise CodegenError(f"No generator for node type {node.type}")
+            return method(node)
+        except RecursionError as error:
+            raise CodegenError("nesting too deep to generate source") from error
 
     # ------------------------------------------------------------ statements
 

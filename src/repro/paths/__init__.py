@@ -3,6 +3,7 @@
 from .extraction import (
     DEFAULT_MAX_LENGTH,
     DEFAULT_MAX_WIDTH,
+    ExtractionError,
     PathContext,
     PathExtractor,
     extract_paths,
@@ -12,6 +13,7 @@ from .featurizer import FEATURE_DIM, NODE_TYPES, VALUE_BUCKETS, PathFeaturizer
 __all__ = [
     "DEFAULT_MAX_LENGTH",
     "DEFAULT_MAX_WIDTH",
+    "ExtractionError",
     "PathContext",
     "PathExtractor",
     "extract_paths",

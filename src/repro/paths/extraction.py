@@ -27,6 +27,17 @@ DEFAULT_MAX_LENGTH = 12
 DEFAULT_MAX_WIDTH = 4
 
 
+class ExtractionError(Exception):
+    """Structured failure of path extraction on a parseable program.
+
+    Raised instead of letting a raw ``RecursionError`` escape when a
+    pathologically nested AST (e.g. a ``1+1+…+1`` chain thousands of terms
+    deep, which the iterative parser accepts but the recursive extraction
+    walk cannot traverse) blows the interpreter stack.  Callers treat it
+    like a syntax error: no paths, structured ``parse_error`` status.
+    """
+
+
 @dataclass(frozen=True)
 class PathContext:
     """One extracted path: endpoint values plus the node-type spine.
@@ -113,7 +124,12 @@ class PathExtractor:
 
     def extract_from_program(self, program: ast.Program) -> list[PathContext]:
         builder = build_enhanced_ast if self.use_dataflow else build_regular_ast
-        return self.extract(builder(program))
+        try:
+            return self.extract(builder(program))
+        except RecursionError as error:
+            # The AST outlived the parser's own depth guard (left-deep
+            # chains parse iteratively); fail structurally, not fatally.
+            raise ExtractionError("nesting too deep to extract paths") from error
 
     def extract(self, enhanced: EnhancedAST) -> list[PathContext]:
         """Extract all bounded leaf-to-leaf path contexts."""

@@ -9,16 +9,29 @@ Public surface::
         print(result.verdict, result.probability, result.path)
 """
 
-from .cache import CacheEntry, FeatureCache, content_key
-from .results import STAGE_KEYS, ScanReport, ScanResult
+from .cache import CACHE_FORMAT_VERSION, CacheEntry, FeatureCache, content_key
+from .results import (
+    FAULT_STATUSES,
+    RESULT_STATUSES,
+    STAGE_KEYS,
+    STATUS_OK,
+    STATUS_PARSE_ERROR,
+    ScanReport,
+    ScanResult,
+)
 from .scanner import BatchScanner
 
 __all__ = [
     "BatchScanner",
+    "CACHE_FORMAT_VERSION",
     "CacheEntry",
+    "FAULT_STATUSES",
     "FeatureCache",
+    "RESULT_STATUSES",
     "ScanReport",
     "ScanResult",
     "STAGE_KEYS",
+    "STATUS_OK",
+    "STATUS_PARSE_ERROR",
     "content_key",
 ]

@@ -40,6 +40,12 @@ def content_key(source: str) -> str:
     return hashlib.sha256(source.encode("utf-8", errors="replace")).hexdigest()
 
 
+#: On-disk archive layout version.  Stored inside every ``.npz``; a file
+#: carrying any other version (or none) is treated as corrupt — miss,
+#: counted, removed — rather than deserialized on faith.
+CACHE_FORMAT_VERSION = 1
+
+
 @dataclass
 class CacheEntry:
     """Embedded paths for one script: the per-script pipeline prefix."""
@@ -86,7 +92,8 @@ class FeatureCache:
         self.misses = 0
         self.disk_hits = 0
         self.evictions = 0
-        self._m_hits = self._m_misses = self._m_evictions = None
+        self.corrupt = 0
+        self._m_hits = self._m_misses = self._m_evictions = self._m_corrupt = None
         if metrics is not None:
             self._m_hits = metrics.counter(
                 "repro_cache_lookups_total", "Embedding-cache lookups", labels={"result": "hit"}
@@ -96,6 +103,10 @@ class FeatureCache:
             )
             self._m_evictions = metrics.counter(
                 "repro_cache_evictions_total", "In-memory LRU evictions"
+            )
+            self._m_corrupt = metrics.counter(
+                "repro_cache_corrupt_total",
+                "Disk-cache files rejected (truncated, bit-flipped, or wrong format version)",
             )
 
     def __len__(self) -> int:
@@ -149,19 +160,31 @@ class FeatureCache:
             return None
         try:
             with np.load(path) as arrays:
-                return CacheEntry(
-                    vectors=arrays["vectors"],
-                    weights=arrays["weights"],
+                if int(arrays["format_version"]) != CACHE_FORMAT_VERSION:
+                    raise ValueError("cache format version mismatch")
+                entry = CacheEntry(
+                    vectors=np.asarray(arrays["vectors"], dtype=np.float64),
+                    weights=np.asarray(arrays["weights"], dtype=np.float64),
                     path_count=int(arrays["path_count"]),
                 )
-        except (OSError, KeyError, ValueError):
-            # A corrupt/partial file is a miss, and is removed so the slot
-            # heals on the next put.
-            try:
-                path.unlink()
-            except OSError:
-                pass
+            if entry.vectors.ndim != 2 or entry.weights.shape != (len(entry.vectors),):
+                raise ValueError("cache entry shape mismatch")
+            return entry
+        except Exception:
+            # Disk bytes are hostile input too: truncated writes, bit flips,
+            # and stale formats must all decay to a counted miss (the slot
+            # heals on the next put), never to a crash or a wrong verdict.
+            self._record_corrupt(path)
             return None
+
+    def _record_corrupt(self, path: Path) -> None:
+        self.corrupt += 1
+        if self._m_corrupt is not None:
+            self._m_corrupt.inc()
+        try:
+            path.unlink()
+        except OSError:
+            pass
 
     def _disk_put(self, key: str, entry: CacheEntry) -> None:
         path = self._disk_path(key)
@@ -177,6 +200,7 @@ class FeatureCache:
                     vectors=entry.vectors,
                     weights=entry.weights,
                     path_count=np.int64(entry.path_count),
+                    format_version=np.int64(CACHE_FORMAT_VERSION),
                 )
             os.replace(tmp_name, path)
         except OSError:
@@ -193,5 +217,6 @@ class FeatureCache:
             "misses": self.misses,
             "disk_hits": self.disk_hits,
             "evictions": self.evictions,
+            "corrupt": self.corrupt,
             "entries": len(self._memory),
         }

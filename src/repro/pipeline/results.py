@@ -19,6 +19,24 @@ import numpy as np
 #: analysis stage which is 0 unless a triage analyzer is configured).
 STAGE_KEYS = ("analysis", "path_extraction", "embedding", "feature_transform", "classifying")
 
+#: Per-script result statuses (DESIGN.md §9 state machine):
+#:
+#: * ``ok`` — full pipeline verdict,
+#: * ``parse_error`` — unparseable/too-deep source; classified on an empty
+#:   path set (informational, the verdict is still a real classifier run),
+#: * ``timeout`` / ``oom`` / ``crashed`` — the script faulted its isolated
+#:   worker; the verdict (if any) is a *degraded* triage-only one.
+STATUS_OK = "ok"
+STATUS_PARSE_ERROR = "parse_error"
+STATUS_TIMEOUT = "timeout"
+STATUS_OOM = "oom"
+STATUS_CRASHED = "crashed"
+RESULT_STATUSES = (STATUS_OK, STATUS_TIMEOUT, STATUS_OOM, STATUS_CRASHED, STATUS_PARSE_ERROR)
+
+#: Statuses meaning "this script took its worker down" — what the daemon's
+#: circuit breaker and the quarantine journal count.
+FAULT_STATUSES = (STATUS_TIMEOUT, STATUS_OOM, STATUS_CRASHED)
+
 
 @dataclass
 class ScanResult:
@@ -37,8 +55,24 @@ class ScanResult:
     #: the embed/classify pipeline was skipped for this file.
     triaged: bool = False
     #: Serialized :class:`~repro.analysis.AnalysisReport` when the scan ran
-    #: with a triage analyzer; ``None`` otherwise.
+    #: with a triage analyzer (or produced a degraded verdict); ``None``
+    #: otherwise.
     analysis: dict | None = None
+    #: One of :data:`RESULT_STATUSES`; anything in :data:`FAULT_STATUSES`
+    #: means the script was quarantined and this verdict is degraded at best.
+    status: str = STATUS_OK
+    #: True when the verdict came from the triage-only rule engine because
+    #: the full pipeline faulted on this script (``probability`` is then the
+    #: analysis suspicion score, 1.0 for decisive rule hits).
+    degraded: bool = False
+    #: Fault envelope for non-``ok``/``parse_error`` statuses: cause,
+    #: detail, stage, worker rusage, and whether the script was already
+    #: quarantined by an earlier scan.
+    fault: dict | None = None
+
+    @property
+    def faulted(self) -> bool:
+        return self.status in FAULT_STATUSES
 
     @property
     def verdict(self) -> str:
@@ -74,6 +108,9 @@ class ScanReport:
     #: Files whose verdict came from the triage fast-path (decisive rule
     #: fired; extraction/embedding skipped).
     triage_hits: int = 0
+    #: Files that faulted the isolation layer this batch (status in
+    #: :data:`FAULT_STATUSES`) — what the daemon's circuit breaker counts.
+    fault_count: int = 0
     #: Lifetime counters of the backing :class:`FeatureCache`
     #: (hits/misses/disk_hits/evictions/entries) at report time; ``None``
     #: when the scan ran uncached.  Unlike ``cache_hits``/``cache_misses``
@@ -116,6 +153,7 @@ class ScanReport:
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "triage_hits": self.triage_hits,
+            "fault_count": self.fault_count,
             "cache_stats": dict(self.cache_stats) if self.cache_stats is not None else None,
             "model_fingerprint": self.model_fingerprint,
             "results": [r.to_dict() for r in self.results],
@@ -136,6 +174,7 @@ class ScanReport:
             cache_hits=data.get("cache_hits", 0),
             cache_misses=data.get("cache_misses", 0),
             triage_hits=data.get("triage_hits", 0),
+            fault_count=data.get("fault_count", 0),
             cache_stats=data.get("cache_stats"),
             model_fingerprint=data.get("model_fingerprint"),
         )
@@ -155,6 +194,8 @@ class ScanReport:
         ]
         if self.triage_hits:
             parts.append(f"triage fast-path settled {self.triage_hits} files")
+        if self.fault_count:
+            parts.append(f"{self.fault_count} files faulted and were quarantined")
         if self.cache_hits or self.cache_misses:
             line = f"cache {self.cache_hits} hits / {self.cache_misses} misses"
             if self.cache_stats is not None:

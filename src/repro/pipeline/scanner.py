@@ -21,6 +21,14 @@ Determinism: workers run exactly the numpy operations of the sequential
 path on identical inputs, so ``--workers 4`` output is byte-identical to
 ``--workers 1``.  Any failure to start or drive the pool degrades
 gracefully to the sequential path.
+
+Fault isolation: when :class:`~repro.faults.ScanLimits` are given, pending
+scripts are dispatched through the supervised
+:class:`~repro.faults.IsolatedPool` instead — each under a wall-clock
+deadline and kernel rlimits — so a script that hangs, OOMs, or kills its
+worker is quarantined and answered with a structured degraded verdict
+while every other script in the batch gets its normal, byte-identical
+result.  See DESIGN.md §9.
 """
 
 from __future__ import annotations
@@ -33,8 +41,18 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro.faults import (
+    FAULT_CAUSES,
+    IsolatedPool,
+    QuarantineEntry,
+    QuarantineJournal,
+    ScanLimits,
+    Task,
+    build_embed_init,
+)
+
 from .cache import CacheEntry, FeatureCache, content_key
-from .results import STAGE_KEYS, ScanReport, ScanResult
+from .results import STAGE_KEYS, STATUS_OK, STATUS_PARSE_ERROR, ScanReport, ScanResult
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.analysis import Analyzer
@@ -65,16 +83,19 @@ def _init_worker(extractor_kwargs: dict, embed_dim: int, parameters: dict, max_p
     }
 
 
-def _embed_source(source: str) -> tuple[np.ndarray, np.ndarray, int, float, float]:
+def _embed_source(source: str) -> tuple[np.ndarray, np.ndarray, int, float, float, str]:
     """Extract + embed one script; mirrors ``JSRevealer`` stage semantics."""
     from repro.jsparser import JSSyntaxError
+    from repro.paths import ExtractionError
 
     state = _WORKER_STATE
+    status = STATUS_OK
     started = time.perf_counter()
     try:
         contexts = state["extractor"].extract_from_source(source)
-    except (JSSyntaxError, RecursionError):
+    except (JSSyntaxError, ExtractionError, RecursionError):
         contexts = []
+        status = STATUS_PARSE_ERROR
     extract_ms = 1000.0 * (time.perf_counter() - started)
 
     started = time.perf_counter()
@@ -83,7 +104,7 @@ def _embed_source(source: str) -> tuple[np.ndarray, np.ndarray, int, float, floa
         top = np.argsort(weights)[::-1][: state["max_paths"]]
         vectors, weights = vectors[top], weights[top]
     embed_ms = 1000.0 * (time.perf_counter() - started)
-    return vectors, weights, len(contexts), extract_ms, embed_ms
+    return vectors, weights, len(contexts), extract_ms, embed_ms, status
 
 
 class BatchScanner:
@@ -115,6 +136,16 @@ class BatchScanner:
             entirely — the triage fast-path.  Non-decisive scripts flow
             through the full pipeline unchanged, so verdicts are identical
             to an untriaged scan for them.
+        limits: Optional :class:`~repro.faults.ScanLimits`.  When any bound
+            is set, pending scripts run in the fault-isolated worker pool:
+            a script that overruns its deadline, trips the memory rlimit,
+            or kills its worker comes back as a structured
+            ``timeout``/``oom``/``crashed`` result (with a degraded
+            triage-only verdict where the analyzer survives) instead of
+            taking the batch down.
+        quarantine: Optional :class:`~repro.faults.QuarantineJournal`;
+            scripts that faulted once are never re-dispatched.  Defaults to
+            a memory-only journal whenever ``limits`` are active.
     """
 
     def __init__(
@@ -126,6 +157,8 @@ class BatchScanner:
         persistent: bool = False,
         metrics: "MetricsRegistry | None" = None,
         triage: "Analyzer | None" = None,
+        limits: ScanLimits | None = None,
+        quarantine: QuarantineJournal | None = None,
     ):
         if n_workers < 1:
             raise ValueError("n_workers must be positive")
@@ -136,6 +169,14 @@ class BatchScanner:
         self.persistent = persistent
         self._pool = None
         self.triage = triage
+        if limits is not None:
+            limits.validate()
+        self.limits = limits
+        self.isolated = limits is not None and limits.active
+        if quarantine is None and self.isolated:
+            quarantine = QuarantineJournal()
+        self.quarantine = quarantine
+        self._iso_pool: IsolatedPool | None = None
         self.metrics = metrics
         if metrics is not None:
             from repro.obs.metrics import DEFAULT_SIZE_BUCKETS
@@ -157,15 +198,40 @@ class BatchScanner:
                 )
                 for stage in STAGE_KEYS
             }
+            self._m_failures = {
+                cause: metrics.counter(
+                    "repro_scan_failures_total",
+                    "Scripts that faulted their isolated worker, by cause",
+                    labels={"cause": cause},
+                )
+                for cause in FAULT_CAUSES
+            }
 
     # -------------------------------------------------------------- lifecycle
 
     def close(self) -> None:
-        """Tear down the persistent worker pool, if one is running."""
+        """Tear down the persistent worker pools, if any are running."""
         if self._pool is not None:
             self._pool.terminate()
             self._pool.join()
             self._pool = None
+        self._close_iso_pool()
+
+    def _ensure_iso_pool(self) -> IsolatedPool:
+        if self._iso_pool is None:
+            self._iso_pool = IsolatedPool(
+                build_embed_init(self.detector), limits=self.limits, n_workers=self.n_workers
+            )
+        return self._iso_pool
+
+    def _close_iso_pool(self) -> None:
+        if self._iso_pool is not None:
+            self._iso_pool.close()
+            self._iso_pool = None
+
+    def _count_failure(self, cause: str | None) -> None:
+        if self.metrics is not None and cause in FAULT_CAUSES:
+            self._m_failures[cause].inc()
 
     def __enter__(self) -> "BatchScanner":
         return self
@@ -192,40 +258,81 @@ class BatchScanner:
         per_file_ms: list[dict[str, float]] = [
             {"path_extraction": 0.0, "embedding": 0.0} for _ in range(n)
         ]
+        statuses: list[str] = [STATUS_OK] * n
+        fault_info: list[dict | None] = [None] * n
 
         # Triage fast-path: analyze first; decisive hits never reach the
         # embedding pipeline (or the cache — no features were computed).
         analyses: list = [None] * n
         triaged = [False] * n
-        analysis_total_ms = 0.0
         if self.triage is not None:
             for i, source in enumerate(sources):
                 analysis = self.triage.analyze(source, name=str(names[i]))
                 analyses[i] = analysis
                 per_file_ms[i]["analysis"] = analysis.elapsed_ms
-                analysis_total_ms += analysis.elapsed_ms
                 triaged[i] = analysis.decisive
 
         keys: list[str | None] = [None] * n
         pending: list[int] = []
-        if self.cache is not None:
-            for i, source in enumerate(sources):
-                if triaged[i]:
-                    continue
+        want_keys = self.cache is not None or self.isolated
+        for i, source in enumerate(sources):
+            if triaged[i]:
+                continue
+            if want_keys:
                 keys[i] = content_key(source)
+            if self.cache is not None:
                 entry = self.cache.get(keys[i])
-                if entry is None:
-                    pending.append(i)
-                else:
+                if entry is not None:
                     entries[i] = entry
                     hit_flags[i] = True
-        else:
-            pending = [i for i in range(n) if not triaged[i]]
+                    continue
+            pending.append(i)
+        misses = len(pending)
+
+        # Known poison never gets a second chance to burn a worker: journal
+        # hits go straight to the degraded-verdict path.
+        faulted: list[int] = []
+        if self.isolated and self.quarantine is not None and pending:
+            still_pending: list[int] = []
+            for i in pending:
+                known = self.quarantine.lookup(keys[i])
+                if known is None:
+                    still_pending.append(i)
+                    continue
+                statuses[i] = known.cause
+                fault_info[i] = {
+                    "cause": known.cause,
+                    "detail": known.detail,
+                    "stage": known.stage,
+                    "rusage": known.rusage,
+                    "quarantined": True,
+                    "known": True,
+                }
+                faulted.append(i)
+                self._count_failure(known.cause)
+            pending = still_pending
 
         workers_used = 1
-        if self.n_workers > 1 and len(pending) > 1:
+        if self.isolated:
+            workers_used = self.n_workers
             try:
-                self._embed_parallel(pending, sources, entries, per_file_ms)
+                self._embed_isolated(
+                    pending, sources, names, keys, entries, per_file_ms, statuses, fault_info, faulted
+                )
+                self._degraded_analyses(faulted, sources, names, analyses, per_file_ms)
+            except Exception as error:  # pool bootstrap failure, not a task fault
+                self._close_iso_pool()
+                print(
+                    f"warning: isolated pool failed ({error!r}); scanning sequentially",
+                    file=sys.stderr,
+                )
+                workers_used = 1
+            finally:
+                if not self.persistent:
+                    self._close_iso_pool()
+        elif self.n_workers > 1 and len(pending) > 1:
+            try:
+                self._embed_parallel(pending, sources, entries, per_file_ms, statuses)
                 workers_used = self.n_workers
             except Exception as error:  # pool start/transport failure
                 print(
@@ -233,15 +340,18 @@ class BatchScanner:
                     file=sys.stderr,
                 )
         for i in pending:  # sequential path + parallel-failure backstop
-            if entries[i] is not None:
+            if entries[i] is not None or statuses[i] in FAULT_CAUSES:
                 continue
-            entries[i] = self._embed_sequential(sources[i], per_file_ms[i])
+            entries[i], statuses[i] = self._embed_sequential(sources[i], per_file_ms[i])
         if self.cache is not None:
             for i in pending:
-                if entries[i] is not None:
+                # Only clean embeddings are cached: a parse_error entry would
+                # come back from the cache without its status, and faulted
+                # scripts never produced one.
+                if entries[i] is not None and statuses[i] == STATUS_OK:
                     self.cache.put(keys[i], entries[i])
 
-        active = [i for i in range(n) if not triaged[i]]
+        active = [i for i in range(n) if not triaged[i] and entries[i] is not None]
         embedded = [(entries[i].vectors, entries[i].weights) for i in active]
         transform_started = time.perf_counter()
         with detector._timed("feature_transform"):
@@ -262,27 +372,30 @@ class BatchScanner:
             active_proba = np.zeros((0, 2))
         classify_ms = 1000.0 * (time.perf_counter() - classify_started)
 
-        # Full-batch probability matrix: classifier rows for active files,
-        # a certain [0, 1] row for each triage hit.
+        results = []
+        position = {i: j for j, i in enumerate(active)}
         has_proba = (
             active_proba is not None and active_proba.ndim == 2 and active_proba.shape[1] >= 2
         )
-        proba_matrix: np.ndarray | None = None
-        if has_proba:
-            proba_matrix = np.zeros((n, max(active_proba.shape[1], 2)))
-            proba_matrix[:, 1] = 1.0  # triaged rows: P(malicious) = 1
-            for j, i in enumerate(active):
-                proba_matrix[i, : active_proba.shape[1]] = active_proba[j]
-
-        results = []
-        position = {i: j for j, i in enumerate(active)}
+        degraded_flags = [False] * n
         for i in range(n):
             if triaged[i]:
                 label, probability = 1, 1.0
-            else:
+            elif i in position:
                 j = position[i]
                 label = int(labels[j]) if j < len(labels) else 0
                 probability = float(active_proba[j, 1]) if has_proba else float(label)
+            else:
+                # Faulted script: fall back to the triage-only rule verdict
+                # when the analyzer survived it; otherwise answer "unknown"
+                # (benign, probability 0) rather than invent confidence.
+                analysis = analyses[i]
+                if analysis is not None:
+                    probability = 1.0 if analysis.decisive else float(analysis.score)
+                    label = int(probability >= 0.5)
+                    degraded_flags[i] = True
+                else:
+                    label, probability = 0, 0.0
             results.append(
                 ScanResult(
                     path=str(names[i]),
@@ -294,16 +407,33 @@ class BatchScanner:
                     stage_ms={k: round(v, 3) for k, v in per_file_ms[i].items()},
                     triaged=triaged[i],
                     analysis=analyses[i].to_dict() if analyses[i] is not None else None,
+                    status=statuses[i],
+                    degraded=degraded_flags[i],
+                    fault=fault_info[i],
                 )
             )
 
+        # Full-batch probability matrix: classifier rows for active files; a
+        # settled [1-p, p] row for every other verdict (triage hits carry
+        # [0, 1], faulted scripts their degraded probability).
+        proba_matrix: np.ndarray | None = None
+        if has_proba:
+            proba_matrix = np.zeros((n, max(active_proba.shape[1], 2)))
+            for j, i in enumerate(active):
+                proba_matrix[i, : active_proba.shape[1]] = active_proba[j]
+            for i, result in enumerate(results):
+                if i not in position:
+                    proba_matrix[i, 0] = 1.0 - result.probability
+                    proba_matrix[i, 1] = result.probability
+
+        analysis_total_ms = sum(ms.get("analysis", 0.0) for ms in per_file_ms)
         stage_totals = {
             "path_extraction": sum(ms["path_extraction"] for ms in per_file_ms),
             "embedding": sum(ms["embedding"] for ms in per_file_ms),
             "feature_transform": transform_ms,
             "classifying": classify_ms,
         }
-        if self.triage is not None:
+        if self.triage is not None or analysis_total_ms:
             stage_totals["analysis"] = analysis_total_ms
         report = ScanReport(
             results=results,
@@ -313,8 +443,9 @@ class BatchScanner:
             elapsed_ms=1000.0 * (time.perf_counter() - started),
             stage_ms={k: round(v, 3) for k, v in stage_totals.items()},
             cache_hits=sum(hit_flags),
-            cache_misses=len(active) - sum(hit_flags),
+            cache_misses=misses,
             triage_hits=sum(triaged),
+            fault_count=sum(1 for result in results if result.faulted),
             cache_stats=self.cache.stats() if self.cache is not None else None,
             model_fingerprint=detector.fingerprint(),
             probability_matrix=proba_matrix,
@@ -329,15 +460,24 @@ class BatchScanner:
 
     # ------------------------------------------------------------ embedding
 
-    def _embed_sequential(self, source: str, file_ms: dict[str, float]) -> CacheEntry:
+    def _embed_sequential(self, source: str, file_ms: dict[str, float]) -> tuple[CacheEntry, str]:
+        from repro.jsparser import JSSyntaxError
+        from repro.paths import ExtractionError
+
         detector = self.detector
+        status = STATUS_OK
         started = time.perf_counter()
-        contexts = detector.extract_paths(source)
+        with detector._timed("path_extraction"):
+            try:
+                contexts = detector.extractor.extract_from_source(source)
+            except (JSSyntaxError, ExtractionError, RecursionError):
+                contexts = []
+                status = STATUS_PARSE_ERROR
         file_ms["path_extraction"] = 1000.0 * (time.perf_counter() - started)
         started = time.perf_counter()
         vectors, weights = detector.embed_script(contexts)
         file_ms["embedding"] = 1000.0 * (time.perf_counter() - started)
-        return CacheEntry(vectors=vectors, weights=weights, path_count=len(contexts))
+        return CacheEntry(vectors=vectors, weights=weights, path_count=len(contexts)), status
 
     def _create_pool(self):
         detector = self.detector
@@ -364,12 +504,13 @@ class BatchScanner:
         sources: list[str],
         entries: list[CacheEntry | None],
         per_file_ms: list[dict[str, float]],
+        statuses: list[str],
     ) -> None:
         if self.persistent:
             if self._pool is None:
                 self._pool = self._create_pool()
             try:
-                self._drive_pool(self._pool, pending, sources, entries, per_file_ms)
+                self._drive_pool(self._pool, pending, sources, entries, per_file_ms, statuses)
             except Exception:
                 # A broken persistent pool would poison every later scan;
                 # drop it so the next parallel scan rebuilds from scratch.
@@ -377,7 +518,7 @@ class BatchScanner:
                 raise
         else:
             with self._create_pool() as pool:
-                self._drive_pool(pool, pending, sources, entries, per_file_ms)
+                self._drive_pool(pool, pending, sources, entries, per_file_ms, statuses)
 
     def _drive_pool(
         self,
@@ -386,6 +527,7 @@ class BatchScanner:
         sources: list[str],
         entries: list[CacheEntry | None],
         per_file_ms: list[dict[str, float]],
+        statuses: list[str],
     ) -> None:
         detector = self.detector
         todo = iter(pending)
@@ -403,8 +545,9 @@ class BatchScanner:
                 break
         while in_flight:
             position, handle = in_flight.popleft()
-            vectors, weights, path_count, extract_ms, embed_ms = handle.get()
+            vectors, weights, path_count, extract_ms, embed_ms, status = handle.get()
             entries[position] = CacheEntry(vectors=vectors, weights=weights, path_count=path_count)
+            statuses[position] = status
             per_file_ms[position]["path_extraction"] = extract_ms
             per_file_ms[position]["embedding"] = embed_ms
             # Worker CPU time still lands in the detector's Table VIII
@@ -414,3 +557,89 @@ class BatchScanner:
             detector.stage_seconds["embedding"] += embed_ms / 1000.0
             detector.stage_counts["embedding"] += 1
             submit()
+
+    # ------------------------------------------------------------- isolation
+
+    def _embed_isolated(
+        self,
+        pending: list[int],
+        sources: list[str],
+        names: list[str],
+        keys: list[str | None],
+        entries: list[CacheEntry | None],
+        per_file_ms: list[dict[str, float]],
+        statuses: list[str],
+        fault_info: list[dict | None],
+        faulted: list[int],
+    ) -> None:
+        """Run pending scripts through the fault-isolated pool.
+
+        Faults are settled in place: status + fault envelope + quarantine
+        record; clean outcomes land exactly like the plain pool's.
+        """
+        if not pending:
+            return
+        detector = self.detector
+        pool = self._ensure_iso_pool()
+        tasks = [Task(kind="embed", index=i, source=sources[i], name=str(names[i])) for i in pending]
+        for outcome in pool.run(tasks):
+            i = outcome.index
+            if outcome.ok:
+                vectors, weights, path_count, extract_ms, embed_ms, status = outcome.payload
+                entries[i] = CacheEntry(vectors=vectors, weights=weights, path_count=path_count)
+                statuses[i] = status
+                per_file_ms[i]["path_extraction"] = extract_ms
+                per_file_ms[i]["embedding"] = embed_ms
+                detector.stage_seconds["path_extraction"] += extract_ms / 1000.0
+                detector.stage_counts["path_extraction"] += 1
+                detector.stage_seconds["embedding"] += embed_ms / 1000.0
+                detector.stage_counts["embedding"] += 1
+                continue
+            statuses[i] = outcome.cause or "crashed"
+            fault_info[i] = {
+                "cause": statuses[i],
+                "detail": outcome.detail,
+                "stage": "embed",
+                "rusage": outcome.rusage,
+                "quarantined": self.quarantine is not None,
+            }
+            faulted.append(i)
+            self._count_failure(statuses[i])
+            if self.quarantine is not None and keys[i] is not None:
+                self.quarantine.record(
+                    QuarantineEntry(
+                        sha256=keys[i],
+                        name=str(names[i]),
+                        stage="embed",
+                        cause=statuses[i],
+                        detail=outcome.detail or "",
+                        rusage=outcome.rusage,
+                    )
+                )
+
+    def _degraded_analyses(
+        self,
+        faulted: list[int],
+        sources: list[str],
+        names: list[str],
+        analyses: list,
+        per_file_ms: list[dict[str, float]],
+    ) -> None:
+        """Triage-only fallback for faulted scripts, still behind isolation.
+
+        A script that hung or OOMed the embed worker could do the same to
+        an in-process analyzer, so the degraded analysis runs as its own
+        deadline-bounded pool task.  A script whose analysis also faults
+        simply stays verdictless.  Skipped where triage already ran.
+        """
+        from repro.analysis import AnalysisReport
+
+        todo = [i for i in faulted if analyses[i] is None]
+        if not todo:
+            return
+        pool = self._ensure_iso_pool()
+        tasks = [Task(kind="analyze", index=i, source=sources[i], name=str(names[i])) for i in todo]
+        for outcome in pool.run(tasks):
+            if outcome.ok and isinstance(outcome.payload, dict):
+                analyses[outcome.index] = AnalysisReport.from_dict(outcome.payload)
+                per_file_ms[outcome.index]["analysis"] = outcome.elapsed_ms

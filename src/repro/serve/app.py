@@ -24,8 +24,11 @@ Endpoints::
 Failure semantics (the backpressure contract):
 
 * malformed body / missing fields → **400** with ``{"error": {...}}``,
+* body larger than ``max_body_bytes`` → **413** before the body is read,
 * queue at ``queue_limit`` → **429** with a ``Retry-After`` header,
 * request older than ``request_timeout_s`` or server draining → **503**,
+* circuit breaker open (sustained worker deaths) → **503** +
+  ``Retry-After`` until the half-open probe succeeds (DESIGN.md §9),
 * SIGTERM/SIGINT → stop accepting, answer everything admitted, exit 0.
 """
 
@@ -33,6 +36,7 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
+import math
 import signal
 import sys
 import threading
@@ -42,11 +46,13 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from repro.analysis import Analyzer
+from repro.faults import CircuitBreaker, QuarantineJournal, ScanLimits
 from repro.obs import MetricsRegistry
 from repro.pipeline import BatchScanner, FeatureCache
 
 from .batching import Draining, MicroBatcher, QueueFull
 from .http import (
+    MAX_BODY_BYTES,
     ProtocolError,
     Request,
     error_response,
@@ -74,6 +80,15 @@ class ServeConfig:
     threshold: float = 0.5  # default verdict threshold
     request_timeout_s: float = 30.0
     retry_after_s: int = 1  # advertised on 429
+    # Fault isolation (repro.faults): any of the three limits being set
+    # routes every scan through the isolated worker pool.
+    timeout_s: float | None = None  # per-script wall-clock deadline
+    max_rss_mb: int | None = None  # per-worker memory headroom (RLIMIT_AS)
+    max_cpu_s: float | None = None  # per-worker CPU cap (RLIMIT_CPU)
+    quarantine_dir: str | None = None  # persist quarantine.jsonl here
+    breaker_threshold: int = 5  # consecutive worker deaths that open it
+    breaker_reset_s: float = 30.0  # open → half-open probe delay
+    max_body_bytes: int = MAX_BODY_BYTES  # request body cap (413 above)
 
     def validate(self) -> None:
         if self.n_workers < 1:
@@ -84,6 +99,23 @@ class ServeConfig:
             raise ValueError("queue_limit must be positive")
         if self.request_timeout_s <= 0:
             raise ValueError("request_timeout_s must be positive")
+        if self.breaker_threshold < 1:
+            raise ValueError("breaker_threshold must be positive")
+        if self.breaker_reset_s <= 0:
+            raise ValueError("breaker_reset_s must be positive")
+        if self.max_body_bytes < 1:
+            raise ValueError("max_body_bytes must be positive")
+        limits = self.scan_limits()
+        if limits is not None:
+            limits.validate()
+
+    def scan_limits(self) -> ScanLimits | None:
+        """The :class:`ScanLimits` this config implies; ``None`` if unset."""
+        if self.timeout_s is None and self.max_rss_mb is None and self.max_cpu_s is None:
+            return None
+        return ScanLimits(
+            timeout_s=self.timeout_s, max_rss_mb=self.max_rss_mb, max_cpu_s=self.max_cpu_s
+        )
 
 
 class ScanServer:
@@ -107,15 +139,28 @@ class ScanServer:
             cache_dir=self.config.cache_dir,
             metrics=self.metrics,
         )
+        limits = self.config.scan_limits()
+        self.quarantine = (
+            QuarantineJournal.in_dir(self.config.quarantine_dir)
+            if self.config.quarantine_dir is not None
+            else QuarantineJournal()
+        )
+        self.breaker = CircuitBreaker(
+            failure_threshold=self.config.breaker_threshold,
+            reset_timeout_s=self.config.breaker_reset_s,
+            metrics=self.metrics,
+        )
         # One scanner, one executor thread: scans serialize behind the
-        # batcher, so the scanner (and its persistent pool, when workers
-        # are enabled) is never entered concurrently.
+        # batcher, so the scanner (and its persistent pools, when workers
+        # or isolation are enabled) is never entered concurrently.
         self.scanner = BatchScanner(
             detector,
             n_workers=self.config.n_workers,
             cache=self.cache,
-            persistent=self.config.n_workers > 1,
+            persistent=self.config.n_workers > 1 or (limits is not None and limits.active),
             metrics=self.metrics,
+            limits=limits,
+            quarantine=self.quarantine if limits is not None and limits.active else None,
         )
         # Static analysis shares the metrics registry, so /metrics exposes
         # per-rule finding counters next to the scan histograms.
@@ -140,7 +185,25 @@ class ScanServer:
 
     # The executor-side entry point; wrapped so tests/benches can stub it.
     def _scan_batch(self, sources: list[str], names: list[str]):
-        return self.scanner.scan(sources, names=names, threshold=self.config.threshold)
+        try:
+            report = self.scanner.scan(sources, names=names, threshold=self.config.threshold)
+        except Exception:
+            self.breaker.record_failure()
+            raise
+        # Each *fresh* fault cost one worker (known-quarantined scripts are
+        # answered without dispatching, so they don't count); a clean batch
+        # closes the breaker again.  Thread-safe: we are on the single
+        # executor thread, the breaker is read from the event loop.
+        deaths = sum(
+            1
+            for result in report.results
+            if result.faulted and not (result.fault or {}).get("known")
+        )
+        if deaths:
+            self.breaker.record_failure(deaths)
+        else:
+            self.breaker.record_success()
+        return report
 
     # ------------------------------------------------------------- lifecycle
 
@@ -190,7 +253,7 @@ class ScanServer:
         try:
             while True:
                 try:
-                    request = await read_request(reader)
+                    request = await read_request(reader, self.config.max_body_bytes)
                 except ProtocolError as error:
                     writer.write(error_response(error.status, error.message, keep_alive=False))
                     await writer.drain()
@@ -265,6 +328,8 @@ class ScanServer:
             "model_fingerprint": self.fingerprint,
             "queue_depth": self.batcher.queue_depth,
             "uptime_s": round(time.time() - self.started_at, 3),
+            "breaker": self.breaker.snapshot(),
+            "quarantined": len(self.quarantine),
         }
         return 200, json_response(200, payload)
 
@@ -281,6 +346,12 @@ class ScanServer:
                 "max_wait_ms": self.config.max_wait_ms,
                 "queue_limit": self.config.queue_limit,
                 "threshold": self.config.threshold,
+                "timeout_s": self.config.timeout_s,
+                "max_rss_mb": self.config.max_rss_mb,
+                "max_cpu_s": self.config.max_cpu_s,
+                "breaker_threshold": self.config.breaker_threshold,
+                "breaker_reset_s": self.config.breaker_reset_s,
+                "max_body_bytes": self.config.max_body_bytes,
             },
         }
         return 200, json_response(200, payload)
@@ -305,6 +376,18 @@ class ScanServer:
         return out
 
     async def _submit(self, source: str, name: str) -> asyncio.Future:
+        if not self.breaker.allow():
+            retry = max(
+                self.config.retry_after_s, math.ceil(self.breaker.retry_after_s())
+            )
+            raise _Reply(
+                503,
+                error_response(
+                    503,
+                    "scan workers are failing; circuit breaker is open",
+                    extra_headers={"Retry-After": str(retry)},
+                ),
+            )
         try:
             return self.batcher.submit(source, name)
         except QueueFull as error:

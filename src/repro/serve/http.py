@@ -27,8 +27,11 @@ from dataclasses import dataclass, field
 #: Generous bound for the request line + all headers.
 MAX_HEADER_BYTES = 32 * 1024
 
-#: Scripts arrive inline in JSON bodies; 16 MiB clears any real-world
-#: script (the paper's corpus averages 62 KB) with a wide margin.
+#: Default body cap; scripts arrive inline in JSON bodies, and 16 MiB
+#: clears any real-world script (the paper's corpus averages 62 KB) with a
+#: wide margin.  Deployments shrink it per-daemon via ``--max-body-bytes``;
+#: an oversized body is refused with **413** before a single body byte is
+#: read, so a hostile client cannot make the daemon buffer it.
 MAX_BODY_BYTES = 16 * 1024 * 1024
 
 REASON_PHRASES = {
@@ -74,10 +77,13 @@ class Request:
             raise ProtocolError(400, f"request body is not valid JSON: {error}") from error
 
 
-async def read_request(reader: asyncio.StreamReader) -> Request | None:
+async def read_request(
+    reader: asyncio.StreamReader, max_body_bytes: int = MAX_BODY_BYTES
+) -> Request | None:
     """Parse one request off the stream; ``None`` on clean EOF.
 
-    Raises :class:`ProtocolError` for malformed input and
+    Raises :class:`ProtocolError` for malformed input (including a
+    ``Content-Length`` above ``max_body_bytes`` → 413) and
     ``asyncio.IncompleteReadError``/``ConnectionError`` for mid-request
     disconnects (callers treat those as the peer going away).
     """
@@ -119,8 +125,8 @@ async def read_request(reader: asyncio.StreamReader) -> Request | None:
             raise ProtocolError(400, "malformed Content-Length") from error
         if length < 0:
             raise ProtocolError(400, "negative Content-Length")
-        if length > MAX_BODY_BYTES:
-            raise ProtocolError(413, f"body exceeds {MAX_BODY_BYTES} bytes")
+        if length > max_body_bytes:
+            raise ProtocolError(413, f"body exceeds {max_body_bytes} bytes")
         body = await reader.readexactly(length)
     elif headers.get("transfer-encoding"):
         raise ProtocolError(400, "chunked transfer encoding is not supported")

@@ -1,0 +1,33 @@
+"""Shared fixtures for the chaos suite: one tiny trained detector.
+
+The fault-isolation tests spawn real worker processes, kill them with real
+signals, and drive real deadlines, so the detector is kept as small as the
+pipeline allows (the isolation layer's behavior does not depend on model
+size).  Trained once per session and shared by every module here.
+"""
+
+import pytest
+
+from repro.core import JSRevealer, JSRevealerConfig
+from repro.datasets import experiment_split
+
+
+@pytest.fixture(scope="session")
+def split():
+    return experiment_split(seed=7, pretrain_per_class=6, train_per_class=12, test_per_class=8)
+
+
+@pytest.fixture(scope="session")
+def detector(split):
+    det = JSRevealer(
+        JSRevealerConfig(embed_dim=16, pretrain_epochs=3, k_benign=4, k_malicious=4, seed=7)
+    )
+    det.pretrain(split.pretrain.sources, split.pretrain.labels)
+    det.fit(split.train.sources, split.train.labels)
+    return det
+
+
+@pytest.fixture()
+def inject(monkeypatch):
+    """Arm the chaos seam for one test (workers inherit the environment)."""
+    monkeypatch.setenv("REPRO_FAULT_INJECT", "1")

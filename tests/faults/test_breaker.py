@@ -1,0 +1,111 @@
+"""Circuit-breaker lifecycle under a deterministic fake clock."""
+
+from repro.faults import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+from repro.obs import MetricsRegistry
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 1000.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def make(threshold=3, reset=10.0, metrics=None):
+    clock = FakeClock()
+    breaker = CircuitBreaker(
+        failure_threshold=threshold, reset_timeout_s=reset, clock=clock, metrics=metrics
+    )
+    return breaker, clock
+
+
+class TestLifecycle:
+    def test_starts_closed_and_allows(self):
+        breaker, _ = make()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_opens_after_threshold_consecutive_failures(self):
+        breaker, _ = make(threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+
+    def test_success_resets_the_count(self):
+        breaker, _ = make(threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+
+    def test_batch_deaths_count_together(self):
+        breaker, _ = make(threshold=3)
+        breaker.record_failure(deaths=3)
+        assert breaker.state == OPEN
+
+    def test_retry_after_counts_down(self):
+        breaker, clock = make(threshold=1, reset=10.0)
+        breaker.record_failure()
+        assert breaker.retry_after_s() == 10.0
+        clock.advance(4.0)
+        assert breaker.retry_after_s() == 6.0
+
+    def test_half_open_admits_exactly_one_probe(self):
+        breaker, clock = make(threshold=1, reset=10.0)
+        breaker.record_failure()
+        assert not breaker.allow()
+        clock.advance(10.0)
+        assert breaker.state == HALF_OPEN
+        assert breaker.allow()  # the probe slot
+        assert not breaker.allow()  # everyone else keeps waiting
+
+    def test_probe_success_closes(self):
+        breaker, clock = make(threshold=1, reset=10.0)
+        breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.consecutive_failures == 0
+
+    def test_probe_failure_reopens_and_restarts_clock(self):
+        breaker, clock = make(threshold=5, reset=10.0)
+        for _ in range(5):
+            breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()
+        breaker.record_failure()  # the probe died too
+        assert breaker.state == OPEN
+        assert breaker.retry_after_s() == 10.0
+
+    def test_snapshot_shape(self):
+        breaker, clock = make(threshold=1, reset=10.0)
+        snap = breaker.snapshot()
+        assert snap == {"state": CLOSED, "consecutive_failures": 0, "failure_threshold": 1}
+        breaker.record_failure()
+        clock.advance(3.0)
+        snap = breaker.snapshot()
+        assert snap["state"] == OPEN
+        assert snap["retry_after_s"] == 7.0
+
+
+class TestMetrics:
+    def test_state_gauge_and_transition_counters(self):
+        metrics = MetricsRegistry()
+        breaker, clock = make(threshold=1, reset=10.0, metrics=metrics)
+        breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()
+        breaker.record_success()
+        text = metrics.render()
+        assert "repro_breaker_state 0" in text  # ends closed
+        assert 'repro_breaker_transitions_total{to="open"} 1' in text
+        assert 'repro_breaker_transitions_total{to="half_open"} 1' in text
+        assert 'repro_breaker_transitions_total{to="closed"} 1' in text

@@ -1,0 +1,90 @@
+"""Unit tests for the plain-data half of the isolation layer."""
+
+import json
+
+import pytest
+
+from repro.faults import QuarantineEntry, QuarantineJournal, ScanLimits
+
+
+class TestScanLimits:
+    def test_inactive_by_default(self):
+        assert not ScanLimits().active
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"timeout_s": 1.0}, {"max_rss_mb": 128}, {"max_cpu_s": 2.0}],
+    )
+    def test_any_bound_activates(self, kwargs):
+        assert ScanLimits(**kwargs).active
+
+    def test_analysis_timeout_alone_does_not_activate(self):
+        # It only shapes the degraded-analysis deadline; isolation needs a
+        # real bound.
+        assert not ScanLimits(analysis_timeout_s=1.0).active
+
+    def test_validate_rejects_non_positive(self):
+        with pytest.raises(ValueError, match="timeout_s"):
+            ScanLimits(timeout_s=0).validate()
+        with pytest.raises(ValueError, match="max_rss_mb"):
+            ScanLimits(max_rss_mb=-1).validate()
+
+    def test_deadline_for_analysis_falls_back_to_timeout(self):
+        limits = ScanLimits(timeout_s=5.0)
+        assert limits.deadline_for("embed") == 5.0
+        assert limits.deadline_for("analyze") == 5.0
+        limits = ScanLimits(timeout_s=5.0, analysis_timeout_s=1.0)
+        assert limits.deadline_for("analyze") == 1.0
+
+    def test_dict_round_trip(self):
+        limits = ScanLimits(timeout_s=2.0, max_rss_mb=256)
+        assert ScanLimits.from_dict(limits.to_dict()) == limits
+        assert ScanLimits.from_dict(None) is None
+        assert ScanLimits.from_dict({}) is None
+
+
+class TestQuarantineJournal:
+    def entry(self, sha="a" * 64, cause="timeout"):
+        return QuarantineEntry(
+            sha256=sha, name="evil.js", stage="embed", cause=cause, detail="d", rusage=None
+        )
+
+    def test_memory_only_round_trip(self):
+        journal = QuarantineJournal()
+        assert "a" * 64 not in journal
+        journal.record(self.entry())
+        assert "a" * 64 in journal
+        assert journal.lookup("a" * 64).cause == "timeout"
+        assert len(journal) == 1
+
+    def test_disk_round_trip(self, tmp_path):
+        journal = QuarantineJournal.in_dir(tmp_path)
+        journal.record(self.entry(sha="b" * 64, cause="oom"))
+        journal.record(self.entry(sha="c" * 64, cause="crashed"))
+        # A fresh instance over the same file sees both entries.
+        reloaded = QuarantineJournal.in_dir(tmp_path)
+        assert len(reloaded) == 2
+        assert reloaded.lookup("b" * 64).cause == "oom"
+        assert reloaded.lookup("c" * 64).cause == "crashed"
+
+    def test_record_is_idempotent_per_sha(self, tmp_path):
+        journal = QuarantineJournal.in_dir(tmp_path)
+        journal.record(self.entry())
+        journal.record(self.entry(cause="oom"))  # index updates, file doesn't grow
+        lines = (tmp_path / "quarantine.jsonl").read_text().splitlines()
+        assert len(lines) == 1
+        assert len(journal) == 1
+
+    def test_torn_tail_line_is_skipped(self, tmp_path):
+        path = tmp_path / "quarantine.jsonl"
+        good = json.dumps(self.entry().to_dict())
+        path.write_text(good + "\n" + good[: len(good) // 2])  # crash mid-write
+        journal = QuarantineJournal(path)
+        assert len(journal) == 1
+
+    def test_entries_are_valid_jsonl(self, tmp_path):
+        journal = QuarantineJournal.in_dir(tmp_path)
+        journal.record(self.entry())
+        for line in (tmp_path / "quarantine.jsonl").read_text().splitlines():
+            record = json.loads(line)
+            assert {"sha256", "name", "stage", "cause", "detail", "ts"} <= set(record)

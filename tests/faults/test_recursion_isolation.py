@@ -1,0 +1,43 @@
+"""Pathologically deep inputs degrade to ``parse_error``, never a crash.
+
+``examples/hostile/deep_chain.js`` nests far beyond the interpreter's
+recursion budget; every layer that walks the AST must convert the
+resulting ``RecursionError`` into its own structured failure.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import Analyzer
+from repro.paths import ExtractionError, PathExtractor
+from repro.pipeline import BatchScanner
+
+HOSTILE = Path(__file__).resolve().parents[2] / "examples" / "hostile" / "deep_chain.js"
+
+
+@pytest.fixture(scope="module")
+def deep_source():
+    return HOSTILE.read_text()
+
+
+class TestRecursionGuards:
+    def test_extractor_raises_structured_error(self, deep_source):
+        with pytest.raises(ExtractionError, match="[Rr]ecursion|too deep|depth"):
+            PathExtractor().extract_from_source(deep_source)
+
+    def test_analyzer_degrades_without_rule_errors(self, deep_source):
+        analyzer = Analyzer()
+        report = analyzer.analyze(deep_source, name="deep_chain.js")
+        # The rule engine never saw a traversal blow-up; the extraction
+        # failure is reported as findings, not as per-rule exceptions.
+        assert analyzer.rule_errors == 0
+        assert report.findings  # the failure itself is evidence
+
+    def test_scan_reports_parse_error_status(self, detector, deep_source):
+        report = BatchScanner(detector, n_workers=1).scan([deep_source])
+        result = report.results[0]
+        assert result.status == "parse_error"
+        assert result.path_count == 0
+        assert not result.faulted  # parse errors are not worker faults
+        assert report.fault_count == 0
