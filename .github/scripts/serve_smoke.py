@@ -1,12 +1,16 @@
 """CI smoke check for `repro serve`: healthz, one scan, metrics.
 
-Usage: serve_smoke.py BASE_URL SCRIPT_PATH [--chaos]
+Usage: serve_smoke.py BASE_URL SCRIPT_PATH [--chaos] [--trace-out PATH]
 
 Waits for the daemon to come up, POSTs the script, and asserts a
 well-formed verdict plus a healthy /healthz and a non-empty /metrics.
-With ``--chaos`` (daemon booted with ``REPRO_FAULT_INJECT=1`` and
-``--timeout-s``), additionally POSTs a hang-marker script and asserts the
-degraded-verdict + quarantine contract survives a worker kill.
+With ``--trace-out``, additionally POSTs with a fixed W3C ``traceparent``,
+asserts the id is echoed end-to-end and that the stored trace at
+``/debug/traces/<id>`` contains every pipeline leaf stage, and writes the
+span tree to PATH (uploaded as a workflow artifact).  With ``--chaos``
+(daemon booted with ``REPRO_FAULT_INJECT=1`` and ``--timeout-s``),
+additionally POSTs a hang-marker script and asserts the degraded-verdict
++ quarantine contract survives a worker kill.
 Exits non-zero (with the failure printed) on any violation.
 """
 
@@ -15,6 +19,9 @@ import sys
 import time
 import urllib.error
 import urllib.request
+
+TRACE_ID = "c1" * 16
+TRACEPARENT = f"00-{TRACE_ID}-{'ab' * 8}-01"
 
 
 def get(url):
@@ -30,6 +37,35 @@ def post_scan(base_url, source, name):
     )
     with urllib.request.urlopen(request, timeout=60) as response:
         return response.status, json.loads(response.read())
+
+
+def trace_check(base_url, source, out_path):
+    """A fixed inbound traceparent must be echoed and fully recorded."""
+    # Vary the source so the scan misses the feature cache — a cache hit
+    # would legitimately skip the extraction/embedding spans.
+    request = urllib.request.Request(
+        f"{base_url}/scan",
+        data=json.dumps({"source": source + "\n// trace probe", "name": "traced.js"}).encode(),
+        headers={"Content-Type": "application/json", "traceparent": TRACEPARENT},
+    )
+    with urllib.request.urlopen(request, timeout=60) as response:
+        verdict = json.loads(response.read())
+        echoed = response.headers.get("X-Trace-Id")
+    assert verdict["trace_id"] == TRACE_ID, verdict
+    assert echoed == TRACE_ID, echoed
+    assert verdict["trace"]["provenance"]["top_paths"], verdict["trace"]
+
+    status, body = get(f"{base_url}/debug/traces/{TRACE_ID}")
+    assert status == 200, body[:400]
+    stored = json.loads(body)
+    names = {span["name"] for span in stored["spans"]}
+    for stage in ("http.scan", "queue.wait", "batch.execute", "scan.batch", "script",
+                  "path_extraction", "embedding", "feature_transform", "classify"):
+        assert stage in names, (stage, sorted(names))
+    assert stored["tree"] and stored["tree"][0]["name"] == "http.scan", stored["tree"]
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump(stored, handle, indent=2)
+    print(f"trace: {stored['n_spans']} spans recorded under {TRACE_ID}, written to {out_path}")
 
 
 def chaos(base_url):
@@ -57,7 +93,7 @@ def chaos(base_url):
     print("chaos: daemon survived a hung worker; quarantine + breaker healthy")
 
 
-def main(base_url, script_path):
+def main(base_url, script_path, extra):
     deadline = time.time() + 60
     while True:
         try:
@@ -87,9 +123,11 @@ def main(base_url, script_path):
     assert "repro_serve_batches_total" in text, text[:400]
     print("metrics: ok ({} lines)".format(len(text.splitlines())))
 
-    if "--chaos" in sys.argv[3:]:
+    if "--trace-out" in extra:
+        trace_check(base_url, source, extra[extra.index("--trace-out") + 1])
+    if "--chaos" in extra:
         chaos(base_url)
 
 
 if __name__ == "__main__":
-    main(sys.argv[1], sys.argv[2])
+    main(sys.argv[1], sys.argv[2], sys.argv[3:])

@@ -17,6 +17,7 @@ import pytest
 from repro.bench import bench_params, default_jsrevealer_config, format_load_table, serve_throughput_comparison
 from repro.core import JSRevealer
 from repro.datasets import experiment_split
+from repro.serve import BackgroundServer, ServeConfig, run_load
 
 
 @pytest.mark.table
@@ -60,3 +61,74 @@ def test_serve_throughput(benchmark):
     assert batched.throughput_rps >= 0.9 * unbatched.throughput_rps
     # And a resident daemon at c=8 beats sequential one-shot scanning.
     assert batched.throughput_rps > oneshot.throughput_rps
+
+
+@pytest.mark.table
+def test_tracing_overhead(benchmark):
+    """Tracing at the default sample rate is within 5% of untraced throughput.
+
+    Boots two daemons side by side — head sampling off, and at the
+    default 10% rate — and alternates measured passes between them after
+    a cache-warming pass, so the guard compares steady-state dispatch
+    cost in paired rounds rather than first-touch feature extraction or
+    whatever the CI machine happened to be doing during one boot.
+    Verdicts must match field-for-field between the modes (the stronger
+    byte-identity claim for untraced payloads lives in
+    tests/pipeline/test_trace_scan.py).
+    """
+    params = bench_params()
+    split = experiment_split(
+        seed=0,
+        pretrain_per_class=params["pretrain"],
+        train_per_class=params["train"],
+        test_per_class=min(params["test"], 20),
+        realistic=True,
+    )
+    detector = JSRevealer(default_jsrevealer_config())
+    detector.pretrain(split.pretrain.sources, split.pretrain.labels)
+    detector.fit(split.train.sources, split.train.labels)
+
+    scripts = [(f"<trace:{i}>", source) for i, source in enumerate(split.test.sources[:16])]
+    default_rate = ServeConfig.__dataclass_fields__["trace_sample_rate"].default
+
+    def compare():
+        # Both daemons stay up for the whole comparison and the measured
+        # passes alternate between them, so background machine drift hits
+        # both modes equally instead of whichever booted second.
+        off = ServeConfig(port=0, max_batch=8, max_wait_ms=25.0, trace_sample_rate=0.0)
+        on = ServeConfig(port=0, max_batch=8, max_wait_ms=25.0, trace_sample_rate=default_rate)
+        with BackgroundServer(detector, off) as a, BackgroundServer(detector, on) as b:
+            best = {"untraced": None, "traced": None}
+            ratios = []
+            for background, mode in ((a, "untraced"), (b, "traced")):
+                run_load(background.host, background.port, scripts, concurrency=8)  # warm the cache
+            for _ in range(5):
+                round_rps = {}
+                for background, mode in ((a, "untraced"), (b, "traced")):
+                    report = run_load(background.host, background.port, scripts,
+                                      concurrency=8, repeats=25)
+                    assert report.errors == 0, report.summary()
+                    round_rps[mode] = report.throughput_rps
+                    if best[mode] is None or report.throughput_rps > best[mode].throughput_rps:
+                        best[mode] = report
+                ratios.append(round_rps["traced"] / round_rps["untraced"])
+        return best["untraced"], best["traced"], ratios
+
+    untraced, traced, ratios = benchmark.pedantic(compare, rounds=1, iterations=1)
+
+    print("\n" + format_load_table(
+        {"untraced": untraced, "traced@default": traced},
+        title="Tracing overhead — default sample rate vs off",
+    ))
+
+    expected = {r.name: (r.label, r.probability, r.verdict) for r in untraced.results}
+    for result in traced.results:
+        assert (result.label, result.probability, result.verdict) == expected[result.name], result.name
+
+    # Paired comparison: each round measures both daemons back to back, so
+    # machine drift cancels within a round.  Real tracing overhead would
+    # depress *every* round's ratio; noise only depresses some.
+    assert max(ratios) >= 0.95, (
+        f"tracing overhead exceeds 5% in every paired round: "
+        f"ratios={[f'{r:.3f}' for r in ratios]}"
+    )

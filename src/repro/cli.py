@@ -25,6 +25,14 @@ resident behind an HTTP endpoint with micro-batching (see
 ``analyze`` runs the static-analysis rule catalog alone — no model, no
 embeddings — and prints explainable findings with source spans.
 
+``scan``/``analyze``/``serve`` accept ``--log-level``/``--log-format``
+(structured JSON logs carry ``trace_id``/``span_id`` fields).  ``scan
+--trace`` records a span tree plus verdict provenance (top attention
+paths, decisive rules, cluster feature weights) per file; ``explain
+--trace FILE…`` prints the provenance alone.  ``serve`` samples traces
+at ``--trace-sample-rate`` and retains them in a ring buffer behind
+``GET /debug/traces`` (an inbound sampled ``traceparent`` always wins).
+
 Exit codes — the ``scan``/``analyze`` contract scripts rely on
 (``grep``-style):
 
@@ -95,8 +103,40 @@ def _read_inputs(paths: list[str]) -> tuple[list[str], list[str]]:
     return sources, names
 
 
+def _configure_logging(args: argparse.Namespace, default_level: str = "warning") -> None:
+    from repro.obs import configure_logging
+
+    configure_logging(
+        level=getattr(args, "log_level", None) or default_level,
+        log_format=getattr(args, "log_format", None) or "text",
+    )
+
+
+def _add_logging_flags(parser: argparse.ArgumentParser, default_level: str) -> None:
+    parser.add_argument("--log-level", choices=("debug", "info", "warning", "error"),
+                        default=default_level, help="repro logger threshold")
+    parser.add_argument("--log-format", choices=("text", "json"), default="text",
+                        help="text lines or one JSON object per log record (with trace ids)")
+
+
+def _print_provenance(result, indent: str = "    ") -> None:
+    """Text-mode rendering of one file's verdict provenance."""
+    provenance = (result.trace or {}).get("provenance") or {}
+    for rule in provenance.get("rules", []):
+        decisive = "  (decisive)" if rule.get("decisive") else ""
+        print(f"{indent}rule {rule['rule_id']} [{rule['severity']}]{decisive}")
+    for entry in provenance.get("top_paths", [])[:3]:
+        print(f"{indent}path w={entry['weight']:.4f}  {entry['path'][:100]}")
+    for entry in provenance.get("cluster_features", [])[:3]:
+        print(
+            f"{indent}feature #{entry['feature_index']} ({entry['cluster_label']}) "
+            f"weight={entry['weight']:.4f}  {entry['central_path'][:80]}"
+        )
+
+
 def _cmd_scan(args: argparse.Namespace) -> int:
     # Exit-code contract: 0 = clean, 1 = malicious found, 2 = usage/IO error.
+    _configure_logging(args)
     if args.workers < 1:
         print("error: --workers must be at least 1", file=sys.stderr)
         return 2
@@ -134,10 +174,21 @@ def _cmd_scan(args: argparse.Namespace) -> int:
             triage=args.triage,
             limits=limits,
             quarantine=quarantine,
+            trace=args.trace,
         )
     except OSError as error:
         print(f"error: cache directory {args.cache_dir!r} unusable: {error}", file=sys.stderr)
         return 2
+    from repro.obs import get_logger
+
+    get_logger("cli").debug(
+        "scan complete",
+        extra={
+            "n_files": report.n_files,
+            "n_malicious": report.n_malicious,
+            "trace_id": (report.trace or {}).get("trace_id"),
+        },
+    )
     if args.format == "json":
         print(report.to_json())
     else:
@@ -149,6 +200,11 @@ def _cmd_scan(args: argparse.Namespace) -> int:
             if result.status != "ok":
                 flags += f"  [{result.status}{', degraded' if result.degraded else ''}]"
             print(f"{verdict:9s}  P={result.probability:.3f}  {result.path}{flags}")
+            if args.trace:
+                _print_provenance(result)
+        if args.trace and report.trace is not None:
+            print(f"# trace {report.trace['trace_id']}: {len(report.trace['spans'])} spans",
+                  file=sys.stderr)
         print(f"# {report.summary()}", file=sys.stderr)
     return 1 if report.n_malicious else 0
 
@@ -158,6 +214,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     # "flagged" here means a finding at or above --fail-on severity.
     from repro.analysis import Analyzer, severity_at_least
 
+    _configure_logging(args)
     sources, names = _read_inputs(args.paths)
     if not sources:
         print("no input files", file=sys.stderr)
@@ -201,6 +258,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.serve import ServeConfig, run_server
 
+    _configure_logging(args, default_level="info")
     try:
         config = ServeConfig(
             host=args.host,
@@ -218,6 +276,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             breaker_threshold=args.breaker_threshold,
             breaker_reset_s=args.breaker_reset_s,
             max_body_bytes=args.max_body_bytes,
+            trace_sample_rate=args.trace_sample_rate,
+            trace_capacity=args.trace_capacity,
+            trace_slow_ms=args.trace_slow_ms,
         )
         config.validate()
     except ValueError as error:
@@ -237,6 +298,33 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 def _cmd_explain(args: argparse.Namespace) -> int:
     detector = load_detector(args.model)
+    if args.trace:
+        # Per-verdict provenance: scan the given scripts with tracing on
+        # and show what drove each verdict (rules, attention paths,
+        # cluster feature weights) instead of the global feature ranking.
+        if not args.paths:
+            print("error: explain --trace needs script paths to explain", file=sys.stderr)
+            return 2
+        sources, names = _read_inputs(args.paths)
+        if not sources:
+            print("no input files", file=sys.stderr)
+            return 2
+        report = detector.scan_batch(sources, names=names, trace=True)
+        if args.format == "json":
+            print(json.dumps([
+                {
+                    "path": result.path,
+                    "verdict": result.verdict,
+                    "probability": result.probability,
+                    "provenance": (result.trace or {}).get("provenance"),
+                }
+                for result in report.results
+            ], indent=2))
+            return 0
+        for result in report.results:
+            print(f"{result.verdict:9s}  P={result.probability:.3f}  {result.path}")
+            _print_provenance(result, indent="  ")
+        return 0
     explanations = detector.explain(top_n=args.top)
     if args.format == "json":
         print(json.dumps([
@@ -292,6 +380,9 @@ def build_parser() -> argparse.ArgumentParser:
                       help="per-script memory headroom in MiB (RLIMIT_AS); enables isolation")
     scan.add_argument("--quarantine-dir", default=None,
                       help="persist quarantine.jsonl of poison scripts here")
+    scan.add_argument("--trace", action="store_true",
+                      help="record a span tree + per-file verdict provenance in the report")
+    _add_logging_flags(scan, default_level="warning")
     scan.add_argument("paths", nargs="+",
                       help=".js files, directories, or - to read one script from stdin")
     scan.set_defaults(fn=_cmd_scan)
@@ -305,6 +396,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="text finding lines or one JSON object with per-file reports")
     analyze.add_argument("--fail-on", choices=("info", "warning", "error"), default="error",
                          help="lowest severity that makes the exit code 1 (default: error)")
+    _add_logging_flags(analyze, default_level="warning")
     analyze.add_argument("paths", nargs="+",
                          help=".js files, directories, or - to read one script from stdin")
     analyze.set_defaults(fn=_cmd_analyze)
@@ -343,12 +435,26 @@ def build_parser() -> argparse.ArgumentParser:
                        help="seconds the breaker stays open before a half-open probe")
     serve.add_argument("--max-body-bytes", type=int, default=16 * 1024 * 1024,
                        help="request body cap; larger bodies are refused with 413")
+    serve.add_argument("--trace-sample-rate", type=float, default=0.1,
+                       help="fraction of requests traced (inbound sampled traceparent wins)")
+    serve.add_argument("--trace-capacity", type=int, default=256,
+                       help="ring-buffer size behind GET /debug/traces")
+    serve.add_argument("--trace-slow-ms", type=float, default=250.0,
+                       help="traces slower than this are retained preferentially")
+    _add_logging_flags(serve, default_level="info")
     serve.set_defaults(fn=_cmd_serve)
 
-    explain = sub.add_parser("explain", help="show a saved model's top features")
+    explain = sub.add_parser(
+        "explain",
+        help="show a saved model's top features, or (--trace FILE…) what drove a verdict",
+    )
     explain.add_argument("--model", required=True)
     explain.add_argument("--top", type=int, default=5)
     explain.add_argument("--format", choices=("text", "json"), default="text")
+    explain.add_argument("--trace", action="store_true",
+                         help="scan the given scripts with tracing and print per-verdict provenance")
+    explain.add_argument("paths", nargs="*",
+                         help="scripts to explain (required with --trace)")
     explain.set_defaults(fn=_cmd_explain)
 
     return parser

@@ -219,6 +219,7 @@ class JSRevealer:
         triage: bool = False,
         limits: "ScanLimits | None" = None,
         quarantine: "QuarantineJournal | None" = None,
+        trace: bool = False,
     ) -> "ScanReport":
         """Scan a batch of scripts, optionally in parallel and cached.
 
@@ -235,6 +236,9 @@ class JSRevealer:
         worker, hostile scripts are quarantined (``quarantine``, defaulting
         to an in-memory journal) and answered with a structured degraded
         verdict (see :mod:`repro.faults`).
+        ``trace=True`` records a span tree plus verdict provenance for the
+        batch and every file (``report.trace`` / ``result.trace``);
+        verdicts are byte-identical with tracing on or off.
         """
         from repro.pipeline import BatchScanner, FeatureCache
 
@@ -245,6 +249,11 @@ class JSRevealer:
             from repro.analysis import Analyzer
 
             analyzer = Analyzer()
+        tracer = None
+        if trace:
+            from repro.obs import Tracer
+
+            tracer = Tracer(sample_rate=1.0)
         scanner = BatchScanner(
             self,
             n_workers=n_workers,
@@ -252,8 +261,9 @@ class JSRevealer:
             triage=analyzer,
             limits=limits,
             quarantine=quarantine,
+            tracer=tracer,
         )
-        return scanner.scan(sources, names=names, threshold=threshold)
+        return scanner.scan(sources, names=names, threshold=threshold, trace=trace or None)
 
     def predict(self, sources: list[str]) -> np.ndarray:
         """Label array (1 = malicious); thin wrapper over :meth:`scan_batch`."""
@@ -286,6 +296,40 @@ class JSRevealer:
                     central_path_signature=feature.central_path_signature,
                     cluster_size=feature.size,
                 )
+            )
+        return out
+
+    def feature_provenance(self, row: np.ndarray, top_n: int = 5) -> list[dict]:
+        """The cluster features that drove one classified row's verdict.
+
+        Ranks this row's features by ``|value| × forest importance`` — the
+        per-script analogue of :meth:`explain`'s global ranking — and
+        names each feature's cluster (label, central path, size) so a
+        traced verdict can say *which* learned path clusters the script
+        landed in.  Works with any classifier; without
+        ``feature_importances_`` the ranking falls back to ``|value|``.
+        """
+        row = np.asarray(row, dtype=float).ravel()
+        importances = getattr(self.classifier, "feature_importances_", None)
+        if importances is None:
+            importances = np.ones_like(row)
+        importances = np.asarray(importances, dtype=float).ravel()
+        limit = min(len(row), len(importances), len(self.feature_extractor.features_))
+        weight = np.abs(row[:limit]) * importances[:limit]
+        order = np.argsort(weight)[::-1][:top_n]
+        out = []
+        for index in order:
+            feature = self.feature_extractor.features_[int(index)]
+            out.append(
+                {
+                    "feature_index": int(index),
+                    "value": round(float(row[int(index)]), 6),
+                    "importance": round(float(importances[int(index)]), 6),
+                    "weight": round(float(weight[int(index)]), 6),
+                    "cluster_label": str(feature.label),
+                    "central_path": feature.central_path_signature,
+                    "cluster_size": int(feature.size),
+                }
             )
         return out
 

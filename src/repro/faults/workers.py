@@ -54,6 +54,10 @@ class Task:
     index: int
     source: str
     name: str = "<script>"
+    #: W3C ``traceparent`` of the caller's per-file span.  When set, the
+    #: worker records its own spans (parented to this context) and ships
+    #: them back in the reply; ``None`` disables worker-side tracing.
+    traceparent: str | None = None
 
 
 @dataclass
@@ -63,11 +67,15 @@ class Outcome:
     index: int
     kind: str
     ok: bool
-    payload: Any = None  # embed: (vectors, weights, path_count, ms, ms, status)
+    payload: Any = None  # embed: (vectors, weights, path_count, ms, ms, status, top_paths)
     cause: str | None = None  # FAULT_CAUSES member when not ok
     detail: str | None = None
     rusage: dict | None = None
     elapsed_ms: float = 0.0
+    #: Span dicts recorded inside the worker (already parented to the
+    #: task's ``traceparent``); ``None`` when tracing was off or the
+    #: worker died before replying.
+    spans: list[dict] | None = None
 
 
 # ----------------------------------------------------------------- worker side
@@ -107,8 +115,12 @@ def _build_embed_state(init: dict) -> dict:
     }
 
 
-def _run_embed(state: dict, source: str) -> tuple:
-    """Extract + embed one script; mirrors the sequential stage semantics."""
+def _run_embed(state: dict, source: str, capture_paths: bool = False) -> tuple:
+    """Extract + embed one script; mirrors the sequential stage semantics.
+
+    With ``capture_paths`` the top attention-weighted path signatures ride
+    along as provenance (the Table VII evidence for a traced verdict).
+    """
     import numpy as np
 
     from repro.jsparser import JSSyntaxError
@@ -124,13 +136,78 @@ def _run_embed(state: dict, source: str) -> tuple:
         status = "parse_error"
     extract_ms = 1000.0 * (time.perf_counter() - started)
 
+    path_count = len(contexts)
     started = time.perf_counter()
     vectors, weights = state["embedder"].embed(contexts)
     if len(vectors) > state["max_paths"]:
         top = np.argsort(weights)[::-1][: state["max_paths"]]
         vectors, weights = vectors[top], weights[top]
+        contexts = [contexts[int(i)] for i in top]
     embed_ms = 1000.0 * (time.perf_counter() - started)
-    return vectors, weights, len(contexts), extract_ms, embed_ms, status
+    top_paths = _top_attention_paths(contexts, weights) if capture_paths else None
+    return vectors, weights, path_count, extract_ms, embed_ms, status, top_paths
+
+
+def _top_attention_paths(contexts, weights, k: int = 5) -> list[dict]:
+    """The ``k`` highest-attention path contexts as JSON-ready provenance."""
+    import numpy as np
+
+    if len(contexts) == 0 or len(weights) == 0 or len(contexts) != len(weights):
+        return []
+    order = np.argsort(np.asarray(weights, dtype=float))[::-1][:k]
+    return [
+        {"path": contexts[int(i)].signature(), "weight": round(float(weights[int(i)]), 6)}
+        for i in order
+    ]
+
+
+def _worker_spans(traceparent: str | None, kind: str, elapsed_ms: float, payload: Any) -> list[dict] | None:
+    """Span dicts for one completed task, parented to the caller's context.
+
+    The worker cannot share the parent's clock or tracer, so spans are
+    reconstructed from the stage timings it already measures: a
+    ``worker.<kind>`` root under the task's ``traceparent``, with
+    ``path_extraction``/``embedding`` children for embed tasks.  Returns
+    ``None`` when tracing is off or the header is malformed.
+    """
+    if traceparent is None:
+        return None
+    import os
+
+    from repro.obs.trace import SpanContext, new_span_id
+
+    ctx = SpanContext.parse(traceparent)
+    if ctx is None:
+        return None
+    ended = time.time()
+    root_start = ended - elapsed_ms / 1000.0
+    root_id = new_span_id()
+
+    def span(name: str, parent_id: str, start: float, duration_ms: float, **attrs) -> dict:
+        return {
+            "name": name,
+            "trace_id": ctx.trace_id,
+            "span_id": new_span_id(),
+            "parent_id": parent_id,
+            "start_unix": round(start, 6),
+            "duration_ms": round(duration_ms, 3),
+            "attributes": attrs,
+            "events": [],
+            "status": "ok",
+        }
+
+    root = span(f"worker.{kind}", ctx.span_id, root_start, elapsed_ms, pid=os.getpid())
+    root["span_id"] = root_id
+    spans = [root]
+    if kind == "embed" and isinstance(payload, tuple) and len(payload) >= 6:
+        extract_ms, embed_ms, status = payload[3], payload[4], payload[5]
+        spans.append(
+            span("path_extraction", root_id, root_start, extract_ms, status=status)
+        )
+        spans.append(
+            span("embedding", root_id, root_start + extract_ms / 1000.0, embed_ms)
+        )
+    return spans
 
 
 def _worker_main(conn, embed_init: dict | None, limits_dict: dict | None) -> None:
@@ -147,13 +224,13 @@ def _worker_main(conn, embed_init: dict | None, limits_dict: dict | None) -> Non
             return
         if message is None:
             return
-        kind, index, source, name = message
+        kind, index, source, name, traceparent = message
         started = time.perf_counter()
         try:
             if kind == "embed":
                 if embed_state is None:
                     embed_state = _build_embed_state(embed_init)
-                payload = _run_embed(embed_state, source)
+                payload = _run_embed(embed_state, source, capture_paths=traceparent is not None)
             elif kind == "analyze":
                 if analyzer is None:
                     from repro.analysis import Analyzer
@@ -173,8 +250,14 @@ def _worker_main(conn, embed_init: dict | None, limits_dict: dict | None) -> Non
         except Exception as error:
             reply = (index, kind, "fault", None, CAUSE_CRASHED, f"{type(error).__name__}: {error}")
         elapsed_ms = 1000.0 * (time.perf_counter() - started)
+        spans = None
+        if reply[2] == "ok":
+            try:
+                spans = _worker_spans(traceparent, kind, elapsed_ms, reply[3])
+            except Exception:
+                spans = None  # tracing must never fail a healthy task
         try:
-            conn.send(reply + (read_rusage(), elapsed_ms))
+            conn.send(reply + (spans, read_rusage(), elapsed_ms))
         except Exception:
             # Can't even report (pipe gone, reply unpicklable): die loudly so
             # the parent's death classifier takes over.
@@ -206,7 +289,7 @@ class _Worker:
     def assign(self, task: Task, timeout_s: float | None) -> None:
         self.task = task
         self.deadline = time.monotonic() + timeout_s if timeout_s is not None else None
-        self.conn.send((task.kind, task.index, task.source, task.name))
+        self.conn.send((task.kind, task.index, task.source, task.name, task.traceparent))
 
     def clear(self) -> None:
         self.task = None
@@ -358,7 +441,7 @@ class IsolatedPool:
                     except (EOFError, OSError):
                         reply = None  # died mid-send; classified below
                     if reply is not None:
-                        index, kind, verdict, payload, cause, detail, rusage, elapsed = reply
+                        index, kind, verdict, payload, cause, detail, spans, rusage, elapsed = reply
                         outcomes[(kind, index)] = Outcome(
                             index=index,
                             kind=kind,
@@ -368,6 +451,7 @@ class IsolatedPool:
                             detail=detail,
                             rusage=rusage,
                             elapsed_ms=elapsed,
+                            spans=spans,
                         )
                         worker.clear()
                         idle.append(worker)

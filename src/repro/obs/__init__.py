@@ -1,16 +1,24 @@
-"""Observability layer: metric primitives + Prometheus text exposition.
+"""Observability layer: metrics, tracing, and structured logging.
 
 Public surface::
 
-    from repro.obs import MetricsRegistry
+    from repro.obs import MetricsRegistry, Tracer, TraceStore, SpanContext
+    from repro.obs import configure_logging, get_logger
 
     registry = MetricsRegistry()
     requests = registry.counter("repro_http_requests_total", "HTTP requests",
                                 labels={"method": "POST", "path": "/scan"})
     requests.inc()
     print(registry.render())  # text/plain; version=0.0.4
+
+    tracer = Tracer(sample_rate=0.1)
+    with tracer.start_trace("scan.batch", force=True) as root:
+        with root.child("path_extraction"):
+            ...
+    # finished spans: repro.obs.trace.trace_spans(root)
 """
 
+from .logging import JsonFormatter, TextFormatter, configure_logging, get_logger
 from .metrics import (
     DEFAULT_LATENCY_BUCKETS,
     DEFAULT_SIZE_BUCKETS,
@@ -19,12 +27,24 @@ from .metrics import (
     Histogram,
     MetricsRegistry,
 )
+from .trace import NullSpan, Span, SpanContext, Tracer, TraceStore, span_tree, trace_spans
 
 __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "JsonFormatter",
     "MetricsRegistry",
+    "NullSpan",
+    "Span",
+    "SpanContext",
+    "TextFormatter",
+    "TraceStore",
+    "Tracer",
+    "configure_logging",
+    "get_logger",
+    "span_tree",
+    "trace_spans",
     "DEFAULT_LATENCY_BUCKETS",
     "DEFAULT_SIZE_BUCKETS",
 ]

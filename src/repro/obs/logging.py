@@ -1,0 +1,114 @@
+"""Structured logging for the scan pipeline and daemon.
+
+One logger tree (rooted at ``repro``), two render formats:
+
+* ``text`` — a classic single-line format for interactive terminals,
+  with any structured fields appended as ``key=value`` pairs,
+* ``json`` — one JSON object per line, machine-ingestable, carrying the
+  record's structured fields verbatim.
+
+Correlation with the tracing layer (:mod:`repro.obs.trace`) is by
+convention: callers pass ``trace_id``/``span_id`` in ``extra`` and both
+formatters surface them, so a log line can be joined to its span tree
+(``grep <trace_id>`` ↔ ``GET /debug/traces/<trace_id>``).
+
+The module never touches the root logger: :func:`configure_logging`
+installs exactly one handler on the ``repro`` logger (idempotently — the
+CLI may configure twice in-process during tests) and disables propagation,
+so library users embedding :mod:`repro` keep full control of their own
+logging tree.  Without configuration, ``repro`` loggers stay silent below
+WARNING — instrumented hot paths cost one disabled-level check.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+import time
+from typing import IO
+
+LOG_LEVELS = ("debug", "info", "warning", "error")
+LOG_FORMATS = ("text", "json")
+
+#: Attributes present on every ``LogRecord``; anything else was passed via
+#: ``extra=`` and is a structured field worth surfacing.
+_RESERVED = frozenset(
+    logging.LogRecord("", 0, "", 0, "", (), None).__dict__
+) | {"message", "asctime", "taskName"}
+
+#: Marker attribute identifying the handler this module installed.
+_HANDLER_FLAG = "_repro_obs_handler"
+
+
+def _structured_fields(record: logging.LogRecord) -> dict:
+    return {
+        key: value
+        for key, value in record.__dict__.items()
+        if key not in _RESERVED and not key.startswith("_")
+    }
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per line: ts, level, logger, message, extras."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload: dict = {
+            "ts": round(record.created, 6),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        payload.update(_structured_fields(record))
+        if record.exc_info and record.exc_info[0] is not None:
+            payload["exc"] = self.formatException(record.exc_info)
+        return json.dumps(payload, default=str)
+
+
+class TextFormatter(logging.Formatter):
+    """``HH:MM:SS level logger message key=value…`` for terminals."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        stamp = time.strftime("%H:%M:%S", time.localtime(record.created))
+        line = f"{stamp} {record.levelname.lower():7s} {record.name}: {record.getMessage()}"
+        fields = _structured_fields(record)
+        if fields:
+            line += " " + " ".join(f"{key}={fields[key]}" for key in sorted(fields))
+        if record.exc_info and record.exc_info[0] is not None:
+            line += "\n" + self.formatException(record.exc_info)
+        return line
+
+
+def configure_logging(
+    level: str = "warning",
+    log_format: str = "text",
+    stream: IO[str] | None = None,
+) -> logging.Logger:
+    """Install (or replace) the single ``repro`` handler; returns the logger.
+
+    Idempotent: a previously installed handler from this function is
+    swapped out rather than stacked, so repeated CLI invocations in one
+    process never duplicate output.
+    """
+    if level not in LOG_LEVELS:
+        raise ValueError(f"log level must be one of {LOG_LEVELS}, got {level!r}")
+    if log_format not in LOG_FORMATS:
+        raise ValueError(f"log format must be one of {LOG_FORMATS}, got {log_format!r}")
+    logger = logging.getLogger("repro")
+    for handler in list(logger.handlers):
+        if getattr(handler, _HANDLER_FLAG, False):
+            logger.removeHandler(handler)
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler.setFormatter(JsonFormatter() if log_format == "json" else TextFormatter())
+    setattr(handler, _HANDLER_FLAG, True)
+    logger.addHandler(handler)
+    logger.setLevel(getattr(logging, level.upper()))
+    logger.propagate = False
+    return logger
+
+
+def get_logger(name: str = "repro") -> logging.Logger:
+    """A logger under the ``repro`` tree (prefix added if absent)."""
+    if name != "repro" and not name.startswith("repro."):
+        name = f"repro.{name}"
+    return logging.getLogger(name)

@@ -11,7 +11,7 @@ round-trips through JSON for machine consumption (CLI ``--format json``).
 from __future__ import annotations
 
 import json
-from dataclasses import asdict, dataclass, field
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -69,6 +69,13 @@ class ScanResult:
     #: detail, stage, worker rusage, and whether the script was already
     #: quarantined by an earlier scan.
     fault: dict | None = None
+    #: Trace + provenance envelope when the scan was traced (``scan
+    #: --trace`` / sampled daemon request): ``trace_id``, ``span_id``, the
+    #: file's span subtree, and a ``provenance`` dict (decisive rule ids,
+    #: top attention paths, cluster feature weights).  ``None`` — and
+    #: *omitted* from :meth:`to_dict`, keeping untraced output
+    #: byte-identical — when tracing was off or sampled out.
+    trace: dict | None = None
 
     @property
     def faulted(self) -> bool:
@@ -79,7 +86,27 @@ class ScanResult:
         return "malicious" if self.malicious else "benign"
 
     def to_dict(self) -> dict:
-        out = asdict(self)
+        # Built by hand rather than dataclasses.asdict: asdict deep-copies
+        # every nested container, which for traced results means walking
+        # the whole span tree — a measurable per-request cost on the serve
+        # hot path.  Consumers serialize straight to JSON, so sharing the
+        # nested dicts is safe.
+        out = {
+            "path": self.path,
+            "label": self.label,
+            "probability": self.probability,
+            "malicious": self.malicious,
+            "path_count": self.path_count,
+            "cache_hit": self.cache_hit,
+            "stage_ms": dict(self.stage_ms),
+            "triaged": self.triaged,
+            "analysis": self.analysis,
+            "status": self.status,
+            "degraded": self.degraded,
+            "fault": self.fault,
+        }
+        if self.trace is not None:
+            out["trace"] = self.trace
         out["verdict"] = self.verdict
         return out
 
@@ -117,6 +144,10 @@ class ScanReport:
     #: (this batch only), these accumulate across every scan the cache served.
     cache_stats: dict[str, int] | None = None
     model_fingerprint: str | None = None
+    #: Batch-level trace envelope (``trace_id``, root span id, full span
+    #: list) when the scan was traced; ``None`` (and omitted from JSON)
+    #: otherwise.
+    trace: dict | None = None
     #: Full class-probability matrix, kept for ``predict_proba`` parity;
     #: not serialized (per-file ``probability`` covers the JSON surface).
     probability_matrix: np.ndarray | None = field(default=None, repr=False, compare=False)
@@ -142,7 +173,7 @@ class ScanReport:
     # ------------------------------------------------------------- serialize
 
     def to_dict(self) -> dict:
-        return {
+        out = {
             "n_files": self.n_files,
             "n_malicious": self.n_malicious,
             "threshold": self.threshold,
@@ -158,6 +189,9 @@ class ScanReport:
             "model_fingerprint": self.model_fingerprint,
             "results": [r.to_dict() for r in self.results],
         }
+        if self.trace is not None:
+            out["trace"] = self.trace
+        return out
 
     def to_json(self, indent: int | None = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent)
@@ -177,6 +211,7 @@ class ScanReport:
             fault_count=data.get("fault_count", 0),
             cache_stats=data.get("cache_stats"),
             model_fingerprint=data.get("model_fingerprint"),
+            trace=data.get("trace"),
         )
 
     @classmethod

@@ -50,6 +50,8 @@ from repro.faults import (
     Task,
     build_embed_init,
 )
+from repro.faults.workers import _top_attention_paths
+from repro.obs.trace import SpanContext, new_span_id, trace_spans
 
 from .cache import CacheEntry, FeatureCache, content_key
 from .results import STAGE_KEYS, STATUS_OK, STATUS_PARSE_ERROR, ScanReport, ScanResult
@@ -57,7 +59,7 @@ from .results import STAGE_KEYS, STATUS_OK, STATUS_PARSE_ERROR, ScanReport, Scan
 if TYPE_CHECKING:  # pragma: no cover
     from repro.analysis import Analyzer
     from repro.core.detector import JSRevealer
-    from repro.obs import MetricsRegistry
+    from repro.obs import MetricsRegistry, Span, Tracer
 
 # ------------------------------------------------------------------ workers
 #
@@ -83,7 +85,9 @@ def _init_worker(extractor_kwargs: dict, embed_dim: int, parameters: dict, max_p
     }
 
 
-def _embed_source(source: str) -> tuple[np.ndarray, np.ndarray, int, float, float, str]:
+def _embed_source(
+    source: str, capture_paths: bool = False
+) -> tuple[np.ndarray, np.ndarray, int, float, float, str, list | None]:
     """Extract + embed one script; mirrors ``JSRevealer`` stage semantics."""
     from repro.jsparser import JSSyntaxError
     from repro.paths import ExtractionError
@@ -98,13 +102,16 @@ def _embed_source(source: str) -> tuple[np.ndarray, np.ndarray, int, float, floa
         status = STATUS_PARSE_ERROR
     extract_ms = 1000.0 * (time.perf_counter() - started)
 
+    path_count = len(contexts)
     started = time.perf_counter()
     vectors, weights = state["embedder"].embed(contexts)
     if len(vectors) > state["max_paths"]:
         top = np.argsort(weights)[::-1][: state["max_paths"]]
         vectors, weights = vectors[top], weights[top]
+        contexts = [contexts[int(i)] for i in top]
     embed_ms = 1000.0 * (time.perf_counter() - started)
-    return vectors, weights, len(contexts), extract_ms, embed_ms, status
+    top_paths = _top_attention_paths(contexts, weights) if capture_paths else None
+    return vectors, weights, path_count, extract_ms, embed_ms, status, top_paths
 
 
 class BatchScanner:
@@ -146,6 +153,13 @@ class BatchScanner:
         quarantine: Optional :class:`~repro.faults.QuarantineJournal`;
             scripts that faulted once are never re-dispatched.  Defaults to
             a memory-only journal whenever ``limits`` are active.
+        tracer: Optional :class:`~repro.obs.Tracer`.  When given, each
+            :meth:`scan` call may open a ``scan.batch`` root span (subject
+            to the tracer's sampling or the call's ``trace=`` override)
+            with per-file stage spans, worker-side spans re-parented from
+            the isolation layer, and verdict provenance attached to every
+            :class:`ScanResult`.  ``None`` disables tracing entirely —
+            verdicts and JSON output are byte-identical either way.
     """
 
     def __init__(
@@ -159,6 +173,7 @@ class BatchScanner:
         triage: "Analyzer | None" = None,
         limits: ScanLimits | None = None,
         quarantine: QuarantineJournal | None = None,
+        tracer: "Tracer | None" = None,
     ):
         if n_workers < 1:
             raise ValueError("n_workers must be positive")
@@ -177,6 +192,7 @@ class BatchScanner:
             quarantine = QuarantineJournal()
         self.quarantine = quarantine
         self._iso_pool: IsolatedPool | None = None
+        self.tracer = tracer
         self.metrics = metrics
         if metrics is not None:
             from repro.obs.metrics import DEFAULT_SIZE_BUCKETS
@@ -188,7 +204,9 @@ class BatchScanner:
                 "repro_scan_scripts_total", "Scripts scanned across all batches"
             )
             self._m_batch_size = metrics.histogram(
-                "repro_scan_batch_size", "Scripts per dispatched batch", buckets=DEFAULT_SIZE_BUCKETS
+                "repro_scan_batch_size_scripts",
+                "Scripts per dispatched batch",
+                buckets=DEFAULT_SIZE_BUCKETS,
             )
             self._m_stage = {
                 stage: metrics.histogram(
@@ -242,7 +260,24 @@ class BatchScanner:
 
     # ------------------------------------------------------------------ scan
 
-    def scan(self, sources: list[str], names: list[str] | None = None, threshold: float = 0.5) -> ScanReport:
+    def scan(
+        self,
+        sources: list[str],
+        names: list[str] | None = None,
+        threshold: float = 0.5,
+        trace: bool | None = None,
+        trace_parent: SpanContext | None = None,
+    ) -> ScanReport:
+        """Scan a batch; see the class docstring for the moving parts.
+
+        Args:
+            trace: ``True`` forces this batch to be traced, ``False``
+                forces it off, ``None`` (default) defers to the tracer's
+                sampling (never traced without a tracer).
+            trace_parent: Propagated :class:`SpanContext` to parent the
+                batch root span under (e.g. from an inbound
+                ``traceparent`` header).
+        """
         detector = self.detector
         if not detector._fitted:
             raise RuntimeError("JSRevealer used before fit()")
@@ -252,6 +287,24 @@ class BatchScanner:
             names = [f"<script:{i}>" for i in range(n)]
         if len(names) != n:
             raise ValueError("names and sources length mismatch")
+
+        root: "Span | None" = None
+        if self.tracer is not None and trace is not False:
+            candidate = self.tracer.start_trace(
+                "scan.batch",
+                parent=trace_parent,
+                attributes={"n_scripts": n, "n_workers": self.n_workers, "isolated": self.isolated},
+                force=trace,
+            )
+            if candidate.recording:
+                root = candidate  # type: ignore[assignment]
+        recording = root is not None
+        #: Pre-generated per-file span ids: workers parent their spans to
+        #: these before the file span itself is synthesized (at the end,
+        #: once its total cost and outcome are known).
+        file_span_ids: list[str] | None = [new_span_id() for _ in range(n)] if recording else None
+        top_paths: list[list | None] = [None] * n
+        worker_spans: list[list | None] = [None] * n
 
         entries: list[CacheEntry | None] = [None] * n
         hit_flags = [False] * n
@@ -317,9 +370,14 @@ class BatchScanner:
             workers_used = self.n_workers
             try:
                 self._embed_isolated(
-                    pending, sources, names, keys, entries, per_file_ms, statuses, fault_info, faulted
+                    pending, sources, names, keys, entries, per_file_ms, statuses, fault_info,
+                    faulted, root=root, file_span_ids=file_span_ids,
+                    worker_spans=worker_spans, top_paths=top_paths,
                 )
-                self._degraded_analyses(faulted, sources, names, analyses, per_file_ms)
+                self._degraded_analyses(
+                    faulted, sources, names, analyses, per_file_ms,
+                    root=root, file_span_ids=file_span_ids, worker_spans=worker_spans,
+                )
             except Exception as error:  # pool bootstrap failure, not a task fault
                 self._close_iso_pool()
                 print(
@@ -332,7 +390,10 @@ class BatchScanner:
                     self._close_iso_pool()
         elif self.n_workers > 1 and len(pending) > 1:
             try:
-                self._embed_parallel(pending, sources, entries, per_file_ms, statuses)
+                self._embed_parallel(
+                    pending, sources, entries, per_file_ms, statuses,
+                    capture_paths=recording, top_paths=top_paths,
+                )
                 workers_used = self.n_workers
             except Exception as error:  # pool start/transport failure
                 print(
@@ -342,7 +403,9 @@ class BatchScanner:
         for i in pending:  # sequential path + parallel-failure backstop
             if entries[i] is not None or statuses[i] in FAULT_CAUSES:
                 continue
-            entries[i], statuses[i] = self._embed_sequential(sources[i], per_file_ms[i])
+            entries[i], statuses[i], top_paths[i] = self._embed_sequential(
+                sources[i], per_file_ms[i], capture_paths=recording
+            )
         if self.cache is not None:
             for i in pending:
                 # Only clean embeddings are cached: a parse_error entry would
@@ -371,12 +434,25 @@ class BatchScanner:
             labels = np.zeros(0, dtype=int)
             active_proba = np.zeros((0, 2))
         classify_ms = 1000.0 * (time.perf_counter() - classify_started)
+        if recording:
+            root.synthesize(
+                "feature_transform", transform_ms, attributes={"n_scripts": len(active)}
+            )
+            root.synthesize("classify", classify_ms, attributes={"n_scripts": len(active)})
 
         results = []
         position = {i: j for j, i in enumerate(active)}
         has_proba = (
             active_proba is not None and active_proba.ndim == 2 and active_proba.shape[1] >= 2
         )
+        trace_envelopes: list[dict | None] = [None] * n
+        if recording:
+            for i in range(n):
+                trace_envelopes[i] = self._file_trace(
+                    root, file_span_ids[i], i, names, statuses, hit_flags, triaged,
+                    per_file_ms, fault_info, worker_spans, entries, analyses, top_paths,
+                    position, X if len(active) else None,
+                )
         degraded_flags = [False] * n
         for i in range(n):
             if triaged[i]:
@@ -410,6 +486,7 @@ class BatchScanner:
                     status=statuses[i],
                     degraded=degraded_flags[i],
                     fault=fault_info[i],
+                    trace=trace_envelopes[i],
                 )
             )
 
@@ -450,6 +527,19 @@ class BatchScanner:
             model_fingerprint=detector.fingerprint(),
             probability_matrix=proba_matrix,
         )
+        if recording:
+            root.set_attribute("cache_hits", report.cache_hits)
+            root.set_attribute("cache_misses", report.cache_misses)
+            root.set_attribute("triage_hits", report.triage_hits)
+            root.set_attribute("fault_count", report.fault_count)
+            if report.fault_count:
+                root.set_status("error", f"{report.fault_count} scripts faulted")
+            root.end()
+            report.trace = {
+                "trace_id": root.trace_id,
+                "root_span_id": root.span_id,
+                "spans": trace_spans(root),
+            }
         if self.metrics is not None:
             self._m_batches.inc()
             self._m_scripts.inc(n)
@@ -458,9 +548,126 @@ class BatchScanner:
                 self._m_stage[stage].observe(ms / 1000.0)
         return report
 
+    # --------------------------------------------------------------- tracing
+
+    def _file_trace(
+        self,
+        root: "Span",
+        span_id: str,
+        i: int,
+        names: list[str],
+        statuses: list[str],
+        hit_flags: list[bool],
+        triaged: list[bool],
+        per_file_ms: list[dict[str, float]],
+        fault_info: list[dict | None],
+        worker_spans: list[list | None],
+        entries: list[CacheEntry | None],
+        analyses: list,
+        top_paths: list[list | None],
+        position: dict[int, int],
+        X: np.ndarray | None,
+    ) -> dict:
+        """One file's trace envelope: span subtree + verdict provenance.
+
+        The per-file span is synthesized (its id was pre-generated so
+        worker spans could parent to it before it existed); its children
+        are either real worker spans shipped back across the process
+        boundary, or stage spans reconstructed from the measured per-file
+        timings, or — for a script that killed its worker — a terminal
+        span synthesized from the fault classification.
+        """
+        from repro.obs.trace import span_tree
+
+        info = fault_info[i] or {}
+        faulted = statuses[i] in FAULT_CAUSES
+        events: list[dict] = []
+        if triaged[i]:
+            events.append({"name": "triage_decisive", "offset_ms": 0.0})
+        elif self.cache is not None and not info.get("known"):
+            events.append({"name": "cache_hit" if hit_flags[i] else "cache_miss", "offset_ms": 0.0})
+        if info.get("known"):
+            events.append({"name": "quarantine_hit", "offset_ms": 0.0})
+        file_span = root.synthesize(
+            "script",
+            sum(per_file_ms[i].values()),
+            span_id=span_id,
+            attributes={
+                "script": str(names[i]),
+                "index": i,
+                "status": statuses[i],
+                "cache_hit": hit_flags[i],
+                "triaged": triaged[i],
+            },
+            events=events,
+            status="error" if faulted else "ok",
+            status_detail=info.get("detail") if faulted else None,
+        )
+        spans = [file_span]
+        has_analyze_spans = any(s.get("name") == "worker.analyze" for s in worker_spans[i] or [])
+        if per_file_ms[i].get("analysis") and not has_analyze_spans:
+            spans.append(root.synthesize("analysis", per_file_ms[i]["analysis"], parent_id=span_id))
+        for span_dict in worker_spans[i] or []:
+            span_dict = {**span_dict, "trace_id": root.trace_id}
+            root.add_span_dict(span_dict)
+            spans.append(span_dict)
+        has_embed_spans = any(s.get("name") == "worker.embed" for s in worker_spans[i] or [])
+        if faulted and not has_embed_spans:
+            # The worker never replied (killed / deadline overrun): the
+            # terminal span is synthesized from the parent's classification.
+            deadline = self.limits.deadline_for("embed") if self.limits is not None else None
+            spans.append(
+                root.synthesize(
+                    "worker.embed",
+                    1000.0 * deadline if (info.get("cause") == "timeout" and deadline) else 0.0,
+                    parent_id=span_id,
+                    attributes={
+                        "cause": info.get("cause", statuses[i]),
+                        "quarantined": bool(info.get("quarantined")),
+                    },
+                    status="error",
+                    status_detail=info.get("detail"),
+                )
+            )
+        elif (
+            not has_embed_spans and not triaged[i] and not hit_flags[i] and entries[i] is not None
+        ):
+            spans.append(
+                root.synthesize(
+                    "path_extraction", per_file_ms[i].get("path_extraction", 0.0), parent_id=span_id
+                )
+            )
+            spans.append(
+                root.synthesize("embedding", per_file_ms[i].get("embedding", 0.0), parent_id=span_id)
+            )
+        row = X[position[i]] if (X is not None and i in position) else None
+        return {
+            "trace_id": root.trace_id,
+            "span_id": span_id,
+            "provenance": self._provenance(analyses[i], top_paths[i], row),
+            "spans": span_tree(spans),
+        }
+
+    def _provenance(self, analysis, top_paths: list | None, row: np.ndarray | None) -> dict:
+        """Why the verdict: rule hits, attention paths, cluster features."""
+        provenance: dict = {}
+        if analysis is not None:
+            provenance["rules"] = [
+                {"rule_id": f.rule_id, "severity": f.severity, "decisive": f.decisive}
+                for f in analysis.findings
+            ]
+            provenance["analysis_score"] = round(float(analysis.score), 6)
+        if top_paths is not None:
+            provenance["top_paths"] = top_paths
+        if row is not None:
+            provenance["cluster_features"] = self.detector.feature_provenance(row)
+        return provenance
+
     # ------------------------------------------------------------ embedding
 
-    def _embed_sequential(self, source: str, file_ms: dict[str, float]) -> tuple[CacheEntry, str]:
+    def _embed_sequential(
+        self, source: str, file_ms: dict[str, float], capture_paths: bool = False
+    ) -> tuple[CacheEntry, str, list | None]:
         from repro.jsparser import JSSyntaxError
         from repro.paths import ExtractionError
 
@@ -475,9 +682,16 @@ class BatchScanner:
                 status = STATUS_PARSE_ERROR
         file_ms["path_extraction"] = 1000.0 * (time.perf_counter() - started)
         started = time.perf_counter()
-        vectors, weights = detector.embed_script(contexts)
-        file_ms["embedding"] = 1000.0 * (time.perf_counter() - started)
-        return CacheEntry(vectors=vectors, weights=weights, path_count=len(contexts)), status
+        top_paths: list | None = None
+        if capture_paths:
+            vectors, weights, kept = detector.embed_script(contexts, return_indices=True)
+            file_ms["embedding"] = 1000.0 * (time.perf_counter() - started)
+            top_paths = _top_attention_paths([contexts[int(j)] for j in kept], weights)
+        else:
+            vectors, weights = detector.embed_script(contexts)
+            file_ms["embedding"] = 1000.0 * (time.perf_counter() - started)
+        entry = CacheEntry(vectors=vectors, weights=weights, path_count=len(contexts))
+        return entry, status, top_paths
 
     def _create_pool(self):
         detector = self.detector
@@ -505,12 +719,17 @@ class BatchScanner:
         entries: list[CacheEntry | None],
         per_file_ms: list[dict[str, float]],
         statuses: list[str],
+        capture_paths: bool = False,
+        top_paths: list[list | None] | None = None,
     ) -> None:
         if self.persistent:
             if self._pool is None:
                 self._pool = self._create_pool()
             try:
-                self._drive_pool(self._pool, pending, sources, entries, per_file_ms, statuses)
+                self._drive_pool(
+                    self._pool, pending, sources, entries, per_file_ms, statuses,
+                    capture_paths, top_paths,
+                )
             except Exception:
                 # A broken persistent pool would poison every later scan;
                 # drop it so the next parallel scan rebuilds from scratch.
@@ -518,7 +737,10 @@ class BatchScanner:
                 raise
         else:
             with self._create_pool() as pool:
-                self._drive_pool(pool, pending, sources, entries, per_file_ms, statuses)
+                self._drive_pool(
+                    pool, pending, sources, entries, per_file_ms, statuses,
+                    capture_paths, top_paths,
+                )
 
     def _drive_pool(
         self,
@@ -528,6 +750,8 @@ class BatchScanner:
         entries: list[CacheEntry | None],
         per_file_ms: list[dict[str, float]],
         statuses: list[str],
+        capture_paths: bool = False,
+        top_paths: list[list | None] | None = None,
     ) -> None:
         detector = self.detector
         todo = iter(pending)
@@ -537,7 +761,9 @@ class BatchScanner:
             position = next(todo, None)
             if position is None:
                 return False
-            in_flight.append((position, pool.apply_async(_embed_source, (sources[position],))))
+            in_flight.append(
+                (position, pool.apply_async(_embed_source, (sources[position], capture_paths)))
+            )
             return True
 
         for _ in range(self.queue_depth):
@@ -545,11 +771,13 @@ class BatchScanner:
                 break
         while in_flight:
             position, handle = in_flight.popleft()
-            vectors, weights, path_count, extract_ms, embed_ms, status = handle.get()
+            vectors, weights, path_count, extract_ms, embed_ms, status, paths = handle.get()
             entries[position] = CacheEntry(vectors=vectors, weights=weights, path_count=path_count)
             statuses[position] = status
             per_file_ms[position]["path_extraction"] = extract_ms
             per_file_ms[position]["embedding"] = embed_ms
+            if top_paths is not None:
+                top_paths[position] = paths
             # Worker CPU time still lands in the detector's Table VIII
             # accounting, even though wall-clock overlaps under the pool.
             detector.stage_seconds["path_extraction"] += extract_ms / 1000.0
@@ -571,25 +799,50 @@ class BatchScanner:
         statuses: list[str],
         fault_info: list[dict | None],
         faulted: list[int],
+        root: "Span | None" = None,
+        file_span_ids: list[str] | None = None,
+        worker_spans: list[list | None] | None = None,
+        top_paths: list[list | None] | None = None,
     ) -> None:
         """Run pending scripts through the fault-isolated pool.
 
         Faults are settled in place: status + fault envelope + quarantine
-        record; clean outcomes land exactly like the plain pool's.
+        record; clean outcomes land exactly like the plain pool's.  When
+        tracing (``root`` given), each task carries a ``traceparent``
+        naming its pre-generated file span id, so the spans the worker
+        ships back re-parent correctly under the batch trace.
         """
         if not pending:
             return
         detector = self.detector
         pool = self._ensure_iso_pool()
-        tasks = [Task(kind="embed", index=i, source=sources[i], name=str(names[i])) for i in pending]
+        recording = root is not None and file_span_ids is not None
+        tasks = [
+            Task(
+                kind="embed",
+                index=i,
+                source=sources[i],
+                name=str(names[i]),
+                traceparent=(
+                    SpanContext(root.trace_id, file_span_ids[i]).to_traceparent()
+                    if recording
+                    else None
+                ),
+            )
+            for i in pending
+        ]
         for outcome in pool.run(tasks):
             i = outcome.index
             if outcome.ok:
-                vectors, weights, path_count, extract_ms, embed_ms, status = outcome.payload
+                vectors, weights, path_count, extract_ms, embed_ms, status, paths = outcome.payload
                 entries[i] = CacheEntry(vectors=vectors, weights=weights, path_count=path_count)
                 statuses[i] = status
                 per_file_ms[i]["path_extraction"] = extract_ms
                 per_file_ms[i]["embedding"] = embed_ms
+                if top_paths is not None:
+                    top_paths[i] = paths
+                if worker_spans is not None and outcome.spans:
+                    worker_spans[i] = list(outcome.spans)
                 detector.stage_seconds["path_extraction"] += extract_ms / 1000.0
                 detector.stage_counts["path_extraction"] += 1
                 detector.stage_seconds["embedding"] += embed_ms / 1000.0
@@ -624,6 +877,9 @@ class BatchScanner:
         names: list[str],
         analyses: list,
         per_file_ms: list[dict[str, float]],
+        root: "Span | None" = None,
+        file_span_ids: list[str] | None = None,
+        worker_spans: list[list | None] | None = None,
     ) -> None:
         """Triage-only fallback for faulted scripts, still behind isolation.
 
@@ -638,8 +894,25 @@ class BatchScanner:
         if not todo:
             return
         pool = self._ensure_iso_pool()
-        tasks = [Task(kind="analyze", index=i, source=sources[i], name=str(names[i])) for i in todo]
+        recording = root is not None and file_span_ids is not None
+        tasks = [
+            Task(
+                kind="analyze",
+                index=i,
+                source=sources[i],
+                name=str(names[i]),
+                traceparent=(
+                    SpanContext(root.trace_id, file_span_ids[i]).to_traceparent()
+                    if recording
+                    else None
+                ),
+            )
+            for i in todo
+        ]
         for outcome in pool.run(tasks):
             if outcome.ok and isinstance(outcome.payload, dict):
                 analyses[outcome.index] = AnalysisReport.from_dict(outcome.payload)
                 per_file_ms[outcome.index]["analysis"] = outcome.elapsed_ms
+                if worker_spans is not None and outcome.spans:
+                    existing = worker_spans[outcome.index] or []
+                    worker_spans[outcome.index] = existing + list(outcome.spans)

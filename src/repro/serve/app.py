@@ -47,7 +47,7 @@ from typing import TYPE_CHECKING
 
 from repro.analysis import Analyzer
 from repro.faults import CircuitBreaker, QuarantineJournal, ScanLimits
-from repro.obs import MetricsRegistry
+from repro.obs import MetricsRegistry, SpanContext, TraceStore, Tracer, get_logger
 from repro.pipeline import BatchScanner, FeatureCache
 
 from .batching import Draining, MicroBatcher, QueueFull
@@ -89,6 +89,11 @@ class ServeConfig:
     breaker_threshold: int = 5  # consecutive worker deaths that open it
     breaker_reset_s: float = 30.0  # open → half-open probe delay
     max_body_bytes: int = MAX_BODY_BYTES  # request body cap (413 above)
+    # Tracing (repro.obs.trace): head-sampled per request; an inbound
+    # ``traceparent`` with the sampled bit set always records.
+    trace_sample_rate: float = 0.1
+    trace_capacity: int = 256  # /debug/traces ring size
+    trace_slow_ms: float = 250.0  # slow-scan retention threshold
 
     def validate(self) -> None:
         if self.n_workers < 1:
@@ -105,6 +110,10 @@ class ServeConfig:
             raise ValueError("breaker_reset_s must be positive")
         if self.max_body_bytes < 1:
             raise ValueError("max_body_bytes must be positive")
+        if not 0.0 <= self.trace_sample_rate <= 1.0:
+            raise ValueError("trace_sample_rate must be within [0, 1]")
+        if self.trace_capacity < 1:
+            raise ValueError("trace_capacity must be positive")
         limits = self.scan_limits()
         if limits is not None:
             limits.validate()
@@ -150,6 +159,15 @@ class ScanServer:
             reset_timeout_s=self.config.breaker_reset_s,
             metrics=self.metrics,
         )
+        # Per-request traces land in the bounded ring behind /debug/traces;
+        # the scanner gets its own never-sampling tracer — batch traces are
+        # recorded only when a traced request is waiting on the batch, then
+        # grafted under each such request's root span.
+        self.traces = TraceStore(
+            capacity=self.config.trace_capacity, slow_ms=self.config.trace_slow_ms
+        )
+        self.tracer = Tracer(sample_rate=self.config.trace_sample_rate, sink=self.traces.put)
+        self.log = get_logger("serve")
         # One scanner, one executor thread: scans serialize behind the
         # batcher, so the scanner (and its persistent pools, when workers
         # or isolation are enabled) is never entered concurrently.
@@ -161,6 +179,7 @@ class ScanServer:
             metrics=self.metrics,
             limits=limits,
             quarantine=self.quarantine if limits is not None and limits.active else None,
+            tracer=Tracer(sample_rate=0.0),
         )
         # Static analysis shares the metrics registry, so /metrics exposes
         # per-rule finding counters next to the scan histograms.
@@ -173,6 +192,7 @@ class ScanServer:
             max_wait_ms=self.config.max_wait_ms,
             queue_limit=self.config.queue_limit,
             metrics=self.metrics,
+            pass_meta=True,
         )
         self._server: asyncio.AbstractServer | None = None
         self.bound_port: int | None = None
@@ -182,11 +202,31 @@ class ScanServer:
         self._m_latency = self.metrics.histogram(
             "repro_http_request_seconds", "Wall-clock per HTTP request"
         )
+        import platform
+
+        from repro import __version__
+
+        self.metrics.gauge(
+            "repro_build_info",
+            "Constant 1; the labels carry the build/runtime identity",
+            labels={"version": __version__, "python": platform.python_version()},
+        ).set(1)
+        self._m_uptime = self.metrics.gauge(
+            "repro_uptime_seconds", "Seconds since the server started"
+        )
 
     # The executor-side entry point; wrapped so tests/benches can stub it.
-    def _scan_batch(self, sources: list[str], names: list[str]):
+    def _scan_batch(self, sources: list[str], names: list[str], metas: list[dict] | None = None):
+        # One traced request in the micro-batch is enough to record the
+        # whole batch's spans (they are grafted into every traced waiter).
+        want_trace = any(meta.get("trace") for meta in metas or [])
         try:
-            report = self.scanner.scan(sources, names=names, threshold=self.config.threshold)
+            report = self.scanner.scan(
+                sources,
+                names=names,
+                threshold=self.config.threshold,
+                trace=True if want_trace else None,
+            )
         except Exception:
             self.breaker.record_failure()
             raise
@@ -302,6 +342,14 @@ class ScanServer:
         }
         handler = handlers.get((request.method, request.path))
         known_path = any(path == request.path for _, path in handlers)
+        if handler is None and request.path.startswith("/debug/traces"):
+            known_path = True
+            if request.method == "GET":
+                handler = (
+                    self._handle_traces_list
+                    if request.path.rstrip("/") == "/debug/traces"
+                    else self._handle_trace_get
+                )
         try:
             if handler is None:
                 status = 405 if known_path else 404
@@ -330,6 +378,7 @@ class ScanServer:
             "uptime_s": round(time.time() - self.started_at, 3),
             "breaker": self.breaker.snapshot(),
             "quarantined": len(self.quarantine),
+            "traces_stored": len(self.traces),
         }
         return 200, json_response(200, payload)
 
@@ -357,8 +406,74 @@ class ScanServer:
         return 200, json_response(200, payload)
 
     async def _handle_metrics(self, request: Request) -> tuple[int, bytes]:
+        self._m_uptime.set(round(time.time() - self.started_at, 3))
         body = self.metrics.render().encode("utf-8")
         return 200, render_response(200, body, content_type=MetricsRegistry.CONTENT_TYPE)
+
+    async def _handle_traces_list(self, request: Request) -> tuple[int, bytes]:
+        try:
+            n = int(request.query.get("n", "20"))
+        except ValueError as error:
+            raise ProtocolError(400, '"n" must be an integer') from error
+        payload = {
+            "traces": self.traces.list(max(1, min(n, self.traces.capacity))),
+            "stored": self.traces.stored,
+            "evicted": self.traces.evicted,
+            "sample_rate": self.config.trace_sample_rate,
+        }
+        return 200, json_response(200, payload)
+
+    async def _handle_trace_get(self, request: Request) -> tuple[int, bytes]:
+        trace_id = request.path.rstrip("/").rsplit("/", 1)[-1]
+        record = self.traces.get(trace_id)
+        if record is None:
+            return 404, error_response(404, f"trace {trace_id!r} not found (expired or unsampled)")
+        return 200, json_response(200, record)
+
+    # --------------------------------------------------------------- tracing
+
+    def _start_request_trace(self, request: Request, name: str):
+        """Open the per-request root span (inbound ``traceparent`` wins)."""
+        parent = SpanContext.parse(request.traceparent)
+        return self.tracer.start_trace(
+            name, parent=parent, attributes={"method": request.method, "path": request.path}
+        )
+
+    @staticmethod
+    def _trace_headers(root) -> dict[str, str]:
+        context = root.context
+        return {"X-Trace-Id": context.trace_id, "traceparent": context.to_traceparent()}
+
+    def _graft_batch(self, root, report, total_wait_ms: float | None) -> None:
+        """Stitch one batch's span tree into a traced request's trace.
+
+        The scanner traces each micro-batch as its own trace (one batch
+        serves requests from many traces); for every traced waiter the
+        batch spans are re-keyed to the request's trace id and the batch
+        root is re-parented under a synthesized ``batch.execute`` span.
+        The gap between total wait and batch execution is the queue
+        (``total_wait_ms=None`` skips the queue span — used when a large
+        request spans several micro-batches and the wait was already
+        accounted to the first one).
+        """
+        if not root.recording:
+            return
+        batch_trace = report.trace or {}
+        batch_ms = float(report.elapsed_ms)
+        if total_wait_ms is not None:
+            root.synthesize("queue.wait", max(total_wait_ms - batch_ms, 0.0))
+        anchor = root.synthesize(
+            "batch.execute",
+            batch_ms,
+            attributes={"batch_trace_id": batch_trace.get("trace_id"), "batch_size": report.n_files},
+        )
+        spans = batch_trace.get("spans") or []
+        span_ids = {span.get("span_id") for span in spans}
+        for span in spans:
+            span = dict(span)
+            if span.get("parent_id") not in span_ids:
+                span["parent_id"] = anchor["span_id"]
+            root.add_span_dict(span)
 
     def _parse_threshold(self, payload: dict) -> float:
         threshold = payload.get("threshold", self.config.threshold)
@@ -369,13 +484,18 @@ class ScanServer:
     @staticmethod
     def _result_payload(result, threshold: float) -> dict:
         out = result.to_dict()
+        # The batch-trace envelope never ships raw: a traced batch may
+        # contain *other* requests' scripts, and untraced requests must
+        # stay byte-identical.  Traced requests get their own envelope
+        # re-keyed to the request trace (see the handlers).
+        out.pop("trace", None)
         # Per-request thresholds re-derive the verdict from the probability;
         # the classifier label and probability themselves never change.
         out["malicious"] = bool(result.probability >= threshold)
         out["verdict"] = "malicious" if out["malicious"] else "benign"
         return out
 
-    async def _submit(self, source: str, name: str) -> asyncio.Future:
+    async def _submit(self, source: str, name: str, meta: dict | None = None) -> asyncio.Future:
         if not self.breaker.allow():
             retry = max(
                 self.config.retry_after_s, math.ceil(self.breaker.retry_after_s())
@@ -389,7 +509,7 @@ class ScanServer:
                 ),
             )
         try:
-            return self.batcher.submit(source, name)
+            return self.batcher.submit(source, name, meta=meta)
         except QueueFull as error:
             raise _Reply(
                 429,
@@ -412,22 +532,41 @@ class ScanServer:
             raise ProtocolError(400, '"name" must be a string')
         threshold = self._parse_threshold(payload)
 
-        try:
-            future = await self._submit(source, name)
-        except _Reply as reply:
-            return reply.status, reply.response
-        try:
-            result, report = await asyncio.wait_for(future, self.config.request_timeout_s)
-        except asyncio.TimeoutError:
-            return 503, error_response(
-                503,
-                f"scan did not complete within {self.config.request_timeout_s:g}s",
-                extra_headers={"Retry-After": str(self.config.retry_after_s)},
+        root = self._start_request_trace(request, "http.scan")
+        with root:
+            root.set_attribute("script", name)
+            submitted = time.perf_counter()
+            try:
+                future = await self._submit(source, name, meta={"trace": root.recording})
+            except _Reply as reply:
+                root.set_status("error", f"rejected {reply.status}")
+                return reply.status, reply.response
+            try:
+                result, report = await asyncio.wait_for(future, self.config.request_timeout_s)
+            except asyncio.TimeoutError:
+                root.set_status("error", "request timeout")
+                return 503, error_response(
+                    503,
+                    f"scan did not complete within {self.config.request_timeout_s:g}s",
+                    extra_headers={"Retry-After": str(self.config.retry_after_s)},
+                )
+            total_wait_ms = 1000.0 * (time.perf_counter() - submitted)
+            self._graft_batch(root, report, total_wait_ms)
+            trace_id = root.context.trace_id
+            body = self._result_payload(result, threshold)
+            body["threshold"] = threshold
+            body["model_fingerprint"] = report.model_fingerprint
+            body["trace_id"] = trace_id
+            if root.recording and result.trace is not None:
+                body["trace"] = {
+                    "trace_id": trace_id,
+                    "provenance": result.trace.get("provenance"),
+                }
+            self.log.debug(
+                "scan served",
+                extra={"trace_id": trace_id, "script": name, "verdict": body["verdict"]},
             )
-        body = self._result_payload(result, threshold)
-        body["threshold"] = threshold
-        body["model_fingerprint"] = report.model_fingerprint
-        return 200, json_response(200, body)
+        return 200, json_response(200, body, extra_headers=self._trace_headers(root))
 
     async def _handle_analyze(self, request: Request) -> tuple[int, bytes]:
         payload = request.json()
@@ -448,10 +587,16 @@ class ScanServer:
                 f"queue full ({self.config.queue_limit} requests pending)",
                 extra_headers={"Retry-After": str(self.config.retry_after_s)},
             )
-        report = await asyncio.get_running_loop().run_in_executor(
-            None, self.analyzer.analyze, source, name
-        )
-        return 200, json_response(200, report.to_dict())
+        root = self._start_request_trace(request, "http.analyze")
+        with root:
+            root.set_attribute("script", name)
+            report = await asyncio.get_running_loop().run_in_executor(
+                None, self.analyzer.analyze, source, name
+            )
+            root.synthesize("analysis", report.elapsed_ms, attributes={"n_findings": report.n_findings})
+            body = report.to_dict()
+            body["trace_id"] = root.context.trace_id
+        return 200, json_response(200, body, extra_headers=self._trace_headers(root))
 
     async def _handle_scan_batch(self, request: Request) -> tuple[int, bytes]:
         payload = request.json()
@@ -479,35 +624,53 @@ class ScanServer:
             sources.append(source)
             names.append(name)
 
-        futures: list[asyncio.Future] = []
-        try:
-            for source, name in zip(sources, names):
-                futures.append(await self._submit(source, name))
-        except _Reply as reply:
-            for future in futures:  # abandon what we already queued
-                future.cancel()
-            return reply.status, reply.response
-        try:
-            resolved = await asyncio.wait_for(
-                asyncio.gather(*futures), self.config.request_timeout_s
-            )
-        except asyncio.TimeoutError:
-            for future in futures:
-                future.cancel()
-            return 503, error_response(
-                503,
-                f"batch did not complete within {self.config.request_timeout_s:g}s",
-                extra_headers={"Retry-After": str(self.config.retry_after_s)},
-            )
-        results = [self._result_payload(result, threshold) for result, _ in resolved]
-        body = {
-            "n_files": len(results),
-            "n_malicious": sum(1 for r in results if r["malicious"]),
-            "threshold": threshold,
-            "model_fingerprint": self.fingerprint,
-            "results": results,
-        }
-        return 200, json_response(200, body)
+        root = self._start_request_trace(request, "http.scan_batch")
+        with root:
+            root.set_attribute("n_scripts", len(sources))
+            submitted = time.perf_counter()
+            futures: list[asyncio.Future] = []
+            try:
+                for source, name in zip(sources, names):
+                    futures.append(
+                        await self._submit(source, name, meta={"trace": root.recording})
+                    )
+            except _Reply as reply:
+                for future in futures:  # abandon what we already queued
+                    future.cancel()
+                root.set_status("error", f"rejected {reply.status}")
+                return reply.status, reply.response
+            try:
+                resolved = await asyncio.wait_for(
+                    asyncio.gather(*futures), self.config.request_timeout_s
+                )
+            except asyncio.TimeoutError:
+                for future in futures:
+                    future.cancel()
+                root.set_status("error", "request timeout")
+                return 503, error_response(
+                    503,
+                    f"batch did not complete within {self.config.request_timeout_s:g}s",
+                    extra_headers={"Retry-After": str(self.config.retry_after_s)},
+                )
+            total_wait_ms = 1000.0 * (time.perf_counter() - submitted)
+            # A large request may have been split across several micro-batches;
+            # graft each distinct batch trace into this request's trace once.
+            grafted: set[str] = set()
+            for _, report in resolved:
+                batch_id = (report.trace or {}).get("trace_id", "")
+                if batch_id and batch_id not in grafted:
+                    self._graft_batch(root, report, total_wait_ms if not grafted else None)
+                    grafted.add(batch_id)
+            results = [self._result_payload(result, threshold) for result, _ in resolved]
+            body = {
+                "n_files": len(results),
+                "n_malicious": sum(1 for r in results if r["malicious"]),
+                "threshold": threshold,
+                "model_fingerprint": self.fingerprint,
+                "trace_id": root.context.trace_id,
+                "results": results,
+            }
+        return 200, json_response(200, body, extra_headers=self._trace_headers(root))
 
 
 class _Reply(Exception):

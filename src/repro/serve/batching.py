@@ -48,6 +48,10 @@ class _Item:
     name: str
     future: asyncio.Future = field(repr=False)
     enqueued_at: float = field(default_factory=time.perf_counter)
+    #: Opaque per-item request context (e.g. ``{"trace": True}``); handed
+    #: to the scan callable only when the batcher was built with
+    #: ``pass_meta=True``.
+    meta: dict = field(default_factory=dict)
 
 
 class MicroBatcher:
@@ -61,16 +65,21 @@ class MicroBatcher:
         max_wait_ms: Flush threshold by age of the oldest queued item.
         queue_limit: Maximum admitted-but-undispatched items.
         metrics: Optional registry for queue/batch/latency metrics.
+        pass_meta: When ``True``, ``scan`` is called as
+            ``scan(sources, names, metas)`` with one meta dict per item —
+            how the server tells the scanner which batches carry traced
+            requests.  Defaults to ``False`` (the 2-argument contract).
     """
 
     def __init__(
         self,
-        scan: Callable[[list[str], list[str]], "ScanReport"],
+        scan: Callable[..., "ScanReport"],
         executor: "Executor",
         max_batch: int = 8,
         max_wait_ms: float = 25.0,
         queue_limit: int = 64,
         metrics: "MetricsRegistry | None" = None,
+        pass_meta: bool = False,
     ):
         if max_batch < 1:
             raise ValueError("max_batch must be positive")
@@ -79,6 +88,7 @@ class MicroBatcher:
         if queue_limit < 1:
             raise ValueError("queue_limit must be positive")
         self._scan = scan
+        self._pass_meta = pass_meta
         self._executor = executor
         self.max_batch = max_batch
         self.max_wait_ms = max_wait_ms
@@ -102,7 +112,7 @@ class MicroBatcher:
                 "repro_serve_batches_total", "Micro-batches flushed to the scan engine"
             )
             self._m_batch_size = metrics.histogram(
-                "repro_serve_batch_size", "Scripts per flushed micro-batch",
+                "repro_serve_batch_size_scripts", "Scripts per flushed micro-batch",
                 buckets=DEFAULT_SIZE_BUCKETS,
             )
             self._m_queue_wait = metrics.histogram(
@@ -143,7 +153,7 @@ class MicroBatcher:
 
     # ------------------------------------------------------------- admission
 
-    def submit(self, source: str, name: str) -> asyncio.Future:
+    def submit(self, source: str, name: str, meta: dict | None = None) -> asyncio.Future:
         """Admit one script; the future resolves to ``(ScanResult, ScanReport)``."""
         if self._draining:
             if self._metrics is not None:
@@ -157,7 +167,7 @@ class MicroBatcher:
         self._pending += 1
         self._outstanding.add(future)
         future.add_done_callback(self._outstanding.discard)
-        self._queue.put_nowait(_Item(source=source, name=name, future=future))
+        self._queue.put_nowait(_Item(source=source, name=name, future=future, meta=meta or {}))
         if self._metrics is not None:
             self._m_depth.set(self._pending)
         return future
@@ -193,8 +203,9 @@ class MicroBatcher:
         loop = asyncio.get_running_loop()
         sources = [item.source for item in batch]
         names = [item.name for item in batch]
+        args = (sources, names, [item.meta for item in batch]) if self._pass_meta else (sources, names)
         try:
-            report = await loop.run_in_executor(self._executor, self._scan, sources, names)
+            report = await loop.run_in_executor(self._executor, self._scan, *args)
         except Exception as error:
             for item in batch:
                 if not item.future.done():

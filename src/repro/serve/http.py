@@ -64,10 +64,17 @@ class Request:
     path: str
     headers: dict[str, str] = field(default_factory=dict)  # keys lower-cased
     body: bytes = b""
+    #: Decoded query-string parameters (last value wins on duplicates).
+    query: dict[str, str] = field(default_factory=dict)
 
     @property
     def keep_alive(self) -> bool:
         return self.headers.get("connection", "").lower() != "close"
+
+    @property
+    def traceparent(self) -> str | None:
+        """The raw W3C ``traceparent`` header, if the caller sent one."""
+        return self.headers.get("traceparent")
 
     def json(self):
         """Parse the body as JSON; :class:`ProtocolError` 400 on failure."""
@@ -131,9 +138,15 @@ async def read_request(
     elif headers.get("transfer-encoding"):
         raise ProtocolError(400, "chunked transfer encoding is not supported")
 
-    # Strip any query string: the routing table is path-only.
-    path = target.split("?", 1)[0]
-    return Request(method=method, path=path, headers=headers, body=body)
+    # The routing table is path-only; query parameters are decoded for
+    # handlers that take options (e.g. ``/debug/traces?n=5``).
+    path, _, query_string = target.partition("?")
+    query: dict[str, str] = {}
+    if query_string:
+        from urllib.parse import parse_qsl
+
+        query = dict(parse_qsl(query_string, keep_blank_values=True))
+    return Request(method=method, path=path, headers=headers, body=body, query=query)
 
 
 def render_response(

@@ -1,21 +1,28 @@
 """Stdlib load generator for the scan daemon.
 
 Drives ``POST /scan`` with N concurrent worker threads (each holding one
-keep-alive :class:`http.client.HTTPConnection`) and reports throughput and
-latency percentiles.  Used three ways:
+keep-alive :class:`http.client.HTTPConnection`) and reports throughput,
+latency percentiles (p50/p95/p99), and per-status-code counts.  Used
+three ways:
 
 * the bench harness's micro-batching-vs-per-request comparison,
 * ad-hoc capacity checks against a running daemon,
 * correctness under concurrency (every response carries its verdict, so
   callers can diff against one-shot scans).
+
+``trace_ratio`` injects a generated W3C ``traceparent`` header (sampled)
+into that fraction of requests — the knob for measuring tracing overhead
+and for exercising ``/debug/traces`` under load.
 """
 
 from __future__ import annotations
 
 import http.client
 import json
+import os
 import threading
 import time
+from collections import Counter
 from dataclasses import dataclass, field
 
 
@@ -29,6 +36,11 @@ class LoadResult:
     verdict: str | None = None
     label: int | None = None
     probability: float | None = None
+    #: The trace id this request was issued under (``trace_ratio`` hits)
+    #: or echoed back via ``X-Trace-Id``; ``None`` for status-0 failures.
+    trace_id: str | None = None
+    #: True when the request carried an injected ``traceparent``.
+    traced: bool = False
 
 
 @dataclass
@@ -45,6 +57,15 @@ class LoadReport:
     def throughput_rps(self) -> float:
         return self.requests / self.elapsed_s if self.elapsed_s > 0 else 0.0
 
+    @property
+    def status_counts(self) -> dict[int, int]:
+        """Requests per HTTP status code (0 = transport/parse failure)."""
+        return dict(Counter(result.status for result in self.results))
+
+    @property
+    def traced_requests(self) -> int:
+        return sum(1 for result in self.results if result.traced)
+
     def latency_ms(self, quantile: float) -> float:
         """Latency at ``quantile`` (0–1) over successful requests."""
         samples = sorted(r.latency_ms for r in self.results if r.status == 200)
@@ -54,12 +75,18 @@ class LoadReport:
         return samples[index]
 
     def summary(self) -> str:
-        return (
+        by_status = " ".join(
+            f"{status}:{count}" for status, count in sorted(self.status_counts.items())
+        )
+        line = (
             f"{self.requests} requests ({self.errors} errors) in {self.elapsed_s:.2f}s, "
             f"{self.throughput_rps:.1f} req/s @ c={self.concurrency}; latency ms "
             f"p50={self.latency_ms(0.50):.1f} p95={self.latency_ms(0.95):.1f} "
-            f"p99={self.latency_ms(0.99):.1f}"
+            f"p99={self.latency_ms(0.99):.1f}; status {by_status}"
         )
+        if self.traced_requests:
+            line += f"; traced {self.traced_requests}"
+        return line
 
 
 def run_load(
@@ -69,14 +96,19 @@ def run_load(
     concurrency: int = 8,
     repeats: int = 1,
     timeout_s: float = 60.0,
+    trace_ratio: float = 0.0,
 ) -> LoadReport:
     """POST each ``(name, source)`` ``repeats`` times from worker threads.
 
     Work items are spread round-robin over ``concurrency`` threads; each
     thread reuses one keep-alive connection (reopening on error).  429/503
     responses count as errors in the report rather than raising, so
-    backpressure behavior is measurable, not fatal.
+    backpressure behavior is measurable, not fatal.  ``trace_ratio``
+    (0–1) of each lane's requests carry a generated sampled
+    ``traceparent`` header; the issued trace id is recorded on the result.
     """
+    if not 0.0 <= trace_ratio <= 1.0:
+        raise ValueError("trace_ratio must be within [0, 1]")
     work: list[tuple[str, str]] = [item for _ in range(repeats) for item in scripts]
     lanes: list[list[tuple[str, str]]] = [work[i::concurrency] for i in range(concurrency)]
     collected: list[list[LoadResult]] = [[] for _ in range(concurrency)]
@@ -85,25 +117,34 @@ def run_load(
     def worker(lane: int) -> None:
         connection = http.client.HTTPConnection(host, port, timeout=timeout_s)
         barrier.wait()
-        for name, source in lanes[lane]:
+        for k, (name, source) in enumerate(lanes[lane]):
             body = json.dumps({"source": source, "name": name})
+            headers = {"Content-Type": "application/json"}
+            # Deterministic pacing: request k is traced iff the running
+            # count of traced requests falls behind the target ratio.
+            traced = int((k + 1) * trace_ratio) > int(k * trace_ratio)
+            trace_id = None
+            if traced:
+                trace_id = os.urandom(16).hex()
+                headers["traceparent"] = f"00-{trace_id}-{os.urandom(8).hex()}-01"
             started = time.perf_counter()
             try:
-                connection.request(
-                    "POST", "/scan", body=body, headers={"Content-Type": "application/json"}
-                )
+                connection.request("POST", "/scan", body=body, headers=headers)
                 response = connection.getresponse()
                 payload = response.read()
                 status = response.status
+                echoed = response.getheader("X-Trace-Id")
             except (OSError, http.client.HTTPException):
                 connection.close()
                 connection = http.client.HTTPConnection(host, port, timeout=timeout_s)
                 collected[lane].append(
-                    LoadResult(name=name, status=0, latency_ms=1000.0 * (time.perf_counter() - started))
+                    LoadResult(name=name, status=0, latency_ms=1000.0 * (time.perf_counter() - started),
+                               trace_id=trace_id, traced=traced)
                 )
                 continue
             latency_ms = 1000.0 * (time.perf_counter() - started)
-            result = LoadResult(name=name, status=status, latency_ms=latency_ms)
+            result = LoadResult(name=name, status=status, latency_ms=latency_ms,
+                                trace_id=trace_id or echoed, traced=traced)
             if status == 200:
                 try:
                     data = json.loads(payload)

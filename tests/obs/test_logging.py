@@ -1,0 +1,91 @@
+"""Tests for structured logging in :mod:`repro.obs.logging`."""
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.obs import configure_logging, get_logger
+
+
+@pytest.fixture(autouse=True)
+def _reset_repro_logger():
+    """Leave the ``repro`` logger exactly as we found it."""
+    logger = logging.getLogger("repro")
+    saved_handlers = list(logger.handlers)
+    saved_level = logger.level
+    saved_propagate = logger.propagate
+    yield
+    logger.handlers[:] = saved_handlers
+    logger.setLevel(saved_level)
+    logger.propagate = saved_propagate
+
+
+class TestConfigure:
+    def test_json_record_carries_structured_fields(self):
+        stream = io.StringIO()
+        configure_logging(level="debug", log_format="json", stream=stream)
+        get_logger("pipeline").debug(
+            "stage done", extra={"trace_id": "ab" * 16, "span_id": "cd" * 8, "stage": "embed"}
+        )
+        record = json.loads(stream.getvalue())
+        assert record["level"] == "debug"
+        assert record["logger"] == "repro.pipeline"
+        assert record["message"] == "stage done"
+        assert record["trace_id"] == "ab" * 16
+        assert record["span_id"] == "cd" * 8
+        assert record["stage"] == "embed"
+
+    def test_text_format_appends_sorted_fields(self):
+        stream = io.StringIO()
+        configure_logging(level="info", log_format="text", stream=stream)
+        get_logger().info("hello", extra={"b": 2, "a": 1})
+        line = stream.getvalue().strip()
+        assert "repro: hello" in line
+        assert line.endswith("a=1 b=2")
+
+    def test_level_filters(self):
+        stream = io.StringIO()
+        configure_logging(level="warning", log_format="json", stream=stream)
+        logger = get_logger("serve")
+        logger.info("quiet")
+        logger.warning("loud")
+        lines = stream.getvalue().strip().splitlines()
+        assert len(lines) == 1
+        assert json.loads(lines[0])["message"] == "loud"
+
+    def test_reconfigure_replaces_not_stacks(self):
+        first, second = io.StringIO(), io.StringIO()
+        configure_logging(level="info", log_format="json", stream=first)
+        configure_logging(level="info", log_format="json", stream=second)
+        get_logger().info("once")
+        assert first.getvalue() == ""
+        assert len(second.getvalue().strip().splitlines()) == 1
+
+    def test_propagation_disabled(self):
+        configure_logging(level="info", stream=io.StringIO())
+        assert logging.getLogger("repro").propagate is False
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            configure_logging(level="verbose")
+        with pytest.raises(ValueError):
+            configure_logging(log_format="xml")
+
+    def test_exception_rendered_in_json(self):
+        stream = io.StringIO()
+        configure_logging(level="error", log_format="json", stream=stream)
+        try:
+            raise ValueError("nope")
+        except ValueError:
+            get_logger().exception("failed")
+        record = json.loads(stream.getvalue())
+        assert "ValueError: nope" in record["exc"]
+
+
+class TestGetLogger:
+    def test_prefixes_bare_names(self):
+        assert get_logger("scanner").name == "repro.scanner"
+        assert get_logger("repro.scanner").name == "repro.scanner"
+        assert get_logger().name == "repro"

@@ -1,0 +1,83 @@
+"""Registry-level concurrency: many threads, exact totals.
+
+The per-primitive thread-safety tests in ``test_metrics.py`` hammer one
+child; this module hammers the *registry* — concurrent lookups of the
+same families (the hot path every request takes) interleaved with
+observations — and asserts exact totals, so a lost update or duplicated
+child anywhere in the lock discipline fails loudly.
+"""
+
+import threading
+
+from repro.obs import MetricsRegistry
+
+N_THREADS = 8
+N_ITERATIONS = 2_000
+
+
+class TestRegistryConcurrency:
+    def test_counters_and_histograms_exact_under_contention(self):
+        registry = MetricsRegistry()
+        barrier = threading.Barrier(N_THREADS)
+
+        def hammer(worker: int):
+            barrier.wait()  # maximize interleaving
+            for i in range(N_ITERATIONS):
+                # Lookup-then-mutate every iteration: exercises the
+                # registry's child cache, not just the child's own lock.
+                registry.counter("conc_requests_total").inc()
+                registry.counter(
+                    "conc_by_worker_total", labels={"worker": str(worker % 2)}
+                ).inc(2)
+                registry.histogram(
+                    "conc_latency_seconds", buckets=(0.1, 1.0, 10.0)
+                ).observe(0.5)
+                registry.gauge("conc_depth").set(i)
+
+        threads = [threading.Thread(target=hammer, args=(w,)) for w in range(N_THREADS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        total = N_THREADS * N_ITERATIONS
+        assert registry.get("conc_requests_total").value == total
+        by_worker_0 = registry.get("conc_by_worker_total", {"worker": "0"})
+        by_worker_1 = registry.get("conc_by_worker_total", {"worker": "1"})
+        assert by_worker_0.value + by_worker_1.value == 2 * total
+        assert by_worker_0.value == by_worker_1.value  # 4 threads each
+        histogram = registry.get("conc_latency_seconds")
+        assert histogram.count == total
+        assert histogram.sum == 0.5 * total
+        assert dict(histogram.cumulative_buckets())[1.0] == total
+        assert 0 <= registry.get("conc_depth").value < N_ITERATIONS
+
+    def test_render_is_safe_during_writes(self):
+        registry = MetricsRegistry()
+        stop = threading.Event()
+        errors: list[Exception] = []
+
+        def write():
+            while not stop.is_set():
+                registry.counter("spin_total").inc()
+
+        def render():
+            try:
+                for _ in range(200):
+                    text = registry.render()
+                    assert "spin_total" in text or text is not None
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+            finally:
+                stop.set()
+
+        writers = [threading.Thread(target=write) for _ in range(4)]
+        renderer = threading.Thread(target=render)
+        for thread in writers:
+            thread.start()
+        renderer.start()
+        renderer.join(timeout=60)
+        stop.set()
+        for thread in writers:
+            thread.join(timeout=60)
+        assert not errors

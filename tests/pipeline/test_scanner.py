@@ -99,7 +99,7 @@ class TestInstrumentation:
         scanner.scan(split.test.sources[:2])
         assert registry.get("repro_scan_batches_total").value == 2
         assert registry.get("repro_scan_scripts_total").value == 5
-        size_histogram = registry.get("repro_scan_batch_size")
+        size_histogram = registry.get("repro_scan_batch_size_scripts")
         assert size_histogram.count == 2 and size_histogram.sum == 5
 
     def test_stage_timings_recorded_per_stage(self, detector, split):

@@ -1,0 +1,172 @@
+"""Prometheus exposition conformance for the full ``/metrics`` payload.
+
+``test_server.py`` checks that known families appear and lines match the
+sample grammar; this module audits the exposition *as a whole* the way a
+strict scraper would: every sample belongs to exactly one announced
+family, every family announces HELP and TYPE exactly once, histogram
+buckets are cumulative-monotone and end at ``+Inf``, and metric names
+follow the unit-suffix conventions (``_total`` for counters, base units
+like ``_seconds`` — no ``_ms``/``_mb``).
+"""
+
+import http.client
+import json
+import re
+
+import pytest
+
+from repro.core import JSRevealer, JSRevealerConfig
+from repro.datasets import experiment_split
+from repro.serve import BackgroundServer, ServeConfig
+
+NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})? (?P<value>-?[0-9.]+(?:e-?[0-9]+)?|\+Inf|NaN)$"
+)
+
+
+@pytest.fixture(scope="module")
+def exposition():
+    """One /metrics payload from a server that has seen real traffic."""
+    split = experiment_split(seed=7, pretrain_per_class=6, train_per_class=12, test_per_class=8)
+    det = JSRevealer(JSRevealerConfig(embed_dim=16, pretrain_epochs=3, k_benign=4, k_malicious=4, seed=7))
+    det.pretrain(split.pretrain.sources, split.pretrain.labels)
+    det.fit(split.train.sources, split.train.labels)
+    with BackgroundServer(det, ServeConfig(port=0, max_wait_ms=5.0)) as background:
+        def request(method, path, payload=None):
+            connection = http.client.HTTPConnection(background.host, background.port, timeout=30)
+            body = json.dumps(payload) if payload is not None else None
+            connection.request(method, path, body=body,
+                               headers={"Content-Type": "application/json"} if body else {})
+            response = connection.getresponse()
+            data = response.read()
+            connection.close()
+            return data
+
+        # Drive every subsystem so all families render with samples.
+        request("POST", "/scan", {"source": split.test.sources[0], "name": "m0"})
+        request("POST", "/scan/batch", {"scripts": split.test.sources[1:3]})
+        request("POST", "/analyze", {"source": "eval('x');"})
+        request("GET", "/healthz")
+        request("GET", "/nope")
+        text = request("GET", "/metrics").decode("utf-8")
+    return text
+
+
+def parse(text):
+    """(help, type, samples-by-family) with structural validation."""
+    helps: dict[str, str] = {}
+    types: dict[str, str] = {}
+    samples: dict[str, list] = {}
+    for line in text.splitlines():
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            _, _, rest = line.partition("# HELP ")
+            name, _, docstring = rest.partition(" ")
+            assert name not in helps, f"duplicate HELP for {name}"
+            helps[name] = docstring
+        elif line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            name, _, kind = rest.partition(" ")
+            assert name not in types, f"duplicate TYPE for {name}"
+            assert kind in ("counter", "gauge", "histogram"), (name, kind)
+            types[name] = kind
+        elif line.startswith("#"):
+            continue
+        else:
+            match = SAMPLE.match(line)
+            assert match, f"unparsable sample line: {line!r}"
+            sample_name = match.group("name")
+            family = re.sub(r"_(bucket|sum|count)$", "", sample_name)
+            family = family if family in types else sample_name
+            samples.setdefault(family, []).append(
+                (sample_name, match.group("labels") or "", match.group("value"))
+            )
+    return helps, types, samples
+
+
+class TestExposition:
+    def test_every_family_announced_exactly_once(self, exposition):
+        helps, types, samples = parse(exposition)
+        assert set(helps) == set(types), "HELP/TYPE must pair up"
+        for family in samples:
+            assert family in types, f"samples for unannounced family {family}"
+
+    def test_no_duplicate_samples(self, exposition):
+        _, _, samples = parse(exposition)
+        for family, rows in samples.items():
+            seen = [(name, labels) for name, labels, _ in rows]
+            assert len(seen) == len(set(seen)), f"duplicate sample in {family}"
+
+    def test_metric_names_well_formed_with_repro_prefix(self, exposition):
+        _, types, _ = parse(exposition)
+        for name in types:
+            assert NAME.match(name), name
+            assert name.startswith("repro_"), name
+
+    def test_unit_suffix_conventions(self, exposition):
+        _, types, _ = parse(exposition)
+        for name, kind in types.items():
+            if kind == "counter":
+                assert name.endswith("_total"), f"counter {name} must end in _total"
+            else:
+                assert not name.endswith("_total"), f"{kind} {name} must not end in _total"
+            # Base units only: milliseconds/megabytes never appear in names.
+            for bad in ("_ms", "_millis", "_mb", "_kb"):
+                assert not name.endswith(bad), f"{name} uses non-base unit {bad}"
+
+    def test_histograms_complete_and_monotone(self, exposition):
+        _, types, samples = parse(exposition)
+        for family, kind in types.items():
+            if kind != "histogram":
+                continue
+            rows = samples.get(family, [])
+            if not rows:
+                continue
+            # Group bucket series by their non-"le" labels (histograms can
+            # be labeled per stage, per cause, …).
+            series: dict[str, list] = {}
+            sums: dict[str, float] = {}
+            counts: dict[str, float] = {}
+            for name, labels, value in rows:
+                stripped = ",".join(
+                    part for part in labels.split(",") if part and not part.startswith("le=")
+                )
+                if name.endswith("_bucket"):
+                    le = next(p for p in labels.split(",") if p.startswith("le="))
+                    bound = le.split("=", 1)[1].strip('"')
+                    series.setdefault(stripped, []).append(
+                        (float("inf") if bound == "+Inf" else float(bound), float(value))
+                    )
+                elif name.endswith("_sum"):
+                    sums[stripped] = float(value)
+                elif name.endswith("_count"):
+                    counts[stripped] = float(value)
+            for key, buckets in series.items():
+                buckets.sort(key=lambda pair: pair[0])
+                assert buckets[-1][0] == float("inf"), f"{family}{{{key}}} missing +Inf"
+                values = [count for _, count in buckets]
+                assert values == sorted(values), f"{family}{{{key}}} buckets not cumulative"
+                assert key in sums and key in counts, f"{family}{{{key}}} missing _sum/_count"
+                assert buckets[-1][1] == counts[key], f"{family}{{{key}}} +Inf != _count"
+
+    def test_build_info_and_uptime_present(self, exposition):
+        _, types, samples = parse(exposition)
+        assert types.get("repro_build_info") == "gauge"
+        build_rows = samples["repro_build_info"]
+        assert len(build_rows) == 1
+        _, labels, value = build_rows[0]
+        assert "version=" in labels and "python=" in labels
+        assert value == "1"
+        assert types.get("repro_uptime_seconds") == "gauge"
+        uptime = float(samples["repro_uptime_seconds"][0][2])
+        assert uptime >= 0
+
+    def test_renamed_size_histograms_carry_unit_suffix(self, exposition):
+        _, types, _ = parse(exposition)
+        assert "repro_serve_batch_size_scripts" in types
+        assert "repro_serve_batch_size" not in types
+        assert "repro_scan_batch_size_scripts" in types
+        assert "repro_scan_batch_size" not in types

@@ -219,9 +219,9 @@ class TestConcurrency:
             gate = threading.Event()
             original = background.server.batcher._scan
 
-            def gated(sources, names):
+            def gated(sources, names, metas=None):
                 gate.wait(timeout=10)
-                return original(sources, names)
+                return original(sources, names, metas)
 
             background.server.batcher._scan = gated
             source = split.test.sources[0]
@@ -262,9 +262,9 @@ class TestConcurrency:
         try:
             original = background.server.batcher._scan
 
-            def slow(sources, names):
+            def slow(sources, names, metas=None):
                 time.sleep(0.3)
-                return original(sources, names)
+                return original(sources, names, metas)
 
             background.server.batcher._scan = slow
             outcome = {}
@@ -292,9 +292,9 @@ class TestConcurrency:
             gate = threading.Event()
             original = background.server.batcher._scan
 
-            def gated(sources, names):
+            def gated(sources, names, metas=None):
                 gate.wait(timeout=10)
-                return original(sources, names)
+                return original(sources, names, metas)
 
             background.server.batcher._scan = gated
             try:
