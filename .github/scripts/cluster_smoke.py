@@ -1,0 +1,135 @@
+"""CI smoke check for the sharded tier: router + shards + supervisor.
+
+Usage: cluster_smoke.py BASE_URL SCRIPT_PATH [--trace-out PATH]
+
+Runs against a ``repro cluster`` (router + 2 shards) booted by the
+workflow, through the same :class:`repro.client.ScanClient` real callers
+use.  The contract exercised end to end:
+
+* the router aggregates a healthy fleet in ``/v1/healthz``,
+* a scan through the router returns a well-formed verdict,
+* a traced request produces ONE merged trace spanning both processes
+  (``router.scan`` + the shard's ``http.scan``, shard-annotated),
+  written to ``--trace-out`` as a workflow artifact,
+* SIGKILLing a shard mid-run loses no requests — the retrying client
+  plus the router's failover absorb it — and the supervisor replaces
+  the dead shard under the same id on a fresh pid.
+
+Exits non-zero (with the failure printed) on any violation.
+"""
+
+import json
+import os
+import pathlib
+import signal
+import sys
+import time
+
+# CI invokes this script directly (no PYTHONPATH); the repo layout is fixed.
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[2] / "src"))
+
+from repro.client import ScanAPIError, ScanClient  # noqa: E402
+
+TRACE_ID = "d2" * 16
+TRACEPARENT = f"00-{TRACE_ID}-{'cd' * 8}-01"
+
+
+def wait_up(client, timeout_s=120.0):
+    deadline = time.time() + timeout_s
+    while True:
+        try:
+            health = client.healthz()
+            if health.get("n_healthy") == health.get("n_shards"):
+                return health
+        except ScanAPIError:
+            pass
+        if time.time() > deadline:
+            raise SystemExit(f"cluster did not come up within {timeout_s:.0f}s")
+        time.sleep(0.5)
+
+
+def trace_check(client, source, out_path):
+    """One traceparent, two processes, one merged span tree."""
+    verdict = client.scan(source + "\n// cluster probe", name="traced.js", traceparent=TRACEPARENT)
+    assert verdict.trace_id == TRACE_ID, verdict.raw
+    merged = client.trace(TRACE_ID)
+    names = [span["name"] for span in merged["spans"]]
+    assert "router.scan" in names, names  # the router's hop
+    assert "http.scan" in names, names  # the shard's hop, same trace id
+    shard_spans = [s for s in merged["spans"] if s.get("attributes", {}).get("shard")]
+    assert shard_spans, "expected spans annotated with their shard id"
+    assert merged["shards"], merged
+    assert merged["tree"], merged
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump(merged, handle, indent=2)
+    print(
+        f"trace: {merged['n_spans']} spans across router + {merged['shards']} "
+        f"under {TRACE_ID}, written to {out_path}"
+    )
+
+
+def kill_and_failover(client, source):
+    """SIGKILL one shard; retried requests succeed; supervisor replaces it."""
+    before = {s["shard"]: s for s in client.healthz()["shards"]}
+    victim = before["shard-0"]
+    os.kill(victim["pid"], signal.SIGKILL)
+    print(f"killed {victim['shard']} (pid {victim['pid']})")
+
+    # Issued straight through the kill window: the router retries the dead
+    # shard's keys onto the survivor, so every request still succeeds.
+    for i in range(6):
+        verdict = client.scan(source + f"\n// failover {i}", name=f"failover-{i}.js")
+        assert verdict.verdict in ("benign", "malicious"), verdict.raw
+    print("failover: 6/6 scans succeeded across the kill window")
+
+    deadline = time.time() + 120
+    while True:
+        shards = {s["shard"]: s for s in client.healthz()["shards"]}
+        shard = shards[victim["shard"]]
+        if shard["healthy"] and shard["restarts"] >= 1 and shard["pid"] != victim["pid"]:
+            break
+        if time.time() > deadline:
+            raise SystemExit(f"{victim['shard']} was not replaced within 120s: {shard}")
+        time.sleep(0.5)
+    health = client.healthz()
+    assert health["status"] == "ok" and health["n_healthy"] == health["n_shards"], health
+    print(f"replacement: {shard['shard']} back on pid {shard['pid']} "
+          f"(restarts={shard['restarts']}), fleet {health['n_healthy']}/{health['n_shards']}")
+
+    verdict = client.scan(source, name="after-replacement.js")
+    assert verdict.verdict in ("benign", "malicious"), verdict.raw
+
+
+def main(base_url, script_path, extra):
+    client = ScanClient(base_url, timeout_s=60.0, retries=3)
+    health = wait_up(client)
+    assert health["status"] == "ok" and health["role"] == "router", health
+    assert health["n_shards"] >= 2, health
+    print("healthz:", health)
+
+    version = client.version()
+    assert version["service"] == "repro.serve.router", version
+
+    with open(script_path, encoding="utf-8") as handle:
+        source = handle.read()
+    verdict = client.scan(source, name=script_path)
+    print("verdict:", verdict.raw)
+    assert verdict.verdict in ("benign", "malicious"), verdict.raw
+    # Every shard booted from the same model dir; the verdict must carry
+    # that fleet-wide fingerprint.
+    fingerprints = {s["model_fingerprint"] for s in health["shards"]}
+    assert fingerprints == {verdict.model_fingerprint}, (fingerprints, verdict.raw)
+
+    text = client.metrics_text()
+    assert "repro_router_forwarded_total" in text, text[:400]
+    assert "repro_http_requests_total" in text, text[:400]
+    print("metrics: ok ({} lines)".format(len(text.splitlines())))
+
+    if "--trace-out" in extra:
+        trace_check(client, source, extra[extra.index("--trace-out") + 1])
+    kill_and_failover(client, source)
+    print("cluster smoke: all checks passed")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1], sys.argv[2], sys.argv[3:])

@@ -2,62 +2,55 @@
 
 Usage: serve_smoke.py BASE_URL SCRIPT_PATH [--chaos] [--trace-out PATH]
 
-Waits for the daemon to come up, POSTs the script, and asserts a
-well-formed verdict plus a healthy /healthz and a non-empty /metrics.
+Speaks the v1 API through :class:`repro.client.ScanClient` — the same
+typed client the load generator and cluster smoke use — so the smoke
+exercises exactly the surface real callers integrate against.  Waits for
+the daemon to come up, POSTs the script, and asserts a well-formed
+verdict plus a healthy /v1/healthz and a non-empty /v1/metrics.
 With ``--trace-out``, additionally POSTs with a fixed W3C ``traceparent``,
-asserts the id is echoed end-to-end and that the stored trace at
-``/debug/traces/<id>`` contains every pipeline leaf stage, and writes the
-span tree to PATH (uploaded as a workflow artifact).  With ``--chaos``
-(daemon booted with ``REPRO_FAULT_INJECT=1`` and ``--timeout-s``),
-additionally POSTs a hang-marker script and asserts the degraded-verdict
-+ quarantine contract survives a worker kill.
+asserts the id rides end-to-end and that the stored trace at
+``/v1/debug/traces/<id>`` contains every pipeline leaf stage, and writes
+the span tree to PATH (uploaded as a workflow artifact).  With
+``--chaos`` (daemon booted with ``REPRO_FAULT_INJECT=1`` and
+``--timeout-s``), additionally POSTs a hang-marker script and asserts the
+degraded-verdict + quarantine contract survives a worker kill.
 Exits non-zero (with the failure printed) on any violation.
 """
 
 import json
+import pathlib
 import sys
 import time
-import urllib.error
-import urllib.request
+
+# CI invokes this script directly (no PYTHONPATH); the repo layout is fixed.
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[2] / "src"))
+
+from repro.client import ScanAPIError, ScanClient  # noqa: E402
 
 TRACE_ID = "c1" * 16
 TRACEPARENT = f"00-{TRACE_ID}-{'ab' * 8}-01"
 
 
-def get(url):
-    with urllib.request.urlopen(url, timeout=10) as response:
-        return response.status, response.read()
+def wait_up(client, timeout_s=60.0):
+    deadline = time.time() + timeout_s
+    while True:
+        try:
+            return client.healthz()
+        except ScanAPIError:
+            if time.time() > deadline:
+                raise SystemExit(f"daemon did not come up within {timeout_s:.0f}s")
+            time.sleep(0.5)
 
 
-def post_scan(base_url, source, name):
-    request = urllib.request.Request(
-        f"{base_url}/scan",
-        data=json.dumps({"source": source, "name": name}).encode(),
-        headers={"Content-Type": "application/json"},
-    )
-    with urllib.request.urlopen(request, timeout=60) as response:
-        return response.status, json.loads(response.read())
-
-
-def trace_check(base_url, source, out_path):
-    """A fixed inbound traceparent must be echoed and fully recorded."""
+def trace_check(client, source, out_path):
+    """A fixed inbound traceparent must ride end-to-end and be recorded."""
     # Vary the source so the scan misses the feature cache — a cache hit
     # would legitimately skip the extraction/embedding spans.
-    request = urllib.request.Request(
-        f"{base_url}/scan",
-        data=json.dumps({"source": source + "\n// trace probe", "name": "traced.js"}).encode(),
-        headers={"Content-Type": "application/json", "traceparent": TRACEPARENT},
-    )
-    with urllib.request.urlopen(request, timeout=60) as response:
-        verdict = json.loads(response.read())
-        echoed = response.headers.get("X-Trace-Id")
-    assert verdict["trace_id"] == TRACE_ID, verdict
-    assert echoed == TRACE_ID, echoed
-    assert verdict["trace"]["provenance"]["top_paths"], verdict["trace"]
+    verdict = client.scan(source + "\n// trace probe", name="traced.js", traceparent=TRACEPARENT)
+    assert verdict.trace_id == TRACE_ID, verdict.raw
+    assert verdict.raw["trace"]["provenance"]["top_paths"], verdict.raw["trace"]
 
-    status, body = get(f"{base_url}/debug/traces/{TRACE_ID}")
-    assert status == 200, body[:400]
-    stored = json.loads(body)
+    stored = client.trace(TRACE_ID)
     names = {span["name"] for span in stored["spans"]}
     for stage in ("http.scan", "queue.wait", "batch.execute", "scan.batch", "script",
                   "path_extraction", "embedding", "feature_transform", "classify"):
@@ -68,65 +61,52 @@ def trace_check(base_url, source, out_path):
     print(f"trace: {stored['n_spans']} spans recorded under {TRACE_ID}, written to {out_path}")
 
 
-def chaos(base_url):
+def chaos(client):
     """A hanging script must cost its worker, not the daemon."""
     hang = "/* @repro-fault:hang */ var a = 1;"
-    status, verdict = post_scan(base_url, hang, "hang.js")
-    assert status == 200, verdict
+    verdict = client.scan(hang, name="hang.js").raw
     assert verdict["status"] == "timeout", verdict
     assert verdict["degraded"] is True, verdict
     print("chaos verdict:", verdict["status"], verdict["fault"]["detail"])
 
     # The poison is quarantined: the rescan is served without a worker.
-    status, verdict = post_scan(base_url, hang, "hang-again.js")
-    assert status == 200 and verdict["fault"].get("known") is True, verdict
+    verdict = client.scan(hang, name="hang-again.js").raw
+    assert verdict["fault"].get("known") is True, verdict
 
-    status, body = get(f"{base_url}/healthz")
-    health = json.loads(body)
-    assert status == 200 and health["status"] == "ok", health
+    health = client.healthz()
+    assert health["status"] == "ok", health
     assert health["quarantined"] >= 1, health
     assert health["breaker"]["state"] in ("closed", "half_open"), health
 
-    status, body = get(f"{base_url}/metrics")
-    text = body.decode()
+    text = client.metrics_text()
     assert 'repro_scan_failures_total{cause="timeout"}' in text, text[:400]
     print("chaos: daemon survived a hung worker; quarantine + breaker healthy")
 
 
 def main(base_url, script_path, extra):
-    deadline = time.time() + 60
-    while True:
-        try:
-            status, body = get(f"{base_url}/healthz")
-            break
-        except (urllib.error.URLError, ConnectionError):
-            if time.time() > deadline:
-                raise SystemExit("daemon did not come up within 60s")
-            time.sleep(0.5)
-    health = json.loads(body)
-    assert status == 200 and health["status"] == "ok", health
+    client = ScanClient(base_url, timeout_s=60.0, retries=2)
+    health = wait_up(client)
+    assert health["status"] == "ok", health
     print("healthz:", health)
 
     with open(script_path, encoding="utf-8") as handle:
         source = handle.read()
-    status, verdict = post_scan(base_url, source, script_path)
-    assert status == 200, verdict
-    print("verdict:", verdict)
-    assert verdict["verdict"] in ("benign", "malicious"), verdict
-    assert 0.0 <= verdict["probability"] <= 1.0, verdict
-    assert verdict["path"] == script_path, verdict
-    assert verdict["model_fingerprint"] == health["model_fingerprint"], verdict
+    verdict = client.scan(source, name=script_path)
+    print("verdict:", verdict.raw)
+    assert verdict.verdict in ("benign", "malicious"), verdict.raw
+    assert 0.0 <= verdict.probability <= 1.0, verdict.raw
+    assert verdict.raw["path"] == script_path, verdict.raw
+    assert verdict.model_fingerprint == health["model_fingerprint"], verdict.raw
 
-    status, body = get(f"{base_url}/metrics")
-    text = body.decode()
-    assert status == 200 and "repro_http_requests_total" in text, text[:400]
+    text = client.metrics_text()
+    assert "repro_http_requests_total" in text, text[:400]
     assert "repro_serve_batches_total" in text, text[:400]
     print("metrics: ok ({} lines)".format(len(text.splitlines())))
 
     if "--trace-out" in extra:
-        trace_check(base_url, source, extra[extra.index("--trace-out") + 1])
+        trace_check(client, source, extra[extra.index("--trace-out") + 1])
     if "--chaos" in extra:
-        chaos(base_url)
+        chaos(client)
 
 
 if __name__ == "__main__":

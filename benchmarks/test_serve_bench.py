@@ -12,12 +12,26 @@ transform/classify stages across the batch), and both server modes must
 return exactly the verdicts the in-process scanner produces.
 """
 
+import json
+import os
+import pathlib
+import signal
+import threading
+import time
+
 import pytest
 
-from repro.bench import bench_params, default_jsrevealer_config, format_load_table, serve_throughput_comparison
-from repro.core import JSRevealer
+from repro.bench import (
+    bench_params,
+    cluster_scaling_comparison,
+    default_jsrevealer_config,
+    format_load_table,
+    serve_throughput_comparison,
+)
+from repro.client import ScanClient
+from repro.core import JSRevealer, save_detector
 from repro.datasets import experiment_split
-from repro.serve import BackgroundServer, ServeConfig, run_load
+from repro.serve import BackgroundCluster, BackgroundServer, ClusterConfig, ServeConfig, run_load
 
 
 @pytest.mark.table
@@ -132,3 +146,135 @@ def test_tracing_overhead(benchmark):
         f"tracing overhead exceeds 5% in every paired round: "
         f"ratios={[f'{r:.3f}' for r in ratios]}"
     )
+
+
+# --------------------------------------------------------------- cluster tier
+
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+@pytest.fixture(scope="module")
+def cluster_split():
+    params = bench_params()
+    return experiment_split(
+        seed=0,
+        pretrain_per_class=params["pretrain"],
+        train_per_class=params["train"],
+        test_per_class=min(params["test"], 20),
+        realistic=True,
+    )
+
+
+@pytest.fixture(scope="module")
+def saved_model_dir(cluster_split, tmp_path_factory):
+    """A trained detector saved to disk — shards boot from this."""
+    detector = JSRevealer(default_jsrevealer_config())
+    detector.pretrain(cluster_split.pretrain.sources, cluster_split.pretrain.labels)
+    detector.fit(cluster_split.train.sources, cluster_split.train.labels)
+    model_dir = tmp_path_factory.mktemp("bench-model") / "model"
+    save_detector(detector, model_dir)
+    return str(model_dir)
+
+
+@pytest.mark.table
+def test_cluster_scaling(benchmark, saved_model_dir, cluster_split):
+    """Fleet throughput at 1/2/4 shards, recorded in BENCH_cluster_scaling.json.
+
+    Shards are separate processes, so past one shard the fleet escapes
+    the GIL — on a multi-core machine 2 shards must clear 1.6x and
+    4 shards 2.5x of single-shard req/s through the router.  On boxes
+    with fewer than four usable cores (this container pins one) the
+    ratio asserts are vacuous and only recorded; correctness — zero
+    errors and verdict identity across fleet sizes — is asserted
+    everywhere.
+    """
+    sources = cluster_split.test.sources[:16]
+    reports = benchmark.pedantic(
+        cluster_scaling_comparison,
+        args=(saved_model_dir, sources),
+        kwargs={"shard_counts": (1, 2, 4), "concurrency": 8, "repeats": 2},
+        rounds=1,
+        iterations=1,
+    )
+
+    print("\n" + format_load_table(reports, title="Cluster scaling — shards vs throughput"))
+
+    baseline = reports["shards_1"]
+    assert baseline.errors == 0, baseline.summary()
+    expected = {r.name: (r.label, r.probability) for r in baseline.results}
+    ratios = {}
+    for mode, report in reports.items():
+        assert report.errors == 0, report.summary()
+        for result in report.results:
+            assert (result.label, result.probability) == expected[result.name], result.name
+        ratios[mode] = report.throughput_rps / baseline.throughput_rps
+
+    cores = len(os.sched_getaffinity(0))
+    record = {
+        "bench": "cluster_scaling",
+        "source": "benchmarks/test_serve_bench.py::test_cluster_scaling",
+        "cores": cores,
+        "params": {
+            **bench_params(),
+            "n_sources": len(sources),
+            "concurrency": 8,
+            "repeats": 2,
+        },
+        "throughput_rps": {m: round(r.throughput_rps, 2) for m, r in reports.items()},
+        "latency_p50_ms": {m: round(r.latency_ms(0.50), 2) for m, r in reports.items()},
+        "latency_p95_ms": {m: round(r.latency_ms(0.95), 2) for m, r in reports.items()},
+        "errors": {m: r.errors for m, r in reports.items()},
+        "ratios_vs_1_shard": {m: round(r, 3) for m, r in ratios.items()},
+        "scaling_asserted": cores >= 4,
+    }
+    (REPO_ROOT / "BENCH_cluster_scaling.json").write_text(json.dumps(record, indent=2) + "\n")
+
+    if cores >= 4:
+        assert ratios["shards_2"] >= 1.6, f"2-shard ratio {ratios['shards_2']:.2f} < 1.6"
+        assert ratios["shards_4"] >= 2.5, f"4-shard ratio {ratios['shards_4']:.2f} < 2.5"
+
+
+@pytest.mark.table
+def test_shard_kill_under_load_zero_failed_requests(benchmark, saved_model_dir, cluster_split):
+    """SIGKILL a shard mid-load: with client retries on, no request fails.
+
+    The router classifies the dead shard's transport faults as retryable,
+    routes the orphaned keys onto the survivor, and browns out with
+    Retry-After only if everything is down — so a retrying client sees
+    100% success across the kill window while the supervisor boots a
+    replacement.
+    """
+    sources = cluster_split.test.sources[:16]
+    scripts = [(f"<kill:{i}>", source) for i, source in enumerate(sources)]
+    config = ClusterConfig(model_dir=saved_model_dir, n_shards=2, port=0)
+
+    def run():
+        with BackgroundCluster(config) as cluster:
+            client = ScanClient(cluster.url, retries=2)
+            victim = client.healthz()["shards"][0]
+
+            def kill_soon():
+                time.sleep(0.3)  # let the load settle in first
+                os.kill(victim["pid"], signal.SIGKILL)
+
+            killer = threading.Thread(target=kill_soon, daemon=True)
+            killer.start()
+            report = run_load(
+                cluster.host, cluster.port, scripts, concurrency=8, repeats=3, retries=2
+            )
+            killer.join()
+            health = client.healthz()
+        return report, health, victim
+
+    report, health, victim = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print("\nshard kill under load: " + report.summary())
+
+    assert report.errors == 0, report.summary()
+    assert report.requests == len(scripts) * 3
+    # The kill really happened while the fleet was serving: the victim's
+    # slot shows a restart (replacement may still be booting — that's
+    # fine, the zero-error claim above is the contract under test).
+    victim_after = {s["shard"]: s for s in health["shards"]}[victim["shard"]]
+    assert victim_after["restarts"] >= 1 or victim_after["pid"] != victim["pid"]

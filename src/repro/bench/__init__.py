@@ -5,6 +5,7 @@ from .harness import (
     SETTINGS,
     ComparisonResult,
     bench_params,
+    cluster_scaling_comparison,
     default_jsrevealer_config,
     format_load_table,
     format_metric_table,
@@ -19,6 +20,7 @@ __all__ = [
     "SETTINGS",
     "ComparisonResult",
     "bench_params",
+    "cluster_scaling_comparison",
     "default_jsrevealer_config",
     "format_load_table",
     "format_metric_table",

@@ -251,6 +251,50 @@ def serve_throughput_comparison(
     return out
 
 
+def cluster_scaling_comparison(
+    model_dir: str,
+    sources: list[str],
+    shard_counts: tuple[int, ...] = (1, 2, 4),
+    concurrency: int = 8,
+    repeats: int = 2,
+) -> dict[str, "object"]:
+    """Router throughput as the shard fleet grows: 1 → 2 → 4 shards.
+
+    Boots one :class:`~repro.serve.cluster.BackgroundCluster` per entry in
+    ``shard_counts`` — each from the same saved ``model_dir``, each with a
+    *fresh* shared cache directory so every fleet size starts cold and
+    pays the same compute — and drives the router with the stdlib load
+    generator at ``concurrency`` clients.  Shards are separate processes,
+    so on a multi-core machine the fleet scales past the GIL; the router
+    adds one loopback hop per request.
+
+    Returns ``{"shards_1": LoadReport, "shards_2": ..., ...}``; verdicts
+    ride on each report's ``results`` so callers can assert the fleet
+    answers exactly what a single shard answers.
+    """
+    import tempfile
+
+    from repro.serve import BackgroundCluster, ClusterConfig
+    from repro.serve.loadgen import run_load
+
+    scripts = [(f"<cluster:{i}>", source) for i, source in enumerate(sources)]
+    out: dict[str, object] = {}
+    for n_shards in shard_counts:
+        with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as cache_dir:
+            config = ClusterConfig(
+                model_dir=model_dir, n_shards=n_shards, port=0, cache_dir=cache_dir
+            )
+            with BackgroundCluster(config) as cluster:
+                out[f"shards_{n_shards}"] = run_load(
+                    cluster.host,
+                    cluster.port,
+                    scripts,
+                    concurrency=concurrency,
+                    repeats=repeats,
+                )
+    return out
+
+
 def format_load_table(reports: dict[str, "object"], title: str = "") -> str:
     """Render throughput and latency percentiles per serving mode."""
     lines = [title] if title else []

@@ -10,7 +10,9 @@ Usage::
     python -m repro.cli explain --model model_dir [--top 5] [--format json|text]
     python -m repro.cli serve  --model model_dir [--host H] [--port P]
                                [--workers N] [--max-batch B] [--max-wait-ms MS]
-                               [--queue-limit Q] [--cache-dir DIR]
+                               [--queue-limit Q] [--cache-dir DIR] [--shards N]
+    python -m repro.cli cluster --model model_dir [--shards N] [--port P]
+                               [--cache-dir DIR] [--vnodes V]
 
 ``train`` fits on the synthetic corpus (the offline default); real
 deployments would swap in their own labeled corpus via the library API.
@@ -24,6 +26,15 @@ resident behind an HTTP endpoint with micro-batching (see
 
 ``analyze`` runs the static-analysis rule catalog alone — no model, no
 embeddings — and prints explainable findings with source spans.
+
+``cluster`` (or ``serve --shards N``) boots the sharded tier: a router
+consistent-hashing scans across N supervised shard daemons (see
+:mod:`repro.serve.cluster` and DESIGN.md §11).
+
+Duration flags follow one unit-suffixed convention (``--timeout-s``,
+``--request-timeout-s``, ``--breaker-reset-s``, ``--max-wait-ms``,
+``--trace-slow-ms``); pre-rename spellings remain as hidden deprecated
+aliases that warn on stderr.
 
 ``scan``/``analyze``/``serve`` accept ``--log-level``/``--log-format``
 (structured JSON logs carry ``trace_id``/``span_id`` fields).  ``scan
@@ -255,10 +266,80 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return 1 if failing else 0
 
 
+class _DeprecatedAlias(argparse.Action):
+    """Hidden back-compat spelling of a renamed flag.
+
+    Stores into the canonical dest and warns once on stderr, so old
+    invocations keep working while the help text shows only the
+    unit-suffixed convention (``--request-timeout-s``, ``--timeout-s``,
+    ``--max-wait-ms``, …).
+    """
+
+    def __init__(self, option_strings, dest, successor: str = "", **kwargs):
+        kwargs["help"] = argparse.SUPPRESS
+        self.successor = successor
+        super().__init__(option_strings, dest, **kwargs)
+
+    def __call__(self, parser, namespace, values, option_string=None):
+        print(
+            f"warning: {option_string} is deprecated; use {self.successor}",
+            file=sys.stderr,
+        )
+        setattr(namespace, self.dest, values)
+
+
+def _shard_flags(args: argparse.Namespace) -> list[str]:
+    """``repro serve`` flags every shard of a cluster is spawned with."""
+    return [
+        "--workers", str(args.workers),
+        "--max-batch", str(args.max_batch),
+        "--max-wait-ms", str(args.max_wait_ms),
+        "--queue-limit", str(args.queue_limit),
+        "--threshold", str(args.threshold),
+    ]
+
+
+def _run_cluster(args: argparse.Namespace, n_shards: int) -> int:
+    from repro.serve import ClusterConfig, RouterConfig, run_cluster
+
+    try:
+        config = ClusterConfig(
+            model_dir=args.model,
+            n_shards=n_shards,
+            host=args.host,
+            port=args.port,
+            cache_dir=args.cache_dir,
+            shard_args=_shard_flags(args),
+            router=RouterConfig(
+                # The router budget wraps a shard's own queueing budget and
+                # any retries, so it must not be the tighter of the two.
+                request_timeout_s=args.request_timeout_s + 10.0,
+                vnodes=getattr(args, "vnodes", 64),
+                trace_sample_rate=args.trace_sample_rate,
+            ),
+        )
+        config.validate()
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    try:
+        return run_cluster(config)
+    except (OSError, RuntimeError) as error:  # bind failure, shards never ready
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    _configure_logging(args, default_level="info")
+    return _run_cluster(args, n_shards=args.shards)
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.serve import ServeConfig, run_server
 
     _configure_logging(args, default_level="info")
+    if args.shards > 1:
+        return _run_cluster(args, n_shards=args.shards)
     try:
         config = ServeConfig(
             host=args.host,
@@ -269,7 +350,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             queue_limit=args.queue_limit,
             cache_dir=args.cache_dir,
             threshold=args.threshold,
-            request_timeout_s=args.request_timeout,
+            request_timeout_s=args.request_timeout_s,
             timeout_s=args.timeout_s,
             max_rss_mb=args.max_rss_mb,
             quarantine_dir=args.quarantine_dir,
@@ -421,8 +502,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="persistent content-addressed embedding cache directory")
     serve.add_argument("--threshold", type=float, default=0.5,
                        help="default verdict threshold (overridable per request)")
-    serve.add_argument("--request-timeout", type=float, default=30.0,
+    serve.add_argument("--request-timeout-s", type=float, default=30.0,
                        help="seconds before a queued request is answered 503")
+    serve.add_argument("--request-timeout", dest="request_timeout_s", type=float,
+                       action=_DeprecatedAlias, successor="--request-timeout-s")
+    serve.add_argument("--shards", type=int, default=1,
+                       help="run N supervised shard daemons behind a router "
+                            "instead of one in-process daemon")
     serve.add_argument("--timeout-s", type=float, default=None,
                        help="per-script wall-clock deadline; enables fault-isolated workers")
     serve.add_argument("--max-rss-mb", type=int, default=None,
@@ -443,6 +529,40 @@ def build_parser() -> argparse.ArgumentParser:
                        help="traces slower than this are retained preferentially")
     _add_logging_flags(serve, default_level="info")
     serve.set_defaults(fn=_cmd_serve)
+
+    cluster = sub.add_parser(
+        "cluster",
+        help="run the sharded scan tier: one router consistent-hashing across "
+             "N supervised shard daemons",
+    )
+    cluster.add_argument("--model", required=True)
+    cluster.add_argument("--host", default="127.0.0.1")
+    cluster.add_argument("--port", type=int, default=8076,
+                         help="router TCP port (0 = ephemeral)")
+    cluster.add_argument("--shards", type=int, default=2,
+                         help="scan shard daemons behind the router")
+    cluster.add_argument("--cache-dir", default=None,
+                         help="on-disk embedding cache shared by all shards "
+                              "(enables cluster-wide single-flight dedup)")
+    cluster.add_argument("--workers", type=int, default=1,
+                         help="worker processes per shard")
+    cluster.add_argument("--max-batch", type=int, default=8,
+                         help="per-shard micro-batch flush size")
+    cluster.add_argument("--max-wait-ms", type=float, default=25.0,
+                         help="per-shard micro-batch flush age")
+    cluster.add_argument("--queue-limit", type=int, default=64,
+                         help="per-shard admission bound (429 beyond it)")
+    cluster.add_argument("--threshold", type=float, default=0.5,
+                         help="default verdict threshold (overridable per request)")
+    cluster.add_argument("--request-timeout-s", type=float, default=30.0,
+                         help="per-shard request budget; the router allows +10s "
+                              "on top for retries")
+    cluster.add_argument("--vnodes", type=int, default=64,
+                         help="consistent-hash ring points per shard")
+    cluster.add_argument("--trace-sample-rate", type=float, default=0.1,
+                         help="fraction of routed requests traced end to end")
+    _add_logging_flags(cluster, default_level="info")
+    cluster.set_defaults(fn=_cmd_cluster)
 
     explain = sub.add_parser(
         "explain",

@@ -1,0 +1,231 @@
+"""Typed stdlib client for the v1 scan API.
+
+One class wraps the whole contract from API.md: every call speaks the
+``/v1`` envelope, every non-2xx becomes a typed :class:`ScanAPIError`
+carrying the machine-readable ``code``, and backpressure (429/503) is
+retried with exponential backoff that honors the server's
+``Retry-After`` — against a single daemon or a cluster router
+identically, because the two expose the same surface.
+
+    from repro.client import ScanClient
+
+    with ScanClient("http://127.0.0.1:8076") as client:
+        verdict = client.scan(source, name="suspect.js")
+        if verdict.malicious:
+            ...
+
+Synchronous and ``http.client``-only by design: the callers this serves
+(CI smoke scripts, the load generator, batch submitters) want zero
+dependencies and no event loop.  ``sleep`` is injectable so tests can
+assert the backoff schedule without waiting it out.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from dataclasses import dataclass
+from urllib.parse import urlsplit
+
+from repro.serve.api import V1_PREFIX, EnvelopeError, parse_envelope
+
+#: Statuses the client retries: backpressure and brownout, never 4xx
+#: (other than 429) — those mean the *request* is wrong.
+RETRY_STATUSES = (429, 503)
+
+
+class ScanAPIError(Exception):
+    """A v1 error envelope, surfaced: branch on ``code``, read ``message``."""
+
+    def __init__(
+        self,
+        status: int,
+        code: str,
+        message: str,
+        detail: dict | None = None,
+        trace_id: str | None = None,
+    ):
+        super().__init__(f"{status} {code}: {message}")
+        self.status = status
+        self.code = code
+        self.message = message
+        self.detail = detail
+        self.trace_id = trace_id
+
+
+@dataclass
+class ScanVerdict:
+    """One scan answer, typed; ``raw`` keeps the full data object."""
+
+    verdict: str
+    malicious: bool
+    probability: float
+    label: int
+    threshold: float
+    model_fingerprint: str | None
+    trace_id: str | None
+    cache_hit: bool
+    raw: dict
+
+    @classmethod
+    def from_data(cls, data: dict) -> "ScanVerdict":
+        return cls(
+            verdict=str(data.get("verdict", "")),
+            malicious=bool(data.get("malicious", False)),
+            probability=float(data.get("probability", 0.0)),
+            label=int(data.get("label", 0)),
+            threshold=float(data.get("threshold", 0.5)),
+            model_fingerprint=data.get("model_fingerprint"),
+            trace_id=data.get("trace_id"),
+            cache_hit=bool(data.get("cache_hit", False)),
+            raw=data,
+        )
+
+
+class ScanClient:
+    """Sync client for one scan endpoint (daemon or cluster router).
+
+    Args:
+        base_url: ``http://host:port`` of the service.
+        timeout_s: Per-round-trip socket timeout.
+        retries: Extra attempts after the first, spent only on transport
+            errors and :data:`RETRY_STATUSES`.  ``0`` fails fast.
+        backoff_s: Base of the exponential backoff (doubles per retry);
+            a server ``Retry-After`` longer than the computed delay wins.
+        sleep: Injectable clock for tests.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        timeout_s: float = 30.0,
+        retries: int = 2,
+        backoff_s: float = 0.25,
+        sleep=time.sleep,
+    ):
+        parts = urlsplit(base_url if "//" in base_url else f"//{base_url}", scheme="http")
+        if parts.scheme != "http":
+            raise ValueError(f"only http:// endpoints are supported, got {base_url!r}")
+        if not parts.hostname:
+            raise ValueError(f"no host in {base_url!r}")
+        self.host = parts.hostname
+        self.port = parts.port or 80
+        self.timeout_s = timeout_s
+        self.retries = retries
+        self.backoff_s = backoff_s
+        self._sleep = sleep
+
+    # --------------------------------------------------------------- calls
+
+    def scan(
+        self,
+        source: str,
+        name: str | None = None,
+        threshold: float | None = None,
+        traceparent: str | None = None,
+    ) -> ScanVerdict:
+        payload: dict = {"source": source}
+        if name is not None:
+            payload["name"] = name
+        if threshold is not None:
+            payload["threshold"] = threshold
+        headers = {"traceparent": traceparent} if traceparent else None
+        return ScanVerdict.from_data(self._request("POST", "/scan", payload, headers=headers))
+
+    def scan_batch(self, scripts: list, threshold: float | None = None) -> dict:
+        """Batch scan; ``scripts`` entries are sources or ``{source, name}``."""
+        payload: dict = {"scripts": scripts}
+        if threshold is not None:
+            payload["threshold"] = threshold
+        return self._request("POST", "/scan/batch", payload)
+
+    def analyze(self, source: str, name: str | None = None) -> dict:
+        payload: dict = {"source": source}
+        if name is not None:
+            payload["name"] = name
+        return self._request("POST", "/analyze", payload)
+
+    def healthz(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def version(self) -> dict:
+        return self._request("GET", "/version")
+
+    def traces(self, n: int = 20) -> dict:
+        return self._request("GET", f"/debug/traces?n={n}")
+
+    def trace(self, trace_id: str) -> dict:
+        return self._request("GET", f"/debug/traces/{trace_id}")
+
+    def admin_reload(self, model_dir: str) -> dict:
+        return self._request("POST", "/admin/reload", {"model_dir": model_dir})
+
+    def metrics_text(self) -> str:
+        """Prometheus exposition (the one unwrapped endpoint)."""
+        status, _headers, body = self._roundtrip("GET", f"{V1_PREFIX}/metrics", None)
+        if status != 200:
+            raise ScanAPIError(status, "internal", "metrics endpoint failed")
+        return body.decode("utf-8")
+
+    # ------------------------------------------------------------- plumbing
+
+    def _roundtrip(
+        self, method: str, path: str, body: bytes | None, extra: dict | None = None
+    ) -> tuple[int, dict, bytes]:
+        connection = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout_s)
+        try:
+            headers = {"Content-Type": "application/json"} if body is not None else {}
+            headers.update(extra or {})
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+            data = response.read()
+            return response.status, {k.lower(): v for k, v in response.getheaders()}, data
+        finally:
+            connection.close()
+
+    def _delay(self, attempt: int, headers: dict) -> float:
+        delay = self.backoff_s * (2**attempt)
+        retry_after = headers.get("retry-after")
+        if retry_after is not None:
+            try:
+                delay = max(delay, float(retry_after))
+            except ValueError:
+                pass
+        return delay
+
+    def _request(
+        self, method: str, path: str, payload: dict | None = None, headers: dict | None = None
+    ):
+        body = json.dumps(payload).encode("utf-8") if payload is not None else None
+        attempt = 0
+        while True:
+            try:
+                status, response_headers, data = self._roundtrip(
+                    method, f"{V1_PREFIX}{path}", body, extra=headers
+                )
+            except (OSError, http.client.HTTPException) as error:
+                if attempt >= self.retries:
+                    raise ScanAPIError(0, "transport", repr(error)) from error
+                self._sleep(self._delay(attempt, {}))
+                attempt += 1
+                continue
+            try:
+                return parse_envelope(status, data)
+            except EnvelopeError as error:
+                if error.status in RETRY_STATUSES and attempt < self.retries:
+                    self._sleep(self._delay(attempt, response_headers))
+                    attempt += 1
+                    continue
+                raise ScanAPIError(
+                    error.status, error.code, error.message,
+                    detail=error.detail, trace_id=error.trace_id,
+                ) from error
+
+    # -------------------------------------------------------------- context
+
+    def __enter__(self) -> "ScanClient":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False

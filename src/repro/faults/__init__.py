@@ -13,7 +13,9 @@ that no single script can degrade service for the others:
 * :class:`CircuitBreaker` — converts sustained worker deaths into fast
   503 backpressure with half-open recovery,
 * :mod:`repro.faults.inject` — the test-only chaos seam
-  (``REPRO_FAULT_INJECT`` + ``@repro-fault:`` markers).
+  (``REPRO_FAULT_INJECT`` + ``@repro-fault:`` markers),
+* :func:`classify_shard_fault` — the same attribution problem lifted one
+  level up, for the cluster router judging whole shard daemons.
 
 See DESIGN.md §9 for the failure-mode state machine.
 """
@@ -22,6 +24,16 @@ from .breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
 from .inject import ENV_FLAG, InjectedFault, maybe_inject
 from .limits import ScanLimits, apply_rlimits, read_rusage
 from .quarantine import QuarantineEntry, QuarantineJournal
+from .shardfault import (
+    SHARD_DEAD,
+    SHARD_FAULTS,
+    SHARD_OK,
+    SHARD_OVERLOADED,
+    SHARD_REQUEST,
+    SHARD_SLOW,
+    ShardFault,
+    classify_shard_fault,
+)
 from .workers import (
     CAUSE_CRASHED,
     CAUSE_OOM,
@@ -48,8 +60,16 @@ __all__ = [
     "Outcome",
     "QuarantineEntry",
     "QuarantineJournal",
+    "SHARD_DEAD",
+    "SHARD_FAULTS",
+    "SHARD_OK",
+    "SHARD_OVERLOADED",
+    "SHARD_REQUEST",
+    "SHARD_SLOW",
     "ScanLimits",
+    "ShardFault",
     "Task",
+    "classify_shard_fault",
     "apply_rlimits",
     "build_embed_init",
     "maybe_inject",

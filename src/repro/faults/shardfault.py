@@ -1,0 +1,80 @@
+"""Shard-level fault classification for the cluster router.
+
+The router talks HTTP to its shards (:func:`repro.serve.http.fetch`) and
+has to decide, per failure, whether the *shard* is suspect or the
+*request* was at fault — the same attribution problem
+:class:`~repro.faults.workers.IsolatedPool` solves one level down for
+worker processes, lifted to whole daemons:
+
+* ``dead`` — connect refused/reset, or the response never framed: the
+  process is gone or wedged.  Retry elsewhere, tell the supervisor.
+* ``slow`` — the round trip timed out: the shard may recover, but this
+  request should not wait for it.  Retry elsewhere, mark suspect.
+* ``overloaded`` — the shard answered 429/503: backpressure, not
+  breakage.  503 is retryable on another shard (a drain or an open
+  breaker is per-shard state); 429 propagates to the client — the
+  queue-full signal is load the cluster should shed, not shuffle.
+* ``request`` — a 4xx: the shard is healthy and the request is bad.
+  Never retried; the answer *is* the answer.
+* ``ok`` — anything else (2xx) — not a fault at all.
+
+Retry safety note: scans are pure functions of the script source (the
+whole cache design rests on that), so re-sending one to another shard
+can never double-apply anything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Classification outcomes, in roughly descending severity.
+SHARD_DEAD = "dead"
+SHARD_SLOW = "slow"
+SHARD_OVERLOADED = "overloaded"
+SHARD_REQUEST = "request"
+SHARD_OK = "ok"
+
+SHARD_FAULTS = (SHARD_DEAD, SHARD_SLOW, SHARD_OVERLOADED)
+
+
+@dataclass(frozen=True)
+class ShardFault:
+    """One classified shard interaction."""
+
+    cause: str  # one of the SHARD_* constants
+    retryable: bool  # may the router re-send this request to another shard?
+    suspect: bool  # should the supervisor health-check this shard now?
+    detail: str = ""
+
+
+def classify_shard_fault(error: BaseException | None, status: int | None = None) -> ShardFault:
+    """Map one ``fetch`` outcome to a :class:`ShardFault`.
+
+    Args:
+        error: The exception ``fetch`` raised, or ``None`` if a response
+            arrived.  ``asyncio.TimeoutError`` (a ``TimeoutError``
+            subclass since 3.11) means *slow*; ``OSError`` and friends
+            mean *dead*; an unparseable response
+            (:class:`~repro.serve.http.ProtocolError`) also means dead —
+            a daemon that cannot frame HTTP is not one to trust.
+        status: The HTTP status, when a response arrived.
+    """
+    if error is not None:
+        if isinstance(error, TimeoutError):
+            return ShardFault(SHARD_SLOW, retryable=True, suspect=True, detail=repr(error))
+        return ShardFault(SHARD_DEAD, retryable=True, suspect=True, detail=repr(error))
+    if status is None:
+        raise ValueError("classify_shard_fault needs an error or a status")
+    if status == 503:
+        return ShardFault(
+            SHARD_OVERLOADED, retryable=True, suspect=True, detail="503 from shard"
+        )
+    if status == 429:
+        return ShardFault(
+            SHARD_OVERLOADED, retryable=False, suspect=False, detail="429 from shard"
+        )
+    if 400 <= status < 500:
+        return ShardFault(SHARD_REQUEST, retryable=False, suspect=False, detail=f"{status} from shard")
+    if status >= 500:
+        return ShardFault(SHARD_DEAD, retryable=True, suspect=True, detail=f"{status} from shard")
+    return ShardFault(SHARD_OK, retryable=False, suspect=False)

@@ -34,6 +34,16 @@ class Comment:
 _LINE_TERMINATORS = "\n\r  "
 _ID_START_EXTRA = "$_"
 _HEX_DIGITS = "0123456789abcdefABCDEF"
+#: ASCII only — ``str.isdigit()`` also accepts superscripts and other
+#: unicode digits that are not valid in JS numeric literals (and that
+#: ``float()`` rejects, e.g. ``"0²"``).
+_DECIMAL_DIGITS = "0123456789"
+
+
+def _is_ascii_digit(ch: str) -> bool:
+    # ``ch in _DECIMAL_DIGITS`` alone is wrong for ``_peek()``'s "" at EOF
+    # (the empty string is a substring of everything).
+    return len(ch) == 1 and ch in _DECIMAL_DIGITS
 
 #: Tokens after which a ``/`` must be a division sign, not a regex start.
 _REGEX_FORBIDDEN_PUNCTUATORS = frozenset({")", "]", "}", "++", "--"})
@@ -180,7 +190,7 @@ class Lexer:
         ch = self.source[self.index]
         if _is_id_start(ch):
             return self._lex_identifier(start, line, column)
-        if ch.isdigit() or (ch == "." and self._peek(1).isdigit()):
+        if ch in _DECIMAL_DIGITS or (ch == "." and _is_ascii_digit(self._peek(1))):
             return self._lex_number(start, line, column)
         if ch in "'\"":
             return self._lex_string(start, line, column)
@@ -224,21 +234,21 @@ class Lexer:
             while self.index < self.length and src[self.index] in "01":
                 self.index += 1
         else:
-            while self.index < self.length and src[self.index].isdigit():
+            while self.index < self.length and src[self.index] in _DECIMAL_DIGITS:
                 self.index += 1
             if self._peek() == "." and self._peek(1) != ".":
                 self.index += 1
-                while self.index < self.length and src[self.index].isdigit():
+                while self.index < self.length and src[self.index] in _DECIMAL_DIGITS:
                     self.index += 1
             if self._peek() in ("e", "E"):
                 save = self.index
                 self.index += 1
                 if self._peek() in ("+", "-"):
                     self.index += 1
-                if not self._peek().isdigit():
+                if not _is_ascii_digit(self._peek()):
                     self.index = save
                 else:
-                    while self.index < self.length and src[self.index].isdigit():
+                    while self.index < self.length and src[self.index] in _DECIMAL_DIGITS:
                         self.index += 1
         if self.index < self.length and _is_id_start(src[self.index]):
             raise self._error("Identifier directly after number")
@@ -276,7 +286,7 @@ class Lexer:
             return ""
         self.index += 1
         simple = {"n": "\n", "t": "\t", "r": "\r", "b": "\b", "f": "\f", "v": "\v", "0": "\0"}
-        if ch in simple and not (ch == "0" and self._peek().isdigit()):
+        if ch in simple and not (ch == "0" and _is_ascii_digit(self._peek())):
             return simple[ch]
         if ch == "x":
             return self._lex_hex_escape(2)

@@ -224,6 +224,16 @@ class BatchScanner:
                 )
                 for cause in FAULT_CAUSES
             }
+            self._m_dedup_batch = metrics.counter(
+                "repro_scan_dedup_total",
+                "In-flight duplicate scripts answered by one embedding",
+                labels={"scope": "batch"},
+            )
+            self._m_dedup_cluster = metrics.counter(
+                "repro_scan_dedup_total",
+                "In-flight duplicate scripts answered by one embedding",
+                labels={"scope": "cluster"},
+            )
 
     # -------------------------------------------------------------- lifecycle
 
@@ -342,6 +352,43 @@ class BatchScanner:
             pending.append(i)
         misses = len(pending)
 
+        # In-batch single-flight: identical sources in one batch (the same
+        # CDN script submitted by many clients, coalesced into one
+        # micro-batch) are embedded once; duplicates copy the primary's
+        # outcome after the embed phase.
+        dup_of: dict[int, int] = {}
+        if pending and want_keys:
+            primary_by_key: dict[str, int] = {}
+            unique_pending: list[int] = []
+            for i in pending:
+                first = primary_by_key.setdefault(keys[i], i)
+                if first == i:
+                    unique_pending.append(i)
+                else:
+                    dup_of[i] = first
+            if dup_of:
+                pending = unique_pending
+                if self.metrics is not None:
+                    self._m_dedup_batch.inc(len(dup_of))
+
+        # Cross-process single-flight on the shared disk cache: claim every
+        # remaining miss; a key some other process is already computing is
+        # *followed* (its entry awaited after our own embeds are published)
+        # rather than recomputed.  Isolated mode opts out — a follower
+        # fallback would re-run a possibly poisonous script outside the
+        # sandbox.
+        flight_led: list[int] = []
+        flight_following: list[int] = []
+        if pending and self.cache is not None and not self.isolated:
+            claimed: list[int] = []
+            for i in pending:
+                if self.cache.acquire_flight(keys[i]):
+                    flight_led.append(i)
+                    claimed.append(i)
+                else:
+                    flight_following.append(i)
+            pending = claimed
+
         # Known poison never gets a second chance to burn a worker: journal
         # hits go straight to the degraded-verdict path.
         faulted: list[int] = []
@@ -413,6 +460,34 @@ class BatchScanner:
                 # scripts never produced one.
                 if entries[i] is not None and statuses[i] == STATUS_OK:
                     self.cache.put(keys[i], entries[i])
+            for i in flight_led:
+                self.cache.release_flight(keys[i])
+            # Followers: some other process was computing this key when we
+            # claimed; by now it has usually published.  If it died without
+            # publishing, compute locally — correct, just not deduplicated.
+            for i in flight_following:
+                entry = self.cache.wait_flight(keys[i])
+                if entry is not None:
+                    entries[i] = entry
+                    hit_flags[i] = True
+                    if self.metrics is not None:
+                        self._m_dedup_cluster.inc()
+                    continue
+                entries[i], statuses[i], top_paths[i] = self._embed_sequential(
+                    sources[i], per_file_ms[i], capture_paths=recording
+                )
+                if entries[i] is not None and statuses[i] == STATUS_OK:
+                    self.cache.put(keys[i], entries[i])
+
+        # In-batch duplicates copy their primary's outcome wholesale (the
+        # classifier still runs per script, so results stay per-file).
+        for i, primary in dup_of.items():
+            entries[i] = entries[primary]
+            statuses[i] = statuses[primary]
+            fault_info[i] = fault_info[primary]
+            top_paths[i] = top_paths[primary]
+            if analyses[i] is None:
+                analyses[i] = analyses[primary]
 
         active = [i for i in range(n) if not triaged[i] and entries[i] is not None]
         embedded = [(entries[i].vectors, entries[i].weights) for i in active]

@@ -1,4 +1,4 @@
-"""Serving layer: asyncio scan daemon with micro-batching + backpressure.
+"""Serving layer: asyncio scan daemon, micro-batching, and the sharded tier.
 
 Public surface::
 
@@ -11,24 +11,51 @@ Public surface::
     with BackgroundServer(detector, ServeConfig(port=0)) as server:
         ...POST to server.url...
 
-See :mod:`repro.serve.app` for endpoint and backpressure semantics,
-:mod:`repro.serve.batching` for the micro-batching queue, and
-:mod:`repro.serve.loadgen` for the stdlib load generator.
+    # the sharded tier (the `repro cluster` CLI command):
+    from repro.serve import ClusterConfig, run_cluster, BackgroundCluster
+    run_cluster(ClusterConfig(model_dir="model", n_shards=4))
+
+Every endpoint is mounted under ``/v1`` with one response envelope (see
+:mod:`repro.serve.api` and API.md); the unprefixed v0 paths remain as
+deprecation aliases.  See :mod:`repro.serve.app` for endpoint and
+backpressure semantics, :mod:`repro.serve.batching` for the
+micro-batching queue, :mod:`repro.serve.router` /
+:mod:`repro.serve.supervisor` / :mod:`repro.serve.cluster` for the
+sharded tier, and :mod:`repro.serve.loadgen` for the stdlib load
+generator.
 """
 
+from .api import API_VERSION, V1_PREFIX, EnvelopeError, parse_envelope
 from .app import BackgroundServer, ScanServer, ServeConfig, run_server
 from .batching import Draining, MicroBatcher, QueueFull
+from .cluster import BackgroundCluster, ClusterConfig, ClusterController, run_cluster
+from .hashring import HashRing
 from .loadgen import LoadReport, LoadResult, run_load
+from .router import RouterConfig, ScanRouter
+from .supervisor import ShardSpec, ShardSupervisor
 
 __all__ = [
+    "API_VERSION",
+    "BackgroundCluster",
     "BackgroundServer",
+    "ClusterConfig",
+    "ClusterController",
     "Draining",
+    "EnvelopeError",
+    "HashRing",
     "LoadReport",
     "LoadResult",
     "MicroBatcher",
     "QueueFull",
+    "RouterConfig",
+    "ScanRouter",
     "ScanServer",
     "ServeConfig",
-    "run_server",
+    "ShardSpec",
+    "ShardSupervisor",
+    "V1_PREFIX",
+    "parse_envelope",
+    "run_cluster",
     "run_load",
+    "run_server",
 ]

@@ -1,0 +1,175 @@
+"""Versioned API surface shared by the shard daemon and the cluster router.
+
+Every JSON endpoint is mounted under the ``/v1`` prefix and answers with
+one envelope, success and failure alike::
+
+    {"api_version": "v1", "trace_id": "…" | null, "data": {…}}
+    {"api_version": "v1", "trace_id": "…" | null,
+     "error": {"code": "rate_limited", "message": "…", "detail": {…} | null}}
+
+``error.code`` is a stable machine-readable string (the HTTP status is
+transport, the code is contract): clients branch on ``code``, humans read
+``message``, and ``detail`` carries structured context (retry hints,
+breaker state) when there is any.  The one deliberate exception is
+``GET /v1/metrics``: Prometheus exposition is a text format scraped by
+Prometheus itself, so it is served unwrapped on both prefixes.
+
+The unprefixed paths from the v0 daemon (``/scan``, ``/healthz``, …)
+remain as deprecation aliases: same handler, byte-identical legacy body,
+plus a ``Deprecation: true`` header, a ``Link: </v1/…>;
+rel="successor-version"`` pointer, and a
+``repro_http_deprecated_requests_total`` counter so operators can watch
+the old surface drain before it is removed.  See API.md for the full
+reference and the deprecation policy.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .http import REASON_PHRASES, ProtocolError, error_response, render_response
+
+#: The one supported versioned prefix.  Bump by *adding* a prefix — v1
+#: aliases would then get the same deprecation treatment legacy has now.
+API_VERSION = "v1"
+V1_PREFIX = "/v1"
+
+#: Stable machine-readable error codes by HTTP status — the part of a
+#: failure clients are allowed to branch on.
+ERROR_CODES = {
+    400: "bad_request",
+    404: "not_found",
+    405: "method_not_allowed",
+    408: "request_timeout",
+    413: "payload_too_large",
+    429: "rate_limited",
+    500: "internal",
+    503: "unavailable",
+}
+
+#: Legacy (unprefixed) request paths kept as deprecation aliases.  Any
+#: other unprefixed path is simply a 404, not a deprecated alias.
+LEGACY_ALIASES = ("/scan", "/scan/batch", "/analyze", "/healthz", "/version", "/metrics", "/debug/traces")
+
+
+def split_api_path(path: str) -> tuple[str, str]:
+    """``/v1/scan`` → ``("v1", "/scan")``; ``/scan`` → ``("legacy", "/scan")``."""
+    if path == V1_PREFIX or path.startswith(V1_PREFIX + "/"):
+        logical = path[len(V1_PREFIX) :] or "/"
+        return API_VERSION, logical
+    return "legacy", path
+
+
+def is_legacy_alias(logical_path: str) -> bool:
+    """Is this unprefixed path one of the deprecated v0 endpoints?"""
+    return any(
+        logical_path == alias or logical_path.startswith(alias + "/") for alias in LEGACY_ALIASES
+    )
+
+
+def deprecation_headers(logical_path: str) -> dict[str, str]:
+    """Headers advertising the successor of a legacy alias."""
+    return {
+        "Deprecation": "true",
+        "Link": f"<{V1_PREFIX}{logical_path}>; rel=\"successor-version\"",
+    }
+
+
+def error_code(status: int) -> str:
+    return ERROR_CODES.get(status, "internal" if status >= 500 else "bad_request")
+
+
+def envelope(data: object = None, error: dict | None = None, trace_id: str | None = None) -> dict:
+    """The v1 response envelope; exactly one of ``data``/``error`` is set."""
+    out: dict = {"api_version": API_VERSION, "trace_id": trace_id}
+    if error is not None:
+        out["error"] = error
+    else:
+        out["data"] = data
+    return out
+
+
+def v1_response(
+    status: int,
+    data: object,
+    trace_id: str | None = None,
+    extra_headers: dict[str, str] | None = None,
+    keep_alive: bool = True,
+) -> bytes:
+    body = json.dumps(envelope(data=data, trace_id=trace_id)).encode("utf-8")
+    return render_response(status, body, extra_headers=extra_headers, keep_alive=keep_alive)
+
+
+def v1_error_response(
+    status: int,
+    message: str,
+    trace_id: str | None = None,
+    detail: dict | None = None,
+    extra_headers: dict[str, str] | None = None,
+    keep_alive: bool = True,
+) -> bytes:
+    error = {
+        "code": error_code(status),
+        "message": message,
+        "detail": detail,
+    }
+    body = json.dumps(envelope(error=error, trace_id=trace_id)).encode("utf-8")
+    return render_response(status, body, extra_headers=extra_headers, keep_alive=keep_alive)
+
+
+def protocol_error_response(error: ProtocolError) -> bytes:
+    """Render a pre-routing :class:`ProtocolError` (e.g. an oversized body,
+    refused before it is read) on the surface the request line asked for:
+    the v1 envelope under ``/v1``, the legacy error object elsewhere."""
+    api, _ = split_api_path(error.path or "")
+    if api == API_VERSION:
+        return v1_error_response(error.status, error.message, keep_alive=False)
+    return error_response(error.status, error.message, keep_alive=False)
+
+
+def parse_envelope(status: int, body: bytes) -> object:
+    """Client-side unwrap: return ``data`` or raise :class:`EnvelopeError`.
+
+    Shared by :class:`repro.client.ScanClient` and the smoke scripts so
+    the contract ("every v1 response is an envelope, every non-2xx is an
+    error envelope") is asserted in one place.
+    """
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as error:
+        raise EnvelopeError(status, "internal", f"response body is not JSON: {error!r}") from error
+    if not isinstance(payload, dict) or payload.get("api_version") != API_VERSION:
+        raise EnvelopeError(status, "internal", f"response is not a v1 envelope: {payload!r}")
+    if status < 400:
+        if "data" not in payload:
+            raise EnvelopeError(status, "internal", f"success envelope without data: {payload!r}")
+        return payload["data"]
+    error = payload.get("error")
+    if not isinstance(error, dict) or "code" not in error or "message" not in error:
+        raise EnvelopeError(status, "internal", f"error envelope malformed: {payload!r}")
+    raise EnvelopeError(
+        status,
+        str(error["code"]),
+        str(error["message"]),
+        detail=error.get("detail"),
+        trace_id=payload.get("trace_id"),
+    )
+
+
+class EnvelopeError(Exception):
+    """A v1 error envelope (or a response that failed to be one)."""
+
+    def __init__(
+        self,
+        status: int,
+        code: str,
+        message: str,
+        detail: dict | None = None,
+        trace_id: str | None = None,
+    ):
+        super().__init__(f"{status} {REASON_PHRASES.get(status, 'Unknown')}: {code}: {message}")
+        self.status = status
+        self.code = code
+        self.message = message
+        self.detail = detail
+        self.trace_id = trace_id

@@ -7,19 +7,26 @@
 (one of each, shared by all clients), and the
 :class:`~repro.obs.MetricsRegistry` observability layer.
 
-Endpoints::
+Endpoints (mounted under ``/v1``; see API.md for the envelope contract —
+the bare legacy paths remain as deprecation aliases)::
 
-    POST /scan        {"source": str, "name"?: str, "threshold"?: float}
-                      → 200 ScanResult object (+ model_fingerprint)
-    POST /scan/batch  {"scripts": [{"source": str, "name"?: str} | str, ...],
-                       "threshold"?: float}
-                      → 200 {"results": [...], "n_files", "n_malicious", ...}
-    POST /analyze     {"source": str, "name"?: str}
-                      → 200 AnalysisReport object (static analysis only;
-                        no model, no micro-batch queue)
-    GET  /healthz     → 200 {"status": "ok", ...}
-    GET  /version     → 200 {"service", "version", "model_fingerprint", ...}
-    GET  /metrics     → 200 Prometheus text exposition
+    POST /v1/scan        {"source": str, "name"?: str, "threshold"?: float}
+                         → 200 envelope, data = ScanResult object
+    POST /v1/scan/batch  {"scripts": [{"source": str, "name"?: str} | str, ...],
+                          "threshold"?: float}
+                         → 200 envelope, data = {"results": [...], ...}
+    POST /v1/analyze     {"source": str, "name"?: str}
+                         → 200 envelope, data = AnalysisReport (static
+                           analysis only; no model, no micro-batch queue)
+    POST /v1/admin/reload {"model_dir": str}
+                         → 200 envelope; the model is loaded off-thread and
+                           swapped in atomically between micro-batches
+                           (zero-downtime reload; bumps the epoch)
+    GET  /v1/healthz     → 200 envelope: status, fingerprint, epoch, pid
+    GET  /v1/version     → 200 envelope: service, version, config
+    GET  /v1/metrics     → 200 Prometheus text exposition (unwrapped —
+                           the one non-envelope endpoint, by design)
+    GET  /v1/debug/traces[/<id>] → 200 envelope: retained span trees
 
 Failure semantics (the backpressure contract):
 
@@ -37,6 +44,7 @@ from __future__ import annotations
 import asyncio
 import contextlib
 import math
+import os
 import signal
 import sys
 import threading
@@ -50,6 +58,14 @@ from repro.faults import CircuitBreaker, QuarantineJournal, ScanLimits
 from repro.obs import MetricsRegistry, SpanContext, TraceStore, Tracer, get_logger
 from repro.pipeline import BatchScanner, FeatureCache
 
+from .api import (
+    deprecation_headers,
+    is_legacy_alias,
+    protocol_error_response,
+    split_api_path,
+    v1_error_response,
+    v1_response,
+)
 from .batching import Draining, MicroBatcher, QueueFull
 from .http import (
     MAX_BODY_BYTES,
@@ -197,8 +213,20 @@ class ScanServer:
         self._server: asyncio.AbstractServer | None = None
         self.bound_port: int | None = None
         self.started_at = time.time()
+        #: Model epoch: 0 for the boot model, +1 per successful
+        #: ``POST /v1/admin/reload``.  The supervisor's rolling reload
+        #: watches this (plus the fingerprint) to confirm a shard rolled.
+        self.epoch = 0
 
         self._m_requests: dict[tuple[str, str, int], object] = {}
+        self._m_deprecated: dict[str, object] = {}
+        self._m_reloads = self.metrics.counter(
+            "repro_model_reloads_total", "Successful zero-downtime model reloads"
+        )
+        self._m_epoch = self.metrics.gauge(
+            "repro_model_epoch", "Model epoch (0 = boot model, +1 per reload)"
+        )
+        self._m_epoch.set(0)
         self._m_latency = self.metrics.histogram(
             "repro_http_request_seconds", "Wall-clock per HTTP request"
         )
@@ -295,7 +323,7 @@ class ScanServer:
                 try:
                     request = await read_request(reader, self.config.max_body_bytes)
                 except ProtocolError as error:
-                    writer.write(error_response(error.status, error.message, keep_alive=False))
+                    writer.write(protocol_error_response(error))
                     await writer.drain()
                     break
                 except (asyncio.IncompleteReadError, ConnectionError):
@@ -328,10 +356,67 @@ class ScanServer:
             self._m_requests[key] = counter
         counter.inc()
 
+    def _count_deprecated(self, path: str) -> None:
+        counter = self._m_deprecated.get(path)
+        if counter is None:
+            counter = self.metrics.counter(
+                "repro_http_deprecated_requests_total",
+                "Requests on unprefixed legacy paths (deprecation aliases of /v1)",
+                labels={"path": path},
+            )
+            self._m_deprecated[path] = counter
+        counter.inc()
+
+    # ------------------------------------------------------------- rendering
+    #
+    # Every handler produces a *payload* (a JSON-able dict) and the routing
+    # layer renders it per API surface: the v1 envelope under /v1, the
+    # byte-identical v0 body on the legacy aliases.  Error paths flow
+    # through the same split — one semantic error, two renderings.
+
+    def _request_trace_id(self, request: Request) -> str | None:
+        parent = SpanContext.parse(request.traceparent)
+        return parent.trace_id if parent is not None else None
+
+    def _ok(
+        self,
+        request: Request,
+        payload: dict,
+        trace_id: str | None = None,
+        extra_headers: dict[str, str] | None = None,
+        status: int = 200,
+    ) -> tuple[int, bytes]:
+        if request.api == "v1":
+            return status, v1_response(status, payload, trace_id=trace_id, extra_headers=extra_headers)
+        return status, json_response(status, payload, extra_headers=extra_headers)
+
+    def _err(
+        self,
+        request: Request,
+        status: int,
+        message: str,
+        detail: dict | None = None,
+        extra_headers: dict[str, str] | None = None,
+        trace_id: str | None = None,
+        keep_alive: bool = True,
+    ) -> tuple[int, bytes]:
+        if trace_id is None:
+            trace_id = self._request_trace_id(request)
+        if request.api == "v1":
+            return status, v1_error_response(
+                status, message, trace_id=trace_id, detail=detail,
+                extra_headers=extra_headers, keep_alive=keep_alive,
+            )
+        return status, error_response(
+            status, message, extra_headers=extra_headers, keep_alive=keep_alive
+        )
+
     # --------------------------------------------------------------- routing
 
     async def _route(self, request: Request) -> tuple[bytes, bool]:
         """Dispatch one request; returns ``(response_bytes, keep_alive)``."""
+        request.api, logical = split_api_path(request.path)
+        deprecated = request.api == "legacy" and is_legacy_alias(logical)
         handlers = {
             ("GET", "/healthz"): self._handle_healthz,
             ("GET", "/version"): self._handle_version,
@@ -340,33 +425,54 @@ class ScanServer:
             ("POST", "/scan/batch"): self._handle_scan_batch,
             ("POST", "/analyze"): self._handle_analyze,
         }
-        handler = handlers.get((request.method, request.path))
-        known_path = any(path == request.path for _, path in handlers)
-        if handler is None and request.path.startswith("/debug/traces"):
+        if request.api == "v1":
+            handlers[("POST", "/admin/reload")] = self._handle_admin_reload
+        handler = handlers.get((request.method, logical))
+        known_path = any(path == logical for _, path in handlers)
+        if handler is None and logical.startswith("/debug/traces"):
             known_path = True
             if request.method == "GET":
                 handler = (
                     self._handle_traces_list
-                    if request.path.rstrip("/") == "/debug/traces"
+                    if logical.rstrip("/") == "/debug/traces"
                     else self._handle_trace_get
                 )
         try:
             if handler is None:
-                status = 405 if known_path else 404
-                response = error_response(
-                    status,
+                status, response = self._err(
+                    request,
+                    405 if known_path else 404,
                     f"no route for {request.method} {request.path}",
                     extra_headers={"Allow": "GET, POST"} if known_path else None,
                 )
             else:
                 status, response = await handler(request)
         except ProtocolError as error:
-            status, response = error.status, error_response(error.status, error.message)
+            status, response = self._err(request, error.status, error.message)
+        except _Reply as reply:  # early termination raised outside a handler's catch
+            status, response = self._render_reply(request, reply)
         except Exception as error:  # a handler bug must not kill the connection loop
-            status = 500
-            response = error_response(500, f"internal error: {type(error).__name__}: {error}")
+            status, response = self._err(
+                request, 500, f"internal error: {type(error).__name__}: {error}"
+            )
+        if deprecated:
+            self._count_deprecated(logical)
+            response = _inject_headers(response, deprecation_headers(logical))
         self._count_request(request.method, request.path, status)
         return response, status < 500 or status == 503
+
+    def _render_reply(
+        self, request: Request, reply: "_Reply", trace_id: str | None = None
+    ) -> tuple[int, bytes]:
+        return self._err(
+            request,
+            reply.status,
+            reply.message,
+            detail=reply.detail,
+            extra_headers=reply.headers,
+            trace_id=trace_id,
+            keep_alive=reply.keep_alive,
+        )
 
     # -------------------------------------------------------------- handlers
 
@@ -374,13 +480,16 @@ class ScanServer:
         payload = {
             "status": "ok",
             "model_fingerprint": self.fingerprint,
+            "epoch": self.epoch,
+            "pid": os.getpid(),
+            "draining": bool(getattr(self.batcher, "_draining", False)),
             "queue_depth": self.batcher.queue_depth,
             "uptime_s": round(time.time() - self.started_at, 3),
             "breaker": self.breaker.snapshot(),
             "quarantined": len(self.quarantine),
             "traces_stored": len(self.traces),
         }
-        return 200, json_response(200, payload)
+        return self._ok(request, payload)
 
     async def _handle_version(self, request: Request) -> tuple[int, bytes]:
         from repro import __version__
@@ -403,7 +512,7 @@ class ScanServer:
                 "max_body_bytes": self.config.max_body_bytes,
             },
         }
-        return 200, json_response(200, payload)
+        return self._ok(request, payload)
 
     async def _handle_metrics(self, request: Request) -> tuple[int, bytes]:
         self._m_uptime.set(round(time.time() - self.started_at, 3))
@@ -421,14 +530,14 @@ class ScanServer:
             "evicted": self.traces.evicted,
             "sample_rate": self.config.trace_sample_rate,
         }
-        return 200, json_response(200, payload)
+        return self._ok(request, payload)
 
     async def _handle_trace_get(self, request: Request) -> tuple[int, bytes]:
         trace_id = request.path.rstrip("/").rsplit("/", 1)[-1]
         record = self.traces.get(trace_id)
         if record is None:
-            return 404, error_response(404, f"trace {trace_id!r} not found (expired or unsampled)")
-        return 200, json_response(200, record)
+            return self._err(request, 404, f"trace {trace_id!r} not found (expired or unsampled)")
+        return self._ok(request, record)
 
     # --------------------------------------------------------------- tracing
 
@@ -502,23 +611,23 @@ class ScanServer:
             )
             raise _Reply(
                 503,
-                error_response(
-                    503,
-                    "scan workers are failing; circuit breaker is open",
-                    extra_headers={"Retry-After": str(retry)},
-                ),
+                "scan workers are failing; circuit breaker is open",
+                headers={"Retry-After": str(retry)},
+                detail={"state": "breaker_open", "retry_after_s": retry},
             )
         try:
             return self.batcher.submit(source, name, meta=meta)
         except QueueFull as error:
             raise _Reply(
                 429,
-                error_response(
-                    429, str(error), extra_headers={"Retry-After": str(self.config.retry_after_s)}
-                ),
+                str(error),
+                headers={"Retry-After": str(self.config.retry_after_s)},
+                detail={"state": "queue_full", "queue_limit": self.config.queue_limit},
             ) from error
         except Draining as error:
-            raise _Reply(503, error_response(503, "server is draining", keep_alive=False)) from error
+            raise _Reply(
+                503, "server is draining", detail={"state": "draining"}, keep_alive=False
+            ) from error
 
     async def _handle_scan(self, request: Request) -> tuple[int, bytes]:
         payload = request.json()
@@ -540,15 +649,18 @@ class ScanServer:
                 future = await self._submit(source, name, meta={"trace": root.recording})
             except _Reply as reply:
                 root.set_status("error", f"rejected {reply.status}")
-                return reply.status, reply.response
+                return self._render_reply(request, reply, trace_id=root.context.trace_id)
             try:
                 result, report = await asyncio.wait_for(future, self.config.request_timeout_s)
             except asyncio.TimeoutError:
                 root.set_status("error", "request timeout")
-                return 503, error_response(
+                return self._err(
+                    request,
                     503,
                     f"scan did not complete within {self.config.request_timeout_s:g}s",
+                    detail={"state": "timeout"},
                     extra_headers={"Retry-After": str(self.config.retry_after_s)},
+                    trace_id=root.context.trace_id,
                 )
             total_wait_ms = 1000.0 * (time.perf_counter() - submitted)
             self._graft_batch(root, report, total_wait_ms)
@@ -566,7 +678,9 @@ class ScanServer:
                 "scan served",
                 extra={"trace_id": trace_id, "script": name, "verdict": body["verdict"]},
             )
-        return 200, json_response(200, body, extra_headers=self._trace_headers(root))
+        return self._ok(
+            request, body, trace_id=trace_id, extra_headers=self._trace_headers(root)
+        )
 
     async def _handle_analyze(self, request: Request) -> tuple[int, bytes]:
         payload = request.json()
@@ -582,9 +696,11 @@ class ScanServer:
         # an overloaded daemon still sheds load uniformly: when the scan
         # queue is saturated, the cheap endpoint backs off too.
         if self.batcher.queue_depth >= self.config.queue_limit:
-            return 429, error_response(
+            return self._err(
+                request,
                 429,
                 f"queue full ({self.config.queue_limit} requests pending)",
+                detail={"state": "queue_full", "queue_limit": self.config.queue_limit},
                 extra_headers={"Retry-After": str(self.config.retry_after_s)},
             )
         root = self._start_request_trace(request, "http.analyze")
@@ -596,7 +712,9 @@ class ScanServer:
             root.synthesize("analysis", report.elapsed_ms, attributes={"n_findings": report.n_findings})
             body = report.to_dict()
             body["trace_id"] = root.context.trace_id
-        return 200, json_response(200, body, extra_headers=self._trace_headers(root))
+        return self._ok(
+            request, body, trace_id=root.context.trace_id, extra_headers=self._trace_headers(root)
+        )
 
     async def _handle_scan_batch(self, request: Request) -> tuple[int, bytes]:
         payload = request.json()
@@ -638,7 +756,7 @@ class ScanServer:
                 for future in futures:  # abandon what we already queued
                     future.cancel()
                 root.set_status("error", f"rejected {reply.status}")
-                return reply.status, reply.response
+                return self._render_reply(request, reply, trace_id=root.context.trace_id)
             try:
                 resolved = await asyncio.wait_for(
                     asyncio.gather(*futures), self.config.request_timeout_s
@@ -647,10 +765,13 @@ class ScanServer:
                 for future in futures:
                     future.cancel()
                 root.set_status("error", "request timeout")
-                return 503, error_response(
+                return self._err(
+                    request,
                     503,
                     f"batch did not complete within {self.config.request_timeout_s:g}s",
+                    detail={"state": "timeout"},
                     extra_headers={"Retry-After": str(self.config.retry_after_s)},
+                    trace_id=root.context.trace_id,
                 )
             total_wait_ms = 1000.0 * (time.perf_counter() - submitted)
             # A large request may have been split across several micro-batches;
@@ -670,16 +791,127 @@ class ScanServer:
                 "trace_id": root.context.trace_id,
                 "results": results,
             }
-        return 200, json_response(200, body, extra_headers=self._trace_headers(root))
+        return self._ok(
+            request, body, trace_id=root.context.trace_id, extra_headers=self._trace_headers(root)
+        )
+
+    # ------------------------------------------------------ zero-downtime reload
+
+    def _prepare_model(self, model_dir: str):
+        """Load a new model + build its scanner/cache (off the scan thread)."""
+        from repro.core.persistence import load_detector
+
+        detector = load_detector(model_dir)
+        fingerprint = detector.fingerprint()
+        cache = FeatureCache(
+            fingerprint,
+            max_entries=self.config.cache_entries,
+            cache_dir=self.config.cache_dir,
+            metrics=self.metrics,
+        )
+        limits = self.config.scan_limits()
+        scanner = BatchScanner(
+            detector,
+            n_workers=self.config.n_workers,
+            cache=cache,
+            persistent=self.config.n_workers > 1 or (limits is not None and limits.active),
+            metrics=self.metrics,
+            limits=limits,
+            quarantine=self.quarantine if limits is not None and limits.active else None,
+            tracer=Tracer(sample_rate=0.0),
+        )
+        return detector, scanner, cache
+
+    def _swap_model(self, detector, scanner, cache) -> None:
+        """Swap the served model; runs ON the single scan-executor thread.
+
+        Micro-batches execute on that same thread, so the swap can never
+        interleave with a scan — requests queued behind it simply hit the
+        new model.  This is the whole zero-downtime trick.
+        """
+        old_scanner = self.scanner
+        self.detector = detector
+        self.scanner = scanner
+        self.cache = cache
+        self.fingerprint = detector.fingerprint()
+        self.epoch += 1
+        self._m_reloads.inc()
+        self._m_epoch.set(self.epoch)
+        old_scanner.close()
+
+    async def _handle_admin_reload(self, request: Request) -> tuple[int, bytes]:
+        payload = request.json()
+        if not isinstance(payload, dict):
+            raise ProtocolError(400, "request body must be a JSON object")
+        model_dir = payload.get("model_dir")
+        if not isinstance(model_dir, str) or not model_dir:
+            raise ProtocolError(400, 'missing or non-string "model_dir" field')
+        loop = asyncio.get_running_loop()
+        try:
+            detector, scanner, cache = await loop.run_in_executor(
+                None, self._prepare_model, model_dir
+            )
+        except Exception as error:
+            return self._err(
+                request,
+                400,
+                f"model load failed: {type(error).__name__}: {error}",
+                detail={"model_dir": model_dir},
+            )
+        old_fingerprint = self.fingerprint
+        await loop.run_in_executor(self._executor, self._swap_model, detector, scanner, cache)
+        self.log.info(
+            "model reloaded",
+            extra={"model_dir": model_dir, "epoch": self.epoch},
+        )
+        return self._ok(
+            request,
+            {
+                "status": "reloaded",
+                "model_dir": model_dir,
+                "old_fingerprint": old_fingerprint,
+                "model_fingerprint": self.fingerprint,
+                "epoch": self.epoch,
+            },
+        )
 
 
 class _Reply(Exception):
-    """Internal control flow: a fully rendered early response."""
+    """Internal control flow: a semantic early response.
 
-    def __init__(self, status: int, response: bytes):
+    Carries *what went wrong*, not bytes — the routing layer renders it
+    as a legacy ``{"error": {...}}`` body or a v1 error envelope
+    depending on which surface the request arrived on.
+    """
+
+    def __init__(
+        self,
+        status: int,
+        message: str,
+        headers: dict[str, str] | None = None,
+        detail: dict | None = None,
+        keep_alive: bool = True,
+    ):
         super().__init__(status)
         self.status = status
-        self.response = response
+        self.message = message
+        self.headers = headers
+        self.detail = detail
+        self.keep_alive = keep_alive
+
+
+def _inject_headers(response: bytes, headers: dict[str, str]) -> bytes:
+    """Add headers to an already-rendered response (deprecation aliases).
+
+    The legacy body must stay byte-identical, so alias responses are
+    rendered exactly as before and the ``Deprecation``/``Link`` headers
+    are spliced into the header block afterwards.
+    """
+    head, sep, body = response.partition(b"\r\n\r\n")
+    if not sep:  # pragma: no cover - every rendered response has the blank line
+        return response
+    extra = "".join(f"\r\n{name}: {value}" for name, value in headers.items())
+    return head + extra.encode("latin-1") + sep + body
 
 
 def run_server(detector: "JSRevealer", config: ServeConfig | None = None) -> int:

@@ -1,0 +1,194 @@
+"""The sharded scan tier, assembled: supervisor + router in one process.
+
+``repro cluster --model m --shards N`` (or ``repro serve --shards N``)
+boots:
+
+* N **scan shards** — ordinary ``repro serve`` daemons on loopback
+  ports, sharing one on-disk feature cache, owned by a
+  :class:`~repro.serve.supervisor.ShardSupervisor`,
+* one **router** — the only listener clients see
+  (:class:`~repro.serve.router.ScanRouter`), consistent-hashing scans
+  across the shards and retrying around failures.
+
+The controller owns startup order (shards ready before the router
+listens) and teardown order (router first, so no request arrives at a
+half-dismantled fleet).  :class:`BackgroundCluster` is the test/bench
+wrapper, mirroring :class:`~repro.serve.app.BackgroundServer`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal
+import sys
+import threading
+from dataclasses import dataclass, field
+
+from repro.obs import MetricsRegistry
+
+from .router import RouterConfig, ScanRouter
+from .supervisor import ShardSupervisor
+
+
+@dataclass
+class ClusterConfig:
+    """Knobs for the whole tier; mirrors the ``repro cluster`` CLI flags."""
+
+    model_dir: str = ""
+    n_shards: int = 2
+    host: str = "127.0.0.1"
+    port: int = 8076  # router port; 0 = ephemeral
+    cache_dir: str | None = None  # shared across shards (single-flight lives here)
+    shard_args: list[str] = field(default_factory=list)  # extra `repro serve` flags
+    router: RouterConfig = field(default_factory=RouterConfig)
+    health_interval_s: float = 0.5
+    ready_timeout_s: float = 120.0
+
+    def validate(self) -> None:
+        if not self.model_dir:
+            raise ValueError("model_dir is required")
+        if self.n_shards < 1:
+            raise ValueError("n_shards must be positive")
+        self.router.validate()
+
+
+class ClusterController:
+    """Boots and tears down one supervisor + router pair."""
+
+    def __init__(self, config: ClusterConfig, metrics: MetricsRegistry | None = None):
+        config.validate()
+        self.config = config
+        self.metrics = metrics or MetricsRegistry()
+        self.supervisor = ShardSupervisor(
+            model_dir=config.model_dir,
+            n_shards=config.n_shards,
+            host=config.host,
+            cache_dir=config.cache_dir,
+            shard_args=config.shard_args,
+            metrics=self.metrics,
+            health_interval_s=config.health_interval_s,
+            ready_timeout_s=config.ready_timeout_s,
+        )
+        router_config = config.router
+        router_config.host = config.host
+        router_config.port = config.port
+        self.router = ScanRouter(self.supervisor, router_config, metrics=self.metrics)
+
+    @property
+    def bound_port(self) -> int | None:
+        return self.router.bound_port
+
+    async def start(self) -> None:
+        try:
+            await self.supervisor.start()
+        except BaseException:
+            await self.supervisor.stop()
+            raise
+        await self.router.start()
+
+    async def stop(self) -> None:
+        await self.router.stop()
+        await self.supervisor.stop()
+
+    async def run_until_signaled(self, signals=(signal.SIGTERM, signal.SIGINT)) -> None:
+        loop = asyncio.get_running_loop()
+        stop_event = asyncio.Event()
+        for signum in signals:
+            loop.add_signal_handler(signum, stop_event.set)
+        try:
+            await self.start()
+            print(
+                f"repro.cluster router on http://{self.config.host}:{self.bound_port} "
+                f"({self.config.n_shards} shards)",
+                file=sys.stderr,
+                flush=True,
+            )
+            await stop_event.wait()
+            print("repro.cluster stopping…", file=sys.stderr, flush=True)
+        finally:
+            for signum in signals:
+                loop.remove_signal_handler(signum)
+            await self.stop()
+
+
+def run_cluster(config: ClusterConfig) -> int:
+    """Blocking entry point used by the CLI; returns the exit code."""
+    controller = ClusterController(config)
+    try:
+        asyncio.run(controller.run_until_signaled())
+    except KeyboardInterrupt:  # signal handler not installable (rare)
+        return 0
+    return 0
+
+
+class BackgroundCluster:
+    """A whole cluster on a daemon thread — tests, benches, and notebooks.
+
+    Usage::
+
+        with BackgroundCluster(ClusterConfig(model_dir=..., n_shards=2, port=0)) as cluster:
+            ScanClient(cluster.url).scan("alert(1)")
+    """
+
+    def __init__(self, config: ClusterConfig):
+        self.config = config
+        self.controller: ClusterController | None = None
+        self.port: int | None = None
+        self._ready = threading.Event()
+        self._startup_error: BaseException | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop_event: asyncio.Event | None = None
+        self._thread: threading.Thread | None = None
+
+    @property
+    def host(self) -> str:
+        return self.config.host
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def __enter__(self) -> "BackgroundCluster":
+        self._thread = threading.Thread(target=self._thread_main, daemon=True)
+        self._thread.start()
+        # Shard boot includes a model load per shard; generous timeout.
+        if not self._ready.wait(timeout=300):
+            raise RuntimeError("background cluster failed to start in time")
+        if self._startup_error is not None:
+            raise RuntimeError("background cluster failed to start") from self._startup_error
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.stop()
+        return False
+
+    def stop(self) -> None:
+        if self._loop is not None and self._stop_event is not None:
+            self._loop.call_soon_threadsafe(self._stop_event.set)
+        if self._thread is not None:
+            self._thread.join(timeout=60)
+            self._thread = None
+
+    def call_soon(self, fn, *args) -> None:
+        """Run ``fn`` on the cluster's event loop (tests poking internals)."""
+        assert self._loop is not None
+        self._loop.call_soon_threadsafe(fn, *args)
+
+    def _thread_main(self) -> None:
+        try:
+            asyncio.run(self._amain())
+        except BaseException as error:  # surface startup failures to __enter__
+            self._startup_error = error
+            self._ready.set()
+
+    async def _amain(self) -> None:
+        self.controller = ClusterController(self.config)
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        await self.controller.start()
+        self.port = self.controller.bound_port
+        self._ready.set()
+        try:
+            await self._stop_event.wait()
+        finally:
+            await self.controller.stop()

@@ -1,0 +1,97 @@
+"""Consistent hashing of content keys onto scan shards.
+
+The router picks a shard per script by SHA-256 of the source — the same
+content key the feature cache uses — so every copy of a given script
+lands on the same shard and its warm in-memory LRU. A plain
+``hash % n`` would reshuffle almost every key when a shard is added or
+replaced; the classic fix (Karger et al.) is a ring:
+
+* each shard is hashed onto a 64-bit circle at ``vnodes`` points
+  (virtual nodes smooth out placement variance),
+* a key maps to the first shard point clockwise from its own hash,
+* adding/removing one shard only moves the keys in that shard's arcs
+  (~1/n of the keyspace), leaving every other shard's cache warm.
+
+Ring points are derived from the **stable shard id** (``shard-0``,
+``shard-1``, …), not the process or port: when the supervisor replaces a
+dead shard, the replacement inherits the id and therefore the exact same
+arcs — affinity survives the restart, and the shared disk cache refills
+the newcomer's memory layer on first touch.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+
+
+def _point(label: str) -> int:
+    """A stable 64-bit ring position for one label."""
+    return int.from_bytes(hashlib.sha256(label.encode("utf-8")).digest()[:8], "big")
+
+
+class HashRing:
+    """Consistent mapping from content keys to member ids."""
+
+    def __init__(self, members: list[str] | None = None, vnodes: int = 64):
+        if vnodes < 1:
+            raise ValueError("vnodes must be positive")
+        self.vnodes = vnodes
+        self._members: set[str] = set()
+        self._points: list[int] = []  # sorted ring positions
+        self._owners: list[str] = []  # _owners[i] owns _points[i]
+        for member in members or []:
+            self.add(member)
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __contains__(self, member: str) -> bool:
+        return member in self._members
+
+    @property
+    def members(self) -> list[str]:
+        return sorted(self._members)
+
+    def add(self, member: str) -> None:
+        if member in self._members:
+            return
+        self._members.add(member)
+        for i in range(self.vnodes):
+            point = _point(f"{member}#{i}")
+            index = bisect.bisect(self._points, point)
+            self._points.insert(index, point)
+            self._owners.insert(index, member)
+
+    def remove(self, member: str) -> None:
+        if member not in self._members:
+            return
+        self._members.discard(member)
+        keep = [(p, o) for p, o in zip(self._points, self._owners) if o != member]
+        self._points = [p for p, _ in keep]
+        self._owners = [o for _, o in keep]
+
+    def node_for(self, key: str, exclude: set[str] | None = None) -> str | None:
+        """The member owning ``key``; ``None`` if the ring is empty.
+
+        ``exclude`` skips members (e.g. shards currently marked
+        unhealthy) while preserving the preference order — the key falls
+        through to the next arc owner, and moves back the moment the
+        excluded shard returns.
+        """
+        for member in self.preference(key):
+            if exclude is None or member not in exclude:
+                return member
+        return None
+
+    def preference(self, key: str):
+        """Members in fall-through order for ``key`` (each exactly once)."""
+        if not self._points:
+            return
+        start = bisect.bisect(self._points, _point(key)) % len(self._points)
+        seen: set[str] = set()
+        for offset in range(len(self._points)):
+            owner = self._owners[(start + offset) % len(self._points)]
+            if owner not in seen:
+                seen.add(owner)
+                yield owner

@@ -43,17 +43,24 @@ REASON_PHRASES = {
     413: "Content Too Large",
     429: "Too Many Requests",
     500: "Internal Server Error",
+    502: "Bad Gateway",
     503: "Service Unavailable",
 }
 
 
 class ProtocolError(Exception):
-    """Malformed or over-limit request; ``status`` is the HTTP answer."""
+    """Malformed or over-limit request; ``status`` is the HTTP answer.
 
-    def __init__(self, status: int, message: str):
+    ``path`` is the request target when the request line was parsed
+    before the failure (e.g. an oversized body) — the connection loop
+    uses it to answer on the API surface the client asked for.
+    """
+
+    def __init__(self, status: int, message: str, path: str | None = None):
         super().__init__(message)
         self.status = status
         self.message = message
+        self.path = path
 
 
 @dataclass
@@ -66,6 +73,10 @@ class Request:
     body: bytes = b""
     #: Decoded query-string parameters (last value wins on duplicates).
     query: dict[str, str] = field(default_factory=dict)
+    #: API surface the request arrived on: ``"v1"`` (the ``/v1`` prefix)
+    #: or ``"legacy"`` (unprefixed deprecation aliases).  Set by the
+    #: server's router after parsing; response rendering branches on it.
+    api: str = "legacy"
 
     @property
     def keep_alive(self) -> bool:
@@ -114,6 +125,7 @@ async def read_request(
     if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
         raise ProtocolError(400, f"malformed request line: {lines[0]!r}")
     method, target, _version = parts
+    request_path = target.partition("?")[0]
 
     headers: dict[str, str] = {}
     for line in lines[1:]:
@@ -121,7 +133,7 @@ async def read_request(
             continue
         name, sep, value = line.partition(":")
         if not sep or not name.strip():
-            raise ProtocolError(400, f"malformed header line: {line!r}")
+            raise ProtocolError(400, f"malformed header line: {line!r}", path=request_path)
         headers[name.strip().lower()] = value.strip()
 
     body = b""
@@ -129,14 +141,16 @@ async def read_request(
         try:
             length = int(headers["content-length"])
         except ValueError as error:
-            raise ProtocolError(400, "malformed Content-Length") from error
+            raise ProtocolError(400, "malformed Content-Length", path=request_path) from error
         if length < 0:
-            raise ProtocolError(400, "negative Content-Length")
+            raise ProtocolError(400, "negative Content-Length", path=request_path)
         if length > max_body_bytes:
-            raise ProtocolError(413, f"body exceeds {max_body_bytes} bytes")
+            raise ProtocolError(
+                413, f"body exceeds {max_body_bytes} bytes", path=request_path
+            )
         body = await reader.readexactly(length)
     elif headers.get("transfer-encoding"):
-        raise ProtocolError(400, "chunked transfer encoding is not supported")
+        raise ProtocolError(400, "chunked transfer encoding is not supported", path=request_path)
 
     # The routing table is path-only; query parameters are decoded for
     # handlers that take options (e.g. ``/debug/traces?n=5``).
@@ -147,6 +161,103 @@ async def read_request(
 
         query = dict(parse_qsl(query_string, keep_blank_values=True))
     return Request(method=method, path=path, headers=headers, body=body, query=query)
+
+
+@dataclass
+class Response:
+    """One parsed HTTP response (the client side of the framing)."""
+
+    status: int
+    headers: dict[str, str] = field(default_factory=dict)  # keys lower-cased
+    body: bytes = b""
+
+
+async def read_response(reader: asyncio.StreamReader, max_body_bytes: int = MAX_BODY_BYTES) -> Response:
+    """Parse one response off the stream (sized bodies only, like requests)."""
+    try:
+        header_block = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as error:
+        raise ConnectionError("connection closed mid-response") from error
+    except asyncio.LimitOverrunError as error:
+        raise ProtocolError(502, "response header block exceeds limit") from error
+    lines = header_block.decode("latin-1").split("\r\n")
+    parts = lines[0].split(" ", 2)
+    if len(parts) < 2 or not parts[0].startswith("HTTP/1."):
+        raise ProtocolError(502, f"malformed status line: {lines[0]!r}")
+    try:
+        status = int(parts[1])
+    except ValueError as error:
+        raise ProtocolError(502, f"malformed status code: {lines[0]!r}") from error
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if sep:
+            headers[name.strip().lower()] = value.strip()
+    body = b""
+    if "content-length" in headers:
+        try:
+            length = int(headers["content-length"])
+        except ValueError as error:
+            raise ProtocolError(502, "malformed Content-Length in response") from error
+        if length < 0 or length > max_body_bytes:
+            raise ProtocolError(502, f"response body out of bounds ({length} bytes)")
+        body = await reader.readexactly(length)
+    return Response(status=status, headers=headers, body=body)
+
+
+def render_request(
+    method: str,
+    path: str,
+    host: str,
+    body: bytes | None = None,
+    headers: dict[str, str] | None = None,
+) -> bytes:
+    """Serialize one HTTP/1.1 request (``Connection: close`` framing)."""
+    lines = [f"{method} {path} HTTP/1.1", f"Host: {host}", "Connection: close"]
+    if body is not None:
+        lines.append("Content-Type: application/json")
+        lines.append(f"Content-Length: {len(body)}")
+    for name, value in (headers or {}).items():
+        lines.append(f"{name}: {value}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + (body or b"")
+
+
+async def fetch(
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    body: bytes | None = None,
+    headers: dict[str, str] | None = None,
+    timeout_s: float = 10.0,
+) -> Response:
+    """One request/response round trip on a fresh connection.
+
+    The router and the shard supervisor speak HTTP to shards through this
+    helper.  Connections are per-request (``Connection: close``) — scan
+    cost dominates a loopback connect by orders of magnitude, and a dead
+    shard then fails the *connect*, which is the cheapest possible way to
+    find out.  Raises ``OSError``/``ConnectionError`` on transport
+    failure and :class:`ProtocolError` on an unparseable response; the
+    caller classifies (see :func:`repro.faults.classify_shard_fault`).
+    """
+
+    async def round_trip() -> Response:
+        reader, writer = await asyncio.open_connection(host, port)
+        try:
+            writer.write(render_request(method, path, f"{host}:{port}", body=body, headers=headers))
+            await writer.drain()
+            return await read_response(reader)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    return await asyncio.wait_for(round_trip(), timeout_s)
 
 
 def render_response(

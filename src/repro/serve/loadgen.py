@@ -1,29 +1,33 @@
-"""Stdlib load generator for the scan daemon.
+"""Stdlib load generator for the scan daemon and the cluster router.
 
-Drives ``POST /scan`` with N concurrent worker threads (each holding one
-keep-alive :class:`http.client.HTTPConnection`) and reports throughput,
-latency percentiles (p50/p95/p99), and per-status-code counts.  Used
-three ways:
+Drives ``POST /v1/scan`` through :class:`repro.client.ScanClient` with N
+concurrent worker threads and reports throughput, latency percentiles
+(p50/p95/p99), and per-status-code counts.  Used three ways:
 
-* the bench harness's micro-batching-vs-per-request comparison,
-* ad-hoc capacity checks against a running daemon,
+* the bench harness's micro-batching and shard-scaling comparisons,
+* ad-hoc capacity checks against a running daemon or cluster,
 * correctness under concurrency (every response carries its verdict, so
   callers can diff against one-shot scans).
 
 ``trace_ratio`` injects a generated W3C ``traceparent`` header (sampled)
 into that fraction of requests — the knob for measuring tracing overhead
-and for exercising ``/debug/traces`` under load.
+and for exercising ``/debug/traces`` under load.  ``retries=0`` by
+default: backpressure (429/503) is *measured*, not papered over; pass
+``retries>0`` to exercise the client's Retry-After behavior instead
+(e.g. proving zero failed requests across a shard kill).
 """
 
 from __future__ import annotations
 
-import http.client
-import json
 import os
 import threading
 import time
 from collections import Counter
 from dataclasses import dataclass, field
+
+# repro.client is imported inside run_load: the client pulls
+# repro.serve.api, whose package __init__ pulls this module — importing
+# it at module scope would make `import repro.client` order-dependent.
 
 
 @dataclass
@@ -97,16 +101,21 @@ def run_load(
     repeats: int = 1,
     timeout_s: float = 60.0,
     trace_ratio: float = 0.0,
+    retries: int = 0,
 ) -> LoadReport:
     """POST each ``(name, source)`` ``repeats`` times from worker threads.
 
-    Work items are spread round-robin over ``concurrency`` threads; each
-    thread reuses one keep-alive connection (reopening on error).  429/503
-    responses count as errors in the report rather than raising, so
-    backpressure behavior is measurable, not fatal.  ``trace_ratio``
-    (0–1) of each lane's requests carry a generated sampled
-    ``traceparent`` header; the issued trace id is recorded on the result.
+    Work items are spread round-robin over ``concurrency`` threads, each
+    driving one :class:`~repro.client.ScanClient`.  With ``retries=0``
+    (default) 429/503 responses count as errors in the report rather
+    than raising, so backpressure behavior is measurable, not fatal;
+    with ``retries>0`` the client retries/backoffs through them and only
+    exhausted retries count.  ``trace_ratio`` (0–1) of each lane's
+    requests carry a generated sampled ``traceparent`` header; the
+    issued trace id is recorded on the result.
     """
+    from repro.client import ScanAPIError, ScanClient
+
     if not 0.0 <= trace_ratio <= 1.0:
         raise ValueError("trace_ratio must be within [0, 1]")
     work: list[tuple[str, str]] = [item for _ in range(repeats) for item in scripts]
@@ -115,46 +124,34 @@ def run_load(
     barrier = threading.Barrier(concurrency + 1)
 
     def worker(lane: int) -> None:
-        connection = http.client.HTTPConnection(host, port, timeout=timeout_s)
+        client = ScanClient(f"http://{host}:{port}", timeout_s=timeout_s, retries=retries)
         barrier.wait()
         for k, (name, source) in enumerate(lanes[lane]):
-            body = json.dumps({"source": source, "name": name})
-            headers = {"Content-Type": "application/json"}
             # Deterministic pacing: request k is traced iff the running
             # count of traced requests falls behind the target ratio.
             traced = int((k + 1) * trace_ratio) > int(k * trace_ratio)
             trace_id = None
+            traceparent = None
             if traced:
                 trace_id = os.urandom(16).hex()
-                headers["traceparent"] = f"00-{trace_id}-{os.urandom(8).hex()}-01"
+                traceparent = f"00-{trace_id}-{os.urandom(8).hex()}-01"
             started = time.perf_counter()
             try:
-                connection.request("POST", "/scan", body=body, headers=headers)
-                response = connection.getresponse()
-                payload = response.read()
-                status = response.status
-                echoed = response.getheader("X-Trace-Id")
-            except (OSError, http.client.HTTPException):
-                connection.close()
-                connection = http.client.HTTPConnection(host, port, timeout=timeout_s)
+                answer = client.scan(source, name=name, traceparent=traceparent)
+            except ScanAPIError as error:
                 collected[lane].append(
-                    LoadResult(name=name, status=0, latency_ms=1000.0 * (time.perf_counter() - started),
-                               trace_id=trace_id, traced=traced)
+                    LoadResult(name=name, status=error.status,
+                               latency_ms=1000.0 * (time.perf_counter() - started),
+                               trace_id=trace_id or error.trace_id, traced=traced)
                 )
                 continue
-            latency_ms = 1000.0 * (time.perf_counter() - started)
-            result = LoadResult(name=name, status=status, latency_ms=latency_ms,
-                                trace_id=trace_id or echoed, traced=traced)
-            if status == 200:
-                try:
-                    data = json.loads(payload)
-                    result.verdict = data.get("verdict")
-                    result.label = data.get("label")
-                    result.probability = data.get("probability")
-                except (ValueError, AttributeError):
-                    result.status = 0
-            collected[lane].append(result)
-        connection.close()
+            collected[lane].append(
+                LoadResult(name=name, status=200,
+                           latency_ms=1000.0 * (time.perf_counter() - started),
+                           verdict=answer.verdict, label=answer.label,
+                           probability=answer.probability,
+                           trace_id=trace_id or answer.trace_id, traced=traced)
+            )
 
     threads = [threading.Thread(target=worker, args=(lane,), daemon=True) for lane in range(concurrency)]
     for thread in threads:

@@ -1,0 +1,576 @@
+"""The cluster front door: one listener, N scan shards behind it.
+
+The router terminates HTTP (same hand-rolled framing as the shards),
+picks a shard per script by consistent-hashing its SHA-256 content key
+(:mod:`repro.serve.hashring` — the same key the feature cache uses, so
+every copy of a script hits the shard whose memory LRU already holds
+it), and forwards the request with the client's ``traceparent`` carried
+through — one scan's span tree crosses both processes under one trace
+id.
+
+Failure handling is built on :func:`repro.faults.classify_shard_fault`:
+scans are pure functions of the source, so transport failures and
+shard-local 503s (drain, open breaker) are **retried on the next shard
+in the key's preference order**, while 429 (cluster is genuinely loaded)
+and 4xx (the request is wrong) pass through.  A shard that fails a
+request is reported to the :class:`~repro.serve.supervisor.ShardSupervisor`,
+which health-checks it immediately and replaces it if it is gone.  When
+*no* shard can take a request the router **browns out** — 503 with
+``Retry-After`` — rather than hanging or dropping the connection.
+
+Batch scans fan out: scripts are grouped by owning shard, sub-batches
+run concurrently, and the merged response preserves the caller's
+ordering.  ``POST /v1/admin/reload`` delegates to the supervisor's
+rolling reload.  Everything speaks the same v1 envelope (and the same
+legacy aliases) as a single daemon — a ``ScanClient`` cannot tell the
+difference, which is the point.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import time
+from dataclasses import dataclass
+
+from repro.faults import classify_shard_fault
+from repro.obs import MetricsRegistry, SpanContext, TraceStore, Tracer, get_logger
+from repro.pipeline import content_key
+
+from .api import (
+    V1_PREFIX,
+    deprecation_headers,
+    is_legacy_alias,
+    protocol_error_response,
+    split_api_path,
+    v1_error_response,
+    v1_response,
+)
+from .app import _inject_headers
+from .hashring import HashRing
+from .http import (
+    MAX_BODY_BYTES,
+    ProtocolError,
+    Request,
+    Response,
+    error_response,
+    fetch,
+    json_response,
+    read_request,
+    render_response,
+)
+from .supervisor import ShardSupervisor
+
+#: Response headers never copied through from a shard (re-derived by the
+#: router's own renderer).
+_HOP_HEADERS = {"content-length", "connection", "content-type"}
+
+
+@dataclass
+class RouterConfig:
+    """Front-door knobs; mirrors the ``repro cluster`` CLI flags."""
+
+    host: str = "127.0.0.1"
+    port: int = 8076  # 0 = ephemeral (tests/benches read .bound_port)
+    request_timeout_s: float = 60.0
+    retry_after_s: int = 1  # advertised on brownout 503
+    max_body_bytes: int = MAX_BODY_BYTES
+    trace_sample_rate: float = 0.1
+    trace_capacity: int = 256
+    trace_slow_ms: float = 250.0
+    vnodes: int = 64  # ring points per shard
+
+    def validate(self) -> None:
+        if self.request_timeout_s <= 0:
+            raise ValueError("request_timeout_s must be positive")
+        if self.max_body_bytes < 1:
+            raise ValueError("max_body_bytes must be positive")
+        if self.vnodes < 1:
+            raise ValueError("vnodes must be positive")
+
+
+class ScanRouter:
+    """HTTP front door consistent-hashing scans across supervised shards."""
+
+    def __init__(
+        self,
+        supervisor: ShardSupervisor,
+        config: RouterConfig | None = None,
+        metrics: MetricsRegistry | None = None,
+    ):
+        self.config = config or RouterConfig()
+        self.config.validate()
+        self.supervisor = supervisor
+        self.metrics = metrics or MetricsRegistry()
+        self.ring = HashRing(vnodes=self.config.vnodes)
+        for i in range(supervisor.n_shards):
+            self.ring.add(f"shard-{i}")
+        self.traces = TraceStore(
+            capacity=self.config.trace_capacity, slow_ms=self.config.trace_slow_ms
+        )
+        self.tracer = Tracer(sample_rate=self.config.trace_sample_rate, sink=self.traces.put)
+        self.log = get_logger("router")
+        self._server: asyncio.AbstractServer | None = None
+        self.bound_port: int | None = None
+        self.started_at = time.time()
+        self._rr = 0  # round-robin cursor for keyless endpoints
+        self._m_requests: dict[tuple[str, str, int], object] = {}
+        self._m_deprecated: dict[str, object] = {}
+        self._m_forwarded = {
+            f"shard-{i}": self.metrics.counter(
+                "repro_router_forwarded_total",
+                "Requests forwarded to each shard",
+                labels={"shard": f"shard-{i}"},
+            )
+            for i in range(supervisor.n_shards)
+        }
+        self._m_retries = self.metrics.counter(
+            "repro_router_retries_total", "Requests re-sent to another shard after a shard fault"
+        )
+        self._m_brownouts = self.metrics.counter(
+            "repro_router_brownouts_total", "Requests answered 503 because no shard could take them"
+        )
+        self._m_latency = self.metrics.histogram(
+            "repro_router_request_seconds", "Wall-clock per routed request"
+        )
+
+    # -------------------------------------------------------------- lifecycle
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._on_connection, host=self.config.host, port=self.config.port
+        )
+        self.bound_port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # ------------------------------------------------------------ connections
+
+    async def _on_connection(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                try:
+                    request = await read_request(reader, self.config.max_body_bytes)
+                except ProtocolError as error:
+                    writer.write(protocol_error_response(error))
+                    await writer.drain()
+                    break
+                except (asyncio.IncompleteReadError, ConnectionError):
+                    break
+                if request is None:
+                    break
+                started = time.perf_counter()
+                response, keep_alive = await self._route(request)
+                self._m_latency.observe(time.perf_counter() - started)
+                writer.write(response)
+                await writer.drain()
+                if not keep_alive or not request.keep_alive:
+                    break
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            with contextlib.suppress(Exception):
+                writer.close()
+                await writer.wait_closed()
+
+    def _count_request(self, method: str, path: str, status: int) -> None:
+        key = (method, path, status)
+        counter = self._m_requests.get(key)
+        if counter is None:
+            counter = self.metrics.counter(
+                "repro_http_requests_total",
+                "HTTP requests by method, path, and status",
+                labels={"method": method, "path": path, "status": str(status)},
+            )
+            self._m_requests[key] = counter
+        counter.inc()
+
+    def _count_deprecated(self, path: str) -> None:
+        counter = self._m_deprecated.get(path)
+        if counter is None:
+            counter = self.metrics.counter(
+                "repro_http_deprecated_requests_total",
+                "Requests on unprefixed legacy paths (deprecation aliases of /v1)",
+                labels={"path": path},
+            )
+            self._m_deprecated[path] = counter
+        counter.inc()
+
+    def _ok(self, request: Request, payload: dict, status: int = 200,
+            extra_headers: dict[str, str] | None = None) -> tuple[int, bytes]:
+        if request.api == "v1":
+            return status, v1_response(status, payload, extra_headers=extra_headers)
+        return status, json_response(status, payload, extra_headers=extra_headers)
+
+    def _err(self, request: Request, status: int, message: str, detail: dict | None = None,
+             extra_headers: dict[str, str] | None = None) -> tuple[int, bytes]:
+        if request.api == "v1":
+            parent = SpanContext.parse(request.traceparent)
+            return status, v1_error_response(
+                status, message, detail=detail, extra_headers=extra_headers,
+                trace_id=parent.trace_id if parent else None,
+            )
+        return status, error_response(status, message, extra_headers=extra_headers)
+
+    def _brownout(self, request: Request, message: str) -> tuple[int, bytes]:
+        self._m_brownouts.inc()
+        return self._err(
+            request, 503, message,
+            detail={"state": "brownout", "shards": self.supervisor.snapshot()},
+            extra_headers={"Retry-After": str(self.config.retry_after_s)},
+        )
+
+    # ---------------------------------------------------------------- routing
+
+    async def _route(self, request: Request) -> tuple[bytes, bool]:
+        request.api, logical = split_api_path(request.path)
+        deprecated = request.api == "legacy" and is_legacy_alias(logical)
+        try:
+            if request.method == "POST" and logical == "/scan":
+                status, response = await self._handle_scan(request, logical)
+            elif request.method == "POST" and logical == "/scan/batch":
+                status, response = await self._handle_scan_batch(request, logical)
+            elif request.method == "POST" and logical == "/analyze":
+                status, response = await self._handle_forward_any(request, logical)
+            elif request.method == "POST" and logical == "/admin/reload" and request.api == "v1":
+                status, response = await self._handle_admin_reload(request)
+            elif request.method == "GET" and logical == "/healthz":
+                status, response = await self._handle_healthz(request)
+            elif request.method == "GET" and logical == "/version":
+                status, response = await self._handle_version(request)
+            elif request.method == "GET" and logical == "/metrics":
+                status, response = await self._handle_metrics(request)
+            elif request.method == "GET" and logical.rstrip("/") == "/debug/traces":
+                status, response = await self._handle_traces_list(request)
+            elif request.method == "GET" and logical.startswith("/debug/traces/"):
+                status, response = await self._handle_trace_get(request, logical)
+            else:
+                status, response = self._err(
+                    request, 404, f"no route for {request.method} {request.path}"
+                )
+        except ProtocolError as error:
+            status, response = self._err(request, error.status, error.message)
+        except Exception as error:
+            status, response = self._err(
+                request, 500, f"internal error: {type(error).__name__}: {error}"
+            )
+        if deprecated:
+            self._count_deprecated(logical)
+            response = _inject_headers(response, deprecation_headers(logical))
+        self._count_request(request.method, request.path, status)
+        return response, status < 500 or status == 503
+
+    # ------------------------------------------------------------- forwarding
+
+    def _shard_path(self, request: Request, logical: str) -> str:
+        """Forward on the surface the client chose — bodies pass through
+        verbatim, so a legacy client gets legacy bytes back."""
+        return (V1_PREFIX + logical) if request.api == "v1" else logical
+
+    async def _forward_once(
+        self, shard_id: str, request: Request, logical: str, body: bytes | None = None
+    ) -> Response:
+        spec = self.supervisor.shards[shard_id]
+        headers = {}
+        if request.traceparent:
+            headers["traceparent"] = request.traceparent
+        self._m_forwarded[shard_id].inc()
+        return await fetch(
+            spec.host, spec.port, request.method, self._shard_path(request, logical),
+            body=request.body if body is None else body,
+            headers=headers, timeout_s=self.config.request_timeout_s,
+        )
+
+    def _passthrough(self, shard_id: str, response: Response) -> tuple[int, bytes]:
+        """Re-render one shard response for the client, stamping ``X-Shard``."""
+        headers = {
+            name: value for name, value in response.headers.items() if name not in _HOP_HEADERS
+        }
+        headers["X-Shard"] = shard_id
+        return response.status, render_response(
+            response.status,
+            response.body,
+            content_type=response.headers.get("content-type", "application/json"),
+            extra_headers=headers,
+        )
+
+    async def _forward_with_retries(
+        self, request: Request, logical: str, key: str | None, body: bytes | None = None
+    ) -> tuple[int, bytes]:
+        """The retry loop every forwarded request goes through.
+
+        Walks the key's preference order (or round-robin for keyless
+        endpoints), skipping shards the supervisor already knows are
+        down.  Retryable faults advance to the next shard; anything else
+        is the answer.
+        """
+        exclude = set(self.supervisor.unhealthy)
+        order = (
+            list(self.ring.preference(key))
+            if key is not None
+            else self._round_robin_order()
+        )
+        attempts = 0
+        for shard_id in order:
+            if shard_id in exclude:
+                continue
+            attempts += 1
+            if attempts > 1:
+                self._m_retries.inc()
+            error: BaseException | None = None
+            response: Response | None = None
+            try:
+                response = await self._forward_once(shard_id, request, logical, body=body)
+            except asyncio.CancelledError:
+                raise
+            except Exception as caught:
+                error = caught
+            fault = classify_shard_fault(error, response.status if response else None)
+            if fault.suspect:
+                self.supervisor.mark_suspect(shard_id)
+            if not fault.retryable and response is not None:
+                return self._passthrough(shard_id, response)
+            self.log.warning(
+                "shard fault",
+                extra={"shard": shard_id, "cause": fault.cause, "detail": fault.detail},
+            )
+            exclude.add(shard_id)
+        return self._brownout(request, "no shard available for this request")
+
+    def _round_robin_order(self) -> list[str]:
+        members = self.ring.members
+        if not members:
+            return []
+        self._rr = (self._rr + 1) % len(members)
+        return members[self._rr :] + members[: self._rr]
+
+    # --------------------------------------------------------------- handlers
+
+    async def _handle_scan(self, request: Request, logical: str) -> tuple[int, bytes]:
+        payload = request.json()
+        if not isinstance(payload, dict):
+            raise ProtocolError(400, "request body must be a JSON object")
+        source = payload.get("source")
+        if not isinstance(source, str):
+            raise ProtocolError(400, 'missing or non-string "source" field')
+        root = self.tracer.start_trace(
+            "router.scan",
+            parent=SpanContext.parse(request.traceparent),
+            attributes={"method": request.method, "path": request.path},
+        )
+        with root:
+            if root.recording:
+                # Hand the shard *our* context so its span tree lands under
+                # this trace id (the shard always records a sampled parent).
+                request.headers["traceparent"] = root.context.to_traceparent()
+            status, rendered = await self._forward_with_retries(
+                request, logical, content_key(source)
+            )
+            root.set_attribute("status", status)
+            if status >= 500:
+                root.set_status("error", f"answered {status}")
+        return status, rendered
+
+    async def _handle_scan_batch(self, request: Request, logical: str) -> tuple[int, bytes]:
+        payload = request.json()
+        if not isinstance(payload, dict):
+            raise ProtocolError(400, "request body must be a JSON object")
+        scripts = payload.get("scripts")
+        if not isinstance(scripts, list) or not scripts:
+            raise ProtocolError(400, '"scripts" must be a non-empty array')
+        sources: list[str] = []
+        for index, entry in enumerate(scripts):
+            if isinstance(entry, str):
+                sources.append(entry)
+            elif isinstance(entry, dict) and isinstance(entry.get("source"), str):
+                sources.append(entry["source"])
+            else:
+                raise ProtocolError(
+                    400, f'scripts[{index}] must be a string or an object with a "source" string'
+                )
+
+        root = self.tracer.start_trace(
+            "router.scan_batch",
+            parent=SpanContext.parse(request.traceparent),
+            attributes={"n_scripts": len(scripts)},
+        )
+        with root:
+            if root.recording:
+                request.headers["traceparent"] = root.context.to_traceparent()
+            # Group by owning shard; each sub-batch is one upstream request.
+            groups: dict[str, list[int]] = {}
+            exclude = set(self.supervisor.unhealthy)
+            for index, source in enumerate(sources):
+                owner = self.ring.node_for(content_key(source), exclude=exclude)
+                if owner is None:
+                    return self._brownout(request, "no shard available for this batch")
+                groups.setdefault(owner, []).append(index)
+            root.set_attribute("n_shards", len(groups))
+
+            async def run_group(shard_id: str, indices: list[int]) -> tuple[list[int], int, bytes]:
+                sub = {"scripts": [scripts[i] for i in indices]}
+                if "threshold" in payload:
+                    sub["threshold"] = payload["threshold"]
+                body = json.dumps(sub).encode("utf-8")
+                # Sub-batches keep affinity via their first key but may fall
+                # through to any shard on retry — correctness over affinity.
+                status, rendered = await self._forward_with_retries(
+                    request, logical, content_key(sources[indices[0]]), body=body
+                )
+                return indices, status, rendered
+
+            settled = await asyncio.gather(
+                *(run_group(shard_id, indices) for shard_id, indices in groups.items())
+            )
+            # Any sub-batch failure fails the batch with that sub-answer
+            # (the client's retry semantics stay identical to one daemon).
+            for _indices, status, rendered in settled:
+                if status != 200:
+                    return status, rendered
+            merged: list[dict | None] = [None] * len(scripts)
+            fingerprint = None
+            threshold = payload.get("threshold")
+            for indices, _status, rendered in settled:
+                data = self._unwrap(request, rendered)
+                fingerprint = data.get("model_fingerprint", fingerprint)
+                if threshold is None:
+                    threshold = data.get("threshold")
+                for position, result in zip(indices, data["results"]):
+                    merged[position] = result
+            body_out = {
+                "n_files": len(merged),
+                "n_malicious": sum(1 for r in merged if r and r.get("malicious")),
+                "threshold": threshold,
+                "model_fingerprint": fingerprint,
+                "trace_id": root.context.trace_id,
+                "results": merged,
+            }
+        return self._ok(request, body_out, extra_headers={
+            "X-Trace-Id": root.context.trace_id,
+            "traceparent": root.context.to_traceparent(),
+        })
+
+    def _unwrap(self, request: Request, rendered: bytes) -> dict:
+        """Pull the JSON payload back out of a passthrough-rendered response."""
+        _head, _sep, body = rendered.partition(b"\r\n\r\n")
+        payload = json.loads(body.decode("utf-8"))
+        if request.api == "v1":
+            return payload["data"]
+        return payload
+
+    async def _handle_forward_any(self, request: Request, logical: str) -> tuple[int, bytes]:
+        return await self._forward_with_retries(request, logical, None)
+
+    async def _handle_admin_reload(self, request: Request) -> tuple[int, bytes]:
+        payload = request.json()
+        if not isinstance(payload, dict):
+            raise ProtocolError(400, "request body must be a JSON object")
+        model_dir = payload.get("model_dir")
+        if not isinstance(model_dir, str) or not model_dir:
+            raise ProtocolError(400, 'missing or non-string "model_dir" field')
+        try:
+            rolled = await self.supervisor.rolling_reload(model_dir)
+        except Exception as error:
+            return self._err(
+                request, 400,
+                f"rolling reload failed: {type(error).__name__}: {error}",
+                detail={"model_dir": model_dir, "shards": self.supervisor.snapshot()},
+            )
+        return self._ok(request, {"status": "reloaded", "model_dir": model_dir, "shards": rolled})
+
+    async def _handle_healthz(self, request: Request) -> tuple[int, bytes]:
+        shards = self.supervisor.snapshot()
+        healthy = sum(1 for shard in shards if shard["healthy"])
+        payload = {
+            "status": "ok" if healthy == len(shards) else ("degraded" if healthy else "down"),
+            "role": "router",
+            "n_shards": len(shards),
+            "n_healthy": healthy,
+            "uptime_s": round(time.time() - self.started_at, 3),
+            "shards": shards,
+        }
+        return self._ok(request, payload)
+
+    async def _handle_version(self, request: Request) -> tuple[int, bytes]:
+        from repro import __version__
+
+        return self._ok(request, {
+            "service": "repro.serve.router",
+            "version": __version__,
+            "n_shards": self.supervisor.n_shards,
+            "config": {
+                "request_timeout_s": self.config.request_timeout_s,
+                "max_body_bytes": self.config.max_body_bytes,
+                "vnodes": self.config.vnodes,
+            },
+        })
+
+    async def _handle_metrics(self, request: Request) -> tuple[int, bytes]:
+        body = self.metrics.render().encode("utf-8")
+        return 200, render_response(200, body, content_type=MetricsRegistry.CONTENT_TYPE)
+
+    async def _handle_traces_list(self, request: Request) -> tuple[int, bytes]:
+        try:
+            n = int(request.query.get("n", "20"))
+        except ValueError as error:
+            raise ProtocolError(400, '"n" must be an integer') from error
+        payload = {
+            "traces": self.traces.list(max(1, min(n, self.traces.capacity))),
+            "stored": self.traces.stored,
+            "evicted": self.traces.evicted,
+            "sample_rate": self.config.trace_sample_rate,
+        }
+        return self._ok(request, payload)
+
+    async def _handle_trace_get(self, request: Request, logical: str) -> tuple[int, bytes]:
+        """One merged cross-process trace: router spans + every shard's.
+
+        The router's hop and each shard's hop were recorded under the
+        same trace id (propagated ``traceparent``); this endpoint is
+        where they come back together.
+        """
+        trace_id = logical.rstrip("/").rsplit("/", 1)[-1]
+        record = self.traces.get(trace_id)
+        merged_spans = list(record["spans"]) if record else []
+        shard_records: dict[str, dict] = {}
+        for shard_id, spec in sorted(self.supervisor.shards.items()):
+            try:
+                response = await fetch(
+                    spec.host, spec.port, "GET", f"{V1_PREFIX}/debug/traces/{trace_id}",
+                    timeout_s=5.0,
+                )
+            except Exception:
+                continue
+            if response.status != 200:
+                continue
+            try:
+                envelope = json.loads(response.body.decode("utf-8"))
+                shard_record = envelope.get("data") or {}
+            except ValueError:
+                continue
+            shard_records[shard_id] = shard_record
+            for span in shard_record.get("spans", []):
+                span = dict(span)
+                span.setdefault("attributes", {})
+                span["attributes"]["shard"] = shard_id
+                merged_spans.append(span)
+        if not merged_spans:
+            return self._err(
+                request, 404, f"trace {trace_id!r} not found (expired or unsampled)"
+            )
+        from repro.obs.trace import span_tree
+
+        payload = {
+            "trace_id": trace_id,
+            "n_spans": len(merged_spans),
+            "router": {k: v for k, v in (record or {}).items() if k not in ("spans", "tree")},
+            "shards": sorted(shard_records),
+            "spans": merged_spans,
+            "tree": span_tree(merged_spans),
+        }
+        return self._ok(request, payload)

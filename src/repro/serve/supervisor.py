@@ -1,0 +1,353 @@
+"""Shard lifecycle: spawn, health-check, replace, roll.
+
+PR 4 taught a worker pool to replace processes that hostile scripts
+kill; this module lifts the same supervision contract one level up, to
+whole scan daemons.  The supervisor (which lives inside the router
+process, on its event loop) owns N shard subprocesses:
+
+* **spawn** — each shard is ``python -m repro.cli serve`` on its own
+  pre-allocated loopback port, sharing one on-disk feature cache; it
+  counts as up only once ``/v1/healthz`` answers,
+* **health** — a background loop polls ``process.poll()`` (fast: catches
+  SIGKILL within one tick) and ``/v1/healthz`` (catches wedged-but-alive
+  daemons); the router can ``mark_suspect`` a shard mid-request to pull
+  the next check forward,
+* **replace** — a dead shard is terminated, respawned *under the same
+  stable shard id* on a fresh port, and re-awaited; the id is what the
+  hash ring keys on, so the replacement inherits the dead shard's arcs
+  and the shared disk cache rewarms its memory layer,
+* **roll** — ``rolling_reload`` POSTs ``/v1/admin/reload`` to one shard
+  at a time and verifies the epoch bumped before touching the next, so
+  a model upgrade never takes two shards off the current epoch at once
+  (and never takes any shard out of service at all).
+
+The supervisor never speaks for shards — the router routes around
+unhealthy ones (brownout) while replacement is in progress.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import socket
+import subprocess
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.obs import get_logger
+
+from .api import V1_PREFIX, EnvelopeError, parse_envelope
+from .http import fetch
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs import MetricsRegistry
+
+
+def free_port(host: str = "127.0.0.1") -> int:
+    """An OS-assigned free TCP port (bind-then-close; the usual race is
+    tolerable on loopback — a losing shard fails readiness and is respawned)."""
+    with socket.socket(socket.AF_INET, socket.SOCK_STREAM) as sock:
+        sock.bind((host, 0))
+        return sock.getsockname()[1]
+
+
+@dataclass
+class ShardSpec:
+    """One supervised scan daemon."""
+
+    shard_id: str  # stable: survives replacement (the ring keys on this)
+    host: str
+    port: int
+    process: subprocess.Popen
+    restarts: int = 0
+    healthy: bool = True
+    consecutive_fails: int = 0
+    last_health: dict = field(default_factory=dict)  # last /v1/healthz data
+
+    @property
+    def pid(self) -> int:
+        return self.process.pid
+
+
+class ShardSupervisor:
+    """Owns the shard subprocesses behind one router."""
+
+    def __init__(
+        self,
+        model_dir: str,
+        n_shards: int,
+        host: str = "127.0.0.1",
+        cache_dir: str | None = None,
+        shard_args: list[str] | None = None,
+        metrics: "MetricsRegistry | None" = None,
+        health_interval_s: float = 0.5,
+        health_timeout_s: float = 2.0,
+        ready_timeout_s: float = 120.0,
+        fail_threshold: int = 2,
+    ):
+        if n_shards < 1:
+            raise ValueError("n_shards must be positive")
+        self.model_dir = model_dir
+        self.n_shards = n_shards
+        self.host = host
+        self.cache_dir = cache_dir
+        #: Extra ``repro serve`` flags appended to every shard's argv
+        #: (e.g. ``["--max-batch", "16"]``).
+        self.shard_args = list(shard_args or [])
+        self.health_interval_s = health_interval_s
+        self.health_timeout_s = health_timeout_s
+        self.ready_timeout_s = ready_timeout_s
+        self.fail_threshold = fail_threshold
+        self.shards: dict[str, ShardSpec] = {}
+        self.log = get_logger("supervisor")
+        self._task: asyncio.Task | None = None
+        self._wake = asyncio.Event()
+        self._suspects: set[str] = set()
+        self._closed = False
+        self._m_restarts = None
+        self._m_up = None
+        if metrics is not None:
+            self._m_restarts = {
+                f"shard-{i}": metrics.counter(
+                    "repro_shard_restarts_total",
+                    "Shard daemons replaced by the supervisor",
+                    labels={"shard": f"shard-{i}"},
+                )
+                for i in range(n_shards)
+            }
+            self._m_up = {
+                f"shard-{i}": metrics.gauge(
+                    "repro_shard_up",
+                    "1 while the shard answers health checks",
+                    labels={"shard": f"shard-{i}"},
+                )
+                for i in range(n_shards)
+            }
+
+    # -------------------------------------------------------------- lifecycle
+
+    async def start(self) -> None:
+        """Spawn every shard, await readiness, start the health loop."""
+        for i in range(self.n_shards):
+            self.shards[f"shard-{i}"] = self._spawn(f"shard-{i}")
+        await asyncio.gather(*(self._wait_ready(spec) for spec in self.shards.values()))
+        self._task = asyncio.create_task(self._health_loop())
+
+    async def stop(self) -> None:
+        self._closed = True
+        if self._task is not None:
+            self._task.cancel()
+            try:
+                await self._task
+            except asyncio.CancelledError:
+                pass
+            self._task = None
+        for spec in self.shards.values():
+            self._terminate(spec.process)
+
+    def _terminate(self, process: subprocess.Popen) -> None:
+        if process.poll() is None:
+            process.terminate()
+            try:
+                process.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                process.kill()
+                process.wait(timeout=10)
+
+    # ------------------------------------------------------------------ spawn
+
+    def _spawn(self, shard_id: str) -> ShardSpec:
+        port = free_port(self.host)
+        argv = [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "serve",
+            "--model",
+            self.model_dir,
+            "--host",
+            self.host,
+            "--port",
+            str(port),
+        ]
+        if self.cache_dir is not None:
+            argv += ["--cache-dir", self.cache_dir]
+        argv += self.shard_args
+        env = dict(os.environ)
+        # Shards must import the same repro the supervisor runs, even when
+        # it was never pip-installed (tests, CI): prepend its parent dir.
+        import repro
+
+        src_dir = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+        env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+        process = subprocess.Popen(argv, env=env, stdout=subprocess.DEVNULL)
+        self.log.info(
+            "shard spawned", extra={"shard": shard_id, "port": port, "shard_pid": process.pid}
+        )
+        return ShardSpec(shard_id=shard_id, host=self.host, port=port, process=process)
+
+    async def _wait_ready(self, spec: ShardSpec) -> None:
+        deadline = time.monotonic() + self.ready_timeout_s
+        while True:
+            if spec.process.poll() is not None:
+                raise RuntimeError(
+                    f"{spec.shard_id} exited with {spec.process.returncode} before ready"
+                )
+            try:
+                response = await fetch(
+                    spec.host, spec.port, "GET", f"{V1_PREFIX}/healthz", timeout_s=self.health_timeout_s
+                )
+                if response.status == 200:
+                    spec.last_health = parse_envelope(response.status, response.body) or {}
+                    spec.healthy = True
+                    spec.consecutive_fails = 0
+                    self._set_up(spec.shard_id, 1)
+                    return
+            except Exception:
+                pass  # not accepting yet (or mid-start); keep polling
+            if time.monotonic() >= deadline:
+                self._terminate(spec.process)
+                raise RuntimeError(f"{spec.shard_id} not ready within {self.ready_timeout_s:g}s")
+            await asyncio.sleep(0.05)
+
+    def _set_up(self, shard_id: str, value: int) -> None:
+        if self._m_up is not None and shard_id in self._m_up:
+            self._m_up[shard_id].set(value)
+
+    # ----------------------------------------------------------------- health
+
+    def mark_suspect(self, shard_id: str) -> None:
+        """Router hint: this shard just failed a request — check it *now*."""
+        self._suspects.add(shard_id)
+        self._wake.set()
+
+    @property
+    def unhealthy(self) -> set[str]:
+        return {shard_id for shard_id, spec in self.shards.items() if not spec.healthy}
+
+    async def _health_loop(self) -> None:
+        while not self._closed:
+            try:
+                await asyncio.wait_for(self._wake.wait(), timeout=self.health_interval_s)
+            except asyncio.TimeoutError:
+                pass
+            self._wake.clear()
+            suspects, self._suspects = self._suspects, set()
+            for spec in list(self.shards.values()):
+                urgent = spec.shard_id in suspects
+                try:
+                    await self._check(spec, urgent=urgent)
+                except asyncio.CancelledError:
+                    raise
+                except Exception as error:  # supervision must outlive any bug
+                    self.log.warning(
+                        "health check error", extra={"shard": spec.shard_id, "error": repr(error)}
+                    )
+
+    async def _check(self, spec: ShardSpec, urgent: bool = False) -> None:
+        if spec.process.poll() is not None:  # the process is simply gone
+            await self._replace(spec, reason=f"exited {spec.process.returncode}")
+            return
+        try:
+            response = await fetch(
+                spec.host, spec.port, "GET", f"{V1_PREFIX}/healthz", timeout_s=self.health_timeout_s
+            )
+            if response.status != 200:
+                raise RuntimeError(f"healthz answered {response.status}")
+            spec.last_health = parse_envelope(response.status, response.body) or {}
+            spec.healthy = True
+            spec.consecutive_fails = 0
+            self._set_up(spec.shard_id, 1)
+        except asyncio.CancelledError:
+            raise
+        except Exception as error:
+            spec.consecutive_fails += 1
+            threshold = 1 if urgent else self.fail_threshold
+            if spec.consecutive_fails >= threshold:
+                await self._replace(spec, reason=repr(error))
+            else:
+                spec.healthy = False
+                self._set_up(spec.shard_id, 0)
+
+    async def _replace(self, spec: ShardSpec, reason: str = "") -> None:
+        """Respawn one shard under its stable id (fresh port, same arcs)."""
+        spec.healthy = False
+        self._set_up(spec.shard_id, 0)
+        self.log.warning(
+            "shard replaced", extra={"shard": spec.shard_id, "reason": reason}
+        )
+        self._terminate(spec.process)
+        fresh = self._spawn(spec.shard_id)
+        fresh.restarts = spec.restarts + 1
+        # Not healthy until it answers /v1/healthz: the router must route
+        # around it (and health snapshots must say so) while it boots.
+        fresh.healthy = False
+        self.shards[spec.shard_id] = fresh
+        if self._m_restarts is not None and spec.shard_id in self._m_restarts:
+            self._m_restarts[spec.shard_id].inc()
+        try:
+            await self._wait_ready(fresh)
+        except RuntimeError:
+            fresh.healthy = False  # next tick tries again (poll() is not None)
+
+    # ------------------------------------------------------------------- roll
+
+    async def rolling_reload(self, model_dir: str, timeout_s: float = 120.0) -> list[dict]:
+        """Reload the model shard-by-shard; stop at the first failure.
+
+        Each shard keeps serving throughout (the swap happens between
+        micro-batches inside the daemon); sequencing means a bad model
+        directory burns at most one shard's epoch, never the fleet's.
+        """
+        self.model_dir = model_dir  # replacements spawned from now on boot the new model
+        results: list[dict] = []
+        body = json.dumps({"model_dir": model_dir}).encode("utf-8")
+        for shard_id in sorted(self.shards):
+            deadline = time.monotonic() + timeout_s
+            while True:
+                # Re-read per attempt: a shard mid-replacement comes back
+                # under the same id on a fresh port — roll the newcomer
+                # rather than failing the whole fleet's upgrade.
+                spec = self.shards[shard_id]
+                try:
+                    response = await fetch(
+                        spec.host, spec.port, "POST", f"{V1_PREFIX}/admin/reload",
+                        body=body, timeout_s=timeout_s,
+                    )
+                    data = parse_envelope(response.status, response.body)  # raises on error envelope
+                    break
+                except EnvelopeError:
+                    raise  # the shard *answered* with a failure: a bad model dir
+                except Exception as error:
+                    if time.monotonic() >= deadline:
+                        raise RuntimeError(
+                            f"{shard_id} unreachable during rolling reload: {error!r}"
+                        ) from error
+                    await asyncio.sleep(0.25)
+            spec.last_health = dict(spec.last_health, epoch=data["epoch"],
+                                    model_fingerprint=data["model_fingerprint"])
+            self.log.info(
+                "shard rolled",
+                extra={"shard": shard_id, "epoch": data["epoch"]},
+            )
+            results.append({"shard": shard_id, **data})
+        return results
+
+    # --------------------------------------------------------------- snapshot
+
+    def snapshot(self) -> list[dict]:
+        return [
+            {
+                "shard": shard_id,
+                "port": spec.port,
+                "pid": spec.pid,
+                "healthy": spec.healthy,
+                "restarts": spec.restarts,
+                "epoch": spec.last_health.get("epoch"),
+                "model_fingerprint": spec.last_health.get("model_fingerprint"),
+            }
+            for shard_id, spec in sorted(self.shards.items())
+        ]

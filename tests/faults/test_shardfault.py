@@ -1,0 +1,69 @@
+"""Classification matrix for shard-level faults (router retry policy)."""
+
+import asyncio
+
+import pytest
+
+from repro.faults import (
+    SHARD_DEAD,
+    SHARD_OK,
+    SHARD_OVERLOADED,
+    SHARD_REQUEST,
+    SHARD_SLOW,
+    classify_shard_fault,
+)
+from repro.serve.http import ProtocolError
+
+
+def test_timeout_is_slow_and_retryable():
+    fault = classify_shard_fault(asyncio.TimeoutError())
+    assert fault.cause == SHARD_SLOW
+    assert fault.retryable and fault.suspect
+
+
+def test_transport_error_is_dead():
+    fault = classify_shard_fault(ConnectionRefusedError("refused"))
+    assert fault.cause == SHARD_DEAD
+    assert fault.retryable and fault.suspect
+
+
+def test_unframeable_response_is_dead():
+    fault = classify_shard_fault(ProtocolError(502, "malformed status line"))
+    assert fault.cause == SHARD_DEAD
+    assert fault.retryable
+
+
+def test_503_is_retryable_overload():
+    fault = classify_shard_fault(None, 503)
+    assert fault.cause == SHARD_OVERLOADED
+    assert fault.retryable and fault.suspect
+
+
+def test_429_is_non_retryable_overload():
+    fault = classify_shard_fault(None, 429)
+    assert fault.cause == SHARD_OVERLOADED
+    assert not fault.retryable and not fault.suspect
+
+
+@pytest.mark.parametrize("status", [400, 404, 405, 413])
+def test_4xx_is_the_requests_fault(status):
+    fault = classify_shard_fault(None, status)
+    assert fault.cause == SHARD_REQUEST
+    assert not fault.retryable and not fault.suspect
+
+
+def test_5xx_is_dead():
+    fault = classify_shard_fault(None, 500)
+    assert fault.cause == SHARD_DEAD
+    assert fault.retryable and fault.suspect
+
+
+def test_2xx_is_ok():
+    fault = classify_shard_fault(None, 200)
+    assert fault.cause == SHARD_OK
+    assert not fault.retryable
+
+
+def test_needs_error_or_status():
+    with pytest.raises(ValueError):
+        classify_shard_fault(None, None)

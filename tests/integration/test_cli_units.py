@@ -64,14 +64,15 @@ class TestParser:
         assert args.queue_limit == 64
         assert args.cache_dir is None
         assert args.threshold == 0.5
-        assert args.request_timeout == 30.0
+        assert args.request_timeout_s == 30.0
+        assert args.shards == 1
 
     def test_serve_flags(self):
         args = build_parser().parse_args(
             ["serve", "--model", "m", "--host", "0.0.0.0", "--port", "0",
              "--workers", "2", "--max-batch", "16", "--max-wait-ms", "5",
              "--queue-limit", "128", "--cache-dir", "/tmp/c",
-             "--threshold", "0.7", "--request-timeout", "10"]
+             "--threshold", "0.7", "--request-timeout-s", "10"]
         )
         assert args.host == "0.0.0.0"
         assert args.port == 0
@@ -81,7 +82,30 @@ class TestParser:
         assert args.queue_limit == 128
         assert args.cache_dir == "/tmp/c"
         assert args.threshold == 0.7
-        assert args.request_timeout == 10.0
+        assert args.request_timeout_s == 10.0
+
+    def test_serve_request_timeout_deprecated_alias(self, capsys):
+        args = build_parser().parse_args(
+            ["serve", "--model", "m", "--request-timeout", "7"]
+        )
+        assert args.request_timeout_s == 7.0
+        assert "deprecated" in capsys.readouterr().err
+
+    def test_serve_request_timeout_alias_hidden_from_help(self):
+        serve_help = None
+        parser = build_parser()
+        for action in parser._subparsers._group_actions[0].choices["serve"]._actions:
+            if "--request-timeout" in action.option_strings:
+                import argparse
+                assert action.help is argparse.SUPPRESS
+
+    def test_cluster_defaults(self):
+        args = build_parser().parse_args(["cluster", "--model", "m"])
+        assert args.shards == 2
+        assert args.port == 8076
+        assert args.vnodes == 64
+        assert args.request_timeout_s == 30.0
+        assert args.cache_dir is None
 
     def test_serve_model_required(self):
         with pytest.raises(SystemExit):

@@ -69,6 +69,23 @@ class TestNumbers:
         with pytest.raises(JSSyntaxError):
             tokenize("0x")
 
+    @pytest.mark.parametrize("src", ["0²", "1.²", "1e²", "3٣"])
+    def test_unicode_digits_never_extend_a_number(self, src):
+        # str.isdigit() accepts these; JS numeric literals are ASCII-only,
+        # and float("0²") raises ValueError — must be JSSyntaxError instead.
+        with pytest.raises(JSSyntaxError):
+            tokenize(src)
+
+    def test_unicode_digits_never_start_a_number(self):
+        # On their own they lex as (permissive) identifiers, not numbers.
+        for src in ("²", "١٢٣"):
+            (tok,) = tokenize(src)[:-1]
+            assert tok.type is not TokenType.NUMERIC
+
+    def test_trailing_exponent_marker_stays_identifier_error(self):
+        with pytest.raises(JSSyntaxError):
+            tokenize("1e")
+
 
 class TestStrings:
     def test_double_and_single_quotes(self):

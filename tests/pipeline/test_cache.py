@@ -95,4 +95,7 @@ class TestDiskLayer:
     def test_stats_shape(self, tmp_path):
         cache = FeatureCache("fp", cache_dir=tmp_path)
         stats = cache.stats()
-        assert set(stats) == {"hits", "misses", "disk_hits", "evictions", "corrupt", "entries"}
+        assert set(stats) == {
+            "hits", "misses", "disk_hits", "evictions", "corrupt",
+            "flights_led", "flights_followed", "entries",
+        }

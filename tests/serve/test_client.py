@@ -1,0 +1,191 @@
+"""Unit tests for the typed stdlib client (retry/backoff/Retry-After).
+
+The server side is a scripted ``http.server`` answering a fixed sequence
+of responses, and the client's ``sleep`` is injected — so the backoff
+schedule is asserted exactly, without waiting it out.
+"""
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import pytest
+
+from repro.client import ScanAPIError, ScanClient, ScanVerdict
+
+
+def ok(data, trace_id=None):
+    return (200, {}, {"api_version": "v1", "trace_id": trace_id, "data": data})
+
+
+def err(status, code, message="scripted failure", headers=None, detail=None):
+    return (
+        status,
+        headers or {},
+        {
+            "api_version": "v1",
+            "trace_id": None,
+            "error": {"code": code, "message": message, "detail": detail},
+        },
+    )
+
+
+VERDICT = {
+    "verdict": "malicious",
+    "malicious": True,
+    "probability": 0.91,
+    "label": 1,
+    "threshold": 0.5,
+    "model_fingerprint": "abc123",
+    "trace_id": "t-1",
+    "cache_hit": False,
+}
+
+
+class _Handler(BaseHTTPRequestHandler):
+    def _respond(self):
+        length = int(self.headers.get("Content-Length", 0))
+        self.server.requests.append((self.command, self.path, self.rfile.read(length)))
+        script = self.server.script
+        status, headers, payload = script.pop(0) if script else err(500, "internal")
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in headers.items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    do_GET = do_POST = _respond
+
+    def log_message(self, *args):  # silence test output
+        pass
+
+
+@pytest.fixture()
+def scripted():
+    """Start a scripted server; yields (set_script, requests, url)."""
+    server = ThreadingHTTPServer(("127.0.0.1", 0), _Handler)
+    server.script = []
+    server.requests = []
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    url = f"http://127.0.0.1:{server.server_address[1]}"
+
+    def set_script(*responses):
+        server.script = list(responses)
+
+    yield set_script, server.requests, url
+    server.shutdown()
+    thread.join(timeout=10)
+
+
+def make_client(url, sleeps=None, **kwargs):
+    recorded = sleeps if sleeps is not None else []
+    kwargs.setdefault("retries", 2)
+    kwargs.setdefault("backoff_s", 0.25)
+    return ScanClient(url, sleep=recorded.append, **kwargs), recorded
+
+
+def test_scan_returns_typed_verdict(scripted):
+    set_script, requests, url = scripted
+    set_script(ok(VERDICT, trace_id="t-1"))
+    client, _ = make_client(url)
+    verdict = client.scan("evil()", name="e.js", threshold=0.7)
+    assert isinstance(verdict, ScanVerdict)
+    assert verdict.malicious is True
+    assert verdict.probability == 0.91
+    assert verdict.model_fingerprint == "abc123"
+    assert verdict.raw == VERDICT
+    method, path, body = requests[0]
+    assert (method, path) == ("POST", "/v1/scan")
+    assert json.loads(body) == {"source": "evil()", "name": "e.js", "threshold": 0.7}
+
+
+def test_retry_on_429_honors_retry_after(scripted):
+    set_script, requests, url = scripted
+    set_script(
+        err(429, "rate_limited", headers={"Retry-After": "3"}),
+        ok(VERDICT),
+    )
+    client, sleeps = make_client(url)
+    verdict = client.scan("x")
+    assert verdict.verdict == "malicious"
+    assert len(requests) == 2
+    assert sleeps == [3.0]  # Retry-After (3s) beats backoff (0.25s)
+
+
+def test_backoff_doubles_without_retry_after(scripted):
+    set_script, _requests, url = scripted
+    set_script(err(503, "unavailable"), err(503, "unavailable"), ok(VERDICT))
+    client, sleeps = make_client(url, backoff_s=0.1)
+    client.scan("x")
+    assert sleeps == [0.1, 0.2]
+
+
+def test_retries_exhausted_raises_typed_error(scripted):
+    set_script, requests, url = scripted
+    set_script(*[err(429, "rate_limited") for _ in range(3)])
+    client, sleeps = make_client(url, retries=2)
+    with pytest.raises(ScanAPIError) as caught:
+        client.scan("x")
+    assert caught.value.status == 429
+    assert caught.value.code == "rate_limited"
+    assert len(requests) == 3  # first try + 2 retries
+    assert len(sleeps) == 2
+
+
+def test_4xx_is_never_retried(scripted):
+    set_script, requests, url = scripted
+    set_script(err(400, "bad_request", detail={"field": "source"}))
+    client, sleeps = make_client(url)
+    with pytest.raises(ScanAPIError) as caught:
+        client.scan("x")
+    assert caught.value.code == "bad_request"
+    assert caught.value.detail == {"field": "source"}
+    assert len(requests) == 1 and sleeps == []
+
+
+def test_transport_errors_retried_then_typed(scripted):
+    _set_script, _requests, url = scripted
+    # Re-point at a port nobody listens on.
+    from repro.serve.supervisor import free_port
+
+    client, sleeps = make_client(f"http://127.0.0.1:{free_port()}", retries=1)
+    with pytest.raises(ScanAPIError) as caught:
+        client.healthz()
+    assert caught.value.status == 0
+    assert caught.value.code == "transport"
+    assert len(sleeps) == 1
+
+
+def test_non_envelope_response_is_internal_error(scripted):
+    set_script, _requests, url = scripted
+    set_script((200, {}, {"not": "an envelope"}))
+    client, _ = make_client(url, retries=0)
+    with pytest.raises(ScanAPIError) as caught:
+        client.healthz()
+    assert caught.value.code == "internal"
+
+
+def test_url_validation():
+    with pytest.raises(ValueError):
+        ScanClient("https://example.com")
+    with pytest.raises(ValueError):
+        ScanClient("http://")
+
+
+def test_paths_are_v1_prefixed(scripted):
+    set_script, requests, url = scripted
+    set_script(ok({"status": "ok"}), ok({"results": []}), ok({"traces": []}))
+    client, _ = make_client(url)
+    client.healthz()
+    client.scan_batch(["a", {"source": "b", "name": "b.js"}], threshold=0.3)
+    client.traces(n=5)
+    assert [path for _m, path, _b in requests] == [
+        "/v1/healthz",
+        "/v1/scan/batch",
+        "/v1/debug/traces?n=5",
+    ]
+    assert json.loads(requests[1][2])["threshold"] == 0.3

@@ -1,0 +1,302 @@
+"""End-to-end tests for the sharded scan tier: router + supervisor + shards.
+
+One real cluster per module — two shard daemons spawned as subprocesses
+from a saved model, one router in front — driven through the public
+:class:`~repro.client.ScanClient`.  Covers the acceptance contract:
+verdicts through the router match a single daemon, affinity holds, a
+SIGKILLed shard is replaced with zero failed (retried) requests, and a
+rolling reload bumps every shard's epoch without downtime.
+"""
+
+import http.client
+import json
+import os
+import re
+import signal
+import time
+
+import pytest
+
+from repro.client import ScanAPIError, ScanClient
+from repro.core import JSRevealer, JSRevealerConfig, load_detector, save_detector
+from repro.datasets import experiment_split
+from repro.serve import BackgroundCluster, BackgroundServer, ClusterConfig, RouterConfig, ServeConfig
+
+
+@pytest.fixture(scope="module")
+def split():
+    return experiment_split(seed=7, pretrain_per_class=6, train_per_class=12, test_per_class=8)
+
+
+def _train(split, seed):
+    det = JSRevealer(
+        JSRevealerConfig(embed_dim=16, pretrain_epochs=3, k_benign=4, k_malicious=4, seed=seed)
+    )
+    det.pretrain(split.pretrain.sources, split.pretrain.labels)
+    det.fit(split.train.sources, split.train.labels)
+    return det
+
+
+@pytest.fixture(scope="module")
+def model_dirs(split, tmp_path_factory):
+    """Two saved models with distinct fingerprints (boot + reload target)."""
+    root = tmp_path_factory.mktemp("models")
+    save_detector(_train(split, seed=7), root / "a")
+    save_detector(_train(split, seed=11), root / "b")
+    return str(root / "a"), str(root / "b")
+
+
+@pytest.fixture(scope="module")
+def cluster(model_dirs, tmp_path_factory):
+    config = ClusterConfig(
+        model_dir=model_dirs[0],
+        n_shards=2,
+        port=0,
+        cache_dir=str(tmp_path_factory.mktemp("shared-cache")),
+        router=RouterConfig(max_body_bytes=64 * 1024, request_timeout_s=60.0),
+    )
+    with BackgroundCluster(config) as background:
+        yield background
+
+
+@pytest.fixture(scope="module")
+def client(cluster):
+    return ScanClient(cluster.url, timeout_s=60.0, retries=2)
+
+
+def http_raw(cluster, method, path, payload=None, raw_body=None):
+    connection = http.client.HTTPConnection(cluster.host, cluster.port, timeout=60)
+    body = raw_body if raw_body is not None else (
+        json.dumps(payload) if payload is not None else None
+    )
+    headers = {"Content-Type": "application/json"} if body is not None else {}
+    connection.request(method, path, body=body, headers=headers)
+    response = connection.getresponse()
+    data = response.read()
+    status, header_map = response.status, {k.lower(): v for k, v in response.getheaders()}
+    connection.close()
+    return status, header_map, data
+
+
+def wait_for(predicate, timeout_s=90.0, poll_s=0.25):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(poll_s)
+    return False
+
+
+# ----------------------------------------------------------------- basics
+
+
+def test_healthz_aggregates_both_shards(client):
+    health = client.healthz()
+    assert health["status"] == "ok"
+    assert health["role"] == "router"
+    assert health["n_shards"] == 2 and health["n_healthy"] == 2
+    shards = {shard["shard"]: shard for shard in health["shards"]}
+    assert set(shards) == {"shard-0", "shard-1"}
+    for shard in shards.values():
+        assert shard["healthy"] is True
+        assert shard["pid"] > 0 and shard["port"] > 0
+        assert shard["epoch"] == 0
+
+
+def test_version_reports_router(client):
+    version = client.version()
+    assert version["service"] == "repro.serve.router"
+    assert version["n_shards"] == 2
+
+
+def test_scan_affinity_same_source_same_shard(cluster, split):
+    source = split.test.sources[0]
+    seen = set()
+    for _ in range(3):
+        status, headers, _body = http_raw(cluster, "POST", "/v1/scan", {"source": source})
+        assert status == 200
+        seen.add(headers["x-shard"])
+    assert len(seen) == 1  # consistent hashing keeps the key on one shard
+    assert seen.pop() in ("shard-0", "shard-1")
+
+
+def test_scans_spread_across_shards(cluster, split):
+    shards = set()
+    for source in split.test.sources:
+        status, headers, _body = http_raw(cluster, "POST", "/v1/scan", {"source": source})
+        assert status == 200
+        shards.add(headers["x-shard"])
+    assert shards == {"shard-0", "shard-1"}
+
+
+def test_verdicts_match_single_daemon(client, model_dirs, split):
+    """The acceptance bar: routed verdicts are identical to one daemon's."""
+    detector = load_detector(model_dirs[0])
+    with BackgroundServer(detector, ServeConfig(port=0)) as single:
+        solo = ScanClient(single.url, retries=0)
+        for source in split.test.sources[:8]:
+            through_router = client.scan(source).raw
+            direct = solo.scan(source).raw
+            # trace ids are per-request, cache_hit depends on warmth,
+            # stage_ms is wall-clock (and zeroed on cache hits), and the
+            # "trace" provenance block rides along only on head-sampled
+            # requests — all transport/observability artifacts, not
+            # verdict content.
+            for volatile in ("trace_id", "cache_hit", "stage_ms", "elapsed_ms", "trace"):
+                through_router.pop(volatile, None)
+                direct.pop(volatile, None)
+            assert through_router == direct
+
+
+def test_batch_fans_out_and_merges_in_order(client, split):
+    scripts = [
+        split.test.sources[i] if i % 2 == 0 else {"source": split.test.sources[i], "name": f"s{i}.js"}
+        for i in range(6)
+    ]
+    batch = client.scan_batch(scripts, threshold=0.5)
+    assert batch["n_files"] == 6
+    assert len(batch["results"]) == 6
+    # Order is the caller's: each position matches a one-shot routed scan.
+    for i, result in enumerate(batch["results"]):
+        single = client.scan(split.test.sources[i])
+        assert result["label"] == single.label
+        assert result["probability"] == single.probability
+    assert batch["model_fingerprint"] == single.model_fingerprint
+
+
+def test_batch_duplicates_deduplicated_on_shard(client, cluster):
+    """Single-flight, proven by counter: 4 copies of a fresh script in one
+    batch reach the owning shard once and dedup in-batch there."""
+    fresh = f"var unique_{os.getpid()} = {time.time_ns()};"
+    batch = client.scan_batch([fresh, fresh, fresh, fresh])
+    assert batch["n_files"] == 4
+    # Identical verdict content; the per-position name and the compute
+    # bookkeeping (who paid the stage cost, who rode the dedup) differ.
+    volatile = {"path", "stage_ms", "cache_hit"}
+    assert len(
+        {json.dumps({k: v for k, v in r.items() if k not in volatile}, sort_keys=True)
+         for r in batch["results"]}
+    ) == 1
+    dedup_total = 0
+    for shard in client.healthz()["shards"]:
+        shard_client = ScanClient(f"http://{cluster.host}:{shard['port']}", retries=0)
+        match = re.search(
+            r'repro_scan_dedup_total\{scope="batch"\} (\d+)', shard_client.metrics_text()
+        )
+        if match:
+            dedup_total += int(match.group(1))
+    assert dedup_total >= 3
+
+
+# ------------------------------------------------------------ golden errors
+
+
+def test_router_golden_400(cluster):
+    status, _headers, body = http_raw(cluster, "POST", "/v1/scan", raw_body="{not json")
+    assert status == 400
+    payload = json.loads(body)
+    assert payload["api_version"] == "v1"
+    assert payload["error"]["code"] == "bad_request"
+
+
+def test_router_golden_404(cluster):
+    status, _headers, body = http_raw(cluster, "GET", "/v1/no/such/route")
+    assert status == 404
+    assert json.loads(body)["error"]["code"] == "not_found"
+
+
+def test_router_golden_413(cluster):
+    big = {"source": "x" * (128 * 1024)}
+    status, _headers, body = http_raw(cluster, "POST", "/v1/scan", big)
+    assert status == 413
+    assert json.loads(body)["error"]["code"] == "payload_too_large"
+
+
+def test_router_legacy_alias_deprecation(cluster, split):
+    status, headers, body = http_raw(cluster, "POST", "/scan", {"source": split.test.sources[1]})
+    assert status == 200
+    assert headers["deprecation"] == "true"
+    payload = json.loads(body)
+    assert "api_version" not in payload  # legacy body passes through verbatim
+    assert payload["verdict"] in ("malicious", "benign")
+
+
+def test_shard_errors_pass_through_as_envelopes(client):
+    with pytest.raises(ScanAPIError) as caught:
+        client.scan_batch([123])  # invalid entry → 400 from the router
+    assert caught.value.status == 400
+    assert caught.value.code == "bad_request"
+
+
+# ------------------------------------------------------------ cross-process
+
+
+def test_cross_process_trace_merges_router_and_shard(client, cluster, split):
+    trace_id = os.urandom(16).hex()
+    traceparent = f"00-{trace_id}-{os.urandom(8).hex()}-01"  # sampled: always records
+    verdict = client.scan(split.test.sources[2], traceparent=traceparent)
+    assert verdict.trace_id == trace_id
+    merged = client.trace(trace_id)
+    assert merged["trace_id"] == trace_id
+    names = [span["name"] for span in merged["spans"]]
+    assert "router.scan" in names  # the router's hop
+    assert "http.scan" in names  # the shard's hop, same trace id
+    shard_spans = [s for s in merged["spans"] if s.get("attributes", {}).get("shard")]
+    assert shard_spans, "expected spans annotated with their shard id"
+    assert merged["shards"]  # at least one shard contributed
+    assert merged["tree"]
+
+
+# ----------------------------------------------------- failure + replacement
+
+
+def test_sigkill_shard_is_replaced_with_zero_failed_requests(client, cluster, split):
+    before = {s["shard"]: s for s in client.healthz()["shards"]}
+    victim = before["shard-0"]
+    os.kill(victim["pid"], signal.SIGKILL)
+    # Requests issued right through the kill window must all succeed —
+    # the router retries the dead shard's keys onto the survivor.
+    for source in split.test.sources[:6]:
+        verdict = client.scan(source)
+        assert verdict.verdict in ("malicious", "benign")
+    # The supervisor replaces the shard under the same id on a fresh pid.
+    def replaced():
+        shards = {s["shard"]: s for s in client.healthz()["shards"]}
+        shard = shards["shard-0"]
+        return shard["healthy"] and shard["restarts"] >= 1 and shard["pid"] != victim["pid"]
+
+    assert wait_for(replaced, timeout_s=90.0), "shard-0 was not replaced in time"
+    health = client.healthz()
+    assert health["status"] == "ok" and health["n_healthy"] == 2
+    # And the replacement serves scans again.
+    assert client.scan(split.test.sources[0]).verdict in ("malicious", "benign")
+
+
+# -------------------------------------------------------------- rolling roll
+
+
+def test_rolling_reload_bumps_every_shard_epoch(client, model_dirs, split):
+    fingerprint_before = client.scan(split.test.sources[0]).model_fingerprint
+    answer = client.admin_reload(model_dirs[1])
+    assert answer["status"] == "reloaded"
+    assert len(answer["shards"]) == 2
+    for rolled in answer["shards"]:
+        assert rolled["epoch"] >= 1
+        assert rolled["model_fingerprint"] != fingerprint_before
+
+    def all_rolled():
+        return all(s["epoch"] and s["epoch"] >= 1 for s in client.healthz()["shards"])
+
+    assert wait_for(all_rolled, timeout_s=30.0)
+    after = client.scan(split.test.sources[0])
+    assert after.model_fingerprint != fingerprint_before
+    assert after.verdict in ("malicious", "benign")
+
+
+def test_rolling_reload_bad_model_dir_is_a_400(client):
+    with pytest.raises(ScanAPIError) as caught:
+        client.admin_reload("/no/such/model")
+    assert caught.value.status == 400
+    assert caught.value.code == "bad_request"
+    # The fleet keeps serving on its current epoch.
+    assert client.healthz()["n_healthy"] == 2

@@ -1,0 +1,69 @@
+"""Unit tests for the consistent hash ring behind the cluster router."""
+
+import pytest
+
+from repro.serve import HashRing
+
+KEYS = [f"content-key-{i:04d}" for i in range(2000)]
+
+
+def test_every_key_maps_to_a_member():
+    ring = HashRing(["shard-0", "shard-1", "shard-2"])
+    owners = {key: ring.node_for(key) for key in KEYS}
+    assert set(owners.values()) == {"shard-0", "shard-1", "shard-2"}
+
+
+def test_placement_is_roughly_balanced():
+    ring = HashRing(["shard-0", "shard-1", "shard-2"])
+    counts = {member: 0 for member in ring.members}
+    for key in KEYS:
+        counts[ring.node_for(key)] += 1
+    # With 64 vnodes per member the worst arc imbalance stays well under
+    # 2x; every member must own a meaningful share.
+    for member, count in counts.items():
+        assert count > len(KEYS) * 0.15, f"{member} owns only {count}/{len(KEYS)} keys"
+
+
+def test_removal_only_moves_the_removed_members_keys():
+    ring = HashRing(["shard-0", "shard-1", "shard-2"])
+    before = {key: ring.node_for(key) for key in KEYS}
+    ring.remove("shard-1")
+    for key in KEYS:
+        owner = ring.node_for(key)
+        if before[key] != "shard-1":
+            assert owner == before[key]  # untouched arcs stay put
+        else:
+            assert owner in ("shard-0", "shard-2")
+
+
+def test_replacement_under_same_id_restores_placement():
+    ring = HashRing(["shard-0", "shard-1"])
+    before = {key: ring.node_for(key) for key in KEYS}
+    ring.remove("shard-0")
+    ring.add("shard-0")  # the supervisor respawns under the stable id
+    assert {key: ring.node_for(key) for key in KEYS} == before
+
+
+def test_preference_yields_each_member_once():
+    ring = HashRing(["shard-0", "shard-1", "shard-2"])
+    order = list(ring.preference("some-key"))
+    assert sorted(order) == ["shard-0", "shard-1", "shard-2"]
+    # exclude= falls through along the same order.
+    assert ring.node_for("some-key") == order[0]
+    assert ring.node_for("some-key", exclude={order[0]}) == order[1]
+    assert ring.node_for("some-key", exclude=set(order)) is None
+
+
+def test_empty_ring_and_validation():
+    ring = HashRing()
+    assert ring.node_for("anything") is None
+    assert list(ring.preference("anything")) == []
+    assert len(ring) == 0
+    with pytest.raises(ValueError):
+        HashRing(vnodes=0)
+
+
+def test_add_is_idempotent():
+    ring = HashRing(["shard-0"])
+    ring.add("shard-0")
+    assert len(ring._points) == ring.vnodes

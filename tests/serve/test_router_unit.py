@@ -1,0 +1,233 @@
+"""Deterministic router fault-matrix tests against canned shards.
+
+The real cluster tests (test_cluster.py) exercise live shard daemons;
+here each "shard" is a tiny asyncio server answering one canned
+response, so every branch of the retry loop — pass-through, retry to
+the next preference, brownout — is forced exactly, with no timing.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.pipeline import content_key
+from repro.serve import HashRing, RouterConfig, ScanRouter
+from repro.serve.api import ERROR_CODES, EnvelopeError, parse_envelope
+from repro.serve.http import fetch
+from repro.serve.supervisor import free_port
+
+SOURCE = "alert('router-unit')"
+KEY = content_key(SOURCE)
+
+
+def preference_order(n_shards=2):
+    """The key's shard fall-through order, as the router will compute it."""
+    ring = HashRing([f"shard-{i}" for i in range(n_shards)], vnodes=64)
+    return list(ring.preference(KEY))
+
+
+class FakeSpec:
+    pid = 0
+
+    def __init__(self, host, port):
+        self.host = host
+        self.port = port
+
+
+class FakeSupervisor:
+    """Just enough supervisor surface for ScanRouter."""
+
+    def __init__(self, ports):
+        self.n_shards = len(ports)
+        self.shards = {f"shard-{i}": FakeSpec("127.0.0.1", port) for i, port in enumerate(ports)}
+        self.unhealthy = set()
+        self.suspected = []
+
+    def mark_suspect(self, shard_id):
+        self.suspected.append(shard_id)
+
+    def snapshot(self):
+        return [
+            {"shard": shard_id, "healthy": shard_id not in self.unhealthy}
+            for shard_id in sorted(self.shards)
+        ]
+
+
+async def start_canned(response_bytes):
+    """A one-response-per-connection shard stand-in; counts connections."""
+    hits = {"count": 0}
+
+    async def handle(reader, writer):
+        hits["count"] += 1
+        try:
+            await reader.readuntil(b"\r\n\r\n")
+            writer.write(response_bytes)
+            await writer.drain()
+        finally:
+            writer.close()
+
+    server = await asyncio.start_server(handle, host="127.0.0.1", port=0)
+    return server, server.sockets[0].getsockname()[1], hits
+
+
+async def boot(assignments):
+    """``assignments``: shard_id → canned bytes, or None for a dead port."""
+    servers, hits = [], {}
+    ports = {}
+    for shard_id, canned in assignments.items():
+        if canned is None:
+            ports[shard_id] = free_port()  # nobody listens: connect refused
+        else:
+            server, port, counter = await start_canned(canned)
+            servers.append(server)
+            ports[shard_id] = port
+            hits[shard_id] = counter
+    supervisor = FakeSupervisor([ports[f"shard-{i}"] for i in range(len(assignments))])
+    router = ScanRouter(supervisor, RouterConfig(port=0, request_timeout_s=5.0))
+    await router.start()
+    return router, supervisor, servers, hits
+
+
+async def teardown(router, servers):
+    await router.stop()
+    for server in servers:
+        server.close()
+        await server.wait_closed()
+
+
+async def scan_via(router):
+    body = json.dumps({"source": SOURCE}).encode("utf-8")
+    return await fetch("127.0.0.1", router.bound_port, "POST", "/v1/scan", body=body)
+
+
+def shard_200():
+    from repro.serve.api import v1_response
+
+    return v1_response(200, {"verdict": "benign", "malicious": False, "probability": 0.1})
+
+
+def shard_error(status, detail=None, headers=None):
+    from repro.serve.api import v1_error_response
+
+    return v1_error_response(status, f"canned {status}", detail=detail, extra_headers=headers)
+
+
+def test_429_passes_through_without_retry():
+    async def main():
+        first, second = preference_order()
+        router, supervisor, servers, hits = await boot({
+            first: shard_error(429, detail={"state": "queue_full"}, headers={"Retry-After": "1"}),
+            second: shard_200(),
+        })
+        try:
+            response = await scan_via(router)
+            assert response.status == 429
+            with pytest.raises(EnvelopeError) as caught:
+                parse_envelope(response.status, response.body)
+            assert caught.value.code == ERROR_CODES[429]
+            assert response.headers["x-shard"] == first
+            assert response.headers["retry-after"] == "1"
+            assert hits[second]["count"] == 0  # backpressure is not shuffled
+            assert supervisor.suspected == []
+            assert "repro_router_retries_total 0" in router.metrics.render()
+        finally:
+            await teardown(router, servers)
+
+    asyncio.run(main())
+
+
+def test_503_retries_onto_next_shard():
+    async def main():
+        first, second = preference_order()
+        router, supervisor, servers, hits = await boot({
+            first: shard_error(503, detail={"state": "draining"}),
+            second: shard_200(),
+        })
+        try:
+            response = await scan_via(router)
+            assert response.status == 200
+            assert parse_envelope(response.status, response.body)["verdict"] == "benign"
+            assert response.headers["x-shard"] == second
+            assert hits[first]["count"] == 1
+            assert first in supervisor.suspected
+            assert "repro_router_retries_total 1" in router.metrics.render()
+        finally:
+            await teardown(router, servers)
+
+    asyncio.run(main())
+
+
+def test_transport_fault_retries_onto_next_shard():
+    async def main():
+        first, second = preference_order()
+        router, supervisor, servers, hits = await boot({
+            first: None,  # dead port: connect refused
+            second: shard_200(),
+        })
+        try:
+            response = await scan_via(router)
+            assert response.status == 200
+            assert response.headers["x-shard"] == second
+            assert first in supervisor.suspected
+        finally:
+            await teardown(router, servers)
+
+    asyncio.run(main())
+
+
+def test_400_passes_through_without_retry():
+    async def main():
+        first, second = preference_order()
+        router, supervisor, servers, hits = await boot({
+            first: shard_error(400),
+            second: shard_200(),
+        })
+        try:
+            response = await scan_via(router)
+            assert response.status == 400
+            assert response.headers["x-shard"] == first
+            assert hits[second]["count"] == 0
+            assert supervisor.suspected == []
+        finally:
+            await teardown(router, servers)
+
+    asyncio.run(main())
+
+
+def test_brownout_when_every_shard_is_unhealthy():
+    async def main():
+        router, supervisor, servers, _hits = await boot({
+            "shard-0": shard_200(),
+            "shard-1": shard_200(),
+        })
+        supervisor.unhealthy = {"shard-0", "shard-1"}
+        try:
+            response = await scan_via(router)
+            assert response.status == 503
+            with pytest.raises(EnvelopeError) as caught:
+                parse_envelope(response.status, response.body)
+            assert caught.value.code == "unavailable"
+            assert caught.value.detail["state"] == "brownout"
+            assert "retry-after" in response.headers
+            assert "repro_router_brownouts_total 1" in router.metrics.render()
+        finally:
+            await teardown(router, servers)
+
+    asyncio.run(main())
+
+
+def test_brownout_after_every_shard_faults():
+    async def main():
+        router, supervisor, servers, _hits = await boot({"shard-0": None, "shard-1": None})
+        try:
+            response = await scan_via(router)
+            assert response.status == 503
+            with pytest.raises(EnvelopeError) as caught:
+                parse_envelope(response.status, response.body)
+            assert caught.value.detail["state"] == "brownout"
+            assert set(supervisor.suspected) == {"shard-0", "shard-1"}
+        finally:
+            await teardown(router, servers)
+
+    asyncio.run(main())
