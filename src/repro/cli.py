@@ -186,6 +186,7 @@ def _cmd_scan(args: argparse.Namespace) -> int:
             limits=limits,
             quarantine=quarantine,
             trace=args.trace,
+            deobfuscate=args.deobfuscate,
         )
     except OSError as error:
         print(f"error: cache directory {args.cache_dir!r} unusable: {error}", file=sys.stderr)
@@ -207,7 +208,10 @@ def _cmd_scan(args: argparse.Namespace) -> int:
             verdict = "MALICIOUS" if result.malicious else "clean"
             cached = "  (cached)" if result.cache_hit else ""
             triaged = "  (triaged)" if result.triaged else ""
-            flags = cached + triaged
+            normalized = (
+                "  (deobfuscated)" if (result.normalization or {}).get("changed") else ""
+            )
+            flags = cached + triaged + normalized
             if result.status != "ok":
                 flags += f"  [{result.status}{', degraded' if result.degraded else ''}]"
             print(f"{verdict:9s}  P={result.probability:.3f}  {result.path}{flags}")
@@ -290,13 +294,16 @@ class _DeprecatedAlias(argparse.Action):
 
 def _shard_flags(args: argparse.Namespace) -> list[str]:
     """``repro serve`` flags every shard of a cluster is spawned with."""
-    return [
+    flags = [
         "--workers", str(args.workers),
         "--max-batch", str(args.max_batch),
         "--max-wait-ms", str(args.max_wait_ms),
         "--queue-limit", str(args.queue_limit),
         "--threshold", str(args.threshold),
     ]
+    if getattr(args, "deobfuscate", False):
+        flags.append("--deobfuscate")
+    return flags
 
 
 def _run_cluster(args: argparse.Namespace, n_shards: int) -> int:
@@ -360,6 +367,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             trace_sample_rate=args.trace_sample_rate,
             trace_capacity=args.trace_capacity,
             trace_slow_ms=args.trace_slow_ms,
+            deobfuscate=args.deobfuscate,
         )
         config.validate()
     except ValueError as error:
@@ -463,6 +471,10 @@ def build_parser() -> argparse.ArgumentParser:
                       help="persist quarantine.jsonl of poison scripts here")
     scan.add_argument("--trace", action="store_true",
                       help="record a span tree + per-file verdict provenance in the report")
+    scan.add_argument("--deobfuscate", action="store_true",
+                      help="run the staged AST normalizer (constant folding, string "
+                           "decoding, string-array unpacking, forced execution) before "
+                           "path extraction; clean scripts are unaffected")
     _add_logging_flags(scan, default_level="warning")
     scan.add_argument("paths", nargs="+",
                       help=".js files, directories, or - to read one script from stdin")
@@ -527,6 +539,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="ring-buffer size behind GET /debug/traces")
     serve.add_argument("--trace-slow-ms", type=float, default=250.0,
                        help="traces slower than this are retained preferentially")
+    serve.add_argument("--deobfuscate", action="store_true",
+                       help="normalize every request through the deobfuscation pre-pass "
+                            "by default (requests may still override per call)")
     _add_logging_flags(serve, default_level="info")
     serve.set_defaults(fn=_cmd_serve)
 

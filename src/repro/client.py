@@ -67,6 +67,9 @@ class ScanVerdict:
     trace_id: str | None
     cache_hit: bool
     raw: dict
+    #: Deobfuscation pre-pass report (``deobfuscate=True`` requests where
+    #: the normalizer did something); ``None`` otherwise.
+    normalization: dict | None = None
 
     @classmethod
     def from_data(cls, data: dict) -> "ScanVerdict":
@@ -80,6 +83,7 @@ class ScanVerdict:
             trace_id=data.get("trace_id"),
             cache_hit=bool(data.get("cache_hit", False)),
             raw=data,
+            normalization=data.get("normalization"),
         )
 
 
@@ -124,20 +128,27 @@ class ScanClient:
         name: str | None = None,
         threshold: float | None = None,
         traceparent: str | None = None,
+        deobfuscate: bool | None = None,
     ) -> ScanVerdict:
         payload: dict = {"source": source}
         if name is not None:
             payload["name"] = name
         if threshold is not None:
             payload["threshold"] = threshold
+        if deobfuscate is not None:
+            payload["deobfuscate"] = deobfuscate
         headers = {"traceparent": traceparent} if traceparent else None
         return ScanVerdict.from_data(self._request("POST", "/scan", payload, headers=headers))
 
-    def scan_batch(self, scripts: list, threshold: float | None = None) -> dict:
+    def scan_batch(
+        self, scripts: list, threshold: float | None = None, deobfuscate: bool | None = None
+    ) -> dict:
         """Batch scan; ``scripts`` entries are sources or ``{source, name}``."""
         payload: dict = {"scripts": scripts}
         if threshold is not None:
             payload["threshold"] = threshold
+        if deobfuscate is not None:
+            payload["deobfuscate"] = deobfuscate
         return self._request("POST", "/scan/batch", payload)
 
     def analyze(self, source: str, name: str | None = None) -> dict:

@@ -220,6 +220,7 @@ class JSRevealer:
         limits: "ScanLimits | None" = None,
         quarantine: "QuarantineJournal | None" = None,
         trace: bool = False,
+        deobfuscate: bool = False,
     ) -> "ScanReport":
         """Scan a batch of scripts, optionally in parallel and cached.
 
@@ -239,6 +240,10 @@ class JSRevealer:
         ``trace=True`` records a span tree plus verdict provenance for the
         batch and every file (``report.trace`` / ``result.trace``);
         verdicts are byte-identical with tracing on or off.
+        ``deobfuscate=True`` runs the staged AST normalizer
+        (:class:`~repro.deobfuscate.Deobfuscator`) on every source before
+        triage and embedding; clean scripts keep byte-identical verdicts,
+        rewritten ones carry a ``normalization`` report.
         """
         from repro.pipeline import BatchScanner, FeatureCache
 
@@ -254,6 +259,11 @@ class JSRevealer:
             from repro.obs import Tracer
 
             tracer = Tracer(sample_rate=1.0)
+        deobfuscator = None
+        if deobfuscate:
+            from repro.deobfuscate import Deobfuscator
+
+            deobfuscator = Deobfuscator(limits=limits)
         scanner = BatchScanner(
             self,
             n_workers=n_workers,
@@ -262,6 +272,7 @@ class JSRevealer:
             limits=limits,
             quarantine=quarantine,
             tracer=tracer,
+            deobfuscate=deobfuscator,
         )
         return scanner.scan(sources, names=names, threshold=threshold, trace=trace or None)
 

@@ -1,0 +1,49 @@
+"""Deobfuscation pre-pass: staged AST-to-AST normalization before
+path extraction.
+
+JSRevealer's robustness claim rests on seeing *through* obfuscation;
+this package is the seeing-through.  :class:`Deobfuscator` parses a
+script, runs a list of composable :class:`Transform` stages to fixpoint
+(constant folding, escape/charcode/base64 decoding, string-array
+unpacking, eval unwrapping, dead-branch elimination, bounded forced
+execution), and emits normalized source plus a
+:class:`NormalizationReport` that travels with the verdict as
+provenance.  Failure of any kind degrades to a no-op — the scan always
+proceeds on the original source.
+"""
+
+from .engine import Deobfuscator, default_transforms, normalize_source
+from .forced import BoundedInterpreter, ForcedExec, run_bounded
+from .report import FORCED_OUTCOMES, STAGE_NAMES, NormalizationReport
+from .stringarray import UnpackStringArrays
+from .unflatten import Unflatten
+from .transforms import (
+    ConstantFold,
+    DeadBranches,
+    DecodeStrings,
+    EvalUnwrap,
+    NormalizeContext,
+    SimplifyMembers,
+    Transform,
+)
+
+__all__ = [
+    "Deobfuscator",
+    "default_transforms",
+    "normalize_source",
+    "BoundedInterpreter",
+    "ForcedExec",
+    "run_bounded",
+    "FORCED_OUTCOMES",
+    "STAGE_NAMES",
+    "NormalizationReport",
+    "UnpackStringArrays",
+    "Unflatten",
+    "ConstantFold",
+    "DeadBranches",
+    "DecodeStrings",
+    "EvalUnwrap",
+    "NormalizeContext",
+    "SimplifyMembers",
+    "Transform",
+]

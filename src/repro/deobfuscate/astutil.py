@@ -1,0 +1,247 @@
+"""Shared AST plumbing for the normalizer transforms.
+
+The transforms rewrite in place through ``Node.replace_child``, so they
+need (a) a mutation-tolerant post-order walk that hands each node its
+parent, (b) JS-faithful literal semantics (truthiness, number→string,
+``parseInt``), and (c) a conservative free-variable analysis for the
+self-containment check behind forced execution.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Iterator
+
+from repro.jsparser import ast_nodes as ast
+
+#: Host globals a "self-contained" decoder may reference: pure, available
+#: in the :mod:`repro.jsinterp` sandbox, and free of observable effects.
+SAFE_GLOBALS = frozenset(
+    {
+        "String",
+        "Array",
+        "Math",
+        "JSON",
+        "parseInt",
+        "parseFloat",
+        "isNaN",
+        "unescape",
+        "escape",
+        "undefined",
+        "NaN",
+        "Infinity",
+    }
+)
+
+#: Words that cannot appear after ``.`` in our ES5-ish parser — keep
+#: computed access for them when simplifying ``obj["name"]``.
+RESERVED_WORDS = frozenset(
+    """break case catch class const continue debugger default delete do else
+    enum export extends false finally for function if import in instanceof
+    let new null return static super switch this throw true try typeof var
+    void while with yield""".split()
+)
+
+_IDENTIFIER = re.compile(r"^[A-Za-z_$][A-Za-z0-9_$]*$")
+
+
+def is_identifier_name(text: str) -> bool:
+    return bool(_IDENTIFIER.match(text)) and text not in RESERVED_WORDS
+
+
+def postorder(root: ast.Node) -> Iterator[tuple[ast.Node, ast.Node | None]]:
+    """Yield ``(node, parent)`` post-order, children before parents.
+
+    Iterative (no RecursionError on deep obfuscated chains) and safe
+    under the transforms' mutation pattern: replacing an already-yielded
+    node inside its parent does not disturb the remaining schedule.
+    """
+    stack: list[tuple[ast.Node, ast.Node | None, bool]] = [(root, None, False)]
+    while stack:
+        node, parent, expanded = stack.pop()
+        if expanded:
+            yield node, parent
+            continue
+        stack.append((node, parent, True))
+        for child in node.children():
+            stack.append((child, node, False))
+
+
+def is_literal(node: ast.Node | None) -> bool:
+    return node is not None and node.type == "Literal"
+
+
+def is_literal_expr(node: ast.Node | None) -> bool:
+    """True for literals and array literals built only from literals.
+
+    Packers commonly pass code tables as array literals —
+    ``unpack([54, 110, …])`` — which are just as inert as scalar
+    literals for forced execution.
+    """
+    if node is None:
+        return False
+    if node.type == "Literal":
+        return True
+    if node.type == "ArrayExpression":
+        return all(is_literal_expr(e) for e in node.elements)
+    return False
+
+
+def literal(value: object) -> ast.Literal:
+    """A synthetic literal; ``raw`` stays empty so codegen re-emits it
+    minimally."""
+    return ast.Literal(value, "")
+
+
+def truthy(value: object) -> bool:
+    """ECMAScript ToBoolean for the primitive values literals carry."""
+    if value is None:
+        return False
+    if isinstance(value, float) and math.isnan(value):
+        return False
+    return bool(value)
+
+
+def is_number(value: object) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def js_number_to_string(value: int | float) -> str | None:
+    """ECMAScript ToString for the numbers we fold; ``None`` = don't fold."""
+    if isinstance(value, bool):  # pragma: no cover - callers filter bools
+        return "true" if value else "false"
+    if isinstance(value, int):
+        return str(value)
+    if math.isnan(value) or math.isinf(value):
+        return None
+    if value.is_integer() and abs(value) < 2**53:
+        return str(int(value))
+    # Fractional floats format differently between repr() and JS in edge
+    # cases (exponents, very long fractions); fold only the simple shape.
+    text = repr(value)
+    return text if "e" not in text and "E" not in text else None
+
+
+def to_int32(value: float) -> int:
+    if math.isnan(value) or math.isinf(value):
+        return 0
+    n = int(value) & 0xFFFFFFFF
+    return n - 0x100000000 if n >= 0x80000000 else n
+
+
+def to_uint32(value: float) -> int:
+    if math.isnan(value) or math.isinf(value):
+        return 0
+    return int(value) & 0xFFFFFFFF
+
+
+_PARSE_INT_DIGITS = "0123456789abcdefghijklmnopqrstuvwxyz"
+
+
+def js_parse_int(text: str, radix: int | None = None) -> int | None:
+    """``parseInt`` semantics (maximal valid prefix); ``None`` for NaN."""
+    s = text.strip()
+    sign = 1
+    if s[:1] in ("+", "-"):
+        sign = -1 if s[0] == "-" else 1
+        s = s[1:]
+    if radix in (None, 0, 16) and s[:2].lower() == "0x":
+        radix, s = 16, s[2:]
+    if radix is None or radix == 0:
+        radix = 10
+    if not 2 <= radix <= 36:
+        return None
+    digits = _PARSE_INT_DIGITS[:radix]
+    end = 0
+    while end < len(s) and s[end].lower() in digits:
+        end += 1
+    if end == 0:
+        return None
+    return sign * int(s[:end], radix)
+
+
+def js_unescape(text: str) -> str:
+    """``unescape``: decode ``%XX`` and ``%uXXXX`` sequences."""
+    out: list[str] = []
+    i = 0
+    while i < len(text):
+        ch = text[i]
+        if ch == "%" and text[i + 1 : i + 2] == "u" and len(text) >= i + 6:
+            code = text[i + 2 : i + 6]
+            try:
+                out.append(chr(int(code, 16)))
+                i += 6
+                continue
+            except ValueError:
+                pass
+        elif ch == "%" and len(text) >= i + 3:
+            code = text[i + 1 : i + 3]
+            try:
+                out.append(chr(int(code, 16)))
+                i += 3
+                continue
+            except ValueError:
+                pass
+        out.append(ch)
+        i += 1
+    return "".join(out)
+
+
+# -------------------------------------------------------- free identifiers
+
+
+def declared_names(root: ast.Node) -> set[str]:
+    """Every name bound anywhere inside ``root``.
+
+    Deliberately scope-blind (a nested function's params count as bound
+    for the whole subtree): over-approximating *bound* under-approximates
+    *free*, and a missed free variable only makes the sandboxed mini-run
+    fail — which degrades to a no-op — never a wrong fold.
+    """
+    names: set[str] = set()
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        type_ = node.type
+        if type_ in ("FunctionDeclaration", "FunctionExpression", "ArrowFunctionExpression"):
+            if getattr(node, "id", None) is not None:
+                names.add(node.id.name)
+            for param in node.params:
+                if param.type == "Identifier":
+                    names.add(param.name)
+        elif type_ == "VariableDeclarator" and node.id.type == "Identifier":
+            names.add(node.id.name)
+        elif type_ == "CatchClause" and node.param is not None and node.param.type == "Identifier":
+            names.add(node.param.name)
+        stack.extend(node.children())
+    return names
+
+
+def referenced_names(root: ast.Node) -> set[str]:
+    """Identifier names in *reference* position inside ``root``."""
+    names: set[str] = set()
+    for node, parent in postorder(root):
+        if node.type != "Identifier":
+            continue
+        if parent is not None:
+            ptype = parent.type
+            if ptype == "MemberExpression" and parent.property is node and not parent.computed:
+                continue
+            if ptype == "Property" and parent.key is node and not getattr(parent, "computed", False):
+                continue
+            if ptype in ("FunctionDeclaration", "FunctionExpression", "ArrowFunctionExpression"):
+                continue  # own id or param
+            if ptype == "VariableDeclarator" and parent.id is node:
+                continue
+            if ptype in ("BreakStatement", "ContinueStatement", "LabeledStatement"):
+                continue
+            if ptype == "CatchClause" and parent.param is node:
+                continue
+        names.add(node.name)
+    return names
+
+
+def free_names(fn: ast.Node) -> set[str]:
+    """Free identifiers of a function node (conservative, see above)."""
+    return referenced_names(fn) - declared_names(fn) - {"this", "arguments"}

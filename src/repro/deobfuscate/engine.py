@@ -1,0 +1,214 @@
+"""The fixpoint driver: ``Deobfuscator.normalize`` source → source.
+
+Runs the stage list repeatedly until a full pass applies zero rewrites
+(fixpoint) or the pass budget / scan deadline trips.  The contract the
+rest of the pipeline relies on:
+
+* **never raises** — parse failures, oversized input, interpreter
+  explosions, even the chaos seam all degrade to returning the original
+  source with ``report.degraded`` set;
+* **byte-identical on clean input** — when no rewrite applies, the
+  *original* text is returned verbatim (not regenerated), so content
+  keys, caches, and verdicts are untouched by enabling the pass;
+* **output always parses** — rewritten source is reparsed before being
+  handed to path extraction; a codegen bug degrades instead of
+  poisoning the scan.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.faults import ScanLimits
+from repro.faults.inject import maybe_inject
+from repro.jsparser import generate, parse
+
+from .forced import ForcedExec
+from .report import FORCED_OUTCOMES, STAGE_NAMES, NormalizationReport
+from .stringarray import UnpackStringArrays
+from .unflatten import Unflatten
+from .transforms import (
+    ConstantFold,
+    DeadBranches,
+    DecodeStrings,
+    EvalUnwrap,
+    NormalizeContext,
+    SimplifyMembers,
+    Transform,
+)
+
+#: Fixpoint-iteration histogram buckets: small integers — most scripts
+#: converge in 1 (clean) or 2-3 (one obfuscation layer) passes.
+ITERATION_BUCKETS = (1.0, 2.0, 3.0, 4.0, 6.0, 8.0)
+
+
+def default_transforms() -> list[Transform]:
+    """The stage list in execution order (see DESIGN.md §12)."""
+    return [
+        ConstantFold(),
+        SimplifyMembers(),
+        DecodeStrings(),
+        UnpackStringArrays(),
+        Unflatten(),
+        EvalUnwrap(),
+        DeadBranches(),
+        ForcedExec(),
+    ]
+
+
+class Deobfuscator:
+    """Staged AST-to-AST normalizer run ahead of path extraction.
+
+    Args:
+        limits: optional :class:`ScanLimits`; the ``analyze`` deadline
+            bounds one whole ``normalize`` call including forced runs.
+        metrics: optional :class:`repro.obs.MetricsRegistry`; all
+            ``repro_deobfuscate_*`` series are pre-registered at zero so
+            ``/metrics`` exposes them before the first obfuscated input.
+        max_passes: fixpoint pass budget per script.
+        max_source_bytes: scripts larger than this skip normalization
+            (degraded no-op) rather than risk the deadline.
+    """
+
+    def __init__(
+        self,
+        limits: ScanLimits | None = None,
+        metrics=None,
+        max_passes: int = 8,
+        max_source_bytes: int = 2_000_000,
+        interp_max_steps: int = 200_000,
+        max_forced_calls: int = 32,
+        transforms: list[Transform] | None = None,
+    ):
+        self.limits = limits
+        self.max_passes = max_passes
+        self.max_source_bytes = max_source_bytes
+        self.interp_max_steps = interp_max_steps
+        self.max_forced_calls = max_forced_calls
+        self.transforms = transforms if transforms is not None else default_transforms()
+        self._m_scripts = None
+        self._m_rewrites = None
+        self._m_forced = None
+        self._m_iterations = None
+        if metrics is not None:
+            self._m_scripts = {
+                result: metrics.counter(
+                    "repro_deobfuscate_scripts_total",
+                    "Scripts through the deobfuscation pre-pass, by result",
+                    {"result": result},
+                )
+                for result in ("changed", "unchanged", "degraded")
+            }
+            self._m_rewrites = {
+                stage: metrics.counter(
+                    "repro_deobfuscate_rewrites_total",
+                    "Normalizer rewrites applied, by stage",
+                    {"stage": stage},
+                )
+                for stage in STAGE_NAMES
+            }
+            self._m_forced = {
+                outcome: metrics.counter(
+                    "repro_deobfuscate_forced_exec_total",
+                    "Forced-execution sandbox runs, by outcome",
+                    {"outcome": outcome},
+                )
+                for outcome in FORCED_OUTCOMES
+            }
+            self._m_iterations = metrics.histogram(
+                "repro_deobfuscate_fixpoint_iterations",
+                "Fixpoint passes per normalized script",
+                buckets=ITERATION_BUCKETS,
+            )
+
+    # ------------------------------------------------------------------ API
+
+    def normalize(self, source: str, name: str | None = None) -> tuple[str, NormalizationReport]:
+        """Normalize one script; returns ``(source, report)``.
+
+        The returned source is the original text verbatim unless at
+        least one rewrite survived codegen + reparse verification.
+        """
+        started = time.perf_counter()
+        report = NormalizationReport(input_bytes=len(source.encode("utf-8", "replace")))
+        out = source
+        try:
+            out = self._normalize(source, report)
+        except Exception as error:  # the never-raises contract
+            report.degraded = True
+            report.degraded_reason = f"{type(error).__name__}: {error}"[:200]
+            report.note("degraded normalization: original source scanned")
+            report.changed = False
+            out = source
+        report.output_bytes = len(out.encode("utf-8", "replace"))
+        report.elapsed_ms = 1000.0 * (time.perf_counter() - started)
+        self._record(report)
+        return out, report
+
+    # ------------------------------------------------------------ internals
+
+    def _normalize(self, source: str, report: NormalizationReport) -> str:
+        if len(source) > self.max_source_bytes:
+            report.degraded = True
+            report.degraded_reason = (
+                f"input {len(source)} chars exceeds max_source_bytes={self.max_source_bytes}"
+            )
+            report.note("degraded normalization: original source scanned")
+            return source
+        maybe_inject(source, stage="deobfuscate")  # chaos seam
+        deadline = None
+        if self.limits is not None:
+            deadline = time.monotonic() + self.limits.deadline_for("analyze")
+        ctx = NormalizeContext(
+            report,
+            deadline=deadline,
+            interp_max_steps=self.interp_max_steps,
+            max_forced_calls=self.max_forced_calls,
+        )
+        program = parse(source)
+        total = 0
+        for index in range(self.max_passes):
+            report.iterations = index + 1
+            applied = 0
+            for transform in self.transforms:
+                if ctx.expired:
+                    break
+                applied += transform.apply(program, ctx)
+            total += applied
+            if applied == 0:
+                report.fixpoint = True
+                break
+            if ctx.expired:
+                report.note("deadline reached before fixpoint")
+                break
+        else:
+            report.note(f"pass budget ({self.max_passes}) reached before fixpoint")
+        if total == 0:
+            return source
+        out = generate(program)
+        parse(out)  # reparse verification: emitted source must be valid
+        if out == source:
+            return source
+        report.changed = True
+        return out
+
+    def _record(self, report: NormalizationReport) -> None:
+        if self._m_scripts is None:
+            return
+        result = "degraded" if report.degraded else ("changed" if report.changed else "unchanged")
+        self._m_scripts[result].inc()
+        for stage, count in report.rewrites.items():
+            counter = self._m_rewrites.get(stage)
+            if counter is not None:
+                counter.inc(count)
+        for outcome, count in report.forced_exec.items():
+            counter = self._m_forced.get(outcome)
+            if counter is not None:
+                counter.inc(count)
+        if report.iterations:
+            self._m_iterations.observe(float(report.iterations))
+
+
+def normalize_source(source: str, **kwargs) -> tuple[str, NormalizationReport]:
+    """One-shot convenience: ``Deobfuscator(**kwargs).normalize(source)``."""
+    return Deobfuscator(**kwargs).normalize(source)

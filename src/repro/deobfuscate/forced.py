@@ -1,0 +1,251 @@
+"""Stage 5: bounded forced execution of self-contained decoder functions.
+
+JSForce-style: when an obfuscator ships its own decoder (a function that
+turns numbers or packed strings back into the real payload), static
+rewriting cannot always keep up with the arithmetic inside it.  Instead,
+any *self-contained* function — free variables limited to the pure
+:data:`~repro.deobfuscate.astutil.SAFE_GLOBALS` — called with literal
+arguments is executed for real inside :class:`repro.jsinterp.Interpreter`,
+and the call site is replaced by the string it returns.
+
+Safety model (the reason this is allowed near untrusted input):
+
+* every evaluation runs in a **fresh** interpreter whose host is the
+  in-memory :class:`~repro.jsinterp.HostRecorder` — no filesystem, no
+  network, no process state;
+* the op budget (``NormalizeContext.interp_max_steps``), the wall-clock
+  deadline, a string-length cap, and an allocation cap on ``Array(n)``
+  bound every run — an infinite loop or a memory bomb surfaces as
+  ``budget_exceeded``, not a hung scan;
+* the per-script forced-call budget caps how many evaluations one input
+  can demand;
+* any failure is an outcome counter plus a provenance note; the call
+  site is simply left alone.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any
+
+from repro.jsinterp import (
+    BudgetExceeded,
+    Interpreter,
+    JSArray,
+    JSInterpreterError,
+    JSUndefined,
+    NativeFunction,
+    ThrowSignal,
+    UnsupportedFeature,
+)
+from repro.jsparser import ast_nodes as ast, generate
+
+from .astutil import SAFE_GLOBALS, free_names, is_literal_expr, literal, postorder
+from .transforms import NormalizeContext, Transform
+
+#: Check the wall-clock deadline once per this many interpreter steps —
+#: cheap enough to leave on, frequent enough that a spin loop cannot
+#: outlive the scan deadline by more than a few microseconds of work.
+_DEADLINE_STRIDE = 256
+
+
+class BoundedInterpreter(Interpreter):
+    """An :class:`Interpreter` with wall-clock, string, and alloc caps.
+
+    The base class already enforces an op-count budget; forced execution
+    additionally needs (a) the scan deadline to apply *inside* a single
+    evaluation, (b) a cap on string growth (``s += s`` doubling bombs
+    stay O(cap), not O(2^steps)), and (c) a cap on ``Array(n)``
+    preallocation, which the stock host performs eagerly.
+    """
+
+    def __init__(
+        self,
+        max_steps: int,
+        deadline: float | None = None,
+        max_string_len: int = 1_000_000,
+        max_elements: int = 1_000_000,
+    ):
+        super().__init__(max_steps=max_steps)
+        self.deadline = deadline
+        self.max_string_len = max_string_len
+        self.max_elements = max_elements
+        self._cap_array_global()
+
+    def _tick(self) -> None:
+        super()._tick()
+        if (
+            self.deadline is not None
+            and self.steps % _DEADLINE_STRIDE == 0
+            and time.monotonic() >= self.deadline
+        ):
+            raise BudgetExceeded("deadline exceeded during forced execution")
+
+    def _binary(self, op: str, left: Any, right: Any) -> Any:
+        result = super()._binary(op, left, right)
+        if isinstance(result, str) and len(result) > self.max_string_len:
+            raise BudgetExceeded(
+                f"string result exceeds {self.max_string_len} chars"
+            )
+        return result
+
+    def _cap_array_global(self) -> None:
+        stock = self.global_env.bindings.get("Array")
+        if not isinstance(stock, NativeFunction):  # pragma: no cover - host drift
+            return
+        max_elements = self.max_elements
+
+        def construct(this: Any, args: list[Any]) -> JSArray:
+            if len(args) == 1 and isinstance(args[0], float):
+                if args[0] > max_elements:
+                    raise BudgetExceeded(
+                        f"Array({int(args[0])}) exceeds {max_elements} elements"
+                    )
+                return JSArray([JSUndefined] * int(args[0]))
+            return JSArray(list(args))
+
+        capped = NativeFunction("Array", construct)
+        capped.properties = getattr(stock, "properties", {})  # type: ignore[attr-defined]
+        self.global_env.bindings["Array"] = capped
+
+
+def run_bounded(source: str, ctx: NormalizeContext) -> tuple[str, Any]:
+    """Evaluate ``source`` in a fresh sandbox; return ``(outcome, value)``.
+
+    Outcome is one of :data:`~repro.deobfuscate.report.FORCED_OUTCOMES`;
+    the value is only meaningful for ``"ok"``.  Every call counts against
+    the per-script forced-call budget and lands in the report's
+    ``forced_exec`` tally, whichever stage requested it.
+    """
+    if ctx.forced_calls >= ctx.max_forced_calls:
+        ctx.report.count_forced("budget_exceeded")
+        ctx.report.note("forced-execution call budget exhausted")
+        return "budget_exceeded", None
+    ctx.forced_calls += 1
+    try:
+        interp = BoundedInterpreter(
+            max_steps=ctx.interp_max_steps,
+            deadline=ctx.deadline,
+            max_string_len=ctx.max_decoded_len,
+            max_elements=ctx.max_decoded_len,
+        )
+        value = interp.eval_source(source)
+    except BudgetExceeded:
+        ctx.report.count_forced("budget_exceeded")
+        return "budget_exceeded", None
+    except UnsupportedFeature:
+        ctx.report.count_forced("unsupported")
+        return "unsupported", None
+    except (ThrowSignal, JSInterpreterError, RecursionError):
+        ctx.report.count_forced("error")
+        return "error", None
+    except Exception:
+        ctx.report.count_forced("error")
+        return "error", None
+    ctx.report.count_forced("ok")
+    return "ok", value
+
+
+class ForcedExec(Transform):
+    """Inline ``decoder(literal…)`` calls by running the decoder."""
+
+    name = "forced_exec"
+
+    def apply(self, program: ast.Program, ctx: NormalizeContext) -> int:
+        functions = self._candidates(program)
+        if not functions:
+            return 0
+        parents: dict[int, ast.Node] = {}
+        sites: list[ast.Node] = []
+        for node, parent in postorder(program):
+            if parent is not None:
+                parents[id(node)] = parent
+            if (
+                node.type == "CallExpression"
+                and node.callee.type == "Identifier"
+                and node.callee.name in functions
+                and node.arguments
+                and all(is_literal_expr(a) for a in node.arguments)
+            ):
+                sites.append(node)
+        count = 0
+        memo: dict[str, tuple[str, Any]] = {}
+        failed: set[str] = set()
+        for call in sites:
+            if ctx.expired:
+                break
+            name = call.callee.name
+            if name in failed:
+                continue
+            parent = parents.get(id(call))
+            if parent is None:
+                continue
+            try:
+                key = generate(
+                    ast.Program([functions[name], ast.ExpressionStatement(call)])
+                )
+            except Exception:
+                continue
+            if key not in memo:
+                memo[key] = run_bounded(key, ctx)
+            outcome, value = memo[key]
+            if outcome != "ok":
+                failed.add(name)
+                ctx.report.note(f"forced execution of {name} degraded ({outcome})")
+                continue
+            if not isinstance(value, str) or len(value) > ctx.max_decoded_len:
+                failed.add(name)
+                continue
+            if parent.replace_child(call, literal(value)):
+                ctx.report.decoded_bytes += len(value)
+                count += 1
+        ctx.report.count(self.name, count)
+        return count
+
+    @classmethod
+    def _candidates(cls, program: ast.Program) -> dict[str, ast.Node]:
+        """Top-level decoder-shaped functions, free vars all pure globals.
+
+        The decoder-shape gate matters beyond cost: without it, any pure
+        helper in a *clean* script called with literal args would get a
+        sandbox run, and the resulting forced-exec tally would attach a
+        NormalizationReport to clean verdicts — breaking the
+        byte-identical-on-clean-input invariant.
+        """
+        functions: dict[str, ast.Node] = {}
+        for stmt in program.body:
+            if stmt.type != "FunctionDeclaration" or stmt.id is None:
+                continue
+            if not cls._looks_like_decoder(stmt):
+                continue
+            if free_names(stmt) - SAFE_GLOBALS:
+                continue
+            functions[stmt.id.name] = stmt
+        return functions
+
+    #: Non-computed member properties whose presence marks a decoder body.
+    _DECODER_MEMBERS = frozenset({"fromCharCode", "charCodeAt", "codePointAt"})
+    #: Free-standing decode builtins likewise.
+    _DECODER_CALLS = frozenset({"unescape", "atob", "parseInt"})
+
+    @classmethod
+    def _looks_like_decoder(cls, fn: ast.Node) -> bool:
+        for node, parent in postorder(fn):
+            if node.type != "Identifier":
+                continue
+            if (
+                parent is not None
+                and parent.type == "MemberExpression"
+                and parent.property is node
+                and not parent.computed
+                and node.name in cls._DECODER_MEMBERS
+            ):
+                return True
+            if (
+                parent is not None
+                and parent.type == "CallExpression"
+                and parent.callee is node
+                and node.name in cls._DECODER_CALLS
+            ):
+                return True
+        return False

@@ -1,0 +1,130 @@
+"""Normalization provenance: what the deobfuscation pre-pass did and why.
+
+Every :meth:`~repro.deobfuscate.Deobfuscator.normalize` call returns a
+:class:`NormalizationReport` next to the (possibly rewritten) source.  The
+report is the audit trail the rest of the stack consumes: the scanner
+attaches it to verdict provenance and the ``deobfuscate`` trace span, the
+daemon serializes it into scan responses, and the A/B bench aggregates its
+counters.  A report never implies failure of the *scan* — when the
+normalizer degrades, the original source flows through untouched and the
+report says so.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Stage names in execution order; one rewrite counter per stage.  The
+#: numbering in DESIGN.md §12 maps onto these: fold/member (stage 1),
+#: decode/eval_unwrap (stage 2), string_array/unflatten (stage 3),
+#: dead_branch (stage 4), forced_exec (stage 5).
+STAGE_NAMES = (
+    "fold",
+    "member",
+    "decode",
+    "string_array",
+    "unflatten",
+    "eval_unwrap",
+    "dead_branch",
+    "forced_exec",
+)
+
+#: Forced-execution attempt outcomes (per *call site*, deduplicated by
+#: memo): ``ok`` folded a literal, the rest explain why one did not.
+FORCED_OUTCOMES = ("ok", "budget_exceeded", "unsupported", "error")
+
+
+@dataclass
+class NormalizationReport:
+    """Per-script accounting for one deobfuscation run."""
+
+    #: The emitted source differs from the input (≥1 rewrite applied).
+    changed: bool = False
+    #: The normalizer gave up entirely and returned the original source
+    #: (parse failure, oversized input, internal error).  Never fatal to
+    #: the scan — a degraded normalization is a no-op, not an abort.
+    degraded: bool = False
+    degraded_reason: str | None = None
+    #: A full pass applied no rewrites (the transform set converged)
+    #: within the pass budget.
+    fixpoint: bool = False
+    #: Passes executed (1 N means the stage list ran N times).
+    iterations: int = 0
+    #: Per-stage rewrite counts, accumulated across passes.
+    rewrites: dict[str, int] = field(default_factory=dict)
+    #: Bytes of string payload recovered by decoding rewrites
+    #: (fromCharCode/atob/unescape/escape-soup/string-array/eval bodies).
+    decoded_bytes: int = 0
+    #: Forced-execution outcome counts (:data:`FORCED_OUTCOMES` keys).
+    forced_exec: dict[str, int] = field(default_factory=dict)
+    #: Human-readable caveats, e.g. a decoder that hit its op budget or a
+    #: pass budget exhausted before fixpoint — the "degraded
+    #: normalization" note surfaced in verdict provenance.
+    notes: list[str] = field(default_factory=list)
+    input_bytes: int = 0
+    output_bytes: int = 0
+    elapsed_ms: float = 0.0
+
+    @property
+    def total_rewrites(self) -> int:
+        return sum(self.rewrites.values())
+
+    @property
+    def interesting(self) -> bool:
+        """Worth attaching to a verdict: anything but a clean no-op.
+
+        Clean input converges with zero rewrites and no notes; omitting
+        the report then keeps verdicts byte-identical with the pass on.
+        Forced executions that succeeded without rewriting anything are
+        invisible to the verdict, so they do not count; failed ones
+        leave a note and therefore do.
+        """
+        return bool(self.changed or self.degraded or self.notes)
+
+    def count(self, stage: str, n: int = 1) -> None:
+        if n:
+            self.rewrites[stage] = self.rewrites.get(stage, 0) + n
+
+    def count_forced(self, outcome: str) -> None:
+        self.forced_exec[outcome] = self.forced_exec.get(outcome, 0) + 1
+
+    def note(self, message: str) -> None:
+        if message not in self.notes:
+            self.notes.append(message)
+
+    def to_dict(self) -> dict:
+        out: dict = {
+            "changed": self.changed,
+            "degraded": self.degraded,
+            "fixpoint": self.fixpoint,
+            "iterations": self.iterations,
+            "rewrites": dict(self.rewrites),
+            "decoded_bytes": self.decoded_bytes,
+            "input_bytes": self.input_bytes,
+            "output_bytes": self.output_bytes,
+            "elapsed_ms": round(self.elapsed_ms, 3),
+        }
+        if self.degraded_reason is not None:
+            out["degraded_reason"] = self.degraded_reason
+        if self.forced_exec:
+            out["forced_exec"] = dict(self.forced_exec)
+        if self.notes:
+            out["notes"] = list(self.notes)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "NormalizationReport":
+        return cls(
+            changed=data.get("changed", False),
+            degraded=data.get("degraded", False),
+            degraded_reason=data.get("degraded_reason"),
+            fixpoint=data.get("fixpoint", False),
+            iterations=data.get("iterations", 0),
+            rewrites=dict(data.get("rewrites", {})),
+            decoded_bytes=data.get("decoded_bytes", 0),
+            forced_exec=dict(data.get("forced_exec", {})),
+            notes=list(data.get("notes", [])),
+            input_bytes=data.get("input_bytes", 0),
+            output_bytes=data.get("output_bytes", 0),
+            elapsed_ms=data.get("elapsed_ms", 0.0),
+        )

@@ -1,0 +1,246 @@
+"""Stage 3: string-array + rotator unpacking (the ``_0x`` shape).
+
+obfuscator.io-style tooling hoists every string literal into one array,
+optionally rotates it at load time via an IIFE, and rewrites each usage
+as a call through a small decoder function::
+
+    var _0x25e8 = ["push", "cookie", …];
+    (function (arr, n) { … arr.push(arr.shift()) … })(_0x25e8, 0x1f4);
+    function _0xd4a3(i) { return _0x25e8[i - 0x0]; }
+    document[_0xd4a3(1)] = …;
+
+Rather than pattern-matching every rotator variant, the unpacker lifts
+the *declaration cluster* (array + rotator + decoders) into a standalone
+mini-program — provably self-contained by free-variable analysis — and
+executes each ``decoder(literal…)`` call site inside the sandboxed
+:mod:`repro.jsinterp` under the engine's op budget.  The resolved string
+replaces the call; once every reference is gone the cluster itself is
+deleted.  Any interpreter failure (budget, unsupported syntax, a throw)
+skips that array — never the scan.
+"""
+
+from __future__ import annotations
+
+from repro.jsparser import ast_nodes as ast, generate
+
+from .astutil import SAFE_GLOBALS, free_names, is_literal, literal, postorder, referenced_names
+from .transforms import NormalizeContext, Transform
+
+
+class _ArrayCluster:
+    """One candidate array with its rotator and decoder declarations."""
+
+    def __init__(self, name: str, decl: ast.Node):
+        self.name = name
+        self.decl = decl
+        self.rotators: list[ast.Node] = []
+        self.decoders: dict[str, ast.Node] = {}  # decoder name -> statement
+
+    @property
+    def statements(self) -> list[ast.Node]:
+        return [self.decl, *self.rotators, *self.decoders.values()]
+
+    @property
+    def bound_names(self) -> set[str]:
+        return {self.name, *self.decoders}
+
+
+class UnpackStringArrays(Transform):
+    name = "string_array"
+
+    def apply(self, program: ast.Program, ctx: NormalizeContext) -> int:
+        count = 0
+        for cluster in self._find_clusters(program):
+            if ctx.expired:
+                break
+            count += self._unpack(program, cluster, ctx)
+        ctx.report.count(self.name, count)
+        return count
+
+    # ------------------------------------------------------------ detection
+
+    def _find_clusters(self, program: ast.Program) -> list[_ArrayCluster]:
+        clusters: dict[str, _ArrayCluster] = {}
+        for stmt in program.body:
+            name = self._string_array_name(stmt)
+            if name is not None and name not in clusters:
+                clusters[name] = _ArrayCluster(name, stmt)
+        if not clusters:
+            return []
+        for stmt in program.body:
+            for cluster in clusters.values():
+                if stmt is cluster.decl:
+                    continue
+                decoder = self._decoder_name(stmt, cluster.name)
+                if decoder is not None:
+                    cluster.decoders.setdefault(decoder, stmt)
+                elif self._is_rotator(stmt, cluster.name):
+                    cluster.rotators.append(stmt)
+        return [c for c in clusters.values() if c.decoders and self._self_contained(c)]
+
+    @staticmethod
+    def _string_array_name(stmt: ast.Node) -> str | None:
+        if stmt.type != "VariableDeclaration" or len(stmt.declarations) != 1:
+            return None
+        declarator = stmt.declarations[0]
+        init = declarator.init
+        if (
+            declarator.id.type != "Identifier"
+            or init is None
+            or init.type != "ArrayExpression"
+            or len(init.elements) < 2
+        ):
+            return None
+        if not all(
+            is_literal(e) and isinstance(e.value, str) for e in init.elements
+        ):
+            return None
+        return declarator.id.name
+
+    @staticmethod
+    def _decoder_name(stmt: ast.Node, array_name: str) -> str | None:
+        """A function whose body reads the array: the accessor shape."""
+        if stmt.type == "FunctionDeclaration" and stmt.id is not None:
+            name, fn = stmt.id.name, stmt
+        elif (
+            stmt.type == "VariableDeclaration"
+            and len(stmt.declarations) == 1
+            and stmt.declarations[0].id.type == "Identifier"
+            and stmt.declarations[0].init is not None
+            and stmt.declarations[0].init.type == "FunctionExpression"
+        ):
+            name, fn = stmt.declarations[0].id.name, stmt.declarations[0].init
+        else:
+            return None
+        return name if array_name in referenced_names(fn.body) else None
+
+    @staticmethod
+    def _is_rotator(stmt: ast.Node, array_name: str) -> bool:
+        """A top-level IIFE that takes the array (the load-time shuffle)."""
+        if stmt.type != "ExpressionStatement":
+            return False
+        expr = stmt.expression
+        if expr.type != "CallExpression" or expr.callee.type != "FunctionExpression":
+            return False
+        return any(
+            a.type == "Identifier" and a.name == array_name for a in expr.arguments
+        )
+
+    def _self_contained(self, cluster: _ArrayCluster) -> bool:
+        """The cluster must run in the sandbox on its own declarations."""
+        bound = cluster.bound_names
+        for stmt in cluster.statements:
+            if free_names(stmt) - bound - SAFE_GLOBALS:
+                return False
+        return True
+
+    # ------------------------------------------------------------- unpacking
+
+    def _unpack(self, program: ast.Program, cluster: _ArrayCluster, ctx: NormalizeContext) -> int:
+        from .forced import run_bounded  # local: avoids import cycle at init
+
+        cluster_nodes: set[int] = set()
+        for stmt in cluster.statements:
+            cluster_nodes.add(id(stmt))
+            cluster_nodes.update(id(n) for n, _ in postorder(stmt))
+
+        parents: dict[int, ast.Node] = {}
+        for node, parent in postorder(program):
+            if parent is not None:
+                parents[id(node)] = parent
+
+        # Every outside reference must be an inlinable call (or direct
+        # literal index) — any other alias could observe the array after
+        # we rewrite, so the whole cluster is skipped.
+        call_sites: list[tuple[ast.Node, ast.Node]] = []
+        for node, parent in postorder(program):
+            if id(node) in cluster_nodes or node.type != "Identifier" or parent is None:
+                continue
+            if node.name not in cluster.bound_names:
+                continue
+            if id(parent) in cluster_nodes:
+                continue
+            expr = self._inlinable_expr(node, parent, cluster)
+            if expr is None or id(expr) not in parents:
+                return 0
+            call_sites.append((expr, parents[id(expr)]))
+        if not call_sites:
+            return 0
+
+        try:
+            prelude = generate(ast.Program(cluster.statements))
+        except Exception:
+            return 0
+        memo: dict[str, object] = {}
+        count = 0
+        replaced: set[int] = set()
+        for expr, parent in call_sites:
+            if id(expr) in replaced:
+                continue  # duplicate (site listed once per identifier)
+            if ctx.expired:
+                break
+            try:
+                probe = generate(ast.Program([ast.ExpressionStatement(expr)]))
+            except Exception:
+                continue
+            if probe not in memo:
+                outcome, value = run_bounded(prelude + "\n" + probe, ctx)
+                if outcome != "ok":
+                    ctx.report.note(
+                        f"string-array lookup failed ({outcome}) for {cluster.name}"
+                    )
+                    return count
+                memo[probe] = value
+            value = memo[probe]
+            if not isinstance(value, str):
+                continue
+            if parent.replace_child(expr, literal(value)):
+                replaced.add(id(expr))
+                ctx.report.decoded_bytes += len(value)
+                count += 1
+
+        # Dead cluster removal: when nothing outside references the
+        # array or its decoders any more, the scaffolding goes too.
+        if count:
+            remaining = self._outside_references(program, cluster, cluster_nodes)
+            if not remaining:
+                for stmt in cluster.statements:
+                    if stmt in program.body:
+                        program.body.remove(stmt)
+                        count += 1
+        return count
+
+    @staticmethod
+    def _inlinable_expr(
+        node: ast.Node, parent: ast.Node, cluster: _ArrayCluster
+    ) -> ast.Node | None:
+        """The expression to fold for one outside reference, or None."""
+        if (
+            parent.type == "CallExpression"
+            and parent.callee is node
+            and node.name in cluster.decoders
+            and parent.arguments
+            and all(is_literal(a) for a in parent.arguments)
+        ):
+            return parent
+        if (
+            parent.type == "MemberExpression"
+            and parent.object is node
+            and node.name == cluster.name
+            and parent.computed
+            and is_literal(parent.property)
+        ):
+            return parent
+        return None
+
+    @staticmethod
+    def _outside_references(
+        program: ast.Program, cluster: _ArrayCluster, cluster_nodes: set[int]
+    ) -> list[ast.Node]:
+        return [
+            node
+            for node, _ in postorder(program)
+            if node.type == "Identifier"
+            and node.name in cluster.bound_names
+            and id(node) not in cluster_nodes
+        ]

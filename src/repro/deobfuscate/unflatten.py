@@ -1,0 +1,169 @@
+"""Control-flow unflattening for switch-dispatch obfuscation.
+
+javascript-obfuscator's control-flow flattening rewrites a straight-line
+statement sequence as::
+
+    var SEQ = "2|0|1".split("|"), C = 0;
+    while (true) {
+      switch (SEQ[C++]) {
+        case "0": first();  continue;
+        case "1": second(); continue;
+        case "2": third();  continue;
+      }
+      break;
+    }
+
+The dispatch string *is* the original execution order, so the rewrite is
+exactly invertible: map each position in the dispatch string to its case
+body and splice the statements back in order.  :class:`Unflatten`
+matches this shape strictly — the sequence/counter pair must be a
+two-declarator ``var``, the loop body exactly ``switch`` + ``break``,
+every case a single statement (with its ``continue``), the dispatch
+string a permutation of the case labels, and the two helper names
+referenced nowhere else — so hand-written dispatch loops, which never
+thread a ``"…".split("|")`` program counter, fall through untouched.
+"""
+
+from __future__ import annotations
+
+from repro.jsparser import ast_nodes as ast
+
+from .astutil import is_literal, postorder
+from .transforms import NormalizeContext, Transform
+
+
+def _match_sequence_decl(decl: ast.Node):
+    """``var SEQ = "…".split("|"), C = 0;`` → (seq, counter, dispatch)."""
+    if decl.type != "VariableDeclaration" or len(decl.declarations) != 2:
+        return None
+    head, tail = decl.declarations
+    if head.id.type != "Identifier" or tail.id.type != "Identifier":
+        return None
+    init = head.init
+    if not (
+        init is not None
+        and init.type == "CallExpression"
+        and len(init.arguments) == 1
+        and is_literal(init.arguments[0])
+        and init.arguments[0].value == "|"
+        and init.callee.type == "MemberExpression"
+        and not init.callee.computed
+        and init.callee.property.type == "Identifier"
+        and init.callee.property.name == "split"
+        and is_literal(init.callee.object)
+        and isinstance(init.callee.object.value, str)
+    ):
+        return None
+    counter_init = tail.init
+    if not (
+        counter_init is not None
+        and is_literal(counter_init)
+        and isinstance(counter_init.value, (int, float))
+        and not isinstance(counter_init.value, bool)
+        and counter_init.value == 0
+    ):
+        return None
+    return head.id.name, tail.id.name, init.callee.object.value
+
+
+def _match_dispatch_loop(loop: ast.Node, seq_name: str, counter_name: str):
+    """``while (true) { switch (SEQ[C++]) {…} break; }`` → its cases."""
+    if loop.type != "WhileStatement":
+        return None
+    if not (is_literal(loop.test) and loop.test.value is True):
+        return None
+    body = loop.body
+    if body.type != "BlockStatement" or len(body.body) != 2:
+        return None
+    switch, last = body.body
+    if switch.type != "SwitchStatement" or last.type != "BreakStatement":
+        return None
+    disc = switch.discriminant
+    if not (
+        disc.type == "MemberExpression"
+        and disc.computed
+        and disc.object.type == "Identifier"
+        and disc.object.name == seq_name
+        and disc.property.type == "UpdateExpression"
+        and disc.property.operator == "++"
+        and not disc.property.prefix
+        and disc.property.argument.type == "Identifier"
+        and disc.property.argument.name == counter_name
+    ):
+        return None
+    return switch.cases
+
+
+def _case_statements(cases: list[ast.Node]) -> dict[str, ast.Node] | None:
+    """Label → payload statement, or None when any case deviates."""
+    by_label: dict[str, ast.Node] = {}
+    for case in cases:
+        if case.test is None or not is_literal(case.test):
+            return None
+        label = case.test.value
+        if not isinstance(label, str) or label in by_label:
+            return None
+        consequent = list(case.consequent)
+        if len(consequent) == 2 and consequent[1].type == "ContinueStatement":
+            statement = consequent[0]
+        elif len(consequent) == 1 and consequent[0].type == "ReturnStatement":
+            statement = consequent[0]
+        else:
+            return None
+        by_label[label] = statement
+    return by_label or None
+
+
+def _identifier_uses(root: ast.Node, names: set[str]) -> int:
+    return sum(
+        1
+        for node, _parent in postorder(root)
+        if node.type == "Identifier" and node.name in names
+    )
+
+
+class Unflatten(Transform):
+    """Invert switch-dispatch control-flow flattening."""
+
+    name = "unflatten"
+
+    def apply(self, program: ast.Program, ctx: NormalizeContext) -> int:
+        owners = [program] + [
+            node for node, _parent in postorder(program) if node.type == "BlockStatement"
+        ]
+        count = 0
+        for owner in owners:
+            if ctx.expired:
+                break
+            body = owner.body
+            index = 0
+            while index + 1 < len(body):
+                replacement = self._try_invert(program, body[index], body[index + 1])
+                if replacement is None:
+                    index += 1
+                    continue
+                body[index : index + 2] = replacement
+                ctx.report.count(self.name)
+                count += 1
+        return count
+
+    def _try_invert(self, program, decl, loop):
+        matched = _match_sequence_decl(decl)
+        if matched is None:
+            return None
+        seq_name, counter_name, dispatch = matched
+        cases = _match_dispatch_loop(loop, seq_name, counter_name)
+        if cases is None:
+            return None
+        by_label = _case_statements(cases)
+        if by_label is None:
+            return None
+        parts = dispatch.split("|")
+        if sorted(parts) != sorted(by_label):
+            return None
+        # The helpers must be private to the dispatcher: two uses each
+        # (declaration + discriminant) and none anywhere else.
+        names = {seq_name, counter_name}
+        if _identifier_uses(program, names) != _identifier_uses(decl, names) + _identifier_uses(loop, names):
+            return None
+        return [by_label[part] for part in parts]

@@ -12,8 +12,6 @@ evaluation order.
 
 from __future__ import annotations
 
-import json
-
 from . import ast_nodes as ast
 from .errors import CodegenError
 
@@ -57,9 +55,45 @@ _PREC_MEMBER = 19
 _PREC_PRIMARY = 20
 
 
+#: Characters that need a named escape inside a double-quoted literal.
+#: U+2028/U+2029 are line terminators to the lexer even inside strings,
+#: so they must be escaped or the literal fails to re-parse.
+_STRING_ESCAPES = {
+    "\\": "\\\\",
+    '"': '\\"',
+    "\n": "\\n",
+    "\r": "\\r",
+    "\t": "\\t",
+    "\b": "\\b",
+    "\f": "\\f",
+    "\v": "\\v",
+    " ": "\\u2028",
+    " ": "\\u2029",
+}
+
+
 def _escape_string(value: str) -> str:
-    """Emit a double-quoted JS string literal for ``value``."""
-    return json.dumps(value)
+    """Emit a double-quoted JS string literal for ``value``.
+
+    Non-ASCII characters are emitted literally so astral code points
+    survive a ``generate → parse`` round trip (a ``\\uD83D\\uDE00``
+    surrogate-pair escape would re-lex as two lone surrogate code
+    units, changing the literal's value).  Lone surrogates themselves
+    cannot be UTF-8 encoded, so those — and bare control characters —
+    are escaped numerically.
+    """
+    parts = ['"']
+    for ch in value:
+        escape = _STRING_ESCAPES.get(ch)
+        if escape is not None:
+            parts.append(escape)
+        elif ch < " " or "\ud800" <= ch <= "\udfff":
+            code = ord(ch)
+            parts.append(f"\\x{code:02x}" if code < 0x100 else f"\\u{code:04x}")
+        else:
+            parts.append(ch)
+    parts.append('"')
+    return "".join(parts)
 
 
 class CodeGenerator:

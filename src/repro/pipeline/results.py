@@ -16,8 +16,16 @@ from dataclasses import dataclass, field
 import numpy as np
 
 #: Stage keys reported per scan (Table VIII naming, plus the triage
-#: analysis stage which is 0 unless a triage analyzer is configured).
-STAGE_KEYS = ("analysis", "path_extraction", "embedding", "feature_transform", "classifying")
+#: analysis stage which is 0 unless a triage analyzer is configured and
+#: the deobfuscation pre-pass which appears only when enabled).
+STAGE_KEYS = (
+    "deobfuscate",
+    "analysis",
+    "path_extraction",
+    "embedding",
+    "feature_transform",
+    "classifying",
+)
 
 #: Per-script result statuses (DESIGN.md §9 state machine):
 #:
@@ -76,6 +84,12 @@ class ScanResult:
     #: *omitted* from :meth:`to_dict`, keeping untraced output
     #: byte-identical — when tracing was off or sampled out.
     trace: dict | None = None
+    #: Serialized :class:`~repro.deobfuscate.NormalizationReport` when the
+    #: deobfuscation pre-pass ran *and* did something worth auditing
+    #: (rewrites, degradation, forced-exec activity).  ``None`` — and
+    #: omitted from :meth:`to_dict` — otherwise, so clean scripts keep
+    #: byte-identical verdicts with the pass enabled.
+    normalization: dict | None = None
 
     @property
     def faulted(self) -> bool:
@@ -105,6 +119,8 @@ class ScanResult:
             "degraded": self.degraded,
             "fault": self.fault,
         }
+        if self.normalization is not None:
+            out["normalization"] = self.normalization
         if self.trace is not None:
             out["trace"] = self.trace
         out["verdict"] = self.verdict

@@ -59,6 +59,7 @@ from .results import STAGE_KEYS, STATUS_OK, STATUS_PARSE_ERROR, ScanReport, Scan
 if TYPE_CHECKING:  # pragma: no cover
     from repro.analysis import Analyzer
     from repro.core.detector import JSRevealer
+    from repro.deobfuscate import Deobfuscator, NormalizationReport
     from repro.obs import MetricsRegistry, Span, Tracer
 
 # ------------------------------------------------------------------ workers
@@ -160,6 +161,14 @@ class BatchScanner:
             the isolation layer, and verdict provenance attached to every
             :class:`ScanResult`.  ``None`` disables tracing entirely —
             verdicts and JSON output are byte-identical either way.
+        deobfuscate: Optional :class:`~repro.deobfuscate.Deobfuscator`.
+            When given, every source is normalized *before* triage,
+            content keys, and embedding, so the whole pipeline sees the
+            deobfuscated text.  Clean scripts come back verbatim (the
+            normalizer's byte-identical no-op contract), keeping their
+            verdicts and cache keys untouched; rewritten scripts carry a
+            ``normalization`` report on their :class:`ScanResult` and a
+            ``deobfuscate`` span when traced.
     """
 
     def __init__(
@@ -174,6 +183,7 @@ class BatchScanner:
         limits: ScanLimits | None = None,
         quarantine: QuarantineJournal | None = None,
         tracer: "Tracer | None" = None,
+        deobfuscate: "Deobfuscator | None" = None,
     ):
         if n_workers < 1:
             raise ValueError("n_workers must be positive")
@@ -193,6 +203,7 @@ class BatchScanner:
         self.quarantine = quarantine
         self._iso_pool: IsolatedPool | None = None
         self.tracer = tracer
+        self.deobfuscate = deobfuscate
         self.metrics = metrics
         if metrics is not None:
             from repro.obs.metrics import DEFAULT_SIZE_BUCKETS
@@ -323,6 +334,26 @@ class BatchScanner:
         ]
         statuses: list[str] = [STATUS_OK] * n
         fault_info: list[dict | None] = [None] * n
+
+        # Deobfuscation pre-pass: rewrite sources *before* triage and
+        # content keys, so rules, cache, dedup, and embedding all see the
+        # normalized text (two obfuscated variants of one payload even
+        # dedup to one embedding).  Clean scripts come back verbatim —
+        # the normalizer's byte-identical no-op contract — so enabling
+        # the pass cannot perturb their verdicts or cache keys.
+        norm_reports: "list[NormalizationReport | None]" = [None] * n
+        deob_ms: float | None = None
+        if self.deobfuscate is not None:
+            deob_started = time.perf_counter()
+            normalized_sources: list[str] = []
+            for i, source in enumerate(sources):
+                normalized, norm_report = self.deobfuscate.normalize(source, name=str(names[i]))
+                normalized_sources.append(normalized)
+                norm_reports[i] = norm_report
+                if norm_report.interesting:
+                    per_file_ms[i]["deobfuscate"] = norm_report.elapsed_ms
+            sources = normalized_sources
+            deob_ms = 1000.0 * (time.perf_counter() - deob_started)
 
         # Triage fast-path: analyze first; decisive hits never reach the
         # embedding pipeline (or the cache — no features were computed).
@@ -526,7 +557,7 @@ class BatchScanner:
                 trace_envelopes[i] = self._file_trace(
                     root, file_span_ids[i], i, names, statuses, hit_flags, triaged,
                     per_file_ms, fault_info, worker_spans, entries, analyses, top_paths,
-                    position, X if len(active) else None,
+                    position, X if len(active) else None, norm_reports,
                 )
         degraded_flags = [False] * n
         for i in range(n):
@@ -562,6 +593,11 @@ class BatchScanner:
                     degraded=degraded_flags[i],
                     fault=fault_info[i],
                     trace=trace_envelopes[i],
+                    normalization=(
+                        norm_reports[i].to_dict()
+                        if norm_reports[i] is not None and norm_reports[i].interesting
+                        else None
+                    ),
                 )
             )
 
@@ -587,6 +623,8 @@ class BatchScanner:
         }
         if self.triage is not None or analysis_total_ms:
             stage_totals["analysis"] = analysis_total_ms
+        if deob_ms is not None:
+            stage_totals["deobfuscate"] = deob_ms
         report = ScanReport(
             results=results,
             threshold=threshold,
@@ -642,6 +680,7 @@ class BatchScanner:
         top_paths: list[list | None],
         position: dict[int, int],
         X: np.ndarray | None,
+        norm_reports: "list[NormalizationReport | None]",
     ) -> dict:
         """One file's trace envelope: span subtree + verdict provenance.
 
@@ -679,6 +718,24 @@ class BatchScanner:
             status_detail=info.get("detail") if faulted else None,
         )
         spans = [file_span]
+        norm = norm_reports[i]
+        if norm is not None:
+            spans.append(
+                root.synthesize(
+                    "deobfuscate",
+                    norm.elapsed_ms,
+                    parent_id=span_id,
+                    attributes={
+                        "changed": norm.changed,
+                        "degraded": norm.degraded,
+                        "fixpoint": norm.fixpoint,
+                        "iterations": norm.iterations,
+                        "rewrites": norm.total_rewrites,
+                    },
+                    status="error" if norm.degraded else "ok",
+                    status_detail=norm.degraded_reason,
+                )
+            )
         has_analyze_spans = any(s.get("name") == "worker.analyze" for s in worker_spans[i] or [])
         if per_file_ms[i].get("analysis") and not has_analyze_spans:
             spans.append(root.synthesize("analysis", per_file_ms[i]["analysis"], parent_id=span_id))
@@ -719,13 +776,21 @@ class BatchScanner:
         return {
             "trace_id": root.trace_id,
             "span_id": span_id,
-            "provenance": self._provenance(analyses[i], top_paths[i], row),
+            "provenance": self._provenance(analyses[i], top_paths[i], row, norm),
             "spans": span_tree(spans),
         }
 
-    def _provenance(self, analysis, top_paths: list | None, row: np.ndarray | None) -> dict:
+    def _provenance(
+        self,
+        analysis,
+        top_paths: list | None,
+        row: np.ndarray | None,
+        norm_report: "NormalizationReport | None" = None,
+    ) -> dict:
         """Why the verdict: rule hits, attention paths, cluster features."""
         provenance: dict = {}
+        if norm_report is not None and norm_report.interesting:
+            provenance["normalization"] = norm_report.to_dict()
         if analysis is not None:
             provenance["rules"] = [
                 {"rule_id": f.rule_id, "severity": f.severity, "decisive": f.decisive}

@@ -110,6 +110,9 @@ class ServeConfig:
     trace_sample_rate: float = 0.1
     trace_capacity: int = 256  # /debug/traces ring size
     trace_slow_ms: float = 250.0  # slow-scan retention threshold
+    # Deobfuscation pre-pass default: requests may override per call with
+    # a boolean ``"deobfuscate"`` field on /scan and /scan/batch bodies.
+    deobfuscate: bool = False
 
     def validate(self) -> None:
         if self.n_workers < 1:
@@ -200,6 +203,13 @@ class ScanServer:
         # Static analysis shares the metrics registry, so /metrics exposes
         # per-rule finding counters next to the scan histograms.
         self.analyzer = Analyzer(metrics=self.metrics)
+        # The deobfuscation engine is model-independent and always built:
+        # requests can opt in per call even when the server default is
+        # off, and building it here pre-registers every
+        # ``repro_deobfuscate_*`` series on /metrics at zero.
+        from repro.deobfuscate import Deobfuscator
+
+        self.deobfuscator = Deobfuscator(limits=limits, metrics=self.metrics)
         self._executor = ThreadPoolExecutor(max_workers=1, thread_name_prefix="repro-scan")
         self.batcher = MicroBatcher(
             self._scan_batch,
@@ -248,6 +258,23 @@ class ScanServer:
         # One traced request in the micro-batch is enough to record the
         # whole batch's spans (they are grafted into every traced waiter).
         want_trace = any(meta.get("trace") for meta in metas or [])
+        # Deobfuscation is per *request* while the scan is per micro-batch,
+        # so flagged sources are normalized here — before the scanner, so
+        # its cache keys on the normalized text — and the reports are
+        # re-attached to the matching results after.  The engine never
+        # raises; clean scripts come back verbatim.
+        norm_reports: list = [None] * len(sources)
+        if metas and any(meta.get("deobfuscate") for meta in metas):
+            sources = list(sources)
+            for i, meta in enumerate(metas):
+                if not meta.get("deobfuscate"):
+                    continue
+                normalized, norm_report = self.deobfuscator.normalize(
+                    sources[i], name=str(names[i])
+                )
+                sources[i] = normalized
+                if norm_report.interesting:
+                    norm_reports[i] = norm_report
         try:
             report = self.scanner.scan(
                 sources,
@@ -258,6 +285,15 @@ class ScanServer:
         except Exception:
             self.breaker.record_failure()
             raise
+        for i, norm_report in enumerate(norm_reports):
+            if norm_report is None or i >= len(report.results):
+                continue
+            result = report.results[i]
+            result.normalization = norm_report.to_dict()
+            if result.trace is not None:
+                result.trace.setdefault("provenance", {})[
+                    "normalization"
+                ] = norm_report.to_dict()
         # Each *fresh* fault cost one worker (known-quarantined scripts are
         # answered without dispatching, so they don't count); a clean batch
         # closes the breaker again.  Thread-safe: we are on the single
@@ -510,6 +546,7 @@ class ScanServer:
                 "breaker_threshold": self.config.breaker_threshold,
                 "breaker_reset_s": self.config.breaker_reset_s,
                 "max_body_bytes": self.config.max_body_bytes,
+                "deobfuscate": self.config.deobfuscate,
             },
         }
         return self._ok(request, payload)
@@ -590,6 +627,12 @@ class ScanServer:
             raise ProtocolError(400, "threshold must be a number")
         return float(threshold)
 
+    def _parse_deobfuscate(self, payload: dict) -> bool:
+        flag = payload.get("deobfuscate", self.config.deobfuscate)
+        if not isinstance(flag, bool):
+            raise ProtocolError(400, '"deobfuscate" must be a boolean')
+        return flag
+
     @staticmethod
     def _result_payload(result, threshold: float) -> dict:
         out = result.to_dict()
@@ -640,13 +683,16 @@ class ScanServer:
         if not isinstance(name, str):
             raise ProtocolError(400, '"name" must be a string')
         threshold = self._parse_threshold(payload)
+        deobfuscate = self._parse_deobfuscate(payload)
 
         root = self._start_request_trace(request, "http.scan")
         with root:
             root.set_attribute("script", name)
             submitted = time.perf_counter()
             try:
-                future = await self._submit(source, name, meta={"trace": root.recording})
+                future = await self._submit(
+                    source, name, meta={"trace": root.recording, "deobfuscate": deobfuscate}
+                )
             except _Reply as reply:
                 root.set_status("error", f"rejected {reply.status}")
                 return self._render_reply(request, reply, trace_id=root.context.trace_id)
@@ -724,6 +770,7 @@ class ScanServer:
         if not isinstance(scripts, list) or not scripts:
             raise ProtocolError(400, '"scripts" must be a non-empty array')
         threshold = self._parse_threshold(payload)
+        deobfuscate = self._parse_deobfuscate(payload)
 
         sources: list[str] = []
         names: list[str] = []
@@ -750,7 +797,11 @@ class ScanServer:
             try:
                 for source, name in zip(sources, names):
                     futures.append(
-                        await self._submit(source, name, meta={"trace": root.recording})
+                        await self._submit(
+                            source,
+                            name,
+                            meta={"trace": root.recording, "deobfuscate": deobfuscate},
+                        )
                     )
             except _Reply as reply:
                 for future in futures:  # abandon what we already queued

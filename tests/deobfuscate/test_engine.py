@@ -1,0 +1,100 @@
+"""Engine-level behavior: fixpoint convergence, byte-identity on clean
+input, report serialization, and metrics accounting."""
+
+from repro.deobfuscate import Deobfuscator, NormalizationReport, normalize_source
+from repro.obs.metrics import MetricsRegistry
+
+OBFUSCATED = 'var u = "\\x68\\x74\\x74\\x70" + "\\x73\\x3a";\nfetch(u);\n'
+CLEAN = 'function greet(name) {\n  return name;\n}\ngreet(user);\n'
+
+
+class TestNormalize:
+    def test_obfuscated_source_changes_and_converges(self):
+        out, report = Deobfuscator().normalize(OBFUSCATED)
+        assert '"https:"' in out
+        assert report.changed
+        assert report.fixpoint
+        assert report.iterations >= 2
+        assert report.total_rewrites >= 1
+        assert report.output_bytes == len(out.encode("utf-8"))
+
+    def test_clean_source_is_byte_identical(self):
+        out, report = Deobfuscator().normalize(CLEAN)
+        assert out == CLEAN
+        assert not report.changed
+        assert not report.interesting
+        assert report.input_bytes == report.output_bytes
+
+    def test_normalize_is_idempotent(self):
+        engine = Deobfuscator()
+        once, _ = engine.normalize(OBFUSCATED)
+        twice, report = engine.normalize(once)
+        assert twice == once
+        assert not report.changed
+
+    def test_pass_budget_reported_when_not_converged(self):
+        # One pass is not enough for decode-then-fold chains.
+        engine = Deobfuscator(max_passes=1)
+        _, report = engine.normalize(OBFUSCATED)
+        assert not report.fixpoint
+        assert any("pass budget" in note or "fixpoint" in note for note in report.notes)
+
+    def test_normalize_source_convenience(self):
+        out, report = normalize_source(OBFUSCATED)
+        assert '"https:"' in out
+        assert report.changed
+
+
+class TestReportSerialization:
+    def test_round_trip(self):
+        _, report = Deobfuscator().normalize(OBFUSCATED)
+        data = report.to_dict()
+        back = NormalizationReport.from_dict(data)
+        assert back.to_dict() == data
+        assert back.changed == report.changed
+        assert back.rewrites == report.rewrites
+
+    def test_empty_fields_omitted(self):
+        _, report = Deobfuscator().normalize(OBFUSCATED)
+        data = report.to_dict()
+        assert "degraded_reason" not in data
+        assert "notes" not in data
+        assert "forced_exec" not in data
+
+    def test_elapsed_is_measured(self):
+        _, report = Deobfuscator().normalize(OBFUSCATED)
+        assert report.elapsed_ms >= 0.0
+
+
+class TestMetrics:
+    def test_counters_preregistered_at_zero(self):
+        registry = MetricsRegistry()
+        Deobfuscator(metrics=registry)
+        text = registry.render()
+        for family in (
+            "repro_deobfuscate_scripts_total",
+            "repro_deobfuscate_rewrites_total",
+            "repro_deobfuscate_forced_exec_total",
+            "repro_deobfuscate_fixpoint_iterations",
+        ):
+            assert family in text
+
+    def test_changed_scan_increments(self):
+        registry = MetricsRegistry()
+        engine = Deobfuscator(metrics=registry)
+        engine.normalize(OBFUSCATED)
+        assert registry.get("repro_deobfuscate_scripts_total", {"result": "changed"}).value == 1.0
+        assert registry.get("repro_deobfuscate_rewrites_total", {"stage": "fold"}).value >= 1.0
+        assert registry.get("repro_deobfuscate_fixpoint_iterations").count == 1
+
+    def test_unchanged_scan_increments(self):
+        registry = MetricsRegistry()
+        engine = Deobfuscator(metrics=registry)
+        engine.normalize(CLEAN)
+        assert registry.get("repro_deobfuscate_scripts_total", {"result": "unchanged"}).value == 1.0
+
+    def test_degraded_scan_increments(self):
+        registry = MetricsRegistry()
+        engine = Deobfuscator(metrics=registry)
+        engine.normalize("function ( {{{")
+        assert registry.get("repro_deobfuscate_scripts_total", {"result": "degraded"}).value == 1.0

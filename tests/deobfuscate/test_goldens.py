@@ -1,0 +1,68 @@
+"""Golden-corpus tests: every obfuscated example normalizes to its
+paired ``.expected.js`` file, every golden is itself a fixpoint, and
+clean corpus files come back byte-identical."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.deobfuscate import Deobfuscator
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+OBFUSCATED = sorted(
+    p for p in (EXAMPLES / "obfuscated").glob("*.js") if not p.name.endswith(".expected.js")
+)
+#: Corpus files that contain no obfuscation at all — the normalizer
+#: must return them verbatim.  (sample_0, vendor_2 and vendor_5 carry
+#: mild obfuscation-like constructs and legitimately rewrite.)
+CLEAN = [
+    EXAMPLES / "corpus" / name
+    for name in ("sample_1.js", "vendor_0.js", "vendor_1.js", "vendor_3.js", "vendor_4.js")
+]
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return Deobfuscator()
+
+
+@pytest.mark.parametrize("path", OBFUSCATED, ids=lambda p: p.stem)
+def test_sample_normalizes_to_golden(engine, path):
+    golden = path.with_name(path.stem + ".expected.js")
+    out, report = engine.normalize(path.read_text(), name=path.name)
+    assert report.changed
+    assert not report.degraded
+    assert report.fixpoint
+    assert out.rstrip("\n") == golden.read_text().rstrip("\n")
+
+
+@pytest.mark.parametrize("path", OBFUSCATED, ids=lambda p: p.stem)
+def test_golden_is_fixpoint(engine, path):
+    golden = path.with_name(path.stem + ".expected.js")
+    out, report = engine.normalize(golden.read_text(), name=golden.name)
+    assert not report.changed
+    assert not report.notes
+    assert out == golden.read_text()
+
+
+@pytest.mark.parametrize("path", CLEAN, ids=lambda p: p.stem)
+def test_clean_corpus_is_byte_identical(engine, path):
+    source = path.read_text()
+    out, report = engine.normalize(source, name=path.name)
+    assert out == source
+    assert not report.interesting
+    assert report.rewrites == {}
+
+
+def test_corpus_has_all_four_techniques():
+    names = {p.stem for p in OBFUSCATED}
+    assert {"obfuscator_io", "fromcharcode_packer", "hex_escape_soup", "eval_wrapped"} <= names
+
+
+def test_stage_coverage_across_goldens(engine):
+    """Between them the goldens must exercise the headline stages."""
+    stages = set()
+    for path in OBFUSCATED:
+        _, report = engine.normalize(path.read_text())
+        stages |= set(report.rewrites)
+    assert {"fold", "decode", "string_array", "eval_unwrap", "dead_branch", "forced_exec"} <= stages

@@ -1,0 +1,167 @@
+"""Safety-envelope tests for bounded forced execution.
+
+The sandbox must make hostile decoders boring: infinite loops hit the
+op budget, allocation bombs hit the element/string caps, host access
+disqualifies a candidate before it ever runs, and an injected fault
+mid-decode degrades the scan instead of aborting it.
+"""
+
+import time
+
+import pytest
+
+from repro.deobfuscate import (
+    BoundedInterpreter,
+    Deobfuscator,
+    ForcedExec,
+    NormalizationReport,
+    NormalizeContext,
+    run_bounded,
+)
+from repro.jsinterp import BudgetExceeded
+from repro.jsparser import generate, parse
+
+INFINITE_DECODER = """
+function dec(x) {
+  var s = "";
+  while (true) {
+    s = String.fromCharCode(x);
+  }
+  return s;
+}
+var s = dec(104);
+"""
+
+
+def fresh_ctx(**kwargs):
+    return NormalizeContext(NormalizationReport(), **kwargs)
+
+
+class TestRunBounded:
+    def test_infinite_loop_hits_op_budget(self):
+        ctx = fresh_ctx(interp_max_steps=5_000)
+        started = time.monotonic()
+        outcome, value = run_bounded("while (true) { 1; }", ctx)
+        assert outcome == "budget_exceeded"
+        assert value is None
+        assert time.monotonic() - started < 10.0
+        assert ctx.report.forced_exec == {"budget_exceeded": 1}
+
+    def test_deadline_stops_slow_decoder(self):
+        ctx = fresh_ctx(interp_max_steps=50_000_000)
+        ctx.deadline = time.monotonic() + 0.05
+        outcome, _ = run_bounded("while (true) { 1; }", ctx)
+        assert outcome == "budget_exceeded"
+
+    def test_allocation_bomb_array_capped(self):
+        ctx = fresh_ctx()
+        outcome, _ = run_bounded("var a = Array(100000000); a.length;", ctx)
+        assert outcome == "budget_exceeded"
+
+    def test_string_doubling_capped(self):
+        source = 'var s = "x"; for (var i = 0; i < 60; i++) { s = s + s; } s;'
+        ctx = fresh_ctx()
+        outcome, _ = run_bounded(source, ctx)
+        assert outcome == "budget_exceeded"
+
+    def test_call_budget_exhausts(self):
+        ctx = fresh_ctx(max_forced_calls=2)
+        assert run_bounded('"a";', ctx)[0] == "ok"
+        assert run_bounded('"b";', ctx)[0] == "ok"
+        outcome, _ = run_bounded('"c";', ctx)
+        assert outcome == "budget_exceeded"
+        assert any("call budget" in note for note in ctx.report.notes)
+
+    def test_no_state_leaks_between_runs(self):
+        ctx = fresh_ctx()
+        assert run_bounded("var poison = 42; poison;", ctx) == ("ok", 42.0)
+        outcome, _ = run_bounded("poison;", ctx)
+        assert outcome == "error"
+
+    def test_throwing_decoder_is_error_not_crash(self):
+        outcome, value = run_bounded('throw "boom";', fresh_ctx())
+        assert outcome == "error"
+        assert value is None
+
+
+class TestBoundedInterpreter:
+    def test_op_budget_raises(self):
+        interp = BoundedInterpreter(max_steps=100)
+        with pytest.raises(BudgetExceeded):
+            interp.eval_source("while (true) { 1; }")
+
+    def test_string_cap_raises(self):
+        interp = BoundedInterpreter(max_steps=10_000_000, max_string_len=1_000)
+        with pytest.raises(BudgetExceeded):
+            interp.eval_source('var s = "xx"; for (var i = 0; i < 30; i++) { s = s + s; }')
+
+    def test_array_cap_raises(self):
+        interp = BoundedInterpreter(max_steps=10_000, max_elements=100)
+        with pytest.raises(BudgetExceeded):
+            interp.eval_source("Array(101);")
+
+    def test_small_allocations_still_work(self):
+        interp = BoundedInterpreter(max_steps=10_000, max_elements=100)
+        assert interp.eval_source("Array(3).length;") == 3.0
+
+
+class TestForcedExecGates:
+    def test_host_touching_decoder_never_executes(self):
+        source = """
+function dec(i) {
+  document.write(i);
+  return String.fromCharCode(i);
+}
+var s = dec(104);
+"""
+        program = parse(source)
+        ctx = fresh_ctx()
+        assert ForcedExec().apply(program, ctx) == 0
+        assert ctx.report.forced_exec == {}
+        assert "document.write" in generate(program)
+
+    def test_non_decoder_helper_never_executes(self):
+        source = "function add(a, b) { return a + b; }\nvar n = add(1, 2);"
+        program = parse(source)
+        ctx = fresh_ctx()
+        assert ForcedExec().apply(program, ctx) == 0
+        assert ctx.report.forced_exec == {}
+
+
+class TestEngineDegradation:
+    def test_infinite_decoder_degrades_to_noop(self):
+        engine = Deobfuscator(interp_max_steps=5_000)
+        out, report = engine.normalize(INFINITE_DECODER)
+        assert out == INFINITE_DECODER
+        assert report.forced_exec.get("budget_exceeded", 0) >= 1
+        assert any("degraded (budget_exceeded)" in note for note in report.notes)
+        assert not report.degraded  # scan-level degradation is reserved for engine failure
+        assert report.interesting  # the note must surface in provenance
+
+    def test_chaos_fault_mid_decode_degrades_cleanly(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULT_INJECT", "1")
+        source = '/* @repro-fault:raise@deobfuscate */\nvar u = "h" + "i";\n'
+        out, report = Deobfuscator().normalize(source)
+        assert out == source
+        assert report.degraded
+        assert report.degraded_reason
+        assert any("original source scanned" in note for note in report.notes)
+
+    def test_fault_marker_inert_without_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FAULT_INJECT", raising=False)
+        source = '/* @repro-fault:raise@deobfuscate */\nvar u = "h" + "i";\n'
+        _, report = Deobfuscator().normalize(source)
+        assert not report.degraded
+
+    def test_unparseable_source_degrades_to_noop(self):
+        source = "function ( {{{"
+        out, report = Deobfuscator().normalize(source)
+        assert out == source
+        assert report.degraded
+
+    def test_oversized_source_skipped(self):
+        engine = Deobfuscator(max_source_bytes=64)
+        source = 'var s = "' + "A" * 200 + '";'
+        out, report = engine.normalize(source)
+        assert out == source
+        assert report.degraded

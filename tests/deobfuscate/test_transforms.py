@@ -1,0 +1,195 @@
+"""Unit tests for individual normalization transforms."""
+
+import pytest
+
+from repro.deobfuscate import (
+    ConstantFold,
+    DeadBranches,
+    DecodeStrings,
+    EvalUnwrap,
+    NormalizationReport,
+    NormalizeContext,
+    SimplifyMembers,
+    Unflatten,
+    UnpackStringArrays,
+)
+from repro.jsparser import generate, parse
+
+
+def run(transform, source):
+    program = parse(source)
+    ctx = NormalizeContext(NormalizationReport())
+    count = transform.apply(program, ctx)
+    return count, generate(program), ctx.report
+
+
+class TestConstantFold:
+    def test_string_concat_collapses(self):
+        count, out, _ = run(ConstantFold(), 'var u = "ht" + "tp" + "s:";')
+        assert count >= 1
+        assert '"https:"' in out
+
+    def test_arithmetic_folds(self):
+        count, out, _ = run(ConstantFold(), "var n = 2 * 3 + 4;")
+        assert count >= 1
+        assert "10" in out
+
+    def test_runtime_values_untouched(self):
+        count, _, _ = run(ConstantFold(), "var n = x + 1;")
+        assert count == 0
+
+
+class TestDecodeStrings:
+    def test_fromcharcode_literal_args(self):
+        count, out, _ = run(DecodeStrings(), "var s = String.fromCharCode(104, 105);")
+        assert count == 1
+        assert '"hi"' in out
+
+    def test_parseint_radix(self):
+        count, out, _ = run(DecodeStrings(), 'var n = parseInt("ff", 16);')
+        assert count == 1
+        assert "255" in out
+
+    def test_atob_base64(self):
+        count, out, _ = run(DecodeStrings(), 'var s = atob("aGk=");')
+        assert count == 1
+        assert '"hi"' in out
+
+    def test_invalid_base64_left_alone(self):
+        count, out, _ = run(DecodeStrings(), 'var s = atob("@@not-base64@@");')
+        assert count == 0
+        assert "atob" in out
+
+
+class TestSimplifyMembers:
+    def test_computed_string_key_becomes_dot(self):
+        count, out, _ = run(SimplifyMembers(), 'obj["prop"];')
+        assert count == 1
+        assert "obj.prop" in out
+
+    def test_reserved_word_key_stays_computed(self):
+        count, out, _ = run(SimplifyMembers(), 'obj["class"];')
+        assert count == 0
+        assert 'obj["class"]' in out
+
+
+class TestDeadBranches:
+    def test_constant_false_branch_removed(self):
+        count, out, _ = run(DeadBranches(), 'if (false) { evil(); } else { good(); }')
+        assert count == 1
+        assert "evil" not in out
+        assert "good" in out
+
+    def test_dynamic_condition_kept(self):
+        count, out, _ = run(DeadBranches(), "if (x) { a(); } else { b(); }")
+        assert count == 0
+        assert "a()" in out and "b()" in out
+
+
+class TestEvalUnwrap:
+    def test_eval_of_literal_inlines_statements(self):
+        count, out, _ = run(EvalUnwrap(), 'eval("var a = 1; touch(a);");')
+        assert count == 1
+        assert "eval" not in out
+        assert "touch(a)" in out
+
+    def test_eval_of_unparseable_literal_kept(self):
+        count, out, _ = run(EvalUnwrap(), 'eval("not (((valid js");')
+        assert count == 0
+        assert "eval" in out
+
+    def test_eval_of_dynamic_value_kept(self):
+        count, out, _ = run(EvalUnwrap(), "eval(payload);")
+        assert count == 0
+        assert "eval(payload)" in out
+
+
+class TestUnpackStringArrays:
+    SOURCE = """
+var _0xa = ["alpha", "beta", "gamma"];
+function _0xd(i) { return _0xa[i]; }
+use(_0xd(0), _0xd(2));
+"""
+
+    def test_decoder_calls_inline_and_cluster_removed(self):
+        count, out, _ = run(UnpackStringArrays(), self.SOURCE)
+        assert count >= 2
+        assert '"alpha"' in out and '"gamma"' in out
+        assert "_0xa" not in out and "_0xd" not in out
+
+    def test_aliased_array_left_alone(self):
+        aliased = self.SOURCE + "\nvar leak = _0xa;"
+        count, out, _ = run(UnpackStringArrays(), aliased)
+        assert count == 0
+        assert "_0xa" in out
+
+    def test_non_literal_index_left_alone(self):
+        dynamic = self.SOURCE + "\nuse(_0xd(window.n));"
+        count, out, _ = run(UnpackStringArrays(), dynamic)
+        assert count == 0
+
+
+class TestUnflatten:
+    FLAT = """
+function run(a) {
+  var seq = "2|0|1".split("|"), step = 0;
+  while (true) {
+    switch (seq[step++]) {
+      case "0":
+        middle(a);
+        continue;
+      case "1":
+        return last(a);
+      case "2":
+        first(a);
+        continue;
+    }
+    break;
+  }
+}
+"""
+
+    def test_dispatcher_restored_to_execution_order(self):
+        count, out, _ = run(Unflatten(), self.FLAT)
+        assert count == 1
+        assert "switch" not in out and "while" not in out
+        assert out.index("first(a)") < out.index("middle(a)") < out.index("return last(a)")
+
+    def test_dispatch_not_a_permutation_left_alone(self):
+        bad = self.FLAT.replace('"2|0|1"', '"2|0|0"')
+        count, out, _ = run(Unflatten(), bad)
+        assert count == 0
+        assert "switch" in out
+
+    def test_leaked_counter_left_alone(self):
+        leaked = self.FLAT.replace("function run(a) {", "function run(a) {\n  observe(step);")
+        count, _, _ = run(Unflatten(), leaked)
+        assert count == 0
+
+    def test_handwritten_dispatch_loop_left_alone(self):
+        source = """
+var state = getState(), i = 0;
+while (true) {
+  switch (state[i++]) {
+    case "a":
+      handle();
+      continue;
+  }
+  break;
+}
+"""
+        count, _, _ = run(Unflatten(), source)
+        assert count == 0
+
+
+@pytest.mark.parametrize(
+    "transform",
+    [ConstantFold(), DecodeStrings(), SimplifyMembers(), DeadBranches(), EvalUnwrap(),
+     UnpackStringArrays(), Unflatten()],
+    ids=lambda t: t.name,
+)
+def test_transforms_are_noops_on_plain_code(transform):
+    source = 'function add(a, b) {\n  return a + b;\n}\nconsole.log(add(x, y));\n'
+    count, out, report = run(transform, source)
+    assert count == 0
+    assert not report.interesting

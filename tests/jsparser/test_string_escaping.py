@@ -1,0 +1,102 @@
+"""String-literal escaping round trips exactly through the codegen.
+
+The escaper emits non-ASCII literally: a ``\\uD83D\\uDE00``
+surrogate-pair escape would re-lex as two lone surrogate code units and
+change the literal's value — the round-trip gap that motivated replacing
+``json.dumps``.  These tests pin the contract the deobfuscation
+pre-pass relies on: ``parse(generate(ast))`` preserves every string
+value the normalizer inlines.
+"""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import example, given, settings
+
+from repro.deobfuscate import normalize_source
+from repro.jsparser import generate, parse
+from repro.jsparser.codegen import _escape_string
+
+
+def literal_value(source):
+    return parse(source).body[0].declarations[0].init.value
+
+
+def roundtrip(value):
+    return literal_value(f"var x = {_escape_string(value)};")
+
+
+class TestEscapeString:
+    @pytest.mark.parametrize(
+        "value",
+        [
+            "",
+            "plain",
+            'quote " backslash \\',
+            "newline\ntab\tcr\r",
+            "bell\bformfeed\fvtab\v",
+            "nul\x00 and ctl\x1f",
+            "astral 😀 pair",
+            "line sep   para sep  ",
+            "lone surrogate 𐏿",
+            "snowman ☃ accents éü",
+        ],
+    )
+    def test_known_values_round_trip(self, value):
+        assert roundtrip(value) == value
+
+    def test_astral_emitted_literally_not_as_pair(self):
+        assert "\\ud83d" not in _escape_string("😀").lower()
+
+    def test_separators_escaped(self):
+        out = _escape_string("a b")
+        assert " " not in out
+        assert "\\u2028" in out
+
+    @given(
+        st.text(
+            alphabet=st.characters(min_codepoint=0, max_codepoint=0x10FFFF),
+            max_size=40,
+        )
+    )
+    @settings(max_examples=300, deadline=None)
+    @example("  ")
+    @example("\ud800 lone")
+    @example("\x00\x01\x1f")
+    def test_any_text_round_trips(self, value):
+        assert roundtrip(value) == value
+
+
+class TestNormalizeCodegenReparse:
+    """deobfuscate → generate → reparse property: the normalizer's
+    output is always valid JS whose literals carry the decoded values."""
+
+    @given(
+        st.lists(
+            st.text(
+                alphabet=st.characters(min_codepoint=1, max_codepoint=0x2FFF),
+                min_size=1,
+                max_size=12,
+            ),
+            min_size=2,
+            max_size=4,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_folded_concat_survives_reparse(self, parts):
+        concat = " + ".join(_escape_string(p) for p in parts)
+        out, report = normalize_source(f"var x = {concat};\nuse(x);\n")
+        assert report.rewrites.get("fold", 0) >= 1
+        assert not report.degraded
+        assert literal_value(out) == "".join(parts)
+        # The normalized form must itself re-parse and re-generate stably.
+        assert generate(parse(out)) == generate(parse(generate(parse(out))))
+
+    @given(st.lists(st.integers(min_value=1, max_value=0xFFFF), min_size=1, max_size=8))
+    @settings(max_examples=100, deadline=None)
+    def test_decoded_fromcharcode_survives_reparse(self, codes):
+        arglist = ", ".join(str(c) for c in codes)
+        out, report = normalize_source(f"var x = String.fromCharCode({arglist});\nuse(x);\n")
+        assert not report.degraded
+        if report.rewrites.get("decode"):
+            assert literal_value(out) == "".join(chr(c) for c in codes)
+            parse(out)

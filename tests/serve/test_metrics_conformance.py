@@ -47,6 +47,10 @@ def exposition():
         # Drive every subsystem so all families render with samples.
         request("POST", "/scan", {"source": split.test.sources[0], "name": "m0"})
         request("POST", "/scan/batch", {"scripts": split.test.sources[1:3]})
+        request("POST", "/scan", {"source": 'var u = "h" + "i";\nfetch(u);\n',
+                                  "name": "ob0", "deobfuscate": True})
+        request("POST", "/scan", {"source": "greet(user);\n",
+                                  "name": "cl0", "deobfuscate": True})
         request("POST", "/analyze", {"source": "eval('x');"})
         request("GET", "/healthz")
         request("GET", "/nope")
@@ -168,5 +172,30 @@ class TestExposition:
         _, types, _ = parse(exposition)
         assert "repro_serve_batch_size_scripts" in types
         assert "repro_serve_batch_size" not in types
-        assert "repro_scan_batch_size_scripts" in types
-        assert "repro_scan_batch_size" not in types
+
+
+class TestDeobfuscateFamilies:
+    """The deobfuscation pre-pass pre-registers its families at server
+    boot, so they are announced (and conformance-audited above) even
+    before the first flagged request — and carry real samples after."""
+
+    def test_families_announced_with_expected_types(self, exposition):
+        _, types, _ = parse(exposition)
+        assert types.get("repro_deobfuscate_scripts_total") == "counter"
+        assert types.get("repro_deobfuscate_rewrites_total") == "counter"
+        assert types.get("repro_deobfuscate_forced_exec_total") == "counter"
+        assert types.get("repro_deobfuscate_fixpoint_iterations") == "histogram"
+
+    def test_flagged_traffic_lands_in_result_labels(self, exposition):
+        _, _, samples = parse(exposition)
+        rows = {labels: float(value)
+                for _, labels, value in samples["repro_deobfuscate_scripts_total"]}
+        assert rows.get('result="changed"', 0) >= 1
+        assert rows.get('result="unchanged"', 0) >= 1
+
+    def test_rewrite_stages_preregistered(self, exposition):
+        _, _, samples = parse(exposition)
+        stages = {labels for _, labels, _ in samples["repro_deobfuscate_rewrites_total"]}
+        assert 'stage="fold"' in stages
+        assert 'stage="string_array"' in stages
+        assert 'stage="forced_exec"' in stages
