@@ -20,9 +20,20 @@ from .analyzer import (
     PARSE_ERROR_RULE_ID,
     Analyzer,
     analyze_source,
+    annotate_raw_spans,
+    apply_raw_suppressions,
+    map_raw_line,
     parse_suppressions,
 )
-from .catalog import DECODE_NAMES, SINK_NAMES, callee_name, default_rules, shannon_entropy
+from .catalog import (
+    DECODE_NAMES,
+    SINK_NAMES,
+    callee_name,
+    default_rules,
+    legacy_rules,
+    shannon_entropy,
+)
+from .dataflow import TaintCatalog, TaintEngine, TaintResult, run_taint
 from .findings import (
     SEVERITIES,
     SEVERITY_RANK,
@@ -31,6 +42,7 @@ from .findings import (
     combine_score,
     severity_at_least,
 )
+from .flows import FlowRule, flow_rules
 from .rules import Rule, RuleContext
 
 __all__ = [
@@ -45,11 +57,21 @@ __all__ = [
     "SEVERITY_RANK",
     "SINK_NAMES",
     "DECODE_NAMES",
+    "FlowRule",
+    "TaintCatalog",
+    "TaintEngine",
+    "TaintResult",
     "analyze_source",
+    "annotate_raw_spans",
+    "apply_raw_suppressions",
     "callee_name",
     "combine_score",
     "default_rules",
+    "flow_rules",
+    "legacy_rules",
+    "map_raw_line",
     "parse_suppressions",
+    "run_taint",
     "severity_at_least",
     "shannon_entropy",
 ]

@@ -66,11 +66,64 @@ def parse_suppressions(comments: list["Comment"]) -> dict[int, set[str]]:
     return suppressions
 
 
-def _is_suppressed(finding: Finding, suppressions: dict[int, set[str]]) -> bool:
-    rule_ids = suppressions.get(finding.line)
+def _matches(rule_id: str, rule_ids: set[str] | None) -> bool:
     if not rule_ids:
         return False
-    return finding.rule_id in rule_ids or "all" in rule_ids or "*" in rule_ids
+    return rule_id in rule_ids or "all" in rule_ids or "*" in rule_ids
+
+
+def _suppression_line(finding: Finding, suppressions: dict[int, set[str]]) -> int | None:
+    """The directive line that silences this finding, or ``None``.
+
+    A plain finding is matched on its own line.  A flow finding (one
+    carrying a witness) is additionally matched on its witness *source*
+    and *sink* lines — suppressing either end silences the whole flow.
+    """
+    candidates = [finding.line]
+    if finding.witness:
+        candidates.extend((finding.source_line, finding.sink_line))
+    for line in candidates:
+        if _matches(finding.rule_id, suppressions.get(line)):
+            return line
+    return None
+
+
+def raw_suppressions(source: str) -> dict[int, set[str]]:
+    """Suppression directives lexed straight from pre-normalization text.
+
+    The deobfuscation pass regenerates code without comments, so a
+    ``// repro-ignore`` directive written in the submitted script never
+    reaches the analyzer when it runs over normalized text.  This lexes
+    (only — no parse) the *raw* source for directives; the analyzer
+    matches them against the ``raw_line`` spans mapped back onto the
+    normalized findings.
+    """
+    from repro.jsparser.lexer import Lexer
+
+    try:
+        lexer = Lexer(source)
+        lexer.tokenize()
+    except Exception:
+        return {}
+    return parse_suppressions(lexer.comments)
+
+
+def _raw_suppression_line(finding: Finding, suppressions: dict[int, set[str]]) -> int | None:
+    """Like :func:`_suppression_line`, but over raw (pre-normalization)
+    spans: the finding's ``raw_line`` and its witness source/sink hops'
+    ``raw_line`` values."""
+    candidates: list[int] = []
+    if finding.raw_line is not None:
+        candidates.append(finding.raw_line)
+    if finding.witness:
+        for hop in (finding.witness[0], finding.witness[-1]):
+            raw = hop.get("raw_line")
+            if isinstance(raw, int):
+                candidates.append(raw)
+    for line in candidates:
+        if _matches(finding.rule_id, suppressions.get(line)):
+            return line
+    return None
 
 
 class Analyzer:
@@ -84,7 +137,9 @@ class Analyzer:
             exposition shows zeros), script counts, and latency.
     """
 
-    def __init__(self, rules: list[Rule] | None = None, metrics: "MetricsRegistry | None" = None):
+    def __init__(
+        self, rules: list[Rule] | None = None, metrics: "MetricsRegistry | None" = None
+    ) -> None:
         self.rules = list(rules) if rules is not None else default_rules()
         seen_ids: set[str] = set()
         for rule in self.rules:
@@ -106,6 +161,10 @@ class Analyzer:
             self._m_seconds = metrics.histogram(
                 "repro_analysis_seconds", "Wall-clock per analyzed script"
             )
+            self._m_dataflow = metrics.histogram(
+                "repro_analysis_dataflow_seconds",
+                "Wall-clock inside dataflow facts and the taint engine per script",
+            )
             self._m_rule_hits = {
                 rule_id: metrics.counter(
                     "repro_analysis_findings_total",
@@ -121,8 +180,28 @@ class Analyzer:
     def rule_ids(self) -> list[str]:
         return [rule.id for rule in self.rules]
 
-    def analyze(self, source: str, name: str = "<script>") -> AnalysisReport:
-        """Analyze one script; never raises."""
+    def analyze(
+        self,
+        source: str,
+        name: str = "<script>",
+        line_map: dict[int, int] | None = None,
+        raw_source: str | None = None,
+    ) -> AnalysisReport:
+        """Analyze one script; never raises.
+
+        Args:
+            source: the text to analyze (possibly a deobfuscated
+                normalization of the original script).
+            name: display name for the report.
+            line_map: when ``source`` is normalized text, the
+                normalized→raw line map from the normalization report;
+                findings and witness hops gain ``raw_line`` spans mapped
+                back to the original script.
+            raw_source: the pre-normalization text, when ``source`` is
+                normalized.  Normalization drops comments, so
+                ``// repro-ignore`` directives are lexed from here and
+                matched against the mapped-back ``raw_line`` spans.
+        """
         started = time.perf_counter()
         try:
             report = self._analyze(source, name)
@@ -140,9 +219,15 @@ class Analyzer:
                 error="recursion limit exceeded while analyzing",
             )
         report.elapsed_ms = 1000.0 * (time.perf_counter() - started)
+        if line_map is not None:
+            annotate_raw_spans(report, line_map)
+            if raw_source is not None:
+                apply_raw_suppressions(report, raw_source)
         if self.metrics is not None:
             self._m_scripts.inc()
             self._m_seconds.observe(report.elapsed_ms / 1000.0)
+            if report.parse_ok:
+                self._m_dataflow.observe(report.dataflow_ms / 1000.0)
             for finding in report.findings:
                 counter = self._m_rule_hits.get(finding.rule_id)
                 if counter is not None:
@@ -205,9 +290,12 @@ class Analyzer:
         suppressions = parse_suppressions(comments)
         kept: list[Finding] = []
         suppressed = 0
+        suppressed_at: list[dict[str, object]] = []
         for finding in ctx.findings:
-            if _is_suppressed(finding, suppressions):
+            matched_line = _suppression_line(finding, suppressions)
+            if matched_line is not None:
                 suppressed += 1
+                suppressed_at.append({"rule_id": finding.rule_id, "line": matched_line})
             else:
                 kept.append(finding)
         kept.sort(key=lambda f: (f.line, f.col, f.rule_id))
@@ -222,6 +310,8 @@ class Analyzer:
             decisive=any(f.decisive for f in kept),
             parse_ok=True,
             suppressed=suppressed,
+            suppressed_at=suppressed_at,
+            dataflow_ms=ctx.dataflow_ms,
         )
 
     def _walk(self, program: ast.Program, ctx: RuleContext, aborted: set[str]) -> None:
@@ -260,6 +350,67 @@ class Analyzer:
                 message=f"rule {rule_id} aborted: nesting too deep to analyze",
             )
         )
+
+
+def map_raw_line(line_map: dict[int, int], line: int) -> int | None:
+    """Map a normalized line back to a raw line via a partial map.
+
+    The normalization line map is statement-granular (rewritten nodes
+    lose their original spans), so an exact entry may be missing; fall
+    back to the nearest *preceding* mapped line — the enclosing surviving
+    statement.
+    """
+    if not line_map:
+        return None
+    exact = line_map.get(line)
+    if exact is not None:
+        return exact
+    best: int | None = None
+    for normalized in line_map:
+        if normalized <= line and (best is None or normalized > best):
+            best = normalized
+    return line_map[best] if best is not None else None
+
+
+def annotate_raw_spans(report: AnalysisReport, line_map: dict[int, int]) -> None:
+    """Attach pre-normalization ``raw_line`` spans to findings and hops."""
+    for finding in report.findings:
+        finding.raw_line = map_raw_line(line_map, finding.line)
+        for hop in finding.witness:
+            raw = map_raw_line(line_map, int(hop.get("line", 0)))
+            if raw is not None:
+                hop["raw_line"] = raw
+
+
+def apply_raw_suppressions(report: AnalysisReport, raw_source: str) -> None:
+    """Apply ``// repro-ignore`` directives from pre-normalization text.
+
+    Runs after :func:`annotate_raw_spans`: a directive on the raw line a
+    finding (or its witness source/sink hop) maps back to silences it,
+    exactly as it would have had normalization not rewritten the comment
+    away.  The score and decisive flag are refolded over the survivors.
+    """
+    suppressions = raw_suppressions(raw_source)
+    if not suppressions:
+        return
+    kept: list[Finding] = []
+    dropped = False
+    for finding in report.findings:
+        matched_line = _raw_suppression_line(finding, suppressions)
+        if matched_line is not None:
+            dropped = True
+            report.suppressed += 1
+            report.suppressed_at.append({"rule_id": finding.rule_id, "line": matched_line})
+        else:
+            kept.append(finding)
+    if not dropped:
+        return
+    report.findings = kept
+    weights = [
+        DECISIVE_WEIGHT if f.decisive else SEVERITY_WEIGHT.get(f.severity, 0.2) for f in kept
+    ]
+    report.score = combine_score(weights)
+    report.decisive = any(f.decisive for f in kept)
 
 
 def analyze_source(source: str, name: str = "<script>") -> AnalysisReport:

@@ -141,13 +141,16 @@ class TimerStringArgRule(Rule):
                 ctx.report(self, node, f"{name} called with a string argument — implicit eval")
 
 
-class DecodeChainRule(Rule):
-    """Decoded data reaching a dynamic code sink.
+class LegacyDecodeChainRule(Rule):
+    """Decoded data reaching a dynamic code sink — the PR 3 syntactic
+    version, superseded by :class:`repro.analysis.flows.DecodeChainFlowRule`.
 
     Catches the direct nesting (``eval(atob(x))``) in the node hook and
     the variable-hop variant (``var s = unescape(p); … eval(s)``) in the
     finish pass via def-use chains.  Decisive: legitimate code has no
-    business executing freshly decoded strings.
+    business executing freshly decoded strings.  Kept (same rule id) as
+    the baseline arm of the triage-precision A/B bench; not part of
+    :func:`default_rules` anymore.
     """
 
     id = "decode-chain"
@@ -156,7 +159,7 @@ class DecodeChainRule(Rule):
     description = "string-decode output flows into a dynamic code sink"
     node_types = ("CallExpression", "NewExpression")
 
-    def _state(self, ctx: RuleContext) -> dict:
+    def _state(self, ctx: RuleContext) -> dict[str, list[object]]:
         state = ctx.state.get(self.id)
         if state is None:
             state = {"sinks": [], "tainted_writes": []}
@@ -395,7 +398,7 @@ class UnreachableCodeRule(Rule):
         {"ReturnStatement", "ThrowStatement", "BreakStatement", "ContinueStatement"}
     )
 
-    def _state(self, ctx: RuleContext) -> set:
+    def _state(self, ctx: RuleContext) -> set[int]:
         state = ctx.state.setdefault(self.id, set())
         return state  # ids of statements already reported
 
@@ -484,12 +487,11 @@ class DebuggerStatementRule(Rule):
 # --------------------------------------------------------------------- catalog
 
 
-def default_rules() -> list[Rule]:
-    """Fresh instances of the full built-in catalog."""
+def _base_rules() -> list[Rule]:
+    """The syntactic/def-use rules shared by both catalogs."""
     return [
         DynamicEvalRule(),
         TimerStringArgRule(),
-        DecodeChainRule(),
         HighEntropyLiteralRule(),
         EscapedStringSoupRule(),
         SuspiciousGlobalBracketRule(),
@@ -501,3 +503,18 @@ def default_rules() -> list[Rule]:
         DeepNestingRule(),
         DebuggerStatementRule(),
     ]
+
+
+def default_rules() -> list[Rule]:
+    """Fresh instances of the full built-in catalog: the syntactic rules
+    plus the interprocedural taint-flow rules (including the engine-backed
+    ``decode-chain``)."""
+    from .flows import flow_rules  # local import: flows.py imports this module
+
+    return _base_rules() + flow_rules()
+
+
+def legacy_rules() -> list[Rule]:
+    """The PR 3 catalog (syntactic ``decode-chain``, no flow rules) —
+    the baseline arm of the triage-precision A/B bench."""
+    return _base_rules() + [LegacyDecodeChainRule()]

@@ -1,0 +1,44 @@
+"""Interprocedural taint-flow analysis for the triage tier.
+
+Public surface: :func:`run_taint` (never raises), the
+:class:`TaintEngine` it wraps, the declarative :class:`TaintCatalog`,
+and the witness/lattice primitives flow rules consume.
+"""
+
+from .callgraph import CallGraph, build_call_graph
+from .catalog import (
+    PropagatorSpec,
+    SanitizerSpec,
+    SinkSpec,
+    SourceSpec,
+    TaintCatalog,
+    default_catalog,
+)
+from .engine import Flow, TaintEngine, TaintResult, run_taint
+from .lattice import MAX_TAINTS_PER_LABEL, Taint, TaintSet, extend, fresh, join
+from .witness import MAX_WITNESS_HOPS, Hop, extend_hops, witness_dicts
+
+__all__ = [
+    "CallGraph",
+    "build_call_graph",
+    "PropagatorSpec",
+    "SanitizerSpec",
+    "SinkSpec",
+    "SourceSpec",
+    "TaintCatalog",
+    "default_catalog",
+    "Flow",
+    "TaintEngine",
+    "TaintResult",
+    "run_taint",
+    "MAX_TAINTS_PER_LABEL",
+    "Taint",
+    "TaintSet",
+    "extend",
+    "fresh",
+    "join",
+    "MAX_WITNESS_HOPS",
+    "Hop",
+    "extend_hops",
+    "witness_dicts",
+]

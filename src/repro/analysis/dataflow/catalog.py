@@ -1,0 +1,305 @@
+"""The declarative taint catalog: sources, sinks, sanitizers, propagators.
+
+The engine itself knows nothing about ``atob`` or ``eval``; everything
+behavioral lives in frozen spec dataclasses here, so adding a source or
+sink is a one-line catalog edit, not an engine change.  The default
+catalog covers the paper-relevant surface:
+
+* sources: the decode family, hex-soup/high-entropy literals,
+  ``location.*`` reads, XHR response members, and string-array tables
+  (the obfuscator.io idiom PR 7's unpacker targets);
+* sinks: the eval family, string-arg timers, ``document.write``,
+  ``innerHTML``/``outerHTML``/``src`` assignment, and dynamic API
+  dispatch (a tainted computed key on a global object);
+* sanitizers: numeric/boolean coercions and ``.length`` reads;
+* propagators: string concatenation plus the string/array method set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.jsparser import ast_nodes as ast
+
+from ..catalog import shannon_entropy
+
+# ------------------------------------------------------------------- specs
+
+
+@dataclass(frozen=True)
+class SourceSpec:
+    """Where taint is born.
+
+    ``kind`` selects the match site: ``call`` (callee name), ``member``
+    (property read), ``literal`` (string literal predicate, see
+    :func:`literal_source`), or ``string-array`` (a variable bound to a
+    big table of string literals).
+    """
+
+    label: str
+    kind: str
+    names: frozenset[str] = frozenset()
+    description: str = ""
+
+
+@dataclass(frozen=True)
+class SinkSpec:
+    """Where tainted data becomes a finding.
+
+    ``mode`` is ``call`` (tainted argument), ``assign`` (tainted RHS of
+    a named property write), or ``dispatch`` (tainted computed key on a
+    global object — dynamic API resolution, the eval family's obfuscated
+    cousin).  ``arg_policy`` narrows call sinks to the first argument
+    (timers only execute arg 0).
+    """
+
+    kind: str
+    mode: str
+    names: frozenset[str] = frozenset()
+    arg_policy: str = "any"
+    description: str = ""
+
+
+@dataclass(frozen=True)
+class SanitizerSpec:
+    """Operations whose result is taint-free (coercions, size reads)."""
+
+    kind: str  # "call" | "member"
+    names: frozenset[str]
+
+
+@dataclass(frozen=True)
+class PropagatorSpec:
+    """Operations that carry taint from operands to result."""
+
+    kind: str  # "method" | "operator"
+    names: frozenset[str]
+
+
+@dataclass(frozen=True)
+class TaintCatalog:
+    sources: tuple[SourceSpec, ...] = ()
+    sinks: tuple[SinkSpec, ...] = ()
+    sanitizers: tuple[SanitizerSpec, ...] = ()
+    propagators: tuple[PropagatorSpec, ...] = ()
+
+    def source_calls(self) -> dict[str, SourceSpec]:
+        return {n: s for s in self.sources if s.kind == "call" for n in s.names}
+
+    def source_members(self) -> dict[str, SourceSpec]:
+        return {n: s for s in self.sources if s.kind == "member" for n in s.names}
+
+    def literal_sources(self) -> tuple[SourceSpec, ...]:
+        return tuple(s for s in self.sources if s.kind == "literal")
+
+    def string_array_source(self) -> SourceSpec | None:
+        for spec in self.sources:
+            if spec.kind == "string-array":
+                return spec
+        return None
+
+    def call_sinks(self) -> dict[str, SinkSpec]:
+        return {n: s for s in self.sinks if s.mode == "call" for n in s.names}
+
+    def assign_sinks(self) -> dict[str, SinkSpec]:
+        return {n: s for s in self.sinks if s.mode == "assign" for n in s.names}
+
+    def dispatch_sink(self) -> SinkSpec | None:
+        for spec in self.sinks:
+            if spec.mode == "dispatch":
+                return spec
+        return None
+
+    def sanitizer_calls(self) -> frozenset[str]:
+        out: set[str] = set()
+        for spec in self.sanitizers:
+            if spec.kind == "call":
+                out |= spec.names
+        return frozenset(out)
+
+    def sanitizer_members(self) -> frozenset[str]:
+        out: set[str] = set()
+        for spec in self.sanitizers:
+            if spec.kind == "member":
+                out |= spec.names
+        return frozenset(out)
+
+    def propagator_methods(self) -> frozenset[str]:
+        out: set[str] = set()
+        for spec in self.propagators:
+            if spec.kind == "method":
+                out |= spec.names
+        return frozenset(out)
+
+
+# ------------------------------------------------------- literal predicates
+
+#: Thresholds for the hex-soup literal source, deliberately aligned with
+#: the PR 3 ``high-entropy-literal``/``escaped-string-soup`` heuristics.
+HEXSOUP_MIN_LENGTH = 40
+HEXSOUP_MIN_ENTROPY = 4.2
+HEXSOUP_MIN_ESCAPES = 6
+
+#: Minimum string-literal elements for an array to count as a lookup table.
+STRING_ARRAY_MIN_ELEMENTS = 4
+
+
+def is_hexsoup_literal(node: ast.Node) -> bool:
+    """Long high-entropy literal, or one written mostly in escapes."""
+    value = getattr(node, "value", None)
+    if not isinstance(value, str):
+        return False
+    raw = getattr(node, "raw", "") or ""
+    escapes = raw.count("\\x") + raw.count("\\u")
+    if escapes >= HEXSOUP_MIN_ESCAPES and len(raw) >= 8 and escapes * 4 / len(raw) >= 0.4:
+        return True
+    if len(value) >= HEXSOUP_MIN_LENGTH and shannon_entropy(value) >= HEXSOUP_MIN_ENTROPY:
+        return True
+    return False
+
+
+def is_string_array(node: ast.Node) -> bool:
+    """An ``ArrayExpression`` that is mostly a table of string literals."""
+    if node.type != "ArrayExpression":
+        return False
+    strings = 0
+    for element in node.elements:
+        if element is None:
+            return False
+        if element.type == "Literal" and isinstance(getattr(element, "value", None), str):
+            strings += 1
+        else:
+            return False
+    return strings >= STRING_ARRAY_MIN_ELEMENTS
+
+
+def literal_source(catalog: TaintCatalog, node: ast.Node) -> SourceSpec | None:
+    """Match a Literal/TemplateLiteral node against the literal sources."""
+    for spec in catalog.literal_sources():
+        if spec.label == "hexsoup" and is_hexsoup_literal(node):
+            return spec
+    return None
+
+
+# ---------------------------------------------------------- default catalog
+
+
+def default_catalog() -> TaintCatalog:
+    return TaintCatalog(
+        sources=(
+            SourceSpec(
+                label="decode",
+                kind="call",
+                names=frozenset(
+                    {"atob", "unescape", "decodeURIComponent", "decodeURI", "String.fromCharCode"}
+                ),
+                description="string-decode call output",
+            ),
+            SourceSpec(
+                label="hexsoup",
+                kind="literal",
+                description="high-entropy or escape-soup string literal",
+            ),
+            SourceSpec(
+                label="location",
+                kind="member",
+                names=frozenset(
+                    {
+                        "location.href",
+                        "location.search",
+                        "location.hash",
+                        "location.pathname",
+                        "location.host",
+                        "location.hostname",
+                    }
+                ),
+                description="URL-controlled location read",
+            ),
+            SourceSpec(
+                label="xhr",
+                kind="member",
+                names=frozenset({"responseText", "response", "responseXML"}),
+                description="XHR/fetch response payload",
+            ),
+            SourceSpec(
+                label="string-array",
+                kind="string-array",
+                description="string-array lookup table (obfuscator.io idiom)",
+            ),
+        ),
+        sinks=(
+            SinkSpec(
+                kind="eval",
+                mode="call",
+                names=frozenset({"eval", "Function", "execScript"}),
+                description="direct dynamic code execution",
+            ),
+            SinkSpec(
+                kind="timer",
+                mode="call",
+                names=frozenset({"setTimeout", "setInterval"}),
+                arg_policy="first",
+                description="string-arg timer (implicit eval)",
+            ),
+            SinkSpec(
+                kind="document-write",
+                mode="call",
+                names=frozenset({"document.write", "document.writeln"}),
+                description="parse-time markup injection",
+            ),
+            SinkSpec(
+                kind="innerhtml",
+                mode="assign",
+                names=frozenset({"innerHTML", "outerHTML"}),
+                description="markup injection via innerHTML/outerHTML",
+            ),
+            SinkSpec(
+                kind="element-src",
+                mode="assign",
+                names=frozenset({"src"}),
+                description="resource load redirected via .src",
+            ),
+            SinkSpec(
+                kind="dynamic-dispatch",
+                mode="dispatch",
+                description="tainted computed key resolves a global API dynamically",
+            ),
+        ),
+        sanitizers=(
+            SanitizerSpec(
+                kind="call",
+                names=frozenset(
+                    {"parseInt", "parseFloat", "Number", "Boolean", "encodeURIComponent", "escape"}
+                ),
+            ),
+            SanitizerSpec(kind="member", names=frozenset({"length"})),
+        ),
+        propagators=(
+            PropagatorSpec(kind="operator", names=frozenset({"+"})),
+            PropagatorSpec(
+                kind="method",
+                names=frozenset(
+                    {
+                        "join",
+                        "replace",
+                        "replaceAll",
+                        "split",
+                        "concat",
+                        "slice",
+                        "substr",
+                        "substring",
+                        "trim",
+                        "toString",
+                        "toLowerCase",
+                        "toUpperCase",
+                        "reverse",
+                        "map",
+                        "charAt",
+                        "repeat",
+                        "padStart",
+                        "padEnd",
+                    }
+                ),
+            ),
+        ),
+    )

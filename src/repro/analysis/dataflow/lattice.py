@@ -1,0 +1,77 @@
+"""The taint lattice: labeled taints with witness trails, joined by union.
+
+A dataflow fact maps program names to a :class:`TaintSet` — a frozen set
+of :class:`Taint` values, each carrying its source label plus the hop
+trail that explains how the value got here.  The lattice order is set
+inclusion; ``join`` is union with two pruning caps that keep states
+finite:
+
+* at most :data:`MAX_TAINTS_PER_LABEL` taints per label survive a join
+  (the ones with the *shortest* witnesses win — they make the clearest
+  findings);
+* witness trails stop growing at ``MAX_WITNESS_HOPS`` hops (the taint
+  itself keeps propagating).
+
+The caps trade a sliver of soundness for guaranteed termination: the
+pruned join is no longer strictly monotone, so the engine also runs
+under an explicit transfer budget (see :mod:`.engine` and DESIGN.md
+§13).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .witness import Hop, extend_hops
+
+#: How many distinct witnesses one label may carry through a join.
+MAX_TAINTS_PER_LABEL = 3
+
+TaintSet = frozenset["Taint"]
+
+EMPTY: TaintSet = frozenset()
+
+
+@dataclass(frozen=True, order=True)
+class Taint:
+    """One tainted value: its source label and the witness so far."""
+
+    label: str
+    hops: tuple[Hop, ...] = ()
+
+    def extended(self, hop: Hop) -> "Taint":
+        return Taint(self.label, extend_hops(self.hops, hop))
+
+
+def fresh(label: str, line: int, col: int) -> Taint:
+    """A new taint born at a source read."""
+    return Taint(label, (Hop(line, col, f"source:{label}"),))
+
+
+def join(*sets: TaintSet) -> TaintSet:
+    """Least upper bound: union pruned to the cap per label.
+
+    When a label exceeds :data:`MAX_TAINTS_PER_LABEL`, the taints with
+    the shortest (then lexically smallest) witnesses are kept, so the
+    surviving evidence is deterministic and maximally readable.
+    """
+    merged: set[Taint] = set()
+    for s in sets:
+        merged |= s
+    if len(merged) <= MAX_TAINTS_PER_LABEL:
+        return frozenset(merged)
+    by_label: dict[str, list[Taint]] = {}
+    for taint in merged:
+        by_label.setdefault(taint.label, []).append(taint)
+    pruned: set[Taint] = set()
+    for taints in by_label.values():
+        taints.sort(key=lambda t: (len(t.hops), t))
+        pruned.update(taints[:MAX_TAINTS_PER_LABEL])
+    return frozenset(pruned)
+
+
+def extend(taints: TaintSet, hop: Hop) -> TaintSet:
+    """Propagate a whole set through one hop."""
+    if not taints:
+        return EMPTY
+    return frozenset(t.extended(hop) for t in taints)

@@ -1,0 +1,68 @@
+"""Witness paths: the per-hop evidence trail attached to flow findings.
+
+A flow finding is only explainable if it can show *how* tainted data got
+from its source to the sink.  A :class:`Hop` is one step of that journey
+(a source read, a concat, a call-site crossing, an assignment, finally
+the sink); the ordered tuple of hops carried by each taint is the
+witness.  Hops are frozen and total-ordered so taint sets can be joined,
+pruned, and serialized deterministically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+#: Hard cap on witness length: propagation beyond this many hops keeps
+#: the taint alive but stops growing the trail (termination guard).
+MAX_WITNESS_HOPS = 16
+
+
+@dataclass(frozen=True, order=True)
+class Hop:
+    """One propagation step of a witness path.
+
+    ``op`` is a small vocabulary: ``source:<label>``, ``concat``,
+    ``method:<name>``, ``arg:<param>``, ``return``, ``call:<name>``,
+    ``element``, ``member``, ``assign:<name>``, ``array``, ``field``,
+    and the terminal ``sink:<kind>``.
+    """
+
+    line: int
+    col: int
+    op: str
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"line": self.line, "col": self.col, "op": self.op}
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "Hop":
+        return cls(line=int(data["line"]), col=int(data["col"]), op=str(data["op"]))
+
+
+def extend_hops(hops: tuple[Hop, ...], hop: Hop) -> tuple[Hop, ...]:
+    """Append ``hop`` unless it repeats the last step or the trail is full."""
+    if hops and hops[-1] == hop:
+        return hops
+    if len(hops) >= MAX_WITNESS_HOPS:
+        return hops
+    return hops + (hop,)
+
+
+def witness_dicts(
+    hops: tuple[Hop, ...],
+    lines: list[str] | None = None,
+    max_chars: int = 120,
+) -> list[dict[str, Any]]:
+    """Render a hop tuple as the JSON-friendly witness list.
+
+    When ``lines`` (the analyzed source split into lines) is given, each
+    hop carries a trimmed ``snippet`` of its source line.
+    """
+    out: list[dict[str, Any]] = []
+    for hop in hops:
+        entry = hop.to_dict()
+        if lines is not None and 1 <= hop.line <= len(lines):
+            entry["snippet"] = lines[hop.line - 1].strip()[:max_chars]
+        out.append(entry)
+    return out

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import asdict, dataclass, field
+from typing import Any
 
 #: Severity levels, mildest first.  ``--fail-on`` and triage weighting both
 #: key off this ordering.
@@ -44,16 +45,37 @@ class Finding:
     message: str
     evidence: str = ""  # trimmed source excerpt (the offending line)
     decisive: bool = False  # did a decisive rule produce this?
+    #: Flow findings carry their source→sink witness: ordered hop dicts
+    #: ({"line", "col", "op", optional "snippet"/"raw_line"}), one per
+    #: propagation step, first hop the source and last hop the sink.
+    witness: list[dict[str, Any]] = field(default_factory=list)
+    #: When the analyzed text was a deobfuscated normalization of the
+    #: original script, the pre-normalization line this finding maps to.
+    raw_line: int | None = None
 
     @property
     def span(self) -> tuple[int, int]:
         return (self.line, self.col)
 
-    def to_dict(self) -> dict:
+    @property
+    def source_line(self) -> int:
+        """The witness source line (falls back to the finding line)."""
+        if self.witness:
+            return int(self.witness[0].get("line", self.line))
+        return self.line
+
+    @property
+    def sink_line(self) -> int:
+        """The witness sink line (falls back to the finding line)."""
+        if self.witness:
+            return int(self.witness[-1].get("line", self.line))
+        return self.line
+
+    def to_dict(self) -> dict[str, Any]:
         return asdict(self)
 
     @classmethod
-    def from_dict(cls, data: dict) -> "Finding":
+    def from_dict(cls, data: dict[str, Any]) -> "Finding":
         return cls(**data)
 
     def format(self, name: str = "") -> str:
@@ -73,7 +95,12 @@ class AnalysisReport:
     parse_ok: bool = True
     error: str | None = None  # syntax-error text when parse_ok is False
     suppressed: int = 0  # findings silenced by repro-ignore directives
+    #: Where suppressed findings were silenced: one ``{"rule_id", "line"}``
+    #: entry per silenced finding, ``line`` being the directive line that
+    #: matched (the finding line, or a witness source/sink line).
+    suppressed_at: list[dict[str, Any]] = field(default_factory=list)
     elapsed_ms: float = 0.0
+    dataflow_ms: float = 0.0  # time inside lazy dataflow facts + taint engine
 
     @property
     def n_findings(self) -> int:
@@ -98,7 +125,7 @@ class AnalysisReport:
 
     # ------------------------------------------------------------- serialize
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         return {
             "name": self.name,
             "score": round(self.score, 6),
@@ -107,7 +134,9 @@ class AnalysisReport:
             "error": self.error,
             "n_findings": self.n_findings,
             "suppressed": self.suppressed,
+            "suppressed_at": list(self.suppressed_at),
             "elapsed_ms": round(self.elapsed_ms, 3),
+            "dataflow_ms": round(self.dataflow_ms, 3),
             "severity_counts": self.count_by_severity(),
             "findings": [finding.to_dict() for finding in self.findings],
         }
@@ -116,7 +145,7 @@ class AnalysisReport:
         return json.dumps(self.to_dict(), indent=indent)
 
     @classmethod
-    def from_dict(cls, data: dict) -> "AnalysisReport":
+    def from_dict(cls, data: dict[str, Any]) -> "AnalysisReport":
         return cls(
             name=data.get("name", "<script>"),
             findings=[Finding.from_dict(f) for f in data.get("findings", [])],
@@ -125,7 +154,9 @@ class AnalysisReport:
             parse_ok=data.get("parse_ok", True),
             error=data.get("error"),
             suppressed=data.get("suppressed", 0),
+            suppressed_at=list(data.get("suppressed_at", [])),
             elapsed_ms=data.get("elapsed_ms", 0.0),
+            dataflow_ms=data.get("dataflow_ms", 0.0),
         )
 
     @classmethod

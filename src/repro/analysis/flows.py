@@ -1,0 +1,208 @@
+"""Flow rules: findings produced from the interprocedural taint engine.
+
+Each rule is a (sink kinds × source labels) slice of the engine's flow
+set.  The engine runs at most once per script (shared through
+``RuleContext.taints``) and only when the cheap syntactic gate saw a
+potential sink during the AST walk, so scripts with no ``eval``-family
+call, tainted-assignment target, or dynamic-dispatch member never pay
+for the fixpoint.
+
+The rewritten ``decode-chain`` rule lives here: same id, same decisive
+contract as the PR 3 catalog rule, but backed by the monotone framework
+— it now follows flows across function boundaries and emits the full
+source→sink witness instead of a one-line message.
+"""
+
+from __future__ import annotations
+
+from repro.jsparser import ast_nodes as ast
+
+from .catalog import SINK_NAMES, _call_name
+from .dataflow.witness import witness_dicts
+from .rules import Rule, RuleContext
+
+#: Shared gate state: did the walk see anything that could be a sink?
+_GATE_KEY = "flow:sinks-present"
+#: Only one flow-rule instance performs the gate checks per script.
+_GATE_OWNER_KEY = "flow:gate-owner"
+
+_ASSIGN_SINK_PROPS = frozenset({"innerHTML", "outerHTML", "src"})
+_DISPATCH_ROOTS = frozenset({"window", "globalThis", "self", "top", "document"})
+
+
+def _member_root_name(node: ast.Node) -> str | None:
+    current = node
+    while current.type == "MemberExpression":
+        current = current.object
+    if current.type == "Identifier":
+        return str(current.name)
+    return None
+
+
+def _is_potential_sink(node: ast.Node) -> bool:
+    type_ = node.type
+    if type_ in ("CallExpression", "NewExpression"):
+        return _call_name(node) in SINK_NAMES
+    if type_ == "AssignmentExpression":
+        left = node.left
+        if left.type != "MemberExpression":
+            return False
+        prop = left.property
+        if not left.computed and prop.type == "Identifier" and prop.name in _ASSIGN_SINK_PROPS:
+            return True
+        if left.computed and prop.type != "Literal":
+            return _member_root_name(left.object) in _DISPATCH_ROOTS
+        return False
+    if type_ == "MemberExpression":
+        if not node.computed or node.property.type == "Literal":
+            return False
+        return _member_root_name(node.object) in _DISPATCH_ROOTS
+    return False
+
+
+class FlowRule(Rule):
+    """Base for taint-flow rules: match engine flows by sink kind/label."""
+
+    node_types = ("CallExpression", "NewExpression", "AssignmentExpression", "MemberExpression")
+    #: Sink kinds (from the taint catalog) this rule reports.
+    sink_kinds: tuple[str, ...] = ()
+    #: Source labels this rule reports; empty means any label.
+    source_labels: tuple[str, ...] = ()
+
+    def visit(self, node: ast.Node, ctx: RuleContext) -> None:
+        if ctx.state.get(_GATE_KEY):
+            return
+        owner = ctx.state.setdefault(_GATE_OWNER_KEY, id(self))
+        if owner != id(self):
+            return
+        if _is_potential_sink(node):
+            ctx.state[_GATE_KEY] = True
+
+    def describe_flow(self, label: str, sink_name: str, hops: int) -> str:
+        return f"{label} data reaches {sink_name} through {hops} hops"
+
+    def finish(self, ctx: RuleContext) -> None:
+        if not ctx.state.get(_GATE_KEY):
+            return
+        result = ctx.taints
+        if result.degraded:
+            return  # the legacy syntactic rules still provide coverage
+        seen: set[tuple[int, int, str]] = set()
+        for flow in result.flows:
+            if flow.kind not in self.sink_kinds:
+                continue
+            if self.source_labels and flow.label not in self.source_labels:
+                continue
+            sink_key = (flow.line, flow.col, flow.kind)
+            if sink_key in seen:
+                continue  # one finding per sink site per rule
+            seen.add(sink_key)
+            witness = witness_dicts(flow.hops, ctx.lines)
+            ctx.report(
+                self,
+                line=flow.line,
+                col=flow.col,
+                message=self.describe_flow(flow.label, flow.sink_name, len(flow.hops)),
+                witness=witness,
+            )
+
+
+class DecodeChainFlowRule(FlowRule):
+    """Decoded data executing: the PR 3 decisive rule, now interprocedural."""
+
+    id = "decode-chain"
+    severity = "error"
+    decisive = True
+    description = "string-decode output flows into a dynamic code sink"
+    sink_kinds = ("eval",)
+    source_labels = ("decode",)
+
+    def describe_flow(self, label: str, sink_name: str, hops: int) -> str:
+        return f"decoded data reaches {sink_name} ({hops}-hop witness)"
+
+
+class DecodeToTimerRule(FlowRule):
+    id = "flow-decode-to-timer"
+    severity = "error"
+    decisive = True
+    description = "string-decode output becomes a timer's string argument (implicit eval)"
+    sink_kinds = ("timer",)
+    source_labels = ("decode",)
+
+
+class DecodeToWriteRule(FlowRule):
+    id = "flow-decode-to-write"
+    severity = "error"
+    decisive = True
+    description = "string-decode output is written into the document at parse time"
+    sink_kinds = ("document-write",)
+    source_labels = ("decode",)
+
+
+class HexSoupToSinkRule(FlowRule):
+    id = "flow-hexsoup-to-sink"
+    severity = "error"
+    decisive = True
+    description = "a packed (hex-soup/high-entropy) literal flows into a code sink"
+    sink_kinds = ("eval", "timer", "document-write")
+    source_labels = ("hexsoup",)
+
+
+class LocationToEvalRule(FlowRule):
+    id = "flow-location-to-eval"
+    severity = "error"
+    decisive = False  # DOM-XSS-prone but occurs in legitimate routers
+    description = "URL-controlled location data reaches a code sink"
+    sink_kinds = ("eval", "timer")
+    source_labels = ("location",)
+
+
+class XhrToEvalRule(FlowRule):
+    id = "flow-xhr-to-eval"
+    severity = "error"
+    decisive = True
+    description = "a fetched response payload is executed (remote code loading)"
+    sink_kinds = ("eval", "timer", "document-write")
+    source_labels = ("xhr",)
+
+
+class TaintedInnerHtmlRule(FlowRule):
+    id = "flow-tainted-innerhtml"
+    severity = "warning"
+    description = "tainted data assigned to innerHTML/outerHTML"
+    sink_kinds = ("innerhtml",)
+
+
+class TaintedSrcRule(FlowRule):
+    id = "flow-tainted-src"
+    severity = "warning"
+    description = "tainted data redirects a resource load via .src"
+    sink_kinds = ("element-src",)
+
+
+class TaintedDispatchRule(FlowRule):
+    """The obfuscator.io signature: a global API resolved through a key
+    computed from a string-array table / decoded data — the eval family's
+    obfuscated cousin, which the syntactic catalog cannot see."""
+
+    id = "flow-tainted-dispatch"
+    severity = "error"
+    decisive = True
+    description = "a tainted computed key resolves a global API dynamically"
+    sink_kinds = ("dynamic-dispatch",)
+    source_labels = ("string-array", "decode", "hexsoup", "xhr")
+
+
+def flow_rules() -> list[Rule]:
+    """Fresh instances of every engine-backed flow rule."""
+    return [
+        DecodeChainFlowRule(),
+        DecodeToTimerRule(),
+        DecodeToWriteRule(),
+        HexSoupToSinkRule(),
+        LocationToEvalRule(),
+        XhrToEvalRule(),
+        TaintedInnerHtmlRule(),
+        TaintedSrcRule(),
+        TaintedDispatchRule(),
+    ]

@@ -37,6 +37,8 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.dataflow.defuse import DefUseInfo
     from repro.jsparser.scope import ScopeAnalyzer
 
+    from .dataflow import TaintResult
+
 
 class Rule:
     """Base class for static-analysis rules.
@@ -83,7 +85,7 @@ class RuleContext:
     rule never pay for them.
     """
 
-    def __init__(self, source: str, program: ast.Program, name: str = "<script>"):
+    def __init__(self, source: str, program: ast.Program, name: str = "<script>") -> None:
         self.source = source
         self.program = program
         self.name = name
@@ -97,8 +99,11 @@ class RuleContext:
         self._defuse: Optional["DefUseInfo"] = None
         self._cfg: Optional["CFG"] = None
         self._scopes: Optional["ScopeAnalyzer"] = None
+        self._taints: Optional["TaintResult"] = None
         #: wall-clock spent building lazy dataflow facts, for accounting
         self.dataflow_ms = 0.0
+        #: wall-clock of the taint engine alone (the dataflow histogram)
+        self.taint_ms = 0.0
 
     # ------------------------------------------------------------ navigation
 
@@ -145,6 +150,20 @@ class RuleContext:
             self.dataflow_ms += 1000.0 * (time.perf_counter() - started)
         return self._cfg
 
+    @property
+    def taints(self) -> "TaintResult":
+        """The interprocedural taint engine's result, computed once per
+        script on first use (never raises — degraded results instead)."""
+        if self._taints is None:
+            from .dataflow import run_taint
+
+            started = time.perf_counter()
+            self._taints = run_taint(self.program)
+            elapsed = 1000.0 * (time.perf_counter() - started)
+            self.dataflow_ms += elapsed
+            self.taint_ms += elapsed
+        return self._taints
+
     # -------------------------------------------------------------- findings
 
     def report(
@@ -155,8 +174,15 @@ class RuleContext:
         evidence: str | None = None,
         line: int | None = None,
         col: int | None = None,
+        witness: list[dict[str, object]] | None = None,
     ) -> Finding:
-        """Record one finding; span defaults to ``node.loc``."""
+        """Record one finding; span defaults to ``node.loc``.
+
+        Flow rules pass ``witness`` — the ordered source→sink hop list —
+        which rides on the finding through JSON, provenance, and the
+        suppression matcher (a directive on the source *or* sink line
+        silences the whole flow).
+        """
         if line is None or col is None:
             loc = node.loc if node is not None else (0, 0)
             line = loc[0] if line is None else line
@@ -169,6 +195,7 @@ class RuleContext:
             message=message or rule.description,
             evidence=self.source_line(line) if evidence is None else evidence,
             decisive=rule.decisive,
+            witness=list(witness) if witness else [],
         )
         self.findings.append(finding)
         return finding

@@ -224,6 +224,19 @@ def _cmd_scan(args: argparse.Namespace) -> int:
     return 1 if report.n_malicious else 0
 
 
+def _format_witness(finding) -> list[str]:
+    """Indented source→sink hop lines under a flow finding."""
+    lines = []
+    for hop in finding.witness:
+        raw = hop.get("raw_line")
+        span = f"{hop.get('line', '?')}:{hop.get('col', '?')}"
+        if raw is not None:
+            span += f" (raw line {raw})"
+        snippet = hop.get("snippet", "")
+        lines.append(f"    {span:>18}  {hop.get('op', '?'):<18}  {snippet}")
+    return lines
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
     # Same exit-code contract as scan: 0 clean, 1 flagged, 2 usage error —
     # "flagged" here means a finding at or above --fail-on severity.
@@ -235,7 +248,30 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         print("no input files", file=sys.stderr)
         return 2
     analyzer = Analyzer()
-    reports = analyzer.analyze_batch(sources, names=names)
+    norm_dicts: list[dict | None] = [None] * len(sources)
+    if getattr(args, "deobfuscate", False):
+        # Same ordering contract as the scan pipeline: normalize first so
+        # the rules (and the taint engine) see the deobfuscated text, and
+        # map finding spans back to the submitted file via the line map.
+        from repro.deobfuscate import Deobfuscator
+
+        deobfuscator = Deobfuscator()
+        reports = []
+        for source, name in zip(sources, names):
+            normalized, norm_report = deobfuscator.normalize(source, name=name)
+            line_map = norm_report.line_map if norm_report.changed else None
+            reports.append(
+                analyzer.analyze(
+                    normalized,
+                    name,
+                    line_map=line_map,
+                    raw_source=source if line_map is not None else None,
+                )
+            )
+            if norm_report.interesting:
+                norm_dicts[len(reports) - 1] = norm_report.to_dict()
+    else:
+        reports = analyzer.analyze_batch(sources, names=names)
     failing = sum(
         1
         for report in reports
@@ -243,6 +279,10 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         if severity_at_least(finding.severity, args.fail_on)
     )
     if args.format == "json":
+        report_dicts = [r.to_dict() for r in reports]
+        for report_dict, norm in zip(report_dicts, norm_dicts):
+            if norm is not None:
+                report_dict["normalization"] = norm
         print(
             json.dumps(
                 {
@@ -251,7 +291,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
                     "n_failing": failing,
                     "fail_on": args.fail_on,
                     "rules": analyzer.rule_ids(),
-                    "reports": [r.to_dict() for r in reports],
+                    "reports": report_dicts,
                 },
                 indent=2,
             )
@@ -260,6 +300,8 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         for report in reports:
             for finding in report.findings:
                 print(finding.format(report.name))
+                for line in _format_witness(finding):
+                    print(line)
         n_findings = sum(r.n_findings for r in reports)
         suppressed = sum(r.suppressed for r in reports)
         print(
@@ -489,6 +531,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="text finding lines or one JSON object with per-file reports")
     analyze.add_argument("--fail-on", choices=("info", "warning", "error"), default="error",
                          help="lowest severity that makes the exit code 1 (default: error)")
+    analyze.add_argument("--deobfuscate", action="store_true",
+                         help="normalize first and analyze the deobfuscated text; "
+                              "findings and taint witnesses carry raw_line spans "
+                              "mapped back to the submitted file")
     _add_logging_flags(analyze, default_level="warning")
     analyze.add_argument("paths", nargs="+",
                          help=".js files, directories, or - to read one script from stdin")

@@ -4,7 +4,7 @@ The *enhanced AST* (AST + data-dependency edges) is the paper's central
 representation; the CFG/PDG exist for the JSTAP comparison baseline.
 """
 
-from .cfg import CFG, build_cfg
+from .cfg import CFG, build_cfg, build_function_cfg
 from .defuse import DefUseInfo, VarEvent, analyze_defuse
 from .enhanced_ast import DependencyEdge, EnhancedAST, build_enhanced_ast, build_regular_ast
 from .pdg import PDG, build_pdg
@@ -12,6 +12,7 @@ from .pdg import PDG, build_pdg
 __all__ = [
     "CFG",
     "build_cfg",
+    "build_function_cfg",
     "DefUseInfo",
     "VarEvent",
     "analyze_defuse",

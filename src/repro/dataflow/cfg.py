@@ -211,6 +211,26 @@ class _Builder:
             self._sequence(body.body)
 
 
+class _ShallowBuilder(_Builder):
+    """A builder that stays inside one function: nested function bodies
+    are left out of the graph (the taint engine analyzes each function
+    against its own CFG and crosses boundaries via call-graph summaries).
+    """
+
+    def _function_body(self, fn: ast.Node) -> None:  # noqa: ARG002 - interface
+        return
+
+
 def build_cfg(program: ast.Program) -> CFG:
     """Build the statement-level control-flow graph of a program."""
     return _Builder().build(program)
+
+
+def build_function_cfg(body: list[ast.Node]) -> CFG:
+    """Build a CFG over one statement list (a function body or the
+    top-level program), without descending into nested functions."""
+    builder = _ShallowBuilder()
+    first, _ = builder._sequence(body)
+    if first is not None:
+        builder.cfg.entry = id(first)
+    return builder.cfg

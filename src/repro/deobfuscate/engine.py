@@ -21,9 +21,10 @@ import time
 
 from repro.faults import ScanLimits
 from repro.faults.inject import maybe_inject
-from repro.jsparser import generate, parse
+from repro.jsparser import parse
 
 from .forced import ForcedExec
+from .linemap import generate_with_line_map
 from .report import FORCED_OUTCOMES, STAGE_NAMES, NormalizationReport
 from .stringarray import UnpackStringArrays
 from .unflatten import Unflatten
@@ -185,11 +186,12 @@ class Deobfuscator:
             report.note(f"pass budget ({self.max_passes}) reached before fixpoint")
         if total == 0:
             return source
-        out = generate(program)
+        out, line_map = generate_with_line_map(program)
         parse(out)  # reparse verification: emitted source must be valid
         if out == source:
             return source
         report.changed = True
+        report.line_map = line_map
         return out
 
     def _record(self, report: NormalizationReport) -> None:

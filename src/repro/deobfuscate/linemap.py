@@ -1,0 +1,85 @@
+"""Normalized→raw line mapping for deobfuscated output.
+
+When the pre-pass rewrites a script, analysis runs over the *normalized*
+text — but users and provenance need spans in the script they actually
+submitted.  The mapping rides on statement granularity: transforms
+mutate the AST in place, so statements that survive normalization keep
+their original ``loc``, while transform-created nodes carry the default
+``(0, 0)`` and simply drop out of the map (the map is partial by
+design; consumers fall back to the nearest preceding mapped line).
+
+The recorder subclasses the code generator and captures each
+statement's emitted chunk, then locates every chunk in the final output
+with a forward-moving cursor — parents first (pre-order), children
+found inside their parent's span.
+"""
+
+from __future__ import annotations
+
+from repro.jsparser import ast_nodes as ast
+from repro.jsparser.codegen import CodeGenerator
+from repro.jsparser.visitor import walk
+
+
+class _RecordingGenerator(CodeGenerator):
+    """Code generator that remembers each statement's emitted text."""
+
+    def __init__(self, indent: str = "  "):
+        super().__init__(indent=indent)
+        self.chunks: dict[int, str] = {}
+
+    def _statement(self, node: ast.Node) -> str:
+        text = super()._statement(node)
+        self.chunks[id(node)] = text
+        return text
+
+
+def _locate(out: str, chunk: str, cursor: int) -> int:
+    """First occurrence of a statement chunk at/after ``cursor``.
+
+    If/else and do-while emitters strip leading/trailing whitespace off
+    child chunks before splicing them, so fall back to trimmed variants.
+    """
+    for candidate in (chunk, chunk.lstrip(), chunk.strip()):
+        if not candidate:
+            continue
+        position = out.find(candidate, cursor)
+        if position >= 0:
+            return position
+    return -1
+
+
+def generate_with_line_map(program: ast.Program, indent: str = "  ") -> tuple[str, dict[int, int]]:
+    """Render ``program`` and map its output lines to original lines.
+
+    Returns ``(source, line_map)`` where ``line_map[normalized_line] =
+    raw_line`` for every surviving statement that still carries its
+    pre-normalization span.  Map construction never fails the render: on
+    any internal surprise the text is returned with an empty map.
+    """
+    generator = _RecordingGenerator(indent=indent)
+    out = generator.generate(program)
+    try:
+        line_map = _build_map(program, out, generator.chunks)
+    except Exception:  # pragma: no cover - map is best-effort
+        line_map = {}
+    return out, line_map
+
+
+def _build_map(program: ast.Program, out: str, chunks: dict[int, str]) -> dict[int, int]:
+    line_map: dict[int, int] = {}
+    cursor = 0
+    for node in walk(program):
+        chunk = chunks.get(id(node))
+        if chunk is None:
+            continue
+        position = _locate(out, chunk, cursor)
+        if position < 0:
+            continue
+        cursor = position + 1  # children are located inside this span
+        raw_line = node.loc[0]
+        if raw_line <= 0:
+            continue  # transform-created node: no original span
+        normalized_line = out.count("\n", 0, position) + 1
+        line_map.setdefault(normalized_line, raw_line)
+    return line_map

@@ -64,6 +64,10 @@ class NormalizationReport:
     input_bytes: int = 0
     output_bytes: int = 0
     elapsed_ms: float = 0.0
+    #: Partial normalized→raw line map (statement granularity), present
+    #: only when ``changed`` — analysis over the normalized text uses it
+    #: to report spans in the script the caller actually submitted.
+    line_map: dict[int, int] = field(default_factory=dict)
 
     @property
     def total_rewrites(self) -> int:
@@ -110,6 +114,9 @@ class NormalizationReport:
             out["forced_exec"] = dict(self.forced_exec)
         if self.notes:
             out["notes"] = list(self.notes)
+        if self.line_map:
+            # JSON object keys are strings; from_dict converts them back.
+            out["line_map"] = {str(k): v for k, v in self.line_map.items()}
         return out
 
     @classmethod
@@ -127,4 +134,5 @@ class NormalizationReport:
             input_bytes=data.get("input_bytes", 0),
             output_bytes=data.get("output_bytes", 0),
             elapsed_ms=data.get("elapsed_ms", 0.0),
+            line_map={int(k): int(v) for k, v in data.get("line_map", {}).items()},
         )

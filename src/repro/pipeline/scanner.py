@@ -343,6 +343,7 @@ class BatchScanner:
         # the pass cannot perturb their verdicts or cache keys.
         norm_reports: "list[NormalizationReport | None]" = [None] * n
         deob_ms: float | None = None
+        raw_sources = sources  # pre-normalization text (directives live here)
         if self.deobfuscate is not None:
             deob_started = time.perf_counter()
             normalized_sources: list[str] = []
@@ -361,7 +362,17 @@ class BatchScanner:
         triaged = [False] * n
         if self.triage is not None:
             for i, source in enumerate(sources):
-                analysis = self.triage.analyze(source, name=str(names[i]))
+                # When the pre-pass rewrote this script, analysis runs over
+                # the normalized text; the line map lets findings (and taint
+                # witness hops) report spans in the submitted original too.
+                norm = norm_reports[i]
+                line_map = norm.line_map if norm is not None and norm.changed else None
+                analysis = self.triage.analyze(
+                    source,
+                    name=str(names[i]),
+                    line_map=line_map,
+                    raw_source=raw_sources[i] if line_map is not None else None,
+                )
                 analyses[i] = analysis
                 per_file_ms[i]["analysis"] = analysis.elapsed_ms
                 triaged[i] = analysis.decisive
@@ -454,6 +465,7 @@ class BatchScanner:
                 )
                 self._degraded_analyses(
                     faulted, sources, names, analyses, per_file_ms,
+                    norm_reports=norm_reports, raw_sources=raw_sources,
                     root=root, file_span_ids=file_span_ids, worker_spans=worker_spans,
                 )
             except Exception as error:  # pool bootstrap failure, not a task fault
@@ -792,11 +804,23 @@ class BatchScanner:
         if norm_report is not None and norm_report.interesting:
             provenance["normalization"] = norm_report.to_dict()
         if analysis is not None:
-            provenance["rules"] = [
-                {"rule_id": f.rule_id, "severity": f.severity, "decisive": f.decisive}
-                for f in analysis.findings
-            ]
+            rules = []
+            for f in analysis.findings:
+                entry: dict = {
+                    "rule_id": f.rule_id,
+                    "severity": f.severity,
+                    "decisive": f.decisive,
+                    "line": f.line,
+                }
+                if f.raw_line is not None:
+                    entry["raw_line"] = f.raw_line
+                if f.witness:
+                    entry["witness"] = f.witness
+                rules.append(entry)
+            provenance["rules"] = rules
             provenance["analysis_score"] = round(float(analysis.score), 6)
+            if analysis.suppressed_at:
+                provenance["suppressed_at"] = analysis.suppressed_at
         if top_paths is not None:
             provenance["top_paths"] = top_paths
         if row is not None:
@@ -1017,6 +1041,8 @@ class BatchScanner:
         names: list[str],
         analyses: list,
         per_file_ms: list[dict[str, float]],
+        norm_reports: "list[NormalizationReport | None] | None" = None,
+        raw_sources: list[str] | None = None,
         root: "Span | None" = None,
         file_span_ids: list[str] | None = None,
         worker_spans: list[list | None] | None = None,
@@ -1028,7 +1054,7 @@ class BatchScanner:
         deadline-bounded pool task.  A script whose analysis also faults
         simply stays verdictless.  Skipped where triage already ran.
         """
-        from repro.analysis import AnalysisReport
+        from repro.analysis import AnalysisReport, annotate_raw_spans, apply_raw_suppressions
 
         todo = [i for i in faulted if analyses[i] is None]
         if not todo:
@@ -1051,7 +1077,16 @@ class BatchScanner:
         ]
         for outcome in pool.run(tasks):
             if outcome.ok and isinstance(outcome.payload, dict):
-                analyses[outcome.index] = AnalysisReport.from_dict(outcome.payload)
+                report = AnalysisReport.from_dict(outcome.payload)
+                # The pool task analyzed the (already normalized) source; map
+                # spans back to the submitted original here, outside the task.
+                if norm_reports is not None:
+                    norm = norm_reports[outcome.index]
+                    if norm is not None and norm.changed and norm.line_map:
+                        annotate_raw_spans(report, norm.line_map)
+                        if raw_sources is not None:
+                            apply_raw_suppressions(report, raw_sources[outcome.index])
+                analyses[outcome.index] = report
                 per_file_ms[outcome.index]["analysis"] = outcome.elapsed_ms
                 if worker_spans is not None and outcome.spans:
                     existing = worker_spans[outcome.index] or []

@@ -633,6 +633,18 @@ class ScanServer:
             raise ProtocolError(400, '"deobfuscate" must be a boolean')
         return flag
 
+    def _analyze_normalized(self, source: str, name: str):
+        """Normalize then analyze; spans map back via the line map."""
+        normalized, norm_report = self.deobfuscator.normalize(source, name=name)
+        line_map = norm_report.line_map if norm_report.changed else None
+        report = self.analyzer.analyze(
+            normalized,
+            name,
+            line_map=line_map,
+            raw_source=source if line_map is not None else None,
+        )
+        return report, norm_report
+
     @staticmethod
     def _result_payload(result, threshold: float) -> dict:
         out = result.to_dict()
@@ -738,6 +750,7 @@ class ScanServer:
         name = payload.get("name", "<request>")
         if not isinstance(name, str):
             raise ProtocolError(400, '"name" must be a string')
+        deobfuscate = self._parse_deobfuscate(payload)
         # Analysis bypasses the micro-batch queue (it needs no model), but
         # an overloaded daemon still sheds load uniformly: when the scan
         # queue is saturated, the cheap endpoint backs off too.
@@ -752,11 +765,22 @@ class ScanServer:
         root = self._start_request_trace(request, "http.analyze")
         with root:
             root.set_attribute("script", name)
-            report = await asyncio.get_running_loop().run_in_executor(
-                None, self.analyzer.analyze, source, name
-            )
+            loop = asyncio.get_running_loop()
+            norm_report = None
+            if deobfuscate:
+                # Same ordering contract as the scan pipeline: normalize
+                # first, analyze the normalized text, and report both the
+                # normalized spans and (via the line map) the raw spans of
+                # the script the caller actually submitted.
+                report, norm_report = await loop.run_in_executor(
+                    None, self._analyze_normalized, source, name
+                )
+            else:
+                report = await loop.run_in_executor(None, self.analyzer.analyze, source, name)
             root.synthesize("analysis", report.elapsed_ms, attributes={"n_findings": report.n_findings})
             body = report.to_dict()
+            if norm_report is not None and norm_report.interesting:
+                body["normalization"] = norm_report.to_dict()
             body["trace_id"] = root.context.trace_id
         return self._ok(
             request, body, trace_id=root.context.trace_id, extra_headers=self._trace_headers(root)

@@ -52,6 +52,12 @@ def exposition():
         request("POST", "/scan", {"source": "greet(user);\n",
                                   "name": "cl0", "deobfuscate": True})
         request("POST", "/analyze", {"source": "eval('x');"})
+        # A real taint flow (decode source → eval sink) so the dataflow
+        # histogram and the flow-rule hit counters carry samples.
+        request("POST", "/analyze",
+                {"source": "var p = atob(window.name);\neval(p);\n"})
+        request("POST", "/analyze",
+                {"source": 'var u = "h" + "i";\neval(u);\n', "deobfuscate": True})
         request("GET", "/healthz")
         request("GET", "/nope")
         text = request("GET", "/metrics").decode("utf-8")
@@ -199,3 +205,44 @@ class TestDeobfuscateFamilies:
         assert 'stage="fold"' in stages
         assert 'stage="string_array"' in stages
         assert 'stage="forced_exec"' in stages
+
+
+class TestDataflowFamilies:
+    """The taint-flow engine's observability: the dataflow latency
+    histogram is announced from boot, and every flow rule's hit counter
+    is pre-registered at zero so dashboards can alert on first fire."""
+
+    FLOW_RULES = (
+        "decode-chain",
+        "flow-decode-to-timer",
+        "flow-decode-to-write",
+        "flow-hexsoup-to-sink",
+        "flow-location-to-eval",
+        "flow-xhr-to-eval",
+        "flow-tainted-innerhtml",
+        "flow-tainted-src",
+        "flow-tainted-dispatch",
+    )
+
+    def test_dataflow_histogram_announced(self, exposition):
+        _, types, _ = parse(exposition)
+        assert types.get("repro_analysis_dataflow_seconds") == "histogram"
+
+    def test_dataflow_histogram_observed_analyzed_scripts(self, exposition):
+        _, _, samples = parse(exposition)
+        counts = {name: float(value)
+                  for name, labels, value in samples["repro_analysis_dataflow_seconds"]
+                  if name.endswith("_count")}
+        assert counts and all(v >= 1 for v in counts.values())
+
+    def test_every_flow_rule_preregistered(self, exposition):
+        _, _, samples = parse(exposition)
+        labels = {labels for _, labels, _ in samples["repro_analysis_findings_total"]}
+        for rule_id in self.FLOW_RULES:
+            assert f'rule="{rule_id}"' in labels, f"{rule_id} not pre-registered"
+
+    def test_flow_hit_lands_in_rule_counter(self, exposition):
+        _, _, samples = parse(exposition)
+        rows = {labels: float(value)
+                for _, labels, value in samples["repro_analysis_findings_total"]}
+        assert rows.get('rule="decode-chain"', 0) >= 1
