@@ -1,19 +1,24 @@
 """CI smoke check for the sharded tier: router + shards + supervisor.
 
-Usage: cluster_smoke.py BASE_URL SCRIPT_PATH [--trace-out PATH]
+Usage: cluster_smoke.py BASE_URL SCRIPT_PATH [--trace-out PATH] [--failover-out PATH]
 
-Runs against a ``repro cluster`` (router + 2 shards) booted by the
-workflow, through the same :class:`repro.client.ScanClient` real callers
-use.  The contract exercised end to end:
+Runs against a ``repro cluster`` (router + 2 shards, R=2 replica
+placement) booted by the workflow, through the same
+:class:`repro.client.ScanClient` real callers use.  The contract
+exercised end to end:
 
-* the router aggregates a healthy fleet in ``/v1/healthz``,
+* the router aggregates a healthy fleet in ``/v1/healthz`` and reports
+  its replica factor and verdict-cache state,
 * a scan through the router returns a well-formed verdict,
 * a traced request produces ONE merged trace spanning both processes
   (``router.scan`` + the shard's ``http.scan``, shard-annotated),
   written to ``--trace-out`` as a workflow artifact,
-* SIGKILLing a shard mid-run loses no requests — the retrying client
-  plus the router's failover absorb it — and the supervisor replaces
-  the dead shard under the same id on a fresh pid.
+* SIGKILLing a shard mid-run loses no requests **with client retries
+  disabled** — the router's replica failover alone absorbs the loss,
+  ``repro_router_failovers_total`` ticks, and the supervisor replaces
+  the dead shard under the same id on a fresh pid.  The evidence
+  (fleet before/after, failover counters) is written to
+  ``--failover-out`` as a workflow artifact.
 
 Exits non-zero (with the failure printed) on any violation.
 """
@@ -68,19 +73,39 @@ def trace_check(client, source, out_path):
     )
 
 
-def kill_and_failover(client, source):
-    """SIGKILL one shard; retried requests succeed; supervisor replaces it."""
+def failover_counts(client):
+    """``repro_router_failovers_total`` per reason, from router metrics."""
+    counts = {}
+    for line in client.metrics_text().splitlines():
+        if line.startswith("repro_router_failovers_total{"):
+            reason = line.split('reason="', 1)[1].split('"', 1)[0]
+            counts[reason] = int(line.rsplit(" ", 1)[-1])
+    return counts
+
+
+def kill_and_failover(client, base_url, source, failover_out=None):
+    """SIGKILL one shard; replica failover absorbs it; supervisor replaces it."""
     before = {s["shard"]: s for s in client.healthz()["shards"]}
+    failovers_before = failover_counts(client)
     victim = before["shard-0"]
     os.kill(victim["pid"], signal.SIGKILL)
     print(f"killed {victim['shard']} (pid {victim['pid']})")
 
-    # Issued straight through the kill window: the router retries the dead
-    # shard's keys onto the survivor, so every request still succeeds.
-    for i in range(6):
-        verdict = client.scan(source + f"\n// failover {i}", name=f"failover-{i}.js")
+    # Issued straight through the kill window WITHOUT client retries: with
+    # R=2 placement every slot the dead primary owned has a live replica,
+    # so the router alone keeps every request succeeding.
+    no_retry = ScanClient(base_url, timeout_s=60.0, retries=0)
+    for i in range(8):
+        verdict = no_retry.scan(source + f"\n// failover {i}", name=f"failover-{i}.js")
         assert verdict.verdict in ("benign", "malicious"), verdict.raw
-    print("failover: 6/6 scans succeeded across the kill window")
+    print("failover: 8/8 scans succeeded across the kill window, client retries off")
+
+    failovers_after = failover_counts(client)
+    failed_over = sum(failovers_after.values()) - sum(failovers_before.values())
+    assert failed_over >= 1, (
+        f"expected >=1 replica failover after the kill, counters {failovers_after}"
+    )
+    print(f"router failovers during the kill window: {failed_over} ({failovers_after})")
 
     deadline = time.time() + 120
     while True:
@@ -99,12 +124,35 @@ def kill_and_failover(client, source):
     verdict = client.scan(source, name="after-replacement.js")
     assert verdict.verdict in ("benign", "malicious"), verdict.raw
 
+    if failover_out:
+        evidence = {
+            "victim": {"shard": victim["shard"], "pid": victim["pid"]},
+            "kill_window_scans": {"requests": 8, "errors": 0, "client_retries": 0},
+            "router_failovers_before": failovers_before,
+            "router_failovers_after": failovers_after,
+            "fleet_before": sorted(before),
+            "fleet_after": {
+                s["shard"]: {
+                    "pid": s["pid"],
+                    "healthy": s["healthy"],
+                    "state": s.get("state"),
+                    "restarts": s.get("restarts"),
+                }
+                for s in health["shards"]
+            },
+        }
+        with open(failover_out, "w", encoding="utf-8") as handle:
+            json.dump(evidence, handle, indent=2)
+        print(f"failover evidence written to {failover_out}")
+
 
 def main(base_url, script_path, extra):
     client = ScanClient(base_url, timeout_s=60.0, retries=3)
     health = wait_up(client)
     assert health["status"] == "ok" and health["role"] == "router", health
     assert health["n_shards"] >= 2, health
+    assert health["replicas"] >= 2, health  # the failover check depends on R>=2
+    assert "verdict_cache" in health, health
     print("healthz:", health)
 
     version = client.version()
@@ -127,7 +175,10 @@ def main(base_url, script_path, extra):
 
     if "--trace-out" in extra:
         trace_check(client, source, extra[extra.index("--trace-out") + 1])
-    kill_and_failover(client, source)
+    failover_out = None
+    if "--failover-out" in extra:
+        failover_out = extra[extra.index("--failover-out") + 1]
+    kill_and_failover(client, base_url, source, failover_out=failover_out)
     print("cluster smoke: all checks passed")
 
 

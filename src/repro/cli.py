@@ -349,14 +349,27 @@ def _shard_flags(args: argparse.Namespace) -> list[str]:
 
 
 def _run_cluster(args: argparse.Namespace, n_shards: int) -> int:
-    from repro.serve import ClusterConfig, RouterConfig, run_cluster
+    from repro.serve import AutoscaleConfig, ClusterConfig, RouterConfig, run_cluster
 
+    min_shards = getattr(args, "min_shards", None)
+    max_shards = getattr(args, "max_shards", None)
+    autoscale = None
+    if min_shards is not None or max_shards is not None:
+        autoscale = AutoscaleConfig(
+            min_shards=min_shards if min_shards is not None else 1,
+            max_shards=max_shards if max_shards is not None else max(n_shards, 4),
+            up_queue_depth=getattr(args, "scale_up_queue_depth", 8.0),
+            down_queue_depth=getattr(args, "scale_down_queue_depth", 1.0),
+            sustain_s=getattr(args, "scale_sustain_s", 5.0),
+            cooldown_s=getattr(args, "scale_cooldown_s", 30.0),
+        )
     try:
         config = ClusterConfig(
             model_dir=args.model,
             n_shards=n_shards,
             host=args.host,
             port=args.port,
+            bind=getattr(args, "bind", None),
             cache_dir=args.cache_dir,
             shard_args=_shard_flags(args),
             router=RouterConfig(
@@ -365,7 +378,12 @@ def _run_cluster(args: argparse.Namespace, n_shards: int) -> int:
                 request_timeout_s=args.request_timeout_s + 10.0,
                 vnodes=getattr(args, "vnodes", 64),
                 trace_sample_rate=args.trace_sample_rate,
+                replicas=getattr(args, "replicas", 2),
+                verdict_cache_size=getattr(args, "verdict_cache_size", 1024),
             ),
+            autoscale=autoscale,
+            restart_budget=getattr(args, "restart_budget", 5),
+            restart_backoff_s=getattr(args, "restart_backoff_s", 0.5),
         )
         config.validate()
     except ValueError as error:
@@ -620,6 +638,33 @@ def build_parser() -> argparse.ArgumentParser:
                               "on top for retries")
     cluster.add_argument("--vnodes", type=int, default=64,
                          help="consistent-hash ring points per shard")
+    cluster.add_argument("--bind", default=None,
+                         help="shard bind/dial host (default: same as --host); "
+                              "use 127.0.0.1 to keep shards loopback-only while "
+                              "the router listens on an outward interface")
+    cluster.add_argument("--replicas", type=int, default=2,
+                         help="replicas per hash-ring slot: the primary plus R-1 "
+                              "deterministic failover shards")
+    cluster.add_argument("--verdict-cache-size", type=int, default=1024,
+                         help="router verdict-cache entries (0 disables)")
+    cluster.add_argument("--min-shards", type=int, default=None,
+                         help="enable queue-depth autoscaling with this floor")
+    cluster.add_argument("--max-shards", type=int, default=None,
+                         help="enable queue-depth autoscaling with this ceiling")
+    cluster.add_argument("--scale-up-queue-depth", type=float, default=8.0,
+                         help="mean per-shard queue depth that triggers scale-up")
+    cluster.add_argument("--scale-down-queue-depth", type=float, default=1.0,
+                         help="mean queue depth under which the fleet shrinks "
+                              "(must stay below the up threshold: hysteresis)")
+    cluster.add_argument("--scale-sustain-s", type=float, default=5.0,
+                         help="seconds pressure/idleness must persist before acting")
+    cluster.add_argument("--scale-cooldown-s", type=float, default=30.0,
+                         help="minimum seconds between scaling actions")
+    cluster.add_argument("--restart-budget", type=int, default=5,
+                         help="consecutive shard deaths tolerated before the "
+                              "shard is parked in crash_loop state")
+    cluster.add_argument("--restart-backoff-s", type=float, default=0.5,
+                         help="base of the exponential restart backoff")
     cluster.add_argument("--trace-sample-rate", type=float, default=0.1,
                          help="fraction of routed requests traced end to end")
     _add_logging_flags(cluster, default_level="info")

@@ -120,6 +120,16 @@ class ScanClient:
         self.backoff_s = backoff_s
         self._sleep = sleep
 
+    @classmethod
+    def for_shard(cls, shard: dict, **kwargs) -> "ScanClient":
+        """A client dialing one shard from a router fleet snapshot.
+
+        ``shard`` is an entry of ``/v1/healthz``'s ``shards`` array; its
+        ``host`` is the shard's *bind* address (``--bind``), which may
+        differ from the router's listen host.
+        """
+        return cls(f"http://{shard['host']}:{shard['port']}", **kwargs)
+
     # --------------------------------------------------------------- calls
 
     def scan(

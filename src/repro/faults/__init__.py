@@ -21,7 +21,7 @@ See DESIGN.md §9 for the failure-mode state machine.
 """
 
 from .breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
-from .inject import ENV_FLAG, InjectedFault, maybe_inject
+from .inject import ENV_BOOT, ENV_FLAG, InjectedFault, maybe_inject, maybe_inject_boot
 from .limits import ScanLimits, apply_rlimits, read_rusage
 from .quarantine import QuarantineEntry, QuarantineJournal
 from .shardfault import (
@@ -51,6 +51,7 @@ __all__ = [
     "CAUSE_TIMEOUT",
     "CLOSED",
     "CircuitBreaker",
+    "ENV_BOOT",
     "ENV_FLAG",
     "FAULT_CAUSES",
     "HALF_OPEN",
@@ -73,5 +74,6 @@ __all__ = [
     "apply_rlimits",
     "build_embed_init",
     "maybe_inject",
+    "maybe_inject_boot",
     "read_rusage",
 ]

@@ -33,6 +33,12 @@ import time
 #: Environment flag that arms the seam ("" / "0" mean disarmed).
 ENV_FLAG = "REPRO_FAULT_INJECT"
 
+#: Markers fired at *daemon boot* (before the listener binds) — the
+#: crash-loop chaos seam.  The supervisor injects this per shard via
+#: ``shard_env``; the value is scanned like a script, so
+#: ``@repro-fault:exit137@boot`` makes that shard die on every spawn.
+ENV_BOOT = "REPRO_FAULT_BOOT"
+
 #: Marker grammar: ``@repro-fault:<kind>[@<stage>]``.
 _MARKER = re.compile(r"@repro-fault:([a-z0-9_]+)(?:@([a-z]+))?")
 
@@ -63,6 +69,19 @@ def maybe_inject(source: str, stage: str = "embed") -> None:
         if marker_stage != stage:
             continue
         _fire(kind)
+
+
+def maybe_inject_boot() -> None:
+    """Fire any armed ``boot``-stage marker in :data:`ENV_BOOT`.
+
+    Called by ``run_server`` before binding its listener: a shard whose
+    environment carries ``@repro-fault:exit137@boot`` dies on every
+    spawn, which is exactly the shape of a crash-looping daemon the
+    supervisor's restart budget exists for.
+    """
+    if not enabled():
+        return
+    maybe_inject(os.environ.get(ENV_BOOT, ""), stage="boot")
 
 
 def _fire(kind: str) -> None:

@@ -27,33 +27,41 @@ generator.
 
 from .api import API_VERSION, V1_PREFIX, EnvelopeError, parse_envelope
 from .app import BackgroundServer, ScanServer, ServeConfig, run_server
+from .autoscale import HOLD, SCALE_DOWN, SCALE_UP, AutoscaleConfig, Autoscaler
 from .batching import Draining, MicroBatcher, QueueFull
 from .cluster import BackgroundCluster, ClusterConfig, ClusterController, run_cluster
 from .hashring import HashRing
 from .loadgen import LoadReport, LoadResult, run_load
 from .router import RouterConfig, ScanRouter
 from .supervisor import ShardSpec, ShardSupervisor
+from .vcache import VerdictCache
 
 __all__ = [
     "API_VERSION",
+    "AutoscaleConfig",
+    "Autoscaler",
     "BackgroundCluster",
     "BackgroundServer",
     "ClusterConfig",
     "ClusterController",
     "Draining",
     "EnvelopeError",
+    "HOLD",
     "HashRing",
     "LoadReport",
     "LoadResult",
     "MicroBatcher",
     "QueueFull",
     "RouterConfig",
+    "SCALE_DOWN",
+    "SCALE_UP",
     "ScanRouter",
     "ScanServer",
     "ServeConfig",
     "ShardSpec",
     "ShardSupervisor",
     "V1_PREFIX",
+    "VerdictCache",
     "parse_envelope",
     "run_cluster",
     "run_load",

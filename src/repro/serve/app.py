@@ -991,6 +991,9 @@ def _inject_headers(response: bytes, headers: dict[str, str]) -> bytes:
 
 def run_server(detector: "JSRevealer", config: ServeConfig | None = None) -> int:
     """Blocking entry point used by ``repro serve``; returns the exit code."""
+    from repro.faults.inject import maybe_inject_boot
+
+    maybe_inject_boot()  # chaos seam: dormant without REPRO_FAULT_INJECT
     server = ScanServer(detector, config)
     try:
         asyncio.run(server.run_until_signaled())

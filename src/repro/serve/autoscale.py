@@ -1,0 +1,173 @@
+"""Queue-depth autoscaling for the shard fleet.
+
+The shards already export the signal (``queue_depth`` in every
+``/v1/healthz`` answer, mirrored by ``repro_serve_queue_depth``); this
+module turns it into fleet-size decisions.  The decision logic is a pure
+function of (snapshot, clock) — no I/O, no sleeping — so the whole
+policy is testable on a fake clock; the cluster controller owns the
+loop that applies decisions (spawn/retire shards, resync the router's
+hash ring).
+
+Policy, deliberately boring:
+
+* **pressure** — mean queue depth across *serving* shards at or above
+  ``up_queue_depth``, sustained for ``sustain_s`` → grow by one, up to
+  ``max_shards``,
+* **idle** — mean depth at or below ``down_queue_depth`` (a band well
+  under the up threshold: hysteresis, so the fleet never flaps on a
+  workload sitting near one threshold), sustained → shrink by one, down
+  to ``min_shards``,
+* **cool-down** — after any scaling action, no further action for
+  ``cooldown_s``: a new shard needs time to take traffic before its
+  effect on queue depth is measurable, and retiring two shards on one
+  idle spell would overshoot.
+
+Crash-looping shards are excluded from the mean (they serve nothing),
+but still count against ``max_shards`` — autoscaling must not mask a
+crash loop by quietly spawning unlimited replacements.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+from .supervisor import SHARD_CRASH_LOOP
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs import MetricsRegistry
+
+SCALE_UP = 1
+SCALE_DOWN = -1
+HOLD = 0
+
+
+@dataclass
+class AutoscaleConfig:
+    """Autoscaler knobs; mirrors the ``repro cluster`` CLI flags."""
+
+    min_shards: int = 1
+    max_shards: int = 4
+    up_queue_depth: float = 8.0  # mean queued scripts per serving shard
+    down_queue_depth: float = 1.0  # hysteresis band floor
+    sustain_s: float = 5.0  # pressure/idleness must persist this long
+    cooldown_s: float = 30.0  # minimum gap between scaling actions
+    interval_s: float = 1.0  # controller evaluation tick
+
+    def validate(self) -> None:
+        if self.min_shards < 1:
+            raise ValueError("min_shards must be positive")
+        if self.max_shards < self.min_shards:
+            raise ValueError("max_shards must be >= min_shards")
+        if self.down_queue_depth >= self.up_queue_depth:
+            raise ValueError(
+                "down_queue_depth must be strictly below up_queue_depth (hysteresis)"
+            )
+        if self.sustain_s < 0 or self.cooldown_s < 0:
+            raise ValueError("sustain_s and cooldown_s must be non-negative")
+        if self.interval_s <= 0:
+            raise ValueError("interval_s must be positive")
+
+
+class Autoscaler:
+    """Pure scale-up/scale-down decisions from fleet snapshots."""
+
+    def __init__(
+        self,
+        config: AutoscaleConfig | None = None,
+        clock: Callable[[], float] = time.monotonic,
+        metrics: "MetricsRegistry | None" = None,
+    ):
+        self.config = config or AutoscaleConfig()
+        self.config.validate()
+        self.clock = clock
+        self._pressure_since: float | None = None
+        self._idle_since: float | None = None
+        self._last_action_at: float | None = None
+        self._m_decisions = None
+        self._m_shards = None
+        if metrics is not None:
+            self._m_decisions = {
+                direction: metrics.counter(
+                    "repro_autoscale_decisions_total",
+                    "Fleet scaling actions decided by the autoscaler",
+                    labels={"direction": direction},
+                )
+                for direction in ("up", "down")
+            }
+            self._m_shards = metrics.gauge(
+                "repro_cluster_shards", "Current shard count behind the router"
+            )
+
+    @staticmethod
+    def mean_queue_depth(snapshot: list[dict]) -> float | None:
+        """Mean queue depth over serving shards; ``None`` when no shard
+        has reported one yet (boot) or none is serving."""
+        depths = [
+            float(entry["queue_depth"])
+            for entry in snapshot
+            if entry.get("healthy")
+            and entry.get("state") != SHARD_CRASH_LOOP
+            and entry.get("queue_depth") is not None
+        ]
+        if not depths:
+            return None
+        return sum(depths) / len(depths)
+
+    def observe(self, snapshot: list[dict]) -> int:
+        """One evaluation tick: returns ``SCALE_UP``, ``SCALE_DOWN``, or
+        ``HOLD``.  The caller applies the decision; this object only
+        tracks the sustain/cool-down state machine."""
+        now = self.clock()
+        n_shards = len(snapshot)
+        if self._m_shards is not None:
+            self._m_shards.set(n_shards)
+        mean = self.mean_queue_depth(snapshot)
+        if mean is None:
+            self._pressure_since = None
+            self._idle_since = None
+            return HOLD
+
+        if mean >= self.config.up_queue_depth:
+            self._idle_since = None
+            if self._pressure_since is None:
+                self._pressure_since = now
+            if (
+                now - self._pressure_since >= self.config.sustain_s
+                and self._cooled(now)
+                and n_shards < self.config.max_shards
+            ):
+                self._act(now)
+                if self._m_decisions is not None:
+                    self._m_decisions["up"].inc()
+                return SCALE_UP
+            return HOLD
+
+        if mean <= self.config.down_queue_depth:
+            self._pressure_since = None
+            if self._idle_since is None:
+                self._idle_since = now
+            if (
+                now - self._idle_since >= self.config.sustain_s
+                and self._cooled(now)
+                and n_shards > self.config.min_shards
+            ):
+                self._act(now)
+                if self._m_decisions is not None:
+                    self._m_decisions["down"].inc()
+                return SCALE_DOWN
+            return HOLD
+
+        # Inside the hysteresis band: neither streak survives.
+        self._pressure_since = None
+        self._idle_since = None
+        return HOLD
+
+    def _cooled(self, now: float) -> bool:
+        return self._last_action_at is None or now - self._last_action_at >= self.config.cooldown_s
+
+    def _act(self, now: float) -> None:
+        self._last_action_at = now
+        self._pressure_since = None
+        self._idle_since = None

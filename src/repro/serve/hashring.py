@@ -95,3 +95,53 @@ class HashRing:
             if owner not in seen:
                 seen.add(owner)
                 yield owner
+
+    def replicas(self, key: str, n: int) -> list[str]:
+        """The ``n`` distinct members that replicate ``key``'s slot.
+
+        The replica set is the first ``n`` owners in the key's preference
+        order: the primary plus the next ``n - 1`` distinct shards
+        clockwise.  Placement is deterministic (pure function of the
+        member ids and the key) and stable under replacement — a shard
+        respawned under its stable id rejoins exactly the replica sets it
+        left.  Fewer than ``n`` members means every member replicates
+        every key.
+        """
+        if n < 1:
+            raise ValueError("replica count must be positive")
+        out: list[str] = []
+        for member in self.preference(key):
+            out.append(member)
+            if len(out) == n:
+                break
+        return out
+
+    def co_replicas(self, member: str, n: int, samples: int = 128) -> set[str]:
+        """Members that share at least one sampled key's replica set with
+        ``member`` (``member`` itself excluded).
+
+        Used by the replica-aware rolling reload: two shards that are
+        co-replicas for some slot must never be disrupted concurrently,
+        or that slot loses all its copies at once.  Sampling ``samples``
+        probe keys per member pair is exact in practice — with 64 vnodes
+        per member, any pair sharing arcs shows up within a handful of
+        probes.
+        """
+        if member not in self._members:
+            return set()
+        out: set[str] = set()
+        for i in range(samples):
+            replica_set = self.replicas(f"{member}#probe-{i}", n)
+            if member in replica_set:
+                out.update(replica_set)
+        # Probe keys derived from *other* members' neighborhoods too, so
+        # arcs where ``member`` is a secondary replica are also sampled.
+        for other in self._members:
+            if other == member:
+                continue
+            for i in range(samples // max(len(self._members) - 1, 1) + 1):
+                replica_set = self.replicas(f"{other}#probe-{i}", n)
+                if member in replica_set:
+                    out.update(replica_set)
+        out.discard(member)
+        return out

@@ -8,15 +8,27 @@ it), and forwards the request with the client's ``traceparent`` carried
 through — one scan's span tree crosses both processes under one trace
 id.
 
-Failure handling is built on :func:`repro.faults.classify_shard_fault`:
-scans are pure functions of the source, so transport failures and
-shard-local 503s (drain, open breaker) are **retried on the next shard
-in the key's preference order**, while 429 (cluster is genuinely loaded)
-and 4xx (the request is wrong) pass through.  A shard that fails a
-request is reported to the :class:`~repro.serve.supervisor.ShardSupervisor`,
-which health-checks it immediately and replaces it if it is gone.  When
-*no* shard can take a request the router **browns out** — 503 with
+Every content key is placed on **R replicas** (the first R distinct
+shards in the key's ring preference order): the primary serves by
+default — cache affinity — and failure handling, built on
+:func:`repro.faults.classify_shard_fault`, fails over deterministically
+along the replica set.  Scans are pure functions of the source, so
+transport failures and shard-local 503s (drain, open breaker) are
+**retried on the next replica** (counted per reason in
+``repro_router_failovers_total``), while 429 (cluster is genuinely
+loaded) and 4xx (the request is wrong) pass through.  Replicas the
+supervisor already knows are down are subset out up front.  A shard
+that fails a request is reported to the
+:class:`~repro.serve.supervisor.ShardSupervisor`, which health-checks
+it immediately and replaces it if it is gone.  Only when a key's
+*whole replica set* is gone does the router **brown out** — 503 with
 ``Retry-After`` — rather than hanging or dropping the connection.
+
+In front of the fan-out sits a **verdict cache**
+(:class:`~repro.serve.vcache.VerdictCache`): hot re-scanned content is
+answered at the router, keyed on (content SHA-256, model epoch, scan
+options), invalidated wholesale when ``/v1/admin/reload`` bumps the
+epoch.
 
 Batch scans fan out: scripts are grouped by owning shard, sub-batches
 run concurrently, and the merged response preserves the caller's
@@ -35,6 +47,7 @@ import time
 from dataclasses import dataclass
 
 from repro.faults import classify_shard_fault
+from repro.faults.shardfault import SHARD_FAULTS
 from repro.obs import MetricsRegistry, SpanContext, TraceStore, Tracer, get_logger
 from repro.pipeline import content_key
 
@@ -61,6 +74,7 @@ from .http import (
     render_response,
 )
 from .supervisor import ShardSupervisor
+from .vcache import VerdictCache
 
 #: Response headers never copied through from a shard (re-derived by the
 #: router's own renderer).
@@ -80,6 +94,11 @@ class RouterConfig:
     trace_capacity: int = 256
     trace_slow_ms: float = 250.0
     vnodes: int = 64  # ring points per shard
+    #: Replicas per hash-ring slot: the primary plus R-1 deterministic
+    #: failover targets.  Clamped to the fleet size at routing time.
+    replicas: int = 2
+    #: Router verdict-cache capacity (entries); 0 disables the cache.
+    verdict_cache_size: int = 1024
 
     def validate(self) -> None:
         if self.request_timeout_s <= 0:
@@ -88,6 +107,10 @@ class RouterConfig:
             raise ValueError("max_body_bytes must be positive")
         if self.vnodes < 1:
             raise ValueError("vnodes must be positive")
+        if self.replicas < 1:
+            raise ValueError("replicas must be positive")
+        if self.verdict_cache_size < 0:
+            raise ValueError("verdict_cache_size must be >= 0")
 
 
 class ScanRouter:
@@ -115,25 +138,56 @@ class ScanRouter:
         self.bound_port: int | None = None
         self.started_at = time.time()
         self._rr = 0  # round-robin cursor for keyless endpoints
+        self.verdicts = VerdictCache(
+            capacity=self.config.verdict_cache_size, metrics=self.metrics
+        )
         self._m_requests: dict[tuple[str, str, int], object] = {}
         self._m_deprecated: dict[str, object] = {}
-        self._m_forwarded = {
-            f"shard-{i}": self.metrics.counter(
-                "repro_router_forwarded_total",
-                "Requests forwarded to each shard",
-                labels={"shard": f"shard-{i}"},
-            )
-            for i in range(supervisor.n_shards)
-        }
+        self._m_forwarded: dict[str, object] = {}
+        for i in range(supervisor.n_shards):
+            self._count_forwarded(f"shard-{i}", register_only=True)
         self._m_retries = self.metrics.counter(
             "repro_router_retries_total", "Requests re-sent to another shard after a shard fault"
         )
+        self._m_failovers = {
+            cause: self.metrics.counter(
+                "repro_router_failovers_total",
+                "Requests failed over to the next replica, by fault reason",
+                labels={"reason": cause},
+            )
+            for cause in SHARD_FAULTS
+        }
         self._m_brownouts = self.metrics.counter(
             "repro_router_brownouts_total", "Requests answered 503 because no shard could take them"
         )
         self._m_latency = self.metrics.histogram(
             "repro_router_request_seconds", "Wall-clock per routed request"
         )
+
+    def _count_forwarded(self, shard_id: str, register_only: bool = False) -> None:
+        """Per-shard forward counter, created on first use (the fleet is
+        dynamic under autoscaling)."""
+        counter = self._m_forwarded.get(shard_id)
+        if counter is None:
+            counter = self.metrics.counter(
+                "repro_router_forwarded_total",
+                "Requests forwarded to each shard",
+                labels={"shard": shard_id},
+            )
+            self._m_forwarded[shard_id] = counter
+        if not register_only:
+            counter.inc()
+
+    def sync_ring(self) -> None:
+        """Reconcile the hash ring with the supervisor's current fleet —
+        called by the cluster controller after autoscaling events."""
+        current = set(self.supervisor.shards)
+        for member in list(self.ring.members):
+            if member not in current:
+                self.ring.remove(member)
+        for shard_id in sorted(current):
+            if shard_id not in self.ring:
+                self.ring.add(shard_id)
 
     # -------------------------------------------------------------- lifecycle
 
@@ -279,7 +333,7 @@ class ScanRouter:
         headers = {}
         if request.traceparent:
             headers["traceparent"] = request.traceparent
-        self._m_forwarded[shard_id].inc()
+        self._count_forwarded(shard_id)
         return await fetch(
             spec.host, spec.port, request.method, self._shard_path(request, logical),
             body=request.body if body is None else body,
@@ -299,28 +353,36 @@ class ScanRouter:
             extra_headers=headers,
         )
 
-    async def _forward_with_retries(
-        self, request: Request, logical: str, key: str | None, body: bytes | None = None
-    ) -> tuple[int, bytes]:
-        """The retry loop every forwarded request goes through.
+    def _candidates(self, key: str | None) -> list[str]:
+        """Who may serve this request, in order.
 
-        Walks the key's preference order (or round-robin for keyless
-        endpoints), skipping shards the supervisor already knows are
-        down.  Retryable faults advance to the next shard; anything else
-        is the answer.
+        Keyed requests get their slot's replica set — primary first, then
+        the deterministic failover replicas — with members the supervisor
+        already knows are down subset out.  Keyless endpoints round-robin
+        over the healthy fleet.
         """
-        exclude = set(self.supervisor.unhealthy)
+        unhealthy = self.supervisor.unhealthy
         order = (
-            list(self.ring.preference(key))
+            self.ring.replicas(key, self.config.replicas)
             if key is not None
             else self._round_robin_order()
         )
-        attempts = 0
-        for shard_id in order:
-            if shard_id in exclude:
-                continue
-            attempts += 1
-            if attempts > 1:
+        return [shard_id for shard_id in order if shard_id not in unhealthy]
+
+    async def _forward_with_retries(
+        self, request: Request, logical: str, key: str | None, body: bytes | None = None
+    ) -> tuple[int, bytes, str | None]:
+        """The failover loop every forwarded request goes through.
+
+        Walks the key's replica set (or round-robin for keyless
+        endpoints).  Retryable faults advance to the next replica —
+        counted in ``repro_router_failovers_total{reason}`` — anything
+        else is the answer.  An exhausted candidate list is a brownout:
+        every copy of this key's slot is gone.
+        """
+        candidates = self._candidates(key)
+        for attempt, shard_id in enumerate(candidates):
+            if attempt > 0:
                 self._m_retries.inc()
             error: BaseException | None = None
             response: Response | None = None
@@ -334,13 +396,16 @@ class ScanRouter:
             if fault.suspect:
                 self.supervisor.mark_suspect(shard_id)
             if not fault.retryable and response is not None:
-                return self._passthrough(shard_id, response)
+                status, rendered = self._passthrough(shard_id, response)
+                return status, rendered, shard_id
             self.log.warning(
                 "shard fault",
                 extra={"shard": shard_id, "cause": fault.cause, "detail": fault.detail},
             )
-            exclude.add(shard_id)
-        return self._brownout(request, "no shard available for this request")
+            if attempt + 1 < len(candidates):
+                self._m_failovers[fault.cause].inc()
+        status, rendered = self._brownout(request, "no replica available for this request")
+        return status, rendered, None
 
     def _round_robin_order(self) -> list[str]:
         members = self.ring.members
@@ -351,6 +416,19 @@ class ScanRouter:
 
     # --------------------------------------------------------------- handlers
 
+    @staticmethod
+    def _scan_options(payload: dict) -> tuple | None:
+        """Canonical cache key for everything in a scan request that is
+        not the source itself.  ``None`` (unserializable payload) means
+        the request bypasses the cache."""
+        try:
+            options = json.dumps(
+                {k: v for k, v in payload.items() if k != "source"}, sort_keys=True
+            )
+        except (TypeError, ValueError):
+            return None
+        return (options,)
+
     async def _handle_scan(self, request: Request, logical: str) -> tuple[int, bytes]:
         payload = request.json()
         if not isinstance(payload, dict):
@@ -358,6 +436,24 @@ class ScanRouter:
         source = payload.get("source")
         if not isinstance(source, str):
             raise ProtocolError(400, 'missing or non-string "source" field')
+        key = content_key(source)
+        options = self._scan_options(payload)
+        parent = SpanContext.parse(request.traceparent)
+        # A caller that explicitly asked for this request to be traced
+        # (sampled traceparent) must take the full router → shard path —
+        # a cached answer has no span tree to offer.  The fresh verdict
+        # still refreshes the cache on the way out.
+        traced = parent is not None and parent.sampled
+        if options is not None and not traced:
+            cached = self.verdicts.get(key, options)
+            if cached is not None:
+                data, served_by = cached
+                body = dict(data)
+                # The stored verdict belongs to an earlier request's trace.
+                body["trace_id"] = None
+                return self._ok(request, body, extra_headers={
+                    "X-Shard": served_by, "X-Router-Cache": "hit",
+                })
         root = self.tracer.start_trace(
             "router.scan",
             parent=SpanContext.parse(request.traceparent),
@@ -368,12 +464,21 @@ class ScanRouter:
                 # Hand the shard *our* context so its span tree lands under
                 # this trace id (the shard always records a sampled parent).
                 request.headers["traceparent"] = root.context.to_traceparent()
-            status, rendered = await self._forward_with_retries(
-                request, logical, content_key(source)
+            status, rendered, shard_id = await self._forward_with_retries(
+                request, logical, key
             )
             root.set_attribute("status", status)
             if status >= 500:
                 root.set_status("error", f"answered {status}")
+            if status == 200 and shard_id is not None and options is not None:
+                try:
+                    entry = self._unwrap(request, rendered)
+                except (ValueError, KeyError):
+                    entry = None
+                if isinstance(entry, dict):
+                    entry = dict(entry)
+                    entry.pop("trace", None)  # per-request, never replayed
+                    self.verdicts.put(key, options, entry, shard_id)
         return status, rendered
 
     async def _handle_scan_batch(self, request: Request, logical: str) -> tuple[int, bytes]:
@@ -402,13 +507,12 @@ class ScanRouter:
         with root:
             if root.recording:
                 request.headers["traceparent"] = root.context.to_traceparent()
-            # Group by owning shard; each sub-batch is one upstream request.
+            # Group by owning replica; each sub-batch is one upstream request.
             groups: dict[str, list[int]] = {}
-            exclude = set(self.supervisor.unhealthy)
             for index, source in enumerate(sources):
-                owner = self.ring.node_for(content_key(source), exclude=exclude)
+                owner = self._replica_owner(content_key(source))
                 if owner is None:
-                    return self._brownout(request, "no shard available for this batch")
+                    return self._brownout(request, "no replica available for this batch")
                 groups.setdefault(owner, []).append(index)
             root.set_attribute("n_shards", len(groups))
 
@@ -417,9 +521,9 @@ class ScanRouter:
                 if "threshold" in payload:
                     sub["threshold"] = payload["threshold"]
                 body = json.dumps(sub).encode("utf-8")
-                # Sub-batches keep affinity via their first key but may fall
-                # through to any shard on retry — correctness over affinity.
-                status, rendered = await self._forward_with_retries(
+                # Sub-batches keep affinity via their first key but may fail
+                # over along its replica set — correctness over affinity.
+                status, rendered, _served_by = await self._forward_with_retries(
                     request, logical, content_key(sources[indices[0]]), body=body
                 )
                 return indices, status, rendered
@@ -463,8 +567,15 @@ class ScanRouter:
             return payload["data"]
         return payload
 
+    def _replica_owner(self, key: str) -> str | None:
+        """First live member of the key's replica set (batch grouping)."""
+        for shard_id in self._candidates(key):
+            return shard_id
+        return None
+
     async def _handle_forward_any(self, request: Request, logical: str) -> tuple[int, bytes]:
-        return await self._forward_with_retries(request, logical, None)
+        status, rendered, _served_by = await self._forward_with_retries(request, logical, None)
+        return status, rendered
 
     async def _handle_admin_reload(self, request: Request) -> tuple[int, bytes]:
         payload = request.json()
@@ -474,14 +585,29 @@ class ScanRouter:
         if not isinstance(model_dir, str) or not model_dir:
             raise ProtocolError(400, 'missing or non-string "model_dir" field')
         try:
-            rolled = await self.supervisor.rolling_reload(model_dir)
+            rolled = await self.supervisor.rolling_reload(
+                model_dir, ring=self.ring, replicas=self.config.replicas
+            )
         except Exception as error:
+            # Even a failed roll may have reloaded some shards — stale
+            # verdicts must not outlive the model that produced them.
+            epoch = self.verdicts.bump_epoch()
             return self._err(
                 request, 400,
                 f"rolling reload failed: {type(error).__name__}: {error}",
-                detail={"model_dir": model_dir, "shards": self.supervisor.snapshot()},
+                detail={
+                    "model_dir": model_dir,
+                    "cache_epoch": epoch,
+                    "shards": self.supervisor.snapshot(),
+                },
             )
-        return self._ok(request, {"status": "reloaded", "model_dir": model_dir, "shards": rolled})
+        epoch = self.verdicts.bump_epoch()
+        return self._ok(request, {
+            "status": "reloaded",
+            "model_dir": model_dir,
+            "cache_epoch": epoch,
+            "shards": rolled,
+        })
 
     async def _handle_healthz(self, request: Request) -> tuple[int, bytes]:
         shards = self.supervisor.snapshot()
@@ -491,7 +617,13 @@ class ScanRouter:
             "role": "router",
             "n_shards": len(shards),
             "n_healthy": healthy,
+            "replicas": self.config.replicas,
             "uptime_s": round(time.time() - self.started_at, 3),
+            "verdict_cache": {
+                "size": len(self.verdicts),
+                "capacity": self.verdicts.capacity,
+                "epoch": self.verdicts.epoch,
+            },
             "shards": shards,
         }
         return self._ok(request, payload)
@@ -507,6 +639,8 @@ class ScanRouter:
                 "request_timeout_s": self.config.request_timeout_s,
                 "max_body_bytes": self.config.max_body_bytes,
                 "vnodes": self.config.vnodes,
+                "replicas": self.config.replicas,
+                "verdict_cache_size": self.config.verdict_cache_size,
             },
         })
 

@@ -1,13 +1,14 @@
-"""Shard lifecycle: spawn, health-check, replace, roll.
+"""Shard lifecycle: spawn, health-check, replace, back off, roll.
 
 PR 4 taught a worker pool to replace processes that hostile scripts
 kill; this module lifts the same supervision contract one level up, to
 whole scan daemons.  The supervisor (which lives inside the router
-process, on its event loop) owns N shard subprocesses:
+process, on its event loop) owns the shard subprocesses:
 
 * **spawn** — each shard is ``python -m repro.cli serve`` on its own
-  pre-allocated loopback port, sharing one on-disk feature cache; it
-  counts as up only once ``/v1/healthz`` answers,
+  pre-allocated port on the configurable ``bind`` host (loopback by
+  default), sharing one on-disk feature cache; it counts as up only
+  once ``/v1/healthz`` answers,
 * **health** — a background loop polls ``process.poll()`` (fast: catches
   SIGKILL within one tick) and ``/v1/healthz`` (catches wedged-but-alive
   daemons); the router can ``mark_suspect`` a shard mid-request to pull
@@ -16,13 +17,26 @@ process, on its event loop) owns N shard subprocesses:
   stable shard id* on a fresh port, and re-awaited; the id is what the
   hash ring keys on, so the replacement inherits the dead shard's arcs
   and the shared disk cache rewarms its memory layer,
+* **back off** — a shard that dies *repeatedly* (hostile input that
+  kills the daemon on boot, a bad host, a poisoned model dir) is not
+  respawned in a tight loop: consecutive deaths grow an exponential
+  restart delay, and once the per-shard restart budget is exhausted the
+  shard enters ``crash_loop`` state — parked until a long retry
+  timer — while its hash-ring slots are served by their replicas.  The
+  clock is injectable so the whole schedule is testable without
+  sleeping,
 * **roll** — ``rolling_reload`` POSTs ``/v1/admin/reload`` to one shard
-  at a time and verifies the epoch bumped before touching the next, so
-  a model upgrade never takes two shards off the current epoch at once
-  (and never takes any shard out of service at all).
+  at a time and verifies the epoch bumped before touching the next;
+  given a hash ring it is **replica-aware**: before rolling a shard it
+  waits for that shard's co-replicas to be healthy, so no slot ever has
+  every copy disrupted at once,
+* **scale** — ``add_shard``/``remove_shard`` grow and shrink the fleet
+  at runtime (the queue-depth autoscaler drives these through the
+  cluster controller, which keeps the router's ring in sync).
 
 The supervisor never speaks for shards — the router routes around
-unhealthy ones (brownout) while replacement is in progress.
+unhealthy ones (brownout only when a slot's whole replica set is gone)
+while replacement is in progress.
 """
 
 from __future__ import annotations
@@ -35,7 +49,7 @@ import subprocess
 import sys
 import time
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable
 
 from repro.obs import get_logger
 
@@ -45,10 +59,19 @@ from .http import fetch
 if TYPE_CHECKING:  # pragma: no cover
     from repro.obs import MetricsRegistry
 
+    from .hashring import HashRing
+
+#: Shard lifecycle states surfaced in the fleet snapshot (``/v1/healthz``).
+SHARD_READY = "ready"
+SHARD_STARTING = "starting"
+SHARD_UNHEALTHY = "unhealthy"
+SHARD_BACKOFF = "backoff"
+SHARD_CRASH_LOOP = "crash_loop"
+
 
 def free_port(host: str = "127.0.0.1") -> int:
     """An OS-assigned free TCP port (bind-then-close; the usual race is
-    tolerable on loopback — a losing shard fails readiness and is respawned)."""
+    tolerable — a losing shard fails readiness and is respawned)."""
     with socket.socket(socket.AF_INET, socket.SOCK_STREAM) as sock:
         sock.bind((host, 0))
         return sock.getsockname()[1]
@@ -65,6 +88,15 @@ class ShardSpec:
     restarts: int = 0
     healthy: bool = True
     consecutive_fails: int = 0
+    state: str = SHARD_STARTING
+    #: Consecutive deaths without a sustained healthy stretch in between.
+    death_streak: int = 0
+    #: Supervisor clock time before which no respawn is attempted.
+    next_restart_at: float = 0.0
+    #: Supervisor clock time the shard last answered its first healthz.
+    ready_at: float = 0.0
+    #: Guard: each process incarnation's death is accounted exactly once.
+    death_noted: bool = False
     last_health: dict = field(default_factory=dict)  # last /v1/healthz data
 
     @property
@@ -80,52 +112,101 @@ class ShardSupervisor:
         model_dir: str,
         n_shards: int,
         host: str = "127.0.0.1",
+        bind: str | None = None,
         cache_dir: str | None = None,
         shard_args: list[str] | None = None,
+        shard_env: dict[str, dict[str, str]] | None = None,
         metrics: "MetricsRegistry | None" = None,
         health_interval_s: float = 0.5,
         health_timeout_s: float = 2.0,
         ready_timeout_s: float = 120.0,
         fail_threshold: int = 2,
+        restart_backoff_s: float = 0.5,
+        restart_backoff_max_s: float = 30.0,
+        restart_budget: int = 5,
+        healthy_reset_s: float = 30.0,
+        crash_loop_retry_s: float = 300.0,
+        clock: Callable[[], float] = time.monotonic,
     ):
         if n_shards < 1:
             raise ValueError("n_shards must be positive")
+        if restart_budget < 1:
+            raise ValueError("restart_budget must be positive")
         self.model_dir = model_dir
         self.n_shards = n_shards
+        #: Where shards bind and are dialed; defaults to ``host`` so a
+        #: single-host cluster needs no extra flag, but ``--bind`` can
+        #: keep shards on loopback while the router listens wide (or, in
+        #: a multi-host future, place them on a private interface).
+        self.bind = bind or host
         self.host = host
         self.cache_dir = cache_dir
         #: Extra ``repro serve`` flags appended to every shard's argv
         #: (e.g. ``["--max-batch", "16"]``).
         self.shard_args = list(shard_args or [])
+        #: Per-shard-id extra environment (chaos tests inject boot faults
+        #: into exactly one shard through this).
+        self.shard_env: dict[str, dict[str, str]] = dict(shard_env or {})
         self.health_interval_s = health_interval_s
         self.health_timeout_s = health_timeout_s
         self.ready_timeout_s = ready_timeout_s
         self.fail_threshold = fail_threshold
+        self.restart_backoff_s = restart_backoff_s
+        self.restart_backoff_max_s = restart_backoff_max_s
+        self.restart_budget = restart_budget
+        self.healthy_reset_s = healthy_reset_s
+        self.crash_loop_retry_s = crash_loop_retry_s
+        self.clock = clock
         self.shards: dict[str, ShardSpec] = {}
+        #: ``(shard_id, clock time)`` of every respawn attempt — the
+        #: chaos suite asserts the backoff schedule on this log.
+        self.respawn_log: list[tuple[str, float]] = []
         self.log = get_logger("supervisor")
         self._task: asyncio.Task | None = None
         self._wake = asyncio.Event()
         self._suspects: set[str] = set()
         self._closed = False
-        self._m_restarts = None
-        self._m_up = None
-        if metrics is not None:
-            self._m_restarts = {
-                f"shard-{i}": metrics.counter(
-                    "repro_shard_restarts_total",
-                    "Shard daemons replaced by the supervisor",
-                    labels={"shard": f"shard-{i}"},
-                )
-                for i in range(n_shards)
-            }
-            self._m_up = {
-                f"shard-{i}": metrics.gauge(
-                    "repro_shard_up",
-                    "1 while the shard answers health checks",
-                    labels={"shard": f"shard-{i}"},
-                )
-                for i in range(n_shards)
-            }
+        self._metrics = metrics
+        self._m_restarts: dict[str, object] = {}
+        self._m_up: dict[str, object] = {}
+        self._m_crash_loops = (
+            metrics.counter(
+                "repro_shard_crash_loops_total",
+                "Shards parked after exhausting their restart budget",
+            )
+            if metrics is not None
+            else None
+        )
+
+    # ------------------------------------------------------------- metrics
+
+    def _metric_restarts(self, shard_id: str):
+        """Per-shard restart counter, created on first use (the fleet is
+        dynamic under autoscaling, so ids are not known up front)."""
+        if self._metrics is None:
+            return None
+        counter = self._m_restarts.get(shard_id)
+        if counter is None:
+            counter = self._metrics.counter(
+                "repro_shard_restarts_total",
+                "Shard daemons replaced by the supervisor",
+                labels={"shard": shard_id},
+            )
+            self._m_restarts[shard_id] = counter
+        return counter
+
+    def _set_up(self, shard_id: str, value: int) -> None:
+        if self._metrics is None:
+            return
+        gauge = self._m_up.get(shard_id)
+        if gauge is None:
+            gauge = self._metrics.gauge(
+                "repro_shard_up",
+                "1 while the shard answers health checks",
+                labels={"shard": shard_id},
+            )
+            self._m_up[shard_id] = gauge
+        gauge.set(value)
 
     # -------------------------------------------------------------- lifecycle
 
@@ -157,10 +238,57 @@ class ShardSupervisor:
                 process.kill()
                 process.wait(timeout=10)
 
+    # ------------------------------------------------------------------ scale
+
+    def next_shard_id(self) -> str:
+        """The lowest free stable id — re-adding a recently removed id
+        restores its exact former ring arcs."""
+        i = 0
+        while f"shard-{i}" in self.shards:
+            i += 1
+        return f"shard-{i}"
+
+    async def add_shard(self) -> str:
+        """Grow the fleet by one shard; returns its id once it is ready."""
+        shard_id = self.next_shard_id()
+        spec = self._spawn(shard_id)
+        try:
+            # Published into self.shards only once ready: the health loop
+            # runs concurrently with this wait, and a booting shard that
+            # cannot answer /v1/healthz yet would read as wedged and get
+            # terminated mid-boot.
+            await self._wait_ready(spec)
+        except RuntimeError:
+            # The newcomer failed to boot: withdraw it rather than leaving
+            # a permanently dark member in the fleet.
+            self._terminate(spec.process)
+            raise
+        self.shards[shard_id] = spec
+        self.n_shards = len(self.shards)
+        self.log.info("shard added", extra={"shard": shard_id, "n_shards": self.n_shards})
+        return shard_id
+
+    def pick_removal(self) -> str | None:
+        """The shard a scale-down should retire: the highest-index one
+        (so the stable low ids — and their warm arcs — survive)."""
+        if len(self.shards) <= 1:
+            return None
+        return sorted(self.shards)[-1]
+
+    async def remove_shard(self, shard_id: str) -> None:
+        """Shrink the fleet: SIGTERM (the daemon drains) and forget."""
+        spec = self.shards.pop(shard_id, None)
+        if spec is None:
+            return
+        self.n_shards = len(self.shards)
+        self._set_up(shard_id, 0)
+        self._terminate(spec.process)
+        self.log.info("shard removed", extra={"shard": shard_id, "n_shards": self.n_shards})
+
     # ------------------------------------------------------------------ spawn
 
     def _spawn(self, shard_id: str) -> ShardSpec:
-        port = free_port(self.host)
+        port = free_port(self.bind)
         argv = [
             sys.executable,
             "-m",
@@ -169,7 +297,7 @@ class ShardSupervisor:
             "--model",
             self.model_dir,
             "--host",
-            self.host,
+            self.bind,
             "--port",
             str(port),
         ]
@@ -183,11 +311,13 @@ class ShardSupervisor:
 
         src_dir = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
         env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+        env["REPRO_SHARD_ID"] = shard_id
+        env.update(self.shard_env.get(shard_id, {}))
         process = subprocess.Popen(argv, env=env, stdout=subprocess.DEVNULL)
         self.log.info(
             "shard spawned", extra={"shard": shard_id, "port": port, "shard_pid": process.pid}
         )
-        return ShardSpec(shard_id=shard_id, host=self.host, port=port, process=process)
+        return ShardSpec(shard_id=shard_id, host=self.bind, port=port, process=process)
 
     async def _wait_ready(self, spec: ShardSpec) -> None:
         deadline = time.monotonic() + self.ready_timeout_s
@@ -204,6 +334,8 @@ class ShardSupervisor:
                     spec.last_health = parse_envelope(response.status, response.body) or {}
                     spec.healthy = True
                     spec.consecutive_fails = 0
+                    spec.state = SHARD_READY
+                    spec.ready_at = self.clock()
                     self._set_up(spec.shard_id, 1)
                     return
             except Exception:
@@ -212,10 +344,6 @@ class ShardSupervisor:
                 self._terminate(spec.process)
                 raise RuntimeError(f"{spec.shard_id} not ready within {self.ready_timeout_s:g}s")
             await asyncio.sleep(0.05)
-
-    def _set_up(self, shard_id: str, value: int) -> None:
-        if self._m_up is not None and shard_id in self._m_up:
-            self._m_up[shard_id].set(value)
 
     # ----------------------------------------------------------------- health
 
@@ -237,6 +365,8 @@ class ShardSupervisor:
             self._wake.clear()
             suspects, self._suspects = self._suspects, set()
             for spec in list(self.shards.values()):
+                if self.shards.get(spec.shard_id) is not spec:
+                    continue  # removed or replaced mid-iteration
                 urgent = spec.shard_id in suspects
                 try:
                     await self._check(spec, urgent=urgent)
@@ -249,7 +379,9 @@ class ShardSupervisor:
 
     async def _check(self, spec: ShardSpec, urgent: bool = False) -> None:
         if spec.process.poll() is not None:  # the process is simply gone
-            await self._replace(spec, reason=f"exited {spec.process.returncode}")
+            self._note_death(spec, reason=f"exited {spec.process.returncode}")
+            if self.clock() >= spec.next_restart_at:
+                await self._respawn(spec)
             return
         try:
             response = await fetch(
@@ -260,6 +392,13 @@ class ShardSupervisor:
             spec.last_health = parse_envelope(response.status, response.body) or {}
             spec.healthy = True
             spec.consecutive_fails = 0
+            if spec.state != SHARD_READY:
+                spec.state = SHARD_READY
+                spec.ready_at = self.clock()
+            elif spec.death_streak and self.clock() - spec.ready_at >= self.healthy_reset_s:
+                # A sustained healthy stretch forgives past deaths: the
+                # next crash starts a fresh backoff schedule.
+                spec.death_streak = 0
             self._set_up(spec.shard_id, 1)
         except asyncio.CancelledError:
             raise
@@ -267,45 +406,140 @@ class ShardSupervisor:
             spec.consecutive_fails += 1
             threshold = 1 if urgent else self.fail_threshold
             if spec.consecutive_fails >= threshold:
-                await self._replace(spec, reason=repr(error))
+                # Alive but wedged: same accounting as a death — terminate
+                # and go through the backoff schedule.
+                self._note_death(spec, reason=repr(error))
+                if self.clock() >= spec.next_restart_at:
+                    await self._respawn(spec)
             else:
                 spec.healthy = False
+                spec.state = SHARD_UNHEALTHY
                 self._set_up(spec.shard_id, 0)
 
-    async def _replace(self, spec: ShardSpec, reason: str = "") -> None:
-        """Respawn one shard under its stable id (fresh port, same arcs)."""
+    def _note_death(self, spec: ShardSpec, reason: str = "") -> None:
+        """Account one process death: bump the streak, compute when (and
+        whether) the next respawn may happen.  Idempotent per incarnation."""
+        if spec.death_noted:
+            return
+        spec.death_noted = True
         spec.healthy = False
         self._set_up(spec.shard_id, 0)
+        now = self.clock()
+        if spec.state == SHARD_READY and spec.ready_at and now - spec.ready_at >= self.healthy_reset_s:
+            spec.death_streak = 0  # it served honestly for a while
+        spec.death_streak += 1
+        if spec.death_streak > self.restart_budget:
+            spec.state = SHARD_CRASH_LOOP
+            spec.next_restart_at = now + self.crash_loop_retry_s
+            if self._m_crash_loops is not None:
+                self._m_crash_loops.inc()
+            self.log.warning(
+                "shard crash-looping; restart budget exhausted",
+                extra={
+                    "shard": spec.shard_id,
+                    "death_streak": spec.death_streak,
+                    "retry_in_s": self.crash_loop_retry_s,
+                    "reason": reason,
+                },
+            )
+            return
+        if spec.death_streak == 1:
+            delay = 0.0  # first death: replace immediately (the common case)
+        else:
+            delay = min(
+                self.restart_backoff_s * (2 ** (spec.death_streak - 2)),
+                self.restart_backoff_max_s,
+            )
+        spec.state = SHARD_BACKOFF if delay else SHARD_STARTING
+        spec.next_restart_at = now + delay
         self.log.warning(
-            "shard replaced", extra={"shard": spec.shard_id, "reason": reason}
+            "shard died",
+            extra={
+                "shard": spec.shard_id,
+                "death_streak": spec.death_streak,
+                "restart_delay_s": delay,
+                "reason": reason,
+            },
         )
+
+    async def _respawn(self, spec: ShardSpec) -> None:
+        """Respawn one shard under its stable id (fresh port, same arcs)."""
         self._terminate(spec.process)
+        self.respawn_log.append((spec.shard_id, self.clock()))
         fresh = self._spawn(spec.shard_id)
         fresh.restarts = spec.restarts + 1
+        fresh.death_streak = spec.death_streak
         # Not healthy until it answers /v1/healthz: the router must route
         # around it (and health snapshots must say so) while it boots.
         fresh.healthy = False
+        fresh.state = SHARD_STARTING
         self.shards[spec.shard_id] = fresh
-        if self._m_restarts is not None and spec.shard_id in self._m_restarts:
-            self._m_restarts[spec.shard_id].inc()
+        counter = self._metric_restarts(spec.shard_id)
+        if counter is not None:
+            counter.inc()
         try:
             await self._wait_ready(fresh)
         except RuntimeError:
-            fresh.healthy = False  # next tick tries again (poll() is not None)
+            # Died (or hung) during boot: the next health tick notes the
+            # death and the backoff schedule stretches further.
+            fresh.healthy = False
 
     # ------------------------------------------------------------------- roll
 
-    async def rolling_reload(self, model_dir: str, timeout_s: float = 120.0) -> list[dict]:
+    async def rolling_reload(
+        self,
+        model_dir: str,
+        timeout_s: float = 120.0,
+        ring: "HashRing | None" = None,
+        replicas: int = 1,
+    ) -> list[dict]:
         """Reload the model shard-by-shard; stop at the first failure.
 
         Each shard keeps serving throughout (the swap happens between
         micro-batches inside the daemon); sequencing means a bad model
         directory burns at most one shard's epoch, never the fleet's.
+
+        Given a ``ring`` and a replica count, the roll is
+        **replica-aware**: before touching a shard it waits until every
+        co-replica of that shard (any shard sharing a slot's replica set
+        with it) is healthy, so no slot ever has all of its copies
+        disrupted at once — and shards parked in ``crash_loop`` are
+        skipped (they are not serving; the reload must not wedge on
+        them).  They boot the new model when their retry timer respawns
+        them, because ``self.model_dir`` is updated first.
         """
-        self.model_dir = model_dir  # replacements spawned from now on boot the new model
+        # Replacements spawned from now on boot the new model — but if the
+        # roll dies before ANY shard accepted it (the bad-model-dir case),
+        # the old directory is restored: a rejected reload must not poison
+        # every future respawn.
+        previous_model_dir, self.model_dir = self.model_dir, model_dir
         results: list[dict] = []
         body = json.dumps({"model_dir": model_dir}).encode("utf-8")
+        try:
+            return await self._roll(body, results, timeout_s, ring, replicas)
+        except BaseException:
+            if not any("epoch" in entry for entry in results):
+                self.model_dir = previous_model_dir
+            raise
+
+    async def _roll(
+        self,
+        body: bytes,
+        results: list[dict],
+        timeout_s: float,
+        ring: "HashRing | None",
+        replicas: int,
+    ) -> list[dict]:
         for shard_id in sorted(self.shards):
+            spec = self.shards[shard_id]
+            if spec.state == SHARD_CRASH_LOOP:
+                self.log.warning(
+                    "shard skipped in rolling reload (crash_loop)", extra={"shard": shard_id}
+                )
+                results.append({"shard": shard_id, "skipped": "crash_loop"})
+                continue
+            if ring is not None:
+                await self._await_co_replicas_healthy(shard_id, ring, replicas, timeout_s)
             deadline = time.monotonic() + timeout_s
             while True:
                 # Re-read per attempt: a shard mid-replacement comes back
@@ -336,16 +570,55 @@ class ShardSupervisor:
             results.append({"shard": shard_id, **data})
         return results
 
+    async def _await_co_replicas_healthy(
+        self, shard_id: str, ring: "HashRing", replicas: int, timeout_s: float
+    ) -> None:
+        """Block until every live co-replica of ``shard_id`` is healthy.
+
+        Rolling a shard while one of its co-replicas is down would leave
+        some slot with zero undisturbed copies; waiting here keeps the
+        invariant that at most one member of any replica set is being
+        touched at a time.  Co-replicas parked in ``crash_loop`` are not
+        waited for — they are already out of every serving path.
+        """
+        deadline = time.monotonic() + timeout_s
+        while True:
+            peers = ring.co_replicas(shard_id, max(replicas, 1))
+            blocking = [
+                peer
+                for peer in peers
+                if peer in self.shards
+                and not self.shards[peer].healthy
+                and self.shards[peer].state != SHARD_CRASH_LOOP
+            ]
+            if not blocking:
+                return
+            if time.monotonic() >= deadline:
+                raise RuntimeError(
+                    f"cannot roll {shard_id}: co-replicas {sorted(blocking)} unhealthy"
+                )
+            await asyncio.sleep(0.25)
+
     # --------------------------------------------------------------- snapshot
 
     def snapshot(self) -> list[dict]:
+        now = self.clock()
         return [
             {
                 "shard": shard_id,
+                "host": spec.host,
                 "port": spec.port,
                 "pid": spec.pid,
                 "healthy": spec.healthy,
+                "state": spec.state,
                 "restarts": spec.restarts,
+                "death_streak": spec.death_streak,
+                "next_restart_s": (
+                    round(max(spec.next_restart_at - now, 0.0), 3)
+                    if not spec.healthy and spec.next_restart_at > now
+                    else None
+                ),
+                "queue_depth": spec.last_health.get("queue_depth"),
                 "epoch": spec.last_health.get("epoch"),
                 "model_fingerprint": spec.last_health.get("model_fingerprint"),
             }

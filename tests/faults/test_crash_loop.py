@@ -1,0 +1,241 @@
+"""Crash-loop protection: restart backoff, budget exhaustion, replica serving.
+
+Two layers:
+
+* **fake clock** — the supervisor's whole backoff schedule (immediate
+  first replacement, exponential delays, budget exhaustion into
+  ``crash_loop``, the long retry timer) asserted on
+  ``ShardSupervisor.respawn_log`` without spawning a single process or
+  sleeping a single real second, and
+* **real processes** — a live two-shard cluster where one shard's
+  replacements die at boot (``@repro-fault:exit137@boot`` injected via
+  ``shard_env``): the shard must end up parked in ``crash_loop`` fleet
+  state while every scan keeps succeeding off the surviving replica.
+"""
+
+import asyncio
+import os
+import signal
+import time
+
+import pytest
+
+from repro.client import ScanClient
+from repro.core import save_detector
+from repro.serve import BackgroundCluster, ClusterConfig, RouterConfig
+from repro.serve.supervisor import (
+    SHARD_BACKOFF,
+    SHARD_CRASH_LOOP,
+    ShardSpec,
+    ShardSupervisor,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+class DeadProcess:
+    """A subprocess stand-in that is already dead (exit 137)."""
+
+    pid = 4242
+    returncode = 137
+
+    def poll(self):
+        return 137
+
+    def wait(self, timeout=None):
+        return 137
+
+    def terminate(self):
+        pass
+
+    def kill(self):
+        pass
+
+
+def make_supervisor(clock, **overrides):
+    params = dict(
+        model_dir="unused",
+        n_shards=1,
+        restart_backoff_s=1.0,
+        restart_backoff_max_s=8.0,
+        restart_budget=3,
+        healthy_reset_s=30.0,
+        crash_loop_retry_s=300.0,
+        clock=clock,
+    )
+    params.update(overrides)
+    supervisor = ShardSupervisor(**params)
+    # Every spawn "succeeds" but the process is dead on arrival — the
+    # shape of a daemon that exits during boot.
+    supervisor._spawn = lambda shard_id: ShardSpec(
+        shard_id=shard_id, host="127.0.0.1", port=1, process=DeadProcess()
+    )
+    return supervisor
+
+
+def run_schedule(supervisor, clock, ticks, dt=0.25):
+    """Drive the health-check path directly on a fake clock."""
+
+    async def main():
+        supervisor.shards["shard-0"] = supervisor._spawn("shard-0")
+        for _ in range(ticks):
+            spec = supervisor.shards["shard-0"]
+            await supervisor._check(spec)
+            clock.advance(dt)
+
+    asyncio.run(main())
+
+
+def test_backoff_schedule_and_budget_exhaustion():
+    clock = FakeClock()
+    supervisor = make_supervisor(clock)
+    run_schedule(supervisor, clock, ticks=80)
+
+    spec = supervisor.shards["shard-0"]
+    assert spec.state == SHARD_CRASH_LOOP
+    assert spec.death_streak == supervisor.restart_budget + 1
+
+    times = [t for _shard, t in supervisor.respawn_log]
+    # Budget of 3 restarts: immediate, then backoff 1s, then 2s, then parked.
+    assert len(times) == 3
+    assert times[0] == 0.0  # first death is replaced immediately
+    # Exponential gaps (quantized up by the 0.25s tick, never early):
+    gap1, gap2 = times[1] - times[0], times[2] - times[1]
+    assert 1.0 <= gap1 < 2.0
+    assert 2.0 <= gap2 < 3.0
+
+
+def test_no_busy_spin_between_respawns():
+    # Between scheduled respawns the supervisor must do *nothing*: every
+    # respawn_log entry lands exactly at (or on the first tick after) its
+    # computed next_restart_at — never before.
+    clock = FakeClock()
+    supervisor = make_supervisor(clock, restart_budget=4)
+    run_schedule(supervisor, clock, ticks=120)
+    times = [t for _shard, t in supervisor.respawn_log]
+    assert len(times) == 4
+    gaps = [b - a for a, b in zip(times, times[1:])]
+    # Monotone non-decreasing gaps, each at least the computed backoff.
+    for expected, gap in zip([1.0, 2.0, 4.0], gaps):
+        assert gap >= expected, f"respawned early: gap {gap} < backoff {expected}"
+    assert gaps == sorted(gaps)
+
+
+def test_crash_loop_parks_until_retry_timer():
+    clock = FakeClock()
+    supervisor = make_supervisor(clock, restart_budget=1, crash_loop_retry_s=100.0)
+    run_schedule(supervisor, clock, ticks=40)
+    spec = supervisor.shards["shard-0"]
+    assert spec.state == SHARD_CRASH_LOOP
+    parked_respawns = len(supervisor.respawn_log)
+    # 40 ticks * 0.25s = 10s elapsed: far inside the 100s park window.
+    run_schedule_more(supervisor, clock, ticks=40)
+    assert len(supervisor.respawn_log) == parked_respawns  # parked means parked
+    clock.advance(100.0)
+    run_schedule_more(supervisor, clock, ticks=2)
+    assert len(supervisor.respawn_log) == parked_respawns + 1  # one probe after the timer
+
+
+def run_schedule_more(supervisor, clock, ticks, dt=0.25):
+    async def main():
+        for _ in range(ticks):
+            await supervisor._check(supervisor.shards["shard-0"])
+            clock.advance(dt)
+
+    asyncio.run(main())
+
+
+def test_snapshot_surfaces_crash_loop_state():
+    clock = FakeClock()
+    supervisor = make_supervisor(clock, restart_budget=1)
+    run_schedule(supervisor, clock, ticks=40)
+    entry = supervisor.snapshot()[0]
+    assert entry["state"] == SHARD_CRASH_LOOP
+    assert entry["healthy"] is False
+    assert entry["death_streak"] == 2
+    assert entry["next_restart_s"] > 0  # the retry timer is visible to operators
+
+
+def test_backoff_state_visible_mid_schedule():
+    clock = FakeClock()
+    supervisor = make_supervisor(clock, restart_budget=5)
+    run_schedule(supervisor, clock, ticks=6)  # past the immediate respawn
+    entry = supervisor.snapshot()[0]
+    assert entry["state"] in (SHARD_BACKOFF, "starting")
+    assert entry["healthy"] is False
+
+
+# ----------------------------------------------------- real processes
+
+
+def test_boot_fault_shard_parks_in_crash_loop_while_replica_serves(
+    detector, split, tmp_path_factory
+):
+    model_dir = str(tmp_path_factory.mktemp("crash-loop-model"))
+    save_detector(detector, model_dir)
+    config = ClusterConfig(
+        model_dir=model_dir,
+        n_shards=2,
+        port=0,
+        cache_dir=str(tmp_path_factory.mktemp("crash-loop-cache")),
+        router=RouterConfig(request_timeout_s=30.0),
+        restart_backoff_s=0.2,
+        restart_backoff_max_s=1.0,
+        restart_budget=2,
+        crash_loop_retry_s=600.0,
+    )
+    with BackgroundCluster(config) as cluster:
+        client = ScanClient(cluster.url, timeout_s=60.0, retries=3)
+        fleet = {s["shard"]: s for s in client.healthz()["shards"]}
+        victim_pid = fleet["shard-1"]["pid"]
+
+        supervisor = cluster.controller.supervisor
+        # From now on every shard-1 incarnation dies at boot: the marker
+        # in REPRO_FAULT_BOOT fires inside run_server before the listener
+        # binds, which is exactly a poisoned-host crash loop.
+        cluster.call_soon(
+            supervisor.shard_env.__setitem__,
+            "shard-1",
+            {"REPRO_FAULT_INJECT": "1", "REPRO_FAULT_BOOT": "/* @repro-fault:exit137@boot */"},
+        )
+        time.sleep(0.2)
+        os.kill(victim_pid, signal.SIGKILL)
+
+        # Scans must keep succeeding throughout — shard-1's keys are
+        # served by their replica (R=2 over 2 shards covers every slot).
+        deadline = time.monotonic() + 120.0
+        parked = False
+        while time.monotonic() < deadline and not parked:
+            for source in split.test.sources[:4]:
+                verdict = client.scan(source)
+                assert verdict.verdict in ("malicious", "benign")
+            state = {s["shard"]: s for s in client.healthz()["shards"]}
+            parked = state["shard-1"]["state"] == SHARD_CRASH_LOOP
+        assert parked, "shard-1 never reached crash_loop fleet state"
+        assert state["shard-1"]["healthy"] is False
+        assert state["shard-1"]["death_streak"] >= config.restart_budget + 1
+        assert state["shard-0"]["healthy"] is True
+
+        # The respawn log must show backoff, not a busy spin: consecutive
+        # respawns of shard-1 are separated by at least the base backoff
+        # once the streak is past the immediate first replacement.
+        respawns = [t for shard_id, t in supervisor.respawn_log if shard_id == "shard-1"]
+        assert 1 <= len(respawns) <= config.restart_budget
+        gaps = [b - a for a, b in zip(respawns, respawns[1:])]
+        for gap in gaps[1:]:
+            assert gap >= config.restart_backoff_s
+
+        # And the fleet still answers as degraded, not down.
+        health = client.healthz()
+        assert health["status"] == "degraded"
+        for source in split.test.sources[:4]:
+            assert client.scan(source).verdict in ("malicious", "benign")

@@ -1,0 +1,163 @@
+"""Fake-clock tests for the queue-depth autoscaler policy.
+
+The :class:`~repro.serve.autoscale.Autoscaler` is a pure decision
+function over (fleet snapshot, clock): the whole sustain / hysteresis /
+cool-down schedule is asserted here without a single sleep or a single
+real shard.  The cluster controller's *application* of decisions is
+covered by the replication bench and the cluster tests.
+"""
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.serve import HOLD, SCALE_DOWN, SCALE_UP, AutoscaleConfig, Autoscaler
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+def fleet(n, depth, crash_looping=0):
+    """A supervisor snapshot shaped like ShardSupervisor.snapshot()."""
+    out = []
+    for i in range(n):
+        parked = i < crash_looping
+        out.append({
+            "shard": f"shard-{i}",
+            "healthy": not parked,
+            "state": "crash_loop" if parked else "ready",
+            "queue_depth": None if parked else depth,
+        })
+    return out
+
+
+def make(clock, **overrides):
+    defaults = dict(
+        min_shards=1, max_shards=4, up_queue_depth=8.0, down_queue_depth=1.0,
+        sustain_s=5.0, cooldown_s=30.0,
+    )
+    defaults.update(overrides)
+    return Autoscaler(AutoscaleConfig(**defaults), clock=clock)
+
+
+def test_scale_up_requires_sustained_pressure():
+    clock = FakeClock()
+    scaler = make(clock)
+    assert scaler.observe(fleet(2, depth=20)) == HOLD  # first sighting starts the streak
+    clock.advance(4.9)
+    assert scaler.observe(fleet(2, depth=20)) == HOLD  # not sustained yet
+    clock.advance(0.2)
+    assert scaler.observe(fleet(2, depth=20)) == SCALE_UP
+
+
+def test_pressure_blip_resets_the_streak():
+    clock = FakeClock()
+    scaler = make(clock)
+    scaler.observe(fleet(2, depth=20))
+    clock.advance(4.0)
+    assert scaler.observe(fleet(2, depth=4.0)) == HOLD  # back inside the band
+    clock.advance(2.0)
+    # Pressure again: the old 4s of streak must not carry over.
+    assert scaler.observe(fleet(2, depth=20)) == HOLD
+    clock.advance(5.1)
+    assert scaler.observe(fleet(2, depth=20)) == SCALE_UP
+
+
+def test_cooldown_blocks_consecutive_actions():
+    clock = FakeClock()
+    scaler = make(clock)
+    scaler.observe(fleet(2, depth=20))
+    clock.advance(5.1)
+    assert scaler.observe(fleet(2, depth=20)) == SCALE_UP
+    # Still under pressure (the new shard has not absorbed load yet):
+    # within the cool-down no second action fires, however sustained.
+    clock.advance(10.0)
+    assert scaler.observe(fleet(3, depth=20)) == HOLD
+    clock.advance(25.1)  # past cooldown AND past a fresh sustain window
+    assert scaler.observe(fleet(3, depth=20)) == SCALE_UP
+
+
+def test_scale_down_on_sustained_idle_with_hysteresis():
+    clock = FakeClock()
+    scaler = make(clock)
+    assert scaler.observe(fleet(3, depth=0.0)) == HOLD
+    clock.advance(5.1)
+    assert scaler.observe(fleet(3, depth=0.0)) == SCALE_DOWN
+    # Mid-band load (between down=1 and up=8) must hold steady forever:
+    # this is the hysteresis dead band that prevents flapping.
+    clock.advance(100.0)
+    for _ in range(10):
+        clock.advance(10.0)
+        assert scaler.observe(fleet(2, depth=4.0)) == HOLD
+
+
+def test_min_and_max_clamps():
+    clock = FakeClock()
+    scaler = make(clock, min_shards=2, max_shards=3)
+    scaler.observe(fleet(3, depth=20))
+    clock.advance(5.1)
+    assert scaler.observe(fleet(3, depth=20)) == HOLD  # already at max
+    scaler2 = make(clock, min_shards=2, max_shards=3)
+    scaler2.observe(fleet(2, depth=0.0))
+    clock.advance(5.1)
+    assert scaler2.observe(fleet(2, depth=0.0)) == HOLD  # already at min
+
+
+def test_crash_looping_shards_excluded_from_mean_but_counted_in_size():
+    clock = FakeClock()
+    # 3 shards but one parked: the mean is over the 2 serving ones, while
+    # the parked one still counts against max_shards=3 — autoscaling must
+    # not mask a crash loop with endless replacements.
+    scaler = make(clock, max_shards=3)
+    snapshot = fleet(3, depth=20, crash_looping=1)
+    assert Autoscaler.mean_queue_depth(snapshot) == 20.0
+    scaler.observe(snapshot)
+    clock.advance(5.1)
+    assert scaler.observe(snapshot) == HOLD  # fleet size 3 == max
+
+
+def test_empty_or_unreported_fleet_holds():
+    clock = FakeClock()
+    scaler = make(clock)
+    assert scaler.observe([]) == HOLD
+    booting = [{"shard": "shard-0", "healthy": True, "state": "ready", "queue_depth": None}]
+    assert Autoscaler.mean_queue_depth(booting) is None
+    assert scaler.observe(booting) == HOLD
+
+
+def test_decisions_counted_in_metrics():
+    clock = FakeClock()
+    metrics = MetricsRegistry()
+    scaler = Autoscaler(
+        AutoscaleConfig(sustain_s=1.0, cooldown_s=2.0), clock=clock, metrics=metrics
+    )
+    scaler.observe(fleet(2, depth=20))
+    clock.advance(1.1)
+    assert scaler.observe(fleet(2, depth=20)) == SCALE_UP
+    clock.advance(3.0)
+    scaler.observe(fleet(3, depth=0.0))
+    clock.advance(1.1)
+    assert scaler.observe(fleet(3, depth=0.0)) == SCALE_DOWN
+    rendered = metrics.render()
+    assert 'repro_autoscale_decisions_total{direction="up"} 1' in rendered
+    assert 'repro_autoscale_decisions_total{direction="down"} 1' in rendered
+    assert "repro_cluster_shards 3" in rendered
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        AutoscaleConfig(min_shards=0).validate()
+    with pytest.raises(ValueError):
+        AutoscaleConfig(min_shards=3, max_shards=2).validate()
+    with pytest.raises(ValueError):
+        AutoscaleConfig(up_queue_depth=2.0, down_queue_depth=2.0).validate()
+    with pytest.raises(ValueError):
+        AutoscaleConfig(interval_s=0).validate()
+    AutoscaleConfig().validate()

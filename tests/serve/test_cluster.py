@@ -300,3 +300,201 @@ def test_rolling_reload_bad_model_dir_is_a_400(client):
     assert caught.value.code == "bad_request"
     # The fleet keeps serving on its current epoch.
     assert client.healthz()["n_healthy"] == 2
+
+
+# --------------------------------------------- replication + verdict cache
+
+
+def test_kill_primary_mid_load_failover_counted_and_zero_failures(client, cluster, split):
+    victim = {s["shard"]: s for s in client.healthz()["shards"]}["shard-1"]
+    os.kill(victim["pid"], signal.SIGKILL)
+    # Every key's replica set spans both shards (R=2 over 2): requests
+    # issued straight through the kill window fail over to the survivor
+    # with zero client-visible failures.  Fresh sources, so none of them
+    # can be answered from the router's verdict cache.
+    for i in range(12):
+        verdict = client.scan(f"/* failover probe {i} */ document.write({i})")
+        assert verdict.verdict in ("malicious", "benign")
+    metrics = client.metrics_text()
+    failovers = sum(
+        int(line.rsplit(" ", 1)[-1])
+        for line in metrics.splitlines()
+        if line.startswith("repro_router_failovers_total{")
+    )
+    assert failovers >= 1, "expected at least one recorded replica failover"
+
+    def replaced():
+        shard = {s["shard"]: s for s in client.healthz()["shards"]}["shard-1"]
+        return shard["healthy"] and shard["pid"] != victim["pid"]
+
+    assert wait_for(replaced, timeout_s=90.0), "shard-1 was not replaced in time"
+
+
+def test_verdict_cache_hit_and_reload_invalidation(client, cluster, model_dirs, split):
+    source = "/* cache-probe */ eval(atob('YWxlcnQoMSk='))"
+    status, miss_headers, miss_body = http_raw(cluster, "POST", "/v1/scan", {"source": source})
+    assert status == 200
+    assert "x-router-cache" not in miss_headers
+    served_by = miss_headers["x-shard"]
+
+    status, hit_headers, hit_body = http_raw(cluster, "POST", "/v1/scan", {"source": source})
+    assert status == 200
+    assert hit_headers["x-router-cache"] == "hit"
+    assert hit_headers["x-shard"] == served_by  # affinity attribution replayed
+    miss_data = json.loads(miss_body)["data"]
+    hit_data = json.loads(hit_body)["data"]
+    assert hit_data["verdict"] == miss_data["verdict"]
+    assert hit_data["probability"] == miss_data["probability"]
+    assert hit_data["trace_id"] is None  # a cached answer has no trace of its own
+
+    health = client.healthz()
+    assert health["replicas"] == 2
+    assert health["verdict_cache"]["size"] >= 1
+    epoch_before = health["verdict_cache"]["epoch"]
+
+    # A rolling reload swaps the model: every cached verdict must die
+    # with the epoch, so the next scan is a fresh forward.
+    client.admin_reload(model_dirs[1])
+    assert client.healthz()["verdict_cache"]["epoch"] == epoch_before + 1
+    status, headers, _body = http_raw(cluster, "POST", "/v1/scan", {"source": source})
+    assert status == 200
+    assert "x-router-cache" not in headers
+
+
+def test_mixed_epoch_mid_reload_reports_per_shard(client, cluster, model_dirs, split):
+    # Roll ONE shard directly (what the fleet looks like mid-reload) and
+    # assert the mixed state is faithfully reported per shard: fleet
+    # snapshot epochs, per-shard repro_model_epoch gauges, and verdicts
+    # attributed to the shard whose model actually produced them.
+    fleet = {s["shard"]: s for s in client.healthz()["shards"]}
+    rolled_client = ScanClient.for_shard(fleet["shard-0"], timeout_s=60.0)
+    stale_client = ScanClient.for_shard(fleet["shard-1"], timeout_s=60.0)
+    answer = rolled_client.admin_reload(model_dirs[0])
+    rolled_epoch = answer["epoch"]
+    stale_epoch = stale_client.healthz()["epoch"]
+    assert rolled_epoch > stale_epoch
+
+    # Each shard's own metrics endpoint carries its own epoch gauge.
+    assert f"repro_model_epoch {rolled_epoch}" in rolled_client.metrics_text()
+    assert f"repro_model_epoch {stale_epoch}" in stale_client.metrics_text()
+
+    # The router's fleet snapshot converges on the mixed truth.
+    def snapshot_mixed():
+        shards = {s["shard"]: s for s in client.healthz()["shards"]}
+        return (
+            shards["shard-0"]["epoch"] == rolled_epoch
+            and shards["shard-1"]["epoch"] == stale_epoch
+        )
+
+    assert wait_for(snapshot_mixed, timeout_s=30.0)
+    fingerprints = {
+        s["shard"]: s["model_fingerprint"] for s in client.healthz()["shards"]
+    }
+    assert fingerprints["shard-0"] != fingerprints["shard-1"]
+
+    # Mid-reload scans carry the fingerprint of the shard that answered.
+    seen = set()
+    for i in range(12):
+        payload = {"source": f"/* mixed-epoch probe {i} */ alert({i})"}
+        status, headers, body = http_raw(cluster, "POST", "/v1/scan", payload)
+        assert status == 200
+        shard = headers["x-shard"]
+        assert json.loads(body)["data"]["model_fingerprint"] == fingerprints[shard]
+        seen.add(shard)
+    assert seen == {"shard-0", "shard-1"}  # both epochs actually answered
+
+    # Finish the roll so later tests see a consistent fleet again.
+    client.admin_reload(model_dirs[1])
+
+    def converged():
+        shards = client.healthz()["shards"]
+        prints = {s["model_fingerprint"] for s in shards}
+        return len(prints) == 1 and all(s["healthy"] for s in shards)
+
+    assert wait_for(converged, timeout_s=30.0)
+
+
+def test_scale_up_and_down_through_controller(client, cluster, split):
+    # Drive the controller's apply_scale directly (the policy half is
+    # fake-clock tested in test_autoscale.py): scaling up must add a
+    # healthy shard the ring routes to; scaling down must drain it from
+    # the ring *before* the process dies so no request hits a corpse.
+    import asyncio
+
+    from repro.serve import SCALE_DOWN, SCALE_UP
+
+    controller = cluster.controller
+
+    def apply(decision):
+        return asyncio.run_coroutine_threadsafe(
+            controller.apply_scale(decision), cluster._loop
+        ).result(120)
+
+    added = apply(SCALE_UP)
+    assert added == "shard-2"
+    assert wait_for(
+        lambda: any(
+            s["shard"] == "shard-2" and s["healthy"]
+            for s in client.healthz()["shards"]
+        )
+    )
+    health = client.healthz()
+    assert health["n_shards"] == 3
+    assert {s["shard"] for s in health["shards"]} == {"shard-0", "shard-1", "shard-2"}
+    for i, source in enumerate(split.test.sources[:4]):
+        assert client.scan(source).verdict in ("malicious", "benign")
+
+    removed = apply(SCALE_DOWN)
+    assert removed == "shard-2"
+    assert wait_for(
+        lambda: {s["shard"] for s in client.healthz()["shards"]} == {"shard-0", "shard-1"}
+    )
+    assert client.healthz()["n_shards"] == 2
+    # The restored two-shard fleet still answers everything.
+    for source in split.test.sources[:4]:
+        assert client.scan(source).verdict in ("malicious", "benign")
+
+
+def test_bind_host_threads_through_supervisor_and_client(monkeypatch):
+    # --bind must reach the spawned shard's --host argv, the spec the
+    # router dials, and the URL ScanClient.for_shard builds — one knob,
+    # one host, no loopback assumption baked in anywhere else.
+    import repro.serve.supervisor as supervisor_mod
+
+    captured = {}
+
+    class FakeProcess:
+        pid = 999
+
+        def poll(self):
+            return None
+
+        def terminate(self):
+            pass
+
+        def wait(self, timeout=None):
+            return 0
+
+    def fake_popen(argv, env=None, stdout=None):
+        captured["argv"] = argv
+        captured["env"] = env
+        return FakeProcess()
+
+    monkeypatch.setattr(supervisor_mod.subprocess, "Popen", fake_popen)
+    supervisor = supervisor_mod.ShardSupervisor(
+        model_dir="unused", n_shards=1, bind="127.0.0.1"
+    )
+    spec = supervisor._spawn("shard-0")
+    assert spec.host == "127.0.0.1"
+    host_flag = captured["argv"].index("--host")
+    assert captured["argv"][host_flag + 1] == "127.0.0.1"
+    assert captured["env"]["REPRO_SHARD_ID"] == "shard-0"
+
+    from repro.serve.cluster import ClusterConfig as CC
+    controller_config = CC(model_dir="unused", n_shards=1, bind="10.0.0.7")
+    assert controller_config.bind == "10.0.0.7"
+
+    shard_entry = {"shard": "shard-0", "host": spec.host, "port": spec.port}
+    client = ScanClient.for_shard(shard_entry)
+    assert client.host == "127.0.0.1"
+    assert client.port == spec.port

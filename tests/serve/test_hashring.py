@@ -67,3 +67,65 @@ def test_add_is_idempotent():
     ring = HashRing(["shard-0"])
     ring.add("shard-0")
     assert len(ring._points) == ring.vnodes
+
+
+# ------------------------------------------------------------- replica sets
+
+
+def test_replicas_are_distinct_and_prefix_of_preference():
+    ring = HashRing(["shard-0", "shard-1", "shard-2", "shard-3"])
+    for key in KEYS[:200]:
+        replica_set = ring.replicas(key, 2)
+        assert len(replica_set) == 2
+        assert len(set(replica_set)) == 2  # distinct members
+        assert replica_set == list(ring.preference(key))[:2]
+        assert replica_set[0] == ring.node_for(key)  # primary first
+
+
+def test_replicas_stable_under_replacement():
+    ring = HashRing(["shard-0", "shard-1", "shard-2"])
+    before = {key: ring.replicas(key, 2) for key in KEYS}
+    ring.remove("shard-1")
+    ring.add("shard-1")  # respawned under the stable id
+    assert {key: ring.replicas(key, 2) for key in KEYS} == before
+
+
+def test_replicas_losing_one_member_preserves_survivors():
+    # When a replica set member vanishes, every key it served still has
+    # its other replica in place — that is the whole failover story.
+    ring = HashRing(["shard-0", "shard-1", "shard-2"])
+    before = {key: ring.replicas(key, 2) for key in KEYS}
+    ring.remove("shard-2")
+    for key, replica_set in before.items():
+        survivors = [m for m in replica_set if m != "shard-2"]
+        assert survivors, "R=2 over 3 members always keeps one survivor"
+        assert survivors[0] in ring.replicas(key, 2)
+
+
+def test_replicas_clamped_to_fleet_and_validated():
+    ring = HashRing(["shard-0", "shard-1"])
+    assert sorted(ring.replicas("k", 5)) == ["shard-0", "shard-1"]
+    with pytest.raises(ValueError):
+        ring.replicas("k", 0)
+    assert HashRing().replicas("k", 2) == []
+
+
+def test_co_replicas_cover_actual_replica_partners():
+    ring = HashRing(["shard-0", "shard-1", "shard-2", "shard-3"])
+    partners = {member: ring.co_replicas(member, 2) for member in ring.members}
+    for member, out in partners.items():
+        assert member not in out
+    # Ground truth from a dense key sweep: every partner found by real
+    # keys must be reported by the sampled co_replicas probe.
+    truth: dict[str, set] = {member: set() for member in ring.members}
+    for key in KEYS:
+        replica_set = ring.replicas(key, 2)
+        for member in replica_set:
+            truth[member].update(m for m in replica_set if m != member)
+    for member in ring.members:
+        assert truth[member] <= partners[member]
+
+
+def test_co_replicas_of_unknown_member_is_empty():
+    ring = HashRing(["shard-0"])
+    assert ring.co_replicas("shard-9", 2) == set()

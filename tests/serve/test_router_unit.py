@@ -71,7 +71,7 @@ async def start_canned(response_bytes):
     return server, server.sockets[0].getsockname()[1], hits
 
 
-async def boot(assignments):
+async def boot(assignments, config=None):
     """``assignments``: shard_id → canned bytes, or None for a dead port."""
     servers, hits = [], {}
     ports = {}
@@ -84,7 +84,7 @@ async def boot(assignments):
             ports[shard_id] = port
             hits[shard_id] = counter
     supervisor = FakeSupervisor([ports[f"shard-{i}"] for i in range(len(assignments))])
-    router = ScanRouter(supervisor, RouterConfig(port=0, request_timeout_s=5.0))
+    router = ScanRouter(supervisor, config or RouterConfig(port=0, request_timeout_s=5.0))
     await router.start()
     return router, supervisor, servers, hits
 
@@ -227,6 +227,190 @@ def test_brownout_after_every_shard_faults():
                 parse_envelope(response.status, response.body)
             assert caught.value.detail["state"] == "brownout"
             assert set(supervisor.suspected) == {"shard-0", "shard-1"}
+        finally:
+            await teardown(router, servers)
+
+    asyncio.run(main())
+
+
+# ------------------------------------------------------ replica failover
+
+
+def test_primary_down_replica_serves_and_failover_is_counted():
+    async def main():
+        primary, replica, _third = preference_order(3)
+        router, supervisor, servers, hits = await boot({
+            primary: None,  # dead port: connect refused
+            replica: shard_200(),
+            _third: shard_200(),
+        })
+        try:
+            response = await scan_via(router)
+            assert response.status == 200
+            assert response.headers["x-shard"] == replica
+            assert hits[_third]["count"] == 0  # failover stays inside the replica set
+            rendered = router.metrics.render()
+            assert 'repro_router_failovers_total{reason="dead"} 1' in rendered
+        finally:
+            await teardown(router, servers)
+
+    asyncio.run(main())
+
+
+def test_all_replicas_down_brownout_despite_healthy_third_shard():
+    # With R=2, a key is only ever served by its two replicas: when both
+    # are gone the router must brown out rather than guess a cold third
+    # shard (which would also hide the outage from the operator).
+    async def main():
+        primary, replica, third = preference_order(3)
+        router, supervisor, servers, hits = await boot({
+            primary: None,
+            replica: None,
+            third: shard_200(),
+        })
+        try:
+            response = await scan_via(router)
+            assert response.status == 503
+            with pytest.raises(EnvelopeError) as caught:
+                parse_envelope(response.status, response.body)
+            assert caught.value.detail["state"] == "brownout"
+            assert hits[third]["count"] == 0
+            assert set(supervisor.suspected) == {primary, replica}
+        finally:
+            await teardown(router, servers)
+
+    asyncio.run(main())
+
+
+def test_exhausted_candidates_do_not_count_as_failovers():
+    # The last candidate's fault has nowhere to fail over to: it is a
+    # brownout, not a failover — the metric must say so.
+    async def main():
+        router, supervisor, servers, _hits = await boot({"shard-0": None, "shard-1": None})
+        try:
+            response = await scan_via(router)
+            assert response.status == 503
+            rendered = router.metrics.render()
+            assert 'repro_router_failovers_total{reason="dead"} 1' in rendered
+            assert "repro_router_brownouts_total 1" in rendered
+        finally:
+            await teardown(router, servers)
+
+    asyncio.run(main())
+
+
+# ------------------------------------------------------- verdict cache
+
+
+def test_verdict_cache_hit_replays_shard_and_skips_forward():
+    async def main():
+        first, second = preference_order()
+        router, supervisor, servers, hits = await boot({
+            first: shard_200(),
+            second: shard_200(),
+        })
+        try:
+            miss = await scan_via(router)
+            assert miss.status == 200
+            assert "x-router-cache" not in miss.headers
+            served_by = miss.headers["x-shard"]
+            upstream = hits[served_by]["count"]
+
+            hit = await scan_via(router)
+            assert hit.status == 200
+            assert hit.headers["x-router-cache"] == "hit"
+            assert hit.headers["x-shard"] == served_by  # affinity attribution replayed
+            assert hits[served_by]["count"] == upstream  # no second forward
+            data = parse_envelope(hit.status, hit.body)
+            assert data["verdict"] == "benign"
+            assert data["trace_id"] is None  # a cached answer has no trace
+            rendered = router.metrics.render()
+            assert 'repro_router_cache_total{result="hit"} 1' in rendered
+            assert 'repro_router_cache_total{result="miss"} 1' in rendered
+        finally:
+            await teardown(router, servers)
+
+    asyncio.run(main())
+
+
+def test_verdict_cache_epoch_bump_invalidates():
+    async def main():
+        first, second = preference_order()
+        router, supervisor, servers, hits = await boot({
+            first: shard_200(),
+            second: shard_200(),
+        })
+        try:
+            await scan_via(router)
+            assert len(router.verdicts) == 1
+            router.verdicts.bump_epoch()  # what /v1/admin/reload does
+            assert len(router.verdicts) == 0
+            response = await scan_via(router)
+            assert response.status == 200
+            assert "x-router-cache" not in response.headers  # re-fetched
+        finally:
+            await teardown(router, servers)
+
+    asyncio.run(main())
+
+
+def test_verdict_cache_keyed_on_scan_options():
+    async def main():
+        first, second = preference_order()
+        router, supervisor, servers, hits = await boot({
+            first: shard_200(),
+            second: shard_200(),
+        })
+        try:
+            body = json.dumps({"source": SOURCE}).encode("utf-8")
+            await fetch("127.0.0.1", router.bound_port, "POST", "/v1/scan", body=body)
+            strict = json.dumps({"source": SOURCE, "threshold": 0.9}).encode("utf-8")
+            response = await fetch(
+                "127.0.0.1", router.bound_port, "POST", "/v1/scan", body=strict
+            )
+            # Different options: same content must not replay the other
+            # threshold's verdict.
+            assert "x-router-cache" not in response.headers
+            assert len(router.verdicts) == 2
+        finally:
+            await teardown(router, servers)
+
+    asyncio.run(main())
+
+
+def test_verdict_cache_disabled_bypasses():
+    async def main():
+        first, second = preference_order()
+        router, supervisor, servers, hits = await boot(
+            {first: shard_200(), second: shard_200()},
+            config=RouterConfig(port=0, request_timeout_s=5.0, verdict_cache_size=0),
+        )
+        try:
+            served = (await scan_via(router)).headers["x-shard"]
+            response = await scan_via(router)
+            assert "x-router-cache" not in response.headers
+            assert hits[served]["count"] == 2  # every request forwarded
+            assert 'repro_router_cache_total{result="bypass"}' in router.metrics.render()
+        finally:
+            await teardown(router, servers)
+
+    asyncio.run(main())
+
+
+def test_router_healthz_reports_replicas_and_cache():
+    async def main():
+        router, supervisor, servers, _hits = await boot({
+            "shard-0": shard_200(),
+            "shard-1": shard_200(),
+        })
+        try:
+            await scan_via(router)
+            response = await fetch("127.0.0.1", router.bound_port, "GET", "/v1/healthz")
+            data = parse_envelope(response.status, response.body)
+            assert data["replicas"] == 2
+            assert data["verdict_cache"]["size"] == 1
+            assert data["verdict_cache"]["capacity"] == 1024
+            assert data["verdict_cache"]["epoch"] == 0
         finally:
             await teardown(router, servers)
 
