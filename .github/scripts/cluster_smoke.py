@@ -1,6 +1,7 @@
 """CI smoke check for the sharded tier: router + shards + supervisor.
 
 Usage: cluster_smoke.py BASE_URL SCRIPT_PATH [--trace-out PATH] [--failover-out PATH]
+                        [--prof-out PATH]
 
 Runs against a ``repro cluster`` (router + 2 shards, R=2 replica
 placement) booted by the workflow, through the same
@@ -18,7 +19,13 @@ exercised end to end:
   ``repro_router_failovers_total`` ticks, and the supervisor replaces
   the dead shard under the same id on a fresh pid.  The evidence
   (fleet before/after, failover counters) is written to
-  ``--failover-out`` as a workflow artifact.
+  ``--failover-out`` as a workflow artifact,
+* after the failover settles, the observability plane agrees: ``/v1/status``
+  reports every shard healthy with every SLO back to ``ok`` (a non-empty
+  SLO block — the states are earned, not vacuous), the federated
+  ``/v1/metrics?aggregate=sum`` view answers, and a ``/v1/debug/prof``
+  capture writes collapsed stacks to ``--prof-out`` as a workflow
+  artifact.
 
 Exits non-zero (with the failure printed) on any violation.
 """
@@ -146,6 +153,44 @@ def kill_and_failover(client, base_url, source, failover_out=None):
         print(f"failover evidence written to {failover_out}")
 
 
+def obs_check(client, prof_out=None):
+    """The fleet pane after the dust settles: status, SLOs, federation, prof."""
+    deadline = time.time() + 60
+    while True:
+        status = client.status()
+        if (
+            status["n_healthy"] == status["n_shards"]
+            and status["slo"]
+            and all(slo["state"] == "ok" for slo in status["slo"])
+        ):
+            break
+        if time.time() > deadline:
+            raise SystemExit(f"SLOs never settled back to all-ok after failover: {status}")
+        time.sleep(0.5)
+    assert status["status"] == "ok", status
+    assert status["scrape"]["members"], status
+    assert len(status["fleet"]) == status["n_shards"], status
+    for slo in status["slo"]:
+        assert slo["objective"], slo
+        assert slo["burn_rate"]["fast"] < 6.0, slo  # nowhere near a warn
+    print("status: fleet {}/{} healthy, SLOs {}".format(
+        status["n_healthy"], status["n_shards"],
+        {slo["name"]: slo["state"] for slo in status["slo"]},
+    ))
+
+    merged = client.metrics_text(aggregate="sum")
+    assert "repro_http_requests_total" in merged, merged[:400]
+    assert "repro_build_info" in merged, merged[:400]
+    print(f"federation: aggregated exposition ok ({len(merged.splitlines())} lines)")
+
+    if prof_out:
+        profile = client.prof(seconds=2.0)
+        assert profile.startswith("# wall-clock profile:"), profile[:120]
+        with open(prof_out, "w", encoding="utf-8") as handle:
+            handle.write(profile)
+        print(f"profile: collapsed stacks written to {prof_out}")
+
+
 def main(base_url, script_path, extra):
     client = ScanClient(base_url, timeout_s=60.0, retries=3)
     health = wait_up(client)
@@ -179,6 +224,10 @@ def main(base_url, script_path, extra):
     if "--failover-out" in extra:
         failover_out = extra[extra.index("--failover-out") + 1]
     kill_and_failover(client, base_url, source, failover_out=failover_out)
+    prof_out = None
+    if "--prof-out" in extra:
+        prof_out = extra[extra.index("--prof-out") + 1]
+    obs_check(client, prof_out=prof_out)
     print("cluster smoke: all checks passed")
 
 

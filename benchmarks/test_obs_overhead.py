@@ -1,0 +1,104 @@
+"""Fleet observability plane overhead — scraping + SLO evaluation vs off.
+
+Not a paper table: this bench gates the fleet observability plane
+(DESIGN.md §15).  It boots two clusters side by side — one with the
+federation scrape loop disabled (``scrape_interval_s=0``: no scraping,
+no snapshot ring, no SLO evaluation) and one scraping at an *aggressive*
+cadence (well above the 2 s default, so the gate measures a worst case)
+— and alternates measured load passes between them, the same
+paired-round discipline as ``test_tracing_overhead``: machine drift
+cancels within a round, real overhead would depress every round's
+ratio.
+
+The gate: the observed fleet must keep at least 95% of the unobserved
+fleet's throughput in the best paired round.  The evidence lands in
+``BENCH_obs_overhead.json`` for the CI artifact.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.bench import bench_params, format_load_table
+from repro.serve import BackgroundCluster, ClusterConfig, RouterConfig, run_load
+
+from .test_serve_bench import cluster_split, saved_model_dir  # noqa: F401 - fixtures
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: 10x the default cadence — if this costs <5%, the default is free.
+SCRAPE_S = 0.2
+
+
+@pytest.mark.table
+def test_obs_overhead(benchmark, saved_model_dir, cluster_split):  # noqa: F811
+    sources = cluster_split.test.sources[:16]
+    scripts = [(f"<obs:{i}>", source) for i, source in enumerate(sources)]
+
+    def compare():
+        off = ClusterConfig(
+            model_dir=saved_model_dir, n_shards=2, port=0,
+            router=RouterConfig(scrape_interval_s=0.0),
+        )
+        on = ClusterConfig(
+            model_dir=saved_model_dir, n_shards=2, port=0,
+            router=RouterConfig(scrape_interval_s=SCRAPE_S),
+        )
+        with BackgroundCluster(off) as a, BackgroundCluster(on) as b:
+            best = {"unobserved": None, "observed": None}
+            ratios = []
+            for background, _mode in ((a, "unobserved"), (b, "observed")):
+                run_load(background.host, background.port, scripts, concurrency=8)  # warm
+            for _ in range(5):
+                round_rps = {}
+                for background, mode in ((a, "unobserved"), (b, "observed")):
+                    report = run_load(background.host, background.port, scripts,
+                                      concurrency=8, repeats=10)
+                    assert report.errors == 0, report.summary()
+                    round_rps[mode] = report.throughput_rps
+                    if best[mode] is None or report.throughput_rps > best[mode].throughput_rps:
+                        best[mode] = report
+                ratios.append(round_rps["observed"] / round_rps["unobserved"])
+        return best["unobserved"], best["observed"], ratios
+
+    unobserved, observed, ratios = benchmark.pedantic(compare, rounds=1, iterations=1)
+
+    print("\n" + format_load_table(
+        {"unobserved": unobserved, f"observed@{SCRAPE_S}s": observed},
+        title="Fleet observability overhead — aggressive scrape cadence vs off",
+    ))
+
+    # Verdict identity: the plane observes, it must not perturb.
+    expected = {r.name: (r.label, r.probability) for r in unobserved.results}
+    for result in observed.results:
+        assert (result.label, result.probability) == expected[result.name], result.name
+
+    record = {
+        "bench": "obs_overhead",
+        "source": "benchmarks/test_obs_overhead.py::test_obs_overhead",
+        "params": {
+            **bench_params(),
+            "n_sources": len(sources),
+            "concurrency": 8,
+            "repeats": 10,
+            "scrape_interval_s": SCRAPE_S,
+        },
+        "throughput_rps": {
+            "unobserved": round(unobserved.throughput_rps, 2),
+            "observed": round(observed.throughput_rps, 2),
+        },
+        "latency_p95_ms": {
+            "unobserved": round(unobserved.latency_ms(0.95), 2),
+            "observed": round(observed.latency_ms(0.95), 2),
+        },
+        "paired_ratios": [round(r, 3) for r in ratios],
+        "best_ratio": round(max(ratios), 3),
+        "gate": "max(paired observed/unobserved rps ratios) >= 0.95",
+    }
+    (REPO_ROOT / "BENCH_obs_overhead.json").write_text(json.dumps(record, indent=2) + "\n")
+
+    assert max(ratios) >= 0.95, (
+        f"observability overhead exceeds 5% in every paired round: "
+        f"ratios={[f'{r:.3f}' for r in ratios]}"
+    )

@@ -13,6 +13,9 @@ Usage::
                                [--queue-limit Q] [--cache-dir DIR] [--shards N]
     python -m repro.cli cluster --model model_dir [--shards N] [--port P]
                                [--cache-dir DIR] [--vnodes V]
+    python -m repro.cli top    [--url http://host:port] [--interval-s S] [--count N]
+    python -m repro.cli loadgen --port P [--concurrency C] [--repeats R]
+                               [--format json|text] file_dir_or_dash [...]
 
 ``train`` fits on the synthetic corpus (the offline default); real
 deployments would swap in their own labeled corpus via the library API.
@@ -30,6 +33,12 @@ embeddings — and prints explainable findings with source spans.
 ``cluster`` (or ``serve --shards N``) boots the sharded tier: a router
 consistent-hashing scans across N supervised shard daemons (see
 :mod:`repro.serve.cluster` and DESIGN.md §11).
+
+``top`` polls a router's ``GET /v1/status`` and renders a live fleet
+dashboard (per-shard rps, p95, queue depth, cache hit %, SLO burn
+states); ``loadgen`` drives concurrent scan load and reports latency
+percentiles, with ``--format json`` for machine consumers (see
+DESIGN.md §15).
 
 Duration flags follow one unit-suffixed convention (``--timeout-s``,
 ``--request-timeout-s``, ``--breaker-reset-s``, ``--max-wait-ms``,
@@ -445,6 +454,129 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         return 2
 
 
+def _na(value, spec: str = "") -> str:
+    """Render a possibly-``None`` status number (scrape hasn't landed yet)."""
+    if value is None:
+        return "-"
+    return format(value, spec) if spec else str(value)
+
+
+def _format_top(payload: dict) -> list[str]:
+    """One ``repro top`` frame from a ``/v1/status`` payload."""
+    router = payload.get("router") or {}
+    lines = [
+        f"fleet {payload.get('status', '?'):>8s}   "
+        f"shards {payload.get('n_healthy', '?')}/{payload.get('n_shards', '?')} healthy   "
+        f"uptime {_na(payload.get('uptime_s'), '.0f')}s   "
+        f"router rps={_na(router.get('rps'), '.1f')} "
+        f"p95={_na(router.get('p95_ms'), '.1f')}ms"
+    ]
+    slos = payload.get("slo") or []
+    if slos:
+        lines.append("")
+        lines.append(f"{'SLO':<24s} {'state':>6s} {'burn fast':>10s} {'burn slow':>10s}  objective")
+        for slo in slos:
+            burn = slo.get("burn_rate") or {}
+            lines.append(
+                f"{slo.get('name', '?'):<24s} {slo.get('state', '?'):>6s} "
+                f"{_na(burn.get('fast'), '.2f'):>10s} {_na(burn.get('slow'), '.2f'):>10s}  "
+                f"{slo.get('objective', '')}"
+            )
+    lines.append("")
+    lines.append(
+        f"{'shard':<12s} {'state':>10s} {'rps':>8s} {'p95 ms':>8s} "
+        f"{'queue':>6s} {'cache%':>7s} {'restarts':>8s}"
+    )
+    for shard in payload.get("fleet") or []:
+        ratio = shard.get("cache_hit_ratio")
+        cache = "-" if ratio is None else f"{100.0 * ratio:.1f}"
+        lines.append(
+            f"{shard.get('shard', '?'):<12s} {shard.get('state', '?'):>10s} "
+            f"{_na(shard.get('rps'), '.1f'):>8s} {_na(shard.get('p95_ms'), '.1f'):>8s} "
+            f"{_na(shard.get('queue_depth'), '.0f'):>6s} {cache:>7s} "
+            f"{_na(shard.get('restarts')):>8s}"
+        )
+    crash_loops = payload.get("crash_loops") or {}
+    parked = crash_loops.get("parked") or []
+    footer = []
+    if parked:
+        footer.append(f"parked: {', '.join(parked)}")
+    autoscale = payload.get("autoscale")
+    if autoscale:
+        footer.append(
+            f"autoscale {autoscale.get('min_shards', '?')}–{autoscale.get('max_shards', '?')} "
+            f"(cooldown {_na(autoscale.get('cooldown_remaining_s'), '.0f')}s)"
+        )
+    scrape = payload.get("scrape") or {}
+    if scrape.get("errors_total"):
+        footer.append(f"scrape errors: {scrape['errors_total']:.0f}")
+    if footer:
+        lines.append("")
+        lines.append("   ".join(footer))
+    return lines
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    """Poll the router's /v1/status and render a live fleet dashboard."""
+    import time as _time
+
+    from repro.client import ScanAPIError, ScanClient
+
+    client = ScanClient(args.url, timeout_s=args.timeout_s, retries=0)
+    live = sys.stdout.isatty() and args.count != 1
+    frames = 0
+    try:
+        while True:
+            try:
+                payload = client.status()
+            except ScanAPIError as error:
+                print(f"error: {args.url}/v1/status: {error}", file=sys.stderr)
+                return 2
+            frame = "\n".join(_format_top(payload))
+            if live:
+                # Home + clear-to-end keeps the frame flicker-free.
+                sys.stdout.write(f"\x1b[H\x1b[2J{frame}\n")
+                sys.stdout.flush()
+            else:
+                print(frame)
+            frames += 1
+            if args.count and frames >= args.count:
+                return 0
+            _time.sleep(args.interval_s)
+    except KeyboardInterrupt:
+        return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    """Drive load at a daemon/router; exit 1 when any request failed."""
+    from repro.serve.loadgen import run_load
+
+    _configure_logging(args)
+    sources, names = _read_inputs(args.paths)
+    if not sources:
+        print("no input files", file=sys.stderr)
+        return 2
+    try:
+        report = run_load(
+            args.host,
+            args.port,
+            list(zip(names, sources)),
+            concurrency=args.concurrency,
+            repeats=args.repeats,
+            timeout_s=args.timeout_s,
+            trace_ratio=args.trace_ratio,
+            retries=args.retries,
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.summary())
+    return 1 if report.errors else 0
+
+
 def _cmd_explain(args: argparse.Namespace) -> int:
     detector = load_detector(args.model)
     if args.trace:
@@ -669,6 +801,46 @@ def build_parser() -> argparse.ArgumentParser:
                          help="fraction of routed requests traced end to end")
     _add_logging_flags(cluster, default_level="info")
     cluster.set_defaults(fn=_cmd_cluster)
+
+    top = sub.add_parser(
+        "top",
+        help="live per-shard fleet dashboard polling a router's GET /v1/status",
+    )
+    top.add_argument("--url", default="http://127.0.0.1:8076",
+                     help="router base URL (the /v1/status endpoint is router-only)")
+    top.add_argument("--interval-s", type=float, default=2.0,
+                     help="seconds between /v1/status polls")
+    top.add_argument("--count", type=int, default=0,
+                     help="frames to render before exiting (0 = until Ctrl-C); "
+                          "--count 1 prints one snapshot and exits")
+    top.add_argument("--timeout-s", type=float, default=10.0,
+                     help="per-poll socket timeout")
+    top.set_defaults(fn=_cmd_top)
+
+    loadgen = sub.add_parser(
+        "loadgen",
+        help="drive concurrent POST /v1/scan load at a daemon or router",
+        epilog="exit codes: 0 all requests succeeded, 1 some failed, 2 usage error",
+    )
+    loadgen.add_argument("--host", default="127.0.0.1")
+    loadgen.add_argument("--port", type=int, required=True,
+                         help="daemon or router TCP port")
+    loadgen.add_argument("--concurrency", type=int, default=8,
+                         help="worker threads, each driving one ScanClient")
+    loadgen.add_argument("--repeats", type=int, default=1,
+                         help="times each input script is submitted")
+    loadgen.add_argument("--timeout-s", type=float, default=60.0,
+                         help="per-request socket timeout")
+    loadgen.add_argument("--trace-ratio", type=float, default=0.0,
+                         help="fraction of requests carrying a sampled traceparent")
+    loadgen.add_argument("--retries", type=int, default=0,
+                         help="client retries on 429/503 (0 measures backpressure)")
+    loadgen.add_argument("--format", choices=("text", "json"), default="text",
+                         help="one summary line, or the full LoadReport as JSON")
+    _add_logging_flags(loadgen, default_level="warning")
+    loadgen.add_argument("paths", nargs="+",
+                         help=".js files, directories, or - to read one script from stdin")
+    loadgen.set_defaults(fn=_cmd_loadgen)
 
     explain = sub.add_parser(
         "explain",

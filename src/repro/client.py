@@ -26,7 +26,7 @@ import http.client
 import json
 import time
 from dataclasses import dataclass
-from urllib.parse import urlsplit
+from urllib.parse import quote, urlsplit
 
 from repro.serve.api import V1_PREFIX, EnvelopeError, parse_envelope
 
@@ -173,8 +173,23 @@ class ScanClient:
     def version(self) -> dict:
         return self._request("GET", "/version")
 
-    def traces(self, n: int = 20) -> dict:
-        return self._request("GET", f"/debug/traces?n={n}")
+    def status(self) -> dict:
+        """The router's fleet pane of glass: shards, SLO states, posture.
+
+        Router-only (a single daemon answers 404); ``repro top`` polls it.
+        """
+        return self._request("GET", "/status")
+
+    def traces(
+        self, n: int = 20, slow_ms: float | None = None, status: str | None = None
+    ) -> dict:
+        query = f"n={n}"
+        if slow_ms is not None:
+            # quote(): "1e+09" must not decode to "1e 09" server-side.
+            query += f"&slow_ms={quote(f'{slow_ms:g}')}"
+        if status is not None:
+            query += f"&status={quote(status)}"
+        return self._request("GET", f"/debug/traces?{query}")
 
     def trace(self, trace_id: str) -> dict:
         return self._request("GET", f"/debug/traces/{trace_id}")
@@ -182,11 +197,31 @@ class ScanClient:
     def admin_reload(self, model_dir: str) -> dict:
         return self._request("POST", "/admin/reload", {"model_dir": model_dir})
 
-    def metrics_text(self) -> str:
-        """Prometheus exposition (the one unwrapped endpoint)."""
-        status, _headers, body = self._roundtrip("GET", f"{V1_PREFIX}/metrics", None)
+    def metrics_text(self, aggregate: str | None = None) -> str:
+        """Prometheus exposition (the one unwrapped endpoint).
+
+        ``aggregate="sum"`` / ``"by-shard"`` asks a router for the
+        federated fleet view instead of its local registry.
+        """
+        path = f"{V1_PREFIX}/metrics"
+        if aggregate is not None:
+            path += f"?aggregate={aggregate}"
+        status, _headers, body = self._roundtrip("GET", path, None)
         if status != 200:
             raise ScanAPIError(status, "internal", "metrics endpoint failed")
+        return body.decode("utf-8")
+
+    def prof(self, seconds: float = 1.0, hz: float | None = None) -> str:
+        """Collapsed-stack wall-clock profile from ``GET /v1/debug/prof``.
+
+        Blocks for ``seconds`` while the service samples itself.
+        """
+        path = f"{V1_PREFIX}/debug/prof?seconds={quote(f'{seconds:g}')}"
+        if hz is not None:
+            path += f"&hz={quote(f'{hz:g}')}"
+        status, _headers, body = self._roundtrip("GET", path, None)
+        if status != 200:
+            raise ScanAPIError(status, "internal", "profile endpoint failed")
         return body.decode("utf-8")
 
     # ------------------------------------------------------------- plumbing

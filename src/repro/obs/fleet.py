@@ -1,0 +1,196 @@
+"""Fleet-wide metrics federation: merge member expositions into one view.
+
+The router scrapes each shard's ``/v1/metrics``, parses it with
+:func:`repro.obs.metrics.parse_exposition`, and hands the families to a
+:class:`FleetMetrics`, which can re-render them two ways:
+
+* ``aggregate=sum`` — one fleet-wide series per family: counters and
+  histogram ``_sum``/``_count`` series sum across members, histogram
+  buckets merge bucket-wise (via
+  :func:`repro.obs.timeseries.merge_cumulative`), and exemplars survive
+  the merge (last member wins per bucket).  Gauges and untyped families
+  cannot be meaningfully summed — a fleet-wide "queue depth 12" hides
+  which shard is drowning — so they always carry a ``shard`` label.
+* ``aggregate=by-shard`` — every sample from every member, each stamped
+  with its ``shard`` label; the raw material for external dashboards.
+
+The store keeps only the **latest** exposition per member (history lives
+in :class:`repro.obs.timeseries.TimeseriesRing`, not here) and forgets
+members that leave the ring, so output tracks fleet membership exactly.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from .metrics import (
+    Exemplar,
+    ParsedFamily,
+    ParsedSample,
+    _escape_label_value,
+    _format_labels,
+    _format_value,
+)
+from .timeseries import merge_cumulative
+
+AGGREGATE_MODES = ("sum", "by-shard")
+
+#: Family kinds whose series sum meaningfully across members.
+_SUMMABLE = ("counter", "histogram")
+
+
+class FleetMetrics:
+    """Latest parsed exposition per fleet member, merged on demand."""
+
+    def __init__(self, shard_label: str = "shard"):
+        self.shard_label = shard_label
+        self._members: dict[str, dict[str, ParsedFamily]] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------- members
+
+    def update(self, member: str, families: dict[str, ParsedFamily]) -> None:
+        with self._lock:
+            self._members[member] = families
+
+    def forget(self, member: str) -> None:
+        with self._lock:
+            self._members.pop(member, None)
+
+    @property
+    def members(self) -> list[str]:
+        with self._lock:
+            return sorted(self._members)
+
+    # ----------------------------------------------------------- rendering
+
+    def render(
+        self, mode: str = "sum", extra: dict[str, dict[str, ParsedFamily]] | None = None
+    ) -> str:
+        """The federated exposition in Prometheus text format.
+
+        ``extra`` adds members only for this render — the router passes
+        its freshly-parsed local registry as ``{"router": ...}`` so the
+        front door's own families are always current, never a scrape old.
+        """
+        if mode not in AGGREGATE_MODES:
+            raise ValueError(f"unknown aggregate mode {mode!r}; expected one of {AGGREGATE_MODES}")
+        with self._lock:
+            members = dict(self._members)
+        if extra:
+            members.update(extra)
+        # Collate: family name -> (kind, help, member -> samples).
+        collated: dict[str, tuple[str, str, dict[str, list[ParsedSample]]]] = {}
+        for member in sorted(members):
+            for family in members[member].values():
+                entry = collated.get(family.name)
+                if entry is None:
+                    collated[family.name] = (family.kind, family.help, {member: family.samples})
+                    continue
+                kind, help_text, per_member = entry
+                # First member with a real type/help wins the announcement.
+                if kind == "untyped" and family.kind != "untyped":
+                    kind, help_text = family.kind, family.help
+                    collated[family.name] = (kind, help_text, per_member)
+                per_member.setdefault(member, []).extend(family.samples)
+        lines: list[str] = []
+        for name in sorted(collated):
+            kind, help_text, per_member = collated[name]
+            if help_text:
+                lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"# TYPE {name} {kind}")
+            if mode == "sum" and kind in _SUMMABLE:
+                if kind == "histogram":
+                    lines.extend(self._render_summed_histogram(name, per_member))
+                else:
+                    lines.extend(self._render_summed_counter(per_member))
+            else:
+                lines.extend(self._render_by_shard(per_member))
+        return "\n".join(lines) + "\n"
+
+    # -------------------------------------------------------- merge pieces
+
+    def _render_by_shard(self, per_member: dict[str, list[ParsedSample]]) -> list[str]:
+        lines = []
+        for member in sorted(per_member):
+            for sample in per_member[member]:
+                labels = dict(sample.labels)
+                labels.setdefault(self.shard_label, member)
+                lines.append(_sample_line(sample.name, labels, sample.value, sample.exemplar))
+        return lines
+
+    def _render_summed_counter(self, per_member: dict[str, list[ParsedSample]]) -> list[str]:
+        totals: dict[tuple[str, tuple[tuple[str, str], ...]], float] = {}
+        order: list[tuple[str, tuple[tuple[str, str], ...]]] = []
+        label_sets: dict[tuple[str, tuple[tuple[str, str], ...]], dict[str, str]] = {}
+        for member in sorted(per_member):
+            for sample in per_member[member]:
+                key = (sample.name, tuple(sorted(sample.labels.items())))
+                if key not in totals:
+                    totals[key] = 0.0
+                    order.append(key)
+                    label_sets[key] = dict(sample.labels)
+                totals[key] += sample.value
+        return [_sample_line(name, label_sets[(name, lk)], totals[(name, lk)]) for name, lk in order]
+
+    def _render_summed_histogram(
+        self, name: str, per_member: dict[str, list[ParsedSample]]
+    ) -> list[str]:
+        """Merge one histogram family bucket-wise across members.
+
+        Series are grouped by their labels minus ``le``; within a group
+        each member contributes one cumulative bucket series (merged over
+        the bound union) plus its ``_sum``/``_count`` scalars.
+        """
+        groups: dict[tuple[tuple[str, str], ...], dict[str, str]] = {}
+        buckets: dict[tuple[tuple[str, str], ...], list[list[tuple[float, float]]]] = {}
+        exemplars: dict[tuple[tuple[str, str], ...], dict[float, Exemplar]] = {}
+        sums: dict[tuple[tuple[str, str], ...], float] = {}
+        counts: dict[tuple[tuple[str, str], ...], float] = {}
+        for member in sorted(per_member):
+            member_buckets: dict[tuple[tuple[str, str], ...], dict[float, float]] = {}
+            for sample in per_member[member]:
+                if sample.name == name + "_bucket" and "le" in sample.labels:
+                    labels = {k: v for k, v in sample.labels.items() if k != "le"}
+                    key = tuple(sorted(labels.items()))
+                    groups.setdefault(key, labels)
+                    le = sample.labels["le"]
+                    bound = float("inf") if le == "+Inf" else float(le)
+                    member_buckets.setdefault(key, {})[bound] = sample.value
+                    if sample.exemplar is not None:
+                        exemplars.setdefault(key, {})[bound] = sample.exemplar
+                elif sample.name in (name + "_sum", name + "_count"):
+                    key = tuple(sorted(sample.labels.items()))
+                    groups.setdefault(key, dict(sample.labels))
+                    target = sums if sample.name.endswith("_sum") else counts
+                    target[key] = target.get(key, 0.0) + sample.value
+            for key, series in member_buckets.items():
+                buckets.setdefault(key, []).append(sorted(series.items()))
+        lines = []
+        for key in sorted(groups):
+            labels = groups[key]
+            merged = merge_cumulative(buckets.get(key, []))
+            group_exemplars = exemplars.get(key, {})
+            for bound, cumulative in merged:
+                bucket_labels = dict(labels)
+                bucket_labels["le"] = _format_value(bound)
+                lines.append(
+                    _sample_line(
+                        name + "_bucket", bucket_labels, cumulative, group_exemplars.get(bound)
+                    )
+                )
+            lines.append(_sample_line(name + "_sum", labels, sums.get(key, 0.0)))
+            lines.append(_sample_line(name + "_count", labels, counts.get(key, 0.0)))
+        return lines
+
+
+def _sample_line(
+    name: str, labels: dict[str, str], value: float, exemplar: Exemplar | None = None
+) -> str:
+    line = f"{name}{_format_labels(labels)} {_format_value(value)}"
+    if exemplar is not None:
+        line += (
+            f' # {{trace_id="{_escape_label_value(exemplar.trace_id)}"}}'
+            f" {_format_value(exemplar.value)}"
+        )
+    return line

@@ -19,12 +19,25 @@ the scan executor thread, and pool-collection code can all record freely.
 Registration is idempotent: asking for the same ``(name, labels)`` twice
 returns the same instance, so instrumented components never need to
 coordinate "who creates the metric".
+
+Two extensions beyond the classic 0.0.4 format serve the fleet tier:
+
+* **Exemplars** — ``Histogram.observe(value, trace_id=...)`` retains the
+  last trace id per bucket and :meth:`MetricsRegistry.render` annotates
+  the matching ``_bucket`` line OpenMetrics-style
+  (``... 7 # {trace_id="ab12…"} 0.093``), so a bad tail bucket links
+  straight to a stored trace under ``/debug/traces/<id>``.
+* **:func:`parse_exposition`** — the inverse of ``render()``: parses an
+  exposition (exemplar annotations included) back into structured
+  families, which is what the router's metrics federation scrapes shards
+  with.
 """
 
 from __future__ import annotations
 
 import threading
 from bisect import bisect_left
+from dataclasses import dataclass, field
 
 #: Latency buckets (seconds) — spans sub-millisecond classify stages up to
 #: multi-second cold extractions.
@@ -101,6 +114,15 @@ class Gauge:
             return self._value
 
 
+@dataclass(frozen=True)
+class Exemplar:
+    """One retained observation tied to a trace: the OpenMetrics-style
+    ``# {trace_id="…"} value`` annotation on a histogram bucket line."""
+
+    trace_id: str
+    value: float
+
+
 class Histogram:
     """Fixed-bucket histogram with Prometheus cumulative semantics."""
 
@@ -113,11 +135,13 @@ class Histogram:
         self.bounds = bounds
         self._counts = [0] * len(bounds)  # per-bucket (non-cumulative) counts
         self._overflow = 0  # observations above the largest bound (+Inf bucket)
+        # Last traced observation per bucket (index len(bounds) = +Inf).
+        self._exemplars: list[Exemplar | None] = [None] * (len(bounds) + 1)
         self._sum = 0.0
         self._count = 0
         self._lock = threading.Lock()
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, trace_id: str | None = None) -> None:
         value = float(value)
         with self._lock:
             index = bisect_left(self.bounds, value)
@@ -125,6 +149,8 @@ class Histogram:
                 self._counts[index] += 1
             else:
                 self._overflow += 1
+            if trace_id is not None:
+                self._exemplars[min(index, len(self.bounds))] = Exemplar(trace_id, value)
             self._sum += value
             self._count += 1
 
@@ -148,6 +174,16 @@ class Histogram:
                 out.append((bound, running))
             out.append((float("inf"), running + self._overflow))
             return out
+
+    def exemplars(self) -> dict[float, Exemplar]:
+        """Retained exemplar per bucket bound (``inf`` = the +Inf bucket)."""
+        with self._lock:
+            bounds = list(self.bounds) + [float("inf")]
+            return {
+                bound: exemplar
+                for bound, exemplar in zip(bounds, self._exemplars)
+                if exemplar is not None
+            }
 
 
 class _Family:
@@ -227,12 +263,18 @@ class MetricsRegistry:
             lines.append(f"# TYPE {family.name} {family.kind}")
             for labels, child in family.children.values():
                 if family.kind == "histogram":
+                    exemplars = child.exemplars()
                     for bound, cumulative in child.cumulative_buckets():
                         bucket_labels = dict(labels)
                         bucket_labels["le"] = _format_value(bound)
-                        lines.append(
-                            f"{family.name}_bucket{_format_labels(bucket_labels)} {cumulative}"
-                        )
+                        line = f"{family.name}_bucket{_format_labels(bucket_labels)} {cumulative}"
+                        exemplar = exemplars.get(bound)
+                        if exemplar is not None:
+                            line += (
+                                f' # {{trace_id="{_escape_label_value(exemplar.trace_id)}"}}'
+                                f" {_format_value(exemplar.value)}"
+                            )
+                        lines.append(line)
                     lines.append(
                         f"{family.name}_sum{_format_labels(labels)} {_format_value(child.sum)}"
                     )
@@ -242,3 +284,175 @@ class MetricsRegistry:
                         f"{family.name}{_format_labels(labels)} {_format_value(child.value)}"
                     )
         return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------- parsing
+#
+# The inverse of ``render()``: the router's metrics federation scrapes each
+# shard's /v1/metrics and needs the families back as data, not text.  The
+# parser covers the subset this registry emits — HELP/TYPE comments, label
+# escaping, ``+Inf``, and the exemplar annotations above — and is lenient
+# about unknown names (they come back as ``untyped`` families).
+
+
+@dataclass
+class ParsedSample:
+    """One exposition line: full sample name, labels, value, exemplar."""
+
+    name: str
+    labels: dict[str, str]
+    value: float
+    exemplar: Exemplar | None = None
+
+
+@dataclass
+class ParsedFamily:
+    """One metric family reassembled from exposition text.
+
+    ``samples`` keeps exposition order; histogram families carry their
+    ``_bucket``/``_sum``/``_count`` series as plain samples (the ``le``
+    label intact), which is what the federation merge works on.
+    """
+
+    name: str
+    kind: str  # counter | gauge | histogram | untyped
+    help: str = ""
+    samples: list[ParsedSample] = field(default_factory=list)
+
+    def value(self, labels: dict[str, str] | None = None, suffix: str = "") -> float | None:
+        """The value of the sample ``name+suffix`` with exactly ``labels``."""
+        want = dict(labels or {})
+        for sample in self.samples:
+            if sample.name == self.name + suffix and sample.labels == want:
+                return sample.value
+        return None
+
+
+class ExpositionError(ValueError):
+    """A line the exposition parser could not make sense of."""
+
+
+def _parse_number(token: str) -> float:
+    if token == "+Inf":
+        return float("inf")
+    if token == "-Inf":
+        return float("-inf")
+    return float(token)  # float("NaN") handles NaN
+
+
+def _parse_labelset(text: str, start: int) -> tuple[dict[str, str], int]:
+    """Parse ``{k="v",…}`` beginning at ``text[start]``; returns the labels
+    and the index just past the closing brace.  Handles ``\\``, ``\\"``,
+    and ``\\n`` escapes inside quoted values."""
+    if text[start] != "{":
+        raise ExpositionError(f"expected '{{' at column {start}: {text!r}")
+    labels: dict[str, str] = {}
+    i = start + 1
+    while True:
+        while i < len(text) and text[i] in ", ":
+            i += 1
+        if i >= len(text):
+            raise ExpositionError(f"unterminated label set: {text!r}")
+        if text[i] == "}":
+            return labels, i + 1
+        eq = text.find("=", i)
+        if eq < 0 or eq + 1 >= len(text) or text[eq + 1] != '"':
+            raise ExpositionError(f"malformed label at column {i}: {text!r}")
+        name = text[i:eq].strip()
+        i = eq + 2
+        value_chars: list[str] = []
+        while i < len(text) and text[i] != '"':
+            if text[i] == "\\" and i + 1 < len(text):
+                escaped = text[i + 1]
+                value_chars.append({"n": "\n", "\\": "\\", '"': '"'}.get(escaped, "\\" + escaped))
+                i += 2
+            else:
+                value_chars.append(text[i])
+                i += 1
+        if i >= len(text):
+            raise ExpositionError(f"unterminated label value: {text!r}")
+        labels[name] = "".join(value_chars)
+        i += 1  # past the closing quote
+
+
+def _parse_sample_line(line: str) -> ParsedSample:
+    i = 0
+    while i < len(line) and line[i] not in " \t{":
+        i += 1
+    name = line[:i]
+    if not name:
+        raise ExpositionError(f"sample line without a name: {line!r}")
+    labels: dict[str, str] = {}
+    if i < len(line) and line[i] == "{":
+        labels, i = _parse_labelset(line, i)
+    rest = line[i:].strip()
+    if not rest:
+        raise ExpositionError(f"sample line without a value: {line!r}")
+    value_token, _, tail = rest.partition(" ")
+    try:
+        value = _parse_number(value_token)
+    except ValueError as error:
+        raise ExpositionError(f"bad sample value {value_token!r}: {line!r}") from error
+    exemplar = None
+    tail = tail.strip()
+    if tail.startswith("#"):
+        ex_text = tail[1:].strip()
+        if not ex_text.startswith("{"):
+            raise ExpositionError(f"malformed exemplar annotation: {line!r}")
+        ex_labels, j = _parse_labelset(ex_text, 0)
+        ex_value_token = ex_text[j:].strip().split(" ")[0]
+        if not ex_value_token or "trace_id" not in ex_labels:
+            raise ExpositionError(f"malformed exemplar annotation: {line!r}")
+        try:
+            exemplar = Exemplar(ex_labels["trace_id"], _parse_number(ex_value_token))
+        except ValueError as error:
+            raise ExpositionError(f"bad exemplar value: {line!r}") from error
+    elif tail:
+        # A trailing token without '#' would be an OpenMetrics timestamp —
+        # this registry never emits one; reject rather than misread.
+        raise ExpositionError(f"unexpected trailing tokens: {line!r}")
+    return ParsedSample(name=name, labels=labels, value=value, exemplar=exemplar)
+
+
+_HISTOGRAM_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+def parse_exposition(text: str) -> dict[str, ParsedFamily]:
+    """Parse Prometheus text exposition into families, keyed by name.
+
+    Round-trips :meth:`MetricsRegistry.render` output, exemplar
+    annotations included.  Histogram sub-series (``_bucket``, ``_sum``,
+    ``_count``) are attached to their announced histogram family; samples
+    with no HELP/TYPE announcement become ``untyped`` families.
+    Raises :class:`ExpositionError` on lines it cannot parse.
+    """
+    families: dict[str, ParsedFamily] = {}
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 3 and parts[1] in ("HELP", "TYPE"):
+                name = parts[2]
+                family = families.get(name)
+                if family is None:
+                    family = families[name] = ParsedFamily(name=name, kind="untyped")
+                if parts[1] == "TYPE":
+                    family.kind = parts[3].strip() if len(parts) > 3 else "untyped"
+                else:
+                    family.help = parts[3] if len(parts) > 3 else ""
+            continue  # other comments are skippable by the format's contract
+        sample = _parse_sample_line(line)
+        family = families.get(sample.name)
+        if family is None:
+            for suffix in _HISTOGRAM_SUFFIXES:
+                if sample.name.endswith(suffix):
+                    base = families.get(sample.name[: -len(suffix)])
+                    if base is not None and base.kind == "histogram":
+                        family = base
+                        break
+        if family is None:
+            family = families[sample.name] = ParsedFamily(name=sample.name, kind="untyped")
+        family.samples.append(sample)
+    return families

@@ -1,0 +1,114 @@
+"""Sampling wall-clock profiler with collapsed-stack output.
+
+``GET /v1/debug/prof?seconds=N`` answers the question "where is the scan
+path actually spending its time" without restarting anything: a
+background thread wakes at a configurable Hz, snapshots every live
+thread's frame via :func:`sys._current_frames`, and folds the stacks
+into collapsed form (``root;caller;callee count`` — the flamegraph
+interchange format, feedable straight into ``flamegraph.pl`` or
+speedscope).
+
+Wall-clock, not CPU: a thread blocked on a lock or a socket is *sampled
+where it blocks*, which is exactly what you want when a shard's p99 goes
+bad — the hot bucket's exemplar trace says *which* request, the profile
+says *which frames*.  Sampling is cooperative-safe (no tracing hooks, no
+interpreter flags) and costs only the sampler thread's own wakeups, so
+it is safe to run against a serving shard.
+
+Stacks are rooted at the thread name — the scan executor is spawned with
+``thread_name_prefix="repro-scan"`` — so executor time separates from
+asyncio-loop time at the first fold level, and ``thread_prefix`` can
+narrow a capture to just those threads.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+from dataclasses import dataclass, field
+
+#: Hard ceilings: a capture is a debugging action, not a monitor.
+MAX_SECONDS = 30.0
+MAX_HZ = 250.0
+
+
+@dataclass
+class ProfileReport:
+    """Folded samples from one capture window."""
+
+    seconds: float
+    hz: float
+    samples: int = 0
+    stacks: dict[str, int] = field(default_factory=dict)
+
+    def collapsed(self) -> str:
+        """Collapsed-stack text: header comment, then ``stack count`` lines
+        sorted by weight (heaviest first, name as tie-break)."""
+        lines = [
+            f"# wall-clock profile: {self.samples} samples"
+            f" over {self.seconds:g}s at {self.hz:g}Hz"
+        ]
+        for stack, count in sorted(self.stacks.items(), key=lambda item: (-item[1], item[0])):
+            lines.append(f"{stack} {count}")
+        return "\n".join(lines) + "\n"
+
+
+class SamplingProfiler:
+    """Samples ``sys._current_frames()`` of live threads at a fixed rate."""
+
+    def __init__(self, hz: float = 99.0, max_seconds: float = MAX_SECONDS):
+        if hz <= 0:
+            raise ValueError("hz must be positive")
+        self.hz = min(float(hz), MAX_HZ)
+        self.max_seconds = min(float(max_seconds), MAX_SECONDS)
+
+    def profile(
+        self,
+        seconds: float,
+        hz: float | None = None,
+        thread_prefix: str | None = None,
+    ) -> ProfileReport:
+        """Blocking capture — run it off the event loop (``run_in_executor``).
+
+        ``thread_prefix`` keeps only threads whose name starts with it
+        (e.g. ``"repro-scan"`` isolates the scan executor).
+        """
+        if seconds <= 0:
+            raise ValueError("seconds must be positive")
+        seconds = min(float(seconds), self.max_seconds)
+        rate = min(float(hz), MAX_HZ) if hz and hz > 0 else self.hz
+        interval = 1.0 / rate
+        report = ProfileReport(seconds=seconds, hz=rate)
+        own_id = threading.get_ident()
+        deadline = time.monotonic() + seconds
+        next_tick = time.monotonic()
+        while time.monotonic() < deadline:
+            names = {t.ident: t.name for t in threading.enumerate() if t.ident is not None}
+            for thread_id, frame in sys._current_frames().items():
+                if thread_id == own_id:
+                    continue
+                name = names.get(thread_id, f"thread-{thread_id}")
+                if thread_prefix is not None and not name.startswith(thread_prefix):
+                    continue
+                stack = _fold(name, frame)
+                report.stacks[stack] = report.stacks.get(stack, 0) + 1
+                report.samples += 1
+            next_tick += interval
+            pause = next_tick - time.monotonic()
+            if pause > 0:
+                time.sleep(pause)
+            else:  # fell behind (huge stacks, busy box): resynchronise
+                next_tick = time.monotonic()
+        return report
+
+
+def _fold(thread_name: str, frame) -> str:
+    """``thread;outermost;...;innermost`` — flamegraph orientation."""
+    parts: list[str] = []
+    while frame is not None:
+        module = frame.f_globals.get("__name__", "?")
+        parts.append(f"{module}.{frame.f_code.co_name}")
+        frame = frame.f_back
+    parts.reverse()
+    return ";".join([thread_name] + parts)

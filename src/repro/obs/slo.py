@@ -1,0 +1,250 @@
+"""Declarative SLOs with multi-window burn-rate alert states.
+
+An objective is a *budget* for bad events: ``availability ≥ 99.9%``
+leaves 0.1% of requests allowed to fail; ``p95 ≤ 500ms`` leaves 5% of
+requests allowed to be slower than 500ms.  The **burn rate** is how fast
+the fleet is spending that budget — ``bad_ratio / budget`` — so burn 1.0
+exactly exhausts the budget over the objective's nominal period and burn
+14.4 torches it an order of magnitude faster.
+
+The engine follows the multi-window discipline: a state only escalates
+when **both** a fast window (reacts in seconds) and a slow window
+(suppresses blips) are burning — ``page`` at :attr:`SLOEngine.page_burn`,
+``warn`` at :attr:`SLOEngine.warn_burn`, else ``ok``.  Windows are read
+from a :class:`~repro.obs.timeseries.TimeseriesRing` of scrape
+snapshots, so the whole evaluation is a pure function of
+(ring, specs, clock) — testable on synthetic snapshots, no sleeping.
+
+States surface three ways, all fed by :meth:`SLOEngine.evaluate`:
+
+* the ``slo`` block of the router's ``GET /v1/status``,
+* ``repro_slo_burn_rate{slo,window}`` and ``repro_slo_state{slo}``
+  gauges (0 ok / 1 warn / 2 page) on the router registry,
+* the ``repro top`` dashboard's SLO column.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from .timeseries import TimeseriesRing
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .metrics import MetricsRegistry
+
+STATE_OK = "ok"
+STATE_WARN = "warn"
+STATE_PAGE = "page"
+
+#: Gauge encoding for ``repro_slo_state``.
+STATE_CODES = {STATE_OK: 0, STATE_WARN: 1, STATE_PAGE: 2}
+
+
+@dataclass(frozen=True)
+class SLOSpec:
+    """One declarative objective.
+
+    ``kind="availability"``: ``objective`` is the success-ratio target
+    (0.999 → 99.9%); bad events are 5xx answers counted from
+    ``requests_family``.
+
+    ``kind="latency"``: ``objective`` is the quantile (0.95 → p95) that
+    must sit at or under ``threshold_s``; bad events are observations
+    above the threshold, counted from ``latency_family`` buckets.
+    """
+
+    name: str
+    kind: str  # "availability" | "latency"
+    objective: float
+    threshold_s: float = 0.5
+    requests_family: str = "repro_http_requests_total"
+    latency_family: str = "repro_router_request_seconds"
+
+    def validate(self) -> None:
+        if self.kind not in ("availability", "latency"):
+            raise ValueError(f"unknown SLO kind {self.kind!r}")
+        if not 0.0 < self.objective < 1.0:
+            raise ValueError("objective must be strictly between 0 and 1")
+        if self.kind == "latency" and self.threshold_s <= 0:
+            raise ValueError("threshold_s must be positive")
+
+    @property
+    def budget(self) -> float:
+        """The allowed bad-event ratio (1 − objective)."""
+        return 1.0 - self.objective
+
+    def describe(self) -> str:
+        if self.kind == "availability":
+            return f"availability >= {self.objective * 100:g}%"
+        return f"p{self.objective * 100:g} <= {self.threshold_s * 1000:g}ms"
+
+
+def default_slos() -> tuple[SLOSpec, ...]:
+    """The router's boot objectives: front-door availability and scan tail."""
+    return (
+        SLOSpec(name="availability", kind="availability", objective=0.999),
+        SLOSpec(name="scan-latency", kind="latency", objective=0.95, threshold_s=0.5),
+    )
+
+
+@dataclass
+class SLOStatus:
+    """One objective's evaluated state, ready for /v1/status."""
+
+    name: str
+    kind: str
+    objective: str
+    state: str
+    burn_fast: float
+    burn_slow: float
+    bad_fast: float
+    total_fast: float
+    bad_slow: float
+    total_slow: float
+    window_fast_s: float
+    window_slow_s: float
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "objective": self.objective,
+            "state": self.state,
+            "burn_rate": {
+                "fast": round(self.burn_fast, 3),
+                "slow": round(self.burn_slow, 3),
+            },
+            "windows": {
+                "fast": {
+                    "seconds": self.window_fast_s,
+                    "bad": self.bad_fast,
+                    "total": self.total_fast,
+                },
+                "slow": {
+                    "seconds": self.window_slow_s,
+                    "bad": self.bad_slow,
+                    "total": self.total_slow,
+                },
+            },
+        }
+
+
+class SLOEngine:
+    """Evaluates objectives over a snapshot ring; owns the SLO gauges."""
+
+    def __init__(
+        self,
+        specs: tuple[SLOSpec, ...] | list[SLOSpec] | None = None,
+        fast_window_s: float = 60.0,
+        slow_window_s: float = 300.0,
+        warn_burn: float = 6.0,
+        page_burn: float = 14.4,
+        metrics: "MetricsRegistry | None" = None,
+    ):
+        self.specs = tuple(specs) if specs is not None else default_slos()
+        for spec in self.specs:
+            spec.validate()
+        if not 0 < fast_window_s < slow_window_s:
+            raise ValueError("need 0 < fast_window_s < slow_window_s")
+        if not 0 < warn_burn <= page_burn:
+            raise ValueError("need 0 < warn_burn <= page_burn")
+        self.fast_window_s = fast_window_s
+        self.slow_window_s = slow_window_s
+        self.warn_burn = warn_burn
+        self.page_burn = page_burn
+        self._m_burn: dict[tuple[str, str], object] = {}
+        self._m_state: dict[str, object] = {}
+        if metrics is not None:
+            for spec in self.specs:
+                for window in ("fast", "slow"):
+                    self._m_burn[(spec.name, window)] = metrics.gauge(
+                        "repro_slo_burn_rate",
+                        "Error-budget burn rate per objective and window",
+                        labels={"slo": spec.name, "window": window},
+                    )
+                self._m_state[spec.name] = metrics.gauge(
+                    "repro_slo_state",
+                    "Alert state per objective: 0 ok, 1 warn, 2 page",
+                    labels={"slo": spec.name},
+                )
+
+    # ------------------------------------------------------------ evaluate
+
+    def evaluate(
+        self, ring: TimeseriesRing, source: str = "router", now: float | None = None
+    ) -> list[SLOStatus]:
+        """All objectives against ``source``'s snapshots; updates gauges."""
+        out = []
+        for spec in self.specs:
+            bad_fast, total_fast = self._window_counts(ring, spec, source, self.fast_window_s, now)
+            bad_slow, total_slow = self._window_counts(ring, spec, source, self.slow_window_s, now)
+            burn_fast = self._burn(spec, bad_fast, total_fast)
+            burn_slow = self._burn(spec, bad_slow, total_slow)
+            if burn_fast >= self.page_burn and burn_slow >= self.page_burn:
+                state = STATE_PAGE
+            elif burn_fast >= self.warn_burn and burn_slow >= self.warn_burn:
+                state = STATE_WARN
+            else:
+                state = STATE_OK
+            status = SLOStatus(
+                name=spec.name,
+                kind=spec.kind,
+                objective=spec.describe(),
+                state=state,
+                burn_fast=burn_fast,
+                burn_slow=burn_slow,
+                bad_fast=bad_fast,
+                total_fast=total_fast,
+                bad_slow=bad_slow,
+                total_slow=total_slow,
+                window_fast_s=self.fast_window_s,
+                window_slow_s=self.slow_window_s,
+            )
+            out.append(status)
+            burn_gauge = self._m_burn.get((spec.name, "fast"))
+            if burn_gauge is not None:
+                burn_gauge.set(burn_fast)  # type: ignore[attr-defined]
+            burn_gauge = self._m_burn.get((spec.name, "slow"))
+            if burn_gauge is not None:
+                burn_gauge.set(burn_slow)  # type: ignore[attr-defined]
+            state_gauge = self._m_state.get(spec.name)
+            if state_gauge is not None:
+                state_gauge.set(STATE_CODES[state])  # type: ignore[attr-defined]
+        return out
+
+    def _burn(self, spec: SLOSpec, bad: float, total: float) -> float:
+        if total <= 0:
+            return 0.0  # no traffic spends no budget
+        ratio = bad / total
+        budget = spec.budget
+        if budget <= 0:
+            return math.inf if ratio > 0 else 0.0
+        return ratio / budget
+
+    def _window_counts(
+        self,
+        ring: TimeseriesRing,
+        spec: SLOSpec,
+        source: str,
+        window_s: float,
+        now: float | None,
+    ) -> tuple[float, float]:
+        """(bad, total) events for one spec inside one window."""
+        if spec.kind == "availability":
+            total = ring.counter_delta(source, spec.requests_family, window_s, now=now)
+            if total is None:
+                return 0.0, 0.0
+            bad = ring.counter_delta(
+                source,
+                spec.requests_family,
+                window_s,
+                now=now,
+                where=lambda labels: labels.get("status", "").startswith("5"),
+            )
+            return bad or 0.0, total
+        window = ring.histogram_window(source, spec.latency_family, window_s, now=now)
+        if window is None or window.count <= 0:
+            return 0.0, 0.0
+        return max(0.0, window.count - window.below(spec.threshold_s)), window.count

@@ -1,0 +1,373 @@
+"""Scrape-snapshot ring with windowed derivatives.
+
+The federation loop (:mod:`repro.obs.fleet` wiring in the router) parses
+each member's ``/v1/metrics`` every few seconds; this module is where
+those snapshots become *operational* numbers: per-window request rate,
+error rate, and latency percentiles reconstructed from cumulative
+histogram buckets.  The SLO engine (:mod:`repro.obs.slo`) and
+``GET /v1/status`` both read through this ring.
+
+Design points:
+
+* One bounded deque of :class:`Snapshot` per source ("shard-0", …,
+  "router"), so memory is ``capacity × members × exposition size`` and a
+  shard that stops reporting simply ages out of its windows.
+* Derivatives are computed between the newest snapshot and the **oldest
+  snapshot inside the window** — a young ring answers over the span it
+  actually has rather than refusing, which keeps ``repro top`` live from
+  the first two scrapes.
+* Counter resets (shard restart) clamp per-series deltas at zero instead
+  of going negative — the standard Prometheus ``rate()`` posture.
+
+The shared quantile helpers live here too: :func:`percentile` (linearly
+interpolated, the loadgen's latency math) and :func:`bucket_quantile`
+(percentiles from cumulative buckets, the fleet's latency math) — one
+definition of "p95" across benches, dashboards, and SLOs.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from collections import deque
+from collections.abc import Callable, Iterable, Sequence
+from dataclasses import dataclass
+
+from .metrics import ParsedFamily
+
+#: A label filter: a dict is matched as a subset, a callable decides.
+LabelWhere = dict[str, str] | Callable[[dict[str, str]], bool] | None
+
+
+def percentile(samples: Sequence[float], quantile: float) -> float:
+    """Linearly interpolated quantile (0–1) of ``samples``; NaN if empty."""
+    if not 0.0 <= quantile <= 1.0:
+        raise ValueError("quantile must be within [0, 1]")
+    ordered = sorted(samples)
+    if not ordered:
+        return float("nan")
+    rank = quantile * (len(ordered) - 1)
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return float(ordered[low])
+    fraction = rank - low
+    return float(ordered[low]) * (1.0 - fraction) + float(ordered[high]) * fraction
+
+
+def bucket_quantile(cumulative: Sequence[tuple[float, float]], quantile: float) -> float:
+    """Quantile reconstructed from cumulative ``(le, count)`` buckets.
+
+    Linear interpolation inside the owning bucket (the
+    ``histogram_quantile`` model); observations in the ``+Inf`` bucket
+    answer with the largest finite bound — a lower bound is the honest
+    estimate there.  NaN when the buckets are empty.
+    """
+    if not 0.0 <= quantile <= 1.0:
+        raise ValueError("quantile must be within [0, 1]")
+    if not cumulative:
+        return float("nan")
+    total = cumulative[-1][1]
+    if total <= 0:
+        return float("nan")
+    target = quantile * total
+    previous_bound = 0.0
+    previous_count = 0.0
+    for bound, count in cumulative:
+        if count >= target and count > previous_count:
+            if math.isinf(bound):
+                return previous_bound
+            span = count - previous_count
+            fraction = (target - previous_count) / span if span > 0 else 1.0
+            return previous_bound + (bound - previous_bound) * fraction
+        previous_bound = previous_bound if math.isinf(bound) else bound
+        previous_count = count
+    return previous_bound
+
+
+def merge_cumulative(
+    series: Iterable[Sequence[tuple[float, float]]],
+) -> list[tuple[float, float]]:
+    """Merge cumulative bucket series bucket-wise over the bound union.
+
+    Members sharing bounds (the normal fleet case — every shard runs the
+    same code) sum exactly.  A member missing a bound contributes its
+    cumulative count at its own largest bound below it: a lower bound
+    that keeps the merged series monotone and the ``+Inf`` total exact.
+    """
+    series = [list(s) for s in series]
+    bounds = sorted({bound for one in series for bound, _ in one})
+    merged: list[tuple[float, float]] = []
+    for bound in bounds:
+        total = 0.0
+        for one in series:
+            value = 0.0
+            for member_bound, count in one:
+                if member_bound <= bound:
+                    value = count
+                else:
+                    break
+            total += value
+        merged.append((bound, total))
+    return merged
+
+
+def _matches(labels: dict[str, str], where: LabelWhere) -> bool:
+    if where is None:
+        return True
+    if callable(where):
+        return bool(where(labels))
+    return all(labels.get(key) == value for key, value in where.items())
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """One member's parsed exposition at one scrape instant."""
+
+    ts: float
+    families: dict[str, ParsedFamily]
+
+
+@dataclass
+class HistogramWindow:
+    """One histogram family's activity inside a window."""
+
+    buckets: list[tuple[float, float]]  # cumulative (le, count delta)
+    count: float
+    sum: float
+    window_s: float
+
+    @property
+    def rate(self) -> float:
+        return self.count / self.window_s if self.window_s > 0 else 0.0
+
+    def quantile(self, quantile: float) -> float:
+        return bucket_quantile(self.buckets, quantile)
+
+    def below(self, threshold: float) -> float:
+        """Observations at or under ``threshold`` (largest bound ≤ it)."""
+        value = 0.0
+        for bound, count in self.buckets:
+            if bound <= threshold:
+                value = count
+            else:
+                break
+        return value
+
+
+class TimeseriesRing:
+    """Bounded per-source ring of scrape snapshots, with derivatives."""
+
+    def __init__(self, capacity: int = 240):
+        if capacity < 2:
+            raise ValueError("capacity must be at least 2 (derivatives need a pair)")
+        self.capacity = capacity
+        self._series: dict[str, deque[Snapshot]] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------- writing
+
+    def append(
+        self, source: str, families: dict[str, ParsedFamily], ts: float | None = None
+    ) -> None:
+        snapshot = Snapshot(ts=time.time() if ts is None else float(ts), families=families)
+        with self._lock:
+            ring = self._series.get(source)
+            if ring is None:
+                ring = self._series[source] = deque(maxlen=self.capacity)
+            ring.append(snapshot)
+
+    def forget(self, source: str) -> None:
+        with self._lock:
+            self._series.pop(source, None)
+
+    # ------------------------------------------------------------- reading
+
+    @property
+    def sources(self) -> list[str]:
+        with self._lock:
+            return sorted(self._series)
+
+    def latest(self, source: str) -> Snapshot | None:
+        with self._lock:
+            ring = self._series.get(source)
+            return ring[-1] if ring else None
+
+    def window(
+        self, source: str, window_s: float, now: float | None = None
+    ) -> tuple[Snapshot, Snapshot] | None:
+        """(oldest-in-window, newest) snapshot pair; ``None`` without two.
+
+        ``now`` defaults to the newest snapshot's timestamp, so a ring
+        that stopped being fed still answers about its own era.
+        """
+        with self._lock:
+            ring = self._series.get(source)
+            if not ring or len(ring) < 2:
+                return None
+            snapshots = list(ring)
+        newest = snapshots[-1]
+        horizon = (newest.ts if now is None else float(now)) - float(window_s)
+        for snapshot in snapshots[:-1]:
+            if snapshot.ts >= horizon:
+                if snapshot.ts >= newest.ts:
+                    return None
+                return snapshot, newest
+        return None
+
+    # Counter families --------------------------------------------------
+
+    def counter_delta(
+        self,
+        source: str,
+        family: str,
+        window_s: float,
+        now: float | None = None,
+        where: LabelWhere = None,
+    ) -> float | None:
+        """Summed increase of ``family``'s matching series in the window."""
+        pair = self.window(source, window_s, now=now)
+        if pair is None:
+            return None
+        old_snapshot, new_snapshot = pair
+        new_family = new_snapshot.families.get(family)
+        if new_family is None:
+            return None
+        old_values = _sample_values(old_snapshot.families.get(family), family, where)
+        delta = 0.0
+        for key, value in _sample_values(new_family, family, where).items():
+            delta += max(0.0, value - old_values.get(key, 0.0))
+        return delta
+
+    def counter_rate(
+        self,
+        source: str,
+        family: str,
+        window_s: float,
+        now: float | None = None,
+        where: LabelWhere = None,
+    ) -> float | None:
+        """Per-second increase of ``family`` over the window's real span."""
+        pair = self.window(source, window_s, now=now)
+        if pair is None:
+            return None
+        delta = self.counter_delta(source, family, window_s, now=now, where=where)
+        if delta is None:
+            return None
+        span = pair[1].ts - pair[0].ts
+        return delta / span if span > 0 else 0.0
+
+    # Histogram families -------------------------------------------------
+
+    def histogram_window(
+        self,
+        source: str,
+        family: str,
+        window_s: float,
+        now: float | None = None,
+        where: LabelWhere = None,
+    ) -> HistogramWindow | None:
+        """Bucket/count/sum deltas of ``family`` inside the window,
+        merged over its matching label-sets."""
+        pair = self.window(source, window_s, now=now)
+        if pair is None:
+            return None
+        old_snapshot, new_snapshot = pair
+        new_family = new_snapshot.families.get(family)
+        if new_family is None or new_family.kind != "histogram":
+            return None
+        old_family = old_snapshot.families.get(family)
+        new_buckets = _bucket_values(new_family, family, where)
+        old_buckets = _bucket_values(old_family, family, where)
+        per_series: list[list[tuple[float, float]]] = []
+        for key, buckets in new_buckets.items():
+            old = old_buckets.get(key, {})
+            deltas = [
+                (bound, max(0.0, count - old.get(bound, 0.0)))
+                for bound, count in sorted(buckets.items())
+            ]
+            # A reset series (any negative raw delta) restarts from zero —
+            # clamping bucket-wise keeps the cumulative shape monotone.
+            per_series.append(_monotone(deltas))
+        merged = merge_cumulative(per_series) if per_series else []
+        count = _suffix_delta(new_family, old_family, family, "_count", where)
+        total = _suffix_delta(new_family, old_family, family, "_sum", where)
+        span = new_snapshot.ts - old_snapshot.ts
+        return HistogramWindow(buckets=merged, count=count, sum=total, window_s=max(span, 0.0))
+
+    def quantile(
+        self,
+        source: str,
+        family: str,
+        quantile: float,
+        window_s: float,
+        now: float | None = None,
+        where: LabelWhere = None,
+    ) -> float | None:
+        """Windowed quantile of a histogram family; ``None`` without data."""
+        window = self.histogram_window(source, family, window_s, now=now, where=where)
+        if window is None or not window.buckets or window.buckets[-1][1] <= 0:
+            return None
+        return window.quantile(quantile)
+
+
+def _labels_key(labels: dict[str, str]) -> tuple[tuple[str, str], ...]:
+    return tuple(sorted(labels.items()))
+
+
+def _sample_values(
+    family: ParsedFamily | None,
+    name: str,
+    where: LabelWhere,
+) -> dict[tuple[tuple[str, str], ...], float]:
+    if family is None:
+        return {}
+    return {
+        _labels_key(sample.labels): sample.value
+        for sample in family.samples
+        if sample.name == name and _matches(sample.labels, where)
+    }
+
+
+def _bucket_values(
+    family: ParsedFamily | None,
+    name: str,
+    where: LabelWhere,
+) -> dict[tuple[tuple[str, str], ...], dict[float, float]]:
+    """``_bucket`` samples grouped by label-set (minus ``le``)."""
+    grouped: dict[tuple[tuple[str, str], ...], dict[float, float]] = {}
+    if family is None:
+        return grouped
+    for sample in family.samples:
+        if sample.name != name + "_bucket" or "le" not in sample.labels:
+            continue
+        labels = {key: value for key, value in sample.labels.items() if key != "le"}
+        if not _matches(labels, where):
+            continue
+        bound = float("inf") if sample.labels["le"] == "+Inf" else float(sample.labels["le"])
+        grouped.setdefault(_labels_key(labels), {})[bound] = sample.value
+    return grouped
+
+
+def _monotone(buckets: list[tuple[float, float]]) -> list[tuple[float, float]]:
+    out: list[tuple[float, float]] = []
+    running = 0.0
+    for bound, count in buckets:
+        running = max(running, count)
+        out.append((bound, running))
+    return out
+
+
+def _suffix_delta(
+    new_family: ParsedFamily,
+    old_family: ParsedFamily | None,
+    name: str,
+    suffix: str,
+    where: LabelWhere,
+) -> float:
+    old_values = _sample_values(old_family, name + suffix, where)
+    delta = 0.0
+    for key, value in _sample_values(new_family, name + suffix, where).items():
+        delta += max(0.0, value - old_values.get(key, 0.0))
+    return delta

@@ -464,11 +464,23 @@ class TraceStore:
         record["tree"] = span_tree(record["spans"])
         return record
 
-    def list(self, n: int = 20) -> list[dict]:
-        """Newest-first trace summaries (no span bodies)."""
+    def list(
+        self, n: int = 20, slow_ms: float | None = None, status: str | None = None
+    ) -> list[dict]:
+        """Newest-first trace summaries (no span bodies).
+
+        ``slow_ms`` keeps only traces whose root took at least that long;
+        ``status`` keeps only traces whose root ended in that status —
+        together they are the jump from an SLO ``page`` state to the
+        offending traces without dumping the whole ring.
+        """
         with self._lock:
             records = list(self._traces.values())
         records.reverse()
+        if slow_ms is not None:
+            records = [r for r in records if r["duration_ms"] >= slow_ms]
+        if status is not None:
+            records = [r for r in records if r["status"] == status]
         return [
             {key: record[key] for key in
              ("trace_id", "root", "duration_ms", "status", "slow", "n_spans", "stored_unix")}

@@ -55,7 +55,14 @@ from typing import TYPE_CHECKING
 
 from repro.analysis import Analyzer
 from repro.faults import CircuitBreaker, QuarantineJournal, ScanLimits
-from repro.obs import MetricsRegistry, SpanContext, TraceStore, Tracer, get_logger
+from repro.obs import (
+    MetricsRegistry,
+    SamplingProfiler,
+    SpanContext,
+    TraceStore,
+    Tracer,
+    get_logger,
+)
 from repro.pipeline import BatchScanner, FeatureCache
 
 from .api import (
@@ -75,6 +82,7 @@ from .http import (
     json_response,
     read_request,
     render_response,
+    trace_list_query,
 )
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -113,6 +121,8 @@ class ServeConfig:
     # Deobfuscation pre-pass default: requests may override per call with
     # a boolean ``"deobfuscate"`` field on /scan and /scan/batch bodies.
     deobfuscate: bool = False
+    # Default sampling rate for GET /v1/debug/prof captures.
+    profile_hz: float = 99.0
 
     def validate(self) -> None:
         if self.n_workers < 1:
@@ -133,6 +143,8 @@ class ServeConfig:
             raise ValueError("trace_sample_rate must be within [0, 1]")
         if self.trace_capacity < 1:
             raise ValueError("trace_capacity must be positive")
+        if self.profile_hz <= 0:
+            raise ValueError("profile_hz must be positive")
         limits = self.scan_limits()
         if limits is not None:
             limits.validate()
@@ -252,6 +264,7 @@ class ScanServer:
         self._m_uptime = self.metrics.gauge(
             "repro_uptime_seconds", "Seconds since the server started"
         )
+        self.profiler = SamplingProfiler(hz=self.config.profile_hz)
 
     # The executor-side entry point; wrapped so tests/benches can stub it.
     def _scan_batch(self, sources: list[str], names: list[str], metas: list[dict] | None = None):
@@ -368,7 +381,9 @@ class ScanServer:
                     break
                 started = time.perf_counter()
                 response, keep_alive = await self._route(request)
-                self._m_latency.observe(time.perf_counter() - started)
+                self._m_latency.observe(
+                    time.perf_counter() - started, trace_id=request.trace_id_hint
+                )
                 writer.write(response)
                 await writer.drain()
                 if not keep_alive or not request.keep_alive:
@@ -463,6 +478,7 @@ class ScanServer:
         }
         if request.api == "v1":
             handlers[("POST", "/admin/reload")] = self._handle_admin_reload
+            handlers[("GET", "/debug/prof")] = self._handle_prof
         handler = handlers.get((request.method, logical))
         known_path = any(path == logical for _, path in handlers)
         if handler is None and logical.startswith("/debug/traces"):
@@ -557,17 +573,40 @@ class ScanServer:
         return 200, render_response(200, body, content_type=MetricsRegistry.CONTENT_TYPE)
 
     async def _handle_traces_list(self, request: Request) -> tuple[int, bytes]:
-        try:
-            n = int(request.query.get("n", "20"))
-        except ValueError as error:
-            raise ProtocolError(400, '"n" must be an integer') from error
+        filters = trace_list_query(request)
         payload = {
-            "traces": self.traces.list(max(1, min(n, self.traces.capacity))),
+            "traces": self.traces.list(
+                max(1, min(filters["n"], self.traces.capacity)),
+                slow_ms=filters["slow_ms"],
+                status=filters["status"],
+            ),
             "stored": self.traces.stored,
             "evicted": self.traces.evicted,
             "sample_rate": self.config.trace_sample_rate,
         }
         return self._ok(request, payload)
+
+    async def _handle_prof(self, request: Request) -> tuple[int, bytes]:
+        """Collapsed-stack wall-clock profile of this shard's live threads.
+
+        The capture itself blocks, so it runs on the default executor —
+        not the single scan-executor thread, which must stay sampleable.
+        """
+        try:
+            seconds = float(request.query.get("seconds", "1"))
+            hz = float(request.query["hz"]) if "hz" in request.query else None
+        except ValueError as error:
+            raise ProtocolError(400, '"seconds" and "hz" must be numbers') from error
+        if seconds <= 0 or (hz is not None and hz <= 0):
+            raise ProtocolError(400, '"seconds" and "hz" must be positive')
+        thread_prefix = request.query.get("threads")
+        loop = asyncio.get_running_loop()
+        report = await loop.run_in_executor(
+            None, lambda: self.profiler.profile(seconds, hz=hz, thread_prefix=thread_prefix)
+        )
+        return 200, render_response(
+            200, report.collapsed().encode("utf-8"), content_type="text/plain; charset=utf-8"
+        )
 
     async def _handle_trace_get(self, request: Request) -> tuple[int, bytes]:
         trace_id = request.path.rstrip("/").rsplit("/", 1)[-1]
@@ -581,9 +620,14 @@ class ScanServer:
     def _start_request_trace(self, request: Request, name: str):
         """Open the per-request root span (inbound ``traceparent`` wins)."""
         parent = SpanContext.parse(request.traceparent)
-        return self.tracer.start_trace(
+        root = self.tracer.start_trace(
             name, parent=parent, attributes={"method": request.method, "path": request.path}
         )
+        if root.recording:
+            # The latency histogram's exemplar for this request points at
+            # a trace id that will actually exist in the store.
+            request.trace_id_hint = root.context.trace_id
+        return root
 
     @staticmethod
     def _trace_headers(root) -> dict[str, str]:

@@ -100,6 +100,28 @@ class Autoscaler:
                 "repro_cluster_shards", "Current shard count behind the router"
             )
 
+    def status(self) -> dict:
+        """Current posture for ``/v1/status`` — config plus the sustain
+        state machine's timers (seconds each condition has held)."""
+        now = self.clock()
+        return {
+            "min_shards": self.config.min_shards,
+            "max_shards": self.config.max_shards,
+            "up_queue_depth": self.config.up_queue_depth,
+            "down_queue_depth": self.config.down_queue_depth,
+            "pressure_for_s": (
+                round(now - self._pressure_since, 3) if self._pressure_since is not None else None
+            ),
+            "idle_for_s": (
+                round(now - self._idle_since, 3) if self._idle_since is not None else None
+            ),
+            "cooldown_remaining_s": (
+                round(max(self.config.cooldown_s - (now - self._last_action_at), 0.0), 3)
+                if self._last_action_at is not None
+                else 0.0
+            ),
+        }
+
     @staticmethod
     def mean_queue_depth(snapshot: list[dict]) -> float | None:
         """Mean queue depth over serving shards; ``None`` when no shard

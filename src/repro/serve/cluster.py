@@ -109,6 +109,10 @@ class ClusterController:
             if config.autoscale is not None
             else None
         )
+        if self.autoscaler is not None:
+            # /v1/status reports autoscaler posture through this hook —
+            # the router never imports the autoscaler directly.
+            self.router.autoscale_status = self.autoscaler.status
         self._autoscale_task: asyncio.Task | None = None
 
     @property

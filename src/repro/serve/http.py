@@ -77,6 +77,11 @@ class Request:
     #: or ``"legacy"`` (unprefixed deprecation aliases).  Set by the
     #: server's router after parsing; response rendering branches on it.
     api: str = "legacy"
+    #: Trace id of this request's *recorded* root span, set by the handler
+    #: that opened it.  The connection loop reads it after routing so the
+    #: request's latency observation carries an exemplar pointing at a
+    #: trace that actually exists in the store.
+    trace_id_hint: str | None = None
 
     @property
     def keep_alive(self) -> bool:
@@ -305,3 +310,26 @@ def error_response(
         }
     }
     return json_response(status, payload, extra_headers=extra_headers, keep_alive=keep_alive)
+
+
+def trace_list_query(request: Request) -> dict:
+    """Parse the ``/debug/traces`` list filters shared by shard and router.
+
+    ``n`` caps the listing, ``slow_ms`` keeps traces at least that slow,
+    ``status`` keeps only ``ok`` or ``error`` roots — the operator's jump
+    from an SLO page state to the offending traces.
+    """
+    try:
+        n = int(request.query.get("n", "20"))
+    except ValueError as error:
+        raise ProtocolError(400, '"n" must be an integer') from error
+    slow_ms: float | None = None
+    if "slow_ms" in request.query:
+        try:
+            slow_ms = float(request.query["slow_ms"])
+        except ValueError as error:
+            raise ProtocolError(400, '"slow_ms" must be a number') from error
+    status = request.query.get("status")
+    if status is not None and status not in ("ok", "error"):
+        raise ProtocolError(400, '"status" must be "ok" or "error"')
+    return {"n": n, "slow_ms": slow_ms, "status": status}

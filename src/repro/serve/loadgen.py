@@ -25,6 +25,8 @@ import time
 from collections import Counter
 from dataclasses import dataclass, field
 
+from repro.obs.timeseries import percentile
+
 # repro.client is imported inside run_load: the client pulls
 # repro.serve.api, whose package __init__ pulls this module — importing
 # it at module scope would make `import repro.client` order-dependent.
@@ -71,12 +73,30 @@ class LoadReport:
         return sum(1 for result in self.results if result.traced)
 
     def latency_ms(self, quantile: float) -> float:
-        """Latency at ``quantile`` (0–1) over successful requests."""
-        samples = sorted(r.latency_ms for r in self.results if r.status == 200)
-        if not samples:
-            return float("nan")
-        index = min(len(samples) - 1, max(0, round(quantile * (len(samples) - 1))))
-        return samples[index]
+        """Latency at ``quantile`` (0–1) over successful requests.
+
+        Shares :func:`repro.obs.timeseries.percentile` with the fleet
+        plane — one definition of "p95" across benches and dashboards.
+        """
+        return percentile([r.latency_ms for r in self.results if r.status == 200], quantile)
+
+    def to_dict(self) -> dict:
+        """The report as JSON-able data (``repro loadgen --format json``);
+        benches consume this instead of regex-parsing :meth:`summary`."""
+        return {
+            "requests": self.requests,
+            "errors": self.errors,
+            "elapsed_s": round(self.elapsed_s, 6),
+            "concurrency": self.concurrency,
+            "throughput_rps": round(self.throughput_rps, 3),
+            "latency_ms": {
+                "p50": round(self.latency_ms(0.50), 3),
+                "p95": round(self.latency_ms(0.95), 3),
+                "p99": round(self.latency_ms(0.99), 3),
+            },
+            "status_counts": {str(k): v for k, v in sorted(self.status_counts.items())},
+            "traced_requests": self.traced_requests,
+        }
 
     def summary(self) -> str:
         by_status = " ".join(

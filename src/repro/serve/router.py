@@ -44,11 +44,26 @@ import asyncio
 import contextlib
 import json
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.faults import classify_shard_fault
 from repro.faults.shardfault import SHARD_FAULTS
-from repro.obs import MetricsRegistry, SpanContext, TraceStore, Tracer, get_logger
+from repro.obs import (
+    AGGREGATE_MODES,
+    FleetMetrics,
+    MetricsRegistry,
+    SamplingProfiler,
+    SLOEngine,
+    SLOSpec,
+    SLOStatus,
+    SpanContext,
+    TimeseriesRing,
+    Tracer,
+    TraceStore,
+    default_slos,
+    get_logger,
+    parse_exposition,
+)
 from repro.pipeline import content_key
 
 from .api import (
@@ -72,6 +87,7 @@ from .http import (
     json_response,
     read_request,
     render_response,
+    trace_list_query,
 )
 from .supervisor import ShardSupervisor
 from .vcache import VerdictCache
@@ -99,6 +115,21 @@ class RouterConfig:
     replicas: int = 2
     #: Router verdict-cache capacity (entries); 0 disables the cache.
     verdict_cache_size: int = 1024
+    #: Seconds between federation scrapes of each shard's /v1/metrics;
+    #: 0 disables the scrape loop (federated views go stale-empty).
+    scrape_interval_s: float = 2.0
+    #: Per-shard fetch timeout inside one federation scrape.
+    scrape_timeout_s: float = 5.0
+    #: Scrape snapshots retained per fleet member (the SLO windows and
+    #: ``repro top`` read through this ring).
+    timeseries_capacity: int = 300
+    #: SLO burn-rate windows (seconds): fast reacts, slow suppresses blips.
+    slo_fast_window_s: float = 60.0
+    slo_slow_window_s: float = 300.0
+    #: Declarative objectives evaluated every scrape.
+    slos: tuple[SLOSpec, ...] = field(default_factory=default_slos)
+    #: Default sampling rate for GET /v1/debug/prof captures.
+    profile_hz: float = 99.0
 
     def validate(self) -> None:
         if self.request_timeout_s <= 0:
@@ -111,6 +142,16 @@ class RouterConfig:
             raise ValueError("replicas must be positive")
         if self.verdict_cache_size < 0:
             raise ValueError("verdict_cache_size must be >= 0")
+        if self.scrape_interval_s < 0:
+            raise ValueError("scrape_interval_s must be >= 0 (0 disables scraping)")
+        if self.scrape_timeout_s <= 0:
+            raise ValueError("scrape_timeout_s must be positive")
+        if self.timeseries_capacity < 2:
+            raise ValueError("timeseries_capacity must be at least 2")
+        if not 0 < self.slo_fast_window_s < self.slo_slow_window_s:
+            raise ValueError("need 0 < slo_fast_window_s < slo_slow_window_s")
+        if self.profile_hz <= 0:
+            raise ValueError("profile_hz must be positive")
 
 
 class ScanRouter:
@@ -163,6 +204,46 @@ class ScanRouter:
         self._m_latency = self.metrics.histogram(
             "repro_router_request_seconds", "Wall-clock per routed request"
         )
+        import platform
+
+        from repro import __version__
+
+        self.metrics.gauge(
+            "repro_build_info",
+            "Constant 1; the labels carry the build/runtime identity",
+            labels={"version": __version__, "python": platform.python_version()},
+        ).set(1)
+        self._m_uptime = self.metrics.gauge(
+            "repro_uptime_seconds", "Seconds since the server started"
+        )
+        # -- fleet observability plane ----------------------------------
+        self.fleet = FleetMetrics()
+        self.timeseries = TimeseriesRing(capacity=self.config.timeseries_capacity)
+        self.slo = SLOEngine(
+            self.config.slos,
+            fast_window_s=self.config.slo_fast_window_s,
+            slow_window_s=self.config.slo_slow_window_s,
+            metrics=self.metrics,
+        )
+        self.slo_status: list[SLOStatus] = []
+        self.profiler = SamplingProfiler(hz=self.config.profile_hz)
+        #: Optional hook the cluster controller installs so /v1/status can
+        #: report autoscaler posture without the router importing it.
+        self.autoscale_status: object | None = None
+        self.last_scrape_at: float | None = None
+        self._m_scrape_errors: dict[str, object] = {}
+        self._scrape_task: asyncio.Task | None = None
+
+    def _count_scrape_error(self, shard_id: str) -> None:
+        counter = self._m_scrape_errors.get(shard_id)
+        if counter is None:
+            counter = self.metrics.counter(
+                "repro_fleet_scrape_errors_total",
+                "Failed federation scrapes of a shard's /v1/metrics",
+                labels={"shard": shard_id},
+            )
+            self._m_scrape_errors[shard_id] = counter
+        counter.inc()  # type: ignore[attr-defined]
 
     def _count_forwarded(self, shard_id: str, register_only: bool = False) -> None:
         """Per-shard forward counter, created on first use (the fleet is
@@ -196,12 +277,79 @@ class ScanRouter:
             self._on_connection, host=self.config.host, port=self.config.port
         )
         self.bound_port = self._server.sockets[0].getsockname()[1]
+        if self.config.scrape_interval_s > 0:
+            self._scrape_task = asyncio.get_running_loop().create_task(self._scrape_loop())
 
     async def stop(self) -> None:
+        if self._scrape_task is not None:
+            self._scrape_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._scrape_task
+            self._scrape_task = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+
+    # ------------------------------------------------------------ federation
+
+    async def _scrape_loop(self) -> None:
+        # Interval-first: the fleet gets one scrape interval to settle
+        # after boot before the first federation pass hits every shard.
+        while True:
+            await asyncio.sleep(self.config.scrape_interval_s)
+            try:
+                await self.scrape_once()
+            except asyncio.CancelledError:
+                raise
+            except Exception as error:  # a scrape must never kill the loop
+                self.log.warning(
+                    "fleet scrape pass failed",
+                    extra={"error": f"{type(error).__name__}: {error}"},
+                )
+
+    async def scrape_once(self) -> None:
+        """One federation pass: scrape every shard, refresh SLO states.
+
+        Members that left the fleet (autoscale-down, replacement) are
+        forgotten first so the aggregated exposition tracks membership;
+        a failed scrape counts in ``repro_fleet_scrape_errors_total`` and
+        leaves that member's last good snapshot in place.
+        """
+        shards = dict(self.supervisor.shards)
+        for member in self.fleet.members:
+            if member not in shards:
+                self.fleet.forget(member)
+                self.timeseries.forget(member)
+
+        async def scrape(shard_id: str, spec) -> None:
+            try:
+                response = await fetch(
+                    spec.host, spec.port, "GET", f"{V1_PREFIX}/metrics",
+                    timeout_s=self.config.scrape_timeout_s,
+                )
+                if response.status != 200:
+                    raise RuntimeError(f"shard answered {response.status}")
+                families = parse_exposition(response.body.decode("utf-8"))
+            except asyncio.CancelledError:
+                raise
+            except Exception as error:
+                self._count_scrape_error(shard_id)
+                self.log.warning(
+                    "fleet scrape failed",
+                    extra={"shard": shard_id, "error": f"{type(error).__name__}: {error}"},
+                )
+                return
+            self.fleet.update(shard_id, families)
+            self.timeseries.append(shard_id, families)
+
+        await asyncio.gather(*(scrape(shard_id, spec) for shard_id, spec in shards.items()))
+        # The router's own registry snapshots into the same ring, so SLOs
+        # are judged at the front door — where the client experience is.
+        self._m_uptime.set(round(time.time() - self.started_at, 3))
+        self.timeseries.append("router", parse_exposition(self.metrics.render()))
+        self.slo_status = self.slo.evaluate(self.timeseries, "router")
+        self.last_scrape_at = time.time()
 
     # ------------------------------------------------------------ connections
 
@@ -220,7 +368,9 @@ class ScanRouter:
                     break
                 started = time.perf_counter()
                 response, keep_alive = await self._route(request)
-                self._m_latency.observe(time.perf_counter() - started)
+                self._m_latency.observe(
+                    time.perf_counter() - started, trace_id=request.trace_id_hint
+                )
                 writer.write(response)
                 await writer.drain()
                 if not keep_alive or not request.keep_alive:
@@ -299,6 +449,10 @@ class ScanRouter:
                 status, response = await self._handle_version(request)
             elif request.method == "GET" and logical == "/metrics":
                 status, response = await self._handle_metrics(request)
+            elif request.method == "GET" and logical == "/status" and request.api == "v1":
+                status, response = await self._handle_status(request)
+            elif request.method == "GET" and logical == "/debug/prof" and request.api == "v1":
+                status, response = await self._handle_prof(request)
             elif request.method == "GET" and logical.rstrip("/") == "/debug/traces":
                 status, response = await self._handle_traces_list(request)
             elif request.method == "GET" and logical.startswith("/debug/traces/"):
@@ -464,6 +618,7 @@ class ScanRouter:
                 # Hand the shard *our* context so its span tree lands under
                 # this trace id (the shard always records a sampled parent).
                 request.headers["traceparent"] = root.context.to_traceparent()
+                request.trace_id_hint = root.context.trace_id
             status, rendered, shard_id = await self._forward_with_retries(
                 request, logical, key
             )
@@ -507,6 +662,7 @@ class ScanRouter:
         with root:
             if root.recording:
                 request.headers["traceparent"] = root.context.to_traceparent()
+                request.trace_id_hint = root.context.trace_id
             # Group by owning replica; each sub-batch is one upstream request.
             groups: dict[str, list[int]] = {}
             for index, source in enumerate(sources):
@@ -645,16 +801,123 @@ class ScanRouter:
         })
 
     async def _handle_metrics(self, request: Request) -> tuple[int, bytes]:
-        body = self.metrics.render().encode("utf-8")
+        self._m_uptime.set(round(time.time() - self.started_at, 3))
+        mode = request.query.get("aggregate")
+        if mode is None:
+            body = self.metrics.render().encode("utf-8")
+        elif mode in AGGREGATE_MODES:
+            # The router's own families join the merge fresh — never a
+            # scrape-interval stale — under the member name "router".
+            extra = {"router": parse_exposition(self.metrics.render())}
+            body = self.fleet.render(mode, extra=extra).encode("utf-8")
+        else:
+            raise ProtocolError(
+                400, f'"aggregate" must be one of {", ".join(AGGREGATE_MODES)}'
+            )
         return 200, render_response(200, body, content_type=MetricsRegistry.CONTENT_TYPE)
 
-    async def _handle_traces_list(self, request: Request) -> tuple[int, bytes]:
-        try:
-            n = int(request.query.get("n", "20"))
-        except ValueError as error:
-            raise ProtocolError(400, '"n" must be an integer') from error
+    def _shard_stats(self, shard_id: str) -> dict:
+        """One fleet member's windowed numbers for /v1/status and `repro top`."""
+        window = self.config.slo_fast_window_s
+        rps = self.timeseries.counter_rate(shard_id, "repro_http_requests_total", window)
+        p95 = self.timeseries.quantile(shard_id, "repro_http_request_seconds", 0.95, window)
+        hits = self.timeseries.counter_delta(
+            shard_id, "repro_cache_lookups_total", window, where={"result": "hit"}
+        )
+        lookups = self.timeseries.counter_delta(shard_id, "repro_cache_lookups_total", window)
+        latest = self.timeseries.latest(shard_id)
+        queue_depth = breaker = None
+        if latest is not None:
+            family = latest.families.get("repro_serve_queue_depth")
+            queue_depth = family.value() if family else None
+            family = latest.families.get("repro_breaker_state")
+            breaker = family.value() if family else None
+        return {
+            "rps": round(rps, 3) if rps is not None else None,
+            "p95_ms": round(p95 * 1000.0, 3) if p95 is not None else None,
+            "queue_depth": queue_depth,
+            "cache_hit_ratio": round(hits / lookups, 4) if hits is not None and lookups else None,
+            "breaker_state": breaker,
+            "last_scrape_unix": round(latest.ts, 3) if latest is not None else None,
+        }
+
+    async def _handle_status(self, request: Request) -> tuple[int, bytes]:
+        """The fleet's one pane of glass: shards + SLOs + control posture."""
+        shards = self.supervisor.snapshot()
+        healthy = sum(1 for shard in shards if shard["healthy"])
+        fleet = []
+        for shard in shards:
+            entry = dict(shard)
+            entry.update(self._shard_stats(shard["shard"]))
+            fleet.append(entry)
+        window = self.config.slo_fast_window_s
+        router_rps = self.timeseries.counter_rate("router", "repro_http_requests_total", window)
+        router_p95 = self.timeseries.quantile(
+            "router", "repro_router_request_seconds", 0.95, window
+        )
+        autoscale = None
+        if callable(self.autoscale_status):
+            autoscale = self.autoscale_status()
+        scrape_errors = 0.0
+        for counter in self._m_scrape_errors.values():
+            scrape_errors += counter.value  # type: ignore[attr-defined]
         payload = {
-            "traces": self.traces.list(max(1, min(n, self.traces.capacity))),
+            "status": "ok" if healthy == len(shards) else ("degraded" if healthy else "down"),
+            "role": "router",
+            "uptime_s": round(time.time() - self.started_at, 3),
+            "router": {
+                "rps": round(router_rps, 3) if router_rps is not None else None,
+                "p95_ms": round(router_p95 * 1000.0, 3) if router_p95 is not None else None,
+                "verdict_cache": {
+                    "size": len(self.verdicts),
+                    "capacity": self.verdicts.capacity,
+                    "epoch": self.verdicts.epoch,
+                },
+            },
+            "n_shards": len(shards),
+            "n_healthy": healthy,
+            "fleet": fleet,
+            "slo": [status.to_dict() for status in self.slo_status],
+            "autoscale": autoscale,
+            "crash_loops": {
+                "parked": [shard["shard"] for shard in shards if shard["state"] == "parked"],
+                "restarts": sum(shard["restarts"] for shard in shards),
+            },
+            "scrape": {
+                "interval_s": self.config.scrape_interval_s,
+                "last_scrape_unix": (
+                    round(self.last_scrape_at, 3) if self.last_scrape_at is not None else None
+                ),
+                "errors_total": scrape_errors,
+                "members": self.fleet.members,
+            },
+        }
+        return self._ok(request, payload)
+
+    async def _handle_prof(self, request: Request) -> tuple[int, bytes]:
+        try:
+            seconds = float(request.query.get("seconds", "1"))
+            hz = float(request.query["hz"]) if "hz" in request.query else None
+        except ValueError as error:
+            raise ProtocolError(400, '"seconds" and "hz" must be numbers') from error
+        if seconds <= 0 or (hz is not None and hz <= 0):
+            raise ProtocolError(400, '"seconds" and "hz" must be positive')
+        loop = asyncio.get_running_loop()
+        report = await loop.run_in_executor(
+            None, lambda: self.profiler.profile(seconds, hz=hz)
+        )
+        return 200, render_response(
+            200, report.collapsed().encode("utf-8"), content_type="text/plain; charset=utf-8"
+        )
+
+    async def _handle_traces_list(self, request: Request) -> tuple[int, bytes]:
+        filters = trace_list_query(request)
+        payload = {
+            "traces": self.traces.list(
+                max(1, min(filters["n"], self.traces.capacity)),
+                slow_ms=filters["slow_ms"],
+                status=filters["status"],
+            ),
             "stored": self.traces.stored,
             "evicted": self.traces.evicted,
             "sample_rate": self.config.trace_sample_rate,

@@ -1,0 +1,95 @@
+"""Unit tests for the exposition parser (the federation's input side)."""
+
+import math
+
+import pytest
+
+from repro.obs import (
+    ExpositionError,
+    MetricsRegistry,
+    parse_exposition,
+)
+
+
+class TestParseExposition:
+    def test_round_trips_a_registry_render(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("demo_requests_total", "Requests", labels={"status": "200"})
+        counter.inc(7)
+        gauge = registry.gauge("demo_queue_depth", "Queue depth")
+        gauge.set(3)
+        histogram = registry.histogram("demo_latency_seconds", "Latency", buckets=(0.1, 1.0))
+        histogram.observe(0.05)
+        histogram.observe(0.5)
+
+        families = parse_exposition(registry.render())
+
+        assert families["demo_requests_total"].kind == "counter"
+        assert families["demo_requests_total"].value({"status": "200"}) == 7.0
+        assert families["demo_queue_depth"].kind == "gauge"
+        assert families["demo_queue_depth"].value() == 3.0
+        latency = families["demo_latency_seconds"]
+        assert latency.kind == "histogram"
+        assert latency.value(suffix="_count") == 2.0
+        assert latency.value({"le": "0.1"}, suffix="_bucket") == 1.0
+        assert latency.value({"le": "+Inf"}, suffix="_bucket") == 2.0
+
+    def test_parses_exemplar_annotations(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("demo_latency_seconds", "Latency", buckets=(0.1, 1.0))
+        histogram.observe(0.5, trace_id="abc123")
+
+        families = parse_exposition(registry.render())
+
+        samples = [
+            s for s in families["demo_latency_seconds"].samples
+            if s.name.endswith("_bucket") and s.labels.get("le") == "1"
+        ]
+        assert len(samples) == 1
+        assert samples[0].exemplar is not None
+        assert samples[0].exemplar.trace_id == "abc123"
+        assert samples[0].exemplar.value == 0.5
+
+    def test_label_escapes_round_trip(self):
+        registry = MetricsRegistry()
+        counter = registry.counter(
+            "demo_total", "Demo", labels={"path": 'a"b\\c\nd'}
+        )
+        counter.inc()
+        families = parse_exposition(registry.render())
+        assert families["demo_total"].value({"path": 'a"b\\c\nd'}) == 1.0
+
+    def test_unannounced_samples_become_untyped(self):
+        families = parse_exposition("mystery_metric 12\n")
+        assert families["mystery_metric"].kind == "untyped"
+        assert families["mystery_metric"].value() == 12.0
+
+    def test_special_values(self):
+        families = parse_exposition("a_metric +Inf\nb_metric NaN\nc_metric 1e-3\n")
+        assert families["a_metric"].value() == float("inf")
+        assert math.isnan(families["b_metric"].value())
+        assert families["c_metric"].value() == pytest.approx(1e-3)
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "no_value_here\n",
+            'unterminated{label="x 1\n',
+            "not a metric line at all ! 3 4 5\n",
+        ],
+    )
+    def test_rejects_garbage_lines(self, bad):
+        with pytest.raises(ExpositionError):
+            parse_exposition(bad)
+
+    def test_histogram_sub_series_attach_to_family(self):
+        text = (
+            "# TYPE demo_seconds histogram\n"
+            'demo_seconds_bucket{le="0.5"} 3\n'
+            'demo_seconds_bucket{le="+Inf"} 4\n'
+            "demo_seconds_sum 1.7\n"
+            "demo_seconds_count 4\n"
+        )
+        families = parse_exposition(text)
+        assert set(families) == {"demo_seconds"}
+        assert families["demo_seconds"].value(suffix="_sum") == pytest.approx(1.7)

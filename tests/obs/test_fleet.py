@@ -1,0 +1,98 @@
+"""Unit tests for the metrics federation merge (FleetMetrics)."""
+
+import pytest
+
+from repro.obs import FleetMetrics, MetricsRegistry, parse_exposition
+
+
+def _member(requests: int, queue: float, latency: list[float], trace_id=None) -> dict:
+    registry = MetricsRegistry()
+    counter = registry.counter("repro_http_requests_total", "Requests", labels={"status": "200"})
+    counter.inc(requests)
+    gauge = registry.gauge("repro_serve_queue_depth", "Queue depth")
+    gauge.set(queue)
+    histogram = registry.histogram("repro_http_request_seconds", "Latency", buckets=(0.1, 1.0))
+    for value in latency:
+        histogram.observe(value, trace_id=trace_id)
+    return parse_exposition(registry.render())
+
+
+@pytest.fixture()
+def fleet() -> FleetMetrics:
+    fleet = FleetMetrics()
+    fleet.update("shard-0", _member(10, 2.0, [0.05, 0.5], trace_id="aaa111"))
+    fleet.update("shard-1", _member(5, 7.0, [0.05]))
+    return fleet
+
+
+class TestSummedView:
+    def test_counters_sum_across_members(self, fleet):
+        families = parse_exposition(fleet.render("sum"))
+        assert families["repro_http_requests_total"].value({"status": "200"}) == 15.0
+
+    def test_histograms_merge_bucket_wise(self, fleet):
+        families = parse_exposition(fleet.render("sum"))
+        histogram = families["repro_http_request_seconds"]
+        assert histogram.value({"le": "0.1"}, suffix="_bucket") == 2.0
+        assert histogram.value({"le": "+Inf"}, suffix="_bucket") == 3.0
+        assert histogram.value(suffix="_count") == 3.0
+        assert histogram.value(suffix="_sum") == pytest.approx(0.6)
+
+    def test_gauges_stay_per_shard(self, fleet):
+        families = parse_exposition(fleet.render("sum"))
+        gauge = families["repro_serve_queue_depth"]
+        assert gauge.value({"shard": "shard-0"}) == 2.0
+        assert gauge.value({"shard": "shard-1"}) == 7.0
+        assert gauge.value() is None  # no un-labelled fleet-wide sum
+
+    def test_exemplars_survive_the_merge(self, fleet):
+        families = parse_exposition(fleet.render("sum"))
+        exemplars = [
+            s.exemplar
+            for s in families["repro_http_request_seconds"].samples
+            if s.exemplar is not None
+        ]
+        assert any(e.trace_id == "aaa111" for e in exemplars)
+
+    def test_extra_member_joins_only_this_render(self, fleet):
+        extra = {"router": _member(100, 0.0, [])}
+        families = parse_exposition(fleet.render("sum", extra=extra))
+        assert families["repro_http_requests_total"].value({"status": "200"}) == 115.0
+        # The store itself is untouched.
+        assert fleet.members == ["shard-0", "shard-1"]
+        families = parse_exposition(fleet.render("sum"))
+        assert families["repro_http_requests_total"].value({"status": "200"}) == 15.0
+
+
+class TestByShardView:
+    def test_every_sample_carries_the_shard_label(self, fleet):
+        families = parse_exposition(fleet.render("by-shard"))
+        for family in families.values():
+            for sample in family.samples:
+                assert sample.labels.get("shard") in ("shard-0", "shard-1")
+
+    def test_per_member_values_are_preserved(self, fleet):
+        families = parse_exposition(fleet.render("by-shard"))
+        requests = families["repro_http_requests_total"]
+        assert requests.value({"status": "200", "shard": "shard-0"}) == 10.0
+        assert requests.value({"status": "200", "shard": "shard-1"}) == 5.0
+
+
+class TestMembership:
+    def test_forget_removes_a_member_from_output(self, fleet):
+        fleet.forget("shard-1")
+        assert fleet.members == ["shard-0"]
+        families = parse_exposition(fleet.render("sum"))
+        assert families["repro_http_requests_total"].value({"status": "200"}) == 10.0
+
+    def test_update_replaces_not_accumulates(self, fleet):
+        fleet.update("shard-0", _member(11, 2.0, []))
+        families = parse_exposition(fleet.render("sum"))
+        assert families["repro_http_requests_total"].value({"status": "200"}) == 16.0
+
+    def test_unknown_mode_is_rejected(self, fleet):
+        with pytest.raises(ValueError):
+            fleet.render("avg")
+
+    def test_empty_fleet_renders_empty(self):
+        assert parse_exposition(FleetMetrics().render("sum")) == {}

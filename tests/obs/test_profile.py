@@ -1,0 +1,67 @@
+"""Unit tests for the sampling wall-clock profiler."""
+
+import threading
+import time
+
+import pytest
+
+from repro.obs import ProfileReport, SamplingProfiler
+
+
+def _spin(stop: threading.Event) -> None:
+    while not stop.is_set():
+        sum(range(100))
+
+
+@pytest.fixture()
+def spinner():
+    stop = threading.Event()
+    thread = threading.Thread(target=_spin, args=(stop,), name="repro-scan_0", daemon=True)
+    thread.start()
+    yield thread
+    stop.set()
+    thread.join(timeout=5)
+
+
+class TestSamplingProfiler:
+    def test_captures_a_busy_thread(self, spinner):
+        report = SamplingProfiler(hz=200.0).profile(0.25)
+        assert report.samples > 0
+        spinner_stacks = [s for s in report.stacks if s.startswith("repro-scan_0;")]
+        assert spinner_stacks, report.stacks
+        # Stacks are rooted at the thread name, frames outermost-first.
+        assert any("_spin" in stack for stack in spinner_stacks)
+
+    def test_thread_prefix_narrows_the_capture(self, spinner):
+        report = SamplingProfiler(hz=200.0).profile(0.2, thread_prefix="repro-scan")
+        assert report.samples > 0
+        assert all(stack.startswith("repro-scan") for stack in report.stacks)
+
+    def test_own_sampler_thread_is_excluded(self):
+        report = SamplingProfiler(hz=200.0).profile(0.1)
+        assert not any("profile.profile" in stack for stack in report.stacks)
+
+    def test_seconds_and_hz_are_clamped(self):
+        profiler = SamplingProfiler(hz=10_000.0, max_seconds=1.0)
+        assert profiler.hz == 250.0
+        started = time.monotonic()
+        report = profiler.profile(60.0, hz=5000.0)
+        assert time.monotonic() - started < 5.0
+        assert report.seconds == 1.0
+        assert report.hz == 250.0
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            SamplingProfiler(hz=0)
+        with pytest.raises(ValueError):
+            SamplingProfiler().profile(0)
+
+
+class TestProfileReport:
+    def test_collapsed_format_sorted_heaviest_first(self):
+        report = ProfileReport(seconds=1.0, hz=99.0, samples=6,
+                               stacks={"a;b;c": 1, "a;b": 4, "z": 1})
+        lines = report.collapsed().strip().splitlines()
+        assert lines[0].startswith("# wall-clock profile: 6 samples")
+        assert lines[1] == "a;b 4"
+        assert lines[2:] == ["a;b;c 1", "z 1"]

@@ -1,0 +1,136 @@
+"""Unit tests for the multi-window burn-rate SLO engine."""
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    SLOEngine,
+    SLOSpec,
+    TimeseriesRing,
+    default_slos,
+    parse_exposition,
+)
+
+
+def _snapshot(total: int, errors: int, slow: int = 0) -> dict:
+    """One synthetic router exposition: ``total`` requests, ``errors`` of
+    them 5xx, ``slow`` of the latency observations above 0.5s."""
+    registry = MetricsRegistry()
+    ok = registry.counter("repro_http_requests_total", "", labels={"status": "200"})
+    ok.inc(max(0, total - errors))
+    bad = registry.counter("repro_http_requests_total", "", labels={"status": "503"})
+    bad.inc(errors)
+    histogram = registry.histogram(
+        "repro_router_request_seconds", "", buckets=(0.1, 0.5, 1.0)
+    )
+    for _ in range(max(0, total - slow)):
+        histogram.observe(0.05)
+    for _ in range(slow):
+        histogram.observe(0.9)
+    return parse_exposition(registry.render())
+
+
+def _engine(metrics=None) -> SLOEngine:
+    return SLOEngine(fast_window_s=15.0, slow_window_s=35.0, metrics=metrics)
+
+
+class TestSLOSpec:
+    def test_budget_is_one_minus_objective(self):
+        spec = SLOSpec(name="a", kind="availability", objective=0.999)
+        assert spec.budget == pytest.approx(0.001)
+
+    def test_describe_both_kinds(self):
+        availability, latency = default_slos()
+        assert availability.describe() == "availability >= 99.9%"
+        assert latency.describe() == "p95 <= 500ms"
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"name": "x", "kind": "throughput", "objective": 0.9},
+            {"name": "x", "kind": "availability", "objective": 1.0},
+            {"name": "x", "kind": "latency", "objective": 0.95, "threshold_s": 0.0},
+        ],
+    )
+    def test_validate_rejects_bad_specs(self, kwargs):
+        with pytest.raises(ValueError):
+            SLOSpec(**kwargs).validate()
+
+
+class TestSLOEngine:
+    def test_healthy_traffic_is_ok(self):
+        ring = TimeseriesRing()
+        t0 = 1000.0
+        for i in range(5):
+            ring.append("router", _snapshot(total=100 * (i + 1), errors=0), ts=t0 + 10 * i)
+        statuses = _engine().evaluate(ring, "router", now=t0 + 40)
+        assert [s.state for s in statuses] == ["ok", "ok"]
+        assert all(s.burn_fast == 0.0 for s in statuses)
+
+    def test_sustained_5xx_pages_availability(self):
+        ring = TimeseriesRing()
+        t0 = 1000.0
+        # Every request fails in every window: burn = 1.0 / 0.001 = 1000.
+        for i in range(5):
+            ring.append("router", _snapshot(total=50 * (i + 1), errors=50 * (i + 1)), ts=t0 + 10 * i)
+        statuses = _engine().evaluate(ring, "router", now=t0 + 40)
+        availability = next(s for s in statuses if s.name == "availability")
+        assert availability.state == "page"
+        assert availability.burn_fast > 14.4
+        assert availability.burn_slow > 14.4
+
+    def test_fast_blip_alone_does_not_page(self):
+        ring = TimeseriesRing()
+        t0 = 1000.0
+        # Slow window saw mostly-healthy traffic; only the newest delta burns.
+        ring.append("router", _snapshot(total=0, errors=0), ts=t0)
+        ring.append("router", _snapshot(total=10_000, errors=0), ts=t0 + 20)
+        ring.append("router", _snapshot(total=10_050, errors=50), ts=t0 + 30)
+        statuses = _engine().evaluate(ring, "router", now=t0 + 30)
+        availability = next(s for s in statuses if s.name == "availability")
+        assert availability.burn_fast > 14.4  # fast window: 50/50 bad
+        assert availability.state != "page"  # slow window: 50/10050 — suppressed
+
+    def test_slow_tail_pages_latency(self):
+        ring = TimeseriesRing()
+        t0 = 1000.0
+        for i in range(5):
+            n = 100 * (i + 1)
+            ring.append("router", _snapshot(total=n, errors=0, slow=n), ts=t0 + 10 * i)
+        statuses = _engine().evaluate(ring, "router", now=t0 + 40)
+        latency = next(s for s in statuses if s.name == "scan-latency")
+        assert latency.state == "page"
+
+    def test_no_traffic_spends_no_budget(self):
+        ring = TimeseriesRing()
+        statuses = _engine().evaluate(ring, "router", now=1000.0)
+        assert [s.state for s in statuses] == ["ok", "ok"]
+        assert all(s.total_fast == 0.0 for s in statuses)
+
+    def test_gauges_track_states_and_burn(self):
+        registry = MetricsRegistry()
+        engine = _engine(metrics=registry)
+        ring = TimeseriesRing()
+        t0 = 1000.0
+        for i in range(5):
+            ring.append("router", _snapshot(total=50 * (i + 1), errors=50 * (i + 1)), ts=t0 + 10 * i)
+        engine.evaluate(ring, "router", now=t0 + 40)
+        families = parse_exposition(registry.render())
+        assert families["repro_slo_state"].value({"slo": "availability"}) == 2.0
+        assert families["repro_slo_state"].value({"slo": "scan-latency"}) == 0.0
+        burn = families["repro_slo_burn_rate"].value({"slo": "availability", "window": "fast"})
+        assert burn is not None and burn > 14.4
+
+    def test_to_dict_shape(self):
+        ring = TimeseriesRing()
+        status = _engine().evaluate(ring, "router", now=0.0)[0]
+        payload = status.to_dict()
+        assert set(payload) == {"name", "kind", "objective", "state", "burn_rate", "windows"}
+        assert set(payload["burn_rate"]) == {"fast", "slow"}
+        assert payload["windows"]["fast"]["seconds"] == 15.0
+
+    def test_rejects_inverted_windows_and_burns(self):
+        with pytest.raises(ValueError):
+            SLOEngine(fast_window_s=300.0, slow_window_s=60.0)
+        with pytest.raises(ValueError):
+            SLOEngine(warn_burn=20.0, page_burn=14.4)

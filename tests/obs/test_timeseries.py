@@ -1,0 +1,200 @@
+"""Unit tests for the scrape-snapshot ring and the shared quantile math."""
+
+import math
+import threading
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    TimeseriesRing,
+    bucket_quantile,
+    merge_cumulative,
+    parse_exposition,
+    percentile,
+)
+
+
+class TestPercentile:
+    def test_interpolates_linearly(self):
+        assert percentile([1, 2, 3, 4], 0.5) == pytest.approx(2.5)
+        assert percentile([10], 0.99) == 10.0
+        assert percentile([1, 2, 3, 4, 5], 0.0) == 1.0
+        assert percentile([1, 2, 3, 4, 5], 1.0) == 5.0
+
+    def test_empty_is_nan(self):
+        assert math.isnan(percentile([], 0.5))
+
+    def test_rejects_out_of_range_quantile(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 1.5)
+
+
+class TestBucketQuantile:
+    def test_interpolates_inside_owning_bucket(self):
+        # 10 observations ≤ 0.1, 10 more in (0.1, 0.2]: p75 sits mid-bucket.
+        cumulative = [(0.1, 10.0), (0.2, 20.0), (float("inf"), 20.0)]
+        assert bucket_quantile(cumulative, 0.75) == pytest.approx(0.15)
+
+    def test_inf_bucket_answers_largest_finite_bound(self):
+        cumulative = [(0.1, 1.0), (float("inf"), 10.0)]
+        assert bucket_quantile(cumulative, 0.99) == pytest.approx(0.1)
+
+    def test_empty_or_zero_total_is_nan(self):
+        assert math.isnan(bucket_quantile([], 0.5))
+        assert math.isnan(bucket_quantile([(1.0, 0.0)], 0.5))
+
+
+class TestMergeCumulative:
+    def test_shared_bounds_sum_exactly(self):
+        merged = merge_cumulative([
+            [(0.1, 1.0), (1.0, 3.0), (float("inf"), 4.0)],
+            [(0.1, 2.0), (1.0, 2.0), (float("inf"), 5.0)],
+        ])
+        assert merged == [(0.1, 3.0), (1.0, 5.0), (float("inf"), 9.0)]
+
+    def test_bound_union_stays_monotone(self):
+        merged = merge_cumulative([
+            [(0.1, 1.0), (float("inf"), 2.0)],
+            [(0.5, 4.0), (float("inf"), 4.0)],
+        ])
+        bounds = [bound for bound, _ in merged]
+        counts = [count for _, count in merged]
+        assert bounds == [0.1, 0.5, float("inf")]
+        assert counts == sorted(counts)
+        assert merged[-1][1] == 6.0  # +Inf total exact
+
+
+def _families(request_count: int, ts_hint: str = "200") -> dict:
+    registry = MetricsRegistry()
+    counter = registry.counter("repro_http_requests_total", "", labels={"status": ts_hint})
+    counter.inc(request_count)
+    histogram = registry.histogram("repro_http_request_seconds", "", buckets=(0.1, 1.0))
+    for _ in range(request_count):
+        histogram.observe(0.05)
+    return parse_exposition(registry.render())
+
+
+class TestTimeseriesRing:
+    def test_counter_delta_and_rate_over_window(self):
+        ring = TimeseriesRing(capacity=10)
+        ring.append("shard-0", _families(10), ts=100.0)
+        ring.append("shard-0", _families(30), ts=110.0)
+        assert ring.counter_delta("shard-0", "repro_http_requests_total", 60.0) == 20.0
+        assert ring.counter_rate("shard-0", "repro_http_requests_total", 60.0) == pytest.approx(2.0)
+
+    def test_counter_reset_clamps_at_zero(self):
+        ring = TimeseriesRing(capacity=10)
+        ring.append("shard-0", _families(100), ts=100.0)
+        ring.append("shard-0", _families(5), ts=110.0)  # shard restarted
+        assert ring.counter_delta("shard-0", "repro_http_requests_total", 60.0) == 0.0
+
+    def test_where_filter_selects_series(self):
+        ring = TimeseriesRing(capacity=10)
+        ring.append("shard-0", _families(4, ts_hint="500"), ts=100.0)
+        ring.append("shard-0", _families(9, ts_hint="500"), ts=110.0)
+        bad = ring.counter_delta(
+            "shard-0", "repro_http_requests_total", 60.0,
+            where=lambda labels: labels.get("status", "").startswith("5"),
+        )
+        assert bad == 5.0
+
+    def test_window_uses_oldest_inside_not_refusing_young_rings(self):
+        ring = TimeseriesRing(capacity=10)
+        ring.append("shard-0", _families(10), ts=100.0)
+        ring.append("shard-0", _families(20), ts=101.0)
+        # Window far larger than the ring's span still answers.
+        assert ring.counter_delta("shard-0", "repro_http_requests_total", 3600.0) == 10.0
+
+    def test_single_snapshot_has_no_derivatives(self):
+        ring = TimeseriesRing(capacity=10)
+        ring.append("shard-0", _families(10), ts=100.0)
+        assert ring.counter_delta("shard-0", "repro_http_requests_total", 60.0) is None
+        assert ring.quantile("shard-0", "repro_http_request_seconds", 0.95, 60.0) is None
+
+    def test_histogram_window_and_quantile(self):
+        ring = TimeseriesRing(capacity=10)
+        ring.append("shard-0", _families(0), ts=100.0)
+        ring.append("shard-0", _families(10), ts=110.0)
+        window = ring.histogram_window("shard-0", "repro_http_request_seconds", 60.0)
+        assert window is not None
+        assert window.count == 10.0
+        assert window.rate == pytest.approx(1.0)
+        # All observations were 0.05 — p95 lands inside the 0.1 bucket.
+        q = ring.quantile("shard-0", "repro_http_request_seconds", 0.95, 60.0)
+        assert q is not None and 0.0 < q <= 0.1
+
+    def test_forget_drops_a_source(self):
+        ring = TimeseriesRing(capacity=10)
+        ring.append("shard-0", _families(1), ts=100.0)
+        assert ring.sources == ["shard-0"]
+        ring.forget("shard-0")
+        assert ring.sources == []
+        assert ring.latest("shard-0") is None
+
+    def test_capacity_bounds_the_ring(self):
+        ring = TimeseriesRing(capacity=3)
+        for i in range(10):
+            ring.append("shard-0", _families(i), ts=100.0 + i)
+        pair = ring.window("shard-0", 3600.0)
+        assert pair is not None
+        assert pair[0].ts == 107.0  # oldest retained, not oldest ever
+
+    def test_rejects_tiny_capacity(self):
+        with pytest.raises(ValueError):
+            TimeseriesRing(capacity=1)
+
+
+class TestTimeseriesRingConcurrency:
+    def test_concurrent_writers_and_readers_stay_consistent(self):
+        """The scrape loop appends while /v1/status reads: no torn state.
+
+        Four writer threads feed disjoint sources while four readers
+        hammer every derivative; afterwards each source's ring must hold
+        exactly the last ``capacity`` monotone snapshots.
+        """
+        ring = TimeseriesRing(capacity=16)
+        n_appends = 200
+        sources = [f"shard-{i}" for i in range(4)]
+        errors: list[BaseException] = []
+        stop = threading.Event()
+
+        def writer(source: str) -> None:
+            try:
+                for i in range(n_appends):
+                    ring.append(source, _families(i), ts=1000.0 + i)
+            except BaseException as error:  # noqa: BLE001 - surfaced below
+                errors.append(error)
+
+        def reader() -> None:
+            try:
+                while not stop.is_set():
+                    for source in sources:
+                        ring.latest(source)
+                        ring.counter_delta(source, "repro_http_requests_total", 60.0)
+                        ring.counter_rate(source, "repro_http_requests_total", 60.0)
+                        ring.quantile(source, "repro_http_request_seconds", 0.95, 60.0)
+                        ring.sources
+            except BaseException as error:  # noqa: BLE001 - surfaced below
+                errors.append(error)
+
+        writers = [threading.Thread(target=writer, args=(s,)) for s in sources]
+        readers = [threading.Thread(target=reader) for _ in range(4)]
+        for thread in readers + writers:
+            thread.start()
+        for thread in writers:
+            thread.join()
+        stop.set()
+        for thread in readers:
+            thread.join()
+
+        assert not errors, errors
+        for source in sources:
+            latest = ring.latest(source)
+            assert latest is not None and latest.ts == 1000.0 + n_appends - 1
+            pair = ring.window(source, 3600.0)
+            assert pair is not None
+            # Oldest retained snapshot honors the capacity bound exactly.
+            assert pair[0].ts == 1000.0 + n_appends - 16
+            delta = ring.counter_delta(source, "repro_http_requests_total", 3600.0)
+            assert delta == 15.0  # (n-1) - (n-16): monotone writer, clamped never

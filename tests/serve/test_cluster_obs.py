@@ -1,0 +1,292 @@
+"""End-to-end tests for the fleet observability plane on a real cluster.
+
+One two-shard cluster per module with a fast scrape cadence, driven
+through :class:`~repro.client.ScanClient`.  Covers the acceptance
+contract of the fleet plane: the federated ``/v1/metrics?aggregate=sum``
+view merges per-shard histograms exactly, ``/v1/status`` answers the
+whole pane of glass, SLO states flip ``ok → page`` under sustained 5xx
+(a second, short-lived cluster whose shards stay dead long enough), the
+profiler endpoints answer collapsed stacks, and an exemplar trace id
+from the aggregated exposition resolves through ``/v1/debug/traces``.
+"""
+
+import os
+import re
+import signal
+import time
+
+import pytest
+
+from repro.client import ScanAPIError, ScanClient
+from repro.core import JSRevealer, JSRevealerConfig, save_detector
+from repro.datasets import experiment_split
+from repro.obs import parse_exposition
+from repro.serve import BackgroundCluster, ClusterConfig, RouterConfig
+
+SCRAPE_S = 0.2
+
+
+@pytest.fixture(scope="module")
+def split():
+    return experiment_split(seed=9, pretrain_per_class=6, train_per_class=12, test_per_class=8)
+
+
+@pytest.fixture(scope="module")
+def model_dir(split, tmp_path_factory):
+    detector = JSRevealer(
+        JSRevealerConfig(embed_dim=16, pretrain_epochs=3, k_benign=4, k_malicious=4, seed=9)
+    )
+    detector.pretrain(split.pretrain.sources, split.pretrain.labels)
+    detector.fit(split.train.sources, split.train.labels)
+    path = tmp_path_factory.mktemp("model") / "m"
+    save_detector(detector, path)
+    return str(path)
+
+
+@pytest.fixture(scope="module")
+def cluster(model_dir):
+    config = ClusterConfig(
+        model_dir=model_dir,
+        n_shards=2,
+        port=0,
+        router=RouterConfig(
+            request_timeout_s=60.0,
+            scrape_interval_s=SCRAPE_S,
+            slo_fast_window_s=2.0,
+            slo_slow_window_s=8.0,
+            trace_sample_rate=1.0,  # every routed scan records → exemplars always land
+        ),
+    )
+    with BackgroundCluster(config) as background:
+        yield background
+
+
+@pytest.fixture(scope="module")
+def client(cluster):
+    return ScanClient(cluster.url, timeout_s=60.0, retries=2)
+
+
+def wait_for(predicate, timeout_s=30.0, poll_s=0.1):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(poll_s)
+    return False
+
+
+@pytest.fixture(scope="module")
+def warmed(client, split):
+    """Some routed traffic plus one deterministically-traced request."""
+    for i, source in enumerate(split.test.sources[:8]):
+        client.scan(source, name=f"warm{i}.js")
+    trace_id = os.urandom(16).hex()
+    traceparent = f"00-{trace_id}-{os.urandom(8).hex()}-01"
+    client.scan(split.test.sources[0], traceparent=traceparent)
+    # Let at least one scrape pass absorb the traffic into the ring.
+    time.sleep(3 * SCRAPE_S)
+    return trace_id
+
+
+# ----------------------------------------------------------- federation
+
+
+def test_aggregate_sum_histogram_count_equals_per_shard_sums(client, cluster, warmed):
+    """Acceptance (a): merged ``_count`` is exactly the per-shard sum.
+
+    ``repro_serve_queue_wait_seconds`` only moves on scan submissions,
+    so with traffic paused the direct per-shard reads are stable and the
+    aggregated snapshot must converge to their sum within a scrape.
+    """
+    family = "repro_serve_queue_wait_seconds"
+    shard_clients = [
+        ScanClient.for_shard(shard, timeout_s=30.0)
+        for shard in client.healthz()["shards"]
+    ]
+    expected = 0.0
+    for shard_client in shard_clients:
+        parsed = parse_exposition(shard_client.metrics_text())
+        count = parsed[family].value(suffix="_count")
+        assert count is not None and count > 0  # both shards saw scans
+        expected += count
+
+    def converged():
+        merged = parse_exposition(client.metrics_text(aggregate="sum"))
+        return merged[family].value(suffix="_count") == expected
+
+    assert wait_for(converged, timeout_s=10.0), (
+        f"aggregated {family}_count never reached the per-shard sum {expected}"
+    )
+    # The merged bucket series is cumulative and ends at the same total.
+    merged = parse_exposition(client.metrics_text(aggregate="sum"))
+    buckets = [
+        s.value for s in merged[family].samples
+        if s.name == family + "_bucket"
+    ]
+    assert buckets == sorted(buckets)
+    assert buckets[-1] == expected
+
+
+def test_aggregate_by_shard_labels_every_member(client, warmed):
+    families = parse_exposition(client.metrics_text(aggregate="by-shard"))
+    owners = {
+        sample.labels.get("shard")
+        for family in families.values()
+        for sample in family.samples
+    }
+    assert {"shard-0", "shard-1", "router"} <= owners
+
+
+def test_aggregate_rejects_unknown_mode(client):
+    with pytest.raises(ScanAPIError) as caught:
+        client.metrics_text(aggregate="median")
+    assert caught.value.status == 400
+
+
+def test_router_registry_carries_build_info_and_uptime(client):
+    families = parse_exposition(client.metrics_text())
+    build = families["repro_build_info"]
+    assert build.samples and build.samples[0].value == 1.0
+    assert "version" in build.samples[0].labels
+    assert "python" in build.samples[0].labels
+    uptime = families["repro_uptime_seconds"].value()
+    assert uptime is not None and uptime > 0
+
+
+# --------------------------------------------------------------- status
+
+
+def test_status_answers_the_whole_pane(client, warmed):
+    assert wait_for(
+        lambda: all(
+            shard["rps"] is not None for shard in client.status()["fleet"]
+        ),
+        timeout_s=10.0,
+    )
+    status = client.status()
+    assert status["status"] == "ok"
+    assert status["role"] == "router"
+    assert status["n_shards"] == 2 and status["n_healthy"] == 2
+    assert status["uptime_s"] > 0
+    assert sorted(status["scrape"]["members"]) == ["shard-0", "shard-1"]
+    assert status["scrape"]["last_scrape_unix"] is not None
+    by_id = {shard["shard"]: shard for shard in status["fleet"]}
+    assert set(by_id) == {"shard-0", "shard-1"}
+    for shard in by_id.values():
+        assert shard["healthy"] is True
+        assert shard["rps"] >= 0
+        assert shard["queue_depth"] is not None
+    slos = {slo["name"]: slo for slo in status["slo"]}
+    assert set(slos) == {"availability", "scan-latency"}
+    for slo in slos.values():
+        assert slo["state"] == "ok"
+        assert slo["burn_rate"]["fast"] < 6.0
+
+
+def test_slo_gauges_exported(client, warmed):
+    families = parse_exposition(client.metrics_text())
+    assert families["repro_slo_state"].value({"slo": "availability"}) == 0.0
+    burn = families["repro_slo_burn_rate"].value({"slo": "availability", "window": "fast"})
+    assert burn is not None and burn < 6.0
+
+
+# ------------------------------------------------------------- profiler
+
+
+def test_prof_router_and_shard_answer_collapsed_stacks(client):
+    profile = client.prof(seconds=0.3, hz=50)
+    assert profile.startswith("# wall-clock profile:")
+    # The router's asyncio loop thread is alive, so samples land.
+    assert int(re.search(r"(\d+) samples", profile).group(1)) > 0
+
+    shard = client.healthz()["shards"][0]
+    shard_profile = ScanClient.for_shard(shard, timeout_s=30.0).prof(seconds=0.3, hz=50)
+    assert shard_profile.startswith("# wall-clock profile:")
+
+
+def test_prof_rejects_bad_query(cluster):
+    import http.client
+
+    connection = http.client.HTTPConnection(cluster.host, cluster.port, timeout=30)
+    connection.request("GET", "/v1/debug/prof?seconds=banana")
+    response = connection.getresponse()
+    response.read()
+    connection.close()
+    assert response.status == 400
+
+
+# ------------------------------------------------------------ exemplars
+
+
+def test_exemplar_trace_id_resolves_through_debug_traces(client, warmed):
+    """Acceptance (c): an aggregated exemplar links to a stored trace."""
+    exposition = client.metrics_text(aggregate="sum")
+    exemplar_ids = re.findall(r'# \{trace_id="([0-9a-f]+)"\}', exposition)
+    assert exemplar_ids, "no exemplar annotations in the aggregated exposition"
+    # Prefer the request we traced deterministically; any routed scan's
+    # exemplar resolves the same way.
+    trace_id = warmed if warmed in exemplar_ids else exemplar_ids[-1]
+    merged = client.trace(trace_id)
+    assert merged["trace_id"] == trace_id
+    assert merged["spans"], "exemplar pointed at an empty trace"
+
+
+def test_trace_list_filters(client, warmed):
+    listing = client.traces(n=50, status="ok")
+    assert listing["traces"], "expected stored traces at sample rate 1.0"
+    assert all(entry["status"] == "ok" for entry in listing["traces"])
+    nothing = client.traces(n=50, slow_ms=1e9)
+    assert nothing["traces"] == []
+
+
+# ----------------------------------------------------- SLO page-on-burn
+
+
+def test_slo_flips_ok_to_page_under_sustained_5xx(model_dir, split):
+    """Acceptance (b): a fleet whose shards stay dead pages availability.
+
+    A dedicated short-lived cluster with a long restart backoff: killing
+    both shards leaves the router answering 503 for every scan, and the
+    availability SLO must escalate to ``page`` in both burn windows.
+    """
+    config = ClusterConfig(
+        model_dir=model_dir,
+        n_shards=2,
+        port=0,
+        restart_backoff_s=20.0,  # one kill parks the fleet past the test
+        router=RouterConfig(
+            request_timeout_s=30.0,
+            scrape_interval_s=SCRAPE_S,
+            slo_fast_window_s=1.0,
+            slo_slow_window_s=4.0,
+        ),
+    )
+    with BackgroundCluster(config) as background:
+        client = ScanClient(background.url, timeout_s=30.0, retries=0)
+        # Healthy traffic first: the ok state is earned, not vacuous.
+        for i in range(4):
+            client.scan(split.test.sources[i % len(split.test.sources)])
+        assert wait_for(
+            lambda: {slo["state"] for slo in client.status()["slo"]} == {"ok"},
+            timeout_s=10.0,
+        )
+        for shard in client.healthz()["shards"]:
+            os.kill(shard["pid"], signal.SIGKILL)
+
+        deadline = time.monotonic() + 20.0
+        paged = False
+        while time.monotonic() < deadline and not paged:
+            try:
+                client.scan("/* burn probe */ eval(x)")
+            except ScanAPIError as error:
+                assert error.status in (429, 502, 503, 504)
+            status = client.status()
+            availability = next(s for s in status["slo"] if s["name"] == "availability")
+            paged = availability["state"] == "page"
+        assert paged, "availability never paged under sustained 5xx"
+        assert availability["burn_rate"]["fast"] >= 14.4
+        assert availability["burn_rate"]["slow"] >= 14.4
+        # The supervisor's health flags converge on their own cadence —
+        # the page state is the acceptance bar, not the exact flag timing.
+        assert status["n_healthy"] < 2
+        assert status["status"] in ("degraded", "down")

@@ -84,7 +84,12 @@ async def boot(assignments, config=None):
             ports[shard_id] = port
             hits[shard_id] = counter
     supervisor = FakeSupervisor([ports[f"shard-{i}"] for i in range(len(assignments))])
-    router = ScanRouter(supervisor, config or RouterConfig(port=0, request_timeout_s=5.0))
+    # Canned shards answer exactly one request each — federation scraping
+    # would consume them, so these unit routers run with it disabled.
+    router = ScanRouter(
+        supervisor,
+        config or RouterConfig(port=0, request_timeout_s=5.0, scrape_interval_s=0),
+    )
     await router.start()
     return router, supervisor, servers, hits
 
@@ -383,7 +388,7 @@ def test_verdict_cache_disabled_bypasses():
         first, second = preference_order()
         router, supervisor, servers, hits = await boot(
             {first: shard_200(), second: shard_200()},
-            config=RouterConfig(port=0, request_timeout_s=5.0, verdict_cache_size=0),
+            config=RouterConfig(port=0, request_timeout_s=5.0, verdict_cache_size=0, scrape_interval_s=0),
         )
         try:
             served = (await scan_via(router)).headers["x-shard"]

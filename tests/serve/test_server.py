@@ -19,7 +19,9 @@ from repro.serve import BackgroundServer, ServeConfig, run_load
 
 PROM_LINE = re.compile(
     r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\""
-    r"(,[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\")*\})? (-?[0-9.]+(e-?[0-9]+)?|\+Inf|NaN)$"
+    r"(,[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\")*\})? (-?[0-9.]+(e-?[0-9]+)?|\+Inf|NaN)"
+    # Sampled scans attach an OpenMetrics exemplar to their bucket line.
+    r'( # \{trace_id="[0-9a-f]+"\} (-?[0-9.]+(e-?[0-9]+)?))?$'
 )
 
 
